@@ -1,0 +1,28 @@
+//! Criterion benchmarks for whole-app build time per optimization level
+//! — the Table 6 measurement in benchmark form.
+
+use calibro::{build, BuildOptions};
+use calibro_workloads::{generate, AppSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_variants(c: &mut Criterion) {
+    let app = generate(&AppSpec::small("bench", 5));
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| build(&app.dex, &BuildOptions::baseline()).unwrap());
+    });
+    group.bench_function("cto", |b| {
+        b.iter(|| build(&app.dex, &BuildOptions::cto()).unwrap());
+    });
+    group.bench_function("cto_ltbo_global", |b| {
+        b.iter(|| build(&app.dex, &BuildOptions::cto_ltbo()).unwrap());
+    });
+    group.bench_function("cto_ltbo_parallel", |b| {
+        b.iter(|| build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

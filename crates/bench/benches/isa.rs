@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks for the ISA layer (encode/decode round
+//! trips dominate linking and loading).
+
+use calibro_isa::{decode, Insn, Reg};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn sample_insns() -> Vec<Insn> {
+    vec![
+        Insn::AddImm { wide: false, set_flags: false, rd: Reg::X0, rn: Reg::X1, imm12: 42, shift12: false },
+        Insn::LdrImm { wide: true, rt: Reg::LR, rn: Reg::X0, offset: 24 },
+        Insn::Blr { rn: Reg::LR },
+        Insn::Cbz { wide: false, rt: Reg::X0, offset: 0x40 },
+        Insn::Stp { rt: Reg::FP, rt2: Reg::LR, rn: Reg::SP, offset: -32, mode: calibro_isa::PairMode::PreIndex },
+        Insn::Movz { wide: false, rd: Reg::X9, imm16: 999, hw: 0 },
+        Insn::Ret { rn: Reg::LR },
+    ]
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let insns = sample_insns();
+    let words: Vec<u32> = insns.iter().map(|i| i.encode().unwrap()).collect();
+    c.bench_function("encode_7", |b| {
+        b.iter(|| {
+            for i in &insns {
+                black_box(i.encode().unwrap());
+            }
+        });
+    });
+    c.bench_function("decode_7", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(decode(*w).unwrap());
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode_decode);
+criterion_main!(benches);

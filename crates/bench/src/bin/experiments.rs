@@ -1,0 +1,276 @@
+//! Regenerates every table and figure from the paper's evaluation (§4)
+//! on the simulated substrate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # everything
+//! cargo run --release -p bench --bin experiments table4     # one table
+//! cargo run --release -p bench --bin experiments all 1.0    # custom scale
+//! ```
+
+use bench::{
+    build_variant, fig3, fig4, suite, table1, table2, table4, table5, table6, table7, Variant,
+    DEFAULT_SCALE, PL_GROUPS, PL_THREADS,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map_or("all", String::as_str);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE);
+
+    eprintln!("generating the six-app suite (scale {scale}) ...");
+    let apps = suite(scale);
+    for app in &apps {
+        eprintln!(
+            "  {:10} {:5} methods, {:6} dex instructions",
+            app.name,
+            app.dex.methods().len(),
+            app.dex.total_insns()
+        );
+    }
+
+    let run_all = which == "all";
+    if run_all || which == "table1" {
+        print_table1(&apps);
+    }
+    if run_all || which == "fig1" {
+        print_fig1();
+    }
+    if run_all || which == "fig3" {
+        print_fig3(&apps);
+    }
+    if run_all || which == "fig4" {
+        print_fig4(&apps);
+    }
+    if run_all || which == "table2" {
+        print_table2();
+    }
+    if run_all || which == "table3" {
+        print_table3();
+    }
+    if run_all || which == "table4" {
+        print_table4(&apps);
+    }
+    if run_all || which == "table5" {
+        print_table5(&apps);
+    }
+    if run_all || which == "table6" {
+        print_table6(&apps);
+    }
+    if run_all || which == "table7" {
+        print_table7(&apps);
+    }
+    if run_all || which == "ablation" {
+        print_ablation(&apps);
+    }
+}
+
+fn print_ablation(apps: &[calibro_workloads::App]) {
+    let app = apps.iter().find(|a| a.name == "wechat").unwrap_or(&apps[0]);
+    header(&format!(
+        "Ablation: paralleled suffix-tree count vs size/time trade-off ({})",
+        app.name
+    ));
+    println!("{:>7} {:>10} {:>12} {:>10}", "trees", ".text", "ltbo time", "outlined");
+    for row in bench::ablation_groups(app, &[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "{:>7} {:>9}K {:>10.0}ms {:>10}",
+            row.groups,
+            row.bytes / 1024,
+            row.ltbo_time.as_secs_f64() * 1000.0,
+            row.outlined
+        );
+    }
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn print_table1(apps: &[calibro_workloads::App]) {
+    header("Table 1: estimated code size reduction ratios (suffix-tree analysis, paper avg 25.4%)");
+    let rows = table1(apps);
+    let mut sum = 0.0;
+    print!("{:24}", "app");
+    for r in &rows {
+        print!("{:>10}", r.app);
+    }
+    println!("{:>10}", "AVG");
+    print!("{:24}", "estimated reduction");
+    for r in &rows {
+        sum += r.estimated_ratio;
+        print!("{:>9.1}%", r.estimated_ratio * 100.0);
+    }
+    println!("{:>9.1}%", sum / rows.len() as f64 * 100.0);
+}
+
+fn print_fig1() {
+    header("Figure 1: the example suffix tree of \"banana\" (repeated substrings)");
+    let text: Vec<u64> = "banana".bytes().map(u64::from).collect();
+    let tree = calibro_suffix::SuffixTree::build(text.clone());
+    let mut suffixes = tree.suffixes();
+    suffixes.sort_by_key(Vec::len);
+    println!("suffixes stored: {}", suffixes.len());
+    for rep in calibro_suffix::find_repeats(&tree, 1) {
+        let s: String = tree.text()[rep.positions[0]..rep.positions[0] + rep.len]
+            .iter()
+            .map(|&c| char::from(c as u8))
+            .collect();
+        println!("  {s:8} occurs {}x at {:?}", rep.count, rep.positions);
+    }
+}
+
+fn print_fig3(apps: &[calibro_workloads::App]) {
+    let app = apps.iter().find(|a| a.name == "wechat").unwrap_or(&apps[0]);
+    header(&format!(
+        "Figure 3: sequence length vs number of repeats ({} baseline)",
+        app.name
+    ));
+    println!("{:>6} {:>12} {:>14}", "len", "sequences", "total repeats");
+    for p in fig3(app, 16) {
+        println!("{:>6} {:>12} {:>14}", p.len, p.sequences, p.total_repeats);
+    }
+}
+
+fn print_fig4(apps: &[calibro_workloads::App]) {
+    let app = apps.iter().find(|a| a.name == "wechat").unwrap_or(&apps[0]);
+    header(&format!(
+        "Figure 4: ART-specific repetitive pattern census ({} baseline)",
+        app.name
+    ));
+    let c = fig4(app);
+    let mut rows: Vec<(String, usize)> = vec![
+        ("Java function call (Fig 4a)".to_owned(), c.java_call),
+        ("stack overflow check (Fig 4c)".to_owned(), c.stack_check),
+    ];
+    for (off, n) in &c.runtime_by_offset {
+        rows.push((format!("runtime call @x19+{off:#x} (Fig 4b)"), *n));
+    }
+    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (rank, (name, n)) in rows.iter().enumerate() {
+        println!("  #{} {name:32} {n:>8} occurrences", rank + 1);
+    }
+}
+
+fn print_table2() {
+    header("Table 2: outlining and patching walk-through (paper's example)");
+    for (title, listing) in table2() {
+        println!("  // {title}");
+        for (i, line) in listing.iter().enumerate() {
+            println!("    {:#06x}: {line}", i * 4);
+        }
+    }
+}
+
+fn print_table3() {
+    header("Table 3: experimental setup");
+    println!("  {:26} {}", "Experiment device", "simulated AArch64 (calibro-runtime)");
+    println!("  {:26} {}", "Processor model", "1 cycle/insn + call/branch penalties + 32KiB L1I");
+    println!("  {:26} {}", "Suffix trees (PlOpti)", format!("{PL_GROUPS} trees / {PL_THREADS} threads"));
+    println!("  {:26} {}", "Test set", "six seeded synthetic apps ~ Table 4 size ratios");
+    println!("  {:26} {}", "Compile mode", "speed (all methods compiled)");
+}
+
+fn print_table4(apps: &[calibro_workloads::App]) {
+    header("Table 4: OAT .text size per variant (paper: CTO 3.56%, +LTBO 19.19%, +PlOpti 16.40%, +HfOpti 15.19%)");
+    let cols = table4(apps);
+    print!("{:24}", "");
+    for c in &cols {
+        print!("{:>10}", c.app);
+    }
+    println!("{:>10}", "AVG");
+    for (i, v) in Variant::ALL.into_iter().enumerate() {
+        print!("{:24}", v.label());
+        for c in &cols {
+            print!("{:>9}K", c.bytes[i] / 1024);
+        }
+        println!();
+    }
+    for i in 1..5 {
+        print!("{:24}", format!("{} reduction", Variant::ALL[i].label()));
+        let mut sum = 0.0;
+        for c in &cols {
+            sum += c.ratio(i);
+            print!("{:>9.2}%", c.ratio(i) * 100.0);
+        }
+        println!("{:>9.2}%", sum / cols.len() as f64 * 100.0);
+    }
+}
+
+fn print_table5(apps: &[calibro_workloads::App]) {
+    header("Table 5: memory usage after the trace (paper: CTO 2.03%, CTO+LTBO 6.82%)");
+    let cols = table5(apps);
+    print!("{:24}", "");
+    for c in &cols {
+        print!("{:>10}", c.app);
+    }
+    println!("{:>10}", "AVG");
+    for (i, name) in ["Baseline", "CTO", "CTO+LTBO"].iter().enumerate() {
+        print!("{:24}", *name);
+        for c in &cols {
+            print!("{:>9}K", c.resident[i] / 1024);
+        }
+        println!();
+    }
+    for i in 1..3 {
+        print!("{:24}", format!("{} reduction", ["", "CTO", "CTO+LTBO"][i]));
+        let mut sum = 0.0;
+        for c in &cols {
+            sum += c.ratio(i);
+            print!("{:>9.2}%", c.ratio(i) * 100.0);
+        }
+        println!("{:>9.2}%", sum / cols.len() as f64 * 100.0);
+    }
+}
+
+fn print_table6(apps: &[calibro_workloads::App]) {
+    header("Table 6: building time (paper: single tree +489.5%, PlOpti +70.8%)");
+    let cols = table6(apps);
+    print!("{:24}", "");
+    for c in &cols {
+        print!("{:>10}", c.app);
+    }
+    println!("{:>10}", "AVG");
+    for (i, name) in ["Baseline", "CTO+LTBO", "CTO+LTBO+PlOpti"].iter().enumerate() {
+        print!("{:24}", *name);
+        for c in &cols {
+            print!("{:>8.0}ms", c.times[i].as_secs_f64() * 1000.0);
+        }
+        println!();
+    }
+    for i in 1..3 {
+        print!("{:24}", format!("{} growth", ["", "CTO+LTBO", "+PlOpti"][i]));
+        let mut sum = 0.0;
+        for c in &cols {
+            sum += c.growth(i);
+            print!("{:>9.0}%", c.growth(i) * 100.0);
+        }
+        println!("{:>9.0}%", sum / cols.len() as f64 * 100.0);
+    }
+}
+
+fn print_table7(apps: &[calibro_workloads::App]) {
+    header("Table 7: runtime performance in CPU cycles (paper: PlOpti +1.51%, +HfOpti +0.90%)");
+    let cols = table7(apps, 3);
+    print!("{:24}", "");
+    for c in &cols {
+        print!("{:>10}", c.app);
+    }
+    println!("{:>10}", "AVG");
+    for (i, name) in ["Baseline", "CTO+LTBO+PlOpti", "+HfOpti"].iter().enumerate() {
+        print!("{:24}", *name);
+        for c in &cols {
+            print!("{:>9}K", c.cycles[i] / 1000);
+        }
+        println!();
+    }
+    for i in 1..3 {
+        print!("{:24}", format!("{} degradation", ["", "PlOpti", "+HfOpti"][i]));
+        let mut sum = 0.0;
+        for c in &cols {
+            sum += c.degradation(i);
+            print!("{:>9.2}%", c.degradation(i) * 100.0);
+        }
+        println!("{:>9.2}%", sum / cols.len() as f64 * 100.0);
+    }
+    let _ = build_variant(&apps[0], Variant::Baseline); // keep the API exercised
+}

@@ -1,0 +1,582 @@
+//! Experiment implementations: one function per table/figure of the
+//! paper's evaluation.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use calibro::{build, BuildOptions, BuildOutput};
+use calibro_dex::MethodId;
+use calibro_oat::OatFile;
+use calibro_profile::Profile;
+use calibro_runtime::Runtime;
+use calibro_suffix::{census, estimate_reduction, SuffixTree};
+use calibro_workloads::{generate, paper_suite, App};
+
+/// Default scale: methods per MB of the paper's baseline OAT size.
+/// `2.0` puts the six-app suite at roughly 4,000 methods / 600k
+/// instructions total — big enough for stable ratios, small enough to
+/// run in seconds.
+pub const DEFAULT_SCALE: f64 = 2.0;
+
+/// Steps budget per trace call.
+const STEP_BUDGET: u64 = 4_000_000;
+
+/// The build variants evaluated in the paper's Table 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Unmodified AOSP-equivalent.
+    Baseline,
+    /// §3.1 compilation-time outlining only.
+    Cto,
+    /// CTO + link-time outlining with a single global suffix tree.
+    CtoLtbo,
+    /// CTO + LTBO with paralleled suffix trees (§3.4.1).
+    CtoLtboPl,
+    /// CTO + LTBO + PlOpti + hot-function filtering (§3.4.2).
+    CtoLtboPlHf,
+}
+
+impl Variant {
+    /// All variants in Table 4 order.
+    pub const ALL: [Variant; 5] =
+        [Variant::Baseline, Variant::Cto, Variant::CtoLtbo, Variant::CtoLtboPl, Variant::CtoLtboPlHf];
+
+    /// The paper's row label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Baseline => "Baseline",
+            Variant::Cto => "CTO",
+            Variant::CtoLtbo => "CTO+LTBO",
+            Variant::CtoLtboPl => "CTO+LTBO+PlOpti",
+            Variant::CtoLtboPlHf => "CTO+LTBO+PlOpti+HfOpti",
+        }
+    }
+}
+
+/// Number of parallel suffix trees (the paper's Table 6 uses 8 trees on
+/// 6 threads).
+pub const PL_GROUPS: usize = 8;
+/// Worker threads for PlOpti.
+pub const PL_THREADS: usize = 6;
+
+/// Builds one variant of an app, resolving the HfOpti profile on demand
+/// (profiling the baseline build over the app's trace, as in Figure 6).
+#[must_use]
+pub fn build_variant(app: &App, variant: Variant) -> BuildOutput {
+    let options = match variant {
+        Variant::Baseline => BuildOptions::baseline(),
+        Variant::Cto => BuildOptions::cto(),
+        Variant::CtoLtbo => BuildOptions::cto_ltbo(),
+        Variant::CtoLtboPl => BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS),
+        Variant::CtoLtboPlHf => {
+            let hot = profile_hot_set(app, 0.8);
+            BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS).with_hot_filter(hot)
+        }
+    };
+    build(&app.dex, &options).expect("build")
+}
+
+/// Runs the Figure 6 profiling pass: executes the trace on the baseline
+/// build and selects the top-`fraction` hot set.
+#[must_use]
+pub fn profile_hot_set(app: &App, fraction: f64) -> HashSet<u32> {
+    let baseline = build(&app.dex, &BuildOptions::baseline()).expect("baseline build");
+    let mut rt = Runtime::new(&baseline.oat, &app.env);
+    run_trace(&mut rt, app, 1);
+    Profile::capture(&rt).hot_set(fraction)
+}
+
+/// Executes the app's usage trace `iterations` times.
+pub fn run_trace(rt: &mut Runtime, app: &App, iterations: usize) {
+    for _ in 0..iterations {
+        for call in &app.trace {
+            rt.call(call.method, &call.args, STEP_BUDGET).expect("trace call");
+        }
+    }
+}
+
+/// Generates the paper's six-app suite at the given scale.
+#[must_use]
+pub fn suite(scale: f64) -> Vec<App> {
+    paper_suite(scale).iter().map(generate).collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 1: estimated redundancy via suffix-tree analysis (§2.2).
+// ---------------------------------------------------------------------
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// App name.
+    pub app: String,
+    /// Estimated reduction ratio from the §2.2 analysis.
+    pub estimated_ratio: f64,
+    /// Instructions analyzed.
+    pub instructions: usize,
+}
+
+/// Maps a linked baseline OAT into the §2.2 analysis sequence:
+/// instruction words as symbols, terminators and method boundaries as
+/// unique separators.
+#[must_use]
+pub fn analysis_sequence(oat: &OatFile) -> Vec<u64> {
+    let mut symbols = Vec::with_capacity(oat.words.len());
+    let mut unique = 1u64 << 40;
+    for record in &oat.methods {
+        let start = (record.offset / 4) as usize;
+        for w in 0..record.code_words {
+            if record.metadata.in_embedded_data(w)
+                || record.metadata.terminators.contains(&w)
+            {
+                unique += 1;
+                symbols.push(unique);
+            } else {
+                symbols.push(u64::from(oat.words[start + w]));
+            }
+        }
+        unique += 1;
+        symbols.push(unique);
+    }
+    symbols
+}
+
+/// Reproduces Table 1: the estimated code-size reduction per app.
+#[must_use]
+pub fn table1(apps: &[App]) -> Vec<Table1Row> {
+    apps.iter()
+        .map(|app| {
+            let baseline = build(
+                &app.dex,
+                &BuildOptions { force_metadata: true, ..BuildOptions::baseline() },
+            )
+            .expect("build");
+            let seq = analysis_sequence(&baseline.oat);
+            let instructions = seq.len();
+            let tree = SuffixTree::build(seq);
+            Table1Row {
+                app: app.name.clone(),
+                estimated_ratio: estimate_reduction(&tree, 2),
+                instructions,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: sequence length vs number of repeats.
+// ---------------------------------------------------------------------
+
+/// One Figure 3 series point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig3Point {
+    /// Repeated-sequence length.
+    pub len: usize,
+    /// Number of distinct repeated sequences of this length.
+    pub sequences: usize,
+    /// Total repeat occurrences summed over those sequences.
+    pub total_repeats: usize,
+}
+
+/// Reproduces Figure 3 for one app: the repeat census by length.
+#[must_use]
+pub fn fig3(app: &App, max_len: usize) -> Vec<Fig3Point> {
+    let baseline = build(
+        &app.dex,
+        &BuildOptions { force_metadata: true, ..BuildOptions::baseline() },
+    )
+    .expect("build");
+    let tree = SuffixTree::build(analysis_sequence(&baseline.oat));
+    let rows = census(&tree, 2);
+    (2..=max_len)
+        .map(|len| {
+            let of_len = rows.iter().filter(|r| r.len == len);
+            let (mut sequences, mut total) = (0, 0);
+            for r in of_len {
+                sequences += 1;
+                total += r.count;
+            }
+            Fig3Point { len, sequences, total_repeats: total }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: the ART-specific pattern census.
+// ---------------------------------------------------------------------
+
+/// Counts of the three ART-specific patterns in a baseline build.
+#[derive(Clone, Debug, Default)]
+pub struct PatternCensus {
+    /// Figure 4a: `ldr x30, [x0, #off]; blr x30`.
+    pub java_call: usize,
+    /// Figure 4b: `ldr x30, [x19, #off]; blr x30`, summed.
+    pub runtime_call: usize,
+    /// Figure 4b broken down per entrypoint offset.
+    pub runtime_by_offset: Vec<(u16, usize)>,
+    /// Figure 4c: `sub x16, sp, #0x2000; ldr wzr, [x16]`.
+    pub stack_check: usize,
+}
+
+/// Reproduces the Figure 4 observation: occurrence counts of the three
+/// patterns in an app's baseline text.
+#[must_use]
+pub fn fig4(app: &App) -> PatternCensus {
+    use calibro_isa::{decode, Insn, Reg};
+    let baseline = build(&app.dex, &BuildOptions::baseline()).expect("build");
+    let words = &baseline.oat.words;
+    let mut census = PatternCensus::default();
+    let mut by_offset = std::collections::BTreeMap::new();
+    for pair in words.windows(2) {
+        let (Ok(a), Ok(b)) = (decode(pair[0]), decode(pair[1])) else { continue };
+        match (&a, &b) {
+            (Insn::LdrImm { wide: true, rt, rn, offset }, Insn::Blr { rn: r })
+                if *rt == Reg::LR && *r == Reg::LR =>
+            {
+                if *rn == Reg::X0 {
+                    census.java_call += 1;
+                } else if *rn == Reg::X19 {
+                    census.runtime_call += 1;
+                    *by_offset.entry(*offset).or_insert(0) += 1;
+                }
+            }
+            (Insn::SubImm { rd, rn, imm12: 2, shift12: true, .. }, Insn::LdrImm { rt, .. })
+                if *rd == Reg::X16 && *rn == Reg::SP && rt.is_reg31() =>
+            {
+                census.stack_check += 1;
+            }
+            _ => {}
+        }
+    }
+    census.runtime_by_offset = by_offset.into_iter().collect();
+    census
+}
+
+// ---------------------------------------------------------------------
+// Table 4: code size reduction per variant.
+// ---------------------------------------------------------------------
+
+/// One Table 4 column (one app).
+#[derive(Clone, Debug)]
+pub struct Table4Col {
+    /// App name.
+    pub app: String,
+    /// `.text` bytes per variant, in [`Variant::ALL`] order.
+    pub bytes: [u64; 5],
+}
+
+impl Table4Col {
+    /// Reduction ratio of variant `i` relative to the baseline.
+    #[must_use]
+    pub fn ratio(&self, i: usize) -> f64 {
+        1.0 - self.bytes[i] as f64 / self.bytes[0] as f64
+    }
+}
+
+/// Reproduces Table 4: on-disk `.text` size per app and variant.
+#[must_use]
+pub fn table4(apps: &[App]) -> Vec<Table4Col> {
+    apps.iter()
+        .map(|app| {
+            let mut bytes = [0u64; 5];
+            for (i, v) in Variant::ALL.into_iter().enumerate() {
+                let out = build_variant(app, v);
+                // Size measured on the serialized ELF text, like `pm
+                // compile` + section inspection in the paper.
+                bytes[i] = calibro_oat::text_size_on_disk(&out.oat);
+            }
+            Table4Col { app: app.name.clone(), bytes }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 5: memory usage reduction.
+// ---------------------------------------------------------------------
+
+/// One Table 5 column.
+#[derive(Clone, Debug)]
+pub struct Table5Col {
+    /// App name.
+    pub app: String,
+    /// Resident bytes after the trace: Baseline, CTO, CTO+LTBO.
+    pub resident: [u64; 3],
+}
+
+impl Table5Col {
+    /// Reduction relative to baseline for variant `i`.
+    #[must_use]
+    pub fn ratio(&self, i: usize) -> f64 {
+        1.0 - self.resident[i] as f64 / self.resident[0] as f64
+    }
+}
+
+/// Reproduces Table 5: memory usage (resident pages) after running the
+/// usage trace, for Baseline / CTO / CTO+LTBO.
+#[must_use]
+pub fn table5(apps: &[App]) -> Vec<Table5Col> {
+    apps.iter()
+        .map(|app| {
+            // The dex/vdex file, .art image and runtime metadata stay
+            // resident regardless of variant; the paper's memory numbers
+            // include those non-.text portions, which is why its Table 5
+            // percentages sit well below the Table 4 code reductions.
+            let fixed = (app.dex.total_insns() * 8) as u64;
+            let mut resident = [0u64; 3];
+            for (i, v) in [Variant::Baseline, Variant::Cto, Variant::CtoLtbo].into_iter().enumerate()
+            {
+                let out = build_variant(app, v);
+                let mut rt = Runtime::new(&out.oat, &app.env);
+                run_trace(&mut rt, app, 1);
+                // The paper measures the OAT file's memory usage: its
+                // resident code pages plus the always-mapped oatdata.
+                resident[i] = rt.resident_code_bytes() + fixed;
+            }
+            Table5Col { app: app.name.clone(), resident }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 6: build time.
+// ---------------------------------------------------------------------
+
+/// One Table 6 column.
+#[derive(Clone, Debug)]
+pub struct Table6Col {
+    /// App name.
+    pub app: String,
+    /// Build times: Baseline, CTO+LTBO (single tree), CTO+LTBO+PlOpti.
+    pub times: [Duration; 3],
+}
+
+impl Table6Col {
+    /// Build-time growth of variant `i` relative to the baseline.
+    #[must_use]
+    pub fn growth(&self, i: usize) -> f64 {
+        self.times[i].as_secs_f64() / self.times[0].as_secs_f64() - 1.0
+    }
+}
+
+/// Reproduces Table 6: wall-clock build time per variant.
+#[must_use]
+pub fn table6(apps: &[App]) -> Vec<Table6Col> {
+    apps.iter()
+        .map(|app| {
+            let mut times = [Duration::ZERO; 3];
+            for (i, v) in [Variant::Baseline, Variant::CtoLtbo, Variant::CtoLtboPl].into_iter().enumerate()
+            {
+                let out = build_variant(app, v);
+                times[i] = out.stats.total_time();
+            }
+            Table6Col { app: app.name.clone(), times }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 7: runtime performance (CPU cycle counts).
+// ---------------------------------------------------------------------
+
+/// One Table 7 column.
+#[derive(Clone, Debug)]
+pub struct Table7Col {
+    /// App name.
+    pub app: String,
+    /// Cycle counts: Baseline, CTO+LTBO+PlOpti, +HfOpti.
+    pub cycles: [u64; 3],
+}
+
+impl Table7Col {
+    /// Degradation of variant `i` relative to the baseline.
+    #[must_use]
+    pub fn degradation(&self, i: usize) -> f64 {
+        self.cycles[i] as f64 / self.cycles[0] as f64 - 1.0
+    }
+}
+
+/// Reproduces Table 7: CPU cycle counts over the usage trace
+/// (`iterations` runs, like the paper's 20 repeated uiautomator runs).
+#[must_use]
+pub fn table7(apps: &[App], iterations: usize) -> Vec<Table7Col> {
+    apps.iter()
+        .map(|app| {
+            let mut cycles = [0u64; 3];
+            for (i, v) in [Variant::Baseline, Variant::CtoLtboPl, Variant::CtoLtboPlHf]
+                .into_iter()
+                .enumerate()
+            {
+                let out = build_variant(app, v);
+                let mut rt = Runtime::new(&out.oat, &app.env);
+                run_trace(&mut rt, app, iterations);
+                cycles[i] = rt.total_cycles();
+            }
+            Table7Col { app: app.name.clone(), cycles }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation: the paralleled-tree count trade-off (§4.4: "the trade-offs
+// between building time and the code size reduction can be selected by
+// adjusting the number of paralleled suffix trees").
+// ---------------------------------------------------------------------
+
+/// One row of the group-count ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationRow {
+    /// Number of per-group suffix trees (1 = the global tree).
+    pub groups: usize,
+    /// `.text` bytes after CTO+LTBO with this many trees.
+    pub bytes: u64,
+    /// LTBO wall-clock time.
+    pub ltbo_time: Duration,
+    /// Outlined functions created.
+    pub outlined: usize,
+}
+
+/// Sweeps the number of paralleled suffix trees on one app.
+#[must_use]
+pub fn ablation_groups(app: &App, groups: &[usize]) -> Vec<AblationRow> {
+    groups
+        .iter()
+        .map(|&g| {
+            let options = if g <= 1 {
+                BuildOptions::cto_ltbo()
+            } else {
+                BuildOptions::cto_ltbo_parallel(g, PL_THREADS)
+            };
+            let out = build(&app.dex, &options).expect("build");
+            AblationRow {
+                groups: g,
+                bytes: out.oat.text_size_bytes(),
+                ltbo_time: out.stats.ltbo_time,
+                outlined: out.stats.ltbo.outlined_functions,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 2: the outlining + patching example.
+// ---------------------------------------------------------------------
+
+/// Reproduces the paper's Table 2 walk-through on a hand-built method:
+/// returns the four disassembly listings (original, outlined function,
+/// replaced-with-outdated-offset conceptual stage, patched final code).
+#[must_use]
+pub fn table2() -> Vec<(String, Vec<String>)> {
+    use calibro_codegen::{CompiledMethod, MethodMetadata, PcRel};
+    use calibro_isa::{Insn, Reg};
+
+    // The paper's original sequence (Table 2, code 1):
+    //   cbz w0, #+0xc ; ldr w2, [x0] ; cmp w2, w1 ; mov x3, x4 ; ldr w3, [x0]
+    let body = vec![
+        Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc },
+        Insn::LdrImm { wide: false, rt: Reg::X2, rn: Reg::X0, offset: 0 },
+        Insn::SubReg { wide: false, set_flags: true, rd: Reg::ZR, rn: Reg::X2, rm: Reg::X1, shift: 0 },
+        Insn::OrrReg { wide: true, rd: Reg::X3, rn: Reg::ZR, rm: Reg::X4, shift: 0 },
+        Insn::LdrImm { wide: false, rt: Reg::X3, rn: Reg::X0, offset: 0 },
+        Insn::Ret { rn: Reg::LR },
+    ];
+    let meta = MethodMetadata {
+        pc_rel: vec![PcRel { at: 0, target: 3 }],
+        terminators: vec![0, 5],
+        ..MethodMetadata::default()
+    };
+    let make = |id: u32| CompiledMethod {
+        method: MethodId(id),
+        insns: body.clone(),
+        pool: vec![],
+        relocs: vec![],
+        metadata: meta.clone(),
+        stack_maps: vec![],
+    };
+    // The paper illustrates with two occurrences; under the Figure 2
+    // model a 2-instruction pair needs four occurrences to profit
+    // (2*4 = 8 > 4 + 1 + 2), so we replicate the method four times.
+    let mut methods = vec![make(0), make(1), make(2), make(3)];
+    let original: Vec<String> = body.iter().map(ToString::to_string).collect();
+
+    let result = calibro::run_ltbo(
+        &mut methods,
+        &calibro::LtboConfig { min_len: 2, ..calibro::LtboConfig::default() },
+    );
+    let outlined: Vec<String> = result
+        .outlined
+        .first()
+        .map(|f| f.iter().map(ToString::to_string).collect())
+        .unwrap_or_default();
+    let patched: Vec<String> = methods[0].insns.iter().map(ToString::to_string).collect();
+
+    vec![
+        ("Code 1: original sequence".to_owned(), original),
+        ("Code 2: outlined function".to_owned(), outlined),
+        ("Code 4: replaced and patched".to_owned(), patched),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_workloads::AppSpec;
+
+    fn tiny_app() -> App {
+        generate(&AppSpec::small("tiny", 3))
+    }
+
+    #[test]
+    fn table4_shapes_hold_on_a_small_app() {
+        let apps = vec![tiny_app()];
+        let cols = table4(&apps);
+        let col = &cols[0];
+        // CTO strictly shrinks; LTBO shrinks further; PlOpti and HfOpti
+        // give back some of the reduction but never exceed baseline.
+        assert!(col.bytes[1] < col.bytes[0], "CTO shrinks");
+        assert!(col.bytes[2] < col.bytes[1], "LTBO shrinks more");
+        assert!(col.bytes[3] >= col.bytes[2], "PlOpti loses a little");
+        assert!(col.bytes[4] >= col.bytes[3], "HfOpti loses a little more");
+        assert!(col.bytes[4] < col.bytes[0], "net reduction stays positive");
+    }
+
+    #[test]
+    fn table1_estimate_exceeds_table4_achieved() {
+        let apps = vec![tiny_app()];
+        let est = table1(&apps)[0].estimated_ratio;
+        let col = &table4(&apps)[0];
+        assert!(est > col.ratio(2), "estimate {est} vs achieved {}", col.ratio(2));
+        assert!(est > 0.05);
+    }
+
+    #[test]
+    fn fig4_patterns_present_and_java_calls_dominate() {
+        let c = fig4(&tiny_app());
+        assert!(c.java_call > 0);
+        assert!(c.stack_check > 0);
+        assert!(c.runtime_call > 0);
+    }
+
+    #[test]
+    fn table7_degradation_is_small_and_hfopti_helps() {
+        let apps = vec![tiny_app()];
+        let col = &table7(&apps, 1)[0];
+        let pl = col.degradation(1);
+        let hf = col.degradation(2);
+        assert!(pl > -0.05, "outlined build should not be much faster: {pl}");
+        assert!(hf <= pl + 1e-9, "HfOpti must not worsen degradation: {hf} vs {pl}");
+    }
+
+    #[test]
+    fn table2_reproduces_the_paper_walkthrough() {
+        let listings = table2();
+        assert_eq!(listings.len(), 3);
+        let outlined = &listings[1].1;
+        assert_eq!(outlined.len(), 3, "ldr + cmp + br x30");
+        assert_eq!(outlined[2], "br x30");
+        let patched = &listings[2].1;
+        // cbz offset was patched from 0xc to 0x8.
+        assert!(patched[0].contains("0x8"), "patched cbz: {}", patched[0]);
+        assert!(patched[1].starts_with("bl"), "call to outlined fn: {}", patched[1]);
+    }
+}

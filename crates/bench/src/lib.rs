@@ -1,0 +1,12 @@
+//! # bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4) on the simulated substrate, plus shared
+//! helpers for the Criterion benchmarks. See `src/bin/experiments.rs`
+//! for the runnable harness and `EXPERIMENTS.md` for recorded outputs.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,135 @@
+//! Virtual-register home assignment and frame layout.
+//!
+//! A deliberately simple allocator in the spirit of ART's baseline
+//! compiler: the first eight virtual registers live in the callee-saved
+//! range `x20..x27`, the rest spill to frame slots. Determinism matters
+//! more than quality here — identical method shapes must produce
+//! identical machine code, which is precisely what makes whole-program
+//! outlining profitable.
+
+use calibro_dex::VReg;
+use calibro_isa::Reg;
+
+/// Where a virtual register lives during execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Home {
+    /// A callee-saved physical register.
+    Reg(Reg),
+    /// A frame slot at `[sp, #offset]` (byte offset).
+    Slot(u16),
+}
+
+/// First callee-saved register used for virtual-register homes.
+const FIRST_HOME_REG: u8 = 20;
+/// Number of register homes (`x20..=x27`).
+const NUM_HOME_REGS: u16 = 8;
+
+/// The frame plan for one method.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    homes: Vec<Home>,
+    /// Callee-saved registers that must be preserved in the prologue.
+    saved_regs: Vec<Reg>,
+    /// Total frame size in bytes (16-byte aligned, includes fp/lr pair).
+    frame_size: u16,
+}
+
+impl Frame {
+    /// Plans the frame for a method with `num_regs` virtual registers.
+    ///
+    /// Frame layout (offsets from `sp` after the prologue's pre-indexed
+    /// push):
+    ///
+    /// ```text
+    /// [sp, #0]            saved x29
+    /// [sp, #8]            saved x30
+    /// [sp, #16 + 8*i]     saved callee-saved home register i
+    /// [sp, #16 + 8*n + 8*j]  spill slot j
+    /// ```
+    #[must_use]
+    pub fn plan(num_regs: u16) -> Frame {
+        let reg_homes = num_regs.min(NUM_HOME_REGS);
+        let spills = num_regs - reg_homes;
+        let saved_regs: Vec<Reg> =
+            (0..reg_homes).map(|i| Reg::new(FIRST_HOME_REG + i as u8)).collect();
+        let spill_base = 16 + 8 * reg_homes;
+        let mut homes = Vec::with_capacity(num_regs as usize);
+        for v in 0..num_regs {
+            if v < reg_homes {
+                homes.push(Home::Reg(saved_regs[v as usize]));
+            } else {
+                homes.push(Home::Slot(spill_base + 8 * (v - reg_homes)));
+            }
+        }
+        let raw = 16 + 8 * reg_homes + 8 * spills;
+        let frame_size = (raw + 15) & !15;
+        Frame { homes, saved_regs, frame_size }
+    }
+
+    /// The home of a virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn home(&self, v: VReg) -> Home {
+        self.homes[v.index()]
+    }
+
+    /// Callee-saved registers to preserve, in save order.
+    #[must_use]
+    pub fn saved_regs(&self) -> &[Reg] {
+        &self.saved_regs
+    }
+
+    /// Byte offset of the save slot for `saved_regs()[i]`.
+    #[must_use]
+    pub fn save_slot(&self, i: usize) -> u16 {
+        16 + 8 * i as u16
+    }
+
+    /// Total frame size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u16 {
+        self.frame_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_methods_live_in_registers() {
+        let f = Frame::plan(4);
+        assert_eq!(f.home(VReg(0)), Home::Reg(Reg::X20));
+        assert_eq!(f.home(VReg(3)), Home::Reg(Reg::X23));
+        assert_eq!(f.saved_regs().len(), 4);
+        // 16 (fp/lr) + 32 (saves) = 48, already 16-aligned.
+        assert_eq!(f.size(), 48);
+    }
+
+    #[test]
+    fn large_methods_spill() {
+        let f = Frame::plan(11);
+        assert_eq!(f.home(VReg(7)), Home::Reg(Reg::X27));
+        assert_eq!(f.home(VReg(8)), Home::Slot(16 + 64));
+        assert_eq!(f.home(VReg(10)), Home::Slot(16 + 64 + 16));
+        // 16 + 64 + 24 = 104 -> 112 after alignment.
+        assert_eq!(f.size(), 112);
+    }
+
+    #[test]
+    fn frame_is_16_byte_aligned() {
+        for n in 0..20 {
+            assert_eq!(Frame::plan(n).size() % 16, 0, "num_regs = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_reg_method() {
+        let f = Frame::plan(0);
+        assert!(f.saved_regs().is_empty());
+        assert_eq!(f.size(), 16);
+    }
+}

@@ -1,0 +1,239 @@
+//! A fluent builder for method bodies with symbolic branch labels.
+
+use crate::ids::{ClassId, MethodId, VReg};
+use crate::insn::DexInsn;
+use crate::method::Method;
+
+/// A forward-referencing label used while building a method body.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DexLabel(usize);
+
+/// Builds a [`Method`] incrementally, resolving labels on `build`.
+///
+/// # Examples
+///
+/// ```
+/// use calibro_dex::{BinOp, Cmp, DexInsn, MethodBuilder, VReg};
+///
+/// // fn abs(v1) { if v1 >= 0 return v1; return 0 - v1 }
+/// let mut b = MethodBuilder::new("abs", 2, 1);
+/// let non_negative = b.label();
+/// b.push(DexInsn::Const { dst: VReg(0), value: 0 });
+/// b.if_z(Cmp::Ge, VReg(1), non_negative);
+/// b.push(DexInsn::Bin { op: BinOp::Sub, dst: VReg(0), a: VReg(0), b: VReg(1) });
+/// b.push(DexInsn::Return { src: VReg(0) });
+/// b.bind(non_negative);
+/// b.push(DexInsn::Return { src: VReg(1) });
+/// let method = b.build(calibro_dex::ClassId(0));
+/// assert_eq!(method.insns.len(), 5);
+/// ```
+#[derive(Debug)]
+pub struct MethodBuilder {
+    name: String,
+    num_regs: u16,
+    num_args: u16,
+    insns: Vec<DexInsn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, DexLabel)>,
+}
+
+impl MethodBuilder {
+    /// Starts a method with `num_regs` registers, the last `num_args` of
+    /// which receive the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_args > num_regs`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, num_regs: u16, num_args: u16) -> MethodBuilder {
+        assert!(num_args <= num_regs, "more arguments than registers");
+        MethodBuilder {
+            name: name.into(),
+            num_regs,
+            num_args,
+            insns: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh label.
+    pub fn label(&mut self) -> DexLabel {
+        self.labels.push(None);
+        DexLabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: DexLabel) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insns.len());
+    }
+
+    /// Appends an instruction. Branch instructions appended this way must
+    /// carry resolved numeric targets; prefer the labeled helpers.
+    pub fn push(&mut self, insn: DexInsn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Appends a two-register conditional branch to `label`.
+    pub fn if_cmp(&mut self, cmp: crate::insn::Cmp, a: VReg, b: VReg, label: DexLabel) -> &mut Self {
+        self.fixups.push((self.insns.len(), label));
+        self.insns.push(DexInsn::If { cmp, a, b, target: usize::MAX });
+        self
+    }
+
+    /// Appends a register-vs-zero conditional branch to `label`.
+    pub fn if_z(&mut self, cmp: crate::insn::Cmp, a: VReg, label: DexLabel) -> &mut Self {
+        self.fixups.push((self.insns.len(), label));
+        self.insns.push(DexInsn::IfZ { cmp, a, target: usize::MAX });
+        self
+    }
+
+    /// Appends an unconditional branch to `label`.
+    pub fn goto(&mut self, label: DexLabel) -> &mut Self {
+        self.fixups.push((self.insns.len(), label));
+        self.insns.push(DexInsn::Goto { target: usize::MAX });
+        self
+    }
+
+    /// Appends a switch whose arms branch to `labels`.
+    pub fn switch(&mut self, src: VReg, first_key: i32, labels: &[DexLabel]) -> &mut Self {
+        // Targets are patched individually; stash label ids in the target
+        // vector and translate on build.
+        let at = self.insns.len();
+        for (i, l) in labels.iter().enumerate() {
+            self.fixups.push((at | (i << 48) | (1 << 47), *l));
+        }
+        self.insns.push(DexInsn::Switch {
+            src,
+            first_key,
+            targets: vec![usize::MAX; labels.len()],
+        });
+        self
+    }
+
+    /// Current instruction count (useful for assertions in tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` if no instruction has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Resolves labels and produces the method. The method id is assigned
+    /// by [`DexFile::add_method`](crate::DexFile::add_method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn build(mut self, class: ClassId) -> Method {
+        for &(key, label) in &self.fixups {
+            let target = self.labels[label.0].expect("unbound label in method body");
+            if key & (1 << 47) != 0 {
+                let at = key & ((1 << 47) - 1);
+                let arm = key >> 48;
+                match &mut self.insns[at] {
+                    DexInsn::Switch { targets, .. } => targets[arm] = target,
+                    other => panic!("switch fixup hit {other:?}"),
+                }
+            } else {
+                match &mut self.insns[key] {
+                    DexInsn::If { target: t, .. }
+                    | DexInsn::IfZ { target: t, .. }
+                    | DexInsn::Goto { target: t } => *t = target,
+                    other => panic!("branch fixup hit {other:?}"),
+                }
+            }
+        }
+        Method {
+            id: MethodId(u32::MAX),
+            class,
+            name: self.name,
+            num_regs: self.num_regs,
+            num_args: self.num_args,
+            insns: self.insns,
+            is_native: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Cmp;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = MethodBuilder::new("loop", 3, 1);
+        let top = b.label();
+        let out = b.label();
+        b.push(DexInsn::Const { dst: VReg(0), value: 0 });
+        b.bind(top);
+        b.if_z(Cmp::Le, VReg(2), out);
+        b.push(DexInsn::BinLit {
+            op: crate::insn::BinOp::Add,
+            dst: VReg(0),
+            a: VReg(0),
+            lit: 1,
+        });
+        b.push(DexInsn::BinLit {
+            op: crate::insn::BinOp::Add,
+            dst: VReg(2),
+            a: VReg(2),
+            lit: -1,
+        });
+        b.goto(top);
+        b.bind(out);
+        b.push(DexInsn::Return { src: VReg(0) });
+        let m = b.build(ClassId(0));
+        assert_eq!(m.insns[1], DexInsn::IfZ { cmp: Cmp::Le, a: VReg(2), target: 5 });
+        assert_eq!(m.insns[4], DexInsn::Goto { target: 1 });
+    }
+
+    #[test]
+    fn switch_arms_resolve() {
+        let mut b = MethodBuilder::new("sw", 2, 1);
+        let a0 = b.label();
+        let a1 = b.label();
+        let end = b.label();
+        b.switch(VReg(1), 0, &[a0, a1]);
+        b.bind(a0);
+        b.push(DexInsn::Const { dst: VReg(0), value: 10 });
+        b.goto(end);
+        b.bind(a1);
+        b.push(DexInsn::Const { dst: VReg(0), value: 20 });
+        b.bind(end);
+        b.push(DexInsn::Return { src: VReg(0) });
+        let m = b.build(ClassId(0));
+        assert_eq!(
+            m.insns[0],
+            DexInsn::Switch { src: VReg(1), first_key: 0, targets: vec![1, 3] }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = MethodBuilder::new("bad", 1, 0);
+        let l = b.label();
+        b.goto(l);
+        let _ = b.build(ClassId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more arguments than registers")]
+    fn arg_overflow_panics() {
+        let _ = MethodBuilder::new("bad", 1, 2);
+    }
+}

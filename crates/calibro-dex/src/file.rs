@@ -1,0 +1,147 @@
+//! The DEX-like container: the compilation unit `dex2oat` consumes.
+
+use crate::ids::{ClassId, MethodId};
+use crate::method::{Class, Method};
+
+/// A container of classes and methods — the analogue of one `.dex` file
+/// inside an APK.
+#[derive(Clone, Debug, Default)]
+pub struct DexFile {
+    classes: Vec<Class>,
+    methods: Vec<Method>,
+    /// Number of static field slots used by `SGet`/`SPut`.
+    num_statics: u32,
+}
+
+impl DexFile {
+    /// Creates an empty container.
+    #[must_use]
+    pub fn new() -> DexFile {
+        DexFile::default()
+    }
+
+    /// Adds a class and returns its id.
+    pub fn add_class(&mut self, name: impl Into<String>, num_fields: u32) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class { id, name: name.into(), num_fields, methods: Vec::new() });
+        id
+    }
+
+    /// Adds a method and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `method.class` does not exist or if the embedded
+    /// `method.id` does not match its table position.
+    pub fn add_method(&mut self, mut method: Method) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        method.id = id;
+        let class = method.class;
+        self.classes
+            .get_mut(class.index())
+            .unwrap_or_else(|| panic!("method references missing class {class}"))
+            .methods
+            .push(id);
+        self.methods.push(method);
+        id
+    }
+
+    /// Reserves static field slots and returns the base slot index.
+    pub fn reserve_statics(&mut self, count: u32) -> u32 {
+        let base = self.num_statics;
+        self.num_statics += count;
+        base
+    }
+
+    /// Number of static slots in use.
+    #[must_use]
+    pub fn num_statics(&self) -> u32 {
+        self.num_statics
+    }
+
+    /// Looks up a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.index()]
+    }
+
+    /// Looks up a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.index()]
+    }
+
+    /// All methods in id order.
+    #[must_use]
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    /// All classes in id order.
+    #[must_use]
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// Total bytecode instruction count across all methods.
+    #[must_use]
+    pub fn total_insns(&self) -> usize {
+        self.methods.iter().map(|m| m.insns.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::DexInsn;
+
+    #[test]
+    fn ids_are_stable_table_positions() {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("Main", 2);
+        let m = dex.add_method(Method {
+            id: MethodId(999), // overwritten on insert
+            class: c,
+            name: "run".into(),
+            num_regs: 1,
+            num_args: 0,
+            insns: vec![DexInsn::ReturnVoid],
+            is_native: false,
+        });
+        assert_eq!(m, MethodId(0));
+        assert_eq!(dex.method(m).id, m);
+        assert_eq!(dex.class(c).methods, vec![m]);
+        assert_eq!(dex.total_insns(), 1);
+    }
+
+    #[test]
+    fn statics_are_reserved_contiguously() {
+        let mut dex = DexFile::new();
+        assert_eq!(dex.reserve_statics(4), 0);
+        assert_eq!(dex.reserve_statics(2), 4);
+        assert_eq!(dex.num_statics(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing class")]
+    fn method_requires_class() {
+        let mut dex = DexFile::new();
+        dex.add_method(Method {
+            id: MethodId(0),
+            class: ClassId(3),
+            name: "x".into(),
+            num_regs: 0,
+            num_args: 0,
+            insns: vec![],
+            is_native: true,
+        });
+    }
+}

@@ -1,0 +1,102 @@
+//! Typed identifiers for the DEX-like container.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a method in the [`DexFile`](crate::DexFile) method table.
+    MethodId,
+    "m"
+);
+id_type!(
+    /// Index of a class in the [`DexFile`](crate::DexFile) class table.
+    ClassId,
+    "c"
+);
+id_type!(
+    /// Index of an instance field; the runtime lays fields out at
+    /// `8 * index` bytes past the object header.
+    FieldId,
+    "f"
+);
+id_type!(
+    /// Index of a static field slot in the global statics area.
+    StaticId,
+    "s"
+);
+
+/// A virtual register of the DEX register machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u16);
+
+impl VReg {
+    /// The raw register number.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(MethodId(3).to_string(), "m3");
+        assert_eq!(ClassId(0).to_string(), "c0");
+        assert_eq!(FieldId(7).to_string(), "f7");
+        assert_eq!(VReg(12).to_string(), "v12");
+    }
+
+    #[test]
+    fn id_roundtrip() {
+        let id = MethodId::from(9);
+        assert_eq!(id.index(), 9);
+    }
+}

@@ -1,0 +1,324 @@
+//! A bytecode verifier for the DEX-like container.
+//!
+//! Mirrors the subset of the Dalvik verifier the pipeline relies on:
+//! register bounds, branch-target validity, method/class/field reference
+//! validity, and termination (every path ends in a return or throw).
+
+use core::fmt;
+
+use crate::file::DexFile;
+use crate::ids::MethodId;
+use crate::insn::DexInsn;
+use crate::method::Method;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields name the offending method/insn
+pub enum VerifyError {
+    /// A register operand is out of the method's register range.
+    RegisterOutOfRange { method: MethodId, insn: usize, reg: u16, num_regs: u16 },
+    /// A branch target is not a valid instruction index.
+    BadBranchTarget { method: MethodId, insn: usize, target: usize },
+    /// A referenced method does not exist.
+    BadMethodRef { method: MethodId, insn: usize },
+    /// A referenced class does not exist.
+    BadClassRef { method: MethodId, insn: usize },
+    /// A referenced instance field is outside its class's field count.
+    BadFieldRef { method: MethodId, insn: usize },
+    /// A referenced static slot is outside the reserved statics area.
+    BadStaticRef { method: MethodId, insn: usize },
+    /// Execution can fall off the end of the method.
+    FallsOffEnd { method: MethodId },
+    /// A non-native method has no instructions.
+    EmptyBody { method: MethodId },
+    /// A native method carries bytecode.
+    NativeWithBody { method: MethodId },
+    /// A switch with no targets.
+    EmptySwitch { method: MethodId, insn: usize },
+    /// An invoke whose argument count exceeds the ABI limit (8).
+    TooManyArgs { method: MethodId, insn: usize, count: usize },
+    /// A callee is marked native but was called with `Invoke`, or vice
+    /// versa.
+    WrongInvokeKind { method: MethodId, insn: usize },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::RegisterOutOfRange { method, insn, reg, num_regs } => write!(
+                f,
+                "{method}@{insn}: register v{reg} out of range (method has {num_regs})"
+            ),
+            VerifyError::BadBranchTarget { method, insn, target } => {
+                write!(f, "{method}@{insn}: branch target {target} out of range")
+            }
+            VerifyError::BadMethodRef { method, insn } => {
+                write!(f, "{method}@{insn}: reference to missing method")
+            }
+            VerifyError::BadClassRef { method, insn } => {
+                write!(f, "{method}@{insn}: reference to missing class")
+            }
+            VerifyError::BadFieldRef { method, insn } => {
+                write!(f, "{method}@{insn}: field index outside class layout")
+            }
+            VerifyError::BadStaticRef { method, insn } => {
+                write!(f, "{method}@{insn}: static slot outside statics area")
+            }
+            VerifyError::FallsOffEnd { method } => {
+                write!(f, "{method}: control flow can fall off the end")
+            }
+            VerifyError::EmptyBody { method } => write!(f, "{method}: non-native method is empty"),
+            VerifyError::NativeWithBody { method } => {
+                write!(f, "{method}: native method has bytecode")
+            }
+            VerifyError::EmptySwitch { method, insn } => {
+                write!(f, "{method}@{insn}: switch with no targets")
+            }
+            VerifyError::TooManyArgs { method, insn, count } => {
+                write!(f, "{method}@{insn}: {count} arguments exceed the ABI limit of 8")
+            }
+            VerifyError::WrongInvokeKind { method, insn } => {
+                write!(f, "{method}@{insn}: invoke kind does not match callee nativeness")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every method of `dex`.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered, in method order.
+pub fn verify(dex: &DexFile) -> Result<(), VerifyError> {
+    for method in dex.methods() {
+        verify_method(dex, method)?;
+    }
+    Ok(())
+}
+
+fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
+    let id = method.id;
+    if method.is_native {
+        if !method.insns.is_empty() {
+            return Err(VerifyError::NativeWithBody { method: id });
+        }
+        return Ok(());
+    }
+    if method.insns.is_empty() {
+        return Err(VerifyError::EmptyBody { method: id });
+    }
+    let n = method.insns.len();
+    for (idx, insn) in method.insns.iter().enumerate() {
+        // Register bounds.
+        let mut regs = insn.reads();
+        regs.extend(insn.writes());
+        for reg in regs {
+            if reg.0 >= method.num_regs {
+                return Err(VerifyError::RegisterOutOfRange {
+                    method: id,
+                    insn: idx,
+                    reg: reg.0,
+                    num_regs: method.num_regs,
+                });
+            }
+        }
+        // Branch targets.
+        for target in insn.branch_targets() {
+            if target >= n {
+                return Err(VerifyError::BadBranchTarget { method: id, insn: idx, target });
+            }
+        }
+        // References.
+        match insn {
+            DexInsn::Invoke { method: callee, args, .. } => {
+                if callee.index() >= dex.methods().len() {
+                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
+                }
+                if args.len() > 8 {
+                    return Err(VerifyError::TooManyArgs { method: id, insn: idx, count: args.len() });
+                }
+                if dex.method(*callee).is_native {
+                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
+                }
+            }
+            DexInsn::InvokeNative { method: callee, args, .. } => {
+                if callee.index() >= dex.methods().len() {
+                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
+                }
+                if args.len() > 8 {
+                    return Err(VerifyError::TooManyArgs { method: id, insn: idx, count: args.len() });
+                }
+                if !dex.method(*callee).is_native {
+                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
+                }
+            }
+            DexInsn::NewInstance { class, .. } => {
+                if class.index() >= dex.classes().len() {
+                    return Err(VerifyError::BadClassRef { method: id, insn: idx });
+                }
+            }
+            DexInsn::IGet { field, .. } | DexInsn::IPut { field, .. } => {
+                // Fields are class-relative; without static type info we
+                // bound-check against the largest class layout.
+                let max_fields =
+                    dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0);
+                if field.0 >= max_fields {
+                    return Err(VerifyError::BadFieldRef { method: id, insn: idx });
+                }
+            }
+            DexInsn::SGet { slot, .. } | DexInsn::SPut { slot, .. } => {
+                if slot.0 >= dex.num_statics() {
+                    return Err(VerifyError::BadStaticRef { method: id, insn: idx });
+                }
+            }
+            DexInsn::Switch { targets, .. } => {
+                if targets.is_empty() {
+                    return Err(VerifyError::EmptySwitch { method: id, insn: idx });
+                }
+            }
+            _ => {}
+        }
+    }
+    // The last instruction must not fall through.
+    if !method.insns[n - 1].is_unconditional_exit() {
+        return Err(VerifyError::FallsOffEnd { method: id });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClassId, StaticId, VReg};
+    use crate::insn::{BinOp, InvokeKind};
+
+    fn dex_with(insns: Vec<DexInsn>) -> DexFile {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("Main", 4);
+        dex.reserve_statics(2);
+        dex.add_method(Method {
+            id: MethodId(0),
+            class: c,
+            name: "m".into(),
+            num_regs: 4,
+            num_args: 1,
+            insns,
+            is_native: false,
+        });
+        dex
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let dex = dex_with(vec![
+            DexInsn::Const { dst: VReg(0), value: 5 },
+            DexInsn::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(0), b: VReg(3) },
+            DexInsn::Return { src: VReg(1) },
+        ]);
+        assert_eq!(verify(&dex), Ok(()));
+    }
+
+    #[test]
+    fn rejects_register_overflow() {
+        let dex = dex_with(vec![
+            DexInsn::Const { dst: VReg(9), value: 5 },
+            DexInsn::ReturnVoid,
+        ]);
+        assert!(matches!(
+            verify(&dex),
+            Err(VerifyError::RegisterOutOfRange { reg: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_branch() {
+        let dex = dex_with(vec![
+            DexInsn::Goto { target: 42 },
+        ]);
+        assert!(matches!(verify(&dex), Err(VerifyError::BadBranchTarget { target: 42, .. })));
+    }
+
+    #[test]
+    fn rejects_fallthrough_end() {
+        let dex = dex_with(vec![DexInsn::Const { dst: VReg(0), value: 1 }]);
+        assert!(matches!(verify(&dex), Err(VerifyError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_method_ref() {
+        let dex = dex_with(vec![
+            DexInsn::Invoke {
+                kind: InvokeKind::Static,
+                method: MethodId(77),
+                args: vec![],
+                dst: None,
+            },
+            DexInsn::ReturnVoid,
+        ]);
+        assert!(matches!(verify(&dex), Err(VerifyError::BadMethodRef { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_static_slot() {
+        let dex = dex_with(vec![
+            DexInsn::SGet { dst: VReg(0), slot: StaticId(5) },
+            DexInsn::ReturnVoid,
+        ]);
+        assert!(matches!(verify(&dex), Err(VerifyError::BadStaticRef { .. })));
+    }
+
+    #[test]
+    fn rejects_invoke_kind_mismatch() {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("Main", 0);
+        let native = dex.add_method(Method {
+            id: MethodId(0),
+            class: c,
+            name: "nat".into(),
+            num_regs: 0,
+            num_args: 0,
+            insns: vec![],
+            is_native: true,
+        });
+        dex.add_method(Method {
+            id: MethodId(0),
+            class: c,
+            name: "caller".into(),
+            num_regs: 1,
+            num_args: 0,
+            insns: vec![
+                DexInsn::Invoke { kind: InvokeKind::Static, method: native, args: vec![], dst: None },
+                DexInsn::ReturnVoid,
+            ],
+            is_native: false,
+        });
+        assert!(matches!(verify(&dex), Err(VerifyError::WrongInvokeKind { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_class_ref() {
+        let dex = dex_with(vec![
+            DexInsn::NewInstance { dst: VReg(0), class: ClassId(9) },
+            DexInsn::ReturnVoid,
+        ]);
+        assert!(matches!(verify(&dex), Err(VerifyError::BadClassRef { .. })));
+    }
+
+    #[test]
+    fn native_methods_must_be_empty() {
+        let mut dex = DexFile::new();
+        let c = dex.add_class("Main", 0);
+        dex.add_method(Method {
+            id: MethodId(0),
+            class: c,
+            name: "nat".into(),
+            num_regs: 1,
+            num_args: 0,
+            insns: vec![DexInsn::ReturnVoid],
+            is_native: true,
+        });
+        assert!(matches!(verify(&dex), Err(VerifyError::NativeWithBody { .. })));
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar semantics of the IR operations, plus a pure-fragment HGraph
+//! evaluator used for differential testing of optimization passes.
+
+use calibro_dex::{BinOp, Cmp};
+
+use crate::graph::{HGraph, HInsn, HTerminator};
+
+/// Evaluates a binary operation on `i32` with Java semantics: wrapping
+/// arithmetic, shift amounts masked to 5 bits. Returns `None` for
+/// division by zero (which throws at runtime).
+#[must_use]
+pub fn eval_binop(op: BinOp, a: i32, b: i32) -> Option<i32> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 31),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 31),
+    })
+}
+
+/// Evaluates a comparison with Java `int` semantics.
+#[must_use]
+pub fn eval_cmp(cmp: Cmp, a: i32, b: i32) -> bool {
+    match cmp {
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        Cmp::Lt => a < b,
+        Cmp::Ge => a >= b,
+        Cmp::Gt => a > b,
+        Cmp::Le => a <= b,
+    }
+}
+
+/// Outcome of evaluating a pure HGraph fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvalOutcome {
+    /// The graph returned (with an optional value).
+    Returned(Option<i32>),
+    /// The graph threw (division by zero or explicit throw).
+    Threw(i32),
+    /// The step budget ran out (assumed-looping graph).
+    OutOfSteps,
+}
+
+/// An instruction outside the pure fragment was encountered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NotPure;
+
+impl core::fmt::Display for NotPure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("graph contains memory or call instructions")
+    }
+}
+
+impl std::error::Error for NotPure {}
+
+/// Interprets a call-free, memory-free HGraph: constants, moves, binary
+/// ops and control flow only. Used as the semantic oracle in pass tests.
+///
+/// # Errors
+///
+/// Returns [`NotPure`] when the graph contains field accesses,
+/// allocations, or calls.
+pub fn eval_pure(graph: &HGraph, args: &[i32], max_steps: usize) -> Result<EvalOutcome, NotPure> {
+    assert_eq!(args.len(), graph.num_args as usize, "argument count mismatch");
+    let mut regs = vec![0i32; graph.num_regs as usize];
+    let first_arg = (graph.num_regs - graph.num_args) as usize;
+    regs[first_arg..].copy_from_slice(args);
+
+    let mut block = graph.entry();
+    let mut steps = 0usize;
+    loop {
+        let b = &graph.blocks[block.index()];
+        for insn in &b.insns {
+            steps += 1;
+            if steps > max_steps {
+                return Ok(EvalOutcome::OutOfSteps);
+            }
+            match insn {
+                HInsn::Const { dst, value } => regs[dst.index()] = *value,
+                HInsn::Move { dst, src } => regs[dst.index()] = regs[src.index()],
+                HInsn::Bin { op, dst, a, b } => {
+                    match eval_binop(*op, regs[a.index()], regs[b.index()]) {
+                        Some(v) => regs[dst.index()] = v,
+                        None => return Ok(EvalOutcome::Threw(0)),
+                    }
+                }
+                HInsn::BinLit { op, dst, a, lit } => {
+                    match eval_binop(*op, regs[a.index()], i32::from(*lit)) {
+                        Some(v) => regs[dst.index()] = v,
+                        None => return Ok(EvalOutcome::Threw(0)),
+                    }
+                }
+                _ => return Err(NotPure),
+            }
+        }
+        steps += 1;
+        if steps > max_steps {
+            return Ok(EvalOutcome::OutOfSteps);
+        }
+        block = match &b.terminator {
+            HTerminator::Goto { target } => *target,
+            HTerminator::If { cmp, a, b: rb, then_bb, else_bb } => {
+                if eval_cmp(*cmp, regs[a.index()], regs[rb.index()]) {
+                    *then_bb
+                } else {
+                    *else_bb
+                }
+            }
+            HTerminator::IfZ { cmp, a, then_bb, else_bb } => {
+                if eval_cmp(*cmp, regs[a.index()], 0) {
+                    *then_bb
+                } else {
+                    *else_bb
+                }
+            }
+            HTerminator::Switch { src, first_key, targets, default } => {
+                let idx = i64::from(regs[src.index()]) - i64::from(*first_key);
+                if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                }
+            }
+            HTerminator::Return { src } => {
+                return Ok(EvalOutcome::Returned(src.map(|r| regs[r.index()])));
+            }
+            HTerminator::Throw { src } => return Ok(EvalOutcome::Threw(regs[src.index()])),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{BlockId, HBlock};
+    use calibro_dex::{MethodId, VReg};
+
+    #[test]
+    fn binop_java_semantics() {
+        assert_eq!(eval_binop(BinOp::Add, i32::MAX, 1), Some(i32::MIN));
+        assert_eq!(eval_binop(BinOp::Div, 7, 2), Some(3));
+        assert_eq!(eval_binop(BinOp::Div, -7, 2), Some(-3));
+        assert_eq!(eval_binop(BinOp::Div, 1, 0), None);
+        assert_eq!(eval_binop(BinOp::Div, i32::MIN, -1), Some(i32::MIN));
+        assert_eq!(eval_binop(BinOp::Shl, 1, 33), Some(2), "shift masked to 5 bits");
+        assert_eq!(eval_binop(BinOp::Shr, -8, 1), Some(-4), "arithmetic shift");
+    }
+
+    #[test]
+    fn cmp_semantics() {
+        assert!(eval_cmp(Cmp::Lt, -1, 0));
+        assert!(eval_cmp(Cmp::Ge, 0, 0));
+        assert!(!eval_cmp(Cmp::Gt, 0, 0));
+    }
+
+    #[test]
+    fn countdown_loop_evaluates() {
+        // v0 = 0; while (v1 > 0) { v0 += v1; v1 -= 1 } return v0
+        let g = HGraph {
+            method: MethodId(0),
+            num_regs: 2,
+            num_args: 1,
+            blocks: vec![
+                HBlock {
+                    id: BlockId(0),
+                    insns: vec![HInsn::Const { dst: VReg(0), value: 0 }],
+                    terminator: HTerminator::Goto { target: BlockId(1) },
+                },
+                HBlock {
+                    id: BlockId(1),
+                    insns: vec![],
+                    terminator: HTerminator::IfZ {
+                        cmp: Cmp::Le,
+                        a: VReg(1),
+                        then_bb: BlockId(3),
+                        else_bb: BlockId(2),
+                    },
+                },
+                HBlock {
+                    id: BlockId(2),
+                    insns: vec![
+                        HInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(0), b: VReg(1) },
+                        HInsn::BinLit { op: BinOp::Add, dst: VReg(1), a: VReg(1), lit: -1 },
+                    ],
+                    terminator: HTerminator::Goto { target: BlockId(1) },
+                },
+                HBlock {
+                    id: BlockId(3),
+                    insns: vec![],
+                    terminator: HTerminator::Return { src: Some(VReg(0)) },
+                },
+            ],
+        };
+        assert_eq!(eval_pure(&g, &[4], 1000), Ok(EvalOutcome::Returned(Some(10))));
+        assert_eq!(eval_pure(&g, &[0], 1000), Ok(EvalOutcome::Returned(Some(0))));
+    }
+
+    #[test]
+    fn division_by_zero_throws() {
+        let g = HGraph {
+            method: MethodId(0),
+            num_regs: 2,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![HInsn::Bin { op: BinOp::Div, dst: VReg(0), a: VReg(1), b: VReg(0) }],
+                terminator: HTerminator::Return { src: Some(VReg(0)) },
+            }],
+        };
+        assert_eq!(eval_pure(&g, &[5], 100), Ok(EvalOutcome::Threw(0)));
+    }
+
+    #[test]
+    fn impure_graphs_are_rejected() {
+        let g = HGraph {
+            method: MethodId(0),
+            num_regs: 1,
+            num_args: 0,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![HInsn::NewInstance { dst: VReg(0), class: calibro_dex::ClassId(0) }],
+                terminator: HTerminator::Return { src: None },
+            }],
+        };
+        assert_eq!(eval_pure(&g, &[], 100), Err(NotPure));
+    }
+}

@@ -1,0 +1,162 @@
+//! Local copy propagation: within a block, uses of a copied register are
+//! redirected to the copy source while the copy relation holds.
+
+use std::collections::HashMap;
+
+use calibro_dex::VReg;
+
+use crate::graph::{HGraph, HInsn, HTerminator};
+
+/// Runs the pass; returns the number of operand replacements.
+pub fn run(graph: &mut HGraph) -> usize {
+    let mut changes = 0;
+    for block in &mut graph.blocks {
+        // copy_of[r] = s  means  r currently holds the same value as s.
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+        let resolve = |copy_of: &HashMap<VReg, VReg>, r: VReg| copy_of.get(&r).copied().unwrap_or(r);
+        let kill = |copy_of: &mut HashMap<VReg, VReg>, dst: VReg| {
+            copy_of.remove(&dst);
+            copy_of.retain(|_, src| *src != dst);
+        };
+
+        for insn in &mut block.insns {
+            // Rewrite reads first.
+            changes += rewrite_reads(insn, |r| resolve(&copy_of, r));
+            // Then update the relation for the write.
+            match insn {
+                HInsn::Move { dst, src } if dst != src => {
+                    let (d, s) = (*dst, *src);
+                    kill(&mut copy_of, d);
+                    copy_of.insert(d, s);
+                }
+                _ => {
+                    if let Some(dst) = insn.writes() {
+                        kill(&mut copy_of, dst);
+                    }
+                }
+            }
+        }
+        changes += rewrite_terminator_reads(&mut block.terminator, |r| resolve(&copy_of, r));
+    }
+    changes
+}
+
+fn rewrite_reads(insn: &mut HInsn, resolve: impl Fn(VReg) -> VReg) -> usize {
+    let mut n = 0;
+    let mut fix = |r: &mut VReg| {
+        let to = resolve(*r);
+        if to != *r {
+            *r = to;
+            n += 1;
+        }
+    };
+    match insn {
+        HInsn::Move { src, .. } => fix(src),
+        HInsn::Bin { a, b, .. } => {
+            fix(a);
+            fix(b);
+        }
+        HInsn::BinLit { a, .. } => fix(a),
+        HInsn::IGet { obj, .. } => fix(obj),
+        HInsn::IPut { src, obj, .. } => {
+            fix(src);
+            fix(obj);
+        }
+        HInsn::SPut { src, .. } => fix(src),
+        HInsn::Invoke { args, .. } | HInsn::InvokeNative { args, .. } => {
+            for a in args {
+                fix(a);
+            }
+        }
+        _ => {}
+    }
+    n
+}
+
+fn rewrite_terminator_reads(term: &mut HTerminator, resolve: impl Fn(VReg) -> VReg) -> usize {
+    let mut n = 0;
+    let mut fix = |r: &mut VReg| {
+        let to = resolve(*r);
+        if to != *r {
+            *r = to;
+            n += 1;
+        }
+    };
+    match term {
+        HTerminator::If { a, b, .. } => {
+            fix(a);
+            fix(b);
+        }
+        HTerminator::IfZ { a, .. } | HTerminator::Switch { src: a, .. } => fix(a),
+        HTerminator::Return { src: Some(a) } | HTerminator::Throw { src: a } => fix(a),
+        _ => {}
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{BlockId, HBlock};
+    use calibro_dex::{BinOp, MethodId};
+
+    #[test]
+    fn propagates_through_uses() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 3,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Move { dst: VReg(0), src: VReg(2) },
+                    HInsn::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(0), b: VReg(0) },
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        let changes = run(&mut g);
+        assert_eq!(changes, 2);
+        assert_eq!(
+            g.blocks[0].insns[1],
+            HInsn::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(2), b: VReg(2) }
+        );
+    }
+
+    #[test]
+    fn redefinition_kills_the_relation() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 3,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Move { dst: VReg(0), src: VReg(2) },
+                    HInsn::Const { dst: VReg(2), value: 9 }, // source overwritten
+                    HInsn::Bin { op: BinOp::Add, dst: VReg(1), a: VReg(0), b: VReg(0) },
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        let changes = run(&mut g);
+        assert_eq!(changes, 0, "copy must not survive source redefinition");
+    }
+
+    #[test]
+    fn terminator_reads_are_rewritten() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 2,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![HInsn::Move { dst: VReg(0), src: VReg(1) }],
+                terminator: HTerminator::Return { src: Some(VReg(0)) },
+            }],
+        };
+        let changes = run(&mut g);
+        assert_eq!(changes, 1);
+        assert_eq!(g.blocks[0].terminator, HTerminator::Return { src: Some(VReg(1)) });
+    }
+}

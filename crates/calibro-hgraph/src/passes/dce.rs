@@ -1,0 +1,233 @@
+//! Global dead-code elimination via backward liveness dataflow, plus
+//! unreachable-block elimination — dex2oat's "dead code and unreachable
+//! code elimination".
+
+use std::collections::HashSet;
+
+use calibro_dex::VReg;
+
+use crate::graph::{BlockId, HGraph, HTerminator};
+
+/// Removes pure instructions whose results are never used. Returns the
+/// number of removed instructions.
+pub fn run(graph: &mut HGraph) -> usize {
+    let preds = graph.predecessors();
+    let n = graph.blocks.len();
+
+    // live_out[b]: registers live when leaving block b. Fixpoint.
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let live_in = live_in_of(graph, bi, &live_out[bi]);
+            for &p in &preds[bi] {
+                for r in &live_in {
+                    if live_out[p.index()].insert(*r) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Sweep each block backwards, dropping dead pure instructions.
+    let mut removed = 0;
+    for bi in 0..n {
+        let mut live = live_out[bi].clone();
+        for r in graph.blocks[bi].terminator.reads() {
+            live.insert(r);
+        }
+        let insns = std::mem::take(&mut graph.blocks[bi].insns);
+        let mut kept = Vec::with_capacity(insns.len());
+        for insn in insns.into_iter().rev() {
+            let dead = match insn.writes() {
+                Some(dst) => insn.is_pure() && !live.contains(&dst),
+                None => false,
+            };
+            if dead {
+                removed += 1;
+                continue;
+            }
+            if let Some(dst) = insn.writes() {
+                live.remove(&dst);
+            }
+            for r in insn.reads() {
+                live.insert(r);
+            }
+            kept.push(insn);
+        }
+        kept.reverse();
+        graph.blocks[bi].insns = kept;
+    }
+    removed
+}
+
+/// Computes live-in of block `bi` given its live-out set.
+fn live_in_of(graph: &HGraph, bi: usize, live_out: &HashSet<VReg>) -> HashSet<VReg> {
+    let block = &graph.blocks[bi];
+    let mut live = live_out.clone();
+    for r in block.terminator.reads() {
+        live.insert(r);
+    }
+    for insn in block.insns.iter().rev() {
+        if let Some(dst) = insn.writes() {
+            live.remove(&dst);
+        }
+        for r in insn.reads() {
+            live.insert(r);
+        }
+    }
+    live
+}
+
+/// Removes blocks unreachable from the entry and renumbers the rest.
+/// Returns the number of removed blocks.
+pub fn remove_unreachable(graph: &mut HGraph) -> usize {
+    let reachable: HashSet<BlockId> = graph.reachable().into_iter().collect();
+    if reachable.len() == graph.blocks.len() {
+        return 0;
+    }
+    // Build the renumbering map.
+    let mut remap = vec![None; graph.blocks.len()];
+    let mut next = 0u32;
+    for (i, block) in graph.blocks.iter().enumerate() {
+        if reachable.contains(&block.id) {
+            remap[i] = Some(BlockId(next));
+            next += 1;
+        }
+    }
+    let removed = graph.blocks.len() - next as usize;
+    let fix = |b: &mut BlockId| {
+        *b = remap[b.index()].expect("edge from a reachable block into a removed block");
+    };
+    graph.blocks.retain(|b| reachable.contains(&b.id));
+    for block in &mut graph.blocks {
+        fix(&mut block.id);
+        match &mut block.terminator {
+            HTerminator::Goto { target } => fix(target),
+            HTerminator::If { then_bb, else_bb, .. } | HTerminator::IfZ { then_bb, else_bb, .. } => {
+                fix(then_bb);
+                fix(else_bb);
+            }
+            HTerminator::Switch { targets, default, .. } => {
+                for t in targets {
+                    fix(t);
+                }
+                fix(default);
+            }
+            _ => {}
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{HBlock, HInsn};
+    use calibro_dex::{BinOp, Cmp, MethodId};
+
+    #[test]
+    fn removes_dead_pure_code() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 3,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Const { dst: VReg(0), value: 1 }, // dead
+                    HInsn::Const { dst: VReg(1), value: 2 }, // live (returned)
+                    HInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(1), b: VReg(2) }, // dead
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        assert_eq!(run(&mut g), 2);
+        assert_eq!(g.blocks[0].insns.len(), 1);
+    }
+
+    #[test]
+    fn keeps_impure_dead_writes() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 2,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    // Result unused, but division can throw: must stay.
+                    HInsn::Bin { op: BinOp::Div, dst: VReg(0), a: VReg(1), b: VReg(1) },
+                ],
+                terminator: HTerminator::Return { src: None },
+            }],
+        };
+        assert_eq!(run(&mut g), 0);
+        assert_eq!(g.blocks[0].insns.len(), 1);
+    }
+
+    #[test]
+    fn liveness_crosses_blocks_and_loops() {
+        // v0 set in entry, used after the loop: must survive even though
+        // the loop body doesn't mention it.
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 2,
+            num_args: 1,
+            blocks: vec![
+                HBlock {
+                    id: BlockId(0),
+                    insns: vec![HInsn::Const { dst: VReg(0), value: 42 }],
+                    terminator: HTerminator::Goto { target: BlockId(1) },
+                },
+                HBlock {
+                    id: BlockId(1),
+                    insns: vec![HInsn::BinLit { op: BinOp::Add, dst: VReg(1), a: VReg(1), lit: -1 }],
+                    terminator: HTerminator::IfZ {
+                        cmp: Cmp::Gt,
+                        a: VReg(1),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                HBlock {
+                    id: BlockId(2),
+                    insns: vec![],
+                    terminator: HTerminator::Return { src: Some(VReg(0)) },
+                },
+            ],
+        };
+        assert_eq!(run(&mut g), 0);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dropped_and_renumbered() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 1,
+            num_args: 0,
+            blocks: vec![
+                HBlock {
+                    id: BlockId(0),
+                    insns: vec![],
+                    terminator: HTerminator::Goto { target: BlockId(2) },
+                },
+                HBlock {
+                    id: BlockId(1), // unreachable
+                    insns: vec![HInsn::Const { dst: VReg(0), value: 9 }],
+                    terminator: HTerminator::Return { src: None },
+                },
+                HBlock {
+                    id: BlockId(2),
+                    insns: vec![],
+                    terminator: HTerminator::Return { src: None },
+                },
+            ],
+        };
+        assert_eq!(remove_unreachable(&mut g), 1);
+        assert_eq!(g.blocks.len(), 2);
+        assert_eq!(g.blocks[0].terminator, HTerminator::Goto { target: BlockId(1) });
+        assert_eq!(g.blocks[1].id, BlockId(1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Differential property tests: the optimization pipeline must preserve
+//! the semantics of arbitrary (loop-free, pure) programs.
+
+use calibro_dex::{BinOp, ClassId, Cmp, DexInsn, Method, MethodId, VReg};
+use calibro_hgraph::{build_hgraph, check, eval_pure, run_pipeline, EvalOutcome};
+use proptest::prelude::*;
+
+const NUM_REGS: u16 = 6;
+const NUM_ARGS: u16 = 2;
+
+fn any_vreg() -> impl Strategy<Value = VReg> {
+    (0..NUM_REGS).prop_map(VReg)
+}
+
+fn any_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn any_cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Eq),
+        Just(Cmp::Ne),
+        Just(Cmp::Lt),
+        Just(Cmp::Ge),
+        Just(Cmp::Gt),
+        Just(Cmp::Le),
+    ]
+}
+
+/// One pure body instruction (no memory, no calls).
+fn body_insn() -> impl Strategy<Value = DexInsn> {
+    prop_oneof![
+        (any_vreg(), -100i32..100).prop_map(|(dst, value)| DexInsn::Const { dst, value }),
+        (any_vreg(), any_vreg()).prop_map(|(dst, src)| DexInsn::Move { dst, src }),
+        (any_binop(), any_vreg(), any_vreg(), any_vreg())
+            .prop_map(|(op, dst, a, b)| DexInsn::Bin { op, dst, a, b }),
+        (any_binop(), any_vreg(), any_vreg(), -16i16..16)
+            .prop_map(|(op, dst, a, lit)| DexInsn::BinLit { op, dst, a, lit }),
+    ]
+}
+
+/// A loop-free program: instructions at index `i` may branch only to
+/// strictly later indices, and the program ends with a return.
+fn loop_free_program() -> impl Strategy<Value = Vec<DexInsn>> {
+    (2usize..24)
+        .prop_flat_map(|len| {
+            (
+                prop::collection::vec(body_insn(), len),
+                prop::collection::vec((any_cmp(), any_vreg(), 1usize..8), len),
+                prop::collection::vec(any::<bool>(), len),
+                any_vreg(),
+            )
+        })
+        .prop_map(|(body, branches, use_branch, ret)| {
+            let len = body.len();
+            let mut insns = Vec::with_capacity(len + 1);
+            for (i, insn) in body.into_iter().enumerate() {
+                if use_branch[i] && i + branches[i].2 < len {
+                    let (cmp, a, skip) = branches[i];
+                    insns.push(DexInsn::IfZ { cmp, a, target: i + skip });
+                } else {
+                    insns.push(insn);
+                }
+            }
+            insns.push(DexInsn::Return { src: ret });
+            insns
+        })
+}
+
+fn method_of(insns: Vec<DexInsn>) -> Method {
+    Method {
+        id: MethodId(0),
+        class: ClassId(0),
+        name: "prop".into(),
+        num_regs: NUM_REGS,
+        num_args: NUM_ARGS,
+        insns,
+        is_native: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Optimizations preserve outcomes (returned value or thrown).
+    #[test]
+    fn pipeline_preserves_semantics(
+        insns in loop_free_program(),
+        a0 in -50i32..50,
+        a1 in -50i32..50,
+    ) {
+        let method = method_of(insns);
+        let reference = build_hgraph(&method);
+        let mut optimized = reference.clone();
+        run_pipeline(&mut optimized);
+        check(&optimized).expect("pipeline broke graph invariants");
+
+        let args = [a0, a1];
+        let before = eval_pure(&reference, &args, 10_000).expect("pure program");
+        let after = eval_pure(&optimized, &args, 10_000).expect("pure program");
+        prop_assert_eq!(before, after);
+        prop_assert_ne!(before, EvalOutcome::OutOfSteps, "loop-free programs terminate");
+    }
+
+    /// The pipeline never grows the instruction count.
+    #[test]
+    fn pipeline_never_grows_code(insns in loop_free_program()) {
+        let method = method_of(insns);
+        let mut graph = build_hgraph(&method);
+        let before = graph.insn_count();
+        run_pipeline(&mut graph);
+        prop_assert!(graph.insn_count() <= before);
+    }
+}

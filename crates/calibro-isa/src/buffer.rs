@@ -1,0 +1,221 @@
+//! A small method-local assembler: emit instructions, bind labels, and let
+//! branch offsets be fixed up when the buffer is finished.
+//!
+//! Cross-method references (calls to other methods, runtime thunks, or
+//! outlined functions) are *not* resolved here — they are recorded as
+//! symbolic relocations by the code generator and bound by the linker,
+//! mirroring the split the paper relies on in §3.2 ("the later linking
+//! phase ... will bind function labels to addresses").
+
+use core::fmt;
+
+use crate::encode::EncodeError;
+use crate::insn::Insn;
+
+/// A method-local label created by [`Asm::new_label`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// An error produced while finishing an [`Asm`] buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never bound.
+    UnboundLabel(Label),
+    /// A fixed-up branch no longer fits its encoding.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            AsmError::Encode(e) => write!(f, "fixup produced unencodable branch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+/// An append-only instruction buffer with label fixups.
+///
+/// # Examples
+///
+/// ```
+/// use calibro_isa::{Asm, Insn, Reg};
+///
+/// # fn main() -> Result<(), calibro_isa::AsmError> {
+/// let mut asm = Asm::new();
+/// let done = asm.new_label();
+/// asm.emit_branch(Insn::Cbz { wide: false, rt: Reg::X0, offset: 0 }, done);
+/// asm.emit(Insn::AddImm {
+///     wide: false, set_flags: false,
+///     rd: Reg::X0, rn: Reg::X0, imm12: 1, shift12: false,
+/// });
+/// asm.bind(done);
+/// asm.emit(Insn::Ret { rn: Reg::LR });
+/// let code = asm.finish()?;
+/// assert_eq!(code[0].pc_rel_offset(), Some(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default, Debug)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Returns the current position as a word index (== number of emitted
+    /// instructions).
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns the current position as a byte offset.
+    #[must_use]
+    pub fn byte_offset(&self) -> u64 {
+        self.insns.len() as u64 * Insn::SIZE
+    }
+
+    /// Creates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label binds exactly once).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label {label:?} bound twice");
+        *slot = Some(self.insns.len());
+    }
+
+    /// Appends an instruction verbatim.
+    pub fn emit(&mut self, insn: Insn) {
+        self.insns.push(insn);
+    }
+
+    /// Appends a PC-relative instruction whose offset will be fixed up to
+    /// reach `target` when the buffer is finished. The offset stored in
+    /// `insn` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insn` is not PC-relative.
+    pub fn emit_branch(&mut self, insn: Insn, target: Label) {
+        assert!(insn.is_pc_relative(), "emit_branch requires a PC-relative instruction");
+        self.fixups.push((self.insns.len(), target));
+        self.insns.push(insn);
+    }
+
+    /// Resolves all fixups and returns the finished instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound, or [`AsmError::Encode`] if a resolved branch does not fit its
+    /// encoding.
+    pub fn finish(mut self) -> Result<Vec<Insn>, AsmError> {
+        for &(at, label) in &self.fixups {
+            let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label))?;
+            let offset = (target as i64 - at as i64) * Insn::SIZE as i64;
+            let patched = self.insns[at].with_pc_rel_offset(offset);
+            // Validate the encoding now so errors carry context.
+            patched.encode()?;
+            self.insns[at] = patched;
+        }
+        Ok(self.insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut asm = Asm::new();
+        let top = asm.new_label();
+        let out = asm.new_label();
+        asm.bind(top);
+        asm.emit_branch(Insn::Cbz { wide: true, rt: Reg::X0, offset: 0 }, out);
+        asm.emit(Insn::SubImm {
+            wide: true,
+            set_flags: false,
+            rd: Reg::X0,
+            rn: Reg::X0,
+            imm12: 1,
+            shift12: false,
+        });
+        asm.emit_branch(Insn::B { offset: 0 }, top);
+        asm.bind(out);
+        asm.emit(Insn::Ret { rn: Reg::LR });
+        let code = asm.finish().unwrap();
+        assert_eq!(code[0].pc_rel_offset(), Some(12));
+        assert_eq!(code[2].pc_rel_offset(), Some(-8));
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut asm = Asm::new();
+        let nowhere = asm.new_label();
+        asm.emit_branch(Insn::B { offset: 0 }, nowhere);
+        assert!(matches!(asm.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn label_to_self_is_zero_offset() {
+        let mut asm = Asm::new();
+        let here = asm.new_label();
+        asm.bind(here);
+        asm.emit_branch(Insn::B { offset: 4 }, here);
+        let code = asm.finish().unwrap();
+        assert_eq!(code[0], Insn::B { offset: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Asm::new();
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn conditional_chain() {
+        let mut asm = Asm::new();
+        let els = asm.new_label();
+        let end = asm.new_label();
+        asm.emit_branch(Insn::BCond { cond: Cond::Ne, offset: 0 }, els);
+        asm.emit(Insn::Movz { wide: false, rd: Reg::X0, imm16: 1, hw: 0 });
+        asm.emit_branch(Insn::B { offset: 0 }, end);
+        asm.bind(els);
+        asm.emit(Insn::Movz { wide: false, rd: Reg::X0, imm16: 2, hw: 0 });
+        asm.bind(end);
+        asm.emit(Insn::Ret { rn: Reg::LR });
+        let code = asm.finish().unwrap();
+        assert_eq!(code[0].pc_rel_offset(), Some(12));
+        assert_eq!(code[2].pc_rel_offset(), Some(8));
+    }
+}

@@ -1,0 +1,187 @@
+//! AArch64 condition codes.
+
+use core::fmt;
+
+/// A condition code for `b.cond` and conditional-select instructions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0,
+    /// Not equal (Z clear).
+    Ne = 1,
+    /// Carry set / unsigned higher or same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative (N set).
+    Mi = 4,
+    /// Plus / positive or zero (N clear).
+    Pl = 5,
+    /// Overflow (V set).
+    Vs = 6,
+    /// No overflow (V clear).
+    Vc = 7,
+    /// Unsigned higher (C set and Z clear).
+    Hi = 8,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls = 9,
+    /// Signed greater than or equal (N == V).
+    Ge = 10,
+    /// Signed less than (N != V).
+    Lt = 11,
+    /// Signed greater than (Z clear and N == V).
+    Gt = 12,
+    /// Signed less than or equal (Z set or N != V).
+    Le = 13,
+    /// Always.
+    Al = 14,
+    /// Always (second encoding, `nv`).
+    Nv = 15,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+        Cond::Nv,
+    ];
+
+    /// Returns the 4-bit hardware encoding.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes a 4-bit encoding (the value is masked to 4 bits).
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Cond {
+        Cond::ALL[(bits & 0xf) as usize]
+    }
+
+    /// Returns the logically inverted condition (e.g. `Eq` -> `Ne`).
+    ///
+    /// `Al` and `Nv` invert to each other, matching the architecture's
+    /// encoding-level inversion (bit 0 flip), although both behave as
+    /// "always" when executed.
+    #[must_use]
+    pub fn invert(self) -> Cond {
+        Cond::from_bits(self.bits() ^ 1)
+    }
+
+    /// Evaluates the condition against NZCV flags.
+    #[must_use]
+    pub fn holds(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !(c && !z),
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => !(!z && n == v),
+            Cond::Al | Cond::Nv => true,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "al",
+            Cond::Nv => "nv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), c);
+        }
+    }
+
+    #[test]
+    fn inversion_pairs() {
+        assert_eq!(Cond::Eq.invert(), Cond::Ne);
+        assert_eq!(Cond::Ge.invert(), Cond::Lt);
+        assert_eq!(Cond::Hi.invert(), Cond::Ls);
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn flag_semantics() {
+        // 3 - 3: Z=1, C=1 (no borrow)
+        assert!(Cond::Eq.holds(false, true, true, false));
+        assert!(Cond::Ls.holds(false, true, true, false));
+        assert!(!Cond::Hi.holds(false, true, true, false));
+        // 2 - 3: N=1, C=0 (borrow), V=0
+        assert!(Cond::Lt.holds(true, false, false, false));
+        assert!(Cond::Cc.holds(true, false, false, false));
+        assert!(!Cond::Ge.holds(true, false, false, false));
+        // always
+        assert!(Cond::Al.holds(false, false, false, false));
+        assert!(Cond::Nv.holds(false, false, false, false));
+    }
+
+    #[test]
+    fn complementary_conditions_partition() {
+        // For every flag state, exactly one of (cond, !cond) holds,
+        // except the always-true pair.
+        for bits in 0..16u32 {
+            let n = bits & 1 != 0;
+            let z = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            let v = bits & 8 != 0;
+            for cond in &Cond::ALL[..14] {
+                assert_ne!(
+                    cond.holds(n, z, c, v),
+                    cond.invert().holds(n, z, c, v),
+                    "cond {cond} at nzcv={bits:04b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Textual disassembly of the instruction subset.
+//!
+//! The output follows GNU `objdump` conventions closely enough to be read
+//! side by side with real OAT dumps, including alias selection (`mov`,
+//! `cmp`, `lsl`, `lsr`) where the canonical form would obscure intent.
+
+use core::fmt;
+
+use crate::insn::{Insn, PairMode};
+use crate::reg::reg_name;
+
+
+fn shex(v: i64) -> String {
+    if v < 0 {
+        format!("-{:#x}", v.unsigned_abs())
+    } else {
+        format!("+{v:#x}")
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::B { offset } => write!(f, "b #{}", shex(offset)),
+            Insn::Bl { offset } => write!(f, "bl #{}", shex(offset)),
+            Insn::BCond { cond, offset } => write!(f, "b.{cond} #{}", shex(offset)),
+            Insn::Cbz { wide, rt, offset } => {
+                write!(f, "cbz {}, #{}", reg_name(rt, wide, false), shex(offset))
+            }
+            Insn::Cbnz { wide, rt, offset } => {
+                write!(f, "cbnz {}, #{}", reg_name(rt, wide, false), shex(offset))
+            }
+            Insn::Tbz { rt, bit, offset } => {
+                write!(f, "tbz {}, #{bit}, #{}", reg_name(rt, bit >= 32, false), shex(offset))
+            }
+            Insn::Tbnz { rt, bit, offset } => {
+                write!(f, "tbnz {}, #{bit}, #{}", reg_name(rt, bit >= 32, false), shex(offset))
+            }
+            Insn::Adr { rd, offset } => write!(f, "adr {}, #{}", reg_name(rd, true, false), shex(offset)),
+            Insn::Adrp { rd, offset } => {
+                write!(f, "adrp {}, #{}", reg_name(rd, true, false), shex(offset))
+            }
+            Insn::LdrLit { wide, rt, offset } => {
+                write!(f, "ldr {}, #{}", reg_name(rt, wide, false), shex(offset))
+            }
+            Insn::Br { rn } => write!(f, "br {}", reg_name(rn, true, false)),
+            Insn::Blr { rn } => write!(f, "blr {}", reg_name(rn, true, false)),
+            Insn::Ret { rn } => write!(f, "ret {}", reg_name(rn, true, false)),
+            Insn::Movz { wide, rd, imm16, hw } => {
+                let rd = reg_name(rd, wide, false);
+                if hw == 0 {
+                    write!(f, "mov {rd}, #{imm16:#x}")
+                } else {
+                    write!(f, "movz {rd}, #{imm16:#x}, lsl #{}", u32::from(hw) * 16)
+                }
+            }
+            Insn::Movn { wide, rd, imm16, hw } => {
+                write!(
+                    f,
+                    "movn {}, #{imm16:#x}, lsl #{}",
+                    reg_name(rd, wide, false),
+                    u32::from(hw) * 16
+                )
+            }
+            Insn::Movk { wide, rd, imm16, hw } => {
+                write!(
+                    f,
+                    "movk {}, #{imm16:#x}, lsl #{}",
+                    reg_name(rd, wide, false),
+                    u32::from(hw) * 16
+                )
+            }
+            Insn::AddImm { wide, set_flags, rd, rn, imm12, shift12 }
+            | Insn::SubImm { wide, set_flags, rd, rn, imm12, shift12 } => {
+                let sub = matches!(self, Insn::SubImm { .. });
+                let imm = u64::from(imm12) << if shift12 { 12 } else { 0 };
+                let rn_s = reg_name(rn, wide, true);
+                if sub && set_flags && rd.is_reg31() {
+                    return write!(f, "cmp {rn_s}, #{imm:#x}");
+                }
+                let mnem = match (sub, set_flags) {
+                    (false, false) => "add",
+                    (false, true) => "adds",
+                    (true, false) => "sub",
+                    (true, true) => "subs",
+                };
+                write!(f, "{mnem} {}, {rn_s}, #{imm:#x}", reg_name(rd, wide, !set_flags))
+            }
+            Insn::AddReg { wide, set_flags, rd, rn, rm, shift }
+            | Insn::SubReg { wide, set_flags, rd, rn, rm, shift } => {
+                let sub = matches!(self, Insn::SubReg { .. });
+                let rn_s = reg_name(rn, wide, false);
+                let rm_s = reg_name(rm, wide, false);
+                if sub && set_flags && rd.is_reg31() && shift == 0 {
+                    return write!(f, "cmp {rn_s}, {rm_s}");
+                }
+                let mnem = match (sub, set_flags) {
+                    (false, false) => "add",
+                    (false, true) => "adds",
+                    (true, false) => "sub",
+                    (true, true) => "subs",
+                };
+                write!(f, "{mnem} {}, {rn_s}, {rm_s}", reg_name(rd, wide, false))?;
+                if shift != 0 {
+                    write!(f, ", lsl #{shift}")?;
+                }
+                Ok(())
+            }
+            Insn::AndReg { wide, set_flags, rd, rn, rm, shift } => {
+                let mnem = if set_flags { "ands" } else { "and" };
+                write_logical(f, mnem, wide, rd, rn, rm, shift)
+            }
+            Insn::OrrReg { wide, rd, rn, rm, shift } => {
+                if rn.is_reg31() && shift == 0 {
+                    return write!(
+                        f,
+                        "mov {}, {}",
+                        reg_name(rd, wide, false),
+                        reg_name(rm, wide, false)
+                    );
+                }
+                write_logical(f, "orr", wide, rd, rn, rm, shift)
+            }
+            Insn::EorReg { wide, rd, rn, rm, shift } => {
+                write_logical(f, "eor", wide, rd, rn, rm, shift)
+            }
+            Insn::Sdiv { wide, rd, rn, rm } => write!(
+                f,
+                "sdiv {}, {}, {}",
+                reg_name(rd, wide, false),
+                reg_name(rn, wide, false),
+                reg_name(rm, wide, false)
+            ),
+            Insn::Lslv { wide, rd, rn, rm } => write!(
+                f,
+                "lsl {}, {}, {}",
+                reg_name(rd, wide, false),
+                reg_name(rn, wide, false),
+                reg_name(rm, wide, false)
+            ),
+            Insn::Asrv { wide, rd, rn, rm } => write!(
+                f,
+                "asr {}, {}, {}",
+                reg_name(rd, wide, false),
+                reg_name(rn, wide, false),
+                reg_name(rm, wide, false)
+            ),
+            Insn::Madd { wide, rd, rn, rm, ra } => {
+                if ra.is_reg31() {
+                    return write!(
+                        f,
+                        "mul {}, {}, {}",
+                        reg_name(rd, wide, false),
+                        reg_name(rn, wide, false),
+                        reg_name(rm, wide, false)
+                    );
+                }
+                write!(
+                    f,
+                    "madd {}, {}, {}, {}",
+                    reg_name(rd, wide, false),
+                    reg_name(rn, wide, false),
+                    reg_name(rm, wide, false),
+                    reg_name(ra, wide, false)
+                )
+            }
+            Insn::Msub { wide, rd, rn, rm, ra } => write!(
+                f,
+                "msub {}, {}, {}, {}",
+                reg_name(rd, wide, false),
+                reg_name(rn, wide, false),
+                reg_name(rm, wide, false),
+                reg_name(ra, wide, false)
+            ),
+            Insn::Ubfm { wide, rd, rn, immr, imms } => {
+                let width = if wide { 64u8 } else { 32 };
+                let rd_s = reg_name(rd, wide, false);
+                let rn_s = reg_name(rn, wide, false);
+                if imms + 1 == immr && imms != width - 1 {
+                    write!(f, "lsl {rd_s}, {rn_s}, #{}", width - immr)
+                } else if imms == width - 1 {
+                    write!(f, "lsr {rd_s}, {rn_s}, #{immr}")
+                } else {
+                    write!(f, "ubfm {rd_s}, {rn_s}, #{immr}, #{imms}")
+                }
+            }
+            Insn::Sbfm { wide, rd, rn, immr, imms } => {
+                let width = if wide { 64u8 } else { 32 };
+                let rd_s = reg_name(rd, wide, false);
+                let rn_s = reg_name(rn, wide, false);
+                if imms == width - 1 {
+                    write!(f, "asr {rd_s}, {rn_s}, #{immr}")
+                } else {
+                    write!(f, "sbfm {rd_s}, {rn_s}, #{immr}, #{imms}")
+                }
+            }
+            Insn::LdrImm { wide, rt, rn, offset } => {
+                write_mem(f, "ldr", wide, rt, rn, offset)
+            }
+            Insn::StrImm { wide, rt, rn, offset } => {
+                write_mem(f, "str", wide, rt, rn, offset)
+            }
+            Insn::Stp { rt, rt2, rn, offset, mode } => {
+                write_pair(f, "stp", rt, rt2, rn, offset, mode)
+            }
+            Insn::Ldp { rt, rt2, rn, offset, mode } => {
+                write_pair(f, "ldp", rt, rt2, rn, offset, mode)
+            }
+            Insn::Nop => f.write_str("nop"),
+            Insn::Brk { imm } => write!(f, "brk #{imm:#x}"),
+            Insn::Svc { imm } => write!(f, "svc #{imm:#x}"),
+        }
+    }
+}
+
+fn write_logical(
+    f: &mut fmt::Formatter<'_>,
+    mnem: &str,
+    wide: bool,
+    rd: crate::reg::Reg,
+    rn: crate::reg::Reg,
+    rm: crate::reg::Reg,
+    shift: u8,
+) -> fmt::Result {
+    write!(
+        f,
+        "{mnem} {}, {}, {}",
+        reg_name(rd, wide, false),
+        reg_name(rn, wide, false),
+        reg_name(rm, wide, false)
+    )?;
+    if shift != 0 {
+        write!(f, ", lsl #{shift}")?;
+    }
+    Ok(())
+}
+
+fn write_mem(
+    f: &mut fmt::Formatter<'_>,
+    mnem: &str,
+    wide: bool,
+    rt: crate::reg::Reg,
+    rn: crate::reg::Reg,
+    offset: u16,
+) -> fmt::Result {
+    let rt_s = reg_name(rt, wide, false);
+    let rn_s = reg_name(rn, true, true);
+    if offset == 0 {
+        write!(f, "{mnem} {rt_s}, [{rn_s}]")
+    } else {
+        write!(f, "{mnem} {rt_s}, [{rn_s}, #{offset:#x}]")
+    }
+}
+
+fn write_pair(
+    f: &mut fmt::Formatter<'_>,
+    mnem: &str,
+    rt: crate::reg::Reg,
+    rt2: crate::reg::Reg,
+    rn: crate::reg::Reg,
+    offset: i16,
+    mode: PairMode,
+) -> fmt::Result {
+    let rt_s = reg_name(rt, true, false);
+    let rt2_s = reg_name(rt2, true, false);
+    let rn_s = reg_name(rn, true, true);
+    match mode {
+        PairMode::SignedOffset => write!(f, "{mnem} {rt_s}, {rt2_s}, [{rn_s}, #{offset}]"),
+        PairMode::PreIndex => write!(f, "{mnem} {rt_s}, {rt2_s}, [{rn_s}, #{offset}]!"),
+        PairMode::PostIndex => write!(f, "{mnem} {rt_s}, {rt2_s}, [{rn_s}], #{offset}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn paper_figure_4_patterns_render() {
+        // Figure 4a.
+        let java_call = [
+            Insn::LdrImm { wide: true, rt: Reg::LR, rn: Reg::X0, offset: 24 },
+            Insn::Blr { rn: Reg::LR },
+        ];
+        assert_eq!(java_call[0].to_string(), "ldr x30, [x0, #0x18]");
+        assert_eq!(java_call[1].to_string(), "blr x30");
+        // Figure 4b.
+        let native_call = Insn::LdrImm { wide: true, rt: Reg::LR, rn: Reg::X19, offset: 0x100 };
+        assert_eq!(native_call.to_string(), "ldr x30, [x19, #0x100]");
+        // Figure 4c.
+        let check = [
+            Insn::SubImm {
+                wide: true,
+                set_flags: false,
+                rd: Reg::X16,
+                rn: Reg::SP,
+                imm12: 2,
+                shift12: true,
+            },
+            Insn::LdrImm { wide: false, rt: Reg::ZR, rn: Reg::X16, offset: 0 },
+        ];
+        assert_eq!(check[0].to_string(), "sub x16, sp, #0x2000");
+        assert_eq!(check[1].to_string(), "ldr wzr, [x16]");
+    }
+
+    #[test]
+    fn aliases() {
+        let cmp = Insn::SubReg {
+            wide: false,
+            set_flags: true,
+            rd: Reg::ZR,
+            rn: Reg::X2,
+            rm: Reg::X1,
+            shift: 0,
+        };
+        assert_eq!(cmp.to_string(), "cmp w2, w1");
+        let mov = Insn::OrrReg { wide: true, rd: Reg::X3, rn: Reg::ZR, rm: Reg::X4, shift: 0 };
+        assert_eq!(mov.to_string(), "mov x3, x4");
+        let movz = Insn::Movz { wide: true, rd: Reg::X0, imm16: 7, hw: 0 };
+        assert_eq!(movz.to_string(), "mov x0, #0x7");
+        let mul = Insn::Madd { wide: false, rd: Reg::X0, rn: Reg::X1, rm: Reg::X2, ra: Reg::ZR };
+        assert_eq!(mul.to_string(), "mul w0, w1, w2");
+    }
+
+    #[test]
+    fn branches_render_with_signed_offsets() {
+        assert_eq!(Insn::B { offset: -8 }.to_string(), "b #-0x8");
+        assert_eq!(
+            Insn::BCond { cond: Cond::Ne, offset: 16 }.to_string(),
+            "b.ne #+0x10"
+        );
+        assert_eq!(
+            Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc }.to_string(),
+            "cbz w0, #+0xc"
+        );
+    }
+}

@@ -1,0 +1,431 @@
+//! The AArch64 instruction subset used by the Calibro pipeline.
+//!
+//! The subset covers everything ART's code generator needs for the
+//! workloads in this reproduction, and — crucially — **every PC-relative
+//! addressing form the paper's link-time patcher must handle** (§3.3.4):
+//! `b`, `bl`, `b.cond`, `cbz`, `cbnz`, `tbz`, `tbnz`, `adr`, `adrp` and the
+//! `ldr` literal form.
+//!
+//! All PC-relative offsets are stored as **byte offsets relative to the
+//! address of the instruction itself**, exactly as the architecture defines
+//! them, so `target = insn_address + offset` (for `adrp`,
+//! `target_page = align_down(insn_address, 4096) + offset`).
+
+use crate::cond::Cond;
+use crate::reg::Reg;
+
+/// Addressing mode for load/store pair instructions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PairMode {
+    /// `[xn, #imm]` — base register unchanged.
+    SignedOffset,
+    /// `[xn, #imm]!` — base updated before access.
+    PreIndex,
+    /// `[xn], #imm` — base updated after access.
+    PostIndex,
+}
+
+/// One decoded AArch64 instruction.
+///
+/// `wide == true` selects the 64-bit (`x`) register view, `false` the
+/// 32-bit (`w`) view, mirroring the `sf` bit in the encodings.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // variant fields mirror the architectural operand names
+pub enum Insn {
+    /// Unconditional PC-relative branch.
+    B { offset: i64 },
+    /// Branch with link (call); writes the return address to `x30`.
+    Bl { offset: i64 },
+    /// Conditional PC-relative branch.
+    BCond { cond: Cond, offset: i64 },
+    /// Compare and branch if zero.
+    Cbz { wide: bool, rt: Reg, offset: i64 },
+    /// Compare and branch if not zero.
+    Cbnz { wide: bool, rt: Reg, offset: i64 },
+    /// Test bit and branch if zero.
+    Tbz { rt: Reg, bit: u8, offset: i64 },
+    /// Test bit and branch if not zero.
+    Tbnz { rt: Reg, bit: u8, offset: i64 },
+    /// Form PC-relative address.
+    Adr { rd: Reg, offset: i64 },
+    /// Form PC-relative page address (offset is a byte multiple of 4096).
+    Adrp { rd: Reg, offset: i64 },
+    /// Load register from a PC-relative literal pool slot.
+    LdrLit { wide: bool, rt: Reg, offset: i64 },
+
+    /// Indirect branch.
+    Br { rn: Reg },
+    /// Indirect call; writes the return address to `x30`.
+    Blr { rn: Reg },
+    /// Return (indirect branch, conventionally via `x30`).
+    Ret { rn: Reg },
+
+    /// Move wide with zero.
+    Movz { wide: bool, rd: Reg, imm16: u16, hw: u8 },
+    /// Move wide with NOT.
+    Movn { wide: bool, rd: Reg, imm16: u16, hw: u8 },
+    /// Move wide with keep.
+    Movk { wide: bool, rd: Reg, imm16: u16, hw: u8 },
+
+    /// Add immediate; `set_flags` selects `adds`/`cmn`-style behaviour.
+    AddImm { wide: bool, set_flags: bool, rd: Reg, rn: Reg, imm12: u16, shift12: bool },
+    /// Subtract immediate; with `set_flags` and `rd == ZR` this is `cmp`.
+    SubImm { wide: bool, set_flags: bool, rd: Reg, rn: Reg, imm12: u16, shift12: bool },
+    /// Add shifted register (LSL shift only in this subset).
+    AddReg { wide: bool, set_flags: bool, rd: Reg, rn: Reg, rm: Reg, shift: u8 },
+    /// Subtract shifted register; with `set_flags` and `rd == ZR` this is `cmp`.
+    SubReg { wide: bool, set_flags: bool, rd: Reg, rn: Reg, rm: Reg, shift: u8 },
+
+    /// Bitwise AND (shifted register); `set_flags` selects `ands`/`tst`.
+    AndReg { wide: bool, set_flags: bool, rd: Reg, rn: Reg, rm: Reg, shift: u8 },
+    /// Bitwise OR (shifted register); `orr rd, zr, rm` is the canonical `mov`.
+    OrrReg { wide: bool, rd: Reg, rn: Reg, rm: Reg, shift: u8 },
+    /// Bitwise exclusive OR (shifted register).
+    EorReg { wide: bool, rd: Reg, rn: Reg, rm: Reg, shift: u8 },
+
+    /// Signed divide: `rd = rn / rm` (0 on division by zero, per the
+    /// architecture — Java-level throws are generated as explicit checks).
+    Sdiv { wide: bool, rd: Reg, rn: Reg, rm: Reg },
+    /// Logical shift left by register: `rd = rn << (rm % width)`.
+    Lslv { wide: bool, rd: Reg, rn: Reg, rm: Reg },
+    /// Arithmetic shift right by register: `rd = rn >> (rm % width)`.
+    Asrv { wide: bool, rd: Reg, rn: Reg, rm: Reg },
+    /// Multiply-add: `rd = ra + rn * rm`.
+    Madd { wide: bool, rd: Reg, rn: Reg, rm: Reg, ra: Reg },
+    /// Multiply-subtract: `rd = ra - rn * rm`.
+    Msub { wide: bool, rd: Reg, rn: Reg, rm: Reg, ra: Reg },
+
+    /// Unsigned bitfield move (the encoding behind `lsl`/`lsr` aliases).
+    Ubfm { wide: bool, rd: Reg, rn: Reg, immr: u8, imms: u8 },
+    /// Signed bitfield move (the encoding behind the `asr` alias).
+    Sbfm { wide: bool, rd: Reg, rn: Reg, immr: u8, imms: u8 },
+
+    /// Load register, unsigned scaled immediate offset (byte offset stored).
+    LdrImm { wide: bool, rt: Reg, rn: Reg, offset: u16 },
+    /// Store register, unsigned scaled immediate offset (byte offset stored).
+    StrImm { wide: bool, rt: Reg, rn: Reg, offset: u16 },
+
+    /// Store pair of 64-bit registers.
+    Stp { rt: Reg, rt2: Reg, rn: Reg, offset: i16, mode: PairMode },
+    /// Load pair of 64-bit registers.
+    Ldp { rt: Reg, rt2: Reg, rn: Reg, offset: i16, mode: PairMode },
+
+    /// No operation.
+    Nop,
+    /// Breakpoint.
+    Brk { imm: u16 },
+    /// Supervisor call (used for the simulated runtime's "throw" path).
+    Svc { imm: u16 },
+}
+
+impl Insn {
+    /// Size in bytes of every instruction in this ISA.
+    pub const SIZE: u64 = 4;
+
+    /// Returns `true` if this instruction ends a basic block: unconditional
+    /// and conditional branches, test/compare-and-branch, indirect branches
+    /// and returns.
+    ///
+    /// Calls (`bl`, `blr`) are *not* terminators — control returns to the
+    /// following instruction — matching the paper's terminator-instruction
+    /// definition ("jump and return instructions").
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::B { .. }
+                | Insn::BCond { .. }
+                | Insn::Cbz { .. }
+                | Insn::Cbnz { .. }
+                | Insn::Tbz { .. }
+                | Insn::Tbnz { .. }
+                | Insn::Br { .. }
+                | Insn::Ret { .. }
+        )
+    }
+
+    /// Returns `true` for call instructions (`bl`, `blr`).
+    #[must_use]
+    pub fn is_call(&self) -> bool {
+        matches!(self, Insn::Bl { .. } | Insn::Blr { .. })
+    }
+
+    /// Returns `true` for the indirect jump the paper's LTBO must flag:
+    /// `br` (used e.g. for switch tables). `ret` and `blr` are excluded —
+    /// `ret` follows the return convention and `blr` is a call.
+    #[must_use]
+    pub fn is_indirect_jump(&self) -> bool {
+        matches!(self, Insn::Br { .. })
+    }
+
+    /// Returns `true` if the instruction addresses memory or code relative
+    /// to the program counter (the set listed in §3.3.4 of the paper).
+    #[must_use]
+    pub fn is_pc_relative(&self) -> bool {
+        self.pc_rel_offset().is_some()
+    }
+
+    /// Returns the PC-relative byte offset carried by this instruction,
+    /// or `None` if it is not PC-relative.
+    #[must_use]
+    pub fn pc_rel_offset(&self) -> Option<i64> {
+        match *self {
+            Insn::B { offset }
+            | Insn::Bl { offset }
+            | Insn::BCond { offset, .. }
+            | Insn::Cbz { offset, .. }
+            | Insn::Cbnz { offset, .. }
+            | Insn::Tbz { offset, .. }
+            | Insn::Tbnz { offset, .. }
+            | Insn::Adr { offset, .. }
+            | Insn::Adrp { offset, .. }
+            | Insn::LdrLit { offset, .. } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of this instruction with its PC-relative offset
+    /// replaced — the primitive the paper's patching step (§3.3.4) uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction is not PC-relative, or if `offset` violates
+    /// the form's alignment (4 bytes for branches/literals, 4096 for `adrp`).
+    /// Encoding-range violations are caught later by the encoder.
+    #[must_use]
+    pub fn with_pc_rel_offset(&self, offset: i64) -> Insn {
+        let mut insn = *self;
+        match &mut insn {
+            Insn::B { offset: o }
+            | Insn::Bl { offset: o }
+            | Insn::BCond { offset: o, .. }
+            | Insn::Cbz { offset: o, .. }
+            | Insn::Cbnz { offset: o, .. }
+            | Insn::Tbz { offset: o, .. }
+            | Insn::Tbnz { offset: o, .. }
+            | Insn::LdrLit { offset: o, .. } => {
+                assert!(offset % 4 == 0, "branch/literal offset {offset:#x} must be 4-aligned");
+                *o = offset;
+            }
+            Insn::Adr { offset: o, .. } => *o = offset,
+            Insn::Adrp { offset: o, .. } => {
+                assert!(offset % 4096 == 0, "adrp offset {offset:#x} must be page-aligned");
+                *o = offset;
+            }
+            _ => panic!("with_pc_rel_offset on non-PC-relative instruction {insn:?}"),
+        }
+        insn
+    }
+
+    /// Computes the absolute target address of a PC-relative instruction
+    /// located at `address`, or `None` if not PC-relative.
+    ///
+    /// For `adrp` the result is the target *page* base.
+    #[must_use]
+    pub fn pc_rel_target(&self, address: u64) -> Option<u64> {
+        let offset = self.pc_rel_offset()?;
+        let base = if matches!(self, Insn::Adrp { .. }) { address & !0xfff } else { address };
+        Some(base.wrapping_add(offset as u64))
+    }
+
+    /// Returns `true` if executing this instruction writes the link
+    /// register `x30` (either as a call side effect or as a plain
+    /// destination).
+    #[must_use]
+    pub fn writes_lr(&self) -> bool {
+        if self.is_call() {
+            return true;
+        }
+        matches!(self.dest_reg(), Some(r) if r.is_lr())
+    }
+
+    /// Returns `true` if executing this instruction reads `x30`.
+    #[must_use]
+    pub fn reads_lr(&self) -> bool {
+        self.source_regs().iter().any(|r| r.is_lr())
+    }
+
+    /// The general-purpose destination register, if any.
+    ///
+    /// Register 31 destinations (zero register) are reported as written;
+    /// callers interested in real dataflow should filter them.
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        match *self {
+            Insn::Adr { rd, .. } | Insn::Adrp { rd, .. } => Some(rd),
+            Insn::LdrLit { rt, .. } | Insn::LdrImm { rt, .. } => Some(rt),
+            Insn::Movz { rd, .. } | Insn::Movn { rd, .. } | Insn::Movk { rd, .. } => Some(rd),
+            Insn::AddImm { rd, .. }
+            | Insn::SubImm { rd, .. }
+            | Insn::AddReg { rd, .. }
+            | Insn::SubReg { rd, .. }
+            | Insn::AndReg { rd, .. }
+            | Insn::OrrReg { rd, .. }
+            | Insn::EorReg { rd, .. }
+            | Insn::Sdiv { rd, .. }
+            | Insn::Lslv { rd, .. }
+            | Insn::Asrv { rd, .. }
+            | Insn::Sbfm { rd, .. }
+            | Insn::Madd { rd, .. }
+            | Insn::Msub { rd, .. }
+            | Insn::Ubfm { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The general-purpose registers read by this instruction.
+    #[must_use]
+    pub fn source_regs(&self) -> Vec<Reg> {
+        match *self {
+            Insn::Cbz { rt, .. } | Insn::Cbnz { rt, .. } | Insn::Tbz { rt, .. } | Insn::Tbnz { rt, .. } => {
+                vec![rt]
+            }
+            Insn::Br { rn } | Insn::Blr { rn } | Insn::Ret { rn } => vec![rn],
+            Insn::Movk { rd, .. } => vec![rd], // read-modify-write
+            Insn::AddImm { rn, .. } | Insn::SubImm { rn, .. } | Insn::Ubfm { rn, .. } => vec![rn],
+            Insn::AddReg { rn, rm, .. }
+            | Insn::SubReg { rn, rm, .. }
+            | Insn::AndReg { rn, rm, .. }
+            | Insn::OrrReg { rn, rm, .. }
+            | Insn::EorReg { rn, rm, .. } => vec![rn, rm],
+            Insn::Sdiv { rn, rm, .. } | Insn::Lslv { rn, rm, .. } | Insn::Asrv { rn, rm, .. } => {
+                vec![rn, rm]
+            }
+            Insn::Sbfm { rn, .. } => vec![rn],
+            Insn::Madd { rn, rm, ra, .. } | Insn::Msub { rn, rm, ra, .. } => vec![rn, rm, ra],
+            Insn::LdrImm { rn, .. } => vec![rn],
+            Insn::StrImm { rt, rn, .. } => vec![rt, rn],
+            Insn::Stp { rt, rt2, rn, .. } => vec![rt, rt2, rn],
+            Insn::Ldp { rn, .. } => vec![rn],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Returns `true` if the instruction reads or writes the stack pointer.
+    /// Outlined bodies must not manipulate `sp` (the outlined function adds
+    /// no frame, so `sp`-relative state must be transparent).
+    #[must_use]
+    pub fn touches_sp(&self) -> bool {
+        let sp_as_base = |r: Reg| r.is_reg31();
+        match *self {
+            // reg31 is SP in base/dest position of add/sub immediate.
+            Insn::AddImm { rd, rn, .. } | Insn::SubImm { rd, rn, .. } => {
+                sp_as_base(rd) || sp_as_base(rn)
+            }
+            Insn::LdrImm { rn, .. } | Insn::StrImm { rn, .. } => sp_as_base(rn),
+            Insn::Stp { rn, mode, .. } | Insn::Ldp { rn, mode, .. } => {
+                sp_as_base(rn) || mode != PairMode::SignedOffset && sp_as_base(rn)
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminator_classification_matches_paper() {
+        assert!(Insn::B { offset: 8 }.is_terminator());
+        assert!(Insn::BCond { cond: Cond::Eq, offset: 8 }.is_terminator());
+        assert!(Insn::Cbz { wide: false, rt: Reg::X0, offset: 12 }.is_terminator());
+        assert!(Insn::Ret { rn: Reg::LR }.is_terminator());
+        assert!(Insn::Br { rn: Reg::X16 }.is_terminator());
+        // calls are not terminators
+        assert!(!Insn::Bl { offset: 0x1000 }.is_terminator());
+        assert!(!Insn::Blr { rn: Reg::LR }.is_terminator());
+        assert!(!Insn::AddImm {
+            wide: true,
+            set_flags: false,
+            rd: Reg::X0,
+            rn: Reg::X1,
+            imm12: 4,
+            shift12: false
+        }
+        .is_terminator());
+    }
+
+    #[test]
+    fn pc_relative_set_matches_paper_section_3_3_4() {
+        let pc_rel: [Insn; 10] = [
+            Insn::B { offset: 4 },
+            Insn::Bl { offset: 4 },
+            Insn::BCond { cond: Cond::Ne, offset: 4 },
+            Insn::Cbz { wide: true, rt: Reg::X1, offset: 4 },
+            Insn::Cbnz { wide: true, rt: Reg::X1, offset: 4 },
+            Insn::Tbz { rt: Reg::X1, bit: 3, offset: 4 },
+            Insn::Tbnz { rt: Reg::X1, bit: 3, offset: 4 },
+            Insn::Adr { rd: Reg::X0, offset: 16 },
+            Insn::Adrp { rd: Reg::X0, offset: 4096 },
+            Insn::LdrLit { wide: true, rt: Reg::X0, offset: 8 },
+        ];
+        for insn in pc_rel {
+            assert!(insn.is_pc_relative(), "{insn:?}");
+        }
+        assert!(!Insn::Br { rn: Reg::X16 }.is_pc_relative());
+        assert!(!Insn::Nop.is_pc_relative());
+    }
+
+    #[test]
+    fn target_computation() {
+        let insn = Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc };
+        // The paper's Table 2 example: cbz at 0x138320 targeting 0x13832c.
+        assert_eq!(insn.pc_rel_target(0x138320), Some(0x13832c));
+        let patched = insn.with_pc_rel_offset(0x8);
+        assert_eq!(patched.pc_rel_target(0x138320), Some(0x138328));
+    }
+
+    #[test]
+    fn adrp_targets_pages() {
+        let insn = Insn::Adrp { rd: Reg::X0, offset: 0x2000 };
+        assert_eq!(insn.pc_rel_target(0x1234), Some(0x3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-PC-relative")]
+    fn patching_non_pc_relative_panics() {
+        let _ = Insn::Nop.with_pc_rel_offset(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-aligned")]
+    fn patching_misaligned_branch_panics() {
+        let _ = Insn::B { offset: 8 }.with_pc_rel_offset(6);
+    }
+
+    #[test]
+    fn lr_dataflow() {
+        assert!(Insn::Bl { offset: 4 }.writes_lr());
+        assert!(Insn::Blr { rn: Reg::X8 }.writes_lr());
+        assert!(Insn::Ret { rn: Reg::LR }.reads_lr());
+        assert!(Insn::Br { rn: Reg::LR }.reads_lr());
+        assert!(Insn::LdrImm { wide: true, rt: Reg::LR, rn: Reg::X0, offset: 16 }.writes_lr());
+        assert!(!Insn::LdrImm { wide: true, rt: Reg::X2, rn: Reg::X0, offset: 16 }.writes_lr());
+        assert!(Insn::StrImm { wide: true, rt: Reg::LR, rn: Reg::SP, offset: 8 }.reads_lr());
+    }
+
+    #[test]
+    fn sp_classification() {
+        let stack_store = Insn::StrImm { wide: true, rt: Reg::X0, rn: Reg::SP, offset: 16 };
+        assert!(stack_store.touches_sp());
+        let sub_sp = Insn::SubImm {
+            wide: true,
+            set_flags: false,
+            rd: Reg::X16,
+            rn: Reg::SP,
+            imm12: 0x2000 >> 12,
+            shift12: true,
+        };
+        assert!(sub_sp.touches_sp());
+        let heap_load = Insn::LdrImm { wide: true, rt: Reg::X0, rn: Reg::X1, offset: 0 };
+        assert!(!heap_load.touches_sp());
+    }
+
+    #[test]
+    fn indirect_jump_flagging() {
+        assert!(Insn::Br { rn: Reg::X17 }.is_indirect_jump());
+        assert!(!Insn::Ret { rn: Reg::LR }.is_indirect_jump());
+        assert!(!Insn::Blr { rn: Reg::X17 }.is_indirect_jump());
+    }
+}

@@ -1,0 +1,185 @@
+//! AArch64 general-purpose register names.
+//!
+//! Register 31 is context-dependent on AArch64: it encodes either the zero
+//! register (`XZR`/`WZR`) or the stack pointer (`SP`). The [`Reg`] newtype
+//! stores the raw 5-bit encoding; the instruction that uses it decides the
+//! interpretation, exactly as in the architecture.
+
+use core::fmt;
+
+/// A general-purpose register encoding (0..=31).
+///
+/// # Examples
+///
+/// ```
+/// use calibro_isa::Reg;
+///
+/// let r = Reg::X0;
+/// assert_eq!(r.index(), 0);
+/// assert_eq!(Reg::LR, Reg::X30);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)] // the named architectural registers x0..x30
+impl Reg {
+    /// The first argument / ArtMethod register.
+    pub const X0: Reg = Reg(0);
+    pub const X1: Reg = Reg(1);
+    pub const X2: Reg = Reg(2);
+    pub const X3: Reg = Reg(3);
+    pub const X4: Reg = Reg(4);
+    pub const X5: Reg = Reg(5);
+    pub const X6: Reg = Reg(6);
+    pub const X7: Reg = Reg(7);
+    pub const X8: Reg = Reg(8);
+    pub const X9: Reg = Reg(9);
+    pub const X10: Reg = Reg(10);
+    pub const X11: Reg = Reg(11);
+    pub const X12: Reg = Reg(12);
+    pub const X13: Reg = Reg(13);
+    pub const X14: Reg = Reg(14);
+    pub const X15: Reg = Reg(15);
+    /// First intra-procedure-call scratch register (veneer scratch).
+    pub const X16: Reg = Reg(16);
+    /// Second intra-procedure-call scratch register.
+    pub const X17: Reg = Reg(17);
+    pub const X18: Reg = Reg(18);
+    /// The ART thread register: base of the runtime entrypoint table.
+    pub const X19: Reg = Reg(19);
+    pub const X20: Reg = Reg(20);
+    pub const X21: Reg = Reg(21);
+    pub const X22: Reg = Reg(22);
+    pub const X23: Reg = Reg(23);
+    pub const X24: Reg = Reg(24);
+    pub const X25: Reg = Reg(25);
+    pub const X26: Reg = Reg(26);
+    pub const X27: Reg = Reg(27);
+    pub const X28: Reg = Reg(28);
+    /// Frame pointer.
+    pub const X29: Reg = Reg(29);
+    /// Link register.
+    pub const X30: Reg = Reg(30);
+    /// Alias for [`Reg::X30`].
+    pub const LR: Reg = Reg(30);
+    /// Alias for [`Reg::X29`].
+    pub const FP: Reg = Reg(29);
+    /// Register 31 read as zero / ignored on write.
+    pub const ZR: Reg = Reg(31);
+    /// Register 31 interpreted as the stack pointer.
+    pub const SP: Reg = Reg(31);
+
+    /// Creates a register from its 5-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(index <= 31, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Creates a register from its 5-bit encoding without bounds checking
+    /// the semantic range; the value is masked to 5 bits.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// Returns the 5-bit hardware encoding.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the encoding widened to `u32`, for use in encoders.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Returns `true` for encoding 31 (either `ZR` or `SP`).
+    #[must_use]
+    pub fn is_reg31(self) -> bool {
+        self.0 == 31
+    }
+
+    /// Returns `true` if this is the link register `x30`.
+    #[must_use]
+    pub fn is_lr(self) -> bool {
+        self.0 == 30
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 31 {
+            write!(f, "r31")
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Formats a register operand at a given width, mapping encoding 31 to
+/// either the zero register or `sp`/`wsp`.
+#[must_use]
+pub fn reg_name(reg: Reg, wide: bool, sp: bool) -> String {
+    match (reg.index(), wide, sp) {
+        (31, true, true) => "sp".to_owned(),
+        (31, false, true) => "wsp".to_owned(),
+        (31, true, false) => "xzr".to_owned(),
+        (31, false, false) => "wzr".to_owned(),
+        (n, true, _) => format!("x{n}"),
+        (n, false, _) => format!("w{n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_encodings() {
+        assert_eq!(Reg::X0.index(), 0);
+        assert_eq!(Reg::X19.index(), 19);
+        assert_eq!(Reg::LR.index(), 30);
+        assert_eq!(Reg::SP.index(), 31);
+        assert_eq!(Reg::ZR, Reg::SP); // same encoding, context decides
+    }
+
+    #[test]
+    fn from_bits_masks() {
+        assert_eq!(Reg::from_bits(0x3f).index(), 31);
+        assert_eq!(Reg::from_bits(0x22).index(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(reg_name(Reg::X3, true, false), "x3");
+        assert_eq!(reg_name(Reg::X3, false, false), "w3");
+        assert_eq!(reg_name(Reg::SP, true, true), "sp");
+        assert_eq!(reg_name(Reg::ZR, true, false), "xzr");
+        assert_eq!(reg_name(Reg::ZR, false, false), "wzr");
+    }
+
+    #[test]
+    fn lr_predicate() {
+        assert!(Reg::LR.is_lr());
+        assert!(!Reg::X0.is_lr());
+        assert!(Reg::SP.is_reg31());
+    }
+}

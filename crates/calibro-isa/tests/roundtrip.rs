@@ -1,0 +1,208 @@
+//! Property tests: every encodable instruction round-trips through
+//! encode -> decode, and decoding is a partial inverse of encoding.
+
+use calibro_isa::{decode, Cond, Insn, PairMode, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..=31).prop_map(Reg::new)
+}
+
+fn branch_offset(bits: u32) -> impl Strategy<Value = i64> {
+    let limit = 1i64 << (bits - 1);
+    (-limit..limit).prop_map(|w| w * 4)
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u32..16).prop_map(Cond::from_bits)
+}
+
+fn pair_mode() -> impl Strategy<Value = PairMode> {
+    prop_oneof![
+        Just(PairMode::SignedOffset),
+        Just(PairMode::PreIndex),
+        Just(PairMode::PostIndex),
+    ]
+}
+
+/// Generates only instructions whose operands fit their encodings, i.e.
+/// the domain on which `encode` must succeed.
+fn encodable_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        branch_offset(26).prop_map(|offset| Insn::B { offset }),
+        branch_offset(26).prop_map(|offset| Insn::Bl { offset }),
+        (any_cond(), branch_offset(19)).prop_map(|(cond, offset)| Insn::BCond { cond, offset }),
+        (any::<bool>(), any_reg(), branch_offset(19))
+            .prop_map(|(wide, rt, offset)| Insn::Cbz { wide, rt, offset }),
+        (any::<bool>(), any_reg(), branch_offset(19))
+            .prop_map(|(wide, rt, offset)| Insn::Cbnz { wide, rt, offset }),
+        (any_reg(), 0u8..64, branch_offset(14))
+            .prop_map(|(rt, bit, offset)| Insn::Tbz { rt, bit, offset }),
+        (any_reg(), 0u8..64, branch_offset(14))
+            .prop_map(|(rt, bit, offset)| Insn::Tbnz { rt, bit, offset }),
+        (any_reg(), -(1i64 << 20)..(1i64 << 20)).prop_map(|(rd, offset)| Insn::Adr { rd, offset }),
+        (any_reg(), -(1i64 << 20)..(1i64 << 20))
+            .prop_map(|(rd, pages)| Insn::Adrp { rd, offset: pages << 12 }),
+        (any::<bool>(), any_reg(), branch_offset(19))
+            .prop_map(|(wide, rt, offset)| Insn::LdrLit { wide, rt, offset }),
+        any_reg().prop_map(|rn| Insn::Br { rn }),
+        any_reg().prop_map(|rn| Insn::Blr { rn }),
+        any_reg().prop_map(|rn| Insn::Ret { rn }),
+        (any::<bool>(), any_reg(), any::<u16>()).prop_flat_map(|(wide, rd, imm16)| {
+            let max_hw = if wide { 4u8 } else { 2 };
+            (0..max_hw).prop_map(move |hw| Insn::Movz { wide, rd, imm16, hw })
+        }),
+        (any::<bool>(), any_reg(), any::<u16>()).prop_flat_map(|(wide, rd, imm16)| {
+            let max_hw = if wide { 4u8 } else { 2 };
+            (0..max_hw).prop_map(move |hw| Insn::Movn { wide, rd, imm16, hw })
+        }),
+        (any::<bool>(), any_reg(), any::<u16>()).prop_flat_map(|(wide, rd, imm16)| {
+            let max_hw = if wide { 4u8 } else { 2 };
+            (0..max_hw).prop_map(move |hw| Insn::Movk { wide, rd, imm16, hw })
+        }),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            0u16..4096,
+            any::<bool>()
+        )
+            .prop_map(|(wide, set_flags, rd, rn, imm12, shift12)| Insn::AddImm {
+                wide,
+                set_flags,
+                rd,
+                rn,
+                imm12,
+                shift12
+            }),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            0u16..4096,
+            any::<bool>()
+        )
+            .prop_map(|(wide, set_flags, rd, rn, imm12, shift12)| Insn::SubImm {
+                wide,
+                set_flags,
+                rd,
+                rn,
+                imm12,
+                shift12
+            }),
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
+            |(wide, set_flags, rd, rn, rm)| {
+                let width = if wide { 64u8 } else { 32 };
+                (0..width).prop_map(move |shift| Insn::AddReg { wide, set_flags, rd, rn, rm, shift })
+            }
+        ),
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
+            |(wide, set_flags, rd, rn, rm)| {
+                let width = if wide { 64u8 } else { 32 };
+                (0..width).prop_map(move |shift| Insn::SubReg { wide, set_flags, rd, rn, rm, shift })
+            }
+        ),
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
+            |(wide, set_flags, rd, rn, rm)| {
+                let width = if wide { 64u8 } else { 32 };
+                (0..width).prop_map(move |shift| Insn::AndReg { wide, set_flags, rd, rn, rm, shift })
+            }
+        ),
+        (any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn, rm)| {
+            let width = if wide { 64u8 } else { 32 };
+            (0..width).prop_map(move |shift| Insn::OrrReg { wide, rd, rn, rm, shift })
+        }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn, rm)| {
+            let width = if wide { 64u8 } else { 32 };
+            (0..width).prop_map(move |shift| Insn::EorReg { wide, rd, rn, rm, shift })
+        }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(wide, rd, rn, rm)| Insn::Sdiv { wide, rd, rn, rm }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(wide, rd, rn, rm)| Insn::Lslv { wide, rd, rn, rm }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(wide, rd, rn, rm)| Insn::Asrv { wide, rd, rn, rm }),
+        (any::<bool>(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn)| {
+            let width = if wide { 64u8 } else { 32 };
+            (0..width, 0..width)
+                .prop_map(move |(immr, imms)| Insn::Sbfm { wide, rd, rn, immr, imms })
+        }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(wide, rd, rn, rm, ra)| Insn::Madd { wide, rd, rn, rm, ra }),
+        (any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(wide, rd, rn, rm, ra)| Insn::Msub { wide, rd, rn, rm, ra }),
+        (any::<bool>(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn)| {
+            let width = if wide { 64u8 } else { 32 };
+            (0..width, 0..width)
+                .prop_map(move |(immr, imms)| Insn::Ubfm { wide, rd, rn, immr, imms })
+        }),
+        (any::<bool>(), any_reg(), any_reg(), 0u16..4096).prop_map(|(wide, rt, rn, slot)| {
+            let scale = if wide { 8 } else { 4 };
+            Insn::LdrImm { wide, rt, rn, offset: slot % (4096 / scale) * scale }
+        }),
+        (any::<bool>(), any_reg(), any_reg(), 0u16..4096).prop_map(|(wide, rt, rn, slot)| {
+            let scale = if wide { 8 } else { 4 };
+            Insn::StrImm { wide, rt, rn, offset: slot % (4096 / scale) * scale }
+        }),
+        (any_reg(), any_reg(), any_reg(), -64i16..64, pair_mode()).prop_map(
+            |(rt, rt2, rn, words, mode)| Insn::Stp { rt, rt2, rn, offset: words * 8, mode }
+        ),
+        (any_reg(), any_reg(), any_reg(), -64i16..64, pair_mode()).prop_map(
+            |(rt, rt2, rn, words, mode)| Insn::Ldp { rt, rt2, rn, offset: words * 8, mode }
+        ),
+        Just(Insn::Nop),
+        any::<u16>().prop_map(|imm| Insn::Brk { imm }),
+        any::<u16>().prop_map(|imm| Insn::Svc { imm }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// encode . decode == id on the encodable domain.
+    #[test]
+    fn encode_decode_roundtrip(insn in encodable_insn()) {
+        let word = insn.encode().expect("generator produced unencodable instruction");
+        let back = decode(word).expect("encoder produced undecodable word");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// decode . encode == id: whatever decodes must re-encode to the same
+    /// word (decoding never loses information).
+    #[test]
+    fn decode_encode_roundtrip(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            let re = insn.encode().expect("decoded instruction must re-encode");
+            prop_assert_eq!(re, word);
+        }
+    }
+
+    /// Patching a PC-relative instruction changes only its offset.
+    #[test]
+    fn patching_preserves_identity(insn in encodable_insn(), raw in -4096i64..4096) {
+        if insn.pc_rel_offset().is_some() {
+            let offset = match insn {
+                Insn::Adrp { .. } => raw << 12,
+                Insn::Adr { .. } => raw,
+                _ => raw * 4,
+            };
+            let patched = insn.with_pc_rel_offset(offset);
+            prop_assert_eq!(patched.pc_rel_offset(), Some(offset));
+            prop_assert_eq!(patched.is_terminator(), insn.is_terminator());
+            prop_assert_eq!(patched.is_call(), insn.is_call());
+            prop_assert_eq!(
+                std::mem::discriminant(&patched),
+                std::mem::discriminant(&insn)
+            );
+        }
+    }
+
+    /// Disassembly is total and non-empty on the encodable domain.
+    #[test]
+    fn disassembly_is_total(insn in encodable_insn()) {
+        let text = insn.to_string();
+        prop_assert!(!text.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! The linker: lays out compiled methods, outlined functions and CTO
+//! thunks, binds call labels to addresses, and encodes the final text
+//! segment (the "linking" stage of the paper's Figure 5).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use calibro_codegen::{thunk_code, CallTarget, CompiledMethod, ThunkKind};
+use calibro_isa::{EncodeError, Insn};
+
+use crate::file::{OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+
+/// Input to the linker.
+#[derive(Debug, Default)]
+pub struct LinkInput {
+    /// Compiled methods; index must equal `MethodId`.
+    pub methods: Vec<CompiledMethod>,
+    /// LTBO outlined functions, addressed by `CallTarget::Outlined(i)`.
+    pub outlined: Vec<Vec<Insn>>,
+}
+
+/// A linking failure.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant fields name the offending site
+pub enum LinkError {
+    /// A method's table index does not match its id.
+    MisorderedMethod { index: usize },
+    /// A relocation references a missing method or outlined function.
+    UnresolvedTarget { method: usize, at: usize },
+    /// A relocation site is not a `bl` instruction.
+    NotACallSite { method: usize, at: usize },
+    /// Final encoding failed (usually a branch out of range).
+    Encode(EncodeError),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::MisorderedMethod { index } => {
+                write!(f, "method at table index {index} has a mismatched id")
+            }
+            LinkError::UnresolvedTarget { method, at } => {
+                write!(f, "method {method}: unresolved call target at word {at}")
+            }
+            LinkError::NotACallSite { method, at } => {
+                write!(f, "method {method}: relocation at word {at} is not a bl")
+            }
+            LinkError::Encode(e) => write!(f, "encoding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<EncodeError> for LinkError {
+    fn from(e: EncodeError) -> LinkError {
+        LinkError::Encode(e)
+    }
+}
+
+/// Links the input into a final [`OatFile`] at `base_address`.
+///
+/// Layout: methods in id order, then outlined functions, then one copy
+/// of each CTO thunk referenced by any relocation (the §3.1 pattern
+/// cache, materialized).
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] for unresolved relocations, malformed inputs,
+/// or out-of-range branches.
+pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
+    // --- Collect referenced thunks (sorted for determinism). -----------
+    let mut used_thunks: BTreeMap<ThunkKind, u64> = BTreeMap::new();
+    for m in &input.methods {
+        for r in &m.relocs {
+            if let CallTarget::Thunk(kind) = r.target {
+                used_thunks.insert(kind, 0);
+            }
+        }
+    }
+
+    // --- Assign offsets. ------------------------------------------------
+    let mut offset = 0u64;
+    let mut method_offsets = Vec::with_capacity(input.methods.len());
+    for (index, m) in input.methods.iter().enumerate() {
+        if m.method.index() != index {
+            return Err(LinkError::MisorderedMethod { index });
+        }
+        method_offsets.push(offset);
+        offset += m.size_bytes();
+    }
+    let mut outlined_offsets = Vec::with_capacity(input.outlined.len());
+    for o in &input.outlined {
+        outlined_offsets.push(offset);
+        offset += o.len() as u64 * 4;
+    }
+    let thunk_codes: Vec<(ThunkKind, Vec<Insn>)> =
+        used_thunks.keys().map(|&k| (k, thunk_code(k))).collect();
+    for (kind, code) in &thunk_codes {
+        used_thunks.insert(*kind, offset);
+        offset += code.len() as u64 * 4;
+    }
+
+    let resolve = |method: usize, r: &calibro_codegen::Reloc| -> Result<u64, LinkError> {
+        match r.target {
+            CallTarget::Method(id) => method_offsets
+                .get(id.index())
+                .copied()
+                .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
+            CallTarget::Thunk(kind) => used_thunks
+                .get(&kind)
+                .copied()
+                .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
+            CallTarget::Outlined(i) => outlined_offsets
+                .get(i as usize)
+                .copied()
+                .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
+        }
+    };
+
+    // --- Patch calls and encode. ----------------------------------------
+    let mut words = Vec::with_capacity((offset / 4) as usize);
+    let mut records = Vec::with_capacity(input.methods.len());
+    for (index, m) in input.methods.iter().enumerate() {
+        let code_start = method_offsets[index];
+        let mut insns = m.insns.clone();
+        for r in &m.relocs {
+            if !matches!(insns.get(r.at), Some(Insn::Bl { .. })) {
+                return Err(LinkError::NotACallSite { method: index, at: r.at });
+            }
+            let target = resolve(index, r)?;
+            let insn_addr = code_start + r.at as u64 * 4;
+            let rel = target as i64 - insn_addr as i64;
+            insns[r.at] = Insn::Bl { offset: rel };
+        }
+        for insn in &insns {
+            words.push(insn.encode()?);
+        }
+        words.extend_from_slice(&m.pool);
+        records.push(OatMethodRecord {
+            method: m.method,
+            offset: code_start,
+            insn_words: m.insns.len(),
+            code_words: m.size_words(),
+            metadata: m.metadata.clone(),
+            stack_maps: m.stack_maps.clone(),
+        });
+    }
+
+    let mut outlined_records = Vec::with_capacity(input.outlined.len());
+    for (o, &off) in input.outlined.iter().zip(&outlined_offsets) {
+        for insn in o {
+            words.push(insn.encode()?);
+        }
+        outlined_records.push(OutlinedRecord { offset: off, size_words: o.len() });
+    }
+
+    let mut thunk_records = Vec::with_capacity(thunk_codes.len());
+    for (kind, code) in &thunk_codes {
+        let off = used_thunks[kind];
+        for insn in code {
+            words.push(insn.encode()?);
+        }
+        thunk_records.push(ThunkRecord { kind: *kind, offset: off, size_words: code.len() });
+    }
+
+    Ok(OatFile {
+        base_address,
+        words,
+        methods: records,
+        thunks: thunk_records,
+        outlined: outlined_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_codegen::{compile_method, CodegenOptions};
+    use calibro_dex::{ClassId, DexInsn, InvokeKind, MethodBuilder, MethodId, VReg};
+    use calibro_hgraph::build_hgraph;
+    use calibro_isa::{decode, Reg};
+
+    fn simple_method(name: &str, callee: Option<MethodId>, opts: &CodegenOptions) -> CompiledMethod {
+        let mut b = MethodBuilder::new(name, 2, 1);
+        if let Some(m) = callee {
+            b.push(DexInsn::Invoke {
+                kind: InvokeKind::Static,
+                method: m,
+                args: vec![VReg(1)],
+                dst: Some(VReg(0)),
+            });
+        } else {
+            b.push(DexInsn::BinLit {
+                op: calibro_dex::BinOp::Add,
+                dst: VReg(0),
+                a: VReg(1),
+                lit: 1,
+            });
+        }
+        b.push(DexInsn::Return { src: VReg(0) });
+        compile_method(&build_hgraph(&b.build(ClassId(0))), opts)
+    }
+
+    fn with_id(mut m: CompiledMethod, id: u32) -> CompiledMethod {
+        m.method = MethodId(id);
+        m
+    }
+
+    #[test]
+    fn java_calls_are_runtime_bound_not_linker_bound() {
+        // Baseline Java calls dispatch through the ArtMethod table at
+        // runtime (Figure 4a); the linker must see no Method relocations.
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let caller = with_id(simple_method("caller", Some(MethodId(1)), &opts), 0);
+        assert!(caller.relocs.is_empty());
+        let callee = with_id(simple_method("callee", None, &opts), 1);
+        let input = LinkInput { methods: vec![caller, callee], outlined: vec![] };
+        let oat = link(&input, 0x4000_0000).unwrap();
+        assert_eq!(oat.methods.len(), 2);
+        assert!(oat.thunks.is_empty());
+        // Methods are laid out back to back.
+        assert_eq!(
+            oat.methods[1].offset,
+            oat.methods[0].offset + oat.methods[0].size_bytes()
+        );
+    }
+
+    #[test]
+    fn cto_thunks_are_emitted_once_and_reachable() {
+        let opts = CodegenOptions { cto: true, collect_metadata: true };
+        let m0 = with_id(simple_method("a", Some(MethodId(2)), &opts), 0);
+        let m1 = with_id(simple_method("b", Some(MethodId(2)), &opts), 1);
+        let m2 = with_id(simple_method("leaf", None, &opts), 2);
+        let input = LinkInput { methods: vec![m0, m1, m2], outlined: vec![] };
+        let oat = link(&input, 0x4000_0000).unwrap();
+        // JavaEntry + StackCheck thunks expected.
+        assert_eq!(oat.thunks.len(), 2);
+        for t in &oat.thunks {
+            // Thunk body decodes and ends in br.
+            let start = (t.offset / 4) as usize;
+            let last = decode(oat.words[start + t.size_words - 1]).unwrap();
+            assert!(matches!(last, Insn::Br { .. }));
+        }
+    }
+
+    #[test]
+    fn outlined_functions_are_linked() {
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let mut m = with_id(simple_method("a", None, &opts), 0);
+        // Fake an outlined call: append a reloc targeting outlined fn 0
+        // over an existing bl... instead create a bl at a known position.
+        m.insns.push(Insn::Bl { offset: 0 });
+        m.relocs.push(calibro_codegen::Reloc {
+            at: m.insns.len() - 1,
+            target: CallTarget::Outlined(0),
+        });
+        let outlined = vec![vec![Insn::Nop, Insn::Br { rn: Reg::LR }]];
+        let input = LinkInput { methods: vec![m], outlined };
+        let oat = link(&input, 0x1000).unwrap();
+        assert_eq!(oat.outlined.len(), 1);
+        let record = &oat.outlined[0];
+        assert_eq!(record.size_words, 2);
+        // The bl reaches the outlined function.
+        let mut reached = false;
+        for w in 0..oat.methods[0].insn_words {
+            if let Ok(Insn::Bl { offset }) = decode(oat.words[w]) {
+                let addr = oat.base_address + w as u64 * 4;
+                if addr.wrapping_add(offset as u64) == oat.base_address + record.offset {
+                    reached = true;
+                }
+            }
+        }
+        assert!(reached);
+    }
+
+    #[test]
+    fn unresolved_targets_error() {
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let mut m = with_id(simple_method("a", None, &opts), 0);
+        m.insns.push(Insn::Bl { offset: 0 });
+        m.relocs.push(calibro_codegen::Reloc {
+            at: m.insns.len() - 1,
+            target: CallTarget::Outlined(7),
+        });
+        let input = LinkInput { methods: vec![m], outlined: vec![] };
+        assert!(matches!(
+            link(&input, 0x1000),
+            Err(LinkError::UnresolvedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn misordered_methods_error() {
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let m = with_id(simple_method("a", None, &opts), 5);
+        let input = LinkInput { methods: vec![m], outlined: vec![] };
+        assert!(matches!(link(&input, 0x1000), Err(LinkError::MisorderedMethod { index: 0 })));
+    }
+
+    #[test]
+    fn all_non_embedded_words_decode() {
+        let opts = CodegenOptions { cto: true, collect_metadata: true };
+        let m0 = with_id(simple_method("a", Some(MethodId(1)), &opts), 0);
+        let m1 = with_id(simple_method("b", None, &opts), 1);
+        let input = LinkInput { methods: vec![m0, m1], outlined: vec![] };
+        let oat = link(&input, 0x4000_0000).unwrap();
+        for record in &oat.methods {
+            let start = (record.offset / 4) as usize;
+            for w in 0..record.code_words {
+                if record.metadata.in_embedded_data(w) {
+                    continue;
+                }
+                decode(oat.words[start + w])
+                    .unwrap_or_else(|e| panic!("{:?} word {w}: {e}", record.method));
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! # calibro-profile
+//!
+//! The reproduction's `simpleperf` substitute (paper §3.4.2, Figure 6):
+//! per-method cycle attribution collected from the simulator, hot-set
+//! selection ("the set of top functions that account for 80% of the
+//! total execution time"), and a plain-text profile format so profiles
+//! can be written by a profiling run and read back by the next build —
+//! exactly the feedback loop of Figure 6.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use calibro_dex::MethodId;
+use calibro_runtime::Runtime;
+
+/// A per-method execution-time profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// `(method, cycles)` pairs; unsorted on collection.
+    pub samples: Vec<(MethodId, u64)>,
+}
+
+impl Profile {
+    /// Captures a profile from a runtime's attribution counters.
+    /// (The trailing runtime/thunk slot is not a method and is skipped.)
+    #[must_use]
+    pub fn capture(runtime: &Runtime) -> Profile {
+        let cycles = runtime.method_cycles();
+        let samples = cycles[..runtime.num_methods()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (MethodId(i as u32), c))
+            .collect();
+        Profile { samples }
+    }
+
+    /// Total cycles across all methods.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.samples.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Selects the hot set: the smallest prefix of methods (by
+    /// descending cycle count) whose cumulative share reaches
+    /// `fraction` of total cycles — the paper uses 0.8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn hot_set(&self, fraction: f64) -> HashSet<u32> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let total = self.total_cycles();
+        let mut sorted = self.samples.clone();
+        sorted.sort_by_key(|&(m, c)| (std::cmp::Reverse(c), m));
+        let mut hot = HashSet::new();
+        let mut acc = 0u64;
+        let threshold = (total as f64 * fraction).ceil() as u64;
+        for (method, cycles) in sorted {
+            if acc >= threshold {
+                break;
+            }
+            acc += cycles;
+            hot.insert(method.0);
+        }
+        hot
+    }
+
+    /// Serializes to the on-disk text format (`method_id cycles` lines).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by_key(|&(m, _)| m);
+        let mut out = String::from("# calibro profile v1\n");
+        for (method, cycles) in sorted {
+            let _ = writeln!(out, "{} {}", method.0, cycles);
+        }
+        out
+    }
+
+    /// Parses the on-disk text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static message describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Profile, &'static str> {
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let method: u32 =
+                parts.next().ok_or("missing method id")?.parse().map_err(|_| "bad method id")?;
+            let cycles: u64 =
+                parts.next().ok_or("missing cycle count")?.parse().map_err(|_| "bad cycles")?;
+            if parts.next().is_some() {
+                return Err("trailing fields");
+            }
+            samples.push((MethodId(method), cycles));
+        }
+        Ok(Profile { samples })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(pairs: &[(u32, u64)]) -> Profile {
+        Profile { samples: pairs.iter().map(|&(m, c)| (MethodId(m), c)).collect() }
+    }
+
+    #[test]
+    fn hot_set_takes_top_80_percent() {
+        // 1000 total: m0=600, m1=250, m2=100, m3=50.
+        let p = profile(&[(0, 600), (1, 250), (2, 100), (3, 50)]);
+        let hot = p.hot_set(0.8);
+        // 600 < 800, 600+250=850 >= 800 -> {0, 1}.
+        assert_eq!(hot, HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn hot_set_edges() {
+        let p = profile(&[(0, 100)]);
+        assert_eq!(p.hot_set(1.0), HashSet::from([0]));
+        assert!(p.hot_set(0.0).is_empty());
+        let empty = Profile::default();
+        assert!(empty.hot_set(0.8).is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let p = profile(&[(5, 100), (2, 100), (9, 100)]);
+        let hot_a = p.hot_set(0.5);
+        let hot_b = p.hot_set(0.5);
+        assert_eq!(hot_a, hot_b);
+        assert!(hot_a.contains(&2), "lowest id wins ties");
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = profile(&[(3, 500), (0, 42), (7, 1)]);
+        let text = p.to_text();
+        let back = Profile::from_text(&text).unwrap();
+        let mut a = p.samples.clone();
+        let mut b = back.samples.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Profile::from_text("not numbers").is_err());
+        assert!(Profile::from_text("1 2 3").is_err());
+        assert!(Profile::from_text("# comment\n\n1 2").is_ok());
+    }
+}

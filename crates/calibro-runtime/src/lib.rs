@@ -1,0 +1,24 @@
+//! # calibro-runtime
+//!
+//! The simulated Android device: a cycle-accurate-enough AArch64
+//! interpreter with an instruction-cache cost model, a paged memory with
+//! residency accounting, and an ART-like runtime that loads OAT files,
+//! builds the thread structure / `ArtMethod` table / statics area and
+//! invokes compiled methods.
+//!
+//! This is the measurement substrate for the paper's Tables 5 and 7:
+//! runtime performance is CPU cycle counts (like the paper's
+//! `simpleperf` methodology) and memory usage is resident-page
+//! accounting over the loaded OAT text.
+
+#![warn(missing_docs)]
+
+mod cost;
+mod machine;
+mod memory;
+mod runtime;
+
+pub use cost::CostModel;
+pub use machine::{addr, native_id, ExecOutcome, Machine, NativeMethod, ThrowKind, Trap};
+pub use memory::{Memory, PAGE_SIZE};
+pub use runtime::{Invocation, Runtime, RuntimeEnv};

@@ -1,0 +1,102 @@
+//! The paper's benefit model for code outlining (Figure 2).
+//!
+//! For a repetitive sequence of `length` instructions occurring
+//! `repeated_times` times:
+//!
+//! ```text
+//! OriginalSize   = Length * RepeatedTimes
+//! OptimizedSize  = RepeatedTimes + 1 + Length
+//! ReductionRatio = (OriginalSize - OptimizedSize) / OriginalSize
+//! ```
+//!
+//! `RepeatedTimes` call instructions replace the occurrences, one copy of
+//! the sequence is kept, and `+ 1` is the extra return instruction
+//! (`br x30`) appended to the outlined function.
+
+/// Size of `length`-instruction sequence repeated `count` times, in
+/// instructions.
+#[must_use]
+pub fn original_size(length: usize, count: usize) -> usize {
+    length * count
+}
+
+/// Size after outlining: `count` calls + the retained copy + one return.
+#[must_use]
+pub fn optimized_size(length: usize, count: usize) -> usize {
+    count + 1 + length
+}
+
+/// Net instructions saved; negative when outlining would grow the code.
+#[must_use]
+pub fn saving(length: usize, count: usize) -> i64 {
+    original_size(length, count) as i64 - optimized_size(length, count) as i64
+}
+
+/// Returns `true` when outlining the sequence shrinks the code.
+#[must_use]
+pub fn is_profitable(length: usize, count: usize) -> bool {
+    count >= 2 && saving(length, count) > 0
+}
+
+/// The paper's `ReductionRatio` (Figure 2), in `[0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `length * count == 0`.
+#[must_use]
+pub fn reduction_ratio(length: usize, count: usize) -> f64 {
+    let original = original_size(length, count);
+    assert!(original > 0, "reduction ratio of an empty sequence");
+    saving(length, count).max(0) as f64 / original as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_figure_2() {
+        // 2 instructions repeated 1006k times (the paper's hottest Java
+        // call pattern in WeChat).
+        assert_eq!(original_size(2, 1_006_000), 2_012_000);
+        assert_eq!(optimized_size(2, 1_006_000), 1_006_003);
+        assert!(saving(2, 1_006_000) > 1_000_000);
+    }
+
+    #[test]
+    fn short_low_count_sequences_are_unprofitable() {
+        // Two instructions twice: 4 vs 2 + 1 + 2 = 5 -> grows.
+        assert!(!is_profitable(2, 2));
+        assert_eq!(saving(2, 2), -1);
+        // Three instructions twice: 6 vs 2 + 1 + 3 = 6 -> break-even.
+        assert!(!is_profitable(3, 2));
+        // Four instructions twice: 8 vs 7 -> saves one instruction.
+        assert!(is_profitable(4, 2));
+        // Single occurrence is never profitable no matter the length.
+        assert!(!is_profitable(100, 1));
+    }
+
+    #[test]
+    fn ratio_grows_with_count() {
+        let r3 = reduction_ratio(4, 3);
+        let r10 = reduction_ratio(4, 10);
+        let r100 = reduction_ratio(4, 100);
+        assert!(r3 < r10 && r10 < r100);
+        assert!(r100 < 1.0);
+    }
+
+    #[test]
+    fn ratio_clamps_at_zero() {
+        assert_eq!(reduction_ratio(2, 2), 0.0);
+    }
+
+    #[test]
+    fn saving_monotone_in_both_arguments() {
+        for len in 1..40usize {
+            for count in 2..40usize {
+                assert!(saving(len + 1, count) >= saving(len, count));
+                assert!(saving(len, count + 1) >= saving(len, count));
+            }
+        }
+    }
+}

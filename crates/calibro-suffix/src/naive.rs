@@ -1,0 +1,80 @@
+//! Naive quadratic reference implementations used as test oracles for the
+//! suffix tree.
+
+use std::collections::HashMap;
+
+use crate::tree::Symbol;
+
+/// Counts occurrences of `pattern` in `text` by scanning (overlapping
+/// occurrences included).
+#[must_use]
+pub fn count_occurrences(text: &[Symbol], pattern: &[Symbol]) -> usize {
+    if pattern.is_empty() {
+        return text.len() + 1;
+    }
+    if pattern.len() > text.len() {
+        return 0;
+    }
+    text.windows(pattern.len()).filter(|w| *w == pattern).count()
+}
+
+/// Finds start positions of `pattern` in `text` by scanning.
+#[must_use]
+pub fn find_positions(text: &[Symbol], pattern: &[Symbol]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    text.windows(pattern.len())
+        .enumerate()
+        .filter(|(_, w)| *w == pattern)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Enumerates every repeated substring of length in `min_len..=max_len`
+/// with its occurrence count, by brute force.
+#[must_use]
+pub fn repeated_substrings(
+    text: &[Symbol],
+    min_len: usize,
+    max_len: usize,
+) -> HashMap<Vec<Symbol>, usize> {
+    let mut counts: HashMap<Vec<Symbol>, usize> = HashMap::new();
+    for len in min_len..=max_len.min(text.len()) {
+        for window in text.windows(len) {
+            *counts.entry(window.to_vec()).or_insert(0) += 1;
+        }
+    }
+    counts.retain(|_, c| *c >= 2);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(s: &str) -> Vec<Symbol> {
+        s.bytes().map(Symbol::from).collect()
+    }
+
+    #[test]
+    fn scanning_banana() {
+        let text = bytes("banana");
+        assert_eq!(count_occurrences(&text, &bytes("ana")), 2);
+        assert_eq!(find_positions(&text, &bytes("na")), vec![2, 4]);
+        assert_eq!(count_occurrences(&text, &bytes("xyz")), 0);
+        assert_eq!(count_occurrences(&text, &[]), 7);
+    }
+
+    #[test]
+    fn repeated_substrings_of_banana() {
+        let text = bytes("banana");
+        let reps = repeated_substrings(&text, 1, 6);
+        assert_eq!(reps.get(&bytes("a")), Some(&3));
+        assert_eq!(reps.get(&bytes("an")), Some(&2));
+        assert_eq!(reps.get(&bytes("ana")), Some(&2));
+        assert_eq!(reps.get(&bytes("n")), Some(&2));
+        assert_eq!(reps.get(&bytes("na")), Some(&2));
+        assert_eq!(reps.len(), 5);
+    }
+}

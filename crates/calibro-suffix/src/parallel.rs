@@ -1,0 +1,213 @@
+//! Paralleled suffix trees — the paper's `PlOpti` optimization (§3.4.1).
+//!
+//! Instead of one global suffix tree over the whole program, the input
+//! sequences (one per candidate method) are partitioned into `k` groups
+//! "evenly in terms of method numbers" with a "simple and random
+//! partition", and a suffix tree is built and searched per group in
+//! parallel. The trade-off — faster builds and smaller working sets for a
+//! tolerable loss of cross-group repeats — is exactly what Tables 4 and 6
+//! of the paper quantify.
+
+use crate::repeats::{select_outline_plan, OutlineCandidate};
+use crate::tree::{Symbol, SuffixTree};
+
+/// A sequence with the caller's identifier, so plans can be mapped back
+/// to methods after partitioning.
+#[derive(Clone, Debug)]
+pub struct TaggedSequence {
+    /// Caller-chosen identifier (e.g. a method index).
+    pub tag: usize,
+    /// The symbol sequence (instruction mappings with separators).
+    pub symbols: Vec<Symbol>,
+}
+
+/// The per-group result of a parallel detection run.
+#[derive(Debug)]
+pub struct GroupPlan {
+    /// Tags of the sequences concatenated into this group, in order.
+    pub tags: Vec<usize>,
+    /// Start offset of each tagged sequence within the group text.
+    pub offsets: Vec<usize>,
+    /// The outline candidates selected within this group.
+    pub candidates: Vec<OutlineCandidate>,
+}
+
+impl GroupPlan {
+    /// Maps a group-text position back to `(tag, offset_within_sequence)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` points into separator space.
+    #[must_use]
+    pub fn resolve(&self, pos: usize) -> (usize, usize) {
+        // offsets are sorted; find the owning sequence.
+        let idx = match self.offsets.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (self.tags[idx], pos - self.offsets[idx])
+    }
+}
+
+/// Partitions `sequences` into `k` groups round-robin (a deterministic
+/// stand-in for the paper's random partition — the paper explicitly
+/// avoids similarity clustering for speed, and round-robin is equally
+/// content-oblivious while keeping runs reproducible).
+#[must_use]
+pub fn partition(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequence>> {
+    assert!(k > 0, "at least one group required");
+    let mut groups: Vec<Vec<TaggedSequence>> = (0..k).map(|_| Vec::new()).collect();
+    for (i, seq) in sequences.into_iter().enumerate() {
+        groups[i % k].push(seq);
+    }
+    groups
+}
+
+/// Concatenates a group's sequences with unique separators and returns
+/// `(text, tags, offsets)`.
+fn concatenate(group: &[TaggedSequence]) -> (Vec<Symbol>, Vec<usize>, Vec<usize>) {
+    // Separators must be unique per joint and outside the symbol space of
+    // instructions (< 2^32) and of the caller's separators; we use a
+    // dedicated high band.
+    const GROUP_SEP_BASE: Symbol = 0xfffe_0000_0000_0000;
+    let mut text = Vec::new();
+    let mut tags = Vec::with_capacity(group.len());
+    let mut offsets = Vec::with_capacity(group.len());
+    for (i, seq) in group.iter().enumerate() {
+        tags.push(seq.tag);
+        offsets.push(text.len());
+        text.extend_from_slice(&seq.symbols);
+        text.push(GROUP_SEP_BASE + i as Symbol);
+    }
+    (text, tags, offsets)
+}
+
+/// Builds one suffix tree per group and selects outline plans, running
+/// the groups on `threads` worker threads (§3.4.1: build, detect, outline
+/// and patch "per suffix tree in parallel").
+#[must_use]
+pub fn detect_parallel(
+    groups: Vec<Vec<TaggedSequence>>,
+    min_len: usize,
+    threads: usize,
+) -> Vec<GroupPlan> {
+    assert!(threads > 0, "at least one worker thread required");
+    let work: Vec<(usize, Vec<TaggedSequence>)> = groups.into_iter().enumerate().collect();
+    let results = parking_lot::Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(work.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let plan = detect_group(&work[i].1, min_len);
+                results.lock().push((work[i].0, plan));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut results = results.into_inner();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, plan)| plan).collect()
+}
+
+/// Single-group detection: concatenate, build the tree, select the plan.
+#[must_use]
+pub fn detect_group(group: &[TaggedSequence], min_len: usize) -> GroupPlan {
+    let (text, tags, offsets) = concatenate(group);
+    let total = text.len();
+    let tree = SuffixTree::build(text);
+    let candidates = select_outline_plan(&tree, min_len, total);
+    GroupPlan { tags, offsets, candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(tag: usize, symbols: &[Symbol]) -> TaggedSequence {
+        TaggedSequence { tag, symbols: symbols.to_vec() }
+    }
+
+    #[test]
+    fn partition_is_even_and_total() {
+        let sequences: Vec<TaggedSequence> =
+            (0..10).map(|t| seq(t, &[t as Symbol])).collect();
+        let groups = partition(sequences, 3);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut tags: Vec<usize> =
+            groups.iter().flatten().map(|s| s.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_detection_finds_cross_method_repeats() {
+        // The same 4-symbol motif in three different methods of one group.
+        let motif = [100u64, 101, 102, 103];
+        let mk = |tag: usize| {
+            let mut s = vec![tag as Symbol + 1_000];
+            s.extend_from_slice(&motif);
+            s.push(tag as Symbol + 2_000);
+            seq(tag, &s)
+        };
+        let plan = detect_group(&[mk(0), mk(1), mk(2)], 2);
+        assert_eq!(plan.candidates.len(), 1);
+        let cand = &plan.candidates[0];
+        assert_eq!(cand.symbols, motif.to_vec());
+        assert_eq!(cand.positions.len(), 3);
+        // Positions resolve back to the right methods at offset 1.
+        let resolved: Vec<(usize, usize)> =
+            cand.positions.iter().map(|&p| plan.resolve(p)).collect();
+        assert_eq!(resolved, vec![(0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_per_group() {
+        let motif = [7u64, 8, 9, 10, 11];
+        let sequences: Vec<TaggedSequence> = (0..8)
+            .map(|t| {
+                let mut s = vec![t as Symbol + 500];
+                s.extend_from_slice(&motif);
+                s.push(t as Symbol + 600);
+                s.extend_from_slice(&motif);
+                seq(t, &s)
+            })
+            .collect();
+        let groups = partition(sequences, 4);
+        let sequential: Vec<GroupPlan> =
+            groups.iter().map(|g| detect_group(g, 2)).collect();
+        let parallel = detect_parallel(groups, 2, 4);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.tags, s.tags);
+            assert_eq!(p.offsets, s.offsets);
+            assert_eq!(p.candidates, s.candidates);
+        }
+    }
+
+    #[test]
+    fn partitioning_loses_only_cross_group_repeats() {
+        // Two methods share a motif. In one group the repeat is found; in
+        // two groups (one method each) it is not — the paper's stated
+        // drawback of PlOpti.
+        let motif = [40u64, 41, 42, 43, 44, 45];
+        let sequences = vec![seq(0, &motif), seq(1, &motif)];
+        let one_group = detect_group(&sequences, 2);
+        assert_eq!(one_group.candidates.len(), 1);
+        let split = detect_parallel(partition(sequences, 2), 2, 2);
+        assert!(split.iter().all(|g| g.candidates.is_empty()));
+    }
+
+    #[test]
+    fn resolve_maps_boundaries() {
+        let plan = detect_group(&[seq(5, &[1, 2, 3]), seq(9, &[4, 5])], 2);
+        assert_eq!(plan.resolve(0), (5, 0));
+        assert_eq!(plan.resolve(2), (5, 2));
+        assert_eq!(plan.resolve(4), (9, 0));
+        assert_eq!(plan.resolve(5), (9, 1));
+    }
+}

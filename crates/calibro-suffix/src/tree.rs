@@ -1,0 +1,502 @@
+//! An online (Ukkonen) suffix tree over `u64` symbol sequences.
+//!
+//! The paper builds suffix trees over "a sequence of unsigned integers"
+//! produced by instruction mapping (§2.2 step 1-2), using the Ukkonen
+//! algorithm for its `O(n)` construction time. We use a `u64` alphabet so
+//! that the 2^32 possible AArch64 machine words and the *unique separator
+//! numbers* the paper assigns to terminator instructions (§3.3.2) can
+//! coexist without collision.
+
+use std::collections::HashMap;
+
+/// A symbol in the sequence: an instruction mapping or a separator.
+pub type Symbol = u64;
+
+/// The reserved internal terminal symbol appended by [`SuffixTree::build`].
+pub const TERMINAL: Symbol = u64::MAX;
+
+const INF: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    /// Start index of the edge label leading into this node.
+    start: usize,
+    /// One past the end of the edge label; `INF` for growing leaf edges.
+    end: usize,
+    /// Suffix link (root for nodes without an explicit link).
+    link: usize,
+    children: HashMap<Symbol, usize>,
+}
+
+impl Node {
+    fn new(start: usize, end: usize) -> Node {
+        Node { start, end, link: 0, children: HashMap::new() }
+    }
+}
+
+/// An identifier of a node inside a [`SuffixTree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(usize);
+
+/// A suffix tree built from a symbol sequence.
+///
+/// # Examples
+///
+/// The paper's Figure 1 example — "banana" has the repeated substrings
+/// "a", "an", "ana", "n", "na":
+///
+/// ```
+/// use calibro_suffix::SuffixTree;
+///
+/// let text: Vec<u64> = "banana".bytes().map(u64::from).collect();
+/// let tree = SuffixTree::build(text);
+/// let na: Vec<u64> = "na".bytes().map(u64::from).collect();
+/// assert_eq!(tree.count_occurrences(&na), 2);
+/// let ana: Vec<u64> = "ana".bytes().map(u64::from).collect();
+/// assert_eq!(tree.count_occurrences(&ana), 2); // overlapping occurrences
+/// ```
+#[derive(Debug)]
+pub struct SuffixTree {
+    nodes: Vec<Node>,
+    text: Vec<Symbol>,
+}
+
+impl SuffixTree {
+    /// Builds the suffix tree of `text` in `O(n)` amortized time
+    /// (Ukkonen's algorithm). A unique terminal symbol is appended
+    /// internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text` contains the reserved [`TERMINAL`] symbol.
+    #[must_use]
+    pub fn build(mut text: Vec<Symbol>) -> SuffixTree {
+        assert!(
+            !text.contains(&TERMINAL),
+            "input must not contain the reserved terminal symbol"
+        );
+        text.push(TERMINAL);
+        let mut builder = Builder {
+            nodes: vec![Node::new(0, 0)],
+            text: &text,
+            active_node: 0,
+            active_edge: 0,
+            active_len: 0,
+            remainder: 0,
+            need_link: 0,
+        };
+        for pos in 0..text.len() {
+            builder.extend(pos);
+        }
+        SuffixTree { nodes: builder.nodes, text }
+    }
+
+    /// The sequence the tree was built from, including the terminal.
+    #[must_use]
+    pub fn text(&self) -> &[Symbol] {
+        &self.text
+    }
+
+    /// Number of symbols in the original sequence (excluding the terminal).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.text.len() - 1
+    }
+
+    /// Returns `true` if the original sequence was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of nodes, root included (a linear-construction witness used
+    /// in tests: at most `2n` for a text of length `n`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn edge_len(&self, id: usize) -> usize {
+        let node = &self.nodes[id];
+        node.end.min(self.text.len()) - node.start
+    }
+
+    /// Walks the tree along `pattern`; returns the node at or immediately
+    /// below the locus, or `None` if the pattern does not occur.
+    fn locate(&self, pattern: &[Symbol]) -> Option<usize> {
+        let mut node = 0;
+        let mut matched = 0;
+        while matched < pattern.len() {
+            let &child = self.nodes[node].children.get(&pattern[matched])?;
+            let start = self.nodes[child].start;
+            let len = self.edge_len(child);
+            for k in 0..len {
+                if matched == pattern.len() {
+                    return Some(child);
+                }
+                if self.text[start + k] != pattern[matched] {
+                    return None;
+                }
+                matched += 1;
+            }
+            node = child;
+        }
+        Some(node)
+    }
+
+    /// Counts how many times `pattern` occurs in the sequence (including
+    /// overlapping occurrences). The empty pattern occurs `len + 1` times
+    /// by convention (all suffix starts).
+    #[must_use]
+    pub fn count_occurrences(&self, pattern: &[Symbol]) -> usize {
+        match self.locate(pattern) {
+            Some(node) => self.leaf_count(node),
+            None => 0,
+        }
+    }
+
+    /// Returns the sorted start positions of all occurrences of `pattern`.
+    #[must_use]
+    pub fn find_positions(&self, pattern: &[Symbol]) -> Vec<usize> {
+        let Some(node) = self.locate(pattern) else { return Vec::new() };
+        let mut positions = self.suffix_indices_below(node, self.depth_of(node));
+        positions.sort_unstable();
+        positions
+    }
+
+    fn leaf_count(&self, node: usize) -> usize {
+        let mut count = 0;
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            if self.nodes[id].children.is_empty() {
+                count += 1;
+            } else {
+                stack.extend(self.nodes[id].children.values().copied());
+            }
+        }
+        count
+    }
+
+    /// Suffix start indices of all leaves in the subtree of `node`,
+    /// given as positions in the original sequence. `depth` is the path
+    /// label length of `node` (its root distance in symbols); passing it
+    /// in keeps this query O(subtree) instead of O(tree).
+    fn suffix_indices_below(&self, node: usize, depth: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let base = depth - self.edge_len(node);
+        let mut stack = vec![(node, self.edge_len(node))];
+        while let Some((id, below)) = stack.pop() {
+            if self.nodes[id].children.is_empty() {
+                out.push(self.text.len() - (base + below));
+            } else {
+                for &c in self.nodes[id].children.values() {
+                    stack.push((c, below + self.edge_len(c)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth (path label length) of `node`, computed by a full-tree DFS.
+    /// Used only on query paths; the bulk traversals compute depths
+    /// incrementally.
+    fn depth_of(&self, target: usize) -> usize {
+        if target == 0 {
+            return 0;
+        }
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((id, depth)) = stack.pop() {
+            for &c in self.nodes[id].children.values() {
+                let d = depth + self.edge_len(c);
+                if c == target {
+                    return d;
+                }
+                stack.push((c, d));
+            }
+        }
+        unreachable!("node {target} not reachable from root");
+    }
+
+    /// Visits every internal node (excluding the root) with its path
+    /// length and descendant-leaf count — the raw material for the
+    /// paper's repeat detection (§2.2 step 3).
+    ///
+    /// Path lengths are clipped to exclude the terminal symbol, which can
+    /// only appear on leaf edges.
+    pub fn visit_internal<F: FnMut(InternalNode)>(&self, mut visit: F) {
+        if self.nodes[0].children.is_empty() {
+            return;
+        }
+        // Post-order accumulation of leaf counts.
+        let n = self.nodes.len();
+        let mut leaf_counts = vec![0usize; n];
+        let mut depths = vec![0usize; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            for &c in self.nodes[id].children.values() {
+                depths[c] = depths[id] + self.edge_len(c);
+                stack.push(c);
+            }
+        }
+        for &id in order.iter().rev() {
+            if self.nodes[id].children.is_empty() {
+                leaf_counts[id] = 1;
+            } else {
+                let mut sum = 0;
+                for &c in self.nodes[id].children.values() {
+                    sum += leaf_counts[c];
+                }
+                leaf_counts[id] = sum;
+            }
+        }
+        for &id in &order {
+            if id == 0 || self.nodes[id].children.is_empty() {
+                continue;
+            }
+            visit(InternalNode {
+                id: NodeId(id),
+                len: depths[id],
+                count: leaf_counts[id],
+            });
+        }
+    }
+
+    /// Returns the sorted start positions of the substring represented by
+    /// an internal node reported by [`SuffixTree::visit_internal`].
+    /// `len` must be the node's reported path length.
+    #[must_use]
+    pub fn positions_of(&self, node: NodeId, len: usize) -> Vec<usize> {
+        let mut positions = self.suffix_indices_below(node.0, len);
+        positions.sort_unstable();
+        positions
+    }
+
+    /// Enumerates all suffixes of the original sequence by walking the
+    /// tree (test oracle; exponential-free but allocates heavily).
+    #[must_use]
+    pub fn suffixes(&self) -> Vec<Vec<Symbol>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(0usize, Vec::new())];
+        while let Some((id, prefix)) = stack.pop() {
+            if self.nodes[id].children.is_empty() && id != 0 {
+                out.push(prefix);
+                continue;
+            }
+            for &c in self.nodes[id].children.values() {
+                let node = &self.nodes[c];
+                let end = node.end.min(self.text.len());
+                let mut next = prefix.clone();
+                next.extend_from_slice(&self.text[node.start..end]);
+                stack.push((c, next));
+            }
+        }
+        out
+    }
+}
+
+/// An internal node summary passed to [`SuffixTree::visit_internal`].
+#[derive(Clone, Copy, Debug)]
+pub struct InternalNode {
+    /// Handle for position queries.
+    pub id: NodeId,
+    /// Path label length == length of the repeated substring.
+    pub len: usize,
+    /// Number of descendant leaves == number of (overlapping) occurrences.
+    pub count: usize,
+}
+
+struct Builder<'t> {
+    nodes: Vec<Node>,
+    text: &'t [Symbol],
+    active_node: usize,
+    active_edge: usize,
+    active_len: usize,
+    remainder: usize,
+    need_link: usize,
+}
+
+impl Builder<'_> {
+    fn add_link(&mut self, node: usize) {
+        if self.need_link != 0 {
+            self.nodes[self.need_link].link = node;
+        }
+        self.need_link = node;
+    }
+
+    fn edge_len(&self, id: usize, pos: usize) -> usize {
+        let node = &self.nodes[id];
+        node.end.min(pos + 1) - node.start
+    }
+
+    fn walk_down(&mut self, next: usize, pos: usize) -> bool {
+        let len = self.edge_len(next, pos);
+        if self.active_len >= len {
+            self.active_edge += len;
+            self.active_len -= len;
+            self.active_node = next;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn extend(&mut self, pos: usize) {
+        self.need_link = 0;
+        self.remainder += 1;
+        let c = self.text[pos];
+        while self.remainder > 0 {
+            if self.active_len == 0 {
+                self.active_edge = pos;
+            }
+            let edge_sym = self.text[self.active_edge];
+            match self.nodes[self.active_node].children.get(&edge_sym).copied() {
+                None => {
+                    let leaf = self.nodes.len();
+                    self.nodes.push(Node::new(pos, INF));
+                    self.nodes[self.active_node].children.insert(edge_sym, leaf);
+                    let an = self.active_node;
+                    self.add_link(an);
+                }
+                Some(next) => {
+                    if self.walk_down(next, pos) {
+                        continue;
+                    }
+                    if self.text[self.nodes[next].start + self.active_len] == c {
+                        self.active_len += 1;
+                        let an = self.active_node;
+                        self.add_link(an);
+                        break;
+                    }
+                    // Split the edge.
+                    let split = self.nodes.len();
+                    let next_start = self.nodes[next].start;
+                    self.nodes.push(Node::new(next_start, next_start + self.active_len));
+                    self.nodes[self.active_node].children.insert(edge_sym, split);
+                    let leaf = self.nodes.len();
+                    self.nodes.push(Node::new(pos, INF));
+                    self.nodes[split].children.insert(c, leaf);
+                    self.nodes[next].start += self.active_len;
+                    let next_sym = self.text[self.nodes[next].start];
+                    self.nodes[split].children.insert(next_sym, next);
+                    self.add_link(split);
+                }
+            }
+            self.remainder -= 1;
+            if self.active_node == 0 && self.active_len > 0 {
+                self.active_len -= 1;
+                self.active_edge = pos - self.remainder + 1;
+            } else if self.active_node != 0 {
+                self.active_node = self.nodes[self.active_node].link;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(s: &str) -> Vec<Symbol> {
+        s.bytes().map(Symbol::from).collect()
+    }
+
+    #[test]
+    fn banana_matches_paper_figure_1() {
+        let tree = SuffixTree::build(bytes("banana"));
+        // Seven suffixes including the terminal-only one.
+        let mut suffixes = tree.suffixes();
+        suffixes.sort();
+        assert_eq!(suffixes.len(), 7);
+        // "na" occurs twice (Figure 1's rightmost non-leaf node).
+        assert_eq!(tree.count_occurrences(&bytes("na")), 2);
+        assert_eq!(tree.find_positions(&bytes("na")), vec![2, 4]);
+        // "ana" occurs twice, overlapping (second leftmost non-leaf node).
+        assert_eq!(tree.count_occurrences(&bytes("ana")), 2);
+        assert_eq!(tree.find_positions(&bytes("ana")), vec![1, 3]);
+        // "banana" itself occurs once; "nab" never.
+        assert_eq!(tree.count_occurrences(&bytes("banana")), 1);
+        assert_eq!(tree.count_occurrences(&bytes("nab")), 0);
+    }
+
+    #[test]
+    fn internal_nodes_of_banana() {
+        let tree = SuffixTree::build(bytes("banana"));
+        let mut repeats: Vec<(usize, usize)> = Vec::new();
+        tree.visit_internal(|n| repeats.push((n.len, n.count)));
+        repeats.sort_unstable();
+        // Internal nodes: "a" (3 leaves), "ana" (2), "na" (2).
+        assert_eq!(repeats, vec![(1, 3), (2, 2), (3, 2)]);
+    }
+
+    #[test]
+    fn positions_of_internal_nodes() {
+        let tree = SuffixTree::build(bytes("banana"));
+        let mut checked = 0;
+        tree.visit_internal(|n| {
+            let positions = tree.positions_of(n.id, n.len);
+            assert_eq!(positions.len(), n.count);
+            // Every position must carry the same substring.
+            let first = &tree.text()[positions[0]..positions[0] + n.len];
+            for &p in &positions {
+                assert_eq!(&tree.text()[p..p + n.len], first);
+            }
+            checked += 1;
+        });
+        assert_eq!(checked, 3);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let tree = SuffixTree::build(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.count_occurrences(&[]), 1);
+        let tree = SuffixTree::build(vec![7]);
+        assert_eq!(tree.count_occurrences(&[7]), 1);
+        assert_eq!(tree.count_occurrences(&[8]), 0);
+    }
+
+    #[test]
+    fn all_same_symbol() {
+        let tree = SuffixTree::build(vec![5; 20]);
+        assert_eq!(tree.count_occurrences(&[5; 10]), 11);
+        assert_eq!(tree.find_positions(&[5; 19]), vec![0, 1]);
+    }
+
+    #[test]
+    fn node_count_is_linear() {
+        let text: Vec<Symbol> = (0..1000).map(|i| u64::from(i % 17 == 0)).collect();
+        let tree = SuffixTree::build(text);
+        assert!(tree.node_count() <= 2 * (tree.len() + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved terminal")]
+    fn rejects_terminal_in_input() {
+        let _ = SuffixTree::build(vec![1, TERMINAL, 2]);
+    }
+
+    #[test]
+    fn separators_confine_repeats() {
+        // Two identical blocks joined by unique separators never produce a
+        // repeat spanning the separator.
+        let a = [10u64, 11, 12];
+        let mut text = Vec::new();
+        text.extend_from_slice(&a);
+        text.push(1 << 33); // unique separator 1
+        text.extend_from_slice(&a);
+        text.push((1 << 33) + 1); // unique separator 2
+        let tree = SuffixTree::build(text);
+        assert_eq!(tree.count_occurrences(&[10, 11, 12]), 2);
+        // No repeat includes a separator symbol.
+        tree.visit_internal(|n| {
+            let positions = tree.positions_of(n.id, n.len);
+            for &p in &positions {
+                for s in &tree.text()[p..p + n.len] {
+                    assert!(*s < (1 << 33), "repeat contains separator");
+                }
+            }
+        });
+    }
+}

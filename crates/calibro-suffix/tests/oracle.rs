@@ -1,0 +1,98 @@
+//! Property tests checking the suffix tree against naive oracles.
+
+use calibro_suffix::{
+    naive_count, naive_positions, repeated_substrings, select_outline_plan, SuffixTree,
+};
+use proptest::prelude::*;
+
+/// Small-alphabet sequences maximize repeat structure.
+fn small_alphabet_text() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4, 0..200)
+}
+
+fn pattern() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..4, 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tree stores exactly the suffixes of the input.
+    #[test]
+    fn suffixes_are_exact(text in small_alphabet_text()) {
+        let tree = SuffixTree::build(text.clone());
+        let mut got = tree.suffixes();
+        got.sort();
+        let mut terminated = text.clone();
+        terminated.push(calibro_suffix::TERMINAL);
+        let mut expected: Vec<Vec<u64>> =
+            (0..terminated.len()).map(|i| terminated[i..].to_vec()).collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Occurrence counting matches naive scanning for arbitrary patterns.
+    #[test]
+    fn counts_match_naive(text in small_alphabet_text(), pat in pattern()) {
+        let tree = SuffixTree::build(text.clone());
+        prop_assert_eq!(tree.count_occurrences(&pat), naive_count(&text, &pat));
+    }
+
+    /// Position listing matches naive scanning.
+    #[test]
+    fn positions_match_naive(text in small_alphabet_text(), pat in pattern()) {
+        prop_assume!(!pat.is_empty());
+        let tree = SuffixTree::build(text.clone());
+        prop_assert_eq!(tree.find_positions(&pat), naive_positions(&text, &pat));
+    }
+
+    /// Patterns sampled from the text itself are always found.
+    #[test]
+    fn substrings_are_found(text in small_alphabet_text(), start in 0usize..200, len in 1usize..10) {
+        prop_assume!(!text.is_empty());
+        let start = start % text.len();
+        let end = (start + len).min(text.len());
+        let pat = text[start..end].to_vec();
+        let tree = SuffixTree::build(text.clone());
+        let positions = tree.find_positions(&pat);
+        prop_assert!(positions.contains(&start));
+    }
+
+    /// Every brute-force repeated substring is countable through the tree
+    /// with the same multiplicity.
+    #[test]
+    fn repeats_match_bruteforce(text in small_alphabet_text()) {
+        let tree = SuffixTree::build(text.clone());
+        for (pat, count) in repeated_substrings(&text, 1, 6) {
+            prop_assert_eq!(tree.count_occurrences(&pat), count);
+        }
+    }
+
+    /// Outline plans are sound: every position carries the claimed
+    /// symbols, positions never overlap, and each candidate profits.
+    #[test]
+    fn outline_plans_are_sound(text in small_alphabet_text()) {
+        let n = text.len();
+        let tree = SuffixTree::build(text.clone());
+        let plan = select_outline_plan(&tree, 2, n);
+        let mut claimed = vec![false; n];
+        for cand in &plan {
+            prop_assert!(cand.positions.len() >= 2);
+            prop_assert!(cand.saving() > 0);
+            for &p in &cand.positions {
+                prop_assert_eq!(&text[p..p + cand.len], cand.symbols.as_slice());
+                for slot in &mut claimed[p..p + cand.len] {
+                    prop_assert!(!*slot);
+                    *slot = true;
+                }
+            }
+        }
+    }
+
+    /// The node count stays within the 2n+1 Ukkonen bound.
+    #[test]
+    fn node_count_linear(text in small_alphabet_text()) {
+        let tree = SuffixTree::build(text.clone());
+        prop_assert!(tree.node_count() <= 2 * (text.len() + 1).max(1));
+    }
+}

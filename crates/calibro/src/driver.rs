@@ -1,0 +1,204 @@
+//! The `dex2oat`-style build driver: Figure 5 of the paper end to end —
+//! per-method HGraph construction, optimization passes, code generation
+//! (with optional CTO and metadata collection), optional link-time
+//! outlining (LTBO, with PlOpti / HfOpti), and final linking.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
+use calibro_dex::DexFile;
+use calibro_hgraph::{build_hgraph, run_inlining, run_pipeline, InlineConfig};
+use calibro_oat::{link, LinkError, LinkInput, OatFile, DEFAULT_BASE_ADDRESS};
+
+use crate::ltbo::{run_ltbo, LtboConfig, LtboMode, LtboStats};
+
+/// Full build configuration — one row of the paper's Table 4 matrix.
+#[derive(Clone, Debug)]
+pub struct BuildOptions {
+    /// Compilation-time outlining of the three ART patterns (§3.1).
+    pub cto: bool,
+    /// Link-time binary outlining (§3.2-§3.3); `None` disables LTBO.
+    pub ltbo: Option<LtboMode>,
+    /// Minimum outlined sequence length (instructions).
+    pub min_seq_len: usize,
+    /// Hot methods to filter (§3.4.2), usually from
+    /// [`calibro_profile`](https://docs.rs) profiling.
+    pub hot_methods: Option<HashSet<u32>>,
+    /// Load address for the text segment.
+    pub base_address: u64,
+    /// Collect LTBO metadata even when LTBO is off (used by the
+    /// redundancy-analysis tooling behind the paper's Table 1).
+    pub force_metadata: bool,
+    /// Run whole-program inlining of small leaf methods before the
+    /// per-method passes (dex2oat inlines; off by default here so the
+    /// headline numbers isolate the outlining contribution).
+    pub inlining: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> BuildOptions {
+        BuildOptions {
+            cto: false,
+            ltbo: None,
+            min_seq_len: 2,
+            hot_methods: None,
+            base_address: DEFAULT_BASE_ADDRESS,
+            force_metadata: false,
+            inlining: false,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// The paper's Baseline: all dex2oat optimizations, no outlining.
+    #[must_use]
+    pub fn baseline() -> BuildOptions {
+        BuildOptions::default()
+    }
+
+    /// The paper's `CTO` configuration.
+    #[must_use]
+    pub fn cto() -> BuildOptions {
+        BuildOptions { cto: true, ..BuildOptions::default() }
+    }
+
+    /// The paper's `CTO+LTBO` configuration (single global suffix tree).
+    #[must_use]
+    pub fn cto_ltbo() -> BuildOptions {
+        BuildOptions { cto: true, ltbo: Some(LtboMode::Global), ..BuildOptions::default() }
+    }
+
+    /// The paper's `CTO+LTBO+PlOpti` configuration.
+    #[must_use]
+    pub fn cto_ltbo_parallel(groups: usize, threads: usize) -> BuildOptions {
+        BuildOptions {
+            cto: true,
+            ltbo: Some(LtboMode::Parallel { groups, threads }),
+            ..BuildOptions::default()
+        }
+    }
+
+    /// Adds hot-function filtering (`HfOpti`, §3.4.2).
+    #[must_use]
+    pub fn with_hot_filter(mut self, hot: HashSet<u32>) -> BuildOptions {
+        self.hot_methods = Some(hot);
+        self
+    }
+}
+
+/// Phase timings and statistics for one build (Table 6's raw data).
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// Time compiling methods (HGraph + passes + codegen).
+    pub compile_time: Duration,
+    /// Time in LTBO (suffix trees + outlining + patching).
+    pub ltbo_time: Duration,
+    /// Time linking and encoding.
+    pub link_time: Duration,
+    /// LTBO statistics (zeroed when LTBO is off).
+    pub ltbo: LtboStats,
+    /// Methods compiled.
+    pub methods: usize,
+    /// Total instruction words before LTBO.
+    pub words_before_ltbo: usize,
+}
+
+impl BuildStats {
+    /// Total wall-clock build time.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.compile_time + self.ltbo_time + self.link_time
+    }
+}
+
+/// The output of a build.
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The linked OAT file.
+    pub oat: OatFile,
+    /// Build statistics.
+    pub stats: BuildStats,
+}
+
+/// A build failure.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The input dex file failed verification.
+    Verify(calibro_dex::VerifyError),
+    /// Linking failed.
+    Link(LinkError),
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::Verify(e) => write!(f, "dex verification failed: {e}"),
+            BuildError::Link(e) => write!(f, "linking failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Compiles a dex file into an OAT file under the given options — the
+/// reproduction's `dex2oat` entry point.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if the input fails bytecode verification or
+/// the final link fails.
+pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
+    calibro_dex::verify(dex).map_err(BuildError::Verify)?;
+    let mut stats = BuildStats::default();
+
+    // --- Compile every method (Figure 5 left half). ---------------------
+    let collect_metadata = options.ltbo.is_some() || options.force_metadata;
+    let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
+    let start = Instant::now();
+    // Build all graphs first so whole-program inlining can see callees.
+    let mut graphs: Vec<Option<calibro_hgraph::HGraph>> = dex
+        .methods()
+        .iter()
+        .map(|m| if m.is_native { None } else { Some(build_hgraph(m)) })
+        .collect();
+    if options.inlining {
+        run_inlining(&mut graphs, &InlineConfig::default());
+    }
+    let mut methods: Vec<CompiledMethod> = Vec::with_capacity(dex.methods().len());
+    for (method, graph) in dex.methods().iter().zip(&mut graphs) {
+        match graph {
+            None => methods.push(compile_native_stub(method.id, &codegen_opts)),
+            Some(graph) => {
+                run_pipeline(graph);
+                methods.push(compile_method(graph, &codegen_opts));
+            }
+        }
+    }
+    stats.methods = methods.len();
+    stats.words_before_ltbo = methods.iter().map(CompiledMethod::size_words).sum();
+    stats.compile_time = start.elapsed();
+
+    // --- LTBO (Figure 5: "LTBO.2" before final linking). -----------------
+    let mut outlined = Vec::new();
+    if let Some(mode) = options.ltbo {
+        let start = Instant::now();
+        let config = LtboConfig {
+            mode,
+            min_len: options.min_seq_len,
+            hot_methods: options.hot_methods.clone(),
+        };
+        let result = run_ltbo(&mut methods, &config);
+        outlined = result.outlined;
+        stats.ltbo = result.stats;
+        stats.ltbo_time = start.elapsed();
+    }
+
+    // --- Link. -----------------------------------------------------------
+    let start = Instant::now();
+    let oat = link(&LinkInput { methods, outlined }, options.base_address)
+        .map_err(BuildError::Link)?;
+    stats.link_time = start.elapsed();
+
+    Ok(BuildOutput { oat, stats })
+}

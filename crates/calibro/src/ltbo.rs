@@ -1,0 +1,365 @@
+//! LTBO.2 — linking-time binary code outlining (§3.3 of the paper).
+//!
+//! Consumes the compiled methods *with* their §3.2 metadata, and:
+//!
+//! 1. chooses candidate methods (§3.3.1) — excluding methods with
+//!    indirect jumps and Java-native stubs; under hot-function filtering
+//!    (§3.4.2) hot methods contribute only their slow paths;
+//! 2. maps each method's code to a symbol sequence in which terminators
+//!    become unique separator numbers (§3.3.2) — plus, for binary-level
+//!    soundness, unique numbers for basic-block leaders, PC-relative
+//!    instructions, link-register users and SP writers;
+//! 3. detects repetitive sequences with (optionally paralleled, §3.4.1)
+//!    suffix trees and the Figure 2 benefit model;
+//! 4. outlines each selected sequence into a function ending in
+//!    `br x30`, replaces occurrences with `bl`, and
+//! 5. patches every PC-relative instruction whose relative target moved
+//!    (§3.3.4) while updating terminator/slow-path/stack-map records
+//!    (§3.5).
+
+use std::collections::HashSet;
+
+use calibro_codegen::{CallTarget, CompiledMethod, PcRel, Reloc};
+use calibro_isa::Insn;
+use calibro_suffix::{detect_group, detect_parallel, partition, GroupPlan, TaggedSequence};
+
+/// How the suffix-tree stage runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LtboMode {
+    /// One global suffix tree over all candidate methods (§3.3).
+    Global,
+    /// `PlOpti` (§3.4.1): partition candidates into `groups` groups and
+    /// run them on `threads` worker threads.
+    Parallel {
+        /// Number of per-group suffix trees.
+        groups: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+}
+
+/// LTBO configuration.
+#[derive(Clone, Debug)]
+pub struct LtboConfig {
+    /// Suffix-tree organization.
+    pub mode: LtboMode,
+    /// Minimum repeated-sequence length in instructions.
+    pub min_len: usize,
+    /// Hot methods (from `HfOpti` profiling, §3.4.2): only their slow
+    /// paths are outlined. `None` disables hot filtering.
+    pub hot_methods: Option<HashSet<u32>>,
+}
+
+impl Default for LtboConfig {
+    fn default() -> LtboConfig {
+        LtboConfig { mode: LtboMode::Global, min_len: 2, hot_methods: None }
+    }
+}
+
+/// Statistics reported by [`run_ltbo`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct LtboStats {
+    /// Methods eligible for outlining after §3.3.1 exclusions.
+    pub candidate_methods: usize,
+    /// Methods excluded for indirect jumps or nativeness.
+    pub excluded_methods: usize,
+    /// Hot methods restricted to slow paths.
+    pub hot_restricted_methods: usize,
+    /// Outlined functions created.
+    pub outlined_functions: usize,
+    /// Call sites rewritten.
+    pub occurrences_replaced: usize,
+    /// Net instruction words saved (occurrences shrunk minus outlined
+    /// function bodies added).
+    pub words_saved: i64,
+    /// PC-relative instructions patched (§3.3.4).
+    pub pc_rel_patched: usize,
+    /// Stack-map entries updated (§3.5).
+    pub stack_maps_updated: usize,
+}
+
+/// The result of a link-time outlining run.
+#[derive(Debug)]
+pub struct LtboResult {
+    /// The outlined functions, in `CallTarget::Outlined` index order.
+    pub outlined: Vec<Vec<Insn>>,
+    /// Run statistics.
+    pub stats: LtboStats,
+}
+
+const UNIQUE_BASE: u64 = 1 << 40;
+
+/// One planned rewrite within a method.
+struct Edit {
+    start: usize,
+    len: usize,
+    outlined: u32,
+}
+
+/// Runs LTBO over the compiled methods, mutating them in place and
+/// returning the outlined functions to hand to the linker.
+///
+/// # Panics
+///
+/// Panics if metadata is inconsistent with the code (these are internal
+/// invariants; the compiler produces consistent metadata).
+pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResult {
+    let mut stats = LtboStats::default();
+
+    // --- §3.3.1: choose candidates; §3.3.2: map to symbols. ------------
+    let mut unique = UNIQUE_BASE;
+    let mut sequences = Vec::new();
+    let mut sym_to_word: Vec<Vec<usize>> = vec![Vec::new(); methods.len()];
+    for (idx, m) in methods.iter().enumerate() {
+        if m.metadata.has_indirect_jump || m.metadata.is_native_stub {
+            stats.excluded_methods += 1;
+            continue;
+        }
+        let hot = config
+            .hot_methods
+            .as_ref()
+            .is_some_and(|set| set.contains(&m.method.0));
+        if hot {
+            if m.metadata.slow_paths.is_empty() {
+                stats.excluded_methods += 1;
+                continue;
+            }
+            stats.hot_restricted_methods += 1;
+        }
+        stats.candidate_methods += 1;
+        let (symbols, map) = symbolize(m, hot, &mut unique);
+        sequences.push(TaggedSequence { tag: idx, symbols });
+        sym_to_word[idx] = map;
+    }
+
+    // --- §3.3.3: detect repeats and select the outline plan. ------------
+    let plans: Vec<GroupPlan> = match config.mode {
+        LtboMode::Global => vec![detect_group(&sequences, config.min_len)],
+        LtboMode::Parallel { groups, threads } => {
+            detect_parallel(partition(sequences, groups), config.min_len, threads)
+        }
+    };
+
+    // --- Materialize outlined functions and per-method edits. -----------
+    let mut outlined: Vec<Vec<Insn>> = Vec::new();
+    let mut edits: Vec<Vec<Edit>> = (0..methods.len()).map(|_| Vec::new()).collect();
+    for plan in &plans {
+        for cand in &plan.candidates {
+            let mut body: Vec<Insn> = cand
+                .symbols
+                .iter()
+                .map(|&s| {
+                    calibro_isa::decode(u32::try_from(s).expect("candidate symbol is a word"))
+                        .expect("candidate symbols decode")
+                })
+                .collect();
+            body.push(Insn::Br { rn: calibro_isa::Reg::LR });
+            let id = outlined.len() as u32;
+            stats.words_saved -= body.len() as i64;
+            outlined.push(body);
+            stats.outlined_functions += 1;
+            for &pos in &cand.positions {
+                let (tag, sym_off) = plan.resolve(pos);
+                let word = sym_to_word[tag][sym_off];
+                edits[tag].push(Edit { start: word, len: cand.len, outlined: id });
+                stats.occurrences_replaced += 1;
+                stats.words_saved += cand.len as i64 - 1;
+            }
+        }
+    }
+
+    // --- §3.3.4 + §3.5: apply edits, patch PC-relative, fix records. ----
+    for (idx, mut method_edits) in edits.into_iter().enumerate() {
+        if method_edits.is_empty() {
+            continue;
+        }
+        method_edits.sort_by_key(|e| e.start);
+        let (patched, maps_updated) = apply_edits(&mut methods[idx], &method_edits);
+        stats.pc_rel_patched += patched;
+        stats.stack_maps_updated += maps_updated;
+    }
+
+    LtboResult { outlined, stats }
+}
+
+/// Builds the §3.3.2 symbol sequence for one method. Returns the symbols
+/// and the symbol-index -> word-index map (separators map to
+/// `usize::MAX`).
+fn symbolize(m: &CompiledMethod, hot_slow_paths_only: bool, unique: &mut u64) -> (Vec<u64>, Vec<usize>) {
+    let code_len = m.insns.len();
+    let mut is_pc_rel_site = vec![false; code_len];
+    let mut is_leader = vec![false; code_len];
+    for rec in &m.metadata.pc_rel {
+        is_pc_rel_site[rec.at] = true;
+        if rec.target < code_len {
+            is_leader[rec.target] = true;
+        }
+    }
+    // Call relocations are also position-bound (the linker rewrites their
+    // offsets per site); LR rules would exclude them anyway.
+    for r in &m.relocs {
+        is_pc_rel_site[r.at] = true;
+    }
+    let mut is_terminator = vec![false; code_len];
+    for &t in &m.metadata.terminators {
+        if t < code_len {
+            is_terminator[t] = true;
+        }
+    }
+
+    let mut symbols = Vec::with_capacity(code_len + 8);
+    let mut map = Vec::with_capacity(code_len + 8);
+    let mut fresh = |symbols: &mut Vec<u64>, map: &mut Vec<usize>, word: Option<usize>| {
+        *unique += 1;
+        symbols.push(*unique);
+        map.push(word.unwrap_or(usize::MAX));
+    };
+    for (word, insn) in m.insns.iter().enumerate() {
+        // A basic-block leader must start a fresh sequence: branches land
+        // here, so no repeat may span this boundary.
+        if is_leader[word] {
+            fresh(&mut symbols, &mut map, None);
+        }
+        let excluded = is_terminator[word]
+            || is_pc_rel_site[word]
+            || insn.reads_lr()
+            || insn.writes_lr()
+            || writes_sp(insn)
+            || (hot_slow_paths_only && !m.metadata.in_slow_path(word));
+        if excluded {
+            fresh(&mut symbols, &mut map, Some(word));
+        } else {
+            let encoded = insn.encode().expect("compiled instruction encodes");
+            symbols.push(u64::from(encoded));
+            map.push(word);
+        }
+    }
+    (symbols, map)
+}
+
+/// Returns `true` if executing the instruction changes `sp` — such
+/// instructions cannot move into an outlined function (which must be
+/// frame-transparent).
+fn writes_sp(insn: &Insn) -> bool {
+    match insn {
+        Insn::AddImm { set_flags: false, rd, .. } | Insn::SubImm { set_flags: false, rd, .. } => {
+            rd.is_reg31()
+        }
+        Insn::Stp { rn, mode, .. } | Insn::Ldp { rn, mode, .. } => {
+            rn.is_reg31() && !matches!(mode, calibro_isa::PairMode::SignedOffset)
+        }
+        _ => false,
+    }
+}
+
+/// Applies sorted, non-overlapping edits to one method: replaces each
+/// outlined range with a `bl`, rebuilds the position map, patches
+/// PC-relative instructions, and updates every §3.2/§3.5 record.
+/// Returns `(pc_rel_patched, stack_maps_updated)`.
+fn apply_edits(m: &mut CompiledMethod, edits: &[Edit]) -> (usize, usize) {
+    let old_len = m.insns.len();
+    // old word index -> new word index (usize::MAX = removed).
+    let mut map = vec![usize::MAX; old_len + m.pool.len() + 1];
+    let mut new_insns = Vec::with_capacity(old_len);
+    let mut new_relocs: Vec<Reloc> = Vec::new();
+    let mut next_edit = 0;
+    let mut word = 0;
+    while word < old_len {
+        if next_edit < edits.len() && edits[next_edit].start == word {
+            let edit = &edits[next_edit];
+            map[word] = new_insns.len();
+            new_relocs.push(Reloc {
+                at: new_insns.len(),
+                target: CallTarget::Outlined(edit.outlined),
+            });
+            new_insns.push(Insn::Bl { offset: 0 });
+            // Interior words vanish.
+            word += edit.len;
+            next_edit += 1;
+        } else {
+            map[word] = new_insns.len();
+            new_insns.push(m.insns[word]);
+            word += 1;
+        }
+    }
+    debug_assert_eq!(next_edit, edits.len(), "edit start did not align to a word");
+    // Pool words shift as a block; map old pool indices too.
+    let new_code_len = new_insns.len();
+    for (i, slot) in map.iter_mut().enumerate().skip(old_len) {
+        *slot = new_code_len + (i - old_len);
+    }
+
+    // Carry over original call relocations.
+    for r in &m.relocs {
+        let at = map[r.at];
+        assert_ne!(at, usize::MAX, "call site removed by outlining");
+        new_relocs.push(Reloc { at, target: r.target });
+    }
+    new_relocs.sort_by_key(|r| r.at);
+
+    // §3.3.4: patch PC-relative instructions with their updated offsets.
+    let mut patched = 0;
+    let mut new_pc_rel = Vec::with_capacity(m.metadata.pc_rel.len());
+    for rec in &m.metadata.pc_rel {
+        let at = map[rec.at];
+        let target = map[rec.target];
+        assert_ne!(at, usize::MAX, "PC-relative instruction removed by outlining");
+        assert_ne!(target, usize::MAX, "branch target removed by outlining");
+        let new_offset = (target as i64 - at as i64) * 4;
+        if new_insns[at].pc_rel_offset() != Some(new_offset) {
+            new_insns[at] = new_insns[at].with_pc_rel_offset(new_offset);
+            patched += 1;
+        }
+        new_pc_rel.push(PcRel { at, target });
+    }
+
+    // Terminators: removed ones (inside outlined ranges) cannot exist —
+    // terminators are separators — so every record survives remapping.
+    let mut new_terminators = Vec::with_capacity(m.metadata.terminators.len());
+    for &t in &m.metadata.terminators {
+        let nt = map[t];
+        assert_ne!(nt, usize::MAX, "terminator removed by outlining");
+        new_terminators.push(nt);
+    }
+
+    // Slow paths: remap range endpoints. Starts are leaders (branch
+    // targets) and ends follow terminators, so both survive; interior
+    // shrinkage is fine.
+    let mut new_slow = Vec::with_capacity(m.metadata.slow_paths.len());
+    for &(s, e) in &m.metadata.slow_paths {
+        let ns = map[s];
+        let ne = if e == old_len { new_code_len } else { map[e] };
+        assert_ne!(ns, usize::MAX);
+        assert_ne!(ne, usize::MAX);
+        new_slow.push((ns, ne));
+    }
+
+    // Embedded data: the pool block moved as a whole.
+    let mut new_embedded = Vec::with_capacity(m.metadata.embedded_data.len());
+    for &(s, l) in &m.metadata.embedded_data {
+        new_embedded.push((map[s], l));
+    }
+
+    // §3.5: stack maps — return offsets move with their call sites.
+    let mut maps_updated = 0;
+    for sm in &mut m.stack_maps {
+        let old_word = (sm.native_offset / 4) as usize;
+        // The entry names the word *after* the call; remap via the call.
+        let call_word = old_word - 1;
+        let new_call = map[call_word];
+        assert_ne!(new_call, usize::MAX, "call under a stack map removed");
+        let new_offset = (new_call as u32 + 1) * 4;
+        if new_offset != sm.native_offset {
+            sm.native_offset = new_offset;
+            maps_updated += 1;
+        }
+    }
+
+    m.insns = new_insns;
+    m.relocs = new_relocs;
+    m.metadata.pc_rel = new_pc_rel;
+    m.metadata.terminators = new_terminators;
+    m.metadata.slow_paths = new_slow;
+    m.metadata.embedded_data = new_embedded;
+    (patched, maps_updated)
+}

@@ -1,0 +1,64 @@
+//! Size-reduction reporting in the paper's Table 4 format.
+
+use calibro_oat::OatFile;
+
+/// A size comparison between a baseline build and an optimized build.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeReport {
+    /// Baseline `.text` bytes.
+    pub baseline_bytes: u64,
+    /// Optimized `.text` bytes.
+    pub optimized_bytes: u64,
+}
+
+impl SizeReport {
+    /// Reduction ratio relative to the baseline (Table 4's bottom rows).
+    #[must_use]
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.baseline_bytes == 0 {
+            return 0.0;
+        }
+        (self.baseline_bytes as f64 - self.optimized_bytes as f64) / self.baseline_bytes as f64
+    }
+
+    /// Bytes saved (negative when the optimized build is larger).
+    #[must_use]
+    pub fn saved_bytes(&self) -> i64 {
+        self.baseline_bytes as i64 - self.optimized_bytes as i64
+    }
+}
+
+impl core::fmt::Display for SizeReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} -> {} bytes ({:.2}% reduction)",
+            self.baseline_bytes,
+            self.optimized_bytes,
+            self.reduction_ratio() * 100.0
+        )
+    }
+}
+
+/// Builds a [`SizeReport`] from two linked OAT files.
+#[must_use]
+pub fn size_report(baseline: &OatFile, optimized: &OatFile) -> SizeReport {
+    SizeReport {
+        baseline_bytes: baseline.text_size_bytes(),
+        optimized_bytes: optimized.text_size_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_math() {
+        let r = SizeReport { baseline_bytes: 1000, optimized_bytes: 850 };
+        assert!((r.reduction_ratio() - 0.15).abs() < 1e-9);
+        assert_eq!(r.saved_bytes(), 150);
+        let r = SizeReport { baseline_bytes: 0, optimized_bytes: 0 };
+        assert_eq!(r.reduction_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! The full Figure 6 feedback loop: build a baseline, profile it over a
+//! usage trace (simpleperf-style), select the hot 80%, rebuild with
+//! hot-function filtering, and compare size and runtime cost.
+//!
+//! ```text
+//! cargo run --release --example profile_guided
+//! ```
+
+use calibro::{build, BuildOptions};
+use calibro_profile::Profile;
+use calibro_runtime::Runtime;
+use calibro_workloads::{generate, AppSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = generate(&AppSpec::small("pgo-demo", 99));
+
+    // --- First build: baseline, instrumented run. ----------------------
+    let baseline = build(&app.dex, &BuildOptions::baseline())?;
+    let mut rt = Runtime::new(&baseline.oat, &app.env);
+    for call in &app.trace {
+        rt.call(call.method, &call.args, 4_000_000)?;
+    }
+    let baseline_cycles = rt.total_cycles();
+    let profile = Profile::capture(&rt);
+    println!(
+        "profiled {} methods over {} trace calls ({} cycles total)",
+        profile.samples.len(),
+        app.trace.len(),
+        profile.total_cycles()
+    );
+
+    // The profile round-trips through the simpleperf-style text format.
+    let text = profile.to_text();
+    let profile = Profile::from_text(&text)?;
+    let hot = profile.hot_set(0.8);
+    println!("hot set (80% of cycles): {} methods", hot.len());
+
+    // --- Second builds: with and without hot filtering. ----------------
+    let unfiltered = build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6))?;
+    let filtered =
+        build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6).with_hot_filter(hot))?;
+
+    let run = |oat: &calibro_oat::OatFile| -> Result<u64, Box<dyn std::error::Error>> {
+        let mut rt = Runtime::new(oat, &app.env);
+        for call in &app.trace {
+            rt.call(call.method, &call.args, 4_000_000)?;
+        }
+        Ok(rt.total_cycles())
+    };
+
+    let unfiltered_cycles = run(&unfiltered.oat)?;
+    let filtered_cycles = run(&filtered.oat)?;
+    let pct = |c: u64| (c as f64 / baseline_cycles as f64 - 1.0) * 100.0;
+
+    println!("\n{:28} {:>10} {:>12} {:>12}", "variant", ".text", "cycles", "degradation");
+    println!(
+        "{:28} {:>10} {:>12} {:>11.2}%",
+        "baseline",
+        baseline.oat.text_size_bytes(),
+        baseline_cycles,
+        0.0
+    );
+    println!(
+        "{:28} {:>10} {:>12} {:>11.2}%",
+        "CTO+LTBO+PlOpti",
+        unfiltered.oat.text_size_bytes(),
+        unfiltered_cycles,
+        pct(unfiltered_cycles)
+    );
+    println!(
+        "{:28} {:>10} {:>12} {:>11.2}%",
+        "CTO+LTBO+PlOpti+HfOpti",
+        filtered.oat.text_size_bytes(),
+        filtered_cycles,
+        pct(filtered_cycles)
+    );
+    println!("\nhot-function filtering trades a little code size for runtime speed (§3.4.2)");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compile a tiny app with and without Calibro and compare
+//! sizes and behaviour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use calibro::{build, size_report, BuildOptions};
+use calibro_dex::{BinOp, DexFile, DexInsn, MethodBuilder, MethodId, VReg};
+use calibro_runtime::{Runtime, RuntimeEnv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Author some bytecode: eight methods that all share the same
+    //    hashing motif — the kind of redundancy Calibro eliminates.
+    let mut dex = DexFile::new();
+    let class = dex.add_class("Main", 0);
+    for i in 0..8 {
+        let mut b = MethodBuilder::new(format!("hash{i}"), 4, 2);
+        b.push(DexInsn::Const { dst: VReg(0), value: i });
+        for _ in 0..4 {
+            b.push(DexInsn::Bin { op: BinOp::Xor, dst: VReg(0), a: VReg(0), b: VReg(2) });
+            b.push(DexInsn::BinLit { op: BinOp::Mul, dst: VReg(0), a: VReg(0), lit: 31 });
+            b.push(DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(0), b: VReg(3) });
+            b.push(DexInsn::BinLit { op: BinOp::Xor, dst: VReg(0), a: VReg(0), lit: 77 });
+        }
+        b.push(DexInsn::Return { src: VReg(0) });
+        dex.add_method(b.build(class));
+    }
+
+    // 2. Build the baseline (plain dex2oat) and the Calibro pipeline
+    //    (CTO + link-time binary outlining).
+    let baseline = build(&dex, &BuildOptions::baseline())?;
+    let outlined = build(&dex, &BuildOptions::cto_ltbo())?;
+
+    let report = size_report(&baseline.oat, &outlined.oat);
+    println!("baseline  .text: {:>6} bytes", report.baseline_bytes);
+    println!("calibro   .text: {:>6} bytes", report.optimized_bytes);
+    println!("reduction      : {:>6.2}%", report.reduction_ratio() * 100.0);
+    println!(
+        "outlined {} sequences covering {} call sites",
+        outlined.stats.ltbo.outlined_functions, outlined.stats.ltbo.occurrences_replaced
+    );
+
+    // 3. Run both on the simulated device: identical results.
+    let env = RuntimeEnv { class_sizes: vec![8], ..RuntimeEnv::default() };
+    let mut rt_base = Runtime::new(&baseline.oat, &env);
+    let mut rt_out = Runtime::new(&outlined.oat, &env);
+    for m in 0..8u32 {
+        let a = rt_base.call(MethodId(m), &[123, 456], 100_000)?;
+        let b = rt_out.call(MethodId(m), &[123, 456], 100_000)?;
+        assert_eq!(a.outcome, b.outcome);
+        println!("hash{m}(123, 456) -> {:?}  (both builds agree)", a.outcome);
+    }
+
+    // 4. Serialize to a real ELF file, like an OAT file on disk.
+    let elf = calibro_oat::to_elf_bytes(&outlined.oat);
+    println!("serialized OAT ELF: {} bytes", elf.len());
+    Ok(())
+}

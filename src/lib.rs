@@ -1,0 +1,19 @@
+//! # calibro-suite
+//!
+//! Umbrella crate for the Calibro reproduction: re-exports the member
+//! crates and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! See the workspace `README.md` for the full tour, `DESIGN.md` for the
+//! architecture, and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use calibro;
+pub use calibro_codegen;
+pub use calibro_dex;
+pub use calibro_hgraph;
+pub use calibro_isa;
+pub use calibro_oat;
+pub use calibro_profile;
+pub use calibro_runtime;
+pub use calibro_suffix;
+pub use calibro_workloads;

@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: the whole stack from workload
+//! generation through build, serialization, loading and execution.
+
+use calibro::{build, BuildOptions};
+use calibro_profile::Profile;
+use calibro_runtime::Runtime;
+use calibro_workloads::{generate, paper_suite, AppSpec};
+
+#[test]
+fn the_six_app_suite_builds_and_shrinks() {
+    for app in paper_suite(0.15).iter().map(generate) {
+        let baseline = build(&app.dex, &BuildOptions::baseline()).unwrap();
+        let outlined = build(&app.dex, &BuildOptions::cto_ltbo()).unwrap();
+        assert!(
+            outlined.oat.text_size_bytes() < baseline.oat.text_size_bytes(),
+            "{}: no reduction",
+            app.name
+        );
+        calibro_oat::validate_stack_maps(&outlined.oat)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    }
+}
+
+#[test]
+fn traces_behave_identically_across_all_variants() {
+    let app = generate(&AppSpec::small("integration", 31));
+    let variants = [
+        BuildOptions::baseline(),
+        BuildOptions::cto(),
+        BuildOptions::cto_ltbo(),
+        BuildOptions::cto_ltbo_parallel(4, 2),
+    ];
+    let mut reference: Option<(Vec<calibro_runtime::ExecOutcome>, u64)> = None;
+    for options in variants {
+        let out = build(&app.dex, &options).unwrap();
+        let mut rt = Runtime::new(&out.oat, &app.env);
+        let mut outcomes = Vec::new();
+        for call in &app.trace {
+            outcomes.push(rt.call(call.method, &call.args, 4_000_000).unwrap().outcome);
+        }
+        let digest = rt.state_digest();
+        match &reference {
+            None => reference = Some((outcomes, digest)),
+            Some((ref_outcomes, ref_digest)) => {
+                assert_eq!(&outcomes, ref_outcomes);
+                assert_eq!(digest, *ref_digest);
+            }
+        }
+    }
+}
+
+#[test]
+fn oat_files_survive_the_disk_roundtrip_and_still_run() {
+    let app = generate(&AppSpec::small("roundtrip", 8));
+    let out = build(&app.dex, &BuildOptions::cto_ltbo()).unwrap();
+
+    // Serialize -> write -> read -> load -> run.
+    let elf = calibro_oat::to_elf_bytes(&out.oat);
+    let dir = std::env::temp_dir().join("calibro-roundtrip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("app.oat");
+    std::fs::write(&path, &elf).unwrap();
+    let loaded = calibro_oat::from_elf_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let mut rt_orig = Runtime::new(&out.oat, &app.env);
+    let mut rt_loaded = Runtime::new(&loaded, &app.env);
+    for call in app.trace.iter().take(20) {
+        let a = rt_orig.call(call.method, &call.args, 4_000_000).unwrap();
+        let b = rt_loaded.call(call.method, &call.args, 4_000_000).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.cycles, b.cycles, "loaded OAT must cost identically");
+    }
+}
+
+#[test]
+fn hot_filtering_reduces_runtime_overhead() {
+    let app = generate(&AppSpec::small("hf", 77));
+    let baseline = build(&app.dex, &BuildOptions::baseline()).unwrap();
+
+    // Profile the baseline (Figure 6).
+    let mut rt = Runtime::new(&baseline.oat, &app.env);
+    for call in &app.trace {
+        rt.call(call.method, &call.args, 4_000_000).unwrap();
+    }
+    let base_cycles = rt.total_cycles();
+    let hot = Profile::capture(&rt).hot_set(0.8);
+
+    let run_cycles = |options: &BuildOptions| {
+        let out = build(&app.dex, options).unwrap();
+        let mut rt = Runtime::new(&out.oat, &app.env);
+        for call in &app.trace {
+            rt.call(call.method, &call.args, 4_000_000).unwrap();
+        }
+        (out.oat.text_size_bytes(), rt.total_cycles())
+    };
+
+    let (size_plain, cycles_plain) = run_cycles(&BuildOptions::cto_ltbo_parallel(4, 2));
+    let (size_hf, cycles_hf) =
+        run_cycles(&BuildOptions::cto_ltbo_parallel(4, 2).with_hot_filter(hot));
+
+    // The paper's §3.4.2 trade-off, as inequalities.
+    assert!(cycles_hf <= cycles_plain, "HfOpti must not slow things down");
+    assert!(size_hf >= size_plain, "HfOpti gives back some size");
+    assert!(size_hf < baseline.oat.text_size_bytes(), "...but still reduces vs baseline");
+    let degradation = cycles_hf as f64 / base_cycles as f64 - 1.0;
+    assert!(degradation < 0.25, "filtered degradation {degradation} out of band");
+}
+
+#[test]
+fn profiles_written_by_one_session_drive_the_next() {
+    let app = generate(&AppSpec::small("pgo", 5));
+    let baseline = build(&app.dex, &BuildOptions::baseline()).unwrap();
+    let mut rt = Runtime::new(&baseline.oat, &app.env);
+    for call in &app.trace {
+        rt.call(call.method, &call.args, 4_000_000).unwrap();
+    }
+    let text = Profile::capture(&rt).to_text();
+    // ... next build session:
+    let profile = Profile::from_text(&text).unwrap();
+    let hot = profile.hot_set(0.8);
+    assert!(!hot.is_empty());
+    let out = build(&app.dex, &BuildOptions::cto_ltbo().with_hot_filter(hot)).unwrap();
+    assert!(out.stats.ltbo.hot_restricted_methods + out.stats.ltbo.excluded_methods > 0);
+}
