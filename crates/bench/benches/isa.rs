@@ -6,11 +6,24 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn sample_insns() -> Vec<Insn> {
     vec![
-        Insn::AddImm { wide: false, set_flags: false, rd: Reg::X0, rn: Reg::X1, imm12: 42, shift12: false },
+        Insn::AddImm {
+            wide: false,
+            set_flags: false,
+            rd: Reg::X0,
+            rn: Reg::X1,
+            imm12: 42,
+            shift12: false,
+        },
         Insn::LdrImm { wide: true, rt: Reg::LR, rn: Reg::X0, offset: 24 },
         Insn::Blr { rn: Reg::LR },
         Insn::Cbz { wide: false, rt: Reg::X0, offset: 0x40 },
-        Insn::Stp { rt: Reg::FP, rt2: Reg::LR, rn: Reg::SP, offset: -32, mode: calibro_isa::PairMode::PreIndex },
+        Insn::Stp {
+            rt: Reg::FP,
+            rt2: Reg::LR,
+            rn: Reg::SP,
+            offset: -32,
+            mode: calibro_isa::PairMode::PreIndex,
+        },
         Insn::Movz { wide: false, rd: Reg::X9, imm16: 999, hw: 0 },
         Insn::Ret { rn: Reg::LR },
     ]

@@ -9,9 +9,8 @@ use rand::{Rng, SeedableRng};
 /// Builds method-like sequences with shared motifs.
 fn sequences(n_methods: usize, len: usize, seed: u64) -> Vec<TaggedSequence> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let motifs: Vec<Vec<u64>> = (0..16)
-        .map(|_| (0..rng.gen_range(3..8)).map(|_| rng.gen_range(0..64)).collect())
-        .collect();
+    let motifs: Vec<Vec<u64>> =
+        (0..16).map(|_| (0..rng.gen_range(3..8)).map(|_| rng.gen_range(0..64)).collect()).collect();
     (0..n_methods)
         .map(|tag| {
             let mut symbols = Vec::with_capacity(len);

@@ -121,10 +121,7 @@ fn print_fig1() {
 
 fn print_fig3(apps: &[calibro_workloads::App]) {
     let app = apps.iter().find(|a| a.name == "wechat").unwrap_or(&apps[0]);
-    header(&format!(
-        "Figure 3: sequence length vs number of repeats ({} baseline)",
-        app.name
-    ));
+    header(&format!("Figure 3: sequence length vs number of repeats ({} baseline)", app.name));
     println!("{:>6} {:>12} {:>14}", "len", "sequences", "total repeats");
     for p in fig3(app, 16) {
         println!("{:>6} {:>12} {:>14}", p.len, p.sequences, p.total_repeats);
@@ -133,10 +130,7 @@ fn print_fig3(apps: &[calibro_workloads::App]) {
 
 fn print_fig4(apps: &[calibro_workloads::App]) {
     let app = apps.iter().find(|a| a.name == "wechat").unwrap_or(&apps[0]);
-    header(&format!(
-        "Figure 4: ART-specific repetitive pattern census ({} baseline)",
-        app.name
-    ));
+    header(&format!("Figure 4: ART-specific repetitive pattern census ({} baseline)", app.name));
     let c = fig4(app);
     let mut rows: Vec<(String, usize)> = vec![
         ("Java function call (Fig 4a)".to_owned(), c.java_call),
@@ -163,11 +157,11 @@ fn print_table2() {
 
 fn print_table3() {
     header("Table 3: experimental setup");
-    println!("  {:26} {}", "Experiment device", "simulated AArch64 (calibro-runtime)");
-    println!("  {:26} {}", "Processor model", "1 cycle/insn + call/branch penalties + 32KiB L1I");
-    println!("  {:26} {}", "Suffix trees (PlOpti)", format!("{PL_GROUPS} trees / {PL_THREADS} threads"));
-    println!("  {:26} {}", "Test set", "six seeded synthetic apps ~ Table 4 size ratios");
-    println!("  {:26} {}", "Compile mode", "speed (all methods compiled)");
+    println!("  {:26} simulated AArch64 (calibro-runtime)", "Experiment device");
+    println!("  {:26} 1 cycle/insn + call/branch penalties + 32KiB L1I", "Processor model");
+    println!("  {:26} {PL_GROUPS} trees / {PL_THREADS} threads", "Suffix trees (PlOpti)");
+    println!("  {:26} six seeded synthetic apps ~ Table 4 size ratios", "Test set");
+    println!("  {:26} speed (all methods compiled)", "Compile mode");
 }
 
 fn print_table4(apps: &[calibro_workloads::App]) {
@@ -225,6 +219,13 @@ fn print_table5(apps: &[calibro_workloads::App]) {
 fn print_table6(apps: &[calibro_workloads::App]) {
     header("Table 6: building time (paper: single tree +489.5%, PlOpti +70.8%)");
     let cols = table6(apps);
+    // Dump the full observability payload (per-phase wall/cpu timings,
+    // pass counters, per-worker loads) next to the human-readable table.
+    let json_path = "BENCH_table6.json";
+    match std::fs::write(json_path, bench::table6_json(&cols)) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
     print!("{:24}", "");
     for c in &cols {
         print!("{:>10}", c.app);

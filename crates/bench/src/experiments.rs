@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use calibro::{build, BuildOptions, BuildOutput};
+use calibro::{build, BuildOptions, BuildOutput, BuildStats};
 use calibro_dex::MethodId;
 use calibro_oat::OatFile;
 use calibro_profile::Profile;
@@ -38,8 +38,13 @@ pub enum Variant {
 
 impl Variant {
     /// All variants in Table 4 order.
-    pub const ALL: [Variant; 5] =
-        [Variant::Baseline, Variant::Cto, Variant::CtoLtbo, Variant::CtoLtboPl, Variant::CtoLtboPlHf];
+    pub const ALL: [Variant; 5] = [
+        Variant::Baseline,
+        Variant::Cto,
+        Variant::CtoLtbo,
+        Variant::CtoLtboPl,
+        Variant::CtoLtboPlHf,
+    ];
 
     /// The paper's row label.
     #[must_use]
@@ -64,14 +69,21 @@ pub const PL_THREADS: usize = 6;
 /// (profiling the baseline build over the app's trace, as in Figure 6).
 #[must_use]
 pub fn build_variant(app: &App, variant: Variant) -> BuildOutput {
+    // The parallel variants also fan the per-method compile phase across
+    // the worker pool; the output is bit-identical to a sequential
+    // compile, so only the Table 6 timings move.
     let options = match variant {
         Variant::Baseline => BuildOptions::baseline(),
         Variant::Cto => BuildOptions::cto(),
         Variant::CtoLtbo => BuildOptions::cto_ltbo(),
-        Variant::CtoLtboPl => BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS),
+        Variant::CtoLtboPl => {
+            BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS).with_compile_threads(PL_THREADS)
+        }
         Variant::CtoLtboPlHf => {
             let hot = profile_hot_set(app, 0.8);
-            BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS).with_hot_filter(hot)
+            BuildOptions::cto_ltbo_parallel(PL_GROUPS, PL_THREADS)
+                .with_compile_threads(PL_THREADS)
+                .with_hot_filter(hot)
         }
     };
     build(&app.dex, &options).expect("build")
@@ -127,9 +139,7 @@ pub fn analysis_sequence(oat: &OatFile) -> Vec<u64> {
     for record in &oat.methods {
         let start = (record.offset / 4) as usize;
         for w in 0..record.code_words {
-            if record.metadata.in_embedded_data(w)
-                || record.metadata.terminators.contains(&w)
-            {
+            if record.metadata.in_embedded_data(w) || record.metadata.terminators.contains(&w) {
                 unique += 1;
                 symbols.push(unique);
             } else {
@@ -147,11 +157,9 @@ pub fn analysis_sequence(oat: &OatFile) -> Vec<u64> {
 pub fn table1(apps: &[App]) -> Vec<Table1Row> {
     apps.iter()
         .map(|app| {
-            let baseline = build(
-                &app.dex,
-                &BuildOptions { force_metadata: true, ..BuildOptions::baseline() },
-            )
-            .expect("build");
+            let baseline =
+                build(&app.dex, &BuildOptions { force_metadata: true, ..BuildOptions::baseline() })
+                    .expect("build");
             let seq = analysis_sequence(&baseline.oat);
             let instructions = seq.len();
             let tree = SuffixTree::build(seq);
@@ -182,11 +190,9 @@ pub struct Fig3Point {
 /// Reproduces Figure 3 for one app: the repeat census by length.
 #[must_use]
 pub fn fig3(app: &App, max_len: usize) -> Vec<Fig3Point> {
-    let baseline = build(
-        &app.dex,
-        &BuildOptions { force_metadata: true, ..BuildOptions::baseline() },
-    )
-    .expect("build");
+    let baseline =
+        build(&app.dex, &BuildOptions { force_metadata: true, ..BuildOptions::baseline() })
+            .expect("build");
     let tree = SuffixTree::build(analysis_sequence(&baseline.oat));
     let rows = census(&tree, 2);
     (2..=max_len)
@@ -324,7 +330,8 @@ pub fn table5(apps: &[App]) -> Vec<Table5Col> {
             // percentages sit well below the Table 4 code reductions.
             let fixed = (app.dex.total_insns() * 8) as u64;
             let mut resident = [0u64; 3];
-            for (i, v) in [Variant::Baseline, Variant::Cto, Variant::CtoLtbo].into_iter().enumerate()
+            for (i, v) in
+                [Variant::Baseline, Variant::Cto, Variant::CtoLtbo].into_iter().enumerate()
             {
                 let out = build_variant(app, v);
                 let mut rt = Runtime::new(&out.oat, &app.env);
@@ -349,6 +356,9 @@ pub struct Table6Col {
     pub app: String,
     /// Build times: Baseline, CTO+LTBO (single tree), CTO+LTBO+PlOpti.
     pub times: [Duration; 3],
+    /// Full per-build stats backing `times`, in the same order — the
+    /// observability payload serialized into `BENCH_table6.json`.
+    pub stats: [BuildStats; 3],
 }
 
 impl Table6Col {
@@ -365,14 +375,36 @@ pub fn table6(apps: &[App]) -> Vec<Table6Col> {
     apps.iter()
         .map(|app| {
             let mut times = [Duration::ZERO; 3];
-            for (i, v) in [Variant::Baseline, Variant::CtoLtbo, Variant::CtoLtboPl].into_iter().enumerate()
+            let mut stats: [BuildStats; 3] = Default::default();
+            for (i, v) in
+                [Variant::Baseline, Variant::CtoLtbo, Variant::CtoLtboPl].into_iter().enumerate()
             {
                 let out = build_variant(app, v);
                 times[i] = out.stats.total_time();
+                stats[i] = out.stats;
             }
-            Table6Col { app: app.name.clone(), times }
+            Table6Col { app: app.name.clone(), times, stats }
         })
         .collect()
+}
+
+/// Serializes Table 6's per-build stats as one JSON document:
+/// `{"app": {"variant": {stats...}, ...}, ...}`.
+#[must_use]
+pub fn table6_json(cols: &[Table6Col]) -> String {
+    let variants = ["baseline", "cto_ltbo", "cto_ltbo_pl"];
+    let apps: Vec<String> = cols
+        .iter()
+        .map(|col| {
+            let builds: Vec<String> = variants
+                .iter()
+                .zip(&col.stats)
+                .map(|(name, s)| format!(r#""{name}":{}"#, s.to_json()))
+                .collect();
+            format!(r#""{}":{{{}}}"#, col.app, builds.join(","))
+        })
+        .collect();
+    format!("{{{}}}", apps.join(","))
 }
 
 // ---------------------------------------------------------------------
@@ -475,7 +507,14 @@ pub fn table2() -> Vec<(String, Vec<String>)> {
     let body = vec![
         Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc },
         Insn::LdrImm { wide: false, rt: Reg::X2, rn: Reg::X0, offset: 0 },
-        Insn::SubReg { wide: false, set_flags: true, rd: Reg::ZR, rn: Reg::X2, rm: Reg::X1, shift: 0 },
+        Insn::SubReg {
+            wide: false,
+            set_flags: true,
+            rd: Reg::ZR,
+            rn: Reg::X2,
+            rm: Reg::X1,
+            shift: 0,
+        },
         Insn::OrrReg { wide: true, rd: Reg::X3, rn: Reg::ZR, rm: Reg::X4, shift: 0 },
         Insn::LdrImm { wide: false, rt: Reg::X3, rn: Reg::X0, offset: 0 },
         Insn::Ret { rn: Reg::LR },
@@ -565,6 +604,31 @@ mod tests {
         let hf = col.degradation(2);
         assert!(pl > -0.05, "outlined build should not be much faster: {pl}");
         assert!(hf <= pl + 1e-9, "HfOpti must not worsen degradation: {hf} vs {pl}");
+    }
+
+    #[test]
+    fn table6_stats_and_json_are_consistent() {
+        let apps = vec![tiny_app()];
+        let cols = table6(&apps);
+        let col = &cols[0];
+        // The stats array backs the times array.
+        for (time, stats) in col.times.iter().zip(&col.stats) {
+            assert_eq!(*time, stats.total_time());
+            assert!(stats.methods > 0);
+            assert!(stats.passes.insns_in >= stats.passes.insns_out);
+        }
+        // PlOpti builds compile on the worker pool.
+        assert_eq!(col.stats[2].compile_threads, PL_THREADS);
+        assert_eq!(
+            col.stats[2].per_worker.iter().map(|w| w.items).sum::<usize>(),
+            col.stats[2].methods,
+        );
+        // The JSON document nests app -> variant -> stats and is balanced.
+        let json = table6_json(&cols);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains(r#""tiny":{"baseline":{"#));
+        assert!(json.contains(r#""cto_ltbo_pl":{"#));
     }
 
     #[test]

@@ -126,8 +126,7 @@ impl<'a> Emitter<'a> {
     }
 
     fn push_stack_map(&mut self, dex_pc: u32) {
-        self.stack_maps
-            .push(StackMapEntry { native_offset: self.insns.len() as u32 * 4, dex_pc });
+        self.stack_maps.push(StackMapEntry { native_offset: self.insns.len() as u32 * 4, dex_pc });
     }
 
     /// Materializes a 32-bit constant into `dst` (w view). Dual-half
@@ -430,7 +429,15 @@ pub fn compile_method(graph: &HGraph, opts: &CodegenOptions) -> CompiledMethod {
             lower_insn(&mut e, insn, dex_pc);
         }
         dex_pc += 1;
-        lower_terminator(&mut e, graph, block.id, &block.terminator, &block_labels, epilogue, dex_pc);
+        lower_terminator(
+            &mut e,
+            graph,
+            block.id,
+            &block.terminator,
+            &block_labels,
+            epilogue,
+            dex_pc,
+        );
     }
 
     // --- Epilogue ------------------------------------------------------
@@ -668,10 +675,7 @@ fn lower_terminator(
                 rm: bb,
                 shift: 0,
             });
-            e.emit_branch(
-                Insn::BCond { cond: cond_of(*cmp), offset: 0 },
-                labels[then_bb.index()],
-            );
+            e.emit_branch(Insn::BCond { cond: cond_of(*cmp), offset: 0 }, labels[then_bb.index()]);
             if !is_next(*else_bb) {
                 e.emit_branch(Insn::B { offset: 0 }, labels[else_bb.index()]);
             }
@@ -792,7 +796,13 @@ pub fn compile_native_stub(method: MethodId, opts: &CodegenOptions) -> CompiledM
     });
     e.emit_const(Reg::X0, method.0 as i32);
     e.emit_runtime_call(layout::EP_NATIVE_BRIDGE, 0);
-    e.emit(Insn::Ldp { rt: Reg::FP, rt2: Reg::LR, rn: Reg::SP, offset: 16, mode: PairMode::PostIndex });
+    e.emit(Insn::Ldp {
+        rt: Reg::FP,
+        rt2: Reg::LR,
+        rn: Reg::SP,
+        offset: 16,
+        mode: PairMode::PostIndex,
+    });
     e.emit(Insn::Ret { rn: Reg::LR });
     e.finish(method, true)
 }

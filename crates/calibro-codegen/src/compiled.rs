@@ -130,6 +130,13 @@ impl CompiledMethod {
     }
 }
 
+// Compiled methods cross worker-thread boundaries in `calibro::build`'s
+// parallel compile phase; fail here if that ever stops holding.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledMethod>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

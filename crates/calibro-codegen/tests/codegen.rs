@@ -17,7 +17,12 @@ fn opts_cto() -> CodegenOptions {
     CodegenOptions { cto: true, collect_metadata: true }
 }
 
-fn compile(insns: Vec<DexInsn>, num_regs: u16, num_args: u16, opts: &CodegenOptions) -> CompiledMethod {
+fn compile(
+    insns: Vec<DexInsn>,
+    num_regs: u16,
+    num_args: u16,
+    opts: &CodegenOptions,
+) -> CompiledMethod {
     let mut b = MethodBuilder::new("t", num_regs, num_args);
     for i in insns {
         b.push(i);
@@ -28,7 +33,12 @@ fn compile(insns: Vec<DexInsn>, num_regs: u16, num_args: u16, opts: &CodegenOpti
 
 fn caller_body() -> Vec<DexInsn> {
     vec![
-        DexInsn::Invoke { kind: InvokeKind::Static, method: MethodId(1), args: vec![VReg(1)], dst: Some(VReg(0)) },
+        DexInsn::Invoke {
+            kind: InvokeKind::Static,
+            method: MethodId(1),
+            args: vec![VReg(1)],
+            dst: Some(VReg(0)),
+        },
         DexInsn::Return { src: VReg(0) },
     ]
 }
@@ -62,8 +72,10 @@ fn baseline_emits_figure_4a_and_4c_patterns() {
     let m = compile(caller_body(), 2, 1, &opts_baseline());
     assert_eq!(count_java_call_pattern(&m.insns), 1, "one Java call pattern");
     assert_eq!(count_stack_check_pattern(&m.insns), 1, "non-leaf prologue check");
-    assert!(m.relocs.is_empty() == false || m.relocs.is_empty(), "no thunk relocs in baseline");
-    assert!(m.relocs.iter().all(|r| !matches!(r.target, CallTarget::Thunk(_))));
+    assert!(
+        m.relocs.iter().all(|r| !matches!(r.target, CallTarget::Thunk(_))),
+        "no thunk relocs in baseline"
+    );
 }
 
 #[test]
@@ -193,10 +205,8 @@ fn terminator_metadata_matches_code() {
 
 #[test]
 fn dual_half_constants_use_the_literal_pool() {
-    let body = vec![
-        DexInsn::Const { dst: VReg(0), value: 0x1234_5678 },
-        DexInsn::Return { src: VReg(0) },
-    ];
+    let body =
+        vec![DexInsn::Const { dst: VReg(0), value: 0x1234_5678 }, DexInsn::Return { src: VReg(0) }];
     let m = compile(body, 1, 0, &opts_baseline());
     assert_eq!(m.pool, vec![0x1234_5678]);
     assert_eq!(m.metadata.embedded_data, vec![(m.insns.len(), 1)]);
@@ -237,7 +247,11 @@ fn native_stub_is_flagged_and_bridges() {
 fn thunks_are_bl_compatible() {
     // Every thunk must neither write x30 (so the bl return address
     // survives) nor touch sp.
-    for kind in [ThunkKind::JavaEntry, ThunkKind::RuntimeEntry(layout::EP_ALLOC_OBJECT), ThunkKind::StackCheck] {
+    for kind in [
+        ThunkKind::JavaEntry,
+        ThunkKind::RuntimeEntry(layout::EP_ALLOC_OBJECT),
+        ThunkKind::StackCheck,
+    ] {
         let code = thunk_code(kind);
         for insn in &code {
             assert!(!insn.writes_lr(), "{kind:?}: {insn} clobbers lr");
@@ -255,10 +269,7 @@ fn generated_code_encodes_and_decodes() {
             DexInsn::Bin { op: BinOp::Div, dst: VReg(0), a: VReg(1), b: VReg(2) },
             DexInsn::Return { src: VReg(0) },
         ],
-        vec![
-            DexInsn::Const { dst: VReg(0), value: 0x7fff_fff1 },
-            DexInsn::Return { src: VReg(0) },
-        ],
+        vec![DexInsn::Const { dst: VReg(0), value: 0x7fff_fff1 }, DexInsn::Return { src: VReg(0) }],
     ];
     for body in bodies {
         let m = compile(body, 3, 2, &opts_baseline());

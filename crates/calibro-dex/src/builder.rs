@@ -82,7 +82,13 @@ impl MethodBuilder {
     }
 
     /// Appends a two-register conditional branch to `label`.
-    pub fn if_cmp(&mut self, cmp: crate::insn::Cmp, a: VReg, b: VReg, label: DexLabel) -> &mut Self {
+    pub fn if_cmp(
+        &mut self,
+        cmp: crate::insn::Cmp,
+        a: VReg,
+        b: VReg,
+        label: DexLabel,
+    ) -> &mut Self {
         self.fixups.push((self.insns.len(), label));
         self.insns.push(DexInsn::If { cmp, a, b, target: usize::MAX });
         self
@@ -181,18 +187,8 @@ mod tests {
         b.push(DexInsn::Const { dst: VReg(0), value: 0 });
         b.bind(top);
         b.if_z(Cmp::Le, VReg(2), out);
-        b.push(DexInsn::BinLit {
-            op: crate::insn::BinOp::Add,
-            dst: VReg(0),
-            a: VReg(0),
-            lit: 1,
-        });
-        b.push(DexInsn::BinLit {
-            op: crate::insn::BinOp::Add,
-            dst: VReg(2),
-            a: VReg(2),
-            lit: -1,
-        });
+        b.push(DexInsn::BinLit { op: crate::insn::BinOp::Add, dst: VReg(0), a: VReg(0), lit: 1 });
+        b.push(DexInsn::BinLit { op: crate::insn::BinOp::Add, dst: VReg(2), a: VReg(2), lit: -1 });
         b.goto(top);
         b.bind(out);
         b.push(DexInsn::Return { src: VReg(0) });
@@ -216,10 +212,7 @@ mod tests {
         b.bind(end);
         b.push(DexInsn::Return { src: VReg(0) });
         let m = b.build(ClassId(0));
-        assert_eq!(
-            m.insns[0],
-            DexInsn::Switch { src: VReg(1), first_key: 0, targets: vec![1, 3] }
-        );
+        assert_eq!(m.insns[0], DexInsn::Switch { src: VReg(1), first_key: 0, targets: vec![1, 3] });
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl DexInsn {
     pub fn is_unconditional_exit(&self) -> bool {
         matches!(
             self,
-            DexInsn::Goto { .. } | DexInsn::Return { .. } | DexInsn::ReturnVoid | DexInsn::Throw { .. }
+            DexInsn::Goto { .. }
+                | DexInsn::Return { .. }
+                | DexInsn::ReturnVoid
+                | DexInsn::Throw { .. }
         )
     }
 

@@ -45,10 +45,9 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::RegisterOutOfRange { method, insn, reg, num_regs } => write!(
-                f,
-                "{method}@{insn}: register v{reg} out of range (method has {num_regs})"
-            ),
+            VerifyError::RegisterOutOfRange { method, insn, reg, num_regs } => {
+                write!(f, "{method}@{insn}: register v{reg} out of range (method has {num_regs})")
+            }
             VerifyError::BadBranchTarget { method, insn, target } => {
                 write!(f, "{method}@{insn}: branch target {target} out of range")
             }
@@ -137,7 +136,11 @@ fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
                     return Err(VerifyError::BadMethodRef { method: id, insn: idx });
                 }
                 if args.len() > 8 {
-                    return Err(VerifyError::TooManyArgs { method: id, insn: idx, count: args.len() });
+                    return Err(VerifyError::TooManyArgs {
+                        method: id,
+                        insn: idx,
+                        count: args.len(),
+                    });
                 }
                 if dex.method(*callee).is_native {
                     return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
@@ -148,35 +151,34 @@ fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
                     return Err(VerifyError::BadMethodRef { method: id, insn: idx });
                 }
                 if args.len() > 8 {
-                    return Err(VerifyError::TooManyArgs { method: id, insn: idx, count: args.len() });
+                    return Err(VerifyError::TooManyArgs {
+                        method: id,
+                        insn: idx,
+                        count: args.len(),
+                    });
                 }
                 if !dex.method(*callee).is_native {
                     return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
                 }
             }
-            DexInsn::NewInstance { class, .. } => {
-                if class.index() >= dex.classes().len() {
-                    return Err(VerifyError::BadClassRef { method: id, insn: idx });
-                }
+            DexInsn::NewInstance { class, .. } if class.index() >= dex.classes().len() => {
+                return Err(VerifyError::BadClassRef { method: id, insn: idx });
             }
             DexInsn::IGet { field, .. } | DexInsn::IPut { field, .. } => {
                 // Fields are class-relative; without static type info we
                 // bound-check against the largest class layout.
-                let max_fields =
-                    dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0);
+                let max_fields = dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0);
                 if field.0 >= max_fields {
                     return Err(VerifyError::BadFieldRef { method: id, insn: idx });
                 }
             }
-            DexInsn::SGet { slot, .. } | DexInsn::SPut { slot, .. } => {
-                if slot.0 >= dex.num_statics() {
-                    return Err(VerifyError::BadStaticRef { method: id, insn: idx });
-                }
+            DexInsn::SGet { slot, .. } | DexInsn::SPut { slot, .. }
+                if slot.0 >= dex.num_statics() =>
+            {
+                return Err(VerifyError::BadStaticRef { method: id, insn: idx });
             }
-            DexInsn::Switch { targets, .. } => {
-                if targets.is_empty() {
-                    return Err(VerifyError::EmptySwitch { method: id, insn: idx });
-                }
+            DexInsn::Switch { targets, .. } if targets.is_empty() => {
+                return Err(VerifyError::EmptySwitch { method: id, insn: idx });
             }
             _ => {}
         }
@@ -222,21 +224,13 @@ mod tests {
 
     #[test]
     fn rejects_register_overflow() {
-        let dex = dex_with(vec![
-            DexInsn::Const { dst: VReg(9), value: 5 },
-            DexInsn::ReturnVoid,
-        ]);
-        assert!(matches!(
-            verify(&dex),
-            Err(VerifyError::RegisterOutOfRange { reg: 9, .. })
-        ));
+        let dex = dex_with(vec![DexInsn::Const { dst: VReg(9), value: 5 }, DexInsn::ReturnVoid]);
+        assert!(matches!(verify(&dex), Err(VerifyError::RegisterOutOfRange { reg: 9, .. })));
     }
 
     #[test]
     fn rejects_bad_branch() {
-        let dex = dex_with(vec![
-            DexInsn::Goto { target: 42 },
-        ]);
+        let dex = dex_with(vec![DexInsn::Goto { target: 42 }]);
         assert!(matches!(verify(&dex), Err(VerifyError::BadBranchTarget { target: 42, .. })));
     }
 
@@ -262,10 +256,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_static_slot() {
-        let dex = dex_with(vec![
-            DexInsn::SGet { dst: VReg(0), slot: StaticId(5) },
-            DexInsn::ReturnVoid,
-        ]);
+        let dex =
+            dex_with(vec![DexInsn::SGet { dst: VReg(0), slot: StaticId(5) }, DexInsn::ReturnVoid]);
         assert!(matches!(verify(&dex), Err(VerifyError::BadStaticRef { .. })));
     }
 
@@ -289,7 +281,12 @@ mod tests {
             num_regs: 1,
             num_args: 0,
             insns: vec![
-                DexInsn::Invoke { kind: InvokeKind::Static, method: native, args: vec![], dst: None },
+                DexInsn::Invoke {
+                    kind: InvokeKind::Static,
+                    method: native,
+                    args: vec![],
+                    dst: None,
+                },
                 DexInsn::ReturnVoid,
             ],
             is_native: false,

@@ -121,7 +121,8 @@ impl HTerminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             HTerminator::Goto { target } => vec![*target],
-            HTerminator::If { then_bb, else_bb, .. } | HTerminator::IfZ { then_bb, else_bb, .. } => {
+            HTerminator::If { then_bb, else_bb, .. }
+            | HTerminator::IfZ { then_bb, else_bb, .. } => {
                 vec![*then_bb, *else_bb]
             }
             HTerminator::Switch { targets, default, .. } => {
@@ -228,9 +229,7 @@ impl HGraph {
     /// Returns `true` if the graph contains a switch terminator.
     #[must_use]
     pub fn has_switch(&self) -> bool {
-        self.blocks
-            .iter()
-            .any(|b| matches!(b.terminator, HTerminator::Switch { .. }))
+        self.blocks.iter().any(|b| matches!(b.terminator, HTerminator::Switch { .. }))
     }
 }
 

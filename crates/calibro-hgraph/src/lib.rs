@@ -44,3 +44,12 @@ pub use eval::{eval_binop, eval_cmp, eval_pure, EvalOutcome, NotPure};
 pub use graph::{BlockId, HBlock, HGraph, HInsn, HTerminator};
 pub use passes::inline::{run_inlining, InlineConfig};
 pub use passes::{run_pipeline, PassStats};
+
+// The parallel compile phase in `calibro::build` moves graphs across
+// worker threads; keep that guarantee explicit so a future interior-
+// mutability addition fails here rather than at the driver's use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HGraph>();
+    assert_send_sync::<PassStats>();
+};

@@ -46,30 +46,26 @@ pub fn run(graph: &mut HGraph) -> usize {
         }
         // Branch simplification on statically-known conditions.
         let new_term = match &block.terminator {
-            HTerminator::If { cmp, a, b, then_bb, else_bb } => {
-                match (known.get(a), known.get(b)) {
-                    (Some(&va), Some(&vb)) => Some(HTerminator::Goto {
-                        target: if eval_cmp(*cmp, va, vb) { *then_bb } else { *else_bb },
-                    }),
-                    _ => None,
-                }
-            }
-            HTerminator::IfZ { cmp, a, then_bb, else_bb } => known.get(a).map(|&va| {
-                HTerminator::Goto {
+            HTerminator::If { cmp, a, b, then_bb, else_bb } => match (known.get(a), known.get(b)) {
+                (Some(&va), Some(&vb)) => Some(HTerminator::Goto {
+                    target: if eval_cmp(*cmp, va, vb) { *then_bb } else { *else_bb },
+                }),
+                _ => None,
+            },
+            HTerminator::IfZ { cmp, a, then_bb, else_bb } => {
+                known.get(a).map(|&va| HTerminator::Goto {
                     target: if eval_cmp(*cmp, va, 0) { *then_bb } else { *else_bb },
-                }
-            }),
-            HTerminator::Switch { src, first_key, targets, default } => {
-                known.get(src).map(|&v| {
-                    let idx = i64::from(v) - i64::from(*first_key);
-                    let target = if idx >= 0 && (idx as usize) < targets.len() {
-                        targets[idx as usize]
-                    } else {
-                        *default
-                    };
-                    HTerminator::Goto { target }
                 })
             }
+            HTerminator::Switch { src, first_key, targets, default } => known.get(src).map(|&v| {
+                let idx = i64::from(v) - i64::from(*first_key);
+                let target = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                HTerminator::Goto { target }
+            }),
             _ => None,
         };
         if let Some(t) = new_term {

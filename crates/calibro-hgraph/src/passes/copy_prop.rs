@@ -13,7 +13,8 @@ pub fn run(graph: &mut HGraph) -> usize {
     for block in &mut graph.blocks {
         // copy_of[r] = s  means  r currently holds the same value as s.
         let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
-        let resolve = |copy_of: &HashMap<VReg, VReg>, r: VReg| copy_of.get(&r).copied().unwrap_or(r);
+        let resolve =
+            |copy_of: &HashMap<VReg, VReg>, r: VReg| copy_of.get(&r).copied().unwrap_or(r);
         let kill = |copy_of: &mut HashMap<VReg, VReg>, dst: VReg| {
             copy_of.remove(&dst);
             copy_of.retain(|_, src| *src != dst);

@@ -33,8 +33,8 @@ pub fn run(graph: &mut HGraph) -> usize {
 
     // Sweep each block backwards, dropping dead pure instructions.
     let mut removed = 0;
-    for bi in 0..n {
-        let mut live = live_out[bi].clone();
+    for (bi, block_live_out) in live_out.iter().enumerate().take(n) {
+        let mut live = block_live_out.clone();
         for r in graph.blocks[bi].terminator.reads() {
             live.insert(r);
         }
@@ -106,7 +106,8 @@ pub fn remove_unreachable(graph: &mut HGraph) -> usize {
         fix(&mut block.id);
         match &mut block.terminator {
             HTerminator::Goto { target } => fix(target),
-            HTerminator::If { then_bb, else_bb, .. } | HTerminator::IfZ { then_bb, else_bb, .. } => {
+            HTerminator::If { then_bb, else_bb, .. }
+            | HTerminator::IfZ { then_bb, else_bb, .. } => {
                 fix(then_bb);
                 fix(else_bb);
             }
@@ -183,7 +184,12 @@ mod tests {
                 },
                 HBlock {
                     id: BlockId(1),
-                    insns: vec![HInsn::BinLit { op: BinOp::Add, dst: VReg(1), a: VReg(1), lit: -1 }],
+                    insns: vec![HInsn::BinLit {
+                        op: BinOp::Add,
+                        dst: VReg(1),
+                        a: VReg(1),
+                        lit: -1,
+                    }],
                     terminator: HTerminator::IfZ {
                         cmp: Cmp::Gt,
                         a: VReg(1),

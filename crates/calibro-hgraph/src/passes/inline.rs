@@ -195,12 +195,8 @@ fn remap_insn(insn: &HInsn, remap: &impl Fn(VReg) -> VReg) -> HInsn {
         HInsn::BinLit { op, dst, a, lit } => {
             HInsn::BinLit { op, dst: remap(dst), a: remap(a), lit }
         }
-        HInsn::IGet { dst, obj, field } => {
-            HInsn::IGet { dst: remap(dst), obj: remap(obj), field }
-        }
-        HInsn::IPut { src, obj, field } => {
-            HInsn::IPut { src: remap(src), obj: remap(obj), field }
-        }
+        HInsn::IGet { dst, obj, field } => HInsn::IGet { dst: remap(dst), obj: remap(obj), field },
+        HInsn::IPut { src, obj, field } => HInsn::IPut { src: remap(src), obj: remap(obj), field },
         HInsn::SGet { dst, slot } => HInsn::SGet { dst: remap(dst), slot },
         HInsn::SPut { src, slot } => HInsn::SPut { src: remap(src), slot },
         HInsn::NewInstance { dst, class } => HInsn::NewInstance { dst: remap(dst), class },
@@ -222,8 +218,8 @@ fn remap_insn(insn: &HInsn, remap: &impl Fn(VReg) -> VReg) -> HInsn {
 mod tests {
     use super::*;
     use crate::build::build_hgraph;
-    use calibro_dex::MethodId;
     use crate::eval::{eval_pure, EvalOutcome};
+    use calibro_dex::MethodId;
     use calibro_dex::{BinOp, ClassId, DexInsn, InvokeKind, MethodBuilder};
 
     fn leaf_add() -> HGraph {
@@ -261,10 +257,7 @@ mod tests {
         // No calls remain.
         assert!(!inlined.has_calls());
         // (3 + 4) * 2 == 14, same as calling for real.
-        assert_eq!(
-            eval_pure(inlined, &[3, 4], 1000),
-            Ok(EvalOutcome::Returned(Some(14)))
-        );
+        assert_eq!(eval_pure(inlined, &[3, 4], 1000), Ok(EvalOutcome::Returned(Some(14))));
         crate::check(inlined).unwrap();
     }
 

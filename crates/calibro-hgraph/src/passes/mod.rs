@@ -2,10 +2,10 @@
 //! paper's Figure 5, reproducing dex2oat's size-relevant HGraph passes.
 
 pub mod constant_folding;
-pub mod inline;
 pub mod copy_prop;
 pub mod cse;
 pub mod dce;
+pub mod inline;
 pub mod return_merge;
 pub mod simplify;
 
@@ -30,10 +30,18 @@ pub struct PassStats {
     pub blocks_removed: usize,
     /// Number of pipeline iterations executed.
     pub iterations: usize,
+    /// Instructions in the graph before the pipeline ran.
+    pub insns_in: usize,
+    /// Instructions in the graph after the pipeline ran.
+    pub insns_out: usize,
 }
 
 impl PassStats {
     /// Total number of individual changes.
+    ///
+    /// Excludes the instruction-delta counters (`insns_in`/`insns_out`):
+    /// `total() == 0` means the pipeline changed nothing, which is what
+    /// idempotence checks rely on.
     #[must_use]
     pub fn total(&self) -> usize {
         self.folded
@@ -44,13 +52,37 @@ impl PassStats {
             + self.returns_merged
             + self.blocks_removed
     }
+
+    /// Net instructions removed by the pipeline (never negative: passes
+    /// only shrink or keep the graph).
+    #[must_use]
+    pub fn insns_removed(&self) -> usize {
+        self.insns_in.saturating_sub(self.insns_out)
+    }
+}
+
+impl core::ops::AddAssign for PassStats {
+    /// Accumulates another run's counters (used to aggregate per-method
+    /// stats into whole-build observability totals).
+    fn add_assign(&mut self, other: PassStats) {
+        self.folded += other.folded;
+        self.copies_propagated += other.copies_propagated;
+        self.cse_hits += other.cse_hits;
+        self.dead_removed += other.dead_removed;
+        self.simplified += other.simplified;
+        self.returns_merged += other.returns_merged;
+        self.blocks_removed += other.blocks_removed;
+        self.iterations += other.iterations;
+        self.insns_in += other.insns_in;
+        self.insns_out += other.insns_out;
+    }
 }
 
 /// Runs the standard pass pipeline to a fixpoint (bounded at 4
 /// iterations, which suffices for the pass set — each iteration only
 /// exposes a bounded amount of new work).
 pub fn run_pipeline(graph: &mut HGraph) -> PassStats {
-    let mut stats = PassStats::default();
+    let mut stats = PassStats { insns_in: graph.insn_count(), ..PassStats::default() };
     for _ in 0..4 {
         let mut round = 0;
         let n = copy_prop::run(graph);
@@ -79,6 +111,7 @@ pub fn run_pipeline(graph: &mut HGraph) -> PassStats {
             break;
         }
     }
+    stats.insns_out = graph.insn_count();
     stats
 }
 
@@ -132,10 +165,37 @@ mod tests {
         assert_eq!(g.blocks.len(), 2);
         assert!(matches!(g.blocks[0].terminator, HTerminator::Goto { .. }));
         // v1 = 3 * 4 folded to 12.
-        assert!(g.blocks[0]
-            .insns
-            .iter()
-            .any(|i| *i == HInsn::Const { dst: VReg(1), value: 12 }));
+        assert!(g.blocks[0].insns.contains(&HInsn::Const { dst: VReg(1), value: 12 }));
+    }
+
+    #[test]
+    fn stats_track_instruction_deltas_and_merge() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 4,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Const { dst: VReg(0), value: 3 },
+                    HInsn::BinLit { op: BinOp::Mul, dst: VReg(1), a: VReg(0), lit: 4 },
+                    HInsn::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(1), b: VReg(1) },
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        let before = g.insn_count();
+        let stats = run_pipeline(&mut g);
+        assert_eq!(stats.insns_in, before);
+        assert_eq!(stats.insns_out, g.insn_count());
+        assert_eq!(stats.insns_removed(), before - g.insn_count());
+
+        let mut sum = PassStats::default();
+        sum += stats;
+        sum += stats;
+        assert_eq!(sum.insns_in, 2 * stats.insns_in);
+        assert_eq!(sum.total(), 2 * stats.total());
+        assert_eq!(sum.iterations, 2 * stats.iterations);
     }
 
     #[test]

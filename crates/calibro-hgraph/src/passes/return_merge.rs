@@ -41,7 +41,8 @@ pub fn run(graph: &mut HGraph) -> usize {
     for block in &mut graph.blocks {
         match &mut block.terminator {
             HTerminator::Goto { target } => fix(target),
-            HTerminator::If { then_bb, else_bb, .. } | HTerminator::IfZ { then_bb, else_bb, .. } => {
+            HTerminator::If { then_bb, else_bb, .. }
+            | HTerminator::IfZ { then_bb, else_bb, .. } => {
                 fix(then_bb);
                 fix(else_bb);
             }

@@ -96,11 +96,11 @@ impl Cond {
             Cond::Vs => v,
             Cond::Vc => !v,
             Cond::Hi => c && !z,
-            Cond::Ls => !(c && !z),
+            Cond::Ls => !c || z,
             Cond::Ge => n == v,
             Cond::Lt => n != v,
             Cond::Gt => !z && n == v,
-            Cond::Le => !(!z && n == v),
+            Cond::Le => z || n != v,
             Cond::Al | Cond::Nv => true,
         }
     }

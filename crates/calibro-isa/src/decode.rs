@@ -295,7 +295,7 @@ pub fn decode(w: u32) -> Result<Insn, DecodeError> {
 ///
 /// Returns the first [`DecodeError`] together with its word index.
 pub fn decode_all(bytes: &[u8]) -> Result<Vec<Insn>, (usize, DecodeError)> {
-    assert!(bytes.len() % 4 == 0, "text segment length must be a word multiple");
+    assert!(bytes.len().is_multiple_of(4), "text segment length must be a word multiple");
     let mut insns = Vec::with_capacity(bytes.len() / 4);
     for (i, chunk) in bytes.chunks_exact(4).enumerate() {
         let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);

@@ -9,7 +9,6 @@ use core::fmt;
 use crate::insn::{Insn, PairMode};
 use crate::reg::reg_name;
 
-
 fn shex(v: i64) -> String {
     if v < 0 {
         format!("-{:#x}", v.unsigned_abs())
@@ -36,7 +35,9 @@ impl fmt::Display for Insn {
             Insn::Tbnz { rt, bit, offset } => {
                 write!(f, "tbnz {}, #{bit}, #{}", reg_name(rt, bit >= 32, false), shex(offset))
             }
-            Insn::Adr { rd, offset } => write!(f, "adr {}, #{}", reg_name(rd, true, false), shex(offset)),
+            Insn::Adr { rd, offset } => {
+                write!(f, "adr {}, #{}", reg_name(rd, true, false), shex(offset))
+            }
             Insn::Adrp { rd, offset } => {
                 write!(f, "adrp {}, #{}", reg_name(rd, true, false), shex(offset))
             }
@@ -194,12 +195,8 @@ impl fmt::Display for Insn {
                     write!(f, "sbfm {rd_s}, {rn_s}, #{immr}, #{imms}")
                 }
             }
-            Insn::LdrImm { wide, rt, rn, offset } => {
-                write_mem(f, "ldr", wide, rt, rn, offset)
-            }
-            Insn::StrImm { wide, rt, rn, offset } => {
-                write_mem(f, "str", wide, rt, rn, offset)
-            }
+            Insn::LdrImm { wide, rt, rn, offset } => write_mem(f, "ldr", wide, rt, rn, offset),
+            Insn::StrImm { wide, rt, rn, offset } => write_mem(f, "str", wide, rt, rn, offset),
             Insn::Stp { rt, rt2, rn, offset, mode } => {
                 write_pair(f, "stp", rt, rt2, rn, offset, mode)
             }
@@ -327,10 +324,7 @@ mod tests {
     #[test]
     fn branches_render_with_signed_offsets() {
         assert_eq!(Insn::B { offset: -8 }.to_string(), "b #-0x8");
-        assert_eq!(
-            Insn::BCond { cond: Cond::Ne, offset: 16 }.to_string(),
-            "b.ne #+0x10"
-        );
+        assert_eq!(Insn::BCond { cond: Cond::Ne, offset: 16 }.to_string(), "b.ne #+0x10");
         assert_eq!(
             Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc }.to_string(),
             "cbz w0, #+0xc"

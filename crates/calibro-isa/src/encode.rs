@@ -332,10 +332,7 @@ mod tests {
         assert_eq!(Insn::B { offset: 4 }.encode().unwrap(), 0x1400_0001);
         assert_eq!(Insn::B { offset: -4 }.encode().unwrap(), 0x17ff_ffff);
         assert_eq!(Insn::Bl { offset: 8 }.encode().unwrap(), 0x9400_0002);
-        assert_eq!(
-            Insn::BCond { cond: Cond::Eq, offset: 8 }.encode().unwrap(),
-            0x5400_0040
-        );
+        assert_eq!(Insn::BCond { cond: Cond::Eq, offset: 8 }.encode().unwrap(), 0x5400_0040);
         assert_eq!(
             Insn::Cbz { wide: false, rt: Reg::X0, offset: 0xc }.encode().unwrap(),
             0x3400_0060
@@ -344,10 +341,7 @@ mod tests {
             Insn::Cbnz { wide: true, rt: Reg::X3, offset: -8 }.encode().unwrap(),
             0xb5ff_ffc3
         );
-        assert_eq!(
-            Insn::Tbz { rt: Reg::X1, bit: 33, offset: 16 }.encode().unwrap(),
-            0xb608_0081
-        );
+        assert_eq!(Insn::Tbz { rt: Reg::X1, bit: 33, offset: 16 }.encode().unwrap(), 0xb608_0081);
     }
 
     #[test]
@@ -451,10 +445,7 @@ mod tests {
         assert_eq!(Insn::Brk { imm: 1 }.encode().unwrap(), 0xd420_0020);
         assert_eq!(Insn::Svc { imm: 0 }.encode().unwrap(), 0xd400_0001);
         assert_eq!(Insn::Adr { rd: Reg::X0, offset: 12 }.encode().unwrap(), 0x1000_0060);
-        assert_eq!(
-            Insn::Adrp { rd: Reg::X1, offset: 4096 }.encode().unwrap(),
-            0xb000_0001
-        );
+        assert_eq!(Insn::Adrp { rd: Reg::X1, offset: 4096 }.encode().unwrap(), 0xb000_0001);
         assert_eq!(
             Insn::LdrLit { wide: true, rt: Reg::X2, offset: 8 }.encode().unwrap(),
             0x5800_0042
@@ -493,8 +484,7 @@ mod tests {
 
     #[test]
     fn encode_all_concatenates() {
-        let bytes =
-            encode_all(&[Insn::Nop, Insn::Ret { rn: Reg::LR }]).unwrap();
+        let bytes = encode_all(&[Insn::Nop, Insn::Ret { rn: Reg::LR }]).unwrap();
         assert_eq!(bytes.len(), 8);
         assert_eq!(&bytes[0..4], &0xd503_201fu32.to_le_bytes());
         assert_eq!(&bytes[4..8], &0xd65f_03c0u32.to_le_bytes());

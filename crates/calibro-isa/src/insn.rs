@@ -277,7 +277,10 @@ impl Insn {
     #[must_use]
     pub fn source_regs(&self) -> Vec<Reg> {
         match *self {
-            Insn::Cbz { rt, .. } | Insn::Cbnz { rt, .. } | Insn::Tbz { rt, .. } | Insn::Tbnz { rt, .. } => {
+            Insn::Cbz { rt, .. }
+            | Insn::Cbnz { rt, .. }
+            | Insn::Tbz { rt, .. }
+            | Insn::Tbnz { rt, .. } => {
                 vec![rt]
             }
             Insn::Br { rn } | Insn::Blr { rn } | Insn::Ret { rn } => vec![rn],

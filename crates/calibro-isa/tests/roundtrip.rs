@@ -18,11 +18,7 @@ fn any_cond() -> impl Strategy<Value = Cond> {
 }
 
 fn pair_mode() -> impl Strategy<Value = PairMode> {
-    prop_oneof![
-        Just(PairMode::SignedOffset),
-        Just(PairMode::PreIndex),
-        Just(PairMode::PostIndex),
-    ]
+    prop_oneof![Just(PairMode::SignedOffset), Just(PairMode::PreIndex), Just(PairMode::PostIndex),]
 }
 
 /// Generates only instructions whose operands fit their encodings, i.e.
@@ -32,19 +28,34 @@ fn encodable_insn() -> impl Strategy<Value = Insn> {
         branch_offset(26).prop_map(|offset| Insn::B { offset }),
         branch_offset(26).prop_map(|offset| Insn::Bl { offset }),
         (any_cond(), branch_offset(19)).prop_map(|(cond, offset)| Insn::BCond { cond, offset }),
-        (any::<bool>(), any_reg(), branch_offset(19))
-            .prop_map(|(wide, rt, offset)| Insn::Cbz { wide, rt, offset }),
-        (any::<bool>(), any_reg(), branch_offset(19))
-            .prop_map(|(wide, rt, offset)| Insn::Cbnz { wide, rt, offset }),
-        (any_reg(), 0u8..64, branch_offset(14))
-            .prop_map(|(rt, bit, offset)| Insn::Tbz { rt, bit, offset }),
-        (any_reg(), 0u8..64, branch_offset(14))
-            .prop_map(|(rt, bit, offset)| Insn::Tbnz { rt, bit, offset }),
+        (any::<bool>(), any_reg(), branch_offset(19)).prop_map(|(wide, rt, offset)| Insn::Cbz {
+            wide,
+            rt,
+            offset
+        }),
+        (any::<bool>(), any_reg(), branch_offset(19)).prop_map(|(wide, rt, offset)| Insn::Cbnz {
+            wide,
+            rt,
+            offset
+        }),
+        (any_reg(), 0u8..64, branch_offset(14)).prop_map(|(rt, bit, offset)| Insn::Tbz {
+            rt,
+            bit,
+            offset
+        }),
+        (any_reg(), 0u8..64, branch_offset(14)).prop_map(|(rt, bit, offset)| Insn::Tbnz {
+            rt,
+            bit,
+            offset
+        }),
         (any_reg(), -(1i64 << 20)..(1i64 << 20)).prop_map(|(rd, offset)| Insn::Adr { rd, offset }),
         (any_reg(), -(1i64 << 20)..(1i64 << 20))
             .prop_map(|(rd, pages)| Insn::Adrp { rd, offset: pages << 12 }),
-        (any::<bool>(), any_reg(), branch_offset(19))
-            .prop_map(|(wide, rt, offset)| Insn::LdrLit { wide, rt, offset }),
+        (any::<bool>(), any_reg(), branch_offset(19)).prop_map(|(wide, rt, offset)| Insn::LdrLit {
+            wide,
+            rt,
+            offset
+        }),
         any_reg().prop_map(|rn| Insn::Br { rn }),
         any_reg().prop_map(|rn| Insn::Blr { rn }),
         any_reg().prop_map(|rn| Insn::Ret { rn }),
@@ -60,54 +71,63 @@ fn encodable_insn() -> impl Strategy<Value = Insn> {
             let max_hw = if wide { 4u8 } else { 2 };
             (0..max_hw).prop_map(move |hw| Insn::Movk { wide, rd, imm16, hw })
         }),
-        (
-            any::<bool>(),
-            any::<bool>(),
-            any_reg(),
-            any_reg(),
-            0u16..4096,
-            any::<bool>()
-        )
-            .prop_map(|(wide, set_flags, rd, rn, imm12, shift12)| Insn::AddImm {
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), 0u16..4096, any::<bool>()).prop_map(
+            |(wide, set_flags, rd, rn, imm12, shift12)| Insn::AddImm {
                 wide,
                 set_flags,
                 rd,
                 rn,
                 imm12,
                 shift12
-            }),
-        (
-            any::<bool>(),
-            any::<bool>(),
-            any_reg(),
-            any_reg(),
-            0u16..4096,
-            any::<bool>()
-        )
-            .prop_map(|(wide, set_flags, rd, rn, imm12, shift12)| Insn::SubImm {
+            }
+        ),
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), 0u16..4096, any::<bool>()).prop_map(
+            |(wide, set_flags, rd, rn, imm12, shift12)| Insn::SubImm {
                 wide,
                 set_flags,
                 rd,
                 rn,
                 imm12,
                 shift12
-            }),
-        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
-            |(wide, set_flags, rd, rn, rm)| {
-                let width = if wide { 64u8 } else { 32 };
-                (0..width).prop_map(move |shift| Insn::AddReg { wide, set_flags, rd, rn, rm, shift })
             }
         ),
         (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
             |(wide, set_flags, rd, rn, rm)| {
                 let width = if wide { 64u8 } else { 32 };
-                (0..width).prop_map(move |shift| Insn::SubReg { wide, set_flags, rd, rn, rm, shift })
+                (0..width).prop_map(move |shift| Insn::AddReg {
+                    wide,
+                    set_flags,
+                    rd,
+                    rn,
+                    rm,
+                    shift,
+                })
             }
         ),
         (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
             |(wide, set_flags, rd, rn, rm)| {
                 let width = if wide { 64u8 } else { 32 };
-                (0..width).prop_map(move |shift| Insn::AndReg { wide, set_flags, rd, rn, rm, shift })
+                (0..width).prop_map(move |shift| Insn::SubReg {
+                    wide,
+                    set_flags,
+                    rd,
+                    rn,
+                    rm,
+                    shift,
+                })
+            }
+        ),
+        (any::<bool>(), any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(
+            |(wide, set_flags, rd, rn, rm)| {
+                let width = if wide { 64u8 } else { 32 };
+                (0..width).prop_map(move |shift| Insn::AndReg {
+                    wide,
+                    set_flags,
+                    rd,
+                    rn,
+                    rm,
+                    shift,
+                })
             }
         ),
         (any::<bool>(), any_reg(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn, rm)| {
@@ -126,8 +146,13 @@ fn encodable_insn() -> impl Strategy<Value = Insn> {
             .prop_map(|(wide, rd, rn, rm)| Insn::Asrv { wide, rd, rn, rm }),
         (any::<bool>(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn)| {
             let width = if wide { 64u8 } else { 32 };
-            (0..width, 0..width)
-                .prop_map(move |(immr, imms)| Insn::Sbfm { wide, rd, rn, immr, imms })
+            (0..width, 0..width).prop_map(move |(immr, imms)| Insn::Sbfm {
+                wide,
+                rd,
+                rn,
+                immr,
+                imms,
+            })
         }),
         (any::<bool>(), any_reg(), any_reg(), any_reg(), any_reg())
             .prop_map(|(wide, rd, rn, rm, ra)| Insn::Madd { wide, rd, rn, rm, ra }),
@@ -135,8 +160,13 @@ fn encodable_insn() -> impl Strategy<Value = Insn> {
             .prop_map(|(wide, rd, rn, rm, ra)| Insn::Msub { wide, rd, rn, rm, ra }),
         (any::<bool>(), any_reg(), any_reg()).prop_flat_map(|(wide, rd, rn)| {
             let width = if wide { 64u8 } else { 32 };
-            (0..width, 0..width)
-                .prop_map(move |(immr, imms)| Insn::Ubfm { wide, rd, rn, immr, imms })
+            (0..width, 0..width).prop_map(move |(immr, imms)| Insn::Ubfm {
+                wide,
+                rd,
+                rn,
+                immr,
+                imms,
+            })
         }),
         (any::<bool>(), any_reg(), any_reg(), 0u16..4096).prop_map(|(wide, rt, rn, slot)| {
             let scale = if wide { 8 } else { 4 };

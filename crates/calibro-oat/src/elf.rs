@@ -213,7 +213,14 @@ fn parse_oatdata(buf: &[u8], words: Vec<u32>) -> Result<OatFile, LoadError> {
         for _ in 0..n_maps {
             stack_maps.push(StackMapEntry { native_offset: r.u32()?, dex_pc: r.u32()? });
         }
-        methods.push(OatMethodRecord { method, offset, insn_words, code_words, metadata, stack_maps });
+        methods.push(OatMethodRecord {
+            method,
+            offset,
+            insn_words,
+            code_words,
+            metadata,
+            stack_maps,
+        });
     }
     let n_thunks = r.len32("thunk count")?;
     let mut thunks = Vec::with_capacity(n_thunks);

@@ -181,7 +181,11 @@ mod tests {
     use calibro_hgraph::build_hgraph;
     use calibro_isa::{decode, Reg};
 
-    fn simple_method(name: &str, callee: Option<MethodId>, opts: &CodegenOptions) -> CompiledMethod {
+    fn simple_method(
+        name: &str,
+        callee: Option<MethodId>,
+        opts: &CodegenOptions,
+    ) -> CompiledMethod {
         let mut b = MethodBuilder::new(name, 2, 1);
         if let Some(m) = callee {
             b.push(DexInsn::Invoke {
@@ -220,10 +224,7 @@ mod tests {
         assert_eq!(oat.methods.len(), 2);
         assert!(oat.thunks.is_empty());
         // Methods are laid out back to back.
-        assert_eq!(
-            oat.methods[1].offset,
-            oat.methods[0].offset + oat.methods[0].size_bytes()
-        );
+        assert_eq!(oat.methods[1].offset, oat.methods[0].offset + oat.methods[0].size_bytes());
     }
 
     #[test]
@@ -284,10 +285,7 @@ mod tests {
             target: CallTarget::Outlined(7),
         });
         let input = LinkInput { methods: vec![m], outlined: vec![] };
-        assert!(matches!(
-            link(&input, 0x1000),
-            Err(LinkError::UnresolvedTarget { .. })
-        ));
+        assert!(matches!(link(&input, 0x1000), Err(LinkError::UnresolvedTarget { .. })));
     }
 
     #[test]

@@ -11,9 +11,7 @@ use crate::file::{OatFile, OatMethodRecord};
 /// as ART does during unwinding.
 #[must_use]
 pub fn dex_pc_for_return_offset(maps: &[StackMapEntry], native_offset: u32) -> Option<u32> {
-    maps.binary_search_by_key(&native_offset, |m| m.native_offset)
-        .ok()
-        .map(|i| maps[i].dex_pc)
+    maps.binary_search_by_key(&native_offset, |m| m.native_offset).ok().map(|i| maps[i].dex_pc)
 }
 
 /// A stack-map consistency violation.
@@ -96,7 +94,7 @@ pub fn validate_stack_maps(oat: &OatFile) -> Result<(), StackMapError> {
 /// addresses.
 #[must_use]
 pub fn insn_at(oat: &OatFile, address: u64) -> Option<Insn> {
-    if address < oat.base_address || address % 4 != 0 {
+    if address < oat.base_address || !address.is_multiple_of(4) {
         return None;
     }
     let word = ((address - oat.base_address) / 4) as usize;

@@ -35,7 +35,12 @@ impl CostModel {
     /// Creates a model; `icache` toggles the instruction-cache component.
     #[must_use]
     pub fn new(icache: bool) -> CostModel {
-        CostModel { icache_enabled: icache, tags: vec![u64::MAX; LINES], cycles: 0, icache_misses: 0 }
+        CostModel {
+            icache_enabled: icache,
+            tags: vec![u64::MAX; LINES],
+            cycles: 0,
+            icache_misses: 0,
+        }
     }
 
     /// Cycle penalty for an instruction-cache miss (L2 hit latency;
@@ -101,15 +106,11 @@ mod tests {
 
     #[test]
     fn calls_cost_more_than_alu() {
-        assert!(
-            CostModel::base_cost(&Insn::Bl { offset: 0 })
-                > CostModel::base_cost(&Insn::Nop)
-        );
+        assert!(CostModel::base_cost(&Insn::Bl { offset: 0 }) > CostModel::base_cost(&Insn::Nop));
         // Returns are RAS-predicted: base cost equals plain ALU, and the
         // redirect penalty is charged at execution time (taken branch).
         assert!(
-            CostModel::base_cost(&Insn::Ret { rn: Reg::LR })
-                >= CostModel::base_cost(&Insn::Nop)
+            CostModel::base_cost(&Insn::Ret { rn: Reg::LR }) >= CostModel::base_cost(&Insn::Nop)
         );
     }
 

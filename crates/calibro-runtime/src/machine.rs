@@ -323,7 +323,7 @@ impl Machine {
     fn check_data_access(&self, address: u64) -> Result<(), ThrowKind> {
         // The stack redzone: the Figure 4c probe (and genuine stack
         // overruns) fault here.
-        if address < addr::STACK_LIMIT && address >= addr::STACK_LIMIT - 0x10_0000 {
+        if (addr::STACK_LIMIT - 0x10_0000..addr::STACK_LIMIT).contains(&address) {
             return Err(ThrowKind::StackOverflow);
         }
         Ok(())
@@ -361,8 +361,7 @@ impl Machine {
             };
             let insn = self.decoded[word].ok_or(Trap::ExecutedData(self.pc))?;
             self.mem.touch(self.pc);
-            self.current_owner =
-                (self.owner[word] as usize).min(self.method_cycles.len() - 1);
+            self.current_owner = (self.owner[word] as usize).min(self.method_cycles.len() - 1);
 
             match self.exec(insn) {
                 Ok(Control::Next) => {
@@ -406,7 +405,8 @@ impl Machine {
             }
             native_id::BRIDGE => {
                 let method = self.r32(Reg::X0);
-                let native = *self.natives.get(&method).ok_or(Trap::BadNative(u64::from(method)))?;
+                let native =
+                    *self.natives.get(&method).ok_or(Trap::BadNative(u64::from(method)))?;
                 let args: Vec<i32> =
                     (0..native.arity).map(|i| self.r32(Reg::new(1 + i as u8)) as i32).collect();
                 let result = (native.func)(&args);
@@ -515,8 +515,11 @@ impl Machine {
                     let res = self.flags_add(a, imm, wide);
                     self.set(rd, res, wide);
                 } else {
-                    let res =
-                        if wide { a.wrapping_add(imm) } else { u64::from((a as u32).wrapping_add(imm as u32)) };
+                    let res = if wide {
+                        a.wrapping_add(imm)
+                    } else {
+                        u64::from((a as u32).wrapping_add(imm as u32))
+                    };
                     self.set_base_or_reg(rd, res, wide);
                 }
                 Next
@@ -528,8 +531,11 @@ impl Machine {
                     let res = self.flags_sub(a, imm, wide);
                     self.set(rd, res, wide);
                 } else {
-                    let res =
-                        if wide { a.wrapping_sub(imm) } else { u64::from((a as u32).wrapping_sub(imm as u32)) };
+                    let res = if wide {
+                        a.wrapping_sub(imm)
+                    } else {
+                        u64::from((a as u32).wrapping_sub(imm as u32))
+                    };
                     self.set_base_or_reg(rd, res, wide);
                 }
                 Next
@@ -585,7 +591,11 @@ impl Machine {
             Insn::Sdiv { wide, rd, rn, rm } => {
                 let res = if wide {
                     let b = self.r(rm) as i64;
-                    if b == 0 { 0 } else { (self.r(rn) as i64).wrapping_div(b) as u64 }
+                    if b == 0 {
+                        0
+                    } else {
+                        (self.r(rn) as i64).wrapping_div(b) as u64
+                    }
                 } else {
                     let b = self.r32(rm) as i32;
                     let a = self.r32(rn) as i32;
@@ -597,11 +607,7 @@ impl Machine {
             Insn::Lslv { wide, rd, rn, rm } => {
                 let width = if wide { 64 } else { 32 };
                 let sh = self.r(rm) % width;
-                let res = if wide {
-                    self.r(rn) << sh
-                } else {
-                    u64::from((self.r32(rn)) << sh)
-                };
+                let res = if wide { self.r(rn) << sh } else { u64::from((self.r32(rn)) << sh) };
                 self.set(rd, res, wide);
                 Next
             }
@@ -660,9 +666,7 @@ impl Machine {
             Insn::Stp { rt, rt2, rn, offset, mode } => {
                 let base = self.base(rn);
                 let address = match mode {
-                    PairMode::PreIndex | PairMode::SignedOffset => {
-                        base.wrapping_add(offset as u64)
-                    }
+                    PairMode::PreIndex | PairMode::SignedOffset => base.wrapping_add(offset as u64),
                     PairMode::PostIndex => base,
                 };
                 self.store(address, self.r(rt), true).map_err(Step::Threw)?;
@@ -677,9 +681,7 @@ impl Machine {
             Insn::Ldp { rt, rt2, rn, offset, mode } => {
                 let base = self.base(rn);
                 let address = match mode {
-                    PairMode::PreIndex | PairMode::SignedOffset => {
-                        base.wrapping_add(offset as u64)
-                    }
+                    PairMode::PreIndex | PairMode::SignedOffset => base.wrapping_add(offset as u64),
                     PairMode::PostIndex => base,
                 };
                 let v1 = self.load(address, true).map_err(Step::Threw)?;
@@ -734,11 +736,8 @@ fn bitfield_move(src: u64, immr: u8, imms: u8, wide: bool, signed: bool) -> u64 
         // Extract bits [immr, imms] to the bottom.
         let len = imms - immr + 1;
         let field = (src >> immr) & mask(len);
-        let value = if signed && field >> (len - 1) & 1 == 1 {
-            field | (!0u64 << len)
-        } else {
-            field
-        };
+        let value =
+            if signed && field >> (len - 1) & 1 == 1 { field | (!0u64 << len) } else { field };
         if wide {
             value
         } else {
@@ -903,8 +902,7 @@ mod tests {
     #[test]
     fn executing_data_traps() {
         let words = vec![0xdead_beefu32];
-        let mut m =
-            Machine::new(&words, 0x1000, vec![0], 1, vec![], HashMap::new(), false);
+        let mut m = Machine::new(&words, 0x1000, vec![0], 1, vec![], HashMap::new(), false);
         m.set_pc(0x1000);
         assert_eq!(m.run(10), Err(Trap::ExecutedData(0x1000)));
     }
@@ -960,10 +958,7 @@ mod tests {
 
     #[test]
     fn cycles_are_attributed() {
-        let mut m = machine_with(&[
-            Insn::Nop,
-            Insn::Ret { rn: Reg::LR },
-        ]);
+        let mut m = machine_with(&[Insn::Nop, Insn::Ret { rn: Reg::LR }]);
         m.run(10).unwrap();
         assert!(m.method_cycles[0] > 0);
         assert!(m.cost.cycles >= m.method_cycles[0]);

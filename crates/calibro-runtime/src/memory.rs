@@ -93,9 +93,7 @@ impl Memory {
     /// reset, restricted to `[start, end)`.
     #[must_use]
     pub fn touched_granules_in(&self, start: u64, end: u64) -> usize {
-        self.touched
-            .range(start / RESIDENCY_GRANULE..end.div_ceil(RESIDENCY_GRANULE))
-            .count()
+        self.touched.range(start / RESIDENCY_GRANULE..end.div_ceil(RESIDENCY_GRANULE)).count()
     }
 
     /// Clears touch accounting.

@@ -54,8 +54,8 @@ impl Runtime {
         let mut owner = vec![u32::MAX; oat.words.len()];
         for record in &oat.methods {
             let start = (record.offset / 4) as usize;
-            for w in start..start + record.code_words {
-                owner[w] = record.method.0;
+            for slot in owner.iter_mut().skip(start).take(record.code_words) {
+                *slot = record.method.0;
             }
         }
         let mut machine = Machine::new(
@@ -73,10 +73,9 @@ impl Runtime {
             addr::THREAD_BASE + u64::from(layout::THREAD_METHOD_TABLE),
             addr::METHOD_TABLE_BASE,
         );
-        machine.mem.write_u64(
-            addr::THREAD_BASE + u64::from(layout::THREAD_STATICS),
-            addr::STATICS_BASE,
-        );
+        machine
+            .mem
+            .write_u64(addr::THREAD_BASE + u64::from(layout::THREAD_STATICS), addr::STATICS_BASE);
         let natives = [
             (layout::EP_ALLOC_OBJECT, native_id::ALLOC),
             (layout::EP_THROW_DIV_ZERO, native_id::THROW_DIV_ZERO),
@@ -85,9 +84,7 @@ impl Runtime {
             (layout::EP_NATIVE_BRIDGE, native_id::BRIDGE),
         ];
         for (slot, id) in natives {
-            machine
-                .mem
-                .write_u64(addr::THREAD_BASE + u64::from(slot), addr::NATIVE_BASE + id * 8);
+            machine.mem.write_u64(addr::THREAD_BASE + u64::from(slot), addr::NATIVE_BASE + id * 8);
         }
 
         // --- ArtMethod records + method table ------------------------------
@@ -98,19 +95,13 @@ impl Runtime {
             let entry = oat.base_address + record.offset;
             entries.push(entry);
             machine.mem.write_u64(art_method, idx);
-            machine
-                .mem
-                .write_u64(art_method + u64::from(layout::ART_METHOD_ENTRY_OFFSET), entry);
-            machine
-                .mem
-                .write_u64(addr::METHOD_TABLE_BASE + idx * 8, art_method);
+            machine.mem.write_u64(art_method + u64::from(layout::ART_METHOD_ENTRY_OFFSET), entry);
+            machine.mem.write_u64(addr::METHOD_TABLE_BASE + idx * 8, art_method);
         }
 
         // --- Statics -------------------------------------------------------
         for (slot, value) in env.statics.iter().enumerate() {
-            machine
-                .mem
-                .write_u32(addr::STATICS_BASE + slot as u64 * 8, *value as u32);
+            machine.mem.write_u32(addr::STATICS_BASE + slot as u64 * 8, *value as u32);
         }
 
         machine.mem.reset_touched();
@@ -185,10 +176,8 @@ impl Runtime {
     /// Code residency touched so far (resident OAT text), in bytes.
     #[must_use]
     pub fn resident_code_bytes(&self) -> u64 {
-        let granules = self
-            .machine
-            .mem
-            .touched_granules_in(self.text_base, self.text_base + self.text_size);
+        let granules =
+            self.machine.mem.touched_granules_in(self.text_base, self.text_base + self.text_size);
         granules as u64 * RESIDENCY_GRANULE
     }
 
@@ -200,9 +189,9 @@ impl Runtime {
         self.machine.mem.touched_granules_in(0, u64::MAX) as u64 * RESIDENCY_GRANULE
     }
 
-    /// A digest of the observable mutable state (heap contents + statics
-    /// + allocation count), used by differential tests. Code layout and
-    /// stack remnants are deliberately excluded — they legitimately
+    /// A digest of the observable mutable state (heap contents, statics
+    /// and the allocation count), used by differential tests. Code layout
+    /// and stack remnants are deliberately excluded — they legitimately
     /// differ between baseline and outlined builds.
     #[must_use]
     pub fn state_digest(&self) -> u64 {

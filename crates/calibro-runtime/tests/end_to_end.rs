@@ -7,8 +7,7 @@ use std::collections::HashMap;
 
 use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions};
 use calibro_dex::{
-    BinOp, ClassId, Cmp, DexFile, DexInsn, InvokeKind, Method, MethodBuilder, MethodId, StaticId,
-    VReg,
+    BinOp, Cmp, DexFile, DexInsn, InvokeKind, Method, MethodBuilder, MethodId, StaticId, VReg,
 };
 use calibro_hgraph::{build_hgraph, eval_pure, run_pipeline, EvalOutcome};
 use calibro_oat::{link, LinkInput};
@@ -193,10 +192,7 @@ fn native_methods_bridge_to_rust() {
         NativeMethod { arity: 2, func: |args| args[0].wrapping_mul(31).wrapping_add(args[1]) },
     );
     let mut rt = boot(&dex, false, &env);
-    assert_eq!(
-        rt.call(MethodId(1), &[3, 4], 100_000).unwrap().outcome,
-        ExecOutcome::Returned(97)
-    );
+    assert_eq!(rt.call(MethodId(1), &[3, 4], 100_000).unwrap().outcome, ExecOutcome::Returned(97));
 }
 
 #[test]

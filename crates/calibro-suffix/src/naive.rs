@@ -24,11 +24,7 @@ pub fn find_positions(text: &[Symbol], pattern: &[Symbol]) -> Vec<usize> {
     if pattern.is_empty() || pattern.len() > text.len() {
         return Vec::new();
     }
-    text.windows(pattern.len())
-        .enumerate()
-        .filter(|(_, w)| *w == pattern)
-        .map(|(i, _)| i)
-        .collect()
+    text.windows(pattern.len()).enumerate().filter(|(_, w)| *w == pattern).map(|(i, _)| i).collect()
 }
 
 /// Enumerates every repeated substring of length in `min_len..=max_len`

@@ -9,7 +9,7 @@
 //! of the paper quantify.
 
 use crate::repeats::{select_outline_plan, OutlineCandidate};
-use crate::tree::{Symbol, SuffixTree};
+use crate::tree::{SuffixTree, Symbol};
 
 /// A sequence with the caller's identifier, so plans can be mapped back
 /// to methods after partitioning.
@@ -28,6 +28,8 @@ pub struct GroupPlan {
     pub tags: Vec<usize>,
     /// Start offset of each tagged sequence within the group text.
     pub offsets: Vec<usize>,
+    /// Length of each tagged sequence (excluding its separator).
+    pub lens: Vec<usize>,
     /// The outline candidates selected within this group.
     pub candidates: Vec<OutlineCandidate>,
 }
@@ -37,15 +39,28 @@ impl GroupPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `pos` points into separator space.
+    /// Panics if `pos` points into separator space (the joint word after
+    /// each sequence) or past the group text. A candidate position can
+    /// never land there — separators are unique, so no repeat contains
+    /// one — and silently attributing such a position to the preceding
+    /// sequence would corrupt the outline plan downstream.
     #[must_use]
     pub fn resolve(&self, pos: usize) -> (usize, usize) {
         // offsets are sorted; find the owning sequence.
         let idx = match self.offsets.binary_search(&pos) {
             Ok(i) => i,
+            Err(0) => panic!("position {pos} precedes the group text"),
             Err(i) => i - 1,
         };
-        (self.tags[idx], pos - self.offsets[idx])
+        let within = pos - self.offsets[idx];
+        assert!(
+            within < self.lens[idx],
+            "position {pos} is in separator space after sequence {} (tag {}, len {})",
+            idx,
+            self.tags[idx],
+            self.lens[idx],
+        );
+        (self.tags[idx], within)
     }
 }
 
@@ -64,8 +79,8 @@ pub fn partition(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequ
 }
 
 /// Concatenates a group's sequences with unique separators and returns
-/// `(text, tags, offsets)`.
-fn concatenate(group: &[TaggedSequence]) -> (Vec<Symbol>, Vec<usize>, Vec<usize>) {
+/// `(text, tags, offsets, lens)`.
+fn concatenate(group: &[TaggedSequence]) -> (Vec<Symbol>, Vec<usize>, Vec<usize>, Vec<usize>) {
     // Separators must be unique per joint and outside the symbol space of
     // instructions (< 2^32) and of the caller's separators; we use a
     // dedicated high band.
@@ -73,13 +88,15 @@ fn concatenate(group: &[TaggedSequence]) -> (Vec<Symbol>, Vec<usize>, Vec<usize>
     let mut text = Vec::new();
     let mut tags = Vec::with_capacity(group.len());
     let mut offsets = Vec::with_capacity(group.len());
+    let mut lens = Vec::with_capacity(group.len());
     for (i, seq) in group.iter().enumerate() {
         tags.push(seq.tag);
         offsets.push(text.len());
+        lens.push(seq.symbols.len());
         text.extend_from_slice(&seq.symbols);
         text.push(GROUP_SEP_BASE + i as Symbol);
     }
-    (text, tags, offsets)
+    (text, tags, offsets, lens)
 }
 
 /// Builds one suffix tree per group and selects outline plans, running
@@ -116,11 +133,11 @@ pub fn detect_parallel(
 /// Single-group detection: concatenate, build the tree, select the plan.
 #[must_use]
 pub fn detect_group(group: &[TaggedSequence], min_len: usize) -> GroupPlan {
-    let (text, tags, offsets) = concatenate(group);
+    let (text, tags, offsets, lens) = concatenate(group);
     let total = text.len();
     let tree = SuffixTree::build(text);
     let candidates = select_outline_plan(&tree, min_len, total);
-    GroupPlan { tags, offsets, candidates }
+    GroupPlan { tags, offsets, lens, candidates }
 }
 
 #[cfg(test)]
@@ -133,13 +150,11 @@ mod tests {
 
     #[test]
     fn partition_is_even_and_total() {
-        let sequences: Vec<TaggedSequence> =
-            (0..10).map(|t| seq(t, &[t as Symbol])).collect();
+        let sequences: Vec<TaggedSequence> = (0..10).map(|t| seq(t, &[t as Symbol])).collect();
         let groups = partition(sequences, 3);
         let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
         assert_eq!(sizes, vec![4, 3, 3]);
-        let mut tags: Vec<usize> =
-            groups.iter().flatten().map(|s| s.tag).collect();
+        let mut tags: Vec<usize> = groups.iter().flatten().map(|s| s.tag).collect();
         tags.sort_unstable();
         assert_eq!(tags, (0..10).collect::<Vec<_>>());
     }
@@ -178,8 +193,7 @@ mod tests {
             })
             .collect();
         let groups = partition(sequences, 4);
-        let sequential: Vec<GroupPlan> =
-            groups.iter().map(|g| detect_group(g, 2)).collect();
+        let sequential: Vec<GroupPlan> = groups.iter().map(|g| detect_group(g, 2)).collect();
         let parallel = detect_parallel(groups, 2, 4);
         assert_eq!(parallel.len(), sequential.len());
         for (p, s) in parallel.iter().zip(&sequential) {
@@ -209,5 +223,22 @@ mod tests {
         assert_eq!(plan.resolve(2), (5, 2));
         assert_eq!(plan.resolve(4), (9, 0));
         assert_eq!(plan.resolve(5), (9, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "separator space")]
+    fn resolve_panics_on_separator_positions() {
+        // Group text: [1, 2, 3, SEP0, 4, 5, SEP1]. Position 3 is the
+        // separator after the first sequence; before the fix it resolved
+        // to the nonsense (tag 5, offset 3).
+        let plan = detect_group(&[seq(5, &[1, 2, 3]), seq(9, &[4, 5])], 2);
+        let _ = plan.resolve(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "separator space")]
+    fn resolve_panics_on_trailing_separator() {
+        let plan = detect_group(&[seq(5, &[1, 2, 3]), seq(9, &[4, 5])], 2);
+        let _ = plan.resolve(6);
     }
 }

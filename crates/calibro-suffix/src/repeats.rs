@@ -137,9 +137,8 @@ pub fn select_outline_plan(
     // Rank by a realistic saving bound: a length-L sequence can have at
     // most total_len / L non-overlapping occurrences, so self-overlapping
     // candidates (e.g. periodic runs) don't hog the front of the queue.
-    let bounded_saving = |len: usize, count: usize| {
-        benefit::saving(len, count.min(total_len / len.max(1)))
-    };
+    let bounded_saving =
+        |len: usize, count: usize| benefit::saving(len, count.min(total_len / len.max(1)));
     entries.sort_by_key(|e| (-bounded_saving(e.len, e.count), std::cmp::Reverse(e.len)));
 
     let mut claimed = vec![false; total_len];
@@ -189,8 +188,7 @@ mod tests {
     fn banana_repeats() {
         let tree = SuffixTree::build(bytes("banana"));
         let repeats = find_repeats(&tree, 1);
-        let summary: Vec<(usize, usize)> =
-            repeats.iter().map(|r| (r.len, r.count)).collect();
+        let summary: Vec<(usize, usize)> = repeats.iter().map(|r| (r.len, r.count)).collect();
         assert_eq!(summary, vec![(3, 2), (2, 2), (1, 3)]);
     }
 

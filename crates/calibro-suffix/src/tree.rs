@@ -71,10 +71,7 @@ impl SuffixTree {
     /// Panics if `text` contains the reserved [`TERMINAL`] symbol.
     #[must_use]
     pub fn build(mut text: Vec<Symbol>) -> SuffixTree {
-        assert!(
-            !text.contains(&TERMINAL),
-            "input must not contain the reserved terminal symbol"
-        );
+        assert!(!text.contains(&TERMINAL), "input must not contain the reserved terminal symbol");
         text.push(TERMINAL);
         let mut builder = Builder {
             nodes: vec![Node::new(0, 0)],
@@ -255,11 +252,7 @@ impl SuffixTree {
             if id == 0 || self.nodes[id].children.is_empty() {
                 continue;
             }
-            visit(InternalNode {
-                id: NodeId(id),
-                len: depths[id],
-                count: leaf_counts[id],
-            });
+            visit(InternalNode { id: NodeId(id), len: depths[id], count: leaf_counts[id] });
         }
     }
 

@@ -195,9 +195,8 @@ pub fn generate(spec: &AppSpec) -> App {
     let mut dex = DexFile::new();
     let motifs = generate_motifs(&mut rng, spec.motif_pool);
 
-    let classes: Vec<ClassId> = (0..spec.classes)
-        .map(|i| dex.add_class(format!("C{i}"), 2 + (i as u32 % 4)))
-        .collect();
+    let classes: Vec<ClassId> =
+        (0..spec.classes).map(|i| dex.add_class(format!("C{i}"), 2 + (i as u32 % 4))).collect();
     let num_statics = 8;
     dex.reserve_statics(num_statics);
 
@@ -250,8 +249,7 @@ pub fn generate(spec: &AppSpec) -> App {
             // repeats nowhere else, diluting redundancy like real app
             // logic. Keeping everything data-dependent on the arguments
             // stops the optimizer from folding or eliminating it.
-            let filler =
-                rng.gen_range(spec.filler_per_segment.0..=spec.filler_per_segment.1);
+            let filler = rng.gen_range(spec.filler_per_segment.0..=spec.filler_per_segment.1);
             let ops = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::Or, BinOp::Mul];
             b.push(DexInsn::Bin {
                 op: BinOp::Add,
@@ -273,20 +271,20 @@ pub fn generate(spec: &AppSpec) -> App {
             if rng.gen_bool(0.3) {
                 // no motif in this segment
             } else {
-            let motif = &motifs[skewed_index(&mut rng, motifs.len(), 1.1)];
-            if rng.gen_bool(0.35) {
-                // Guarded variant: same motif body inside a branch.
-                let skip = b.label();
-                b.if_z(Cmp::Lt, VReg(rng.gen_range(4..6)), skip);
-                for insn in motif {
-                    b.push(insn.clone());
+                let motif = &motifs[skewed_index(&mut rng, motifs.len(), 1.1)];
+                if rng.gen_bool(0.35) {
+                    // Guarded variant: same motif body inside a branch.
+                    let skip = b.label();
+                    b.if_z(Cmp::Lt, VReg(rng.gen_range(4..6)), skip);
+                    for insn in motif {
+                        b.push(insn.clone());
+                    }
+                    b.bind(skip);
+                } else {
+                    for insn in motif {
+                        b.push(insn.clone());
+                    }
                 }
-                b.bind(skip);
-            } else {
-                for insn in motif {
-                    b.push(insn.clone());
-                }
-            }
             }
 
             match rng.gen_range(0..10) {
@@ -328,11 +326,7 @@ pub fn generate(spec: &AppSpec) -> App {
                 let offset = skewed_index(&mut rng, range as usize, spec.hot_skew);
                 let callee = MethodId(first_java + offset as u32);
                 b.push(DexInsn::Invoke {
-                    kind: if rng.gen_bool(0.5) {
-                        InvokeKind::Virtual
-                    } else {
-                        InvokeKind::Static
-                    },
+                    kind: if rng.gen_bool(0.5) { InvokeKind::Virtual } else { InvokeKind::Static },
                     method: callee,
                     args: vec![VReg(0), VReg(5)],
                     dst: Some(VReg(3)),
@@ -377,10 +371,7 @@ pub fn generate(spec: &AppSpec) -> App {
         // Prefer methods near the end of the table (deep call trees).
         let back = skewed_index(&mut rng, spec.methods, spec.hot_skew);
         let method = MethodId((total_methods - 1 - back) as u32);
-        trace.push(TraceCall {
-            method,
-            args: [rng.gen_range(-20..20), rng.gen_range(1..20)],
-        });
+        trace.push(TraceCall { method, args: [rng.gen_range(-20..20), rng.gen_range(1..20)] });
     }
 
     App { name: spec.name.clone(), dex, env, trace }

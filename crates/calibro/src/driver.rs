@@ -4,11 +4,12 @@
 //! outlining (LTBO, with PlOpti / HfOpti), and final linking.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
 use calibro_dex::DexFile;
-use calibro_hgraph::{build_hgraph, run_inlining, run_pipeline, InlineConfig};
+use calibro_hgraph::{build_hgraph, run_inlining, run_pipeline, HGraph, InlineConfig, PassStats};
 use calibro_oat::{link, LinkError, LinkInput, OatFile, DEFAULT_BASE_ADDRESS};
 
 use crate::ltbo::{run_ltbo, LtboConfig, LtboMode, LtboStats};
@@ -34,6 +35,13 @@ pub struct BuildOptions {
     /// per-method passes (dex2oat inlines; off by default here so the
     /// headline numbers isolate the outlining contribution).
     pub inlining: bool,
+    /// Worker threads for the per-method compile phase (HGraph build,
+    /// pass pipeline, codegen). `1` (the default) compiles sequentially
+    /// on the calling thread. Per-method compilation is independent, so
+    /// the linked output is bit-identical for every thread count:
+    /// results land in index-order slots regardless of completion order
+    /// (whole-program inlining stays a sequential pre-phase).
+    pub compile_threads: usize,
 }
 
 impl Default for BuildOptions {
@@ -46,6 +54,7 @@ impl Default for BuildOptions {
             base_address: DEFAULT_BASE_ADDRESS,
             force_metadata: false,
             inlining: false,
+            compile_threads: 1,
         }
     }
 }
@@ -85,13 +94,50 @@ impl BuildOptions {
         self.hot_methods = Some(hot);
         self
     }
+
+    /// Sets the worker-thread count for the per-method compile phase.
+    #[must_use]
+    pub fn with_compile_threads(mut self, threads: usize) -> BuildOptions {
+        self.compile_threads = threads;
+        self
+    }
 }
 
-/// Phase timings and statistics for one build (Table 6's raw data).
+/// Load record for one compile worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Methods this worker processed.
+    pub items: usize,
+    /// Wall time the worker spent between first and last item.
+    pub busy: Duration,
+}
+
+/// Phase timings and statistics for one build (Table 6's raw data, plus
+/// the observability layer behind `BENCH_*.json`).
 #[derive(Clone, Debug, Default)]
 pub struct BuildStats {
     /// Time compiling methods (HGraph + passes + codegen).
     pub compile_time: Duration,
+    /// Time verifying the input dex.
+    pub verify_time: Duration,
+    /// Time building HGraphs (part of `compile_time`).
+    pub graph_time: Duration,
+    /// Time in whole-program inlining (part of `compile_time`; zero
+    /// unless [`BuildOptions::inlining`] is set).
+    pub inline_time: Duration,
+    /// Time in the pass pipeline + codegen (part of `compile_time`).
+    pub codegen_time: Duration,
+    /// CPU time summed across compile workers (≈ `compile_time` at one
+    /// thread; up to `compile_threads ×` beyond it when parallel).
+    pub compile_cpu_time: Duration,
+    /// Worker threads used for the compile phase.
+    pub compile_threads: usize,
+    /// Per-worker load for the pipeline + codegen phase, in worker
+    /// order.
+    pub per_worker: Vec<WorkerLoad>,
+    /// Optimization-pass counters aggregated over all methods (merged in
+    /// method-index order, so identical for every thread count).
+    pub passes: PassStats,
     /// Time in LTBO (suffix trees + outlining + patching).
     pub ltbo_time: Duration,
     /// Time linking and encoding.
@@ -109,6 +155,68 @@ impl BuildStats {
     #[must_use]
     pub fn total_time(&self) -> Duration {
         self.compile_time + self.ltbo_time + self.link_time
+    }
+
+    /// Serializes the stats as a self-contained JSON object (hand
+    /// rolled — every field is numeric, so no escaping is needed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let us = |d: Duration| d.as_micros();
+        let per_worker: Vec<String> = self
+            .per_worker
+            .iter()
+            .map(|w| format!(r#"{{"items":{},"busy_us":{}}}"#, w.items, us(w.busy)))
+            .collect();
+        let p = &self.passes;
+        let l = &self.ltbo;
+        format!(
+            concat!(
+                "{{",
+                r#""methods":{},"words_before_ltbo":{},"compile_threads":{},"#,
+                r#""times_us":{{"verify":{},"graphs":{},"inline":{},"codegen":{},"#,
+                r#""compile":{},"ltbo":{},"link":{},"total":{}}},"#,
+                r#""compile_cpu_us":{},"per_worker":[{}],"#,
+                r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
+                r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
+                r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
+                r#""ltbo":{{"candidate_methods":{},"excluded_methods":{},"#,
+                r#""hot_restricted_methods":{},"outlined_functions":{},"#,
+                r#""occurrences_replaced":{},"words_saved":{},"pc_rel_patched":{},"#,
+                r#""stack_maps_updated":{}}}"#,
+                "}}",
+            ),
+            self.methods,
+            self.words_before_ltbo,
+            self.compile_threads,
+            us(self.verify_time),
+            us(self.graph_time),
+            us(self.inline_time),
+            us(self.codegen_time),
+            us(self.compile_time),
+            us(self.ltbo_time),
+            us(self.link_time),
+            us(self.total_time()),
+            us(self.compile_cpu_time),
+            per_worker.join(","),
+            p.folded,
+            p.copies_propagated,
+            p.cse_hits,
+            p.dead_removed,
+            p.simplified,
+            p.returns_merged,
+            p.blocks_removed,
+            p.iterations,
+            p.insns_in,
+            p.insns_out,
+            l.candidate_methods,
+            l.excluded_methods,
+            l.hot_restricted_methods,
+            l.outlined_functions,
+            l.occurrences_replaced,
+            l.words_saved,
+            l.pc_rel_patched,
+            l.stack_maps_updated,
+        )
     }
 }
 
@@ -149,32 +257,68 @@ impl std::error::Error for BuildError {}
 /// Returns [`BuildError`] if the input fails bytecode verification or
 /// the final link fails.
 pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
+    let verify_start = Instant::now();
     calibro_dex::verify(dex).map_err(BuildError::Verify)?;
-    let mut stats = BuildStats::default();
+    let threads = options.compile_threads.max(1);
+    let mut stats = BuildStats {
+        verify_time: verify_start.elapsed(),
+        compile_threads: threads,
+        ..BuildStats::default()
+    };
 
     // --- Compile every method (Figure 5 left half). ---------------------
     let collect_metadata = options.ltbo.is_some() || options.force_metadata;
     let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
     let start = Instant::now();
+    let inputs = dex.methods();
+
     // Build all graphs first so whole-program inlining can see callees.
-    let mut graphs: Vec<Option<calibro_hgraph::HGraph>> = dex
-        .methods()
-        .iter()
-        .map(|m| if m.is_native { None } else { Some(build_hgraph(m)) })
-        .collect();
+    // Graph construction is per-method, so it fans out across workers.
+    let (graphs, graph_loads) = run_indexed(inputs.len(), threads, |i| {
+        let m = &inputs[i];
+        if m.is_native {
+            None
+        } else {
+            Some(build_hgraph(m))
+        }
+    });
+    stats.graph_time = start.elapsed();
+
+    // Whole-program inlining reads callee graphs while rewriting callers,
+    // so it stays a sequential pre-phase between the two parallel fans.
+    let inline_start = Instant::now();
+    let mut graphs = graphs;
     if options.inlining {
         run_inlining(&mut graphs, &InlineConfig::default());
     }
-    let mut methods: Vec<CompiledMethod> = Vec::with_capacity(dex.methods().len());
-    for (method, graph) in dex.methods().iter().zip(&mut graphs) {
-        match graph {
-            None => methods.push(compile_native_stub(method.id, &codegen_opts)),
-            Some(graph) => {
-                run_pipeline(graph);
-                methods.push(compile_method(graph, &codegen_opts));
+    stats.inline_time = inline_start.elapsed();
+
+    // Pass pipeline + codegen: each method is independent, and results
+    // land in index-order slots, so the linked bytes are identical for
+    // every thread count. Workers take ownership of their graph through
+    // a per-slot mutex (locked exactly once, by the worker that drew the
+    // index from the cursor).
+    let codegen_start = Instant::now();
+    let cells: Vec<parking_lot::Mutex<Option<HGraph>>> =
+        graphs.into_iter().map(parking_lot::Mutex::new).collect();
+    let (compiled, codegen_loads) =
+        run_indexed(inputs.len(), threads, |i| match cells[i].lock().take() {
+            None => (compile_native_stub(inputs[i].id, &codegen_opts), PassStats::default()),
+            Some(mut graph) => {
+                let pass_stats = run_pipeline(&mut graph);
+                (compile_method(&graph, &codegen_opts), pass_stats)
             }
-        }
+        });
+    stats.codegen_time = codegen_start.elapsed();
+
+    let mut methods: Vec<CompiledMethod> = Vec::with_capacity(compiled.len());
+    for (method, pass_stats) in compiled {
+        // Merged in method-index order — deterministic across schedules.
+        stats.passes += pass_stats;
+        methods.push(method);
     }
+    stats.per_worker = codegen_loads;
+    stats.compile_cpu_time = graph_loads.iter().chain(&stats.per_worker).map(|w| w.busy).sum();
     stats.methods = methods.len();
     stats.words_before_ltbo = methods.iter().map(CompiledMethod::size_words).sum();
     stats.compile_time = start.elapsed();
@@ -196,9 +340,112 @@ pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, Build
 
     // --- Link. -----------------------------------------------------------
     let start = Instant::now();
-    let oat = link(&LinkInput { methods, outlined }, options.base_address)
-        .map_err(BuildError::Link)?;
+    let oat =
+        link(&LinkInput { methods, outlined }, options.base_address).map_err(BuildError::Link)?;
     stats.link_time = start.elapsed();
 
     Ok(BuildOutput { oat, stats })
+}
+
+/// Runs `f(0..count)` across up to `threads` workers, returning results
+/// in index order plus one [`WorkerLoad`] per worker.
+///
+/// Workers draw indices from a shared atomic cursor (the same
+/// work-stealing shape as `calibro_suffix::detect_parallel`) and write
+/// each result into its index's dedicated slot, so the output order —
+/// and therefore everything derived from it — is independent of the
+/// schedule. With `threads <= 1` (or nothing to do) the closure runs on
+/// the calling thread with no synchronization at all.
+fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerLoad>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        let start = Instant::now();
+        let out: Vec<T> = (0..count).map(f).collect();
+        return (out, vec![WorkerLoad { items: count, busy: start.elapsed() }]);
+    }
+    let workers = threads.min(count);
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let loads = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let start = Instant::now();
+                    let mut items = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        *slots[i].lock() = Some(f(i));
+                        items += 1;
+                    }
+                    WorkerLoad { items, busy: start.elapsed() }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compile worker panicked"))
+            .collect::<Vec<WorkerLoad>>()
+    })
+    .expect("compile worker pool panicked");
+    let out = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index slot is filled"))
+        .collect();
+    (out, loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for threads in [1, 2, 8, 64] {
+            let (out, loads) = run_indexed(100, threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 100);
+            assert!(loads.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_oversubscribed() {
+        let (out, loads) = run_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 0);
+        // More threads than items: never spawns more workers than items.
+        let (out, loads) = run_indexed(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(loads.len() <= 3);
+    }
+
+    #[test]
+    fn stats_json_is_well_formed() {
+        let stats = BuildStats {
+            methods: 12,
+            compile_threads: 4,
+            per_worker: vec![
+                WorkerLoad { items: 7, busy: Duration::from_micros(250) },
+                WorkerLoad { items: 5, busy: Duration::from_micros(310) },
+            ],
+            ..BuildStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains(r#""methods":12"#));
+        assert!(json.contains(r#""compile_threads":4"#));
+        assert!(
+            json.contains(r#""per_worker":[{"items":7,"busy_us":250},{"items":5,"busy_us":310}]"#)
+        );
+        assert!(json.contains(r#""passes":{"folded":0"#));
+        assert!(json.contains(r#""ltbo":{"candidate_methods":0"#));
+    }
 }

@@ -49,6 +49,7 @@ mod driver;
 mod ltbo;
 mod report;
 
-pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats};
+pub use calibro_hgraph::PassStats;
+pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 pub use ltbo::{run_ltbo, LtboConfig, LtboMode, LtboResult, LtboStats};
 pub use report::{size_report, SizeReport};

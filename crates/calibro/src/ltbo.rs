@@ -115,10 +115,7 @@ pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResu
             stats.excluded_methods += 1;
             continue;
         }
-        let hot = config
-            .hot_methods
-            .as_ref()
-            .is_some_and(|set| set.contains(&m.method.0));
+        let hot = config.hot_methods.as_ref().is_some_and(|set| set.contains(&m.method.0));
         if hot {
             if m.metadata.slow_paths.is_empty() {
                 stats.excluded_methods += 1;
@@ -185,7 +182,11 @@ pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResu
 /// Builds the §3.3.2 symbol sequence for one method. Returns the symbols
 /// and the symbol-index -> word-index map (separators map to
 /// `usize::MAX`).
-fn symbolize(m: &CompiledMethod, hot_slow_paths_only: bool, unique: &mut u64) -> (Vec<u64>, Vec<usize>) {
+fn symbolize(
+    m: &CompiledMethod,
+    hot_slow_paths_only: bool,
+    unique: &mut u64,
+) -> (Vec<u64>, Vec<usize>) {
     let code_len = m.insns.len();
     let mut is_pc_rel_site = vec![false; code_len];
     let mut is_leader = vec![false; code_len];
@@ -268,10 +269,8 @@ fn apply_edits(m: &mut CompiledMethod, edits: &[Edit]) -> (usize, usize) {
         if next_edit < edits.len() && edits[next_edit].start == word {
             let edit = &edits[next_edit];
             map[word] = new_insns.len();
-            new_relocs.push(Reloc {
-                at: new_insns.len(),
-                target: CallTarget::Outlined(edit.outlined),
-            });
+            new_relocs
+                .push(Reloc { at: new_insns.len(), target: CallTarget::Outlined(edit.outlined) });
             new_insns.push(Insn::Bl { offset: 0 });
             // Interior words vanish.
             word += edit.len;
@@ -345,7 +344,17 @@ fn apply_edits(m: &mut CompiledMethod, edits: &[Edit]) -> (usize, usize) {
     for sm in &mut m.stack_maps {
         let old_word = (sm.native_offset / 4) as usize;
         // The entry names the word *after* the call; remap via the call.
-        let call_word = old_word - 1;
+        // An offset of 0 would name the word before the method, i.e. the
+        // metadata is corrupt — panic with context instead of letting the
+        // subtraction wrap around to index `map[usize::MAX]`.
+        let call_word = old_word.checked_sub(1).unwrap_or_else(|| {
+            panic!(
+                "stack map at native offset 0 in method {:?}: \
+                 entries name the word after a call, so offset 0 cannot \
+                 follow any instruction",
+                m.method
+            )
+        });
         let new_call = map[call_word];
         assert_ne!(new_call, usize::MAX, "call under a stack map removed");
         let new_offset = (new_call as u32 + 1) * 4;
@@ -362,4 +371,52 @@ fn apply_edits(m: &mut CompiledMethod, edits: &[Edit]) -> (usize, usize) {
     m.metadata.slow_paths = new_slow;
     m.metadata.embedded_data = new_embedded;
     (patched, maps_updated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_codegen::{MethodMetadata, StackMapEntry};
+    use calibro_dex::MethodId;
+    use calibro_isa::Reg;
+
+    fn method_with_stack_map(native_offset: u32) -> CompiledMethod {
+        let mov = |rd: Reg, rm: Reg| Insn::OrrReg { wide: true, rd, rn: Reg::ZR, rm, shift: 0 };
+        CompiledMethod {
+            method: MethodId(7),
+            insns: vec![
+                mov(Reg::X1, Reg::X2),
+                mov(Reg::X3, Reg::X4),
+                mov(Reg::X5, Reg::X6),
+                Insn::Ret { rn: Reg::LR },
+            ],
+            pool: vec![],
+            relocs: vec![],
+            metadata: MethodMetadata::default(),
+            stack_maps: vec![StackMapEntry { native_offset, dex_pc: 0 }],
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stack map at native offset 0")]
+    fn apply_edits_rejects_stack_map_at_offset_zero() {
+        // A stack map names the word after its call, so native offset 0 is
+        // unconstructible from valid codegen. Before the guard this
+        // underflowed `old_word - 1` and indexed `map[usize::MAX]`.
+        let mut m = method_with_stack_map(0);
+        apply_edits(&mut m, &[Edit { start: 0, len: 2, outlined: 0 }]);
+    }
+
+    #[test]
+    fn apply_edits_remaps_valid_stack_maps() {
+        // The stack map names word 3 (offset 12); outlining words 0-1 into
+        // a single `bl` shifts it back by one word, to offset 8.
+        let mut m = method_with_stack_map(12);
+        let (_patched, maps_updated) =
+            apply_edits(&mut m, &[Edit { start: 0, len: 2, outlined: 0 }]);
+        assert_eq!(maps_updated, 1);
+        assert_eq!(m.stack_maps[0].native_offset, 8);
+        assert_eq!(m.insns.len(), 3);
+        assert!(matches!(m.insns[0], Insn::Bl { .. }));
+    }
 }

@@ -6,8 +6,7 @@ use std::collections::{HashMap, HashSet};
 
 use calibro::{build, BuildOptions, LtboMode};
 use calibro_dex::{
-    BinOp, ClassId, Cmp, DexFile, DexInsn, FieldId, InvokeKind, MethodBuilder, MethodId, StaticId,
-    VReg,
+    BinOp, Cmp, DexFile, DexInsn, FieldId, InvokeKind, MethodBuilder, MethodId, StaticId, VReg,
 };
 use calibro_runtime::{Runtime, RuntimeEnv};
 use proptest::prelude::*;
@@ -92,8 +91,7 @@ fn parallel_mode_is_correct_but_may_miss_cross_group_repeats() {
     // And still behaves identically.
     let mut rt = Runtime::new(&parallel.oat, &env);
     let inv = rt.call(MethodId(0), &[2, 3], 100_000).unwrap();
-    let mut rt_base =
-        Runtime::new(&build(&dex, &BuildOptions::baseline()).unwrap().oat, &env);
+    let mut rt_base = Runtime::new(&build(&dex, &BuildOptions::baseline()).unwrap().oat, &env);
     let base = rt_base.call(MethodId(0), &[2, 3], 100_000).unwrap();
     assert_eq!(inv.outcome, base.outcome);
 }
@@ -103,8 +101,7 @@ fn hot_filtering_excludes_hot_bodies() {
     let dex = redundant_dex(8);
     let all_hot: HashSet<u32> = (0..8).collect();
     let unfiltered = build(&dex, &BuildOptions::cto_ltbo()).unwrap();
-    let filtered =
-        build(&dex, &BuildOptions::cto_ltbo().with_hot_filter(all_hot)).unwrap();
+    let filtered = build(&dex, &BuildOptions::cto_ltbo().with_hot_filter(all_hot)).unwrap();
     // Methods have no slow paths here, so filtering everything disables
     // outlining entirely.
     assert_eq!(filtered.stats.ltbo.outlined_functions, 0);
@@ -288,11 +285,8 @@ fn inlining_composes_with_outlining() {
     let dex = redundant_dex(6);
     let env = env_for(&dex);
     let plain = build(&dex, &BuildOptions::baseline()).unwrap();
-    let composed = build(
-        &dex,
-        &BuildOptions { inlining: true, ..BuildOptions::cto_ltbo() },
-    )
-    .unwrap();
+    let composed =
+        build(&dex, &BuildOptions { inlining: true, ..BuildOptions::cto_ltbo() }).unwrap();
     calibro_oat::validate_stack_maps(&composed.oat).unwrap();
     let mut rt_a = Runtime::new(&plain.oat, &env);
     let mut rt_b = Runtime::new(&composed.oat, &env);

@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compare with what LTBO actually achieves.
     let outlined = build(&app.dex, &BuildOptions::cto_ltbo())?;
-    let achieved = 1.0
-        - outlined.oat.text_size_bytes() as f64 / baseline.oat.text_size_bytes() as f64;
+    let achieved =
+        1.0 - outlined.oat.text_size_bytes() as f64 / baseline.oat.text_size_bytes() as f64;
     println!("achieved reduction (CTO+LTBO):                  {:.1}%", achieved * 100.0);
     println!("(the estimate exceeds the achieved reduction, as in the paper)");
     Ok(())

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Second builds: with and without hot filtering. ----------------
     let unfiltered = build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6))?;
-    let filtered =
-        build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6).with_hot_filter(hot))?;
+    let filtered = build(&app.dex, &BuildOptions::cto_ltbo_parallel(8, 6).with_hot_filter(hot))?;
 
     let run = |oat: &calibro_oat::OatFile| -> Result<u64, Box<dyn std::error::Error>> {
         let mut rt = Runtime::new(oat, &app.env);

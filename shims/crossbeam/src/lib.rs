@@ -1,0 +1,116 @@
+//! Offline stand-in for the subset of `crossbeam` used by this
+//! workspace: scoped threads (`crossbeam::scope` / `crossbeam::thread`),
+//! backed by `std::thread::scope`.
+//!
+//! Semantics mirror crossbeam 0.8: `scope` returns `Err` with the panic
+//! payload if any spawned thread (or the scope closure itself) panicked,
+//! instead of propagating the panic.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+/// Scoped-thread module, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to the `scope` closure and to every spawned
+    /// thread's closure (crossbeam spawns receive the scope so they can
+    /// spawn further siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, like
+        /// crossbeam's `Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the
+    /// environment can be spawned; all are joined before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the closure or any spawned thread
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let vals = super::scope(|scope| {
+            let handles: Vec<_> = (0..3).map(|i| scope.spawn(move |_| i * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(vals, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|s| {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}
