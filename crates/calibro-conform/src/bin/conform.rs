@@ -1,0 +1,230 @@
+//! The conformance driver.
+//!
+//! ```text
+//! conform --seeds N [--generator NAME] [--no-shrink]
+//!     Sweep N seeds through the full configuration matrix. Exit 0 on
+//!     zero divergences; on a divergence, shrink it, print a ready-to-
+//!     paste reproducer plus the corpus seed line, and exit 1.
+//!
+//! conform --shrink GENERATOR SEED VARIANT-LABEL
+//!     Re-run one known case and minimize it. Exits 1 if the case does
+//!     not diverge (nothing to shrink).
+//!
+//! conform --mutate [--seeds N] [--seed S]
+//!     Fault-inject: flip one encoded instruction post-link and demand
+//!     the oracle detects it, then shrink the detected case. Exit 0 iff
+//!     every injected miscompile was detected and shrank to a small
+//!     reproducer — this tests the oracle itself.
+//! ```
+
+use std::process::ExitCode;
+
+use calibro_conform::{
+    check_variant, divergence_of, find_detected_mutation, find_variant, full_matrix, reproducer,
+    run_baseline, shrink_divergence, Program, SeedLine,
+};
+use calibro_workloads::generators::all_generators;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds = 50usize;
+    let mut seed_base = 0u64;
+    let mut generator_filter: Option<String> = None;
+    let mut do_shrink = true;
+    let mut mode = Mode::Sweep;
+    let mut positional = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed_base = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--generator" => {
+                i += 1;
+                generator_filter = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--no-shrink" => do_shrink = false,
+            "--shrink" => mode = Mode::ShrinkOne,
+            "--mutate" => mode = Mode::Mutate,
+            "--help" | "-h" => {
+                usage();
+            }
+            other if !other.starts_with('-') => positional.push(other.to_owned()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    match mode {
+        Mode::Sweep => sweep(seeds, generator_filter.as_deref(), do_shrink),
+        Mode::ShrinkOne => shrink_one(&positional),
+        Mode::Mutate => mutate(seeds.min(8), seed_base),
+    }
+}
+
+enum Mode {
+    Sweep,
+    ShrinkOne,
+    Mutate,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conform [--seeds N] [--generator NAME] [--no-shrink]\n\
+         \x20      conform --shrink GENERATOR SEED VARIANT-LABEL\n\
+         \x20      conform --mutate [--seeds N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+/// Sweep mode: every seed × every generator × the full matrix.
+fn sweep(seeds: usize, generator_filter: Option<&str>, do_shrink: bool) -> ExitCode {
+    let generators = all_generators();
+    let variants = full_matrix();
+    let mut programs = 0usize;
+    let mut checks = 0usize;
+    for seed in 0..seeds as u64 {
+        for g in &generators {
+            if generator_filter.is_some_and(|f| f != g.name()) {
+                continue;
+            }
+            let program = Program::from_app(g.name(), seed, g.generate(seed));
+            programs += 1;
+            let baseline = match run_baseline(&program) {
+                Ok(b) => b,
+                Err(d) => return report(&program, "baseline", &d, do_shrink),
+            };
+            for variant in &variants {
+                checks += 1;
+                if let Err(d) = check_variant(&program, &baseline, variant, None) {
+                    let label = variant.label.clone();
+                    return report(&program, &label, &d, do_shrink);
+                }
+            }
+        }
+        if (seed + 1) % 10 == 0 {
+            println!(
+                "  seed {}/{seeds}: {programs} programs, {checks} matrix checks, 0 divergences",
+                seed + 1
+            );
+        }
+    }
+    println!(
+        "conform: {programs} programs x {} matrix rows = {checks} checks, zero divergences",
+        variants.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Shrink-one mode: reproduce a corpus line and minimize it.
+fn shrink_one(positional: &[String]) -> ExitCode {
+    let [generator, seed, label] = positional else { usage() };
+    let Ok(seed) = seed.parse::<u64>() else { usage() };
+    let Some(program) = Program::from_seed(generator, seed) else {
+        eprintln!("conform: unknown generator `{generator}`");
+        return ExitCode::FAILURE;
+    };
+    let Some(variant) = find_variant(label) else {
+        eprintln!("conform: unknown variant `{label}`");
+        return ExitCode::FAILURE;
+    };
+    match divergence_of(&program, &variant, None) {
+        None => {
+            println!("conform: {generator} {seed} {label} does not diverge — nothing to shrink");
+            ExitCode::FAILURE
+        }
+        Some(d) => report(&program, &variant.label.clone(), &d, true),
+    }
+}
+
+/// Mutate mode: inject `trials` miscompiles; each must be detected and
+/// must shrink to a small reproducer.
+fn mutate(trials: usize, seed_base: u64) -> ExitCode {
+    let variant = find_variant("ltbo-global/all/t1").expect("known matrix row");
+    for trial in 0..trials as u64 {
+        let seed = seed_base + trial;
+        // art-call programs are small and call-dense: most bit flips land
+        // in live code, and shrinking converges fast.
+        let program = Program::from_seed("art-call", seed).expect("known generator");
+        let baseline = match run_baseline(&program) {
+            Ok(b) => b,
+            Err(d) => {
+                eprintln!("conform --mutate: baseline itself failed: {d}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some((mutation, divergence)) =
+            find_detected_mutation(&program, &baseline, &variant, seed, 400)
+        else {
+            eprintln!(
+                "conform --mutate: no injected miscompile detected in 400 attempts (seed {seed}) \
+                 — the oracle is blind"
+            );
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "trial {trial}: injected {mutation:?} into `{}`, detected:\n  {divergence}",
+            variant.label
+        );
+        let (minimized, final_divergence) = shrink_divergence(&program, &variant, Some(&mutation));
+        println!(
+            "trial {trial}: shrunk {} -> {} methods, {} -> {} insns, {} -> {} trace calls",
+            program.dex.methods().len(),
+            minimized.dex.methods().len(),
+            program.dex.total_insns(),
+            minimized.dex.total_insns(),
+            program.trace.len(),
+            minimized.trace.len()
+        );
+        if minimized.dex.methods().len() > 3 {
+            eprintln!(
+                "conform --mutate: reproducer still has {} methods (> 3)",
+                minimized.dex.methods().len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("--- minimized reproducer ---");
+        println!("{}", reproducer(&minimized, &variant.label, &final_divergence));
+    }
+    println!("conform --mutate: all {trials} injected miscompiles detected and shrunk");
+    ExitCode::SUCCESS
+}
+
+/// Prints the divergence, optionally shrinks, and emits the reproducer
+/// plus the corpus seed line. Always exits 1: a divergence is a failure.
+fn report(
+    program: &Program,
+    label: &str,
+    divergence: &calibro_conform::Divergence,
+    do_shrink: bool,
+) -> ExitCode {
+    eprintln!("conform: DIVERGENCE on {} seed {}:", program.generator, program.seed);
+    eprintln!("  {divergence}");
+    let seed_line = SeedLine {
+        generator: program.generator.clone(),
+        seed: program.seed,
+        variant: label.to_owned(),
+    };
+    eprintln!("corpus line (append to crates/calibro-conform/corpus/regressions.txt):");
+    eprintln!("  {seed_line}");
+    if do_shrink {
+        if let Some(variant) = find_variant(label) {
+            let (minimized, final_divergence) = shrink_divergence(program, &variant, None);
+            eprintln!(
+                "shrunk to {} methods / {} insns / {} trace calls",
+                minimized.dex.methods().len(),
+                minimized.dex.total_insns(),
+                minimized.trace.len()
+            );
+            eprintln!("--- minimized reproducer ---");
+            eprintln!("{}", reproducer(&minimized, label, &final_divergence));
+        }
+    }
+    ExitCode::FAILURE
+}

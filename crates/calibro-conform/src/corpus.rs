@@ -1,0 +1,67 @@
+//! The committed regression corpus: one line per divergence ever found,
+//! `<generator> <seed> <variant-label>`, replayed on every `cargo test`
+//! run so a fixed bug stays fixed. Lines starting with `#` are comments.
+
+/// One corpus entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedLine {
+    /// Generator name ([`crate::Program::from_seed`]).
+    pub generator: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Matrix-row label ([`crate::find_variant`]).
+    pub variant: String,
+}
+
+impl core::fmt::Display for SeedLine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} {} {}", self.generator, self.seed, self.variant)
+    }
+}
+
+/// Parses corpus text, skipping blanks and `#` comments.
+///
+/// # Panics
+///
+/// Panics on a malformed line — the corpus is committed, so breakage is
+/// a repository error that must fail loudly.
+#[must_use]
+pub fn parse_corpus(text: &str) -> Vec<SeedLine> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            let mut parts = line.split_whitespace();
+            let generator = parts.next().expect("generator field").to_owned();
+            let seed = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("bad seed in corpus line: {line}"));
+            let variant = parts.next().expect("variant field").to_owned();
+            assert!(parts.next().is_none(), "trailing fields in corpus line: {line}");
+            SeedLine { generator, seed, variant }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_roundtrips() {
+        let text = "# header\n\nmotif-app 17 ltbo-global/all/t8\nart-call 3 cto/none/t1\n";
+        let lines = parse_corpus(text);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].to_string(), "motif-app 17 ltbo-global/all/t8");
+        assert_eq!(lines[1].seed, 3);
+        let rejoined: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert_eq!(parse_corpus(&rejoined), lines);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad seed")]
+    fn malformed_seed_panics() {
+        let _ = parse_corpus("motif-app nope cto/all/t1");
+    }
+}

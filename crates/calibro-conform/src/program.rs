@@ -1,0 +1,63 @@
+//! The unit the harness tests: one program (dex + environment + trace)
+//! tagged with the generator and seed that produced it, so every result
+//! is reproducible from a one-line corpus entry.
+
+use calibro_dex::DexFile;
+use calibro_runtime::RuntimeEnv;
+use calibro_workloads::generators::generator_by_name;
+use calibro_workloads::{App, TraceCall};
+
+/// One conformance-test program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Display name (diagnostics only).
+    pub name: String,
+    /// Name of the [`ProgramGen`](calibro_workloads::generators::ProgramGen)
+    /// that produced it (`"shrunk"` after delta debugging).
+    pub generator: String,
+    /// The generator seed.
+    pub seed: u64,
+    /// The bytecode container.
+    pub dex: DexFile,
+    /// Runtime environment (class sizes, natives, statics).
+    pub env: RuntimeEnv,
+    /// The calls replayed against every build.
+    pub trace: Vec<TraceCall>,
+}
+
+impl Program {
+    /// Regenerates the program for a corpus seed line.
+    ///
+    /// Returns `None` if no generator has that name.
+    #[must_use]
+    pub fn from_seed(generator: &str, seed: u64) -> Option<Program> {
+        let app = generator_by_name(generator)?.generate(seed);
+        Some(Program::from_app(generator, seed, app))
+    }
+
+    /// Wraps a generated [`App`].
+    #[must_use]
+    pub fn from_app(generator: &str, seed: u64, app: App) -> Program {
+        Program {
+            name: app.name,
+            generator: generator.to_owned(),
+            seed,
+            dex: app.dex,
+            env: app.env,
+            trace: app.trace,
+        }
+    }
+
+    /// Builds a program from explicit parts (used by emitted reproducer
+    /// tests and the shrinker).
+    #[must_use]
+    pub fn from_parts(name: &str, dex: DexFile, env: RuntimeEnv, trace: Vec<TraceCall>) -> Program {
+        Program { name: name.to_owned(), generator: "manual".to_owned(), seed: 0, dex, env, trace }
+    }
+
+    /// Number of non-native methods (the size the shrinker minimizes).
+    #[must_use]
+    pub fn java_methods(&self) -> usize {
+        self.dex.methods().iter().filter(|m| !m.is_native).count()
+    }
+}

@@ -1,0 +1,222 @@
+//! Reproducer emission: turn a (minimized) program plus the variant it
+//! diverges under into a ready-to-paste Rust `#[test]`, so a divergence
+//! found by the fuzzer becomes a permanent regression test without any
+//! transcription by hand.
+
+use calibro_dex::{DexInsn, Method};
+
+use crate::oracle::Divergence;
+use crate::program::Program;
+
+/// Renders one bytecode instruction as valid Rust source.
+#[must_use]
+pub fn insn_to_rust(insn: &DexInsn) -> String {
+    let v = |r: &calibro_dex::VReg| format!("VReg({})", r.0);
+    let regs = |rs: &[calibro_dex::VReg]| {
+        let items: Vec<String> = rs.iter().map(v).collect();
+        format!("vec![{}]", items.join(", "))
+    };
+    let dst_opt = |d: &Option<calibro_dex::VReg>| match d {
+        Some(r) => format!("Some({})", v(r)),
+        None => "None".to_owned(),
+    };
+    match insn {
+        DexInsn::Nop => "DexInsn::Nop".to_owned(),
+        DexInsn::Const { dst, value } => {
+            format!("DexInsn::Const {{ dst: {}, value: {value} }}", v(dst))
+        }
+        DexInsn::Move { dst, src } => {
+            format!("DexInsn::Move {{ dst: {}, src: {} }}", v(dst), v(src))
+        }
+        DexInsn::Bin { op, dst, a, b } => format!(
+            "DexInsn::Bin {{ op: BinOp::{op:?}, dst: {}, a: {}, b: {} }}",
+            v(dst),
+            v(a),
+            v(b)
+        ),
+        DexInsn::BinLit { op, dst, a, lit } => format!(
+            "DexInsn::BinLit {{ op: BinOp::{op:?}, dst: {}, a: {}, lit: {lit} }}",
+            v(dst),
+            v(a)
+        ),
+        DexInsn::IGet { dst, obj, field } => format!(
+            "DexInsn::IGet {{ dst: {}, obj: {}, field: FieldId({}) }}",
+            v(dst),
+            v(obj),
+            field.0
+        ),
+        DexInsn::IPut { src, obj, field } => format!(
+            "DexInsn::IPut {{ src: {}, obj: {}, field: FieldId({}) }}",
+            v(src),
+            v(obj),
+            field.0
+        ),
+        DexInsn::SGet { dst, slot } => {
+            format!("DexInsn::SGet {{ dst: {}, slot: StaticId({}) }}", v(dst), slot.0)
+        }
+        DexInsn::SPut { src, slot } => {
+            format!("DexInsn::SPut {{ src: {}, slot: StaticId({}) }}", v(src), slot.0)
+        }
+        DexInsn::NewInstance { dst, class } => {
+            format!("DexInsn::NewInstance {{ dst: {}, class: ClassId({}) }}", v(dst), class.0)
+        }
+        DexInsn::Invoke { kind, method, args, dst } => format!(
+            "DexInsn::Invoke {{ kind: InvokeKind::{kind:?}, method: MethodId({}), args: {}, dst: {} }}",
+            method.0,
+            regs(args),
+            dst_opt(dst)
+        ),
+        DexInsn::InvokeNative { method, args, dst } => format!(
+            "DexInsn::InvokeNative {{ method: MethodId({}), args: {}, dst: {} }}",
+            method.0,
+            regs(args),
+            dst_opt(dst)
+        ),
+        DexInsn::If { cmp, a, b, target } => format!(
+            "DexInsn::If {{ cmp: Cmp::{cmp:?}, a: {}, b: {}, target: {target} }}",
+            v(a),
+            v(b)
+        ),
+        DexInsn::IfZ { cmp, a, target } => {
+            format!("DexInsn::IfZ {{ cmp: Cmp::{cmp:?}, a: {}, target: {target} }}", v(a))
+        }
+        DexInsn::Goto { target } => format!("DexInsn::Goto {{ target: {target} }}"),
+        DexInsn::Switch { src, first_key, targets } => format!(
+            "DexInsn::Switch {{ src: {}, first_key: {first_key}, targets: vec!{targets:?} }}",
+            v(src)
+        ),
+        DexInsn::Return { src } => format!("DexInsn::Return {{ src: {} }}", v(src)),
+        DexInsn::ReturnVoid => "DexInsn::ReturnVoid".to_owned(),
+        DexInsn::Throw { src } => format!("DexInsn::Throw {{ src: {} }}", v(src)),
+    }
+}
+
+fn method_to_rust(m: &Method, indent: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{indent}dex.add_method(Method {{\n\
+         {indent}    id: MethodId(0), // assigned by table position\n\
+         {indent}    class: ClassId({}),\n\
+         {indent}    name: {:?}.to_owned(),\n\
+         {indent}    num_regs: {},\n\
+         {indent}    num_args: {},\n\
+         {indent}    is_native: {},\n\
+         {indent}    insns: vec![\n",
+        m.class.0, m.name, m.num_regs, m.num_args, m.is_native
+    ));
+    for insn in &m.insns {
+        out.push_str(&format!("{indent}        {},\n", insn_to_rust(insn)));
+    }
+    out.push_str(&format!("{indent}    ],\n{indent}}});\n"));
+    out
+}
+
+/// Emits a self-contained `#[test]` reproducing `divergence` on
+/// `program` under the variant named `label`. The test asserts the
+/// divergence is *gone*, so it fails until the underlying bug is fixed
+/// and passes forever after.
+#[must_use]
+pub fn reproducer(program: &Program, label: &str, divergence: &Divergence) -> String {
+    let mut out = String::new();
+    let test_name =
+        format!("conform_repro_{}_{}", program.generator.replace('-', "_"), program.seed);
+    out.push_str(&format!(
+        "// Emitted by `conform`: generator `{}`, seed {}, variant `{label}`.\n\
+         // Divergence at emission time:\n\
+         //   {divergence}\n\
+         #[test]\n\
+         fn {test_name}() {{\n\
+         \x20   use calibro_conform::{{check_program, find_variant, Program}};\n\
+         \x20   use calibro_dex::{{\n\
+         \x20       BinOp, ClassId, Cmp, DexFile, DexInsn, FieldId, InvokeKind, Method, MethodId,\n\
+         \x20       StaticId, VReg,\n\
+         \x20   }};\n\
+         \x20   use calibro_workloads::{{generators::standard_env, TraceCall}};\n\n\
+         \x20   let mut dex = DexFile::new();\n",
+        program.generator, program.seed
+    ));
+    for class in program.dex.classes() {
+        out.push_str(&format!("    dex.add_class({:?}, {});\n", class.name, class.num_fields));
+    }
+    out.push_str(&format!("    dex.reserve_statics({});\n", program.dex.num_statics()));
+    for m in program.dex.methods() {
+        out.push_str(&method_to_rust(m, "    "));
+    }
+    out.push_str("    let trace = vec![\n");
+    for c in &program.trace {
+        out.push_str(&format!(
+            "        TraceCall {{ method: MethodId({}), args: [{}, {}] }},\n",
+            c.method.0, c.args[0], c.args[1]
+        ));
+    }
+    out.push_str(&format!(
+        "    ];\n\
+         \x20   let env = standard_env(&dex);\n\
+         \x20   let program = Program::from_parts({:?}, dex, env, trace);\n\
+         \x20   let variant = find_variant({label:?}).expect(\"known matrix row\");\n\
+         \x20   check_program(&program, &[variant]).expect(\"divergence fixed\");\n\
+         }}\n",
+        program.name
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducer_is_rust_shaped_and_complete() {
+        let program = Program::from_seed("entrypoint", 1).unwrap();
+        let d = Divergence::StateMismatch {
+            label: "cto/all/t1".into(),
+            baseline: "a".into(),
+            variant: "b".into(),
+        };
+        let src = reproducer(&program, "cto/all/t1", &d);
+        assert!(src.contains("#[test]"));
+        assert!(src.contains("fn conform_repro_entrypoint_1()"));
+        assert!(src.contains("DexFile::new()"));
+        assert_eq!(src.matches("dex.add_method").count(), program.dex.methods().len());
+        assert_eq!(src.matches("TraceCall {").count(), program.trace.len());
+        assert!(src.contains("find_variant(\"cto/all/t1\")"));
+        // Balanced braces — a cheap proxy for paste-ability.
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+
+    #[test]
+    fn every_insn_variant_renders() {
+        use calibro_dex::{BinOp, ClassId, Cmp, FieldId, InvokeKind, MethodId, StaticId, VReg};
+        let insns = vec![
+            DexInsn::Nop,
+            DexInsn::Const { dst: VReg(0), value: -3 },
+            DexInsn::Move { dst: VReg(1), src: VReg(2) },
+            DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(1), b: VReg(2) },
+            DexInsn::BinLit { op: BinOp::Xor, dst: VReg(0), a: VReg(1), lit: -7 },
+            DexInsn::IGet { dst: VReg(0), obj: VReg(1), field: FieldId(2) },
+            DexInsn::IPut { src: VReg(0), obj: VReg(1), field: FieldId(2) },
+            DexInsn::SGet { dst: VReg(0), slot: StaticId(1) },
+            DexInsn::SPut { src: VReg(0), slot: StaticId(1) },
+            DexInsn::NewInstance { dst: VReg(0), class: ClassId(1) },
+            DexInsn::Invoke {
+                kind: InvokeKind::Virtual,
+                method: MethodId(3),
+                args: vec![VReg(0), VReg(4)],
+                dst: Some(VReg(1)),
+            },
+            DexInsn::InvokeNative { method: MethodId(0), args: vec![], dst: None },
+            DexInsn::If { cmp: Cmp::Lt, a: VReg(0), b: VReg(1), target: 9 },
+            DexInsn::IfZ { cmp: Cmp::Ge, a: VReg(0), target: 4 },
+            DexInsn::Goto { target: 0 },
+            DexInsn::Switch { src: VReg(0), first_key: -1, targets: vec![2, 5] },
+            DexInsn::Return { src: VReg(0) },
+            DexInsn::ReturnVoid,
+            DexInsn::Throw { src: VReg(0) },
+        ];
+        for insn in &insns {
+            let rendered = insn_to_rust(insn);
+            assert!(rendered.starts_with("DexInsn::"), "{rendered}");
+            assert_eq!(rendered.matches('{').count(), rendered.matches('}').count(), "{rendered}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Replays the committed regression corpus through the full oracle on
+//! every test run — a divergence fixed once stays fixed, independent of
+//! the proptest shim's (absent) regression-file handling.
+
+use calibro_conform::{check_program, find_variant, parse_corpus, Program, CORPUS};
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let lines = parse_corpus(CORPUS);
+    assert!(!lines.is_empty(), "corpus must at least contain the sentinel lines");
+    for line in lines {
+        let program = Program::from_seed(&line.generator, line.seed)
+            .unwrap_or_else(|| panic!("unknown generator in corpus line: {line}"));
+        let variant = find_variant(&line.variant)
+            .unwrap_or_else(|| panic!("unknown variant in corpus line: {line}"));
+        check_program(&program, &[variant])
+            .unwrap_or_else(|d| panic!("corpus regression resurfaced ({line}): {d}"));
+    }
+}

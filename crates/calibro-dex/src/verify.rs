@@ -40,6 +40,11 @@ pub enum VerifyError {
     /// A callee is marked native but was called with `Invoke`, or vice
     /// versa.
     WrongInvokeKind { method: MethodId, insn: usize },
+    /// A register is read on some path before any assignment reaches it.
+    /// Dalvik rejects these outright; allowing them would make observable
+    /// behaviour depend on stale register/stack contents, which differ
+    /// between build configurations.
+    UninitializedRead { method: MethodId, insn: usize, reg: u16 },
 }
 
 impl fmt::Display for VerifyError {
@@ -78,6 +83,9 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::WrongInvokeKind { method, insn } => {
                 write!(f, "{method}@{insn}: invoke kind does not match callee nativeness")
+            }
+            VerifyError::UninitializedRead { method, insn, reg } => {
+                write!(f, "{method}@{insn}: register v{reg} read before definite assignment")
             }
         }
     }
@@ -186,6 +194,70 @@ fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
     // The last instruction must not fall through.
     if !method.insns[n - 1].is_unconditional_exit() {
         return Err(VerifyError::FallsOffEnd { method: id });
+    }
+    check_definite_assignment(method)
+}
+
+/// Forward may-be-uninitialized dataflow over the instruction CFG, as the
+/// Dalvik verifier performs: at entry only the argument registers (the
+/// *last* `num_args` slots) are assigned; states meet by intersection, and
+/// every read must see a definitely-assigned register. Runs after the
+/// bounds checks, so register indices are known to be in range.
+fn check_definite_assignment(method: &Method) -> Result<(), VerifyError> {
+    let n = method.insns.len();
+    let num_regs = method.num_regs as usize;
+    let words = num_regs.div_ceil(64).max(1);
+    let mut entry = vec![0u64; words];
+    for r in num_regs.saturating_sub(method.num_args as usize)..num_regs {
+        entry[r / 64] |= 1 << (r % 64);
+    }
+    let mut states: Vec<Option<Vec<u64>>> = vec![None; n];
+    states[0] = Some(entry);
+    let mut work = vec![0usize];
+    while let Some(idx) = work.pop() {
+        let state = states[idx].clone().expect("worklist entries are reached");
+        let insn = &method.insns[idx];
+        for reg in insn.reads() {
+            let r = reg.0 as usize;
+            if state[r / 64] & (1 << (r % 64)) == 0 {
+                return Err(VerifyError::UninitializedRead {
+                    method: method.id,
+                    insn: idx,
+                    reg: reg.0,
+                });
+            }
+        }
+        let mut out = state;
+        if let Some(dst) = insn.writes() {
+            let r = dst.0 as usize;
+            out[r / 64] |= 1 << (r % 64);
+        }
+        let mut succs = insn.branch_targets();
+        if !insn.is_unconditional_exit() && idx + 1 < n {
+            succs.push(idx + 1);
+        }
+        for s in succs {
+            let changed = match &mut states[s] {
+                Some(existing) => {
+                    let mut shrank = false;
+                    for (e, o) in existing.iter_mut().zip(&out) {
+                        let met = *e & *o;
+                        if met != *e {
+                            *e = met;
+                            shrank = true;
+                        }
+                    }
+                    shrank
+                }
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
     }
     Ok(())
 }
@@ -301,6 +373,58 @@ mod tests {
             DexInsn::ReturnVoid,
         ]);
         assert!(matches!(verify(&dex), Err(VerifyError::BadClassRef { .. })));
+    }
+
+    #[test]
+    fn rejects_read_before_assignment() {
+        // v1 is never written before the read (only v3 is an argument).
+        let dex = dex_with(vec![
+            DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(1), b: VReg(3) },
+            DexInsn::Return { src: VReg(0) },
+        ]);
+        assert!(matches!(
+            verify(&dex),
+            Err(VerifyError::UninitializedRead { insn: 0, reg: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_read_assigned_on_only_one_path() {
+        // v0 is assigned only when the branch is taken; the meet at the
+        // join point must drop it.
+        let dex = dex_with(vec![
+            DexInsn::IfZ { cmp: crate::insn::Cmp::Eq, a: VReg(3), target: 2 },
+            DexInsn::Const { dst: VReg(0), value: 1 },
+            DexInsn::Return { src: VReg(0) },
+        ]);
+        assert!(matches!(
+            verify(&dex),
+            Err(VerifyError::UninitializedRead { insn: 2, reg: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_read_assigned_on_all_paths() {
+        let dex = dex_with(vec![
+            DexInsn::IfZ { cmp: crate::insn::Cmp::Eq, a: VReg(3), target: 3 },
+            DexInsn::Const { dst: VReg(0), value: 1 },
+            DexInsn::Goto { target: 4 },
+            DexInsn::Const { dst: VReg(0), value: 2 },
+            DexInsn::Return { src: VReg(0) },
+        ]);
+        assert_eq!(verify(&dex), Ok(()));
+    }
+
+    #[test]
+    fn loop_carried_assignment_reaches_the_back_edge() {
+        // v0 is assigned before the loop; the back edge must not lose it.
+        let dex = dex_with(vec![
+            DexInsn::Const { dst: VReg(0), value: 10 },
+            DexInsn::BinLit { op: BinOp::Sub, dst: VReg(0), a: VReg(0), lit: 1 },
+            DexInsn::IfZ { cmp: crate::insn::Cmp::Gt, a: VReg(0), target: 1 },
+            DexInsn::Return { src: VReg(0) },
+        ]);
+        assert_eq!(verify(&dex), Ok(()));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use check::{check, CheckError};
 pub use eval::{eval_binop, eval_cmp, eval_pure, EvalOutcome, NotPure};
 pub use graph::{BlockId, HBlock, HGraph, HInsn, HTerminator};
 pub use passes::inline::{run_inlining, InlineConfig};
-pub use passes::{run_pipeline, PassStats};
+pub use passes::{run_pipeline, run_pipeline_with, PassStats, PipelineConfig};
 
 // The parallel compile phase in `calibro::build` moves graphs across
 // worker threads; keep that guarantee explicit so a future interior-

@@ -41,7 +41,17 @@ pub fn run(graph: &mut HGraph) -> usize {
                     continue;
                 }
                 invalidate(&mut available, dst);
-                available.insert(expr, dst);
+                // A self-overwriting expression (dst is one of its own
+                // operands, e.g. `v2 = v2 + v4`) must not be recorded:
+                // the table entry would describe the pre-instruction
+                // operand value, which this instruction just destroyed.
+                let reads_dst = match expr {
+                    Expr::Bin(_, a, b) => a == dst || b == dst,
+                    Expr::BinLit(_, a, _) => a == dst,
+                };
+                if !reads_dst {
+                    available.insert(expr, dst);
+                }
             } else if let Some(dst) = insn.writes() {
                 invalidate(&mut available, dst);
             }
@@ -141,6 +151,36 @@ mod tests {
             vec![
                 HInsn::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(2), b: VReg(3) },
                 HInsn::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(2), b: VReg(3) },
+            ],
+            4,
+        );
+        assert_eq!(run(&mut g), 0);
+    }
+
+    #[test]
+    fn self_overwriting_expression_is_not_recorded() {
+        // Found by the conformance harness (motif-app seed 42, shrunk):
+        // `v2 = v2 + v4; v0 = v2 + v4` — the first add destroys its own
+        // operand, so the second is a DIFFERENT value and must stay a
+        // real add, not become `Move v0 <- v2`.
+        let mut g = one_block(
+            vec![
+                HInsn::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(2), b: VReg(3) },
+                HInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(2), b: VReg(3) },
+            ],
+            4,
+        );
+        assert_eq!(run(&mut g), 0);
+        assert_eq!(
+            g.blocks[0].insns[1],
+            HInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(2), b: VReg(3) }
+        );
+
+        // Same for the literal form.
+        let mut g = one_block(
+            vec![
+                HInsn::BinLit { op: BinOp::Add, dst: VReg(2), a: VReg(2), lit: 7 },
+                HInsn::BinLit { op: BinOp::Add, dst: VReg(0), a: VReg(2), lit: 7 },
             ],
             4,
         );

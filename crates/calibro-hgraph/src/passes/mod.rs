@@ -78,34 +78,133 @@ impl core::ops::AddAssign for PassStats {
     }
 }
 
-/// Runs the standard pass pipeline to a fixpoint (bounded at 4
-/// iterations, which suffices for the pass set — each iteration only
-/// exposes a bounded amount of new work).
+/// Per-pass switches for the pipeline — one flag per optimization, so
+/// differential harnesses can compile under every pass subset and prove
+/// each combination observationally equal to the full pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Copy propagation.
+    pub copy_prop: bool,
+    /// Constant folding / constant-branch resolution.
+    pub constant_folding: bool,
+    /// Algebraic simplification / strength reduction.
+    pub simplify: bool,
+    /// Local common-subexpression elimination.
+    pub cse: bool,
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// Return-edge merging.
+    pub return_merge: bool,
+    /// Unreachable-block removal.
+    pub remove_unreachable: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::all()
+    }
+}
+
+impl PipelineConfig {
+    /// Every pass enabled — the standard dex2oat-style pipeline.
+    #[must_use]
+    pub const fn all() -> PipelineConfig {
+        PipelineConfig {
+            copy_prop: true,
+            constant_folding: true,
+            simplify: true,
+            cse: true,
+            dce: true,
+            return_merge: true,
+            remove_unreachable: true,
+        }
+    }
+
+    /// Every pass disabled — codegen sees the graph as built.
+    #[must_use]
+    pub const fn none() -> PipelineConfig {
+        PipelineConfig {
+            copy_prop: false,
+            constant_folding: false,
+            simplify: false,
+            cse: false,
+            dce: false,
+            return_merge: false,
+            remove_unreachable: false,
+        }
+    }
+
+    /// A short human-readable tag naming the enabled passes (used in
+    /// conformance-harness labels and divergence reports).
+    #[must_use]
+    pub fn label(&self) -> String {
+        if *self == PipelineConfig::all() {
+            return "all".to_owned();
+        }
+        if *self == PipelineConfig::none() {
+            return "none".to_owned();
+        }
+        let flags = [
+            (self.copy_prop, "cp"),
+            (self.constant_folding, "fold"),
+            (self.simplify, "simp"),
+            (self.cse, "cse"),
+            (self.dce, "dce"),
+            (self.return_merge, "rm"),
+            (self.remove_unreachable, "unr"),
+        ];
+        let on: Vec<&str> = flags.iter().filter(|(f, _)| *f).map(|&(_, n)| n).collect();
+        on.join("+")
+    }
+}
+
+/// Runs the standard pass pipeline (every pass enabled) to a fixpoint.
 pub fn run_pipeline(graph: &mut HGraph) -> PassStats {
+    run_pipeline_with(graph, &PipelineConfig::all())
+}
+
+/// Runs the pass pipeline with per-pass switches to a fixpoint (bounded
+/// at 4 iterations, which suffices for the pass set — each iteration
+/// only exposes a bounded amount of new work).
+pub fn run_pipeline_with(graph: &mut HGraph, config: &PipelineConfig) -> PassStats {
     let mut stats = PassStats { insns_in: graph.insn_count(), ..PassStats::default() };
     for _ in 0..4 {
         let mut round = 0;
-        let n = copy_prop::run(graph);
-        stats.copies_propagated += n;
-        round += n;
-        let n = constant_folding::run(graph);
-        stats.folded += n;
-        round += n;
-        let n = simplify::run(graph);
-        stats.simplified += n;
-        round += n;
-        let n = cse::run(graph);
-        stats.cse_hits += n;
-        round += n;
-        let n = dce::run(graph);
-        stats.dead_removed += n;
-        round += n;
-        let n = return_merge::run(graph);
-        stats.returns_merged += n;
-        round += n;
-        let n = dce::remove_unreachable(graph);
-        stats.blocks_removed += n;
-        round += n;
+        if config.copy_prop {
+            let n = copy_prop::run(graph);
+            stats.copies_propagated += n;
+            round += n;
+        }
+        if config.constant_folding {
+            let n = constant_folding::run(graph);
+            stats.folded += n;
+            round += n;
+        }
+        if config.simplify {
+            let n = simplify::run(graph);
+            stats.simplified += n;
+            round += n;
+        }
+        if config.cse {
+            let n = cse::run(graph);
+            stats.cse_hits += n;
+            round += n;
+        }
+        if config.dce {
+            let n = dce::run(graph);
+            stats.dead_removed += n;
+            round += n;
+        }
+        if config.return_merge {
+            let n = return_merge::run(graph);
+            stats.returns_merged += n;
+            round += n;
+        }
+        if config.remove_unreachable {
+            let n = dce::remove_unreachable(graph);
+            stats.blocks_removed += n;
+            round += n;
+        }
         stats.iterations += 1;
         if round == 0 {
             break;
@@ -196,6 +295,58 @@ mod tests {
         assert_eq!(sum.insns_in, 2 * stats.insns_in);
         assert_eq!(sum.total(), 2 * stats.total());
         assert_eq!(sum.iterations, 2 * stats.iterations);
+    }
+
+    #[test]
+    fn disabled_pipeline_changes_nothing() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 4,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Const { dst: VReg(0), value: 3 },
+                    HInsn::BinLit { op: BinOp::Mul, dst: VReg(1), a: VReg(0), lit: 4 },
+                    HInsn::Bin { op: BinOp::Add, dst: VReg(2), a: VReg(1), b: VReg(1) },
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        let snapshot = format!("{g:?}");
+        let stats = run_pipeline_with(&mut g, &PipelineConfig::none());
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.insns_in, stats.insns_out);
+        assert_eq!(format!("{g:?}"), snapshot);
+    }
+
+    #[test]
+    fn single_pass_subsets_run_only_their_pass() {
+        let mut g = HGraph {
+            method: MethodId(0),
+            num_regs: 4,
+            num_args: 1,
+            blocks: vec![HBlock {
+                id: BlockId(0),
+                insns: vec![
+                    HInsn::Const { dst: VReg(0), value: 3 },
+                    HInsn::BinLit { op: BinOp::Mul, dst: VReg(1), a: VReg(0), lit: 4 },
+                ],
+                terminator: HTerminator::Return { src: Some(VReg(1)) },
+            }],
+        };
+        let cfg = PipelineConfig { constant_folding: true, ..PipelineConfig::none() };
+        let stats = run_pipeline_with(&mut g, &cfg);
+        assert!(stats.folded > 0);
+        assert_eq!(stats.total(), stats.folded, "only folding may report changes");
+    }
+
+    #[test]
+    fn config_labels_are_stable() {
+        assert_eq!(PipelineConfig::all().label(), "all");
+        assert_eq!(PipelineConfig::none().label(), "none");
+        let cfg = PipelineConfig { dce: false, ..PipelineConfig::all() };
+        assert_eq!(cfg.label(), "cp+fold+simp+cse+rm+unr");
     }
 
     #[test]

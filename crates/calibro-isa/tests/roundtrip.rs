@@ -188,6 +188,20 @@ fn encodable_insn() -> impl Strategy<Value = Insn> {
     ]
 }
 
+/// Promoted from `roundtrip.proptest-regressions`: words that once
+/// decoded into instructions that re-encoded to a different word. Named
+/// and always-run, so the cases survive even if the seed file is pruned
+/// or proptest is skipped.
+#[test]
+fn regression_seed_words_decode_encode_roundtrip() {
+    for word in [1_392_738_304u32, 1_259_700_224] {
+        if let Ok(insn) = decode(word) {
+            let re = insn.encode().expect("decoded instruction must re-encode");
+            assert_eq!(re, word, "word {word:#010x} decoded to {insn:?}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(2048))]
 

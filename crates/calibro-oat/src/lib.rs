@@ -35,6 +35,7 @@ mod elf;
 mod file;
 mod linker;
 mod stackmap;
+mod structure;
 
 pub use elf::{from_elf_bytes, text_size_on_disk, to_elf_bytes, LoadError};
 pub use file::{OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord, DEFAULT_BASE_ADDRESS};
@@ -43,3 +44,4 @@ pub use stackmap::{
     dex_pc_for_return_offset, insn_at, validate_method_stack_maps, validate_stack_maps,
     StackMapError,
 };
+pub use structure::{validate_structure, StructureError};

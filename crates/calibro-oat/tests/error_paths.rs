@@ -1,0 +1,161 @@
+//! Error-path coverage for OAT loading and stack-map validation: the
+//! loader must reject malformed bytes with a typed error (never a
+//! panic), and the §3.5 stack-map validator must reject inconsistent
+//! tables — including the offset-0 edge where a "return offset" cannot
+//! possibly follow a call.
+
+use calibro_codegen::{compile_method, CodegenOptions, StackMapEntry};
+use calibro_dex::{BinOp, Cmp, DexFile, DexInsn, InvokeKind, MethodBuilder, MethodId, VReg};
+use calibro_hgraph::{build_hgraph, run_pipeline};
+use calibro_oat::{
+    from_elf_bytes, link, to_elf_bytes, validate_stack_maps, LinkInput, LoadError, OatFile,
+    StackMapError,
+};
+
+/// Links a tiny two-method app (a leaf and a caller, so stack maps are
+/// non-empty) into an OAT file.
+fn sample_oat() -> OatFile {
+    let mut dex = DexFile::new();
+    let class = dex.add_class("Main", 0);
+    let mut leaf = MethodBuilder::new("leaf", 4, 2);
+    leaf.push(DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(2), b: VReg(3) });
+    leaf.push(DexInsn::Return { src: VReg(0) });
+    dex.add_method(leaf.build(class));
+    let mut caller = MethodBuilder::new("caller", 4, 2);
+    let skip = caller.label();
+    caller.push(DexInsn::Const { dst: VReg(0), value: 7 });
+    caller.if_z(Cmp::Eq, VReg(2), skip);
+    caller.push(DexInsn::Invoke {
+        kind: InvokeKind::Static,
+        method: MethodId(0),
+        args: vec![VReg(2), VReg(3)],
+        dst: Some(VReg(0)),
+    });
+    caller.bind(skip);
+    caller.push(DexInsn::Return { src: VReg(0) });
+    dex.add_method(caller.build(class));
+
+    calibro_dex::verify(&dex).expect("verify");
+    let opts = CodegenOptions { cto: false, collect_metadata: true };
+    let methods = dex
+        .methods()
+        .iter()
+        .map(|m| {
+            let mut graph = build_hgraph(m);
+            run_pipeline(&mut graph);
+            compile_method(&graph, &opts)
+        })
+        .collect();
+    let oat = link(&LinkInput { methods, outlined: vec![] }, 0x4000_0000).expect("link");
+    assert!(
+        oat.methods.iter().any(|r| !r.stack_maps.is_empty()),
+        "sample must exercise stack maps"
+    );
+    oat
+}
+
+#[test]
+fn full_elf_roundtrips() {
+    let oat = sample_oat();
+    let bytes = to_elf_bytes(&oat);
+    let back = from_elf_bytes(&bytes).expect("roundtrip");
+    assert_eq!(back.words, oat.words);
+    assert_eq!(back.base_address, oat.base_address);
+}
+
+#[test]
+fn truncated_elf_is_rejected_as_truncated() {
+    let bytes = to_elf_bytes(&sample_oat());
+    // Cuts that remove data the loader actually reads (the .text/.oatdata
+    // section headers live in the last ~256 bytes, the payload before
+    // them) must yield Truncated, not a panic or a silently short file.
+    for cut in [300usize, bytes.len() / 2, bytes.len() - 64] {
+        let short = &bytes[..bytes.len() - cut];
+        assert_eq!(from_elf_bytes(short).unwrap_err(), LoadError::Truncated, "cut {cut} bytes");
+    }
+}
+
+#[test]
+fn every_prefix_is_rejected_or_loads_identically() {
+    // The file ends with bytes the loader never dereferences (the unused
+    // shstrtab section), so a short end-cut can still load — but then it
+    // must decode to exactly the full file; every other prefix must fail
+    // with a typed error, never a panic.
+    let oat = sample_oat();
+    let bytes = to_elf_bytes(&oat);
+    for len in 0..bytes.len() {
+        match from_elf_bytes(&bytes[..len]) {
+            Err(_) => {}
+            Ok(loaded) => {
+                assert_eq!(loaded.words, oat.words, "prefix of {len} bytes decoded differently");
+                assert_eq!(loaded.methods.len(), oat.methods.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_magic_is_rejected_as_bad_magic() {
+    let mut bytes = to_elf_bytes(&sample_oat());
+    bytes[0] ^= 0xff;
+    assert_eq!(from_elf_bytes(&bytes).unwrap_err(), LoadError::BadMagic);
+}
+
+#[test]
+fn stack_map_at_native_offset_zero_is_out_of_range() {
+    // Offset 0 is the method's first instruction: it cannot be a return
+    // offset (nothing precedes it to be the call), and `word - 1` would
+    // otherwise underflow into the previous method's code.
+    let mut oat = sample_oat();
+    validate_stack_maps(&oat).expect("untampered oat validates");
+    let record = oat.methods.iter_mut().find(|r| !r.stack_maps.is_empty()).unwrap();
+    let method = record.method.0;
+    record.stack_maps.insert(0, StackMapEntry { native_offset: 0, dex_pc: 0 });
+    assert_eq!(
+        validate_stack_maps(&oat).unwrap_err(),
+        StackMapError::OutOfRange { method, native_offset: 0 }
+    );
+}
+
+#[test]
+fn stack_map_past_the_code_is_out_of_range() {
+    let mut oat = sample_oat();
+    let record = oat.methods.iter_mut().find(|r| !r.stack_maps.is_empty()).unwrap();
+    let method = record.method.0;
+    let past = (record.insn_words as u32 + 1) * 4;
+    record.stack_maps.push(StackMapEntry { native_offset: past, dex_pc: 0 });
+    assert_eq!(
+        validate_stack_maps(&oat).unwrap_err(),
+        StackMapError::OutOfRange { method, native_offset: past }
+    );
+}
+
+#[test]
+fn unsorted_stack_maps_are_rejected() {
+    let mut oat = sample_oat();
+    let record = oat.methods.iter_mut().find(|r| !r.stack_maps.is_empty()).unwrap();
+    let method = record.method.0;
+    let dup = record.stack_maps[0];
+    record.stack_maps.push(dup); // duplicate => non-increasing
+    assert_eq!(validate_stack_maps(&oat).unwrap_err(), StackMapError::Unsorted { method });
+}
+
+#[test]
+fn stack_map_not_after_a_call_is_rejected() {
+    let mut oat = sample_oat();
+    // Find an offset whose preceding instruction is NOT a call: the
+    // second word of the method with stack maps (word 1 follows word 0,
+    // which is frame setup, never a call).
+    let record = oat.methods.iter_mut().find(|r| !r.stack_maps.is_empty()).unwrap();
+    let method = record.method.0;
+    record.stack_maps.insert(0, StackMapEntry { native_offset: 4, dex_pc: 0 });
+    let err = validate_stack_maps(&oat).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StackMapError::NotAfterCall { method: m, native_offset: 4 }
+            | StackMapError::Unsorted { method: m } if m == method
+        ),
+        "unexpected error {err:?}"
+    );
+}

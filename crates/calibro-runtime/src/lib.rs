@@ -21,4 +21,4 @@ mod runtime;
 pub use cost::CostModel;
 pub use machine::{addr, native_id, ExecOutcome, Machine, NativeMethod, ThrowKind, Trap};
 pub use memory::{Memory, PAGE_SIZE};
-pub use runtime::{Invocation, Runtime, RuntimeEnv};
+pub use runtime::{Invocation, Runtime, RuntimeEnv, StateSnapshot};

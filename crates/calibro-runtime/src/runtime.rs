@@ -31,7 +31,25 @@ pub struct Runtime {
     text_base: u64,
     text_size: u64,
     num_methods: usize,
+    num_statics: usize,
     entries: Vec<u64>,
+}
+
+/// A point-in-time copy of every architectural observable a Java program
+/// can legitimately see — the comparison unit of the differential
+/// conformance harness. Two builds of the same program are conformant
+/// when they produce equal snapshots after replaying the same trace
+/// (plus equal per-call [`ExecOutcome`]s). Cycle counts are excluded:
+/// outlining changes them by design.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateSnapshot {
+    /// Every static field value, in slot order.
+    pub statics: Vec<i32>,
+    /// Objects allocated so far.
+    pub heap_allocs: u64,
+    /// Digest of heap contents + statics + allocation count (catches
+    /// divergence in heap stores that statics alone would miss).
+    pub digest: u64,
 }
 
 /// Outcome of one invocation, with its cost.
@@ -110,6 +128,7 @@ impl Runtime {
             text_base: oat.base_address,
             text_size: oat.text_size_bytes(),
             num_methods,
+            num_statics: env.statics.len(),
             entries,
         }
     }
@@ -217,5 +236,14 @@ impl Runtime {
     #[must_use]
     pub fn icache_misses(&self) -> u64 {
         self.machine.cost.icache_misses
+    }
+
+    /// Captures every architectural observable as a [`StateSnapshot`]
+    /// (statics are read back for all slots the environment declared at
+    /// load time).
+    #[must_use]
+    pub fn snapshot(&self) -> StateSnapshot {
+        let statics = (0..self.num_statics as u32).map(|slot| self.static_value(slot)).collect();
+        StateSnapshot { statics, heap_allocs: self.heap_allocs(), digest: self.state_digest() }
     }
 }

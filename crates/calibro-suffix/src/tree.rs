@@ -7,7 +7,7 @@
 //! numbers* the paper assigns to terminator instructions (§3.3.2) can
 //! coexist without collision.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A symbol in the sequence: an instruction mapping or a separator.
 pub type Symbol = u64;
@@ -25,12 +25,16 @@ struct Node {
     end: usize,
     /// Suffix link (root for nodes without an explicit link).
     link: usize,
-    children: HashMap<Symbol, usize>,
+    /// Children keyed by first edge symbol. A `BTreeMap` rather than a
+    /// hash map: every traversal then enumerates children in symbol
+    /// order, which makes repeat enumeration — and therefore greedy
+    /// candidate tie-breaking downstream — deterministic across runs.
+    children: BTreeMap<Symbol, usize>,
 }
 
 impl Node {
     fn new(start: usize, end: usize) -> Node {
-        Node { start, end, link: 0, children: HashMap::new() }
+        Node { start, end, link: 0, children: BTreeMap::new() }
     }
 }
 

@@ -23,6 +23,8 @@
 
 #![warn(missing_docs)]
 
+pub mod generators;
+
 use std::collections::HashMap;
 
 use calibro_dex::{
@@ -229,6 +231,12 @@ pub fn generate(spec: &AppSpec) -> App {
         b.push(DexInsn::Move { dst: VReg(4), src: VReg(num_regs - 2) });
         b.push(DexInsn::Move { dst: VReg(5), src: VReg(num_regs - 1) });
         b.push(DexInsn::Const { dst: VReg(0), value: rng.gen_range(-64..64) });
+        // Motifs read v0..v5 freely; seed the locals so every read is
+        // definitely assigned (the verifier rejects reads of undefined
+        // registers, whose contents would be build-dependent).
+        for r in 1..4 {
+            b.push(DexInsn::Const { dst: VReg(r), value: rng.gen_range(-8..8) });
+        }
 
         if rng.gen_bool(spec.switch_fraction) {
             let arms: Vec<_> = (0..3).map(|_| b.label()).collect();

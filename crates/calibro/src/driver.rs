@@ -9,7 +9,9 @@ use std::time::{Duration, Instant};
 
 use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
 use calibro_dex::DexFile;
-use calibro_hgraph::{build_hgraph, run_inlining, run_pipeline, HGraph, InlineConfig, PassStats};
+use calibro_hgraph::{
+    build_hgraph, run_inlining, run_pipeline_with, HGraph, InlineConfig, PassStats, PipelineConfig,
+};
 use calibro_oat::{link, LinkError, LinkInput, OatFile, DEFAULT_BASE_ADDRESS};
 
 use crate::ltbo::{run_ltbo, LtboConfig, LtboMode, LtboStats};
@@ -42,6 +44,11 @@ pub struct BuildOptions {
     /// results land in index-order slots regardless of completion order
     /// (whole-program inlining stays a sequential pre-phase).
     pub compile_threads: usize,
+    /// Per-pass switches for the optimization pipeline. Defaults to every
+    /// pass enabled; the conformance harness compiles under pass subsets
+    /// to prove outlining is sound on unoptimized and partially optimized
+    /// code alike.
+    pub passes: PipelineConfig,
 }
 
 impl Default for BuildOptions {
@@ -55,6 +62,7 @@ impl Default for BuildOptions {
             force_metadata: false,
             inlining: false,
             compile_threads: 1,
+            passes: PipelineConfig::all(),
         }
     }
 }
@@ -99,6 +107,14 @@ impl BuildOptions {
     #[must_use]
     pub fn with_compile_threads(mut self, threads: usize) -> BuildOptions {
         self.compile_threads = threads;
+        self
+    }
+
+    /// Sets the per-pass pipeline switches (conformance harnesses compile
+    /// under pass subsets; the defaults enable every pass).
+    #[must_use]
+    pub fn with_passes(mut self, passes: PipelineConfig) -> BuildOptions {
+        self.passes = passes;
         self
     }
 }
@@ -305,7 +321,7 @@ pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, Build
         run_indexed(inputs.len(), threads, |i| match cells[i].lock().take() {
             None => (compile_native_stub(inputs[i].id, &codegen_opts), PassStats::default()),
             Some(mut graph) => {
-                let pass_stats = run_pipeline(&mut graph);
+                let pass_stats = run_pipeline_with(&mut graph, &options.passes);
                 (compile_method(&graph, &codegen_opts), pass_stats)
             }
         });

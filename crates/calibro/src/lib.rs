@@ -49,7 +49,7 @@ mod driver;
 mod ltbo;
 mod report;
 
-pub use calibro_hgraph::PassStats;
+pub use calibro_hgraph::{PassStats, PipelineConfig};
 pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 pub use ltbo::{run_ltbo, LtboConfig, LtboMode, LtboResult, LtboStats};
 pub use report::{size_report, SizeReport};

@@ -198,6 +198,11 @@ fn random_app(seed: u64, n_methods: usize) -> DexFile {
     for i in 0..n_methods {
         let mut b = MethodBuilder::new(format!("m{i}"), 6, 2);
         b.push(DexInsn::Const { dst: VReg(0), value: rng.gen_range(-100..100) });
+        // Motifs read v0..v5 freely; seed the locals so every read is
+        // definitely assigned (the verifier rejects undefined reads).
+        for r in 1..4 {
+            b.push(DexInsn::Const { dst: VReg(r), value: rng.gen_range(-10..10) });
+        }
         let blocks = rng.gen_range(1..4);
         for _ in 0..blocks {
             // Optional guard.
@@ -238,6 +243,56 @@ fn random_app(seed: u64, n_methods: usize) -> DexFile {
     dex
 }
 
+/// The suite body: every optimization level must behave identically to
+/// the baseline on the random app for `seed`, across all ten methods.
+/// Plain asserts so the promoted regression test below reuses it;
+/// proptest catches the panics and shrinks.
+fn assert_all_levels_equal(seed: u64, a0: i32, a1: i32) {
+    let dex = random_app(seed, 10);
+    let env = env_for(&dex);
+    let baseline = build(&dex, &BuildOptions::baseline()).unwrap();
+    let variants = [
+        build(&dex, &BuildOptions::cto()).unwrap(),
+        build(&dex, &BuildOptions::cto_ltbo()).unwrap(),
+        build(&dex, &BuildOptions::cto_ltbo_parallel(3, 2)).unwrap(),
+        build(
+            &dex,
+            &BuildOptions { cto: false, ltbo: Some(LtboMode::Global), ..BuildOptions::default() },
+        )
+        .unwrap(),
+    ];
+    let mut rt_base = Runtime::new(&baseline.oat, &env);
+    let mut results = Vec::new();
+    for m in 0..10u32 {
+        results.push(rt_base.call(MethodId(m), &[a0, a1], 2_000_000).unwrap());
+    }
+    for (vi, variant) in variants.iter().enumerate() {
+        calibro_oat::validate_stack_maps(&variant.oat).unwrap();
+        let mut rt = Runtime::new(&variant.oat, &env);
+        for m in 0..10u32 {
+            let inv = rt.call(MethodId(m), &[a0, a1], 2_000_000).unwrap();
+            assert_eq!(
+                inv.outcome, results[m as usize].outcome,
+                "variant {vi} method {m} seed {seed}"
+            );
+        }
+        assert_eq!(rt.heap_allocs(), rt_base.heap_allocs());
+        assert_eq!(
+            rt.state_digest(),
+            rt_base.state_digest(),
+            "heap/static state diverged in variant {vi}"
+        );
+    }
+}
+
+/// Promoted from `ltbo_correctness.proptest-regressions`: the minimal
+/// seed on which an early outlining bug diverged from the baseline.
+/// Named and always-run so the case survives seed-file pruning.
+#[test]
+fn regression_seed_zero_all_levels_equal() {
+    assert_all_levels_equal(0, 0, 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -245,36 +300,7 @@ proptest! {
     /// random multi-method apps, across methods and argument sets.
     #[test]
     fn all_levels_are_observationally_equal(seed in 0u64..5_000, a0 in -50i32..50, a1 in 1i32..50) {
-        let dex = random_app(seed, 10);
-        let env = env_for(&dex);
-        let baseline = build(&dex, &BuildOptions::baseline()).unwrap();
-        let variants = [
-            build(&dex, &BuildOptions::cto()).unwrap(),
-            build(&dex, &BuildOptions::cto_ltbo()).unwrap(),
-            build(&dex, &BuildOptions::cto_ltbo_parallel(3, 2)).unwrap(),
-            build(&dex, &BuildOptions {
-                cto: false,
-                ltbo: Some(LtboMode::Global),
-                ..BuildOptions::default()
-            }).unwrap(),
-        ];
-        let mut rt_base = Runtime::new(&baseline.oat, &env);
-        let mut results = Vec::new();
-        for m in 0..10u32 {
-            results.push(rt_base.call(MethodId(m), &[a0, a1], 2_000_000).unwrap());
-        }
-        for (vi, variant) in variants.iter().enumerate() {
-            calibro_oat::validate_stack_maps(&variant.oat).unwrap();
-            let mut rt = Runtime::new(&variant.oat, &env);
-            for m in 0..10u32 {
-                let inv = rt.call(MethodId(m), &[a0, a1], 2_000_000).unwrap();
-                prop_assert_eq!(inv.outcome, results[m as usize].outcome,
-                    "variant {} method {} seed {}", vi, m, seed);
-            }
-            prop_assert_eq!(rt.heap_allocs(), rt_base.heap_allocs());
-            prop_assert_eq!(rt.state_digest(), rt_base.state_digest(),
-                "heap/static state diverged in variant {}", vi);
-        }
+        assert_all_levels_equal(seed, a0, a1);
     }
 }
 
