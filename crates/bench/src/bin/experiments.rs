@@ -8,8 +8,8 @@
 //! ```
 
 use bench::{
-    build_variant, fig3, fig4, suite, table1, table2, table4, table5, table6, table7, Variant,
-    DEFAULT_SCALE, PL_GROUPS, PL_THREADS,
+    build_variant, fig3, fig4, suite, table1, table2, table4, table5, table6, table7, warm_rebuild,
+    Variant, DEFAULT_SCALE, PL_GROUPS, PL_THREADS, WARM_MUTATION_FRACTION,
 };
 
 fn main() {
@@ -61,6 +61,40 @@ fn main() {
     }
     if run_all || which == "ablation" {
         print_ablation(&apps);
+    }
+    if run_all || which == "incremental" {
+        print_incremental(&apps);
+    }
+}
+
+fn print_incremental(apps: &[calibro_workloads::App]) {
+    header(&format!(
+        "Incremental rebuild: cold vs warm wall time after a {:.0}% method update",
+        WARM_MUTATION_FRACTION * 100.0
+    ));
+    let rows = warm_rebuild(apps);
+    let json_path = "BENCH_warm_rebuild.json";
+    match std::fs::write(json_path, bench::warm_rebuild_json(&rows)) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>8} {:>9} {:>7}",
+        "app", "variant", "methods", "mutated", "cold", "warm", "speedup", "hit rate", "bytes"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>10} {:>8} {:>8} {:>8.1}ms {:>8.1}ms {:>7.1}x {:>8.1}% {:>7}",
+            r.app,
+            r.variant,
+            r.methods,
+            r.mutated,
+            r.cold.as_secs_f64() * 1000.0,
+            r.warm.as_secs_f64() * 1000.0,
+            r.speedup(),
+            r.hit_rate * 100.0,
+            if r.digests_match { "match" } else { "DIFFER" }
+        );
     }
 }
 

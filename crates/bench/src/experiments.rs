@@ -2,15 +2,15 @@
 //! paper's evaluation.
 
 use std::collections::HashSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use calibro::{build, BuildOptions, BuildOutput, BuildStats};
+use calibro::{build, BuildOptions, BuildOutput, BuildSession, BuildStats};
 use calibro_dex::MethodId;
 use calibro_oat::OatFile;
 use calibro_profile::Profile;
 use calibro_runtime::Runtime;
 use calibro_suffix::{census, estimate_reduction, SuffixTree};
-use calibro_workloads::{generate, paper_suite, App};
+use calibro_workloads::{generate, mutate_methods, paper_suite, App};
 
 /// Default scale: methods per MB of the paper's baseline OAT size.
 /// `2.0` puts the six-app suite at roughly 4,000 methods / 600k
@@ -491,6 +491,124 @@ pub fn ablation_groups(app: &App, groups: &[usize]) -> Vec<AblationRow> {
 }
 
 // ---------------------------------------------------------------------
+// Incremental rebuild: cold vs warm wall time through the staged
+// pipeline's content-addressed artifact cache (an app-update scenario
+// the paper's dex2oat pays full price for on every store push).
+// ---------------------------------------------------------------------
+
+/// Fraction of methods mutated between the cold and warm builds — the
+/// "small app update" the incremental scenario models.
+pub const WARM_MUTATION_FRACTION: f64 = 0.01;
+
+/// One incremental-rebuild measurement: one app under one variant.
+#[derive(Clone, Debug)]
+pub struct WarmRebuildRow {
+    /// App name.
+    pub app: String,
+    /// Variant label (`baseline` or `cto_ltbo`).
+    pub variant: &'static str,
+    /// Methods in the app.
+    pub methods: usize,
+    /// Methods mutated between the builds.
+    pub mutated: usize,
+    /// Wall time of a cold (empty-cache) build of the mutated program.
+    pub cold: Duration,
+    /// Wall time of the warm rebuild through the populated cache.
+    pub warm: Duration,
+    /// Cache hit rate observed during the warm rebuild.
+    pub hit_rate: f64,
+    /// Whether the warm rebuild matched the cold build bit for bit.
+    pub digests_match: bool,
+    /// Full stats of the warm rebuild.
+    pub warm_stats: BuildStats,
+}
+
+impl WarmRebuildRow {
+    /// Cold-over-warm wall-time ratio.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64()
+    }
+}
+
+/// Runs the incremental-rebuild scenario: build each app cold through a
+/// [`BuildSession`], mutate [`WARM_MUTATION_FRACTION`] of its methods,
+/// then race a fresh cold build of the edited program against the warm
+/// cache-replayed rebuild.
+///
+/// Two variants per app: `baseline` isolates the per-method compile
+/// phase the cache elides, `cto_ltbo` adds the (uncached, whole-program)
+/// suffix-tree outlining so the net effect on a full Calibro build is
+/// visible too.
+#[must_use]
+pub fn warm_rebuild(apps: &[App]) -> Vec<WarmRebuildRow> {
+    let variants: [(&'static str, BuildOptions); 2] =
+        [("baseline", BuildOptions::baseline()), ("cto_ltbo", BuildOptions::cto_ltbo())];
+    let mut rows = Vec::new();
+    for app in apps {
+        for (variant, options) in &variants {
+            let session = BuildSession::new();
+            session.build(&app.dex, options).expect("priming build");
+
+            let mut edited = app.dex.clone();
+            let mutated = mutate_methods(&mut edited, 13, WARM_MUTATION_FRACTION);
+
+            let t = Instant::now();
+            let cold_out = build(&edited, options).expect("cold build");
+            let cold = t.elapsed();
+
+            let t = Instant::now();
+            let warm_out = session.build(&edited, options).expect("warm build");
+            let warm = t.elapsed();
+
+            rows.push(WarmRebuildRow {
+                app: app.name.clone(),
+                variant,
+                methods: warm_out.stats.methods,
+                mutated: mutated.len(),
+                cold,
+                warm,
+                hit_rate: warm_out.stats.cache.hit_rate(),
+                digests_match: cold_out.oat.words == warm_out.oat.words
+                    && cold_out.oat.text_digest() == warm_out.oat.text_digest(),
+                warm_stats: warm_out.stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Serializes the incremental scenario as one JSON document:
+/// `{"app": {"variant": {measurements..., "warm": {stats...}}, ...}, ...}`.
+#[must_use]
+pub fn warm_rebuild_json(rows: &[WarmRebuildRow]) -> String {
+    let mut apps: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let app = &rows[i].app;
+        let mut variants = Vec::new();
+        while i < rows.len() && rows[i].app == *app {
+            let r = &rows[i];
+            variants.push(format!(
+                r#""{}":{{"methods":{},"mutated":{},"cold_us":{},"warm_us":{},"speedup":{:.3},"hit_rate":{:.6},"digests_match":{},"warm":{}}}"#,
+                r.variant,
+                r.methods,
+                r.mutated,
+                r.cold.as_micros(),
+                r.warm.as_micros(),
+                r.speedup(),
+                r.hit_rate,
+                r.digests_match,
+                r.warm_stats.to_json()
+            ));
+            i += 1;
+        }
+        apps.push(format!(r#""{app}":{{{}}}"#, variants.join(",")));
+    }
+    format!("{{{}}}", apps.join(","))
+}
+
+// ---------------------------------------------------------------------
 // Table 2: the outlining + patching example.
 // ---------------------------------------------------------------------
 
@@ -629,6 +747,25 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains(r#""tiny":{"baseline":{"#));
         assert!(json.contains(r#""cto_ltbo_pl":{"#));
+    }
+
+    #[test]
+    fn warm_rebuild_replays_everything_but_the_delta() {
+        let apps = vec![tiny_app()];
+        let rows = warm_rebuild(&apps);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.mutated >= 1);
+            assert!(row.digests_match, "{}/{}: warm bytes differ", row.app, row.variant);
+            assert!(row.hit_rate > 0.9, "{}/{}: hit rate {}", row.app, row.variant, row.hit_rate);
+            assert_eq!(row.warm_stats.methods_from_cache, row.methods - row.mutated);
+        }
+        let json = warm_rebuild_json(&rows);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains(r#""tiny":{"baseline":{"#));
+        assert!(json.contains(r#""cto_ltbo":{"#));
+        assert!(json.contains(r#""digests_match":true"#));
     }
 
     #[test]

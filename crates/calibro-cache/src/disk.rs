@@ -1,0 +1,577 @@
+//! The persistent layer: one file per cache entry, written atomically
+//! (temp file + rename) and read strictly (magic, format version,
+//! checksum, full structural validation).
+//!
+//! Instructions are stored as their encoded machine words — the same
+//! canonical encoding the linker emits — so a loaded entry re-encodes
+//! bit-identically. Every serializer destructures its input
+//! exhaustively: adding a field to a cached type fails compilation here
+//! until the format (and [`FORMAT_VERSION`]) is updated.
+
+use std::path::{Path, PathBuf};
+
+use calibro_codegen::{
+    CallTarget, CompiledMethod, MethodMetadata, PcRel, Reloc, StackMapEntry, ThunkKind,
+};
+use calibro_hgraph::PassStats;
+use calibro_isa::Insn;
+
+use crate::entry::{CacheEntry, SymbolTemplate, TemplateSlot};
+use crate::error::CacheError;
+use crate::hash::CacheKey;
+
+/// Bumped whenever the on-disk layout changes; old entries are rejected
+/// as corrupt (and overwritten on the next store).
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"CALC";
+
+fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.calc", key.to_hex()))
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Store.
+// ---------------------------------------------------------------------
+
+/// Persists `entry` under `dir`, best-effort atomic.
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] on filesystem failures and
+/// [`CacheError::Corrupt`] when the entry contains an instruction that
+/// does not encode (such an entry could never link anyway).
+pub fn store(dir: &Path, key: CacheKey, entry: &CacheEntry) -> Result<(), CacheError> {
+    let path = entry_path(dir, key);
+    let io = |e: std::io::Error| CacheError::Io { path: path.clone(), detail: e.to_string() };
+    let payload = serialize_entry(entry)
+        .map_err(|detail| CacheError::Corrupt { path: path.clone(), detail })?;
+    let mut bytes = Vec::with_capacity(payload.len() + 40);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&key.hi.to_le_bytes());
+    bytes.extend_from_slice(&key.lo.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let tmp = dir.join(format!("{}.tmp{}", key.to_hex(), std::process::id()));
+    std::fs::write(&tmp, &bytes).map_err(io)?;
+    std::fs::rename(&tmp, &path).map_err(io)?;
+    Ok(())
+}
+
+/// Loads and validates the entry for `key`, `Ok(None)` when absent.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] when the file exists but cannot be read or
+/// fails any validation step.
+pub fn load(dir: &Path, key: CacheKey) -> Result<Option<CacheEntry>, CacheError> {
+    let path = entry_path(dir, key);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CacheError::Io { path, detail: e.to_string() }),
+    };
+    let corrupt =
+        |detail: &str| CacheError::Corrupt { path: path.clone(), detail: detail.to_owned() };
+    if bytes.len() < 40 {
+        return Err(corrupt("truncated header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let word = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(corrupt(&format!("format version {version}, expected {FORMAT_VERSION}")));
+    }
+    if word(8) != key.hi || word(16) != key.lo {
+        return Err(corrupt("key mismatch"));
+    }
+    let len = word(24) as usize;
+    if bytes.len() != 40 + len {
+        return Err(corrupt("payload length mismatch"));
+    }
+    let payload = &bytes[40..];
+    if fnv64(payload) != word(32) {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let entry = deserialize_entry(payload).map_err(|d| corrupt(&d))?;
+    validate_entry(&entry).map_err(|d| corrupt(&d))?;
+    Ok(Some(entry))
+}
+
+/// Structural validation of a loaded entry: every index the LTBO and
+/// link stages will follow must be in bounds, so a poisoned entry is
+/// rejected here with a typed error instead of panicking downstream.
+pub fn validate_entry(entry: &CacheEntry) -> Result<(), String> {
+    let m = &entry.compiled;
+    let code_len = m.insns.len();
+    let size_words = code_len + m.pool.len();
+    for r in &m.relocs {
+        if r.at >= code_len {
+            return Err(format!("relocation at word {} beyond code length {code_len}", r.at));
+        }
+    }
+    for rec in &m.metadata.pc_rel {
+        if rec.at >= code_len || rec.target >= size_words {
+            return Err(format!("pc-rel record {}→{} out of bounds", rec.at, rec.target));
+        }
+    }
+    for &t in &m.metadata.terminators {
+        if t >= code_len {
+            return Err(format!("terminator at word {t} beyond code length {code_len}"));
+        }
+    }
+    for &(s, e) in &m.metadata.slow_paths {
+        if s > e || e > code_len {
+            return Err(format!("slow path {s}..{e} out of bounds"));
+        }
+    }
+    for &(s, l) in &m.metadata.embedded_data {
+        if s + l > size_words {
+            return Err(format!("embedded data {s}+{l} beyond {size_words} words"));
+        }
+    }
+    for sm in &m.stack_maps {
+        let word = sm.native_offset / 4;
+        if sm.native_offset % 4 != 0 || word == 0 || word as usize > code_len {
+            return Err(format!("stack map at native offset {} invalid", sm.native_offset));
+        }
+    }
+    if let Some(t) = &entry.template {
+        for slot in &t.slots {
+            let word = match *slot {
+                TemplateSlot::Leader => continue,
+                TemplateSlot::Fresh { word } | TemplateSlot::Lit { word, .. } => word,
+            };
+            if word as usize >= code_len {
+                return Err(format!("template slot names word {word} beyond {code_len}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+}
+
+fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
+    let CacheEntry { compiled, pass_stats, template } = entry;
+    let CompiledMethod { method, insns, pool, relocs, metadata, stack_maps } = compiled;
+    let mut w = Writer(Vec::new());
+    w.u32(method.0);
+    w.len(insns.len());
+    for insn in insns {
+        let word = insn.encode().map_err(|e| format!("unencodable instruction: {e}"))?;
+        w.u32(word);
+    }
+    w.len(pool.len());
+    for &p in pool {
+        w.u32(p);
+    }
+    w.len(relocs.len());
+    for Reloc { at, target } in relocs {
+        w.len(*at);
+        match target {
+            CallTarget::Method(id) => {
+                w.u8(0);
+                w.u32(id.0);
+            }
+            CallTarget::Thunk(ThunkKind::JavaEntry) => w.u8(1),
+            CallTarget::Thunk(ThunkKind::RuntimeEntry(off)) => {
+                w.u8(2);
+                w.u32(u32::from(*off));
+            }
+            CallTarget::Thunk(ThunkKind::StackCheck) => w.u8(3),
+            CallTarget::Outlined(i) => {
+                w.u8(4);
+                w.u32(*i);
+            }
+        }
+    }
+    let MethodMetadata {
+        pc_rel,
+        terminators,
+        embedded_data,
+        has_indirect_jump,
+        is_native_stub,
+        slow_paths,
+    } = metadata;
+    w.len(pc_rel.len());
+    for PcRel { at, target } in pc_rel {
+        w.len(*at);
+        w.len(*target);
+    }
+    w.len(terminators.len());
+    for &t in terminators {
+        w.len(t);
+    }
+    w.len(embedded_data.len());
+    for &(s, l) in embedded_data {
+        w.len(s);
+        w.len(l);
+    }
+    w.u8(u8::from(*has_indirect_jump));
+    w.u8(u8::from(*is_native_stub));
+    w.len(slow_paths.len());
+    for &(s, e) in slow_paths {
+        w.len(s);
+        w.len(e);
+    }
+    w.len(stack_maps.len());
+    for StackMapEntry { native_offset, dex_pc } in stack_maps {
+        w.u32(*native_offset);
+        w.u32(*dex_pc);
+    }
+    let PassStats {
+        folded,
+        copies_propagated,
+        cse_hits,
+        dead_removed,
+        simplified,
+        returns_merged,
+        blocks_removed,
+        iterations,
+        insns_in,
+        insns_out,
+    } = pass_stats;
+    for v in [
+        folded,
+        copies_propagated,
+        cse_hits,
+        dead_removed,
+        simplified,
+        returns_merged,
+        blocks_removed,
+        iterations,
+        insns_in,
+        insns_out,
+    ] {
+        w.len(*v);
+    }
+    match template {
+        None => w.u8(0),
+        Some(SymbolTemplate { slots }) => {
+            w.u8(1);
+            w.len(slots.len());
+            for slot in slots {
+                match *slot {
+                    TemplateSlot::Leader => w.u8(0),
+                    TemplateSlot::Fresh { word } => {
+                        w.u8(1);
+                        w.u32(word);
+                    }
+                    TemplateSlot::Lit { encoded, word } => {
+                        w.u8(2);
+                        w.u32(encoded);
+                        w.u32(word);
+                    }
+                }
+            }
+        }
+    }
+    Ok(w.0)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.bytes.len() {
+            return Err("truncated payload".to_owned());
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn len(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| "length exceeds usize".to_owned())
+    }
+    /// A collection length, sanity-bounded against the remaining bytes
+    /// so corrupt counts cannot trigger huge allocations.
+    fn bounded_len(&mut self, min_item_bytes: usize) -> Result<usize, String> {
+        let n = self.len()?;
+        let remaining = self.bytes.len() - self.pos;
+        if n.saturating_mul(min_item_bytes.max(1)) > remaining {
+            return Err(format!("implausible collection length {n}"));
+        }
+        Ok(n)
+    }
+}
+
+fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let method = calibro_dex::MethodId(r.u32()?);
+    let n_insns = r.bounded_len(4)?;
+    let mut insns: Vec<Insn> = Vec::with_capacity(n_insns);
+    for _ in 0..n_insns {
+        let word = r.u32()?;
+        let insn =
+            calibro_isa::decode(word).map_err(|e| format!("undecodable word {word:#010x}: {e}"))?;
+        insns.push(insn);
+    }
+    let n_pool = r.bounded_len(4)?;
+    let mut pool = Vec::with_capacity(n_pool);
+    for _ in 0..n_pool {
+        pool.push(r.u32()?);
+    }
+    let n_relocs = r.bounded_len(9)?;
+    let mut relocs = Vec::with_capacity(n_relocs);
+    for _ in 0..n_relocs {
+        let at = r.len()?;
+        let target = match r.u8()? {
+            0 => CallTarget::Method(calibro_dex::MethodId(r.u32()?)),
+            1 => CallTarget::Thunk(ThunkKind::JavaEntry),
+            2 => {
+                let off = r.u32()?;
+                let off = u16::try_from(off).map_err(|_| "runtime entry offset overflow")?;
+                CallTarget::Thunk(ThunkKind::RuntimeEntry(off))
+            }
+            3 => CallTarget::Thunk(ThunkKind::StackCheck),
+            4 => CallTarget::Outlined(r.u32()?),
+            t => return Err(format!("unknown call-target tag {t}")),
+        };
+        relocs.push(Reloc { at, target });
+    }
+    let n_pc_rel = r.bounded_len(16)?;
+    let mut pc_rel = Vec::with_capacity(n_pc_rel);
+    for _ in 0..n_pc_rel {
+        let at = r.len()?;
+        let target = r.len()?;
+        pc_rel.push(PcRel { at, target });
+    }
+    let n_term = r.bounded_len(8)?;
+    let mut terminators = Vec::with_capacity(n_term);
+    for _ in 0..n_term {
+        terminators.push(r.len()?);
+    }
+    let n_embed = r.bounded_len(16)?;
+    let mut embedded_data = Vec::with_capacity(n_embed);
+    for _ in 0..n_embed {
+        let s = r.len()?;
+        let l = r.len()?;
+        embedded_data.push((s, l));
+    }
+    let has_indirect_jump = r.u8()? != 0;
+    let is_native_stub = r.u8()? != 0;
+    let n_slow = r.bounded_len(16)?;
+    let mut slow_paths = Vec::with_capacity(n_slow);
+    for _ in 0..n_slow {
+        let s = r.len()?;
+        let e = r.len()?;
+        slow_paths.push((s, e));
+    }
+    let n_maps = r.bounded_len(8)?;
+    let mut stack_maps = Vec::with_capacity(n_maps);
+    for _ in 0..n_maps {
+        let native_offset = r.u32()?;
+        let dex_pc = r.u32()?;
+        stack_maps.push(StackMapEntry { native_offset, dex_pc });
+    }
+    let mut pass_fields = [0usize; 10];
+    for slot in &mut pass_fields {
+        *slot = r.len()?;
+    }
+    let [folded, copies_propagated, cse_hits, dead_removed, simplified, returns_merged, blocks_removed, iterations, insns_in, insns_out] =
+        pass_fields;
+    let pass_stats = PassStats {
+        folded,
+        copies_propagated,
+        cse_hits,
+        dead_removed,
+        simplified,
+        returns_merged,
+        blocks_removed,
+        iterations,
+        insns_in,
+        insns_out,
+    };
+    let template = match r.u8()? {
+        0 => None,
+        1 => {
+            let n_slots = r.bounded_len(1)?;
+            let mut slots = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                slots.push(match r.u8()? {
+                    0 => TemplateSlot::Leader,
+                    1 => TemplateSlot::Fresh { word: r.u32()? },
+                    2 => {
+                        let encoded = r.u32()?;
+                        let word = r.u32()?;
+                        TemplateSlot::Lit { encoded, word }
+                    }
+                    t => return Err(format!("unknown template slot tag {t}")),
+                });
+            }
+            Some(SymbolTemplate { slots })
+        }
+        t => return Err(format!("unknown template presence tag {t}")),
+    };
+    if r.pos != payload.len() {
+        return Err(format!("{} trailing bytes", payload.len() - r.pos));
+    }
+    Ok(CacheEntry {
+        compiled: CompiledMethod {
+            method,
+            insns,
+            pool,
+            relocs,
+            metadata: MethodMetadata {
+                pc_rel,
+                terminators,
+                embedded_data,
+                has_indirect_jump,
+                is_native_stub,
+                slow_paths,
+            },
+            stack_maps,
+        },
+        pass_stats,
+        template,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_isa::Reg;
+
+    fn sample_entry() -> CacheEntry {
+        CacheEntry {
+            compiled: CompiledMethod {
+                method: calibro_dex::MethodId(5),
+                insns: vec![
+                    Insn::Nop,
+                    Insn::Bl { offset: 0 },
+                    Insn::AddImm {
+                        wide: true,
+                        set_flags: false,
+                        rd: Reg::X0,
+                        rn: Reg::X1,
+                        imm12: 7,
+                        shift12: false,
+                    },
+                    Insn::Ret { rn: Reg::LR },
+                ],
+                pool: vec![0xdead_beef],
+                relocs: vec![Reloc { at: 1, target: CallTarget::Thunk(ThunkKind::StackCheck) }],
+                metadata: MethodMetadata {
+                    pc_rel: vec![PcRel { at: 0, target: 4 }],
+                    terminators: vec![3],
+                    embedded_data: vec![(4, 1)],
+                    has_indirect_jump: false,
+                    is_native_stub: false,
+                    slow_paths: vec![(1, 3)],
+                },
+                stack_maps: vec![StackMapEntry { native_offset: 8, dex_pc: 1 }],
+            },
+            pass_stats: PassStats { folded: 2, insns_in: 9, insns_out: 4, ..PassStats::default() },
+            template: Some(SymbolTemplate {
+                slots: vec![
+                    TemplateSlot::Leader,
+                    TemplateSlot::Fresh { word: 0 },
+                    TemplateSlot::Lit { encoded: 0xd503_201f, word: 2 },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("calibro-cache-test-{}", std::process::id()));
+        let key = CacheKey { hi: 0x1234, lo: 0x5678 };
+        let entry = sample_entry();
+        store(&dir, key, &entry).expect("store succeeds");
+        let back = load(&dir, key).expect("load succeeds").expect("entry present");
+        assert_eq!(back.compiled.insns, entry.compiled.insns);
+        assert_eq!(back.compiled.pool, entry.compiled.pool);
+        assert_eq!(back.compiled.relocs, entry.compiled.relocs);
+        assert_eq!(back.compiled.metadata, entry.compiled.metadata);
+        assert_eq!(back.compiled.stack_maps, entry.compiled.stack_maps);
+        assert_eq!(back.pass_stats, entry.pass_stats);
+        assert_eq!(back.template, entry.template);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let dir = std::env::temp_dir().join("calibro-cache-test-missing");
+        assert!(load(&dir, CacheKey { hi: 1, lo: 2 }).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let dir =
+            std::env::temp_dir().join(format!("calibro-cache-test-cor-{}", std::process::id()));
+        let key = CacheKey { hi: 0xAB, lo: 0xCD };
+        store(&dir, key, &sample_entry()).expect("store succeeds");
+        let path = entry_path(&dir, key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match load(&dir, key) {
+            Err(CacheError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("checksum"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_bounds_metadata() {
+        let mut entry = sample_entry();
+        entry.compiled.metadata.terminators.push(99);
+        assert!(validate_entry(&entry).is_err());
+        let mut entry = sample_entry();
+        entry.compiled.stack_maps[0].native_offset = 0;
+        assert!(validate_entry(&entry).is_err());
+        let mut entry = sample_entry();
+        entry.compiled.relocs[0].at = 50;
+        assert!(validate_entry(&entry).is_err());
+    }
+}

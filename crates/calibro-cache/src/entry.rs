@@ -1,0 +1,110 @@
+//! The cached per-method artifact: the compiled code, its pass
+//! counters, and the precomputed LTBO symbolization template.
+
+use calibro_codegen::CompiledMethod;
+use calibro_hgraph::PassStats;
+
+/// One slot of a method's LTBO symbolization (§3.3.2), with the
+/// config-independent structure precomputed: literal slots carry the
+/// encoded instruction word, unique slots are assigned fresh separator
+/// numbers at replay time. Replaying a template is byte-equivalent to
+/// re-running symbolization over the method, but skips the per-word
+/// metadata scans and instruction encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TemplateSlot {
+    /// A basic-block leader boundary: a fresh separator with no backing
+    /// word (branches land here, so no repeat may span it).
+    Leader,
+    /// An excluded word (terminator / PC-relative site / LR user / SP
+    /// writer): a fresh separator mapping back to word `0`'s field.
+    Fresh {
+        /// The word index the separator maps back to.
+        word: u32,
+    },
+    /// An outlinable word: the encoded instruction, emitted verbatim.
+    Lit {
+        /// The encoded instruction word.
+        encoded: u32,
+        /// The word index.
+        word: u32,
+    },
+}
+
+/// The precomputed symbol sequence of one LTBO candidate method, before
+/// fresh separator numbers are assigned. Computed for the unfiltered
+/// (`hot = false`) case; hot-restricted methods fall back to direct
+/// symbolization, which is rare by construction (§3.4.2 restricts a
+/// small profiled subset).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SymbolTemplate {
+    /// The slots, in emission order.
+    pub slots: Vec<TemplateSlot>,
+}
+
+impl SymbolTemplate {
+    /// Replays the template: appends the symbol sequence and the
+    /// symbol-index → word-index map, drawing fresh separator numbers
+    /// from `unique` exactly as direct symbolization would.
+    pub fn replay(&self, unique: &mut u64) -> (Vec<u64>, Vec<usize>) {
+        let mut symbols = Vec::with_capacity(self.slots.len());
+        let mut map = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            match *slot {
+                TemplateSlot::Leader => {
+                    *unique += 1;
+                    symbols.push(*unique);
+                    map.push(usize::MAX);
+                }
+                TemplateSlot::Fresh { word } => {
+                    *unique += 1;
+                    symbols.push(*unique);
+                    map.push(word as usize);
+                }
+                TemplateSlot::Lit { encoded, word } => {
+                    symbols.push(u64::from(encoded));
+                    map.push(word as usize);
+                }
+            }
+        }
+        (symbols, map)
+    }
+}
+
+/// One cached compilation artifact: everything the codegen stage
+/// produced for a method, so a warm build can skip HGraph construction,
+/// the pass pipeline, code generation and LTBO symbol extraction for
+/// methods whose inputs did not change.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The compiled method (code, relocations, §3.2 metadata, stack
+    /// maps) exactly as codegen emitted it, pre-LTBO.
+    pub compiled: CompiledMethod,
+    /// Pass-pipeline counters from the cold compile, replayed into
+    /// [`BuildStats`](https://docs.rs) so warm observability matches cold.
+    pub pass_stats: PassStats,
+    /// Precomputed LTBO symbolization (`None` when the build collected
+    /// no metadata or the method is excluded from outlining).
+    pub template: Option<SymbolTemplate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_assigns_sequential_separators() {
+        let t = SymbolTemplate {
+            slots: vec![
+                TemplateSlot::Lit { encoded: 7, word: 0 },
+                TemplateSlot::Leader,
+                TemplateSlot::Fresh { word: 1 },
+                TemplateSlot::Lit { encoded: 9, word: 2 },
+            ],
+        };
+        let mut unique = 100;
+        let (symbols, map) = t.replay(&mut unique);
+        assert_eq!(symbols, vec![7, 101, 102, 9]);
+        assert_eq!(map, vec![0, usize::MAX, 1, 2]);
+        assert_eq!(unique, 102);
+    }
+}

@@ -1,0 +1,41 @@
+//! Typed cache failures. A poisoned persistent entry must surface as an
+//! error at the build boundary — never as a panic deep inside LTBO or
+//! the linker, and never as silently wrong code.
+
+use std::path::PathBuf;
+
+/// A cache failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheError {
+    /// An I/O failure reading the persistent layer.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The rendered `std::io::Error`.
+        detail: String,
+    },
+    /// A persistent entry exists but fails validation (bad magic,
+    /// version or checksum mismatch, truncated payload, undecodable
+    /// instruction words, or out-of-bounds metadata).
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CacheError::Io { path, detail } => {
+                write!(f, "cache I/O error on {}: {detail}", path.display())
+            }
+            CacheError::Corrupt { path, detail } => {
+                write!(f, "corrupt cache entry {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}

@@ -1,0 +1,198 @@
+//! A stable, dependency-free 128-bit streaming hasher for cache keys.
+//!
+//! `std::hash::Hasher` implementations (SipHash) are randomly keyed per
+//! process, so they cannot address an on-disk store. This hasher runs
+//! two independently seeded FNV-1a-64 lanes over the same byte stream
+//! and is bit-stable across processes, platforms and crate versions
+//! (the *schema* of what gets fed into it is versioned separately via
+//! [`crate::SCHEMA_VERSION`]).
+
+/// A 128-bit content-address: the key of one cached artifact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CacheKey {
+    /// High lane.
+    pub hi: u64,
+    /// Low lane.
+    pub lo: u64,
+}
+
+impl CacheKey {
+    /// Renders the key as 32 lowercase hex digits (disk file names).
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl core::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
+// A second, unrelated seed for the low lane (digits of pi).
+const OFFSET_LO: u64 = 0x2437_54a3_2439_f31d;
+
+/// The streaming hasher. Every `write_*` helper frames its input with a
+/// type tag byte, so adjacent fields of different widths cannot alias
+/// (e.g. `(u8 1, u8 2)` hashes differently from `(u16 0x0201)`).
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    hi: u64,
+    lo: u64,
+    len: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> StableHasher {
+        StableHasher { hi: OFFSET_HI, lo: OFFSET_LO, len: 0 }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.hi = (self.hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.len += 1;
+    }
+
+    /// Raw bytes, length-prefixed so concatenations cannot alias.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.byte(0xB0);
+        self.write_u64_raw(bytes.len() as u64);
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn write_u64_raw(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// A tag byte: use to discriminate enum variants and field groups.
+    pub fn write_tag(&mut self, tag: u8) {
+        self.byte(0xAF);
+        self.byte(tag);
+    }
+
+    /// An unsigned 8-bit value.
+    pub fn write_u8(&mut self, v: u8) {
+        self.byte(0xA1);
+        self.byte(v);
+    }
+
+    /// An unsigned 16-bit value.
+    pub fn write_u16(&mut self, v: u16) {
+        self.byte(0xA2);
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// An unsigned 32-bit value.
+    pub fn write_u32(&mut self, v: u32) {
+        self.byte(0xA4);
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// An unsigned 64-bit value.
+    pub fn write_u64(&mut self, v: u64) {
+        self.byte(0xA8);
+        self.write_u64_raw(v);
+    }
+
+    /// A `usize`, widened to 64 bits for cross-platform stability.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// A signed 64-bit value (covers every narrower signed width).
+    pub fn write_i64(&mut self, v: i64) {
+        self.byte(0xA9);
+        self.write_u64_raw(v as u64);
+    }
+
+    /// A boolean.
+    pub fn write_bool(&mut self, v: bool) {
+        self.byte(0xAB);
+        self.byte(u8::from(v));
+    }
+
+    /// A UTF-8 string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.byte(0xAC);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Finalizes into a [`CacheKey`]. Folds the total length into both
+    /// lanes so prefixes of each other cannot collide.
+    #[must_use]
+    pub fn finish(mut self) -> CacheKey {
+        let len = self.len;
+        self.write_u64_raw(len);
+        CacheKey { hi: self.hi, lo: self.lo ^ self.hi.rotate_left(32) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(f: impl FnOnce(&mut StableHasher)) -> CacheKey {
+        let mut h = StableHasher::new();
+        f(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = key_of(|h| h.write_str("hello"));
+        let b = key_of(|h| h.write_str("hello"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn framed_writes_do_not_alias() {
+        // Two u8s vs one u16 with the same raw bytes.
+        let a = key_of(|h| {
+            h.write_u8(1);
+            h.write_u8(2);
+        });
+        let b = key_of(|h| h.write_u16(0x0201));
+        assert_ne!(a, b);
+        // Adjacent byte strings vs one concatenated string.
+        let c = key_of(|h| {
+            h.write_bytes(b"ab");
+            h.write_bytes(b"cd");
+        });
+        let d = key_of(|h| h.write_bytes(b"abcd"));
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn empty_and_prefix_inputs_distinct() {
+        let empty = key_of(|_| {});
+        let one = key_of(|h| h.write_bool(false));
+        assert_ne!(empty, one);
+    }
+
+    #[test]
+    fn hex_roundtrip_is_32_digits() {
+        let k = key_of(|h| h.write_u64(42));
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex, format!("{k}"));
+    }
+}

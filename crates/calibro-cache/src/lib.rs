@@ -1,0 +1,47 @@
+//! # calibro-cache
+//!
+//! The content-addressed per-method artifact store behind incremental
+//! recompilation: `dex2oat` re-runs over apps whose DEX changes only
+//! incrementally between updates, so the build pipeline memoizes each
+//! method's [`CompiledMethod`](calibro_codegen::CompiledMethod) — code
+//! bytes, LTBO metadata, stack maps — plus its pass counters and its
+//! precomputed LTBO symbolization, keyed by
+//!
+//! ```text
+//! key = H(schema salt, BuildOptions fingerprint, method bytecode[, program hash])
+//! ```
+//!
+//! where the program hash joins only when whole-program inlining is on
+//! (then any callee's body can affect a caller's code). A rebuild after
+//! an N-method delta recompiles only the N changed methods; everything
+//! else replays from the store, and the linked output is byte-identical
+//! to a cold build because compilation is deterministic in exactly the
+//! key's inputs.
+//!
+//! The store is thread-safe (`&self` everywhere) so the driver's
+//! index-order compile workers probe and populate it concurrently, and
+//! optionally persists entries to disk — written best-effort, read
+//! strictly (checksums + structural validation), so a poisoned entry
+//! surfaces as a typed [`CacheError`] rather than a panic or a
+//! miscompile.
+
+#![warn(missing_docs)]
+
+mod disk;
+mod entry;
+mod error;
+mod hash;
+mod method_hash;
+mod store;
+
+pub use disk::{validate_entry, FORMAT_VERSION};
+pub use entry::{CacheEntry, SymbolTemplate, TemplateSlot};
+pub use error::CacheError;
+pub use hash::{CacheKey, StableHasher};
+pub use method_hash::{hash_method, hash_program};
+pub use store::{ArtifactStore, CacheConfig, CacheStats};
+
+/// Schema salt folded into every cache key: the crate version plus a
+/// manually bumped counter for behavioural changes that do not move the
+/// version (e.g. a codegen fix). Keys from other schemas never match.
+pub const SCHEMA_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+s2");

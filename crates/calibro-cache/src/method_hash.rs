@@ -1,0 +1,265 @@
+//! Canonical hashing of DEX methods — the "method bytecode" component
+//! of the cache key.
+//!
+//! Every function here destructures its input exhaustively (no `..`
+//! patterns, no wildcard match arms over fields): adding a field to
+//! [`Method`] or a variant to [`DexInsn`] fails compilation right here,
+//! so the fingerprint can never silently stop covering an input that
+//! affects compilation.
+
+use calibro_dex::{BinOp, Cmp, DexFile, DexInsn, InvokeKind, Method, VReg};
+
+use crate::hash::StableHasher;
+
+/// Feeds one method's full compilation-relevant content into `h`.
+///
+/// The method `name` is included even though the current code generator
+/// never reads it: the cache must stay correct if diagnostics ever leak
+/// into output, and method renames are rare enough that the extra
+/// invalidation is free insurance.
+pub fn hash_method(m: &Method, h: &mut StableHasher) {
+    let Method { id, class, name, num_regs, num_args, insns, is_native } = m;
+    h.write_tag(0x4D); // 'M'
+    h.write_u32(id.0);
+    h.write_u32(class.0);
+    h.write_str(name);
+    h.write_u16(*num_regs);
+    h.write_u16(*num_args);
+    h.write_bool(*is_native);
+    h.write_usize(insns.len());
+    for insn in insns {
+        hash_insn(insn, h);
+    }
+}
+
+/// Feeds a whole program into `h` — used as an extra key component when
+/// whole-program inlining is enabled, because then a method's compiled
+/// code can depend on any callee's body.
+pub fn hash_program(dex: &DexFile, h: &mut StableHasher) {
+    h.write_tag(0x50); // 'P'
+    h.write_usize(dex.methods().len());
+    for m in dex.methods() {
+        hash_method(m, h);
+    }
+    h.write_usize(dex.classes().len());
+    for c in dex.classes() {
+        h.write_u32(c.id.0);
+        h.write_u32(c.num_fields);
+    }
+    h.write_u32(dex.num_statics());
+}
+
+fn hash_vreg(v: VReg, h: &mut StableHasher) {
+    h.write_u16(v.0);
+}
+
+fn hash_opt_vreg(v: Option<VReg>, h: &mut StableHasher) {
+    match v {
+        None => h.write_tag(0),
+        Some(r) => {
+            h.write_tag(1);
+            hash_vreg(r, h);
+        }
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::And => 4,
+        BinOp::Or => 5,
+        BinOp::Xor => 6,
+        BinOp::Shl => 7,
+        BinOp::Shr => 8,
+    }
+}
+
+fn cmp_tag(cmp: Cmp) -> u8 {
+    match cmp {
+        Cmp::Eq => 0,
+        Cmp::Ne => 1,
+        Cmp::Lt => 2,
+        Cmp::Ge => 3,
+        Cmp::Gt => 4,
+        Cmp::Le => 5,
+    }
+}
+
+fn hash_insn(insn: &DexInsn, h: &mut StableHasher) {
+    match insn {
+        DexInsn::Nop => h.write_tag(0),
+        DexInsn::Const { dst, value } => {
+            h.write_tag(1);
+            hash_vreg(*dst, h);
+            h.write_i64(i64::from(*value));
+        }
+        DexInsn::Move { dst, src } => {
+            h.write_tag(2);
+            hash_vreg(*dst, h);
+            hash_vreg(*src, h);
+        }
+        DexInsn::Bin { op, dst, a, b } => {
+            h.write_tag(3);
+            h.write_u8(binop_tag(*op));
+            hash_vreg(*dst, h);
+            hash_vreg(*a, h);
+            hash_vreg(*b, h);
+        }
+        DexInsn::BinLit { op, dst, a, lit } => {
+            h.write_tag(4);
+            h.write_u8(binop_tag(*op));
+            hash_vreg(*dst, h);
+            hash_vreg(*a, h);
+            h.write_i64(i64::from(*lit));
+        }
+        DexInsn::IGet { dst, obj, field } => {
+            h.write_tag(5);
+            hash_vreg(*dst, h);
+            hash_vreg(*obj, h);
+            h.write_u32(field.0);
+        }
+        DexInsn::IPut { src, obj, field } => {
+            h.write_tag(6);
+            hash_vreg(*src, h);
+            hash_vreg(*obj, h);
+            h.write_u32(field.0);
+        }
+        DexInsn::SGet { dst, slot } => {
+            h.write_tag(7);
+            hash_vreg(*dst, h);
+            h.write_u32(slot.0);
+        }
+        DexInsn::SPut { src, slot } => {
+            h.write_tag(8);
+            hash_vreg(*src, h);
+            h.write_u32(slot.0);
+        }
+        DexInsn::NewInstance { dst, class } => {
+            h.write_tag(9);
+            hash_vreg(*dst, h);
+            h.write_u32(class.0);
+        }
+        DexInsn::Invoke { kind, method, args, dst } => {
+            h.write_tag(10);
+            h.write_u8(match kind {
+                InvokeKind::Virtual => 0,
+                InvokeKind::Static => 1,
+            });
+            h.write_u32(method.0);
+            h.write_usize(args.len());
+            for &a in args {
+                hash_vreg(a, h);
+            }
+            hash_opt_vreg(*dst, h);
+        }
+        DexInsn::InvokeNative { method, args, dst } => {
+            h.write_tag(11);
+            h.write_u32(method.0);
+            h.write_usize(args.len());
+            for &a in args {
+                hash_vreg(a, h);
+            }
+            hash_opt_vreg(*dst, h);
+        }
+        DexInsn::If { cmp, a, b, target } => {
+            h.write_tag(12);
+            h.write_u8(cmp_tag(*cmp));
+            hash_vreg(*a, h);
+            hash_vreg(*b, h);
+            h.write_usize(*target);
+        }
+        DexInsn::IfZ { cmp, a, target } => {
+            h.write_tag(13);
+            h.write_u8(cmp_tag(*cmp));
+            hash_vreg(*a, h);
+            h.write_usize(*target);
+        }
+        DexInsn::Goto { target } => {
+            h.write_tag(14);
+            h.write_usize(*target);
+        }
+        DexInsn::Switch { src, first_key, targets } => {
+            h.write_tag(15);
+            hash_vreg(*src, h);
+            h.write_i64(i64::from(*first_key));
+            h.write_usize(targets.len());
+            for &t in targets {
+                h.write_usize(t);
+            }
+        }
+        DexInsn::Return { src } => {
+            h.write_tag(16);
+            hash_vreg(*src, h);
+        }
+        DexInsn::ReturnVoid => h.write_tag(17),
+        DexInsn::Throw { src } => {
+            h.write_tag(18);
+            hash_vreg(*src, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::CacheKey;
+    use calibro_dex::{ClassId, MethodId};
+
+    fn method(insns: Vec<DexInsn>) -> Method {
+        Method {
+            id: MethodId(3),
+            class: ClassId(1),
+            name: "m".to_owned(),
+            num_regs: 4,
+            num_args: 1,
+            insns,
+            is_native: false,
+        }
+    }
+
+    fn key(m: &Method) -> CacheKey {
+        let mut h = StableHasher::new();
+        hash_method(m, &mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn identical_methods_hash_identically() {
+        let a = method(vec![DexInsn::Const { dst: VReg(0), value: 7 }, DexInsn::ReturnVoid]);
+        assert_eq!(key(&a), key(&a.clone()));
+    }
+
+    #[test]
+    fn every_header_field_is_covered() {
+        let base = method(vec![DexInsn::ReturnVoid]);
+        let k = key(&base);
+        for (label, tweak) in [
+            ("id", Method { id: MethodId(4), ..base.clone() }),
+            ("class", Method { class: ClassId(2), ..base.clone() }),
+            ("name", Method { name: "other".into(), ..base.clone() }),
+            ("num_regs", Method { num_regs: 5, ..base.clone() }),
+            ("num_args", Method { num_args: 0, ..base.clone() }),
+            ("is_native", Method { is_native: true, insns: vec![], ..base.clone() }),
+            ("insns", Method { insns: vec![DexInsn::Nop, DexInsn::ReturnVoid], ..base.clone() }),
+        ] {
+            assert_ne!(key(&tweak), k, "field `{label}` not covered by the hash");
+        }
+    }
+
+    #[test]
+    fn operand_changes_change_the_hash() {
+        let a = method(vec![
+            DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(1), b: VReg(2) },
+            DexInsn::Return { src: VReg(0) },
+        ]);
+        let mut b = a.clone();
+        b.insns[0] = DexInsn::Bin { op: BinOp::Sub, dst: VReg(0), a: VReg(1), b: VReg(2) };
+        assert_ne!(key(&a), key(&b));
+        let mut c = a.clone();
+        c.insns[0] = DexInsn::Bin { op: BinOp::Add, dst: VReg(0), a: VReg(2), b: VReg(1) };
+        assert_ne!(key(&a), key(&c));
+    }
+}

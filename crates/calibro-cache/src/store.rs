@@ -1,0 +1,282 @@
+//! The content-addressed artifact store: an in-memory map from
+//! [`CacheKey`] to [`CacheEntry`] with FIFO eviction, hit/miss/evict
+//! counters, and an optional on-disk persistence layer.
+//!
+//! The store is shared across compile workers: `get`/`insert` take
+//! `&self` and synchronize internally, so the driver's index-order slot
+//! mechanism can probe and populate it from any worker thread without
+//! affecting output order.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk;
+use crate::entry::CacheEntry;
+use crate::error::CacheError;
+use crate::hash::CacheKey;
+
+/// Configuration of one [`ArtifactStore`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Maximum in-memory entries before FIFO eviction kicks in.
+    pub max_entries: usize,
+    /// Directory for the persistent layer; `None` keeps the cache
+    /// purely in-memory. Entries are written best-effort (an unwritable
+    /// directory never fails a build) but *read* strictly: a corrupt
+    /// entry surfaces as a [`CacheError`], never as wrong code.
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig { max_entries: 1 << 20, disk_dir: None }
+    }
+}
+
+/// A monotonic snapshot of store activity. Per-build numbers are the
+/// difference of two snapshots (see [`CacheStats::since`]).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// In-memory lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (in memory or on disk).
+    pub misses: u64,
+    /// Entries inserted.
+    pub stores: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Lookups satisfied from the disk layer.
+    pub disk_hits: u64,
+    /// Entries persisted to the disk layer.
+    pub disk_stores: u64,
+}
+
+impl CacheStats {
+    /// The activity between `earlier` and `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stores: self.stores - earlier.stores,
+            evictions: self.evictions - earlier.evictions,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            disk_stores: self.disk_stores - earlier.disk_stores,
+        }
+    }
+
+    /// Hit fraction in `[0, 1]` (counting disk hits as hits); `0` when
+    /// no lookups happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct StoreInner {
+    map: HashMap<CacheKey, Arc<CacheEntry>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// The content-addressed store. Cheap to share: wrap in `Arc` or hold
+/// per [`BuildSession`](https://docs.rs); all methods take `&self`.
+pub struct ArtifactStore {
+    inner: Mutex<StoreInner>,
+    config: CacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stores: AtomicU64,
+}
+
+impl Default for ArtifactStore {
+    fn default() -> ArtifactStore {
+        ArtifactStore::new(CacheConfig::default())
+    }
+}
+
+impl core::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("entries", &self.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store under `config`.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> ArtifactStore {
+        ArtifactStore {
+            inner: Mutex::new(StoreInner { map: HashMap::new(), order: VecDeque::new() }),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_stores: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of in-memory entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when the store holds nothing in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks `key` up: memory first, then the disk layer (validating
+    /// and promoting into memory on a disk hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a disk entry exists but is corrupt
+    /// or unreadable — the caller must surface this, not mask it as a
+    /// miss, so poisoned caches are diagnosed instead of silently
+    /// recompiled around.
+    pub fn get(&self, key: CacheKey) -> Result<Option<Arc<CacheEntry>>, CacheError> {
+        if let Some(entry) = self.inner.lock().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(Arc::clone(entry)));
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            if let Some(entry) = disk::load(dir, key)? {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(self.insert_inner(key, entry, false)));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    }
+
+    /// Inserts an entry computed for `key`, returning the shared handle
+    /// (an existing entry for the same key is kept — content addressing
+    /// makes both byte-equivalent). Persists to disk when configured.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
+        self.insert_inner(key, entry, true)
+    }
+
+    fn insert_inner(&self, key: CacheKey, entry: CacheEntry, persist: bool) -> Arc<CacheEntry> {
+        if persist {
+            if let Some(dir) = &self.config.disk_dir {
+                if disk::store(dir, key, &entry).is_ok() {
+                    self.disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut inner = self.inner.lock();
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(entry);
+        inner.map.insert(key, Arc::clone(&arc));
+        inner.order.push_back(key);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        while inner.map.len() > self.config.max_entries.max(1) {
+            if let Some(oldest) = inner.order.pop_front() {
+                if inner.map.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                break;
+            }
+        }
+        arc
+    }
+
+    /// A snapshot of the cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_stores: self.disk_stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_codegen::{CompiledMethod, MethodMetadata};
+    use calibro_dex::MethodId;
+    use calibro_hgraph::PassStats;
+
+    fn entry(id: u32) -> CacheEntry {
+        CacheEntry {
+            compiled: CompiledMethod {
+                method: MethodId(id),
+                insns: vec![calibro_isa::Insn::Nop],
+                pool: vec![],
+                relocs: vec![],
+                metadata: MethodMetadata::default(),
+                stack_maps: vec![],
+            },
+            pass_stats: PassStats::default(),
+            template: None,
+        }
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey { hi: n, lo: !n }
+    }
+
+    #[test]
+    fn hit_miss_and_store_counters() {
+        let store = ArtifactStore::default();
+        assert!(store.get(key(1)).unwrap().is_none());
+        store.insert(key(1), entry(1));
+        let hit = store.get(key(1)).unwrap().expect("inserted entry is found");
+        assert_eq!(hit.compiled.method, MethodId(1));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let store = ArtifactStore::new(CacheConfig { max_entries: 2, disk_dir: None });
+        for i in 0..4 {
+            store.insert(key(i), entry(i as u32));
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 2);
+        // Oldest entries gone, newest retained.
+        assert!(store.get(key(0)).unwrap().is_none());
+        assert!(store.get(key(3)).unwrap().is_some());
+    }
+
+    #[test]
+    fn double_insert_keeps_first_entry() {
+        let store = ArtifactStore::default();
+        let a = store.insert(key(9), entry(1));
+        let b = store.insert(key(9), entry(2));
+        assert_eq!(a.compiled.method, b.compiled.method);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,10 +1,13 @@
 //! The conformance driver.
 //!
 //! ```text
-//! conform --seeds N [--generator NAME] [--no-shrink]
+//! conform --seeds N [--generator NAME] [--no-shrink] [--warm]
 //!     Sweep N seeds through the full configuration matrix. Exit 0 on
 //!     zero divergences; on a divergence, shrink it, print a ready-to-
-//!     paste reproducer plus the corpus seed line, and exit 1.
+//!     paste reproducer plus the corpus seed line, and exit 1. With
+//!     --warm, every matrix row is built twice through one BuildSession
+//!     and the cache-replayed OAT must match the cold build bit for bit
+//!     in addition to passing the oracle.
 //!
 //! conform --shrink GENERATOR SEED VARIANT-LABEL
 //!     Re-run one known case and minimize it. Exits 1 if the case does
@@ -20,8 +23,8 @@
 use std::process::ExitCode;
 
 use calibro_conform::{
-    check_variant, divergence_of, find_detected_mutation, find_variant, full_matrix, reproducer,
-    run_baseline, shrink_divergence, Program, SeedLine,
+    check_variant, check_variant_warm, divergence_of, find_detected_mutation, find_variant,
+    full_matrix, reproducer, run_baseline, shrink_divergence, Program, SeedLine,
 };
 use calibro_workloads::generators::all_generators;
 
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
     let mut seed_base = 0u64;
     let mut generator_filter: Option<String> = None;
     let mut do_shrink = true;
+    let mut warm = false;
     let mut mode = Mode::Sweep;
     let mut positional = Vec::new();
 
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
                 generator_filter = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--no-shrink" => do_shrink = false,
+            "--warm" => warm = true,
             "--shrink" => mode = Mode::ShrinkOne,
             "--mutate" => mode = Mode::Mutate,
             "--help" | "-h" => {
@@ -62,7 +67,7 @@ fn main() -> ExitCode {
     }
 
     match mode {
-        Mode::Sweep => sweep(seeds, generator_filter.as_deref(), do_shrink),
+        Mode::Sweep => sweep(seeds, generator_filter.as_deref(), do_shrink, warm),
         Mode::ShrinkOne => shrink_one(&positional),
         Mode::Mutate => mutate(seeds.min(8), seed_base),
     }
@@ -76,15 +81,16 @@ enum Mode {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: conform [--seeds N] [--generator NAME] [--no-shrink]\n\
+        "usage: conform [--seeds N] [--generator NAME] [--no-shrink] [--warm]\n\
          \x20      conform --shrink GENERATOR SEED VARIANT-LABEL\n\
          \x20      conform --mutate [--seeds N] [--seed S]"
     );
     std::process::exit(2);
 }
 
-/// Sweep mode: every seed × every generator × the full matrix.
-fn sweep(seeds: usize, generator_filter: Option<&str>, do_shrink: bool) -> ExitCode {
+/// Sweep mode: every seed × every generator × the full matrix. With
+/// `warm`, every row also exercises a cache-replayed rebuild.
+fn sweep(seeds: usize, generator_filter: Option<&str>, do_shrink: bool, warm: bool) -> ExitCode {
     let generators = all_generators();
     let variants = full_matrix();
     let mut programs = 0usize;
@@ -102,7 +108,12 @@ fn sweep(seeds: usize, generator_filter: Option<&str>, do_shrink: bool) -> ExitC
             };
             for variant in &variants {
                 checks += 1;
-                if let Err(d) = check_variant(&program, &baseline, variant, None) {
+                let result = if warm {
+                    check_variant_warm(&program, &baseline, variant)
+                } else {
+                    check_variant(&program, &baseline, variant, None)
+                };
+                if let Err(d) = result {
                     let label = variant.label.clone();
                     return report(&program, &label, &d, do_shrink);
                 }
@@ -115,8 +126,9 @@ fn sweep(seeds: usize, generator_filter: Option<&str>, do_shrink: bool) -> ExitC
             );
         }
     }
+    let kind = if warm { "warm " } else { "" };
     println!(
-        "conform: {programs} programs x {} matrix rows = {checks} checks, zero divergences",
+        "conform: {programs} programs x {} matrix rows = {checks} {kind}checks, zero divergences",
         variants.len()
     );
     ExitCode::SUCCESS

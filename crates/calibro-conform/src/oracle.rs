@@ -87,6 +87,15 @@ pub enum Divergence {
         /// Variant total cycles over the trace.
         variant: u64,
     },
+    /// A warm rebuild through the populated artifact cache did not
+    /// reproduce the cold build byte for byte (or failed to replay every
+    /// method from the cache).
+    WarmMismatch {
+        /// Variant label.
+        label: String,
+        /// What differed.
+        detail: String,
+    },
 }
 
 impl Divergence {
@@ -100,7 +109,8 @@ impl Divergence {
             | Divergence::Trap { label, .. }
             | Divergence::OutcomeMismatch { label, .. }
             | Divergence::StateMismatch { label, .. }
-            | Divergence::CycleImbalance { label, .. } => label,
+            | Divergence::CycleImbalance { label, .. }
+            | Divergence::WarmMismatch { label, .. } => label,
         }
     }
 }
@@ -128,6 +138,9 @@ impl core::fmt::Display for Divergence {
             }
             Divergence::CycleImbalance { label, baseline, variant } => {
                 write!(f, "[{label}] cycle imbalance: baseline {baseline}, variant {variant}")
+            }
+            Divergence::WarmMismatch { label, detail } => {
+                write!(f, "[{label}] warm rebuild mismatch: {detail}")
             }
         }
     }
@@ -245,6 +258,52 @@ pub fn check_variant(
     check_oat(program, baseline, &variant.label, &oat)
 }
 
+/// Builds one variant twice through the same [`BuildSession`] — cold,
+/// then warm through the now-populated artifact cache — and checks that
+/// the warm rebuild (a) replayed every method from the cache, (b)
+/// reproduced the cold OAT byte for byte, and (c) still passes the
+/// differential oracle against the baseline.
+///
+/// # Errors
+///
+/// Returns a [`Divergence::WarmMismatch`] if the warm rebuild diverges
+/// from the cold one, or the first oracle divergence otherwise.
+pub fn check_variant_warm(
+    program: &Program,
+    baseline: &BaselineRun,
+    variant: &Variant,
+) -> Result<(), Divergence> {
+    let session = calibro::BuildSession::new();
+    let cold = session.build(&program.dex, &variant.options).map_err(|e| {
+        Divergence::BuildFailed { label: variant.label.clone(), error: e.to_string() }
+    })?;
+    let warm =
+        session.build(&program.dex, &variant.options).map_err(|e| Divergence::WarmMismatch {
+            label: variant.label.clone(),
+            detail: format!("warm rebuild failed: {e}"),
+        })?;
+    if warm.stats.methods_from_cache != warm.stats.methods {
+        return Err(Divergence::WarmMismatch {
+            label: variant.label.clone(),
+            detail: format!(
+                "only {} of {} methods replayed from cache",
+                warm.stats.methods_from_cache, warm.stats.methods
+            ),
+        });
+    }
+    if cold.oat.words != warm.oat.words || cold.oat.text_digest() != warm.oat.text_digest() {
+        return Err(Divergence::WarmMismatch {
+            label: variant.label.clone(),
+            detail: format!(
+                "OAT digests differ: cold {:#018x}, warm {:#018x}",
+                cold.oat.text_digest(),
+                warm.oat.text_digest()
+            ),
+        });
+    }
+    check_oat(program, baseline, &variant.label, &warm.oat)
+}
+
 /// Runs the whole matrix row list for one program.
 ///
 /// # Errors
@@ -258,6 +317,22 @@ pub fn check_program(program: &Program, variants: &[Variant]) -> Result<(), Dive
     Ok(())
 }
 
+/// Like [`check_program`], but every variant is verified through a warm
+/// rebuild: the program is built twice through a populated cache and the
+/// replayed OAT must match the cold build bit for bit *and* satisfy the
+/// oracle.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found, or the baseline's own failure.
+pub fn check_program_warm(program: &Program, variants: &[Variant]) -> Result<(), Divergence> {
+    let baseline = run_baseline(program)?;
+    for variant in variants {
+        check_variant_warm(program, &baseline, variant)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +342,12 @@ mod tests {
     fn clean_program_passes_the_full_matrix() {
         let program = Program::from_seed("art-call", 1).unwrap();
         check_program(&program, &full_matrix()).expect("no divergence on a clean build");
+    }
+
+    #[test]
+    fn warm_rebuilds_pass_the_full_matrix() {
+        let program = Program::from_seed("art-call", 2).unwrap();
+        check_program_warm(&program, &full_matrix()).expect("warm rebuilds match cold builds");
     }
 
     #[test]

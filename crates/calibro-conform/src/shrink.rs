@@ -304,11 +304,7 @@ fn compact(current: &mut Program, fails: &dyn Fn(&Program) -> bool, root_names: 
     let mut keep = vec![false; methods.len()];
     let mut stack: Vec<usize> = current.trace.iter().map(|c| c.method.index()).collect();
     stack.extend(
-        methods
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| root_names.contains(&m.name))
-            .map(|(k, _)| k),
+        methods.iter().enumerate().filter(|(_, m)| root_names.contains(&m.name)).map(|(k, _)| k),
     );
     while let Some(k) = stack.pop() {
         if keep[k] {

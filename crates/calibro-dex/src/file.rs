@@ -79,6 +79,17 @@ impl DexFile {
         &self.classes[id.index()]
     }
 
+    /// Looks up a method mutably (incremental-build harnesses edit
+    /// method bodies in place to model an app update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn method_mut(&mut self, id: MethodId) -> &mut Method {
+        &mut self.methods[id.index()]
+    }
+
     /// All methods in id order.
     #[must_use]
     pub fn methods(&self) -> &[Method] {

@@ -40,4 +40,4 @@ pub use file::DexFile;
 pub use ids::{ClassId, FieldId, MethodId, StaticId, VReg};
 pub use insn::{BinOp, Cmp, DexInsn, InvokeKind};
 pub use method::{Class, Method};
-pub use verify::{verify, VerifyError};
+pub use verify::{verify, verify_intrinsic, verify_references, VerifyError};

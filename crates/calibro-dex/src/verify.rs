@@ -100,12 +100,26 @@ impl std::error::Error for VerifyError {}
 /// Returns the first [`VerifyError`] encountered, in method order.
 pub fn verify(dex: &DexFile) -> Result<(), VerifyError> {
     for method in dex.methods() {
-        verify_method(dex, method)?;
+        verify_intrinsic(method)?;
+        verify_references(dex, method)?;
     }
     Ok(())
 }
 
-fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
+/// The checks that read only the method's own content: body shape,
+/// register bounds, branch targets, argument counts, termination, and
+/// the definite-assignment dataflow.
+///
+/// These are exactly the checks an incremental build may skip for a
+/// method replayed from the artifact cache: the cache key covers every
+/// byte they read, so a hit proves they passed when the entry was
+/// created. The contextual [`verify_references`] checks must still run
+/// on every build.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_intrinsic(method: &Method) -> Result<(), VerifyError> {
     let id = method.id;
     if method.is_native {
         if !method.insns.is_empty() {
@@ -137,53 +151,9 @@ fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
                 return Err(VerifyError::BadBranchTarget { method: id, insn: idx, target });
             }
         }
-        // References.
         match insn {
-            DexInsn::Invoke { method: callee, args, .. } => {
-                if callee.index() >= dex.methods().len() {
-                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
-                }
-                if args.len() > 8 {
-                    return Err(VerifyError::TooManyArgs {
-                        method: id,
-                        insn: idx,
-                        count: args.len(),
-                    });
-                }
-                if dex.method(*callee).is_native {
-                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
-                }
-            }
-            DexInsn::InvokeNative { method: callee, args, .. } => {
-                if callee.index() >= dex.methods().len() {
-                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
-                }
-                if args.len() > 8 {
-                    return Err(VerifyError::TooManyArgs {
-                        method: id,
-                        insn: idx,
-                        count: args.len(),
-                    });
-                }
-                if !dex.method(*callee).is_native {
-                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
-                }
-            }
-            DexInsn::NewInstance { class, .. } if class.index() >= dex.classes().len() => {
-                return Err(VerifyError::BadClassRef { method: id, insn: idx });
-            }
-            DexInsn::IGet { field, .. } | DexInsn::IPut { field, .. } => {
-                // Fields are class-relative; without static type info we
-                // bound-check against the largest class layout.
-                let max_fields = dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0);
-                if field.0 >= max_fields {
-                    return Err(VerifyError::BadFieldRef { method: id, insn: idx });
-                }
-            }
-            DexInsn::SGet { slot, .. } | DexInsn::SPut { slot, .. }
-                if slot.0 >= dex.num_statics() =>
-            {
-                return Err(VerifyError::BadStaticRef { method: id, insn: idx });
+            DexInsn::Invoke { args, .. } | DexInsn::InvokeNative { args, .. } if args.len() > 8 => {
+                return Err(VerifyError::TooManyArgs { method: id, insn: idx, count: args.len() });
             }
             DexInsn::Switch { targets, .. } if targets.is_empty() => {
                 return Err(VerifyError::EmptySwitch { method: id, insn: idx });
@@ -196,6 +166,54 @@ fn verify_method(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
         return Err(VerifyError::FallsOffEnd { method: id });
     }
     check_definite_assignment(method)
+}
+
+/// The contextual checks: every method, class, field, and static slot a
+/// method references must exist in `dex`, and invoke kinds must match
+/// the callee's nativeness. These depend on the rest of the program, so
+/// they run on every build — cached or not.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_references(dex: &DexFile, method: &Method) -> Result<(), VerifyError> {
+    let id = method.id;
+    // Fields are class-relative; without static type info we bound-check
+    // against the largest class layout.
+    let max_fields = dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0);
+    for (idx, insn) in method.insns.iter().enumerate() {
+        match insn {
+            DexInsn::Invoke { method: callee, .. } => {
+                if callee.index() >= dex.methods().len() {
+                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
+                }
+                if dex.method(*callee).is_native {
+                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
+                }
+            }
+            DexInsn::InvokeNative { method: callee, .. } => {
+                if callee.index() >= dex.methods().len() {
+                    return Err(VerifyError::BadMethodRef { method: id, insn: idx });
+                }
+                if !dex.method(*callee).is_native {
+                    return Err(VerifyError::WrongInvokeKind { method: id, insn: idx });
+                }
+            }
+            DexInsn::NewInstance { class, .. } if class.index() >= dex.classes().len() => {
+                return Err(VerifyError::BadClassRef { method: id, insn: idx });
+            }
+            DexInsn::IGet { field, .. } | DexInsn::IPut { field, .. } if field.0 >= max_fields => {
+                return Err(VerifyError::BadFieldRef { method: id, insn: idx });
+            }
+            DexInsn::SGet { slot, .. } | DexInsn::SPut { slot, .. }
+                if slot.0 >= dex.num_statics() =>
+            {
+                return Err(VerifyError::BadStaticRef { method: id, insn: idx });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Forward may-be-uninitialized dataflow over the instruction CFG, as the

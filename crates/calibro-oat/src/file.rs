@@ -113,6 +113,20 @@ impl OatFile {
         bytes
     }
 
+    /// A FNV-1a digest of the text segment, for cheap byte-identity
+    /// comparisons (warm-vs-cold rebuild checks, conformance rows).
+    #[must_use]
+    pub fn text_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in &self.words {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Total words attributable to outlined functions and thunks
     /// (diagnostics for the experiment harness).
     #[must_use]

@@ -29,6 +29,11 @@ pub enum LinkError {
     UnresolvedTarget { method: usize, at: usize },
     /// A relocation site is not a `bl` instruction.
     NotACallSite { method: usize, at: usize },
+    /// A thunk was referenced during encoding without ever being
+    /// assigned an offset (an internal layout inconsistency — reachable
+    /// only through malformed input such as a poisoned artifact cache,
+    /// so it surfaces as an error rather than an indexing panic).
+    MissingThunk { kind: ThunkKind },
     /// Final encoding failed (usually a branch out of range).
     Encode(EncodeError),
 }
@@ -44,6 +49,9 @@ impl fmt::Display for LinkError {
             }
             LinkError::NotACallSite { method, at } => {
                 write!(f, "method {method}: relocation at word {at} is not a bl")
+            }
+            LinkError::MissingThunk { kind } => {
+                write!(f, "thunk {kind:?} referenced but never laid out")
             }
             LinkError::Encode(e) => write!(f, "encoding failed: {e}"),
         }
@@ -157,7 +165,7 @@ pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> 
 
     let mut thunk_records = Vec::with_capacity(thunk_codes.len());
     for (kind, code) in &thunk_codes {
-        let off = used_thunks[kind];
+        let off = *used_thunks.get(kind).ok_or(LinkError::MissingThunk { kind: *kind })?;
         for insn in code {
             words.push(insn.encode()?);
         }

@@ -385,6 +385,50 @@ pub fn generate(spec: &AppSpec) -> App {
     App { name: spec.name.clone(), dex, env, trace }
 }
 
+/// Deterministically mutates roughly `fraction` of the app's Java
+/// methods in place — the incremental-rebuild workload: an app update
+/// touches a small slice of the code while everything else stays
+/// byte-identical. Each selected method has the literal of its first
+/// `Const` or `BinLit` instruction flipped, which changes its bytecode
+/// (and therefore its content hash) without affecting verifiability.
+/// Returns the mutated method ids, in id order.
+///
+/// The same `(seed, fraction)` always picks the same methods, so warm
+/// and cold builds of the mutated file see identical inputs.
+pub fn mutate_methods(dex: &mut DexFile, seed: u64, fraction: f64) -> Vec<MethodId> {
+    let java: Vec<MethodId> = dex.methods().iter().filter(|m| !m.is_native).map(|m| m.id).collect();
+    if java.is_empty() {
+        return Vec::new();
+    }
+    let want = ((java.len() as f64 * fraction).ceil() as usize).clamp(1, java.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mutated = Vec::new();
+    let mut tried = std::collections::HashSet::new();
+    while mutated.len() < want && tried.len() < java.len() {
+        let id = java[rng.gen_range(0..java.len())];
+        if !tried.insert(id) {
+            continue;
+        }
+        let method = dex.method_mut(id);
+        let flipped = method.insns.iter_mut().find_map(|insn| match insn {
+            DexInsn::Const { value, .. } => {
+                *value ^= 1;
+                Some(())
+            }
+            DexInsn::BinLit { lit, .. } => {
+                *lit ^= 1;
+                Some(())
+            }
+            _ => None,
+        });
+        if flipped.is_some() {
+            mutated.push(id);
+        }
+    }
+    mutated.sort_unstable();
+    mutated
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,5 +476,23 @@ mod tests {
         let app = generate(&AppSpec::small("t", 11));
         let has_native = app.dex.methods().iter().any(|m| m.is_native);
         assert!(has_native);
+    }
+
+    #[test]
+    fn mutate_methods_is_deterministic_and_small() {
+        let spec = AppSpec::small("t", 3);
+        let mut a = generate(&spec).dex;
+        let mut b = generate(&spec).dex;
+        let ma = mutate_methods(&mut a, 99, 0.05);
+        let mb = mutate_methods(&mut b, 99, 0.05);
+        assert_eq!(ma, mb, "same seed must pick the same methods");
+        assert!(!ma.is_empty() && ma.len() <= a.methods().len() / 10);
+        calibro_dex::verify(&a).unwrap();
+        // Untouched methods stay byte-identical to the original.
+        let fresh = generate(&spec).dex;
+        for m in a.methods() {
+            let same = m.insns == fresh.method(m.id).insns;
+            assert_eq!(same, !ma.contains(&m.id), "method {} mutation state", m.id);
+        }
     }
 }

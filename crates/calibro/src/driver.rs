@@ -1,20 +1,19 @@
-//! The `dex2oat`-style build driver: Figure 5 of the paper end to end —
-//! per-method HGraph construction, optimization passes, code generation
-//! (with optional CTO and metadata collection), optional link-time
-//! outlining (LTBO, with PlOpti / HfOpti), and final linking.
+//! Build configuration, statistics and errors for the `dex2oat`-style
+//! driver, plus the one-shot [`build`] entry point. The staged pipeline
+//! itself — frontend, codegen, outline, link, with the content-addressed
+//! artifact cache between builds — lives in
+//! [`pipeline`](crate::pipeline).
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
+use calibro_cache::{CacheError, CacheStats};
 use calibro_dex::DexFile;
-use calibro_hgraph::{
-    build_hgraph, run_inlining, run_pipeline_with, HGraph, InlineConfig, PassStats, PipelineConfig,
-};
-use calibro_oat::{link, LinkError, LinkInput, OatFile, DEFAULT_BASE_ADDRESS};
+use calibro_hgraph::{PassStats, PipelineConfig};
+use calibro_oat::{LinkError, OatFile, DEFAULT_BASE_ADDRESS};
 
-use crate::ltbo::{run_ltbo, LtboConfig, LtboMode, LtboStats};
+use crate::ltbo::{LtboMode, LtboStats};
+use crate::pipeline::BuildSession;
 
 /// Full build configuration — one row of the paper's Table 4 matrix.
 #[derive(Clone, Debug)]
@@ -132,10 +131,13 @@ pub struct WorkerLoad {
 /// the observability layer behind `BENCH_*.json`).
 #[derive(Clone, Debug, Default)]
 pub struct BuildStats {
-    /// Time compiling methods (HGraph + passes + codegen).
+    /// Time compiling methods (keys + HGraph + passes + codegen).
     pub compile_time: Duration,
     /// Time verifying the input dex.
     pub verify_time: Duration,
+    /// Time computing cache keys and probing the artifact store (part
+    /// of `compile_time`).
+    pub key_time: Duration,
     /// Time building HGraphs (part of `compile_time`).
     pub graph_time: Duration,
     /// Time in whole-program inlining (part of `compile_time`; zero
@@ -162,6 +164,12 @@ pub struct BuildStats {
     pub ltbo: LtboStats,
     /// Methods compiled.
     pub methods: usize,
+    /// Methods replayed from the artifact cache instead of compiled
+    /// (part of `methods`).
+    pub methods_from_cache: usize,
+    /// Artifact-store activity attributable to this build (hits,
+    /// misses, stores, evictions and the disk-layer counters).
+    pub cache: CacheStats,
     /// Total instruction words before LTBO.
     pub words_before_ltbo: usize,
 }
@@ -185,13 +193,17 @@ impl BuildStats {
             .collect();
         let p = &self.passes;
         let l = &self.ltbo;
+        let c = &self.cache;
         format!(
             concat!(
                 "{{",
-                r#""methods":{},"words_before_ltbo":{},"compile_threads":{},"#,
-                r#""times_us":{{"verify":{},"graphs":{},"inline":{},"codegen":{},"#,
+                r#""methods":{},"methods_from_cache":{},"words_before_ltbo":{},"#,
+                r#""compile_threads":{},"#,
+                r#""times_us":{{"verify":{},"keys":{},"graphs":{},"inline":{},"codegen":{},"#,
                 r#""compile":{},"ltbo":{},"link":{},"total":{}}},"#,
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
+                r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
+                r#""disk_hits":{},"disk_stores":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
                 r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
@@ -202,9 +214,11 @@ impl BuildStats {
                 "}}",
             ),
             self.methods,
+            self.methods_from_cache,
             self.words_before_ltbo,
             self.compile_threads,
             us(self.verify_time),
+            us(self.key_time),
             us(self.graph_time),
             us(self.inline_time),
             us(self.codegen_time),
@@ -214,6 +228,12 @@ impl BuildStats {
             us(self.total_time()),
             us(self.compile_cpu_time),
             per_worker.join(","),
+            c.hits,
+            c.misses,
+            c.stores,
+            c.evictions,
+            c.disk_hits,
+            c.disk_stores,
             p.folded,
             p.copies_propagated,
             p.cse_hits,
@@ -250,6 +270,10 @@ pub struct BuildOutput {
 pub enum BuildError {
     /// The input dex file failed verification.
     Verify(calibro_dex::VerifyError),
+    /// The persistent artifact cache holds a corrupt or unreadable
+    /// entry for one of this build's keys. Surfaced as an error (never
+    /// silently recompiled around) so poisoned caches get diagnosed.
+    Cache(CacheError),
     /// Linking failed.
     Link(LinkError),
 }
@@ -258,189 +282,39 @@ impl core::fmt::Display for BuildError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             BuildError::Verify(e) => write!(f, "dex verification failed: {e}"),
+            BuildError::Cache(e) => write!(f, "artifact cache failed: {e}"),
             BuildError::Link(e) => write!(f, "linking failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for BuildError {}
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Verify(e) => Some(e),
+            BuildError::Cache(e) => Some(e),
+            BuildError::Link(e) => Some(e),
+        }
+    }
+}
 
 /// Compiles a dex file into an OAT file under the given options — the
-/// reproduction's `dex2oat` entry point.
+/// reproduction's `dex2oat` entry point. Runs the staged pipeline
+/// through a one-shot [`BuildSession`]; callers that rebuild related
+/// inputs should keep a session alive instead, so unchanged methods
+/// replay from its artifact cache.
 ///
 /// # Errors
 ///
 /// Returns [`BuildError`] if the input fails bytecode verification or
 /// the final link fails.
 pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
-    let verify_start = Instant::now();
-    calibro_dex::verify(dex).map_err(BuildError::Verify)?;
-    let threads = options.compile_threads.max(1);
-    let mut stats = BuildStats {
-        verify_time: verify_start.elapsed(),
-        compile_threads: threads,
-        ..BuildStats::default()
-    };
-
-    // --- Compile every method (Figure 5 left half). ---------------------
-    let collect_metadata = options.ltbo.is_some() || options.force_metadata;
-    let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
-    let start = Instant::now();
-    let inputs = dex.methods();
-
-    // Build all graphs first so whole-program inlining can see callees.
-    // Graph construction is per-method, so it fans out across workers.
-    let (graphs, graph_loads) = run_indexed(inputs.len(), threads, |i| {
-        let m = &inputs[i];
-        if m.is_native {
-            None
-        } else {
-            Some(build_hgraph(m))
-        }
-    });
-    stats.graph_time = start.elapsed();
-
-    // Whole-program inlining reads callee graphs while rewriting callers,
-    // so it stays a sequential pre-phase between the two parallel fans.
-    let inline_start = Instant::now();
-    let mut graphs = graphs;
-    if options.inlining {
-        run_inlining(&mut graphs, &InlineConfig::default());
-    }
-    stats.inline_time = inline_start.elapsed();
-
-    // Pass pipeline + codegen: each method is independent, and results
-    // land in index-order slots, so the linked bytes are identical for
-    // every thread count. Workers take ownership of their graph through
-    // a per-slot mutex (locked exactly once, by the worker that drew the
-    // index from the cursor).
-    let codegen_start = Instant::now();
-    let cells: Vec<parking_lot::Mutex<Option<HGraph>>> =
-        graphs.into_iter().map(parking_lot::Mutex::new).collect();
-    let (compiled, codegen_loads) =
-        run_indexed(inputs.len(), threads, |i| match cells[i].lock().take() {
-            None => (compile_native_stub(inputs[i].id, &codegen_opts), PassStats::default()),
-            Some(mut graph) => {
-                let pass_stats = run_pipeline_with(&mut graph, &options.passes);
-                (compile_method(&graph, &codegen_opts), pass_stats)
-            }
-        });
-    stats.codegen_time = codegen_start.elapsed();
-
-    let mut methods: Vec<CompiledMethod> = Vec::with_capacity(compiled.len());
-    for (method, pass_stats) in compiled {
-        // Merged in method-index order — deterministic across schedules.
-        stats.passes += pass_stats;
-        methods.push(method);
-    }
-    stats.per_worker = codegen_loads;
-    stats.compile_cpu_time = graph_loads.iter().chain(&stats.per_worker).map(|w| w.busy).sum();
-    stats.methods = methods.len();
-    stats.words_before_ltbo = methods.iter().map(CompiledMethod::size_words).sum();
-    stats.compile_time = start.elapsed();
-
-    // --- LTBO (Figure 5: "LTBO.2" before final linking). -----------------
-    let mut outlined = Vec::new();
-    if let Some(mode) = options.ltbo {
-        let start = Instant::now();
-        let config = LtboConfig {
-            mode,
-            min_len: options.min_seq_len,
-            hot_methods: options.hot_methods.clone(),
-        };
-        let result = run_ltbo(&mut methods, &config);
-        outlined = result.outlined;
-        stats.ltbo = result.stats;
-        stats.ltbo_time = start.elapsed();
-    }
-
-    // --- Link. -----------------------------------------------------------
-    let start = Instant::now();
-    let oat =
-        link(&LinkInput { methods, outlined }, options.base_address).map_err(BuildError::Link)?;
-    stats.link_time = start.elapsed();
-
-    Ok(BuildOutput { oat, stats })
-}
-
-/// Runs `f(0..count)` across up to `threads` workers, returning results
-/// in index order plus one [`WorkerLoad`] per worker.
-///
-/// Workers draw indices from a shared atomic cursor (the same
-/// work-stealing shape as `calibro_suffix::detect_parallel`) and write
-/// each result into its index's dedicated slot, so the output order —
-/// and therefore everything derived from it — is independent of the
-/// schedule. With `threads <= 1` (or nothing to do) the closure runs on
-/// the calling thread with no synchronization at all.
-fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerLoad>)
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || count <= 1 {
-        let start = Instant::now();
-        let out: Vec<T> = (0..count).map(f).collect();
-        return (out, vec![WorkerLoad { items: count, busy: start.elapsed() }]);
-    }
-    let workers = threads.min(count);
-    let slots: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let loads = crossbeam::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|_| {
-                    let start = Instant::now();
-                    let mut items = 0;
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        *slots[i].lock() = Some(f(i));
-                        items += 1;
-                    }
-                    WorkerLoad { items, busy: start.elapsed() }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("compile worker panicked"))
-            .collect::<Vec<WorkerLoad>>()
-    })
-    .expect("compile worker pool panicked");
-    let out = slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index slot is filled"))
-        .collect();
-    (out, loads)
+    BuildSession::new().build(dex, options)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn run_indexed_preserves_index_order() {
-        for threads in [1, 2, 8, 64] {
-            let (out, loads) = run_indexed(100, threads, |i| i * 3);
-            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
-            assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 100);
-            assert!(loads.len() <= threads.max(1));
-        }
-    }
-
-    #[test]
-    fn run_indexed_handles_empty_and_oversubscribed() {
-        let (out, loads) = run_indexed(0, 8, |i| i);
-        assert!(out.is_empty());
-        assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 0);
-        // More threads than items: never spawns more workers than items.
-        let (out, loads) = run_indexed(3, 16, |i| i + 1);
-        assert_eq!(out, vec![1, 2, 3]);
-        assert!(loads.len() <= 3);
-    }
 
     #[test]
     fn stats_json_is_well_formed() {

@@ -1,0 +1,202 @@
+//! Canonical fingerprints of build configuration — the "BuildOptions
+//! fingerprint" component of every per-method cache key.
+//!
+//! Every function destructures its input exhaustively (no `..`): adding
+//! a field to [`BuildOptions`], [`PipelineConfig`], [`LtboConfig`] or a
+//! variant to [`LtboMode`] fails compilation here, so a new knob can
+//! never silently be left out of the cache key (which would let two
+//! different configurations collide on one cached artifact — a stale-hit
+//! miscompile).
+//!
+//! The fingerprint covers *every* field, including fields such as
+//! `compile_threads` and `base_address` that provably do not change
+//! per-method code bytes. That costs a few avoidable cache misses and
+//! buys an unconditional safety argument: equal keys ⇒ equal full
+//! configuration ⇒ equal compile inputs.
+
+use calibro_cache::{hash_method, hash_program, CacheKey, StableHasher, SCHEMA_VERSION};
+use calibro_dex::{DexFile, Method};
+use calibro_hgraph::PipelineConfig;
+
+use crate::driver::BuildOptions;
+use crate::ltbo::{LtboConfig, LtboMode};
+
+/// Feeds the full [`BuildOptions`] into `h`.
+pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
+    let BuildOptions {
+        cto,
+        ltbo,
+        min_seq_len,
+        hot_methods,
+        base_address,
+        force_metadata,
+        inlining,
+        compile_threads,
+        passes,
+    } = options;
+    h.write_tag(0x42); // 'B'
+    h.write_bool(*cto);
+    match ltbo {
+        None => h.write_tag(0),
+        Some(mode) => {
+            h.write_tag(1);
+            fingerprint_ltbo_mode(mode, h);
+        }
+    }
+    h.write_usize(*min_seq_len);
+    match hot_methods {
+        None => h.write_tag(0),
+        Some(set) => {
+            h.write_tag(1);
+            let mut sorted: Vec<u32> = set.iter().copied().collect();
+            sorted.sort_unstable();
+            h.write_usize(sorted.len());
+            for id in sorted {
+                h.write_u32(id);
+            }
+        }
+    }
+    h.write_u64(*base_address);
+    h.write_bool(*force_metadata);
+    h.write_bool(*inlining);
+    h.write_usize(*compile_threads);
+    fingerprint_pipeline(passes, h);
+}
+
+/// Feeds a [`PipelineConfig`] into `h`.
+pub fn fingerprint_pipeline(config: &PipelineConfig, h: &mut StableHasher) {
+    let PipelineConfig {
+        copy_prop,
+        constant_folding,
+        simplify,
+        cse,
+        dce,
+        return_merge,
+        remove_unreachable,
+    } = config;
+    h.write_tag(0x51); // 'Q'
+    h.write_bool(*copy_prop);
+    h.write_bool(*constant_folding);
+    h.write_bool(*simplify);
+    h.write_bool(*cse);
+    h.write_bool(*dce);
+    h.write_bool(*return_merge);
+    h.write_bool(*remove_unreachable);
+}
+
+/// Feeds an [`LtboMode`] into `h`.
+pub fn fingerprint_ltbo_mode(mode: &LtboMode, h: &mut StableHasher) {
+    match mode {
+        LtboMode::Global => h.write_tag(0x10),
+        LtboMode::Parallel { groups, threads } => {
+            h.write_tag(0x11);
+            h.write_usize(*groups);
+            h.write_usize(*threads);
+        }
+    }
+}
+
+/// Feeds an [`LtboConfig`] into `h` — used by harnesses that drive
+/// [`run_ltbo`](crate::run_ltbo) directly rather than through
+/// [`BuildOptions`].
+pub fn fingerprint_ltbo_config(config: &LtboConfig, h: &mut StableHasher) {
+    let LtboConfig { mode, min_len, hot_methods } = config;
+    h.write_tag(0x4C); // 'L'
+    fingerprint_ltbo_mode(mode, h);
+    h.write_usize(*min_len);
+    match hot_methods {
+        None => h.write_tag(0),
+        Some(set) => {
+            h.write_tag(1);
+            let mut sorted: Vec<u32> = set.iter().copied().collect();
+            sorted.sort_unstable();
+            h.write_usize(sorted.len());
+            for id in sorted {
+                h.write_u32(id);
+            }
+        }
+    }
+}
+
+/// The configuration fingerprint shared by every method key of a build:
+/// schema salt plus the full [`BuildOptions`].
+#[must_use]
+pub fn options_fingerprint(options: &BuildOptions) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_str(SCHEMA_VERSION);
+    fingerprint_options(options, &mut h);
+    h.finish()
+}
+
+/// The whole-program salt, folded into every key when whole-program
+/// inlining is enabled (a method's code can then depend on any callee's
+/// body, so per-method hashing alone would under-invalidate).
+#[must_use]
+pub fn program_salt(dex: &DexFile) -> CacheKey {
+    let mut h = StableHasher::new();
+    hash_program(dex, &mut h);
+    h.finish()
+}
+
+/// The content address of one method's compilation artifact.
+#[must_use]
+pub fn method_cache_key(
+    method: &Method,
+    options_fp: CacheKey,
+    program_salt: Option<CacheKey>,
+) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_u64(options_fp.hi);
+    h.write_u64(options_fp.lo);
+    match program_salt {
+        None => h.write_tag(0),
+        Some(salt) => {
+            h.write_tag(1);
+            h.write_u64(salt.hi);
+            h.write_u64(salt.lo);
+        }
+    }
+    hash_method(method, &mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_fingerprint_is_stable_within_a_process() {
+        assert_eq!(
+            options_fingerprint(&BuildOptions::default()),
+            options_fingerprint(&BuildOptions::default())
+        );
+    }
+
+    #[test]
+    fn hot_set_order_does_not_matter() {
+        let a = BuildOptions::default().with_hot_filter([3, 1, 2].into_iter().collect());
+        let b = BuildOptions::default().with_hot_filter([2, 3, 1].into_iter().collect());
+        assert_eq!(options_fingerprint(&a), options_fingerprint(&b));
+        let c = BuildOptions::default().with_hot_filter([2, 3].into_iter().collect());
+        assert_ne!(options_fingerprint(&a), options_fingerprint(&c));
+    }
+
+    #[test]
+    fn ltbo_modes_are_distinguished() {
+        let mut keys = Vec::new();
+        for mode in [
+            None,
+            Some(LtboMode::Global),
+            Some(LtboMode::Parallel { groups: 4, threads: 2 }),
+            Some(LtboMode::Parallel { groups: 2, threads: 4 }),
+        ] {
+            let options = BuildOptions { ltbo: mode, ..BuildOptions::default() };
+            keys.push(options_fingerprint(&options));
+        }
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -46,10 +46,21 @@
 #![warn(missing_docs)]
 
 mod driver;
+mod fingerprint;
 mod ltbo;
+mod pipeline;
 mod report;
 
+pub use calibro_cache::{
+    ArtifactStore, CacheConfig, CacheEntry, CacheError, CacheKey, CacheStats, StableHasher,
+    SymbolTemplate,
+};
 pub use calibro_hgraph::{PassStats, PipelineConfig};
 pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
-pub use ltbo::{run_ltbo, LtboConfig, LtboMode, LtboResult, LtboStats};
+pub use fingerprint::{
+    fingerprint_ltbo_config, fingerprint_ltbo_mode, fingerprint_options, fingerprint_pipeline,
+    method_cache_key, options_fingerprint, program_salt,
+};
+pub use ltbo::{run_ltbo, run_ltbo_with_templates, LtboConfig, LtboMode, LtboResult, LtboStats};
+pub use pipeline::{BuildSession, CodegenArtifact, FrontendArtifact, LtboArtifact, MethodOutcome};
 pub use report::{size_report, SizeReport};

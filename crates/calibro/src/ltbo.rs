@@ -19,6 +19,7 @@
 
 use std::collections::HashSet;
 
+use calibro_cache::{SymbolTemplate, TemplateSlot};
 use calibro_codegen::{CallTarget, CompiledMethod, PcRel, Reloc};
 use calibro_isa::Insn;
 use calibro_suffix::{detect_group, detect_parallel, partition, GroupPlan, TaggedSequence};
@@ -102,8 +103,27 @@ struct Edit {
 /// # Panics
 ///
 /// Panics if metadata is inconsistent with the code (these are internal
-/// invariants; the compiler produces consistent metadata).
+/// invariants; the compiler produces consistent metadata, and cached
+/// artifacts are validated at load time).
 pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResult {
+    run_ltbo_with_templates(methods, config, &[])
+}
+
+/// [`run_ltbo`] with precomputed symbolization templates: `templates`
+/// is indexed by method position; a `Some` slot replays the cached
+/// §3.3.2 symbol structure instead of re-extracting it from the code
+/// and metadata (templates are built for the unfiltered case, so
+/// hot-restricted methods always re-extract). An empty or short slice
+/// falls back to extraction everywhere — `run_ltbo` passes `&[]`.
+///
+/// # Panics
+///
+/// As [`run_ltbo`].
+pub fn run_ltbo_with_templates(
+    methods: &mut [CompiledMethod],
+    config: &LtboConfig,
+    templates: &[Option<&SymbolTemplate>],
+) -> LtboResult {
     let mut stats = LtboStats::default();
 
     // --- §3.3.1: choose candidates; §3.3.2: map to symbols. ------------
@@ -124,7 +144,10 @@ pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResu
             stats.hot_restricted_methods += 1;
         }
         stats.candidate_methods += 1;
-        let (symbols, map) = symbolize(m, hot, &mut unique);
+        let (symbols, map) = match templates.get(idx).copied().flatten() {
+            Some(template) if !hot => template.replay(&mut unique),
+            _ => build_template(m, hot).replay(&mut unique),
+        };
         sequences.push(TaggedSequence { tag: idx, symbols });
         sym_to_word[idx] = map;
     }
@@ -179,14 +202,19 @@ pub fn run_ltbo(methods: &mut [CompiledMethod], config: &LtboConfig) -> LtboResu
     LtboResult { outlined, stats }
 }
 
-/// Builds the §3.3.2 symbol sequence for one method. Returns the symbols
-/// and the symbol-index -> word-index map (separators map to
-/// `usize::MAX`).
-fn symbolize(
-    m: &CompiledMethod,
-    hot_slow_paths_only: bool,
-    unique: &mut u64,
-) -> (Vec<u64>, Vec<usize>) {
+/// Builds the §3.3.2 symbolization structure for one method: which
+/// words are separator-forced (terminators, PC-relative sites, LR
+/// users, SP writers, block leaders) and the encoded words of the rest.
+/// Replaying the result through [`SymbolTemplate::replay`] yields
+/// exactly the symbol sequence the original extraction produced — the
+/// cache stores the `hot_slow_paths_only = false` template so warm
+/// builds skip this scan and the per-instruction encoding entirely.
+///
+/// # Panics
+///
+/// Panics if an instruction fails to encode (codegen only emits
+/// encodable instructions, and cached entries re-validated this).
+pub(crate) fn build_template(m: &CompiledMethod, hot_slow_paths_only: bool) -> SymbolTemplate {
     let code_len = m.insns.len();
     let mut is_pc_rel_site = vec![false; code_len];
     let mut is_leader = vec![false; code_len];
@@ -208,18 +236,12 @@ fn symbolize(
         }
     }
 
-    let mut symbols = Vec::with_capacity(code_len + 8);
-    let mut map = Vec::with_capacity(code_len + 8);
-    let mut fresh = |symbols: &mut Vec<u64>, map: &mut Vec<usize>, word: Option<usize>| {
-        *unique += 1;
-        symbols.push(*unique);
-        map.push(word.unwrap_or(usize::MAX));
-    };
+    let mut slots = Vec::with_capacity(code_len + 8);
     for (word, insn) in m.insns.iter().enumerate() {
         // A basic-block leader must start a fresh sequence: branches land
         // here, so no repeat may span this boundary.
         if is_leader[word] {
-            fresh(&mut symbols, &mut map, None);
+            slots.push(TemplateSlot::Leader);
         }
         let excluded = is_terminator[word]
             || is_pc_rel_site[word]
@@ -227,15 +249,15 @@ fn symbolize(
             || insn.writes_lr()
             || writes_sp(insn)
             || (hot_slow_paths_only && !m.metadata.in_slow_path(word));
+        let word = u32::try_from(word).expect("method shorter than 2^32 words");
         if excluded {
-            fresh(&mut symbols, &mut map, Some(word));
+            slots.push(TemplateSlot::Fresh { word });
         } else {
             let encoded = insn.encode().expect("compiled instruction encodes");
-            symbols.push(u64::from(encoded));
-            map.push(word);
+            slots.push(TemplateSlot::Lit { encoded, word });
         }
     }
-    (symbols, map)
+    SymbolTemplate { slots }
 }
 
 /// Returns `true` if executing the instruction changes `sp` — such

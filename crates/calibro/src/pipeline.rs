@@ -1,0 +1,555 @@
+//! The staged build pipeline: Figure 5 of the paper as four explicit
+//! stages with typed artifacts flowing between them —
+//!
+//! ```text
+//! Frontend  --FrontendArtifact-->  Codegen  --CodegenArtifact-->
+//!     Outline  --LtboArtifact-->  Link  -->  OatFile
+//! ```
+//!
+//! * **Frontend** verifies the dex, computes per-method cache keys,
+//!   probes the [`ArtifactStore`], and builds HGraphs for the methods
+//!   that missed (plus whole-program inlining when enabled);
+//! * **Codegen** runs the pass pipeline and code generation for every
+//!   miss — populating the store — and replays every hit;
+//! * **Outline** runs LTBO over the compiled methods, replaying cached
+//!   symbolization templates;
+//! * **Link** binds labels and encodes the final text segment.
+//!
+//! A [`BuildSession`] owns the store and threads it through the stages,
+//! so consecutive builds of related inputs recompile only the changed
+//! methods. Each artifact exposes a [`digest`](FrontendArtifact::digest)
+//! over its content, letting harnesses assert warm/cold equivalence at
+//! stage granularity rather than only on the final bytes.
+//!
+//! # Determinism
+//!
+//! Warm and cold builds produce bit-identical OAT files, for any thread
+//! count:
+//!
+//! * a cache key covers everything per-method compilation reads — the
+//!   schema salt, the full [`BuildOptions`] fingerprint, the method's
+//!   canonical bytecode, and (when whole-program inlining is on) the
+//!   whole-program hash — so equal keys imply equal compile inputs, and
+//!   compilation is a pure function of those inputs;
+//! * results land in method-index-order slots regardless of which
+//!   worker produced them (see [`run_indexed`]);
+//! * LTBO consumes cached symbolization *templates*
+//!   ([`SymbolTemplate`]) rather than symbol sequences: fresh separator
+//!   numbers are assigned at replay in candidate order, exactly as
+//!   direct extraction would assign them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use calibro_cache::{
+    ArtifactStore, CacheConfig, CacheEntry, CacheKey, StableHasher, SymbolTemplate,
+};
+use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
+use calibro_dex::DexFile;
+use calibro_hgraph::{
+    build_hgraph, run_inlining, run_pipeline_with, HGraph, InlineConfig, PassStats,
+};
+use calibro_isa::Insn;
+use calibro_oat::{LinkInput, OatFile};
+
+use crate::driver::{BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
+use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt};
+use crate::ltbo::{build_template, run_ltbo_with_templates, LtboConfig, LtboStats};
+
+/// A build context holding the content-addressed artifact store across
+/// builds. One-shot callers use [`build`](crate::build); incremental
+/// callers keep a session alive and rebuild through it:
+///
+/// ```
+/// use calibro::{BuildOptions, BuildSession};
+/// use calibro_dex::{DexFile, DexInsn, MethodBuilder, VReg};
+///
+/// let mut dex = DexFile::new();
+/// let class = dex.add_class("Main", 0);
+/// let mut b = MethodBuilder::new("f", 2, 1);
+/// b.push(DexInsn::Return { src: VReg(1) });
+/// dex.add_method(b.build(class));
+///
+/// let session = BuildSession::new();
+/// let cold = session.build(&dex, &BuildOptions::default())?;
+/// let warm = session.build(&dex, &BuildOptions::default())?;
+/// assert_eq!(cold.oat.words, warm.oat.words);
+/// assert_eq!(warm.stats.methods_from_cache, 1);
+/// # Ok::<(), calibro::BuildError>(())
+/// ```
+pub struct BuildSession {
+    store: Arc<ArtifactStore>,
+}
+
+impl Default for BuildSession {
+    fn default() -> BuildSession {
+        BuildSession::new()
+    }
+}
+
+impl core::fmt::Debug for BuildSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BuildSession").field("store", &self.store).finish()
+    }
+}
+
+impl BuildSession {
+    /// A session with a fresh in-memory store under the default
+    /// configuration.
+    #[must_use]
+    pub fn new() -> BuildSession {
+        BuildSession::with_config(CacheConfig::default())
+    }
+
+    /// A session with a fresh store under `config` (set
+    /// [`CacheConfig::disk_dir`] for a persistent cache).
+    #[must_use]
+    pub fn with_config(config: CacheConfig) -> BuildSession {
+        BuildSession { store: Arc::new(ArtifactStore::new(config)) }
+    }
+
+    /// A session over an existing (possibly shared) store.
+    #[must_use]
+    pub fn with_store(store: Arc<ArtifactStore>) -> BuildSession {
+        BuildSession { store }
+    }
+
+    /// The session's artifact store (for counters or sharing).
+    #[must_use]
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Runs the full pipeline: frontend → codegen → outline → link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the input fails bytecode verification,
+    /// a persistent cache entry is corrupt, or the final link fails.
+    pub fn build(&self, dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
+        let base = self.store.stats();
+        let frontend = self.frontend(dex, options)?;
+        let mut stats = BuildStats {
+            verify_time: frontend.verify_time,
+            key_time: frontend.key_time,
+            graph_time: frontend.graph_time,
+            inline_time: frontend.inline_time,
+            compile_threads: options.compile_threads.max(1),
+            ..BuildStats::default()
+        };
+        let graph_busy: Duration = frontend.graph_loads.iter().map(|w| w.busy).sum();
+
+        let codegen = self.codegen(dex, options, frontend);
+        stats.codegen_time = codegen.codegen_time;
+        stats.compile_time =
+            stats.key_time + stats.graph_time + stats.inline_time + stats.codegen_time;
+        stats.passes = codegen.passes;
+        stats.per_worker = codegen.per_worker.clone();
+        stats.compile_cpu_time =
+            graph_busy + stats.per_worker.iter().map(|w| w.busy).sum::<Duration>();
+        stats.methods = codegen.outcomes.len();
+        stats.methods_from_cache = codegen.outcomes.iter().filter(|o| o.cache_hit).count();
+
+        let outlined = self.outline(options, codegen);
+        stats.words_before_ltbo = outlined.words_before;
+        stats.ltbo = outlined.ltbo;
+        stats.ltbo_time = outlined.ltbo_time;
+
+        let link_start = Instant::now();
+        let oat = self.link(options, outlined)?;
+        stats.link_time = link_start.elapsed();
+        stats.cache = self.store.stats().since(&base);
+        Ok(BuildOutput { oat, stats })
+    }
+
+    /// Stage 1 — **Frontend**: computes every method's cache key,
+    /// probes the store, verifies the dex (hits skip the intrinsic
+    /// per-method checks their key already covers), and builds HGraphs
+    /// for the misses. With whole-program inlining enabled, a single
+    /// miss forces graphs for *all* methods (any callee body may be
+    /// inlined) and the sequential inlining pre-phase runs as in a cold
+    /// build.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Verify`] on invalid bytecode and
+    /// [`BuildError::Cache`] when the persistent layer holds a corrupt
+    /// entry for one of the probed keys.
+    pub fn frontend(
+        &self,
+        dex: &DexFile,
+        options: &BuildOptions,
+    ) -> Result<FrontendArtifact, BuildError> {
+        let key_start = Instant::now();
+        let inputs = dex.methods();
+        let fp = options_fingerprint(options);
+        let salt = options.inlining.then(|| program_salt(dex));
+        let keys: Vec<CacheKey> = inputs.iter().map(|m| method_cache_key(m, fp, salt)).collect();
+        let mut cached = Vec::with_capacity(keys.len());
+        for &key in &keys {
+            cached.push(self.store.get(key).map_err(BuildError::Cache)?);
+        }
+        let key_time = key_start.elapsed();
+
+        // A cache hit proves the method's intrinsic checks (register
+        // bounds, branch targets, definite assignment) passed when the
+        // entry was created — the key covers every byte they read — so
+        // only the contextual reference checks re-run for hits.
+        let verify_start = Instant::now();
+        for (m, hit) in inputs.iter().zip(&cached) {
+            if hit.is_none() {
+                calibro_dex::verify_intrinsic(m).map_err(BuildError::Verify)?;
+            }
+            calibro_dex::verify_references(dex, m).map_err(BuildError::Verify)?;
+        }
+        let verify_time = verify_start.elapsed();
+
+        let misses = cached.iter().filter(|c| c.is_none()).count();
+        let inlining = options.inlining && misses > 0;
+        let need_graph: Vec<bool> = inputs
+            .iter()
+            .zip(&cached)
+            .map(|(m, hit)| !m.is_native && (inlining || hit.is_none()))
+            .collect();
+        let threads = options.compile_threads.max(1);
+        let start = Instant::now();
+        let (mut graphs, graph_loads) =
+            run_indexed(inputs.len(), threads, |i| need_graph[i].then(|| build_hgraph(&inputs[i])));
+        let graph_time = start.elapsed();
+
+        // Whole-program inlining reads callee graphs while rewriting
+        // callers, so it stays a sequential phase between the fans.
+        let inline_start = Instant::now();
+        if inlining {
+            run_inlining(&mut graphs, &InlineConfig::default());
+        }
+        let inline_time = inline_start.elapsed();
+
+        Ok(FrontendArtifact {
+            keys,
+            cached,
+            graphs,
+            verify_time,
+            key_time,
+            graph_time,
+            inline_time,
+            graph_loads,
+        })
+    }
+
+    /// Stage 2 — **Codegen**: for every cache miss, runs the pass
+    /// pipeline and code generation, builds the LTBO symbolization
+    /// template (when LTBO is on), and populates the store; every hit is
+    /// replayed from its entry. Results land in method-index order.
+    #[must_use]
+    pub fn codegen(
+        &self,
+        dex: &DexFile,
+        options: &BuildOptions,
+        frontend: FrontendArtifact,
+    ) -> CodegenArtifact {
+        let threads = options.compile_threads.max(1);
+        let collect_metadata = options.ltbo.is_some() || options.force_metadata;
+        let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
+        let want_template = options.ltbo.is_some();
+        let inputs = dex.methods();
+        let FrontendArtifact { keys, cached, graphs, .. } = frontend;
+        let start = Instant::now();
+        // Workers take ownership of their graph through a per-slot mutex
+        // (locked exactly once, by the worker that drew the index).
+        let cells: Vec<parking_lot::Mutex<Option<HGraph>>> =
+            graphs.into_iter().map(parking_lot::Mutex::new).collect();
+        let (outcomes, per_worker) = run_indexed(inputs.len(), threads, |i| {
+            if let Some(entry) = &cached[i] {
+                return MethodOutcome {
+                    compiled: entry.compiled.clone(),
+                    pass_stats: entry.pass_stats,
+                    entry: Arc::clone(entry),
+                    cache_hit: true,
+                };
+            }
+            let (compiled, pass_stats) = match cells[i].lock().take() {
+                None => (compile_native_stub(inputs[i].id, &codegen_opts), PassStats::default()),
+                Some(mut graph) => {
+                    let pass_stats = run_pipeline_with(&mut graph, &options.passes);
+                    (compile_method(&graph, &codegen_opts), pass_stats)
+                }
+            };
+            let template = want_template.then(|| build_template(&compiled, false));
+            let entry = self
+                .store
+                .insert(keys[i], CacheEntry { compiled: compiled.clone(), pass_stats, template });
+            MethodOutcome { compiled, pass_stats, entry, cache_hit: false }
+        });
+        let codegen_time = start.elapsed();
+
+        // Merged in method-index order — deterministic across schedules.
+        let mut passes = PassStats::default();
+        for o in &outcomes {
+            passes += o.pass_stats;
+        }
+        CodegenArtifact { outcomes, passes, codegen_time, per_worker }
+    }
+
+    /// Stage 3 — **Outline**: runs LTBO over the compiled methods
+    /// (mutating them in place), replaying each candidate's cached
+    /// symbolization template. A no-op pass-through when
+    /// [`BuildOptions::ltbo`] is `None`.
+    #[must_use]
+    pub fn outline(&self, options: &BuildOptions, codegen: CodegenArtifact) -> LtboArtifact {
+        let CodegenArtifact { outcomes, .. } = codegen;
+        let mut methods = Vec::with_capacity(outcomes.len());
+        let mut entries = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            methods.push(o.compiled);
+            entries.push(o.entry);
+        }
+        let words_before = methods.iter().map(CompiledMethod::size_words).sum();
+
+        let mut outlined = Vec::new();
+        let mut ltbo = LtboStats::default();
+        let mut ltbo_time = Duration::default();
+        if let Some(mode) = options.ltbo {
+            let start = Instant::now();
+            let config = LtboConfig {
+                mode,
+                min_len: options.min_seq_len,
+                hot_methods: options.hot_methods.clone(),
+            };
+            let templates: Vec<Option<&SymbolTemplate>> =
+                entries.iter().map(|e| e.template.as_ref()).collect();
+            let result = run_ltbo_with_templates(&mut methods, &config, &templates);
+            outlined = result.outlined;
+            ltbo = result.stats;
+            ltbo_time = start.elapsed();
+        }
+        LtboArtifact { methods, outlined, ltbo, ltbo_time, words_before }
+    }
+
+    /// Stage 4 — **Link**: binds call labels to addresses and encodes
+    /// the final text segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Link`] when the linker rejects the input
+    /// (e.g. an unencodable branch or a dangling call target).
+    pub fn link(&self, options: &BuildOptions, ltbo: LtboArtifact) -> Result<OatFile, BuildError> {
+        let LtboArtifact { methods, outlined, .. } = ltbo;
+        calibro_oat::link(&LinkInput { methods, outlined }, options.base_address)
+            .map_err(BuildError::Link)
+    }
+}
+
+/// The frontend stage's output: per-method cache keys, probe results,
+/// and the HGraphs of every method that must be (re)compiled.
+pub struct FrontendArtifact {
+    /// Content address of each method, in method-index order.
+    pub keys: Vec<CacheKey>,
+    /// Store probe result per method (`Some` = warm hit).
+    pub cached: Vec<Option<Arc<CacheEntry>>>,
+    /// HGraph per method; `None` for native methods and warm hits.
+    pub graphs: Vec<Option<HGraph>>,
+    /// Time verifying the input dex.
+    pub verify_time: Duration,
+    /// Time fingerprinting, hashing methods, and probing the store.
+    pub key_time: Duration,
+    /// Time building HGraphs.
+    pub graph_time: Duration,
+    /// Time in whole-program inlining.
+    pub inline_time: Duration,
+    /// Per-worker load of the graph-building fan.
+    pub graph_loads: Vec<WorkerLoad>,
+}
+
+impl FrontendArtifact {
+    /// Number of methods satisfied from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cached.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// A digest of the artifact: the ordered method keys. Two frontends
+    /// with equal digests will drive identical codegen stages.
+    #[must_use]
+    pub fn digest(&self) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_usize(self.keys.len());
+        for k in &self.keys {
+            h.write_u64(k.hi);
+            h.write_u64(k.lo);
+        }
+        h.finish()
+    }
+}
+
+/// One method's compilation outcome within a [`CodegenArtifact`].
+pub struct MethodOutcome {
+    /// The compiled method (owned; LTBO mutates it downstream).
+    pub compiled: CompiledMethod,
+    /// Pass-pipeline counters (replayed from the entry on a hit, so
+    /// warm observability matches cold).
+    pub pass_stats: PassStats,
+    /// The store entry backing this method — source of the cached LTBO
+    /// symbolization template.
+    pub entry: Arc<CacheEntry>,
+    /// Whether the method was replayed from the cache.
+    pub cache_hit: bool,
+}
+
+/// The codegen stage's output: every compiled method plus aggregate
+/// pass counters and worker loads.
+pub struct CodegenArtifact {
+    /// Per-method outcomes, in method-index order.
+    pub outcomes: Vec<MethodOutcome>,
+    /// Pass counters summed in method-index order.
+    pub passes: PassStats,
+    /// Wall time of the stage.
+    pub codegen_time: Duration,
+    /// Per-worker load, in worker order.
+    pub per_worker: Vec<WorkerLoad>,
+}
+
+impl CodegenArtifact {
+    /// A digest of every compiled method's content (code, pool,
+    /// relocations are implied by code + key determinism; the code words
+    /// alone pin the observable output).
+    #[must_use]
+    pub fn digest(&self) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_usize(self.outcomes.len());
+        for o in &self.outcomes {
+            hash_compiled(&o.compiled, &mut h);
+        }
+        h.finish()
+    }
+}
+
+/// The outline stage's output: post-LTBO methods and the outlined
+/// function bodies, ready to link.
+pub struct LtboArtifact {
+    /// The (possibly rewritten) methods, in method-index order.
+    pub methods: Vec<CompiledMethod>,
+    /// Outlined function bodies, in `CallTarget::Outlined` index order.
+    pub outlined: Vec<Vec<Insn>>,
+    /// LTBO statistics (zeroed when LTBO is off).
+    pub ltbo: LtboStats,
+    /// Wall time of the stage.
+    pub ltbo_time: Duration,
+    /// Total instruction words before outlining.
+    pub words_before: usize,
+}
+
+impl LtboArtifact {
+    /// A digest of the post-LTBO methods and outlined bodies.
+    #[must_use]
+    pub fn digest(&self) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_usize(self.methods.len());
+        for m in &self.methods {
+            hash_compiled(m, &mut h);
+        }
+        h.write_usize(self.outlined.len());
+        for body in &self.outlined {
+            h.write_usize(body.len());
+            for insn in body {
+                h.write_u32(insn.encode().unwrap_or(u32::MAX));
+            }
+        }
+        h.finish()
+    }
+}
+
+fn hash_compiled(m: &CompiledMethod, h: &mut StableHasher) {
+    h.write_u32(m.method.0);
+    h.write_usize(m.insns.len());
+    for insn in &m.insns {
+        // Unbound `bl` placeholders encode as 0 offsets; anything truly
+        // unencodable is caught by the linker, not the digest.
+        h.write_u32(insn.encode().unwrap_or(u32::MAX));
+    }
+    h.write_usize(m.pool.len());
+    for &w in &m.pool {
+        h.write_u32(w);
+    }
+}
+
+/// Runs `f(0..count)` across up to `threads` workers, returning results
+/// in index order plus one [`WorkerLoad`] per worker.
+///
+/// Workers draw indices from a shared atomic cursor (the same
+/// work-stealing shape as `calibro_suffix::detect_parallel`) and write
+/// each result into its index's dedicated slot, so the output order —
+/// and therefore everything derived from it — is independent of the
+/// schedule. With `threads <= 1` (or nothing to do) the closure runs on
+/// the calling thread with no synchronization at all.
+pub(crate) fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerLoad>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        let start = Instant::now();
+        let out: Vec<T> = (0..count).map(f).collect();
+        return (out, vec![WorkerLoad { items: count, busy: start.elapsed() }]);
+    }
+    let workers = threads.min(count);
+    let slots: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let loads = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let start = Instant::now();
+                    let mut items = 0;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        *slots[i].lock() = Some(f(i));
+                        items += 1;
+                    }
+                    WorkerLoad { items, busy: start.elapsed() }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("compile worker panicked"))
+            .collect::<Vec<WorkerLoad>>()
+    })
+    .expect("compile worker pool panicked");
+    let out = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index slot is filled"))
+        .collect();
+    (out, loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for threads in [1, 2, 8, 64] {
+            let (out, loads) = run_indexed(100, threads, |i| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 100);
+            assert!(loads.len() <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_oversubscribed() {
+        let (out, loads) = run_indexed(0, 8, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 0);
+        // More threads than items: never spawns more workers than items.
+        let (out, loads) = run_indexed(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(loads.len() <= 3);
+    }
+}

@@ -1,0 +1,62 @@
+//! Warm-rebuild smoke: build an app through a [`BuildSession`], mutate
+//! one method (an app update), rebuild, and demand that the cache
+//! replays everything but the delta and reproduces a cold build bit for
+//! bit. CI runs this as the incremental-recompilation gate.
+//!
+//! ```text
+//! cargo run --release --example warm_rebuild
+//! ```
+
+use calibro::{build, BuildOptions, BuildSession};
+use calibro_workloads::{generate, mutate_methods, AppSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let options = BuildOptions::cto_ltbo();
+    let session = BuildSession::new();
+
+    let app = generate(&AppSpec::small("warm-smoke", 97));
+    let cold = session.build(&app.dex, &options)?;
+    println!(
+        "cold build: {} methods, {} bytes of .text",
+        cold.stats.methods,
+        cold.oat.text_size_bytes()
+    );
+
+    // The app update: one mutated method (the fraction rounds up to 1).
+    let mut edited = app.dex.clone();
+    let mutated = mutate_methods(&mut edited, 5, 0.0001);
+    println!("mutated {} method(s): {:?}", mutated.len(), mutated);
+
+    let warm = session.build(&edited, &options)?;
+    let fresh = build(&edited, &options)?;
+
+    let hit_rate = warm.stats.cache.hit_rate();
+    println!(
+        "warm rebuild: {}/{} methods from cache, hit rate {:.1}%",
+        warm.stats.methods_from_cache,
+        warm.stats.methods,
+        hit_rate * 100.0
+    );
+    println!(
+        "digests: warm {:#018x}, cold {:#018x}",
+        warm.oat.text_digest(),
+        fresh.oat.text_digest()
+    );
+
+    if hit_rate <= 0.9 {
+        return Err(format!("hit rate {hit_rate:.3} not above 0.9").into());
+    }
+    if warm.stats.methods_from_cache != warm.stats.methods - mutated.len() {
+        return Err(format!(
+            "expected {} cache replays, saw {}",
+            warm.stats.methods - mutated.len(),
+            warm.stats.methods_from_cache
+        )
+        .into());
+    }
+    if calibro_oat::to_elf_bytes(&warm.oat) != calibro_oat::to_elf_bytes(&fresh.oat) {
+        return Err("warm rebuild is not byte-identical to a cold build".into());
+    }
+    println!("warm rebuild OK: delta-only recompile, bit-identical output");
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! Incremental-recompilation contract tests for the staged pipeline's
+//! content-addressed artifact cache:
+//!
+//! 1. **Invalidation matrix** — flipping any [`BuildOptions`] field or
+//!    pass toggle changes the configuration fingerprint (and therefore
+//!    every method's cache key); editing a method changes exactly that
+//!    method's key.
+//! 2. **Warm == cold, bit for bit** — after an N-method delta, a warm
+//!    rebuild recompiles only the N changed methods and serializes to
+//!    the same ELF bytes as a cold build, under 1 and 8 compile threads
+//!    and across outlining configurations.
+//! 3. **Poisoned persistence** — a corrupt on-disk entry surfaces as
+//!    [`BuildError::Cache`], never as a panic or wrong code.
+
+use std::collections::HashSet;
+
+use calibro::{
+    build, method_cache_key, options_fingerprint, program_salt, BuildError, BuildOptions,
+    BuildSession, CacheConfig, LtboMode, PipelineConfig,
+};
+use calibro_workloads::{generate, mutate_methods, AppSpec};
+
+/// Every single-field variation of the default options. The exhaustive
+/// destructure (no `..`) makes adding a `BuildOptions` or
+/// `PipelineConfig` field a compile error here, forcing the new knob
+/// into this matrix alongside the fingerprint itself.
+fn single_field_variants() -> Vec<(&'static str, BuildOptions)> {
+    let BuildOptions {
+        cto: _,
+        ltbo: _,
+        min_seq_len: _,
+        hot_methods: _,
+        base_address: _,
+        force_metadata: _,
+        inlining: _,
+        compile_threads: _,
+        passes:
+            PipelineConfig {
+                copy_prop: _,
+                constant_folding: _,
+                simplify: _,
+                cse: _,
+                dce: _,
+                return_merge: _,
+                remove_unreachable: _,
+            },
+    } = BuildOptions::default();
+
+    let base = BuildOptions::default;
+    let hot: HashSet<u32> = [1, 2, 3].into_iter().collect();
+    let mut variants = vec![
+        ("cto", BuildOptions { cto: true, ..base() }),
+        ("ltbo_global", BuildOptions { ltbo: Some(LtboMode::Global), ..base() }),
+        (
+            "ltbo_parallel",
+            BuildOptions { ltbo: Some(LtboMode::Parallel { groups: 4, threads: 2 }), ..base() },
+        ),
+        ("min_seq_len", BuildOptions { min_seq_len: 3, ..base() }),
+        ("hot_methods", BuildOptions { hot_methods: Some(hot), ..base() }),
+        ("base_address", BuildOptions { base_address: 0x5000_0000, ..base() }),
+        ("force_metadata", BuildOptions { force_metadata: true, ..base() }),
+        ("inlining", BuildOptions { inlining: true, ..base() }),
+        ("compile_threads", BuildOptions { compile_threads: 8, ..base() }),
+    ];
+    type PassFlip = fn(&mut PipelineConfig);
+    let flips: [(&'static str, PassFlip); 7] = [
+        ("pass_copy_prop", |p| p.copy_prop = !p.copy_prop),
+        ("pass_constant_folding", |p| p.constant_folding = !p.constant_folding),
+        ("pass_simplify", |p| p.simplify = !p.simplify),
+        ("pass_cse", |p| p.cse = !p.cse),
+        ("pass_dce", |p| p.dce = !p.dce),
+        ("pass_return_merge", |p| p.return_merge = !p.return_merge),
+        ("pass_remove_unreachable", |p| p.remove_unreachable = !p.remove_unreachable),
+    ];
+    for (name, flip) in flips {
+        let mut options = base();
+        flip(&mut options.passes);
+        variants.push((name, options));
+    }
+    variants
+}
+
+#[test]
+fn every_options_field_flip_changes_the_fingerprint() {
+    let base_fp = options_fingerprint(&BuildOptions::default());
+    let variants = single_field_variants();
+    let mut fps = vec![("default", base_fp)];
+    for (name, options) in &variants {
+        let fp = options_fingerprint(options);
+        assert_ne!(fp, base_fp, "{name}: flipping the field must change the fingerprint");
+        fps.push((name, fp));
+    }
+    // All variants are pairwise distinct — no two knobs collapse onto
+    // the same fingerprint lane.
+    for (i, (a_name, a)) in fps.iter().enumerate() {
+        for (b_name, b) in fps.iter().skip(i + 1) {
+            assert_ne!(a, b, "{a_name} and {b_name} collide");
+        }
+    }
+
+    // The fingerprint feeds every method key, so a sample method's key
+    // must move with it.
+    let dex = generate(&AppSpec::small("fp", 5)).dex;
+    let m = &dex.methods()[0];
+    let base_key = method_cache_key(m, base_fp, None);
+    for (name, fp) in fps.iter().skip(1) {
+        assert_ne!(method_cache_key(m, *fp, None), base_key, "{name}: method key unchanged");
+    }
+}
+
+#[test]
+fn editing_a_method_invalidates_exactly_that_method() {
+    let spec = AppSpec::small("delta", 17);
+    let original = generate(&spec).dex;
+    let mut edited = original.clone();
+    let mutated = mutate_methods(&mut edited, 3, 0.05);
+    assert!(!mutated.is_empty());
+
+    let fp = options_fingerprint(&BuildOptions::default());
+    for (old, new) in original.methods().iter().zip(edited.methods()) {
+        let old_key = method_cache_key(old, fp, None);
+        let new_key = method_cache_key(new, fp, None);
+        if mutated.contains(&old.id) {
+            assert_ne!(old_key, new_key, "mutated method {} kept its key", old.id);
+        } else {
+            assert_eq!(old_key, new_key, "untouched method {} lost its key", old.id);
+        }
+    }
+
+    // Under whole-program inlining the program salt joins each key, so
+    // a one-method edit invalidates everything — by design.
+    assert_ne!(program_salt(&original), program_salt(&edited));
+}
+
+fn warm_configs() -> Vec<(&'static str, BuildOptions)> {
+    let hot: HashSet<u32> = (0..200).filter(|id| id % 2 == 0).collect();
+    vec![
+        ("baseline", BuildOptions::baseline()),
+        ("cto_ltbo", BuildOptions::cto_ltbo()),
+        ("cto_ltbo_pl", BuildOptions::cto_ltbo_parallel(8, 4)),
+        ("cto_ltbo_hf", BuildOptions::cto_ltbo().with_hot_filter(hot)),
+    ]
+}
+
+#[test]
+fn warm_rebuild_is_bit_identical_and_recompiles_only_the_delta() {
+    let spec = AppSpec::small("warm", 23);
+    for threads in [1usize, 8] {
+        for (name, options) in warm_configs() {
+            let options = options.with_compile_threads(threads);
+            let session = BuildSession::new();
+            let dex = generate(&spec).dex;
+            let cold = session
+                .build(&dex, &options)
+                .unwrap_or_else(|e| panic!("{name}/{threads}: cold build failed: {e}"));
+            assert_eq!(cold.stats.methods_from_cache, 0, "{name}/{threads}: cold hit something");
+
+            let mut edited = dex.clone();
+            let mutated = mutate_methods(&mut edited, 7, 0.05);
+            let warm = session
+                .build(&edited, &options)
+                .unwrap_or_else(|e| panic!("{name}/{threads}: warm build failed: {e}"));
+            let fresh = build(&edited, &options)
+                .unwrap_or_else(|e| panic!("{name}/{threads}: fresh build failed: {e}"));
+
+            assert_eq!(
+                calibro_oat::to_elf_bytes(&warm.oat),
+                calibro_oat::to_elf_bytes(&fresh.oat),
+                "{name}/{threads}: warm rebuild bytes differ from cold"
+            );
+            // Only the delta recompiles; everything else replays.
+            assert_eq!(
+                warm.stats.methods_from_cache,
+                warm.stats.methods - mutated.len(),
+                "{name}/{threads}: wrong replay count"
+            );
+            assert_eq!(warm.stats.cache.misses as usize, mutated.len());
+            assert_eq!(warm.stats.cache.hits as usize, warm.stats.methods_from_cache);
+            // Observability parity: warm pass counters equal cold ones.
+            assert_eq!(warm.stats.passes, fresh.stats.passes, "{name}/{threads}: pass drift");
+            assert_eq!(warm.stats.ltbo, fresh.stats.ltbo, "{name}/{threads}: LTBO drift");
+        }
+    }
+}
+
+#[test]
+fn identical_rebuild_hits_for_every_method() {
+    let dex = generate(&AppSpec::small("idem", 31)).dex;
+    let options = BuildOptions::cto_ltbo();
+    let session = BuildSession::new();
+    let cold = session.build(&dex, &options).unwrap();
+    let warm = session.build(&dex, &options).unwrap();
+    assert_eq!(cold.oat.words, warm.oat.words);
+    assert_eq!(cold.oat.text_digest(), warm.oat.text_digest());
+    assert_eq!(warm.stats.methods_from_cache, warm.stats.methods);
+    assert_eq!(warm.stats.cache.misses, 0);
+    assert!((warm.stats.cache.hit_rate() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn disk_cache_carries_artifacts_across_sessions() {
+    let dir = std::env::temp_dir().join(format!("calibro-disk-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dex = generate(&AppSpec::small("disk", 41)).dex;
+    let options = BuildOptions::cto_ltbo();
+    let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+
+    let first = BuildSession::with_config(config.clone());
+    let cold = first.build(&dex, &options).unwrap();
+    assert_eq!(cold.stats.cache.disk_stores as usize, cold.stats.methods);
+    drop(first);
+
+    // A fresh session (fresh in-memory map) replays everything from disk.
+    let second = BuildSession::with_config(config);
+    let warm = second.build(&dex, &options).unwrap();
+    assert_eq!(warm.oat.words, cold.oat.words);
+    assert_eq!(warm.stats.methods_from_cache, warm.stats.methods);
+    assert_eq!(warm.stats.cache.disk_hits as usize, warm.stats.methods);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn poisoned_disk_entry_surfaces_as_typed_cache_error() {
+    let dir = std::env::temp_dir().join(format!("calibro-poison-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dex = generate(&AppSpec::small("poison", 47)).dex;
+    let options = BuildOptions::cto_ltbo();
+    let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+    BuildSession::with_config(config.clone()).build(&dex, &options).unwrap();
+
+    // Flip one payload byte in every persisted entry: checksums break.
+    let mut poisoned = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "calc") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+            poisoned += 1;
+        }
+    }
+    assert!(poisoned > 0, "no persisted entries to poison");
+
+    let err = BuildSession::with_config(config)
+        .build(&dex, &options)
+        .expect_err("poisoned cache must fail the build");
+    assert!(matches!(err, BuildError::Cache(_)), "unexpected error: {err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
