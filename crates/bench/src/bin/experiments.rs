@@ -79,12 +79,21 @@ fn print_incremental(apps: &[calibro_workloads::App]) {
         Err(e) => eprintln!("could not write {json_path}: {e}"),
     }
     println!(
-        "{:>10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>8} {:>9} {:>7}",
-        "app", "variant", "methods", "mutated", "cold", "warm", "speedup", "hit rate", "bytes"
+        "{:>10} {:>12} {:>8} {:>8} {:>10} {:>10} {:>8} {:>9} {:>9} {:>7}",
+        "app",
+        "variant",
+        "methods",
+        "mutated",
+        "cold",
+        "warm",
+        "speedup",
+        "hit rate",
+        "grp rate",
+        "bytes"
     );
     for r in &rows {
         println!(
-            "{:>10} {:>10} {:>8} {:>8} {:>8.1}ms {:>8.1}ms {:>7.1}x {:>8.1}% {:>7}",
+            "{:>10} {:>12} {:>8} {:>8} {:>8.1}ms {:>8.1}ms {:>7.1}x {:>8.1}% {:>8.1}% {:>7}",
             r.app,
             r.variant,
             r.methods,
@@ -93,8 +102,32 @@ fn print_incremental(apps: &[calibro_workloads::App]) {
             r.warm.as_secs_f64() * 1000.0,
             r.speedup(),
             r.hit_rate * 100.0,
+            r.group_hit_rate * 100.0,
             if r.digests_match { "match" } else { "DIFFER" }
         );
+    }
+    // The Table 4 trade-off behind the sharded arm: finer detection
+    // groups buy incrementality but give back some size vs one global
+    // tree. Report the regression so it is a number, not a surprise.
+    println!();
+    println!("{:>10} {:>12} {:>12} {:>12}", "app", "global .text", "sharded", "regression");
+    let mut i = 0;
+    while i < rows.len() {
+        let app = &rows[i].app;
+        let by = |v: &str| rows[i..].iter().filter(|r| r.app == *app).find(|r| r.variant == v);
+        if let (Some(g), Some(p)) = (by("cto_ltbo"), by("cto_ltbo_pl")) {
+            let regression = p.text_bytes as f64 / g.text_bytes as f64 - 1.0;
+            println!(
+                "{:>10} {:>11}K {:>11}K {:>11.2}%",
+                app,
+                g.text_bytes / 1024,
+                p.text_bytes / 1024,
+                regression * 100.0
+            );
+        }
+        while i < rows.len() && rows[i].app == *app {
+            i += 1;
+        }
     }
 }
 

@@ -64,6 +64,12 @@ impl Variant {
 pub const PL_GROUPS: usize = 8;
 /// Worker threads for PlOpti.
 pub const PL_THREADS: usize = 6;
+/// Detection groups for the incremental (warm-rebuild) scenario. Much
+/// finer than [`PL_GROUPS`]: with content-stable sharding, a one-method
+/// edit dirties O(1) groups, so the replayed fraction — and the warm
+/// LTBO speedup — scales with the group count, at the cost of the usual
+/// per-group size regression (§4.4's trade-off knob).
+pub const INCR_GROUPS: usize = 128;
 
 /// Builds one variant of an app, resolving the HfOpti profile on demand
 /// (profiling the baseline build over the app's trace, as in Figure 6).
@@ -96,7 +102,7 @@ pub fn profile_hot_set(app: &App, fraction: f64) -> HashSet<u32> {
     let baseline = build(&app.dex, &BuildOptions::baseline()).expect("baseline build");
     let mut rt = Runtime::new(&baseline.oat, &app.env);
     run_trace(&mut rt, app, 1);
-    Profile::capture(&rt).hot_set(fraction)
+    Profile::capture(&rt).hot_set(fraction).expect("fraction validated by caller")
 }
 
 /// Executes the app's usage trace `iterations` times.
@@ -505,7 +511,7 @@ pub const WARM_MUTATION_FRACTION: f64 = 0.01;
 pub struct WarmRebuildRow {
     /// App name.
     pub app: String,
-    /// Variant label (`baseline` or `cto_ltbo`).
+    /// Variant label (`baseline`, `cto_ltbo` or `cto_ltbo_pl`).
     pub variant: &'static str,
     /// Methods in the app.
     pub methods: usize,
@@ -515,8 +521,14 @@ pub struct WarmRebuildRow {
     pub cold: Duration,
     /// Wall time of the warm rebuild through the populated cache.
     pub warm: Duration,
-    /// Cache hit rate observed during the warm rebuild.
+    /// Method-artifact cache hit rate observed during the warm rebuild.
     pub hit_rate: f64,
+    /// Group-plan cache hit rate during the warm rebuild (`0` for
+    /// variants that never probe the group lane, i.e. `baseline`).
+    pub group_hit_rate: f64,
+    /// On-disk `.text` bytes of the warm output — lets the report put
+    /// the sharded variant's size regression next to its speedup.
+    pub text_bytes: u64,
     /// Whether the warm rebuild matched the cold build bit for bit.
     pub digests_match: bool,
     /// Full stats of the warm rebuild.
@@ -536,14 +548,19 @@ impl WarmRebuildRow {
 /// then race a fresh cold build of the edited program against the warm
 /// cache-replayed rebuild.
 ///
-/// Two variants per app: `baseline` isolates the per-method compile
-/// phase the cache elides, `cto_ltbo` adds the (uncached, whole-program)
-/// suffix-tree outlining so the net effect on a full Calibro build is
-/// visible too.
+/// Three variants per app: `baseline` isolates the per-method compile
+/// phase the cache elides, `cto_ltbo` adds whole-program suffix-tree
+/// outlining (one global group — any edit re-detects everything), and
+/// `cto_ltbo_pl` shards detection into [`INCR_GROUPS`] content-stable
+/// groups so the warm rebuild replays the clean groups' cached plans
+/// and re-detects only the dirty ones.
 #[must_use]
 pub fn warm_rebuild(apps: &[App]) -> Vec<WarmRebuildRow> {
-    let variants: [(&'static str, BuildOptions); 2] =
-        [("baseline", BuildOptions::baseline()), ("cto_ltbo", BuildOptions::cto_ltbo())];
+    let variants: [(&'static str, BuildOptions); 3] = [
+        ("baseline", BuildOptions::baseline()),
+        ("cto_ltbo", BuildOptions::cto_ltbo()),
+        ("cto_ltbo_pl", BuildOptions::cto_ltbo_parallel(INCR_GROUPS, PL_THREADS)),
+    ];
     let mut rows = Vec::new();
     for app in apps {
         for (variant, options) in &variants {
@@ -569,6 +586,8 @@ pub fn warm_rebuild(apps: &[App]) -> Vec<WarmRebuildRow> {
                 cold,
                 warm,
                 hit_rate: warm_out.stats.cache.hit_rate(),
+                group_hit_rate: warm_out.stats.cache.group_hit_rate(),
+                text_bytes: calibro_oat::text_size_on_disk(&warm_out.oat),
                 digests_match: cold_out.oat.words == warm_out.oat.words
                     && cold_out.oat.text_digest() == warm_out.oat.text_digest(),
                 warm_stats: warm_out.stats,
@@ -590,7 +609,7 @@ pub fn warm_rebuild_json(rows: &[WarmRebuildRow]) -> String {
         while i < rows.len() && rows[i].app == *app {
             let r = &rows[i];
             variants.push(format!(
-                r#""{}":{{"methods":{},"mutated":{},"cold_us":{},"warm_us":{},"speedup":{:.3},"hit_rate":{:.6},"digests_match":{},"warm":{}}}"#,
+                r#""{}":{{"methods":{},"mutated":{},"cold_us":{},"warm_us":{},"speedup":{:.3},"hit_rate":{:.6},"group_hit_rate":{:.6},"text_bytes":{},"digests_match":{},"warm":{}}}"#,
                 r.variant,
                 r.methods,
                 r.mutated,
@@ -598,6 +617,8 @@ pub fn warm_rebuild_json(rows: &[WarmRebuildRow]) -> String {
                 r.warm.as_micros(),
                 r.speedup(),
                 r.hit_rate,
+                r.group_hit_rate,
+                r.text_bytes,
                 r.digests_match,
                 r.warm_stats.to_json()
             ));
@@ -753,18 +774,30 @@ mod tests {
     fn warm_rebuild_replays_everything_but_the_delta() {
         let apps = vec![tiny_app()];
         let rows = warm_rebuild(&apps);
-        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.len(), 3);
         for row in &rows {
             assert!(row.mutated >= 1);
             assert!(row.digests_match, "{}/{}: warm bytes differ", row.app, row.variant);
             assert!(row.hit_rate > 0.9, "{}/{}: hit rate {}", row.app, row.variant, row.hit_rate);
             assert_eq!(row.warm_stats.methods_from_cache, row.methods - row.mutated);
+            assert!(row.text_bytes > 0);
         }
+        // The sharded variant replays most cached group plans: an
+        // N-method edit dirties at most 2N of the INCR_GROUPS groups.
+        let pl = rows.iter().find(|r| r.variant == "cto_ltbo_pl").unwrap();
+        assert!(pl.group_hit_rate > 0.8, "group hit rate {}", pl.group_hit_rate);
+        assert_eq!(pl.warm_stats.ltbo.detection_groups, INCR_GROUPS);
+        // The global variant has one group and it is always dirty.
+        let global = rows.iter().find(|r| r.variant == "cto_ltbo").unwrap();
+        assert_eq!(global.warm_stats.ltbo.detection_groups, 1);
+        assert_eq!(global.warm_stats.cache.group_hits, 0);
         let json = warm_rebuild_json(&rows);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains(r#""tiny":{"baseline":{"#));
         assert!(json.contains(r#""cto_ltbo":{"#));
+        assert!(json.contains(r#""cto_ltbo_pl":{"#));
+        assert!(json.contains(r#""group_hit_rate""#));
         assert!(json.contains(r#""digests_match":true"#));
     }
 

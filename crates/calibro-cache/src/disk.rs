@@ -16,7 +16,7 @@ use calibro_codegen::{
 use calibro_hgraph::PassStats;
 use calibro_isa::Insn;
 
-use crate::entry::{CacheEntry, SymbolTemplate, TemplateSlot};
+use crate::entry::{CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
 
@@ -25,9 +25,14 @@ use crate::hash::CacheKey;
 pub const FORMAT_VERSION: u32 = 1;
 
 const MAGIC: [u8; 4] = *b"CALC";
+const GROUP_MAGIC: [u8; 4] = *b"CALG";
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.calc", key.to_hex()))
+}
+
+fn group_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.calg", key.to_hex()))
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -42,6 +47,52 @@ fn fnv64(bytes: &[u8]) -> u64 {
 // Store.
 // ---------------------------------------------------------------------
 
+fn frame(magic: [u8; 4], key: CacheKey, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + 40);
+    bytes.extend_from_slice(&magic);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&key.hi.to_le_bytes());
+    bytes.extend_from_slice(&key.lo.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv64(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Write-then-rename, removing the tmp file if either step fails so a
+/// failed store never strands `<key>.*.tmp<pid>` litter in the cache
+/// directory. (A *killed* process can still strand one — those are
+/// reclaimed by [`sweep_stale_tmp`] on the next store open.)
+fn write_atomic(dir: &Path, path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), CacheError> {
+    let io = |e: std::io::Error| CacheError::Io { path: path.to_path_buf(), detail: e.to_string() };
+    std::fs::create_dir_all(dir).map_err(io)?;
+    if let Err(e) = std::fs::write(tmp, bytes).and_then(|()| std::fs::rename(tmp, path)) {
+        let _ = std::fs::remove_file(tmp);
+        return Err(io(e));
+    }
+    Ok(())
+}
+
+/// Removes stale temp files (`*.tmp<pid>`) left behind by crashed or
+/// killed writers, returning how many were removed. Entries proper
+/// (`*.calc` / `*.calg`) are never touched. Called when a store opens a
+/// disk directory; racing an in-flight writer is harmless because a
+/// clobbered rename is best-effort anyway and the writer's entry is
+/// rewritten on its next store.
+pub(crate) fn sweep_stale_tmp(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp =
+            path.extension().and_then(|e| e.to_str()).is_some_and(|e| e.starts_with("tmp"));
+        if is_tmp && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// Persists `entry` under `dir`, best-effort atomic.
 ///
 /// # Errors
@@ -51,22 +102,25 @@ fn fnv64(bytes: &[u8]) -> u64 {
 /// does not encode (such an entry could never link anyway).
 pub fn store(dir: &Path, key: CacheKey, entry: &CacheEntry) -> Result<(), CacheError> {
     let path = entry_path(dir, key);
-    let io = |e: std::io::Error| CacheError::Io { path: path.clone(), detail: e.to_string() };
     let payload = serialize_entry(entry)
         .map_err(|detail| CacheError::Corrupt { path: path.clone(), detail })?;
-    let mut bytes = Vec::with_capacity(payload.len() + 40);
-    bytes.extend_from_slice(&MAGIC);
-    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    bytes.extend_from_slice(&key.hi.to_le_bytes());
-    bytes.extend_from_slice(&key.lo.to_le_bytes());
-    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    bytes.extend_from_slice(&fnv64(&payload).to_le_bytes());
-    bytes.extend_from_slice(&payload);
-    std::fs::create_dir_all(dir).map_err(io)?;
+    let bytes = frame(MAGIC, key, &payload);
     let tmp = dir.join(format!("{}.tmp{}", key.to_hex(), std::process::id()));
-    std::fs::write(&tmp, &bytes).map_err(io)?;
-    std::fs::rename(&tmp, &path).map_err(io)?;
-    Ok(())
+    write_atomic(dir, &path, &tmp, &bytes)
+}
+
+/// Persists a group plan under `dir` as `<key>.calg`, best-effort
+/// atomic like [`store`].
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] on filesystem failures.
+pub fn store_group(dir: &Path, key: CacheKey, entry: &GroupPlanEntry) -> Result<(), CacheError> {
+    let path = group_path(dir, key);
+    let payload = serialize_group(entry);
+    let bytes = frame(GROUP_MAGIC, key, &payload);
+    let tmp = dir.join(format!("{}.calg.tmp{}", key.to_hex(), std::process::id()));
+    write_atomic(dir, &path, &tmp, &bytes)
 }
 
 /// Loads and validates the entry for `key`, `Ok(None)` when absent.
@@ -77,38 +131,64 @@ pub fn store(dir: &Path, key: CacheKey, entry: &CacheEntry) -> Result<(), CacheE
 /// fails any validation step.
 pub fn load(dir: &Path, key: CacheKey) -> Result<Option<CacheEntry>, CacheError> {
     let path = entry_path(dir, key);
-    let bytes = match std::fs::read(&path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-        Err(e) => return Err(CacheError::Io { path, detail: e.to_string() }),
-    };
+    let Some(bytes) = read_if_present(&path)? else { return Ok(None) };
     let corrupt =
         |detail: &str| CacheError::Corrupt { path: path.clone(), detail: detail.to_owned() };
-    if bytes.len() < 40 {
-        return Err(corrupt("truncated header"));
+    let payload = checked_payload(&bytes, MAGIC, key).map_err(|d| corrupt(&d))?;
+    let entry = deserialize_entry(payload).map_err(|d| corrupt(&d))?;
+    validate_entry(&entry).map_err(|d| corrupt(&d))?;
+    Ok(Some(entry))
+}
+
+/// Loads and validates the group plan for `key`, `Ok(None)` when absent.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] when the file exists but cannot be read or
+/// fails any validation step.
+pub fn load_group(dir: &Path, key: CacheKey) -> Result<Option<GroupPlanEntry>, CacheError> {
+    let path = group_path(dir, key);
+    let Some(bytes) = read_if_present(&path)? else { return Ok(None) };
+    let corrupt =
+        |detail: &str| CacheError::Corrupt { path: path.clone(), detail: detail.to_owned() };
+    let payload = checked_payload(&bytes, GROUP_MAGIC, key).map_err(|d| corrupt(&d))?;
+    let entry = deserialize_group(payload).map_err(|d| corrupt(&d))?;
+    validate_group_entry(&entry).map_err(|d| corrupt(&d))?;
+    Ok(Some(entry))
+}
+
+fn read_if_present(path: &Path) -> Result<Option<Vec<u8>>, CacheError> {
+    match std::fs::read(path) {
+        Ok(b) => Ok(Some(b)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(CacheError::Io { path: path.to_path_buf(), detail: e.to_string() }),
     }
-    if bytes[0..4] != MAGIC {
-        return Err(corrupt("bad magic"));
+}
+
+fn checked_payload(bytes: &[u8], magic: [u8; 4], key: CacheKey) -> Result<&[u8], String> {
+    if bytes.len() < 40 {
+        return Err("truncated header".to_owned());
+    }
+    if bytes[0..4] != magic {
+        return Err("bad magic".to_owned());
     }
     let word = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if version != FORMAT_VERSION {
-        return Err(corrupt(&format!("format version {version}, expected {FORMAT_VERSION}")));
+        return Err(format!("format version {version}, expected {FORMAT_VERSION}"));
     }
     if word(8) != key.hi || word(16) != key.lo {
-        return Err(corrupt("key mismatch"));
+        return Err("key mismatch".to_owned());
     }
     let len = word(24) as usize;
     if bytes.len() != 40 + len {
-        return Err(corrupt("payload length mismatch"));
+        return Err("payload length mismatch".to_owned());
     }
     let payload = &bytes[40..];
     if fnv64(payload) != word(32) {
-        return Err(corrupt("checksum mismatch"));
+        return Err("checksum mismatch".to_owned());
     }
-    let entry = deserialize_entry(payload).map_err(|d| corrupt(&d))?;
-    validate_entry(&entry).map_err(|d| corrupt(&d))?;
-    Ok(Some(entry))
+    Ok(payload)
 }
 
 /// Structural validation of a loaded entry: every index the LTBO and
@@ -158,6 +238,44 @@ pub fn validate_entry(entry: &CacheEntry) -> Result<(), String> {
             if word as usize >= code_len {
                 return Err(format!("template slot names word {word} beyond {code_len}"));
             }
+        }
+    }
+    Ok(())
+}
+
+/// Structural validation of a loaded group plan: every candidate the
+/// replay path will materialize must be well-formed — literal symbols
+/// only, at least two strictly non-overlapping ascending occurrences,
+/// all within the group text — so a poisoned plan is rejected with a
+/// typed error instead of corrupting the outline downstream.
+pub fn validate_group_entry(entry: &GroupPlanEntry) -> Result<(), String> {
+    for (i, c) in entry.candidates.iter().enumerate() {
+        if c.len == 0 {
+            return Err(format!("candidate {i} has zero length"));
+        }
+        if c.symbols.len() != c.len {
+            return Err(format!("candidate {i}: {} symbols for length {}", c.symbols.len(), c.len));
+        }
+        if c.symbols.iter().any(|&s| s > u64::from(u32::MAX)) {
+            return Err(format!("candidate {i} contains a separator-space symbol"));
+        }
+        if c.positions.len() < 2 {
+            return Err(format!("candidate {i} has fewer than two occurrences"));
+        }
+        let mut prev_end = 0;
+        for &p in &c.positions {
+            if p < prev_end {
+                return Err(format!("candidate {i}: unsorted or overlapping position {p}"));
+            }
+            prev_end = p
+                .checked_add(c.len)
+                .ok_or_else(|| format!("candidate {i}: position {p} overflows"))?;
+        }
+        if prev_end > entry.text_len {
+            return Err(format!(
+                "candidate {i} ends at {prev_end}, beyond group text of {}",
+                entry.text_len
+            ));
         }
     }
     Ok(())
@@ -300,6 +418,26 @@ fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
         }
     }
     Ok(w.0)
+}
+
+fn serialize_group(entry: &GroupPlanEntry) -> Vec<u8> {
+    let GroupPlanEntry { text_len, candidates } = entry;
+    let mut w = Writer(Vec::new());
+    w.len(*text_len);
+    w.len(candidates.len());
+    for c in candidates {
+        let calibro_suffix::OutlineCandidate { len, positions, symbols } = c;
+        w.len(*len);
+        w.len(positions.len());
+        for &p in positions {
+            w.len(p);
+        }
+        w.len(symbols.len());
+        for &s in symbols {
+            w.u64(s);
+        }
+    }
+    w.0
 }
 
 struct Reader<'a> {
@@ -474,6 +612,31 @@ fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
     })
 }
 
+fn deserialize_group(payload: &[u8]) -> Result<GroupPlanEntry, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let text_len = r.len()?;
+    let n_candidates = r.bounded_len(24)?;
+    let mut candidates = Vec::with_capacity(n_candidates);
+    for _ in 0..n_candidates {
+        let len = r.len()?;
+        let n_positions = r.bounded_len(8)?;
+        let mut positions = Vec::with_capacity(n_positions);
+        for _ in 0..n_positions {
+            positions.push(r.len()?);
+        }
+        let n_symbols = r.bounded_len(8)?;
+        let mut symbols = Vec::with_capacity(n_symbols);
+        for _ in 0..n_symbols {
+            symbols.push(r.u64()?);
+        }
+        candidates.push(calibro_suffix::OutlineCandidate { len, positions, symbols });
+    }
+    if r.pos != payload.len() {
+        return Err(format!("{} trailing bytes", payload.len() - r.pos));
+    }
+    Ok(GroupPlanEntry { text_len, candidates })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,5 +736,102 @@ mod tests {
         let mut entry = sample_entry();
         entry.compiled.relocs[0].at = 50;
         assert!(validate_entry(&entry).is_err());
+    }
+
+    fn sample_group() -> GroupPlanEntry {
+        GroupPlanEntry {
+            text_len: 20,
+            candidates: vec![calibro_suffix::OutlineCandidate {
+                len: 3,
+                positions: vec![0, 5, 11],
+                symbols: vec![100, 101, 102],
+            }],
+        }
+    }
+
+    #[test]
+    fn group_plan_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("calibro-grp-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 0x99, lo: 0x11 };
+        let entry = sample_group();
+        store_group(&dir, key, &entry).expect("store succeeds");
+        let back = load_group(&dir, key).expect("load succeeds").expect("entry present");
+        assert_eq!(back, entry);
+        // A method-entry probe for the same key stays independent.
+        assert!(load(&dir, key).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_group_plan_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("calibro-grp-cor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 7, lo: 8 };
+        store_group(&dir, key, &sample_group()).expect("store succeeds");
+        let path = group_path(&dir, key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_group(&dir, key), Err(CacheError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_validation_rejects_malformed_candidates() {
+        let mut g = sample_group();
+        g.candidates[0].symbols.push(u64::from(u32::MAX) + 1);
+        g.candidates[0].len += 1;
+        assert!(validate_group_entry(&g).is_err(), "separator-space symbol accepted");
+        let mut g = sample_group();
+        g.candidates[0].positions = vec![0, 1]; // overlap: 0..3 and 1..4
+        assert!(validate_group_entry(&g).is_err(), "overlapping positions accepted");
+        let mut g = sample_group();
+        g.candidates[0].positions = vec![0, 18]; // 18 + 3 > 20
+        assert!(validate_group_entry(&g).is_err(), "out-of-text position accepted");
+        let mut g = sample_group();
+        g.candidates[0].positions = vec![4];
+        assert!(validate_group_entry(&g).is_err(), "single occurrence accepted");
+    }
+
+    #[test]
+    fn failed_rename_cleans_up_its_tmp_file() {
+        let dir = std::env::temp_dir().join(format!("calibro-tmpfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = CacheKey { hi: 3, lo: 4 };
+        // Make the rename target un-creatable: a *directory* occupies
+        // the entry path, so rename(tmp, path) fails after the tmp is
+        // written.
+        std::fs::create_dir_all(entry_path(&dir, key)).unwrap();
+        assert!(matches!(store(&dir, key, &sample_entry()), Err(CacheError::Io { .. })));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| {
+                e.path().extension().is_some_and(|x| x.to_string_lossy().starts_with("tmp"))
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "tmp file leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_removes_stale_tmp_but_keeps_entries() {
+        let dir = std::env::temp_dir().join(format!("calibro-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 21, lo: 22 };
+        store(&dir, key, &sample_entry()).unwrap();
+        store_group(&dir, key, &sample_group()).unwrap();
+        // Simulate two killed writers (a method entry and a group plan).
+        std::fs::write(dir.join(format!("{}.tmp{}", key.to_hex(), 99999)), b"junk").unwrap();
+        std::fs::write(dir.join(format!("{}.calg.tmp{}", key.to_hex(), 99999)), b"junk").unwrap();
+        assert_eq!(sweep_stale_tmp(&dir), 2);
+        // Real entries survive and still load.
+        assert!(load(&dir, key).unwrap().is_some());
+        assert!(load_group(&dir, key).unwrap().is_some());
+        assert_eq!(sweep_stale_tmp(&dir), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

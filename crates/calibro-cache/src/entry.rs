@@ -3,6 +3,7 @@
 
 use calibro_codegen::CompiledMethod;
 use calibro_hgraph::PassStats;
+use calibro_suffix::OutlineCandidate;
 
 /// One slot of a method's LTBO symbolization (§3.3.2), with the
 /// config-independent structure precomputed: literal slots carry the
@@ -85,6 +86,29 @@ pub struct CacheEntry {
     /// Precomputed LTBO symbolization (`None` when the build collected
     /// no metadata or the method is excluded from outlining).
     pub template: Option<SymbolTemplate>,
+}
+
+/// One cached LTBO group plan: the outline candidates detected over a
+/// group's concatenated symbol text, keyed by that text's canonicalized
+/// content plus the `LtboConfig` fingerprint.
+///
+/// Only the candidates and the text length are cached — tags, offsets
+/// and lens are positional bookkeeping tied to the *current* build's
+/// method indices and are recomputed at replay
+/// ([`replay_group_plan`](calibro_suffix::replay_group_plan)). The
+/// candidates themselves are portable across builds whose group text
+/// matches: their symbols are always literals (separators are unique,
+/// so no repeated substring contains one), and their positions are
+/// determined by the text alone because detection is deterministic
+/// under order-isomorphic separator renumbering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupPlanEntry {
+    /// Length of the concatenated group text the plan was detected on
+    /// (including one joint separator per sequence).
+    pub text_len: usize,
+    /// The selected outline candidates, in canonical (position-sorted)
+    /// order.
+    pub candidates: Vec<OutlineCandidate>,
 }
 
 #[cfg(test)]

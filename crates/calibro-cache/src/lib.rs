@@ -34,8 +34,8 @@ mod hash;
 mod method_hash;
 mod store;
 
-pub use disk::{validate_entry, FORMAT_VERSION};
-pub use entry::{CacheEntry, SymbolTemplate, TemplateSlot};
+pub use disk::{validate_entry, validate_group_entry, FORMAT_VERSION};
+pub use entry::{CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
 pub use error::CacheError;
 pub use hash::{CacheKey, StableHasher};
 pub use method_hash::{hash_method, hash_program};

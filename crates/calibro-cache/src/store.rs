@@ -15,7 +15,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::disk;
-use crate::entry::CacheEntry;
+use crate::entry::{CacheEntry, GroupPlanEntry};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
 
@@ -53,6 +53,18 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Entries persisted to the disk layer.
     pub disk_stores: u64,
+    /// Group-plan lookups that found a plan (LTBO detection skipped).
+    pub group_hits: u64,
+    /// Group-plan lookups that found nothing (group re-detected).
+    pub group_misses: u64,
+    /// Group plans inserted.
+    pub group_stores: u64,
+    /// Group plans evicted by the capacity bound.
+    pub group_evictions: u64,
+    /// Group-plan lookups satisfied from the disk layer.
+    pub group_disk_hits: u64,
+    /// Group plans persisted to the disk layer.
+    pub group_disk_stores: u64,
 }
 
 impl CacheStats {
@@ -66,6 +78,12 @@ impl CacheStats {
             evictions: self.evictions - earlier.evictions,
             disk_hits: self.disk_hits - earlier.disk_hits,
             disk_stores: self.disk_stores - earlier.disk_stores,
+            group_hits: self.group_hits - earlier.group_hits,
+            group_misses: self.group_misses - earlier.group_misses,
+            group_stores: self.group_stores - earlier.group_stores,
+            group_evictions: self.group_evictions - earlier.group_evictions,
+            group_disk_hits: self.group_disk_hits - earlier.group_disk_hits,
+            group_disk_stores: self.group_disk_stores - earlier.group_disk_stores,
         }
     }
 
@@ -82,6 +100,20 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Group-plan hit fraction in `[0, 1]`; `0` when no group lookups
+    /// happened.
+    #[must_use]
+    pub fn group_hit_rate(&self) -> f64 {
+        let total = self.group_hits + self.group_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.group_hits as f64 / total as f64
+        }
+    }
 }
 
 struct StoreInner {
@@ -89,10 +121,23 @@ struct StoreInner {
     order: VecDeque<CacheKey>,
 }
 
+struct GroupInner {
+    map: HashMap<CacheKey, Arc<GroupPlanEntry>>,
+    order: VecDeque<CacheKey>,
+}
+
 /// The content-addressed store. Cheap to share: wrap in `Arc` or hold
 /// per [`BuildSession`](https://docs.rs); all methods take `&self`.
+///
+/// Two independent lanes share the store: per-method compile artifacts
+/// ([`get`](ArtifactStore::get)/[`insert`](ArtifactStore::insert)) and
+/// per-group LTBO plans
+/// ([`get_group_plan`](ArtifactStore::get_group_plan)/
+/// [`insert_group_plan`](ArtifactStore::insert_group_plan)), each with
+/// its own counters so per-build stats stay attributable.
 pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
+    groups: Mutex<GroupInner>,
     config: CacheConfig,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -100,6 +145,12 @@ pub struct ArtifactStore {
     evictions: AtomicU64,
     disk_hits: AtomicU64,
     disk_stores: AtomicU64,
+    group_hits: AtomicU64,
+    group_misses: AtomicU64,
+    group_stores: AtomicU64,
+    group_evictions: AtomicU64,
+    group_disk_hits: AtomicU64,
+    group_disk_stores: AtomicU64,
 }
 
 impl Default for ArtifactStore {
@@ -119,11 +170,18 @@ impl core::fmt::Debug for ArtifactStore {
 }
 
 impl ArtifactStore {
-    /// An empty store under `config`.
+    /// An empty store under `config`. Opening a disk-backed store
+    /// sweeps stale tmp files left by crashed writers (satisfying the
+    /// atomic-write contract: half-written files are never visible and
+    /// never accumulate).
     #[must_use]
     pub fn new(config: CacheConfig) -> ArtifactStore {
+        if let Some(dir) = &config.disk_dir {
+            disk::sweep_stale_tmp(dir);
+        }
         ArtifactStore {
             inner: Mutex::new(StoreInner { map: HashMap::new(), order: VecDeque::new() }),
+            groups: Mutex::new(GroupInner { map: HashMap::new(), order: VecDeque::new() }),
             config,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -131,6 +189,12 @@ impl ArtifactStore {
             evictions: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_stores: AtomicU64::new(0),
+            group_hits: AtomicU64::new(0),
+            group_misses: AtomicU64::new(0),
+            group_stores: AtomicU64::new(0),
+            group_evictions: AtomicU64::new(0),
+            group_disk_hits: AtomicU64::new(0),
+            group_disk_stores: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +270,69 @@ impl ArtifactStore {
         arc
     }
 
+    /// Looks a group plan up: memory first, then the disk layer
+    /// (validating and promoting into memory on a disk hit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a disk plan exists but is corrupt or
+    /// unreadable — surfaced, not masked as a miss, like [`get`](Self::get).
+    pub fn get_group_plan(&self, key: CacheKey) -> Result<Option<Arc<GroupPlanEntry>>, CacheError> {
+        if let Some(entry) = self.groups.lock().map.get(&key) {
+            self.group_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(Arc::clone(entry)));
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            if let Some(entry) = disk::load_group(dir, key)? {
+                self.group_disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.group_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(self.insert_group_inner(key, entry, false)));
+            }
+        }
+        self.group_misses.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    }
+
+    /// Inserts a group plan computed for `key`, returning the shared
+    /// handle (keep-first on duplicates, like [`insert`](Self::insert)).
+    /// Persists to disk when configured.
+    pub fn insert_group_plan(&self, key: CacheKey, entry: GroupPlanEntry) -> Arc<GroupPlanEntry> {
+        self.insert_group_inner(key, entry, true)
+    }
+
+    fn insert_group_inner(
+        &self,
+        key: CacheKey,
+        entry: GroupPlanEntry,
+        persist: bool,
+    ) -> Arc<GroupPlanEntry> {
+        if persist {
+            if let Some(dir) = &self.config.disk_dir {
+                if disk::store_group(dir, key, &entry).is_ok() {
+                    self.group_disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut groups = self.groups.lock();
+        if let Some(existing) = groups.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(entry);
+        groups.map.insert(key, Arc::clone(&arc));
+        groups.order.push_back(key);
+        self.group_stores.fetch_add(1, Ordering::Relaxed);
+        while groups.map.len() > self.config.max_entries.max(1) {
+            if let Some(oldest) = groups.order.pop_front() {
+                if groups.map.remove(&oldest).is_some() {
+                    self.group_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                break;
+            }
+        }
+        arc
+    }
+
     /// A snapshot of the cumulative counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
@@ -216,6 +343,12 @@ impl ArtifactStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_stores: self.disk_stores.load(Ordering::Relaxed),
+            group_hits: self.group_hits.load(Ordering::Relaxed),
+            group_misses: self.group_misses.load(Ordering::Relaxed),
+            group_stores: self.group_stores.load(Ordering::Relaxed),
+            group_evictions: self.group_evictions.load(Ordering::Relaxed),
+            group_disk_hits: self.group_disk_hits.load(Ordering::Relaxed),
+            group_disk_stores: self.group_disk_stores.load(Ordering::Relaxed),
         }
     }
 }
@@ -278,5 +411,67 @@ mod tests {
         let b = store.insert(key(9), entry(2));
         assert_eq!(a.compiled.method, b.compiled.method);
         assert_eq!(store.len(), 1);
+    }
+
+    fn group(text_len: usize) -> GroupPlanEntry {
+        GroupPlanEntry {
+            text_len,
+            candidates: vec![calibro_suffix::OutlineCandidate {
+                len: 2,
+                positions: vec![0, 3],
+                symbols: vec![5, 6],
+            }],
+        }
+    }
+
+    #[test]
+    fn group_plan_lane_has_independent_counters() {
+        let store = ArtifactStore::default();
+        assert!(store.get_group_plan(key(1)).unwrap().is_none());
+        store.insert_group_plan(key(1), group(8));
+        let hit = store.get_group_plan(key(1)).unwrap().expect("inserted plan found");
+        assert_eq!(hit.text_len, 8);
+        let s = store.stats();
+        assert_eq!((s.group_hits, s.group_misses, s.group_stores), (1, 1, 1));
+        // Method-lane counters untouched; the lanes never alias even
+        // for an equal key.
+        assert_eq!((s.hits, s.misses, s.stores), (0, 0, 0));
+        assert!(store.get(key(1)).unwrap().is_none());
+        assert!((s.group_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_plans_persist_across_store_instances() {
+        let dir = std::env::temp_dir().join(format!("calibro-grp-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+        let first = ArtifactStore::new(config.clone());
+        first.insert_group_plan(key(4), group(10));
+        assert_eq!(first.stats().group_disk_stores, 1);
+        drop(first);
+        let second = ArtifactStore::new(config);
+        let back = second.get_group_plan(key(4)).unwrap().expect("plan reloaded from disk");
+        assert_eq!(back.text_len, 10);
+        assert_eq!(second.stats().group_disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn opening_a_store_sweeps_stale_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("calibro-store-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A stale tmp from a killed writer, shaped like a valid entry
+        // for key(2) so "never served" is meaningful.
+        let stale = dir.join(format!("{}.tmp{}", key(2).to_hex(), 424242));
+        std::fs::write(&stale, b"half-written garbage").unwrap();
+        let store = ArtifactStore::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        assert!(!stale.exists(), "stale tmp survived store open");
+        // The tmp is never served: the key simply misses.
+        assert!(store.get(key(2)).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

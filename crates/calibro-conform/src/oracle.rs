@@ -301,6 +301,18 @@ pub fn check_variant_warm(
             ),
         });
     }
+    // With an unchanged program every detection group's plan must replay
+    // from the cache: a group miss here means the group key is unstable
+    // (it covers something that drifted between two identical builds).
+    if variant.options.ltbo.is_some() && warm.stats.cache.group_misses != 0 {
+        return Err(Divergence::WarmMismatch {
+            label: variant.label.clone(),
+            detail: format!(
+                "{} of {} detection groups missed the plan cache on an unchanged program",
+                warm.stats.cache.group_misses, warm.stats.ltbo.detection_groups
+            ),
+        });
+    }
     check_oat(program, baseline, &variant.label, &warm.oat)
 }
 

@@ -22,6 +22,28 @@ pub struct Profile {
     pub samples: Vec<(MethodId, u64)>,
 }
 
+/// An invalid request against a [`Profile`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProfileError {
+    /// The hot-set fraction was NaN or outside `0.0..=1.0`.
+    InvalidFraction {
+        /// The rejected value, kept for the error message.
+        fraction: f64,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::InvalidFraction { fraction } => {
+                write!(f, "hot-set fraction must be within 0.0..=1.0, got {fraction}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
 impl Profile {
     /// Captures a profile from a runtime's attribution counters.
     /// (The trailing runtime/thunk slot is not a method and is skipped.)
@@ -47,12 +69,23 @@ impl Profile {
     /// descending cycle count) whose cumulative share reaches
     /// `fraction` of total cycles — the paper uses 0.8.
     ///
-    /// # Panics
+    /// An empty profile yields an empty hot set for any valid fraction:
+    /// with no samples there is nothing to restrict outlining to.
     ///
-    /// Panics if `fraction` is not within `0.0..=1.0`.
-    #[must_use]
-    pub fn hot_set(&self, fraction: f64) -> HashSet<u32> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidFraction`] if `fraction` is NaN
+    /// or outside `0.0..=1.0` — profiles are often read from disk, so a
+    /// malformed fraction from a config file must not abort the build.
+    pub fn hot_set(&self, fraction: f64) -> Result<HashSet<u32>, ProfileError> {
+        // NaN fails `contains` too, but test it explicitly so the intent
+        // survives a refactor to open-ended comparisons.
+        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+            return Err(ProfileError::InvalidFraction { fraction });
+        }
+        if self.samples.is_empty() {
+            return Ok(HashSet::new());
+        }
         let total = self.total_cycles();
         let mut sorted = self.samples.clone();
         sorted.sort_by_key(|&(m, c)| (std::cmp::Reverse(c), m));
@@ -66,7 +99,7 @@ impl Profile {
             acc += cycles;
             hot.insert(method.0);
         }
-        hot
+        Ok(hot)
     }
 
     /// Serializes to the on-disk text format (`method_id cycles` lines).
@@ -119,7 +152,7 @@ mod tests {
     fn hot_set_takes_top_80_percent() {
         // 1000 total: m0=600, m1=250, m2=100, m3=50.
         let p = profile(&[(0, 600), (1, 250), (2, 100), (3, 50)]);
-        let hot = p.hot_set(0.8);
+        let hot = p.hot_set(0.8).unwrap();
         // 600 < 800, 600+250=850 >= 800 -> {0, 1}.
         assert_eq!(hot, HashSet::from([0, 1]));
     }
@@ -127,17 +160,36 @@ mod tests {
     #[test]
     fn hot_set_edges() {
         let p = profile(&[(0, 100)]);
-        assert_eq!(p.hot_set(1.0), HashSet::from([0]));
-        assert!(p.hot_set(0.0).is_empty());
+        assert_eq!(p.hot_set(1.0).unwrap(), HashSet::from([0]));
+        assert!(p.hot_set(0.0).unwrap().is_empty());
         let empty = Profile::default();
-        assert!(empty.hot_set(0.8).is_empty());
+        assert!(empty.hot_set(0.8).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hot_set_rejects_out_of_range_fractions() {
+        let p = profile(&[(0, 100)]);
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = p.hot_set(bad).unwrap_err();
+            let ProfileError::InvalidFraction { fraction } = err;
+            assert!(fraction.is_nan() == bad.is_nan() && (bad.is_nan() || fraction == bad));
+        }
+    }
+
+    #[test]
+    fn empty_profile_is_empty_even_at_full_fraction() {
+        let empty = Profile::default();
+        assert!(empty.hot_set(1.0).unwrap().is_empty());
+        assert!(empty.hot_set(0.0).unwrap().is_empty());
+        // Invalid fractions are still rejected on empty profiles.
+        assert!(empty.hot_set(f64::NAN).is_err());
     }
 
     #[test]
     fn ties_break_deterministically() {
         let p = profile(&[(5, 100), (2, 100), (9, 100)]);
-        let hot_a = p.hot_set(0.5);
-        let hot_b = p.hot_set(0.5);
+        let hot_a = p.hot_set(0.5).unwrap();
+        let hot_b = p.hot_set(0.5).unwrap();
         assert_eq!(hot_a, hot_b);
         assert!(hot_a.contains(&2), "lowest id wins ties");
     }

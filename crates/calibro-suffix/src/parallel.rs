@@ -11,6 +11,17 @@
 use crate::repeats::{select_outline_plan, OutlineCandidate};
 use crate::tree::{SuffixTree, Symbol};
 
+/// Lowest symbol value reserved for position-assigned separators.
+///
+/// Literal symbols (encoded instruction words) live below `2^32`;
+/// callers number their per-method separators from this base upward, and
+/// the group joints added by [`detect_group`] sit in an even higher band.
+/// [`stable_sequence_hash`] canonicalizes everything at or above this
+/// base, so a sequence's identity depends only on its literal content and
+/// separator *placement* — never on the global numbering, which shifts
+/// whenever methods are added or removed elsewhere in the program.
+pub const UNIQUE_SEPARATOR_BASE: Symbol = 1 << 40;
+
 /// A sequence with the caller's identifier, so plans can be mapped back
 /// to methods after partitioning.
 #[derive(Clone, Debug)]
@@ -68,14 +79,95 @@ impl GroupPlan {
 /// stand-in for the paper's random partition — the paper explicitly
 /// avoids similarity clustering for speed, and round-robin is equally
 /// content-oblivious while keeping runs reproducible).
+///
+/// `k == 0` is clamped to one group; `k` larger than the sequence count
+/// simply leaves the surplus groups empty.
 #[must_use]
 pub fn partition(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequence>> {
-    assert!(k > 0, "at least one group required");
+    let k = k.max(1);
     let mut groups: Vec<Vec<TaggedSequence>> = (0..k).map(|_| Vec::new()).collect();
     for (i, seq) in sequences.into_iter().enumerate() {
         groups[i % k].push(seq);
     }
     groups
+}
+
+/// Content hash of one symbol sequence, stable across builds.
+///
+/// FNV-1a over the little-endian bytes of each symbol, with every
+/// separator (any symbol at or above [`UNIQUE_SEPARATOR_BASE`])
+/// canonicalized to `u64::MAX` first. Two sequences with the same
+/// literal content and the same separator placement hash identically
+/// even when the global separator counter assigned them different
+/// absolute values — the property the content-stable partitioner needs
+/// so that editing one method never reshuffles the others' groups.
+#[must_use]
+pub fn stable_sequence_hash(symbols: &[Symbol]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &sym in symbols {
+        let canonical = if sym >= UNIQUE_SEPARATOR_BASE { u64::MAX } else { sym };
+        for byte in canonical.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// Partitions `sequences` into `k` groups by content: each sequence goes
+/// to group `stable_sequence_hash(symbols) % k`, preserving input order
+/// within each group.
+///
+/// Unlike the round-robin [`partition`], the assignment depends only on
+/// each sequence's own (canonicalized) content — inserting or removing a
+/// method moves no other method between groups, so an N-method edit
+/// dirties at most the N groups those methods land in (up to 2N counting
+/// the groups they left). That stability is what makes per-group plan
+/// caching sound. `k == 0` is clamped to one group.
+#[must_use]
+pub fn partition_stable(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequence>> {
+    let k = k.max(1);
+    let mut groups: Vec<Vec<TaggedSequence>> = (0..k).map(|_| Vec::new()).collect();
+    for seq in sequences {
+        let group = (stable_sequence_hash(&seq.symbols) % k as u64) as usize;
+        groups[group].push(seq);
+    }
+    groups
+}
+
+/// Total concatenated text length of a group, including one joint
+/// separator per sequence — the length [`detect_group`] would build its
+/// tree over. Used to key and validate cached plans.
+#[must_use]
+pub fn group_text_len(group: &[TaggedSequence]) -> usize {
+    group.iter().map(|seq| seq.symbols.len() + 1).sum()
+}
+
+/// Rebuilds a [`GroupPlan`] for `group` from cached `candidates` without
+/// re-running detection.
+///
+/// Tags, offsets, and lens are positional bookkeeping recomputed from
+/// the *current* group (method indices shift across edits, so they are
+/// never cached); the candidates are valid as long as the group's
+/// canonicalized text matches the one they were detected on, which the
+/// caller guarantees by keying the cache over that text. Candidate
+/// symbols are always literals — separators are unique, so no repeated
+/// substring contains one — hence they too are stable across builds.
+#[must_use]
+pub fn replay_group_plan(group: &[TaggedSequence], candidates: Vec<OutlineCandidate>) -> GroupPlan {
+    let mut tags = Vec::with_capacity(group.len());
+    let mut offsets = Vec::with_capacity(group.len());
+    let mut lens = Vec::with_capacity(group.len());
+    let mut cursor = 0;
+    for seq in group {
+        tags.push(seq.tag);
+        offsets.push(cursor);
+        lens.push(seq.symbols.len());
+        cursor += seq.symbols.len() + 1;
+    }
+    GroupPlan { tags, offsets, lens, candidates }
 }
 
 /// Concatenates a group's sequences with unique separators and returns
@@ -157,6 +249,102 @@ mod tests {
         let mut tags: Vec<usize> = groups.iter().flatten().map(|s| s.tag).collect();
         tags.sort_unstable();
         assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_edge_cases_clamp_and_pad() {
+        // k == 0 clamps to a single group rather than panicking.
+        let sequences: Vec<TaggedSequence> = (0..4).map(|t| seq(t, &[t as Symbol])).collect();
+        let zero = partition(sequences.clone(), 0);
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero[0].len(), 4);
+        assert_eq!(partition_stable(sequences.clone(), 0).len(), 1);
+
+        // k > #sequences leaves the surplus groups empty but present.
+        let wide = partition(sequences.clone(), 9);
+        assert_eq!(wide.len(), 9);
+        assert_eq!(wide.iter().map(Vec::len).sum::<usize>(), 4);
+        let wide_stable = partition_stable(sequences, 9);
+        assert_eq!(wide_stable.len(), 9);
+        assert_eq!(wide_stable.iter().map(Vec::len).sum::<usize>(), 4);
+
+        // No sequences at all: every group exists and is empty, and
+        // detection over an empty group yields an empty plan.
+        let empty = partition(Vec::new(), 3);
+        assert!(empty.iter().all(Vec::is_empty));
+        let empty_stable = partition_stable(Vec::new(), 3);
+        assert_eq!(empty_stable.len(), 3);
+        assert!(empty_stable.iter().all(Vec::is_empty));
+        let plan = detect_group(&[], 2);
+        assert!(plan.candidates.is_empty());
+        assert!(plan.tags.is_empty());
+    }
+
+    #[test]
+    fn stable_hash_canonicalizes_separator_numbering() {
+        // Same literals, same separator placement, different absolute
+        // separator values (as two builds of the same method would get).
+        let a = [10u64, 11, UNIQUE_SEPARATOR_BASE + 7, 12];
+        let b = [10u64, 11, UNIQUE_SEPARATOR_BASE + 901, 12];
+        assert_eq!(stable_sequence_hash(&a), stable_sequence_hash(&b));
+        // Moving the separator or changing a literal changes the hash.
+        let moved = [10u64, UNIQUE_SEPARATOR_BASE + 7, 11, 12];
+        assert_ne!(stable_sequence_hash(&a), stable_sequence_hash(&moved));
+        let edited = [10u64, 99, UNIQUE_SEPARATOR_BASE + 7, 12];
+        assert_ne!(stable_sequence_hash(&a), stable_sequence_hash(&edited));
+    }
+
+    #[test]
+    fn stable_partition_is_insertion_stable() {
+        let mk = |tag: usize| {
+            seq(tag, &[tag as Symbol * 3 + 50, tag as Symbol * 7 + 900, tag as Symbol + 20_000])
+        };
+        let before: Vec<TaggedSequence> = (0..20).map(mk).collect();
+        // Drop one method and add two new ones: every surviving method
+        // must stay in the group it was in before.
+        let mut after: Vec<TaggedSequence> = (0..20).filter(|&t| t != 7).map(mk).collect();
+        after.push(mk(31));
+        after.push(mk(32));
+
+        let group_of = |groups: &[Vec<TaggedSequence>]| {
+            let mut map = std::collections::HashMap::new();
+            for (g, group) in groups.iter().enumerate() {
+                for s in group {
+                    map.insert(s.tag, g);
+                }
+            }
+            map
+        };
+        let before_groups = group_of(&partition_stable(before, 5));
+        let after_groups = group_of(&partition_stable(after, 5));
+        for (tag, g) in &before_groups {
+            if *tag != 7 {
+                assert_eq!(after_groups[tag], *g, "method {tag} changed groups");
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_plan_matches_fresh_detection() {
+        let motif = [70u64, 71, 72, 73];
+        let group: Vec<TaggedSequence> = (0..3)
+            .map(|t| {
+                let mut s = vec![UNIQUE_SEPARATOR_BASE + t as Symbol];
+                s.extend_from_slice(&motif);
+                s.push(UNIQUE_SEPARATOR_BASE + 100 + t as Symbol);
+                seq(t, &s)
+            })
+            .collect();
+        let fresh = detect_group(&group, 2);
+        assert!(!fresh.candidates.is_empty());
+        let replayed = replay_group_plan(&group, fresh.candidates.clone());
+        assert_eq!(replayed.tags, fresh.tags);
+        assert_eq!(replayed.offsets, fresh.offsets);
+        assert_eq!(replayed.lens, fresh.lens);
+        assert_eq!(replayed.candidates, fresh.candidates);
+        // Bookkeeping covers exactly the concatenated text.
+        let last = group.len() - 1;
+        assert_eq!(replayed.offsets[last] + replayed.lens[last] + 1, group_text_len(&group));
     }
 
     #[test]

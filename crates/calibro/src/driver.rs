@@ -203,14 +203,16 @@ impl BuildStats {
                 r#""compile":{},"ltbo":{},"link":{},"total":{}}},"#,
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
                 r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
-                r#""disk_hits":{},"disk_stores":{}}},"#,
+                r#""disk_hits":{},"disk_stores":{},"#,
+                r#""group_hits":{},"group_misses":{},"group_stores":{},"#,
+                r#""group_evictions":{},"group_disk_hits":{},"group_disk_stores":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
                 r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
                 r#""ltbo":{{"candidate_methods":{},"excluded_methods":{},"#,
                 r#""hot_restricted_methods":{},"outlined_functions":{},"#,
                 r#""occurrences_replaced":{},"words_saved":{},"pc_rel_patched":{},"#,
-                r#""stack_maps_updated":{}}}"#,
+                r#""stack_maps_updated":{},"detection_groups":{}}}"#,
                 "}}",
             ),
             self.methods,
@@ -234,6 +236,12 @@ impl BuildStats {
             c.evictions,
             c.disk_hits,
             c.disk_stores,
+            c.group_hits,
+            c.group_misses,
+            c.group_stores,
+            c.group_evictions,
+            c.group_disk_hits,
+            c.group_disk_stores,
             p.folded,
             p.copies_propagated,
             p.cse_hits,
@@ -252,6 +260,7 @@ impl BuildStats {
             l.words_saved,
             l.pc_rel_patched,
             l.stack_maps_updated,
+            l.detection_groups,
         )
     }
 }
@@ -276,6 +285,24 @@ pub enum BuildError {
     Cache(CacheError),
     /// Linking failed.
     Link(LinkError),
+    /// A compile worker panicked while processing one method. The panic
+    /// is caught at the pool boundary and surfaced with the method index
+    /// and payload message instead of aborting the whole process.
+    CompileWorker {
+        /// Index of the method whose compilation panicked (lowest index
+        /// when several workers fault in one phase).
+        method: usize,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// An outline worker panicked while detecting or materializing one
+    /// detection group's plan.
+    OutlineWorker {
+        /// Index of the detection group whose worker panicked.
+        group: usize,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for BuildError {
@@ -284,6 +311,12 @@ impl core::fmt::Display for BuildError {
             BuildError::Verify(e) => write!(f, "dex verification failed: {e}"),
             BuildError::Cache(e) => write!(f, "artifact cache failed: {e}"),
             BuildError::Link(e) => write!(f, "linking failed: {e}"),
+            BuildError::CompileWorker { method, message } => {
+                write!(f, "compile worker for method {method} panicked: {message}")
+            }
+            BuildError::OutlineWorker { group, message } => {
+                write!(f, "outline worker for group {group} panicked: {message}")
+            }
         }
     }
 }
@@ -294,6 +327,7 @@ impl std::error::Error for BuildError {
             BuildError::Verify(e) => Some(e),
             BuildError::Cache(e) => Some(e),
             BuildError::Link(e) => Some(e),
+            BuildError::CompileWorker { .. } | BuildError::OutlineWorker { .. } => None,
         }
     }
 }

@@ -17,6 +17,7 @@
 use calibro_cache::{hash_method, hash_program, CacheKey, StableHasher, SCHEMA_VERSION};
 use calibro_dex::{DexFile, Method};
 use calibro_hgraph::PipelineConfig;
+use calibro_suffix::{TaggedSequence, UNIQUE_SEPARATOR_BASE};
 
 use crate::driver::BuildOptions;
 use crate::ltbo::{LtboConfig, LtboMode};
@@ -125,6 +126,38 @@ pub fn options_fingerprint(options: &BuildOptions) -> CacheKey {
     let mut h = StableHasher::new();
     h.write_str(SCHEMA_VERSION);
     fingerprint_options(options, &mut h);
+    h.finish()
+}
+
+/// The content address of one detection group's cached
+/// [`GroupPlanEntry`](calibro_cache::GroupPlanEntry): schema salt, the
+/// full [`LtboConfig`], and the group's concatenated symbol text.
+///
+/// Separator symbols (any symbol `>= UNIQUE_SEPARATOR_BASE`) are
+/// canonicalized to a fixed tag rather than hashed by value: their
+/// numbering depends on a global counter that drifts across builds as
+/// unrelated methods change, while detection results depend only on the
+/// fact that each separator is unique within its group. Literal symbols
+/// (always `< 2^32`) are hashed exactly. Sequence boundaries are framed
+/// by length so distinct splits of the same flattened text get distinct
+/// keys.
+#[must_use]
+pub fn group_plan_key(config: &LtboConfig, group: &[TaggedSequence]) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_str(SCHEMA_VERSION);
+    h.write_tag(0x47); // 'G'
+    fingerprint_ltbo_config(config, &mut h);
+    h.write_usize(group.len());
+    for seq in group {
+        h.write_usize(seq.symbols.len());
+        for &sym in &seq.symbols {
+            if sym >= UNIQUE_SEPARATOR_BASE {
+                h.write_tag(1);
+            } else {
+                h.write_u64(sym);
+            }
+        }
+    }
     h.finish()
 }
 

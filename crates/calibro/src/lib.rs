@@ -59,8 +59,12 @@ pub use calibro_hgraph::{PassStats, PipelineConfig};
 pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 pub use fingerprint::{
     fingerprint_ltbo_config, fingerprint_ltbo_mode, fingerprint_options, fingerprint_pipeline,
-    method_cache_key, options_fingerprint, program_salt,
+    group_plan_key, method_cache_key, options_fingerprint, program_salt,
 };
-pub use ltbo::{run_ltbo, run_ltbo_with_templates, LtboConfig, LtboMode, LtboResult, LtboStats};
+pub use ltbo::detect_fault;
+pub use ltbo::{
+    run_ltbo, run_ltbo_cached, run_ltbo_with_templates, LtboConfig, LtboMode, LtboResult,
+    LtboStats, OutlineError,
+};
 pub use pipeline::{BuildSession, CodegenArtifact, FrontendArtifact, LtboArtifact, MethodOutcome};
 pub use report::{size_report, SizeReport};

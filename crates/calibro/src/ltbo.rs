@@ -18,11 +18,21 @@
 //!    (§3.5).
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
-use calibro_cache::{SymbolTemplate, TemplateSlot};
+use calibro_cache::{
+    ArtifactStore, CacheError, CacheKey, GroupPlanEntry, SymbolTemplate, TemplateSlot,
+};
 use calibro_codegen::{CallTarget, CompiledMethod, PcRel, Reloc};
 use calibro_isa::Insn;
-use calibro_suffix::{detect_group, detect_parallel, partition, GroupPlan, TaggedSequence};
+use calibro_suffix::{
+    detect_group, group_text_len, partition_stable, replay_group_plan, GroupPlan, TaggedSequence,
+    UNIQUE_SEPARATOR_BASE,
+};
+
+use crate::fingerprint::group_plan_key;
+use crate::pipeline::{panic_message, run_indexed};
 
 /// How the suffix-tree stage runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,6 +87,77 @@ pub struct LtboStats {
     pub pc_rel_patched: usize,
     /// Stack-map entries updated (§3.5).
     pub stack_maps_updated: usize,
+    /// Suffix-tree groups the detection stage was organized into
+    /// (1 under [`LtboMode::Global`]). Identical warm and cold, and for
+    /// any worker-thread count — only the *cache* counters say how many
+    /// groups replayed instead of re-detecting.
+    pub detection_groups: usize,
+}
+
+/// A typed failure from [`run_ltbo_cached`].
+#[derive(Debug)]
+pub enum OutlineError {
+    /// Detection or materialization of one group's plan panicked; the
+    /// worker's panic payload is captured instead of aborting the
+    /// process.
+    Worker {
+        /// Index of the offending group.
+        group: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The group-plan cache returned an error (corrupt or unreadable
+    /// persisted plan).
+    Cache(CacheError),
+}
+
+impl core::fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OutlineError::Worker { group, message } => {
+                write!(f, "outline worker for group {group} panicked: {message}")
+            }
+            OutlineError::Cache(e) => write!(f, "group-plan cache error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OutlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OutlineError::Worker { .. } => None,
+            OutlineError::Cache(e) => Some(e),
+        }
+    }
+}
+
+/// Test-only fault injection for the detection pool: arming a group
+/// index makes that group's detection panic, exercising the typed
+/// worker-error path ([`OutlineError::Worker`] /
+/// `BuildError::OutlineWorker`) from integration tests. Disarmed by
+/// default; the hook costs one relaxed atomic load per group.
+#[doc(hidden)]
+pub mod detect_fault {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const DISARMED: usize = usize::MAX;
+    static TARGET: AtomicUsize = AtomicUsize::new(DISARMED);
+
+    /// Arms the fault: detection of group `index` will panic.
+    pub fn arm(index: usize) {
+        TARGET.store(index, Ordering::SeqCst);
+    }
+
+    /// Disarms the fault.
+    pub fn disarm() {
+        TARGET.store(DISARMED, Ordering::SeqCst);
+    }
+
+    pub(crate) fn check(index: usize) {
+        if TARGET.load(Ordering::Relaxed) == index {
+            panic!("injected detection fault in group {index}");
+        }
+    }
 }
 
 /// The result of a link-time outlining run.
@@ -88,7 +169,7 @@ pub struct LtboResult {
     pub stats: LtboStats,
 }
 
-const UNIQUE_BASE: u64 = 1 << 40;
+const UNIQUE_BASE: u64 = UNIQUE_SEPARATOR_BASE;
 
 /// One planned rewrite within a method.
 struct Edit {
@@ -124,6 +205,47 @@ pub fn run_ltbo_with_templates(
     config: &LtboConfig,
     templates: &[Option<&SymbolTemplate>],
 ) -> LtboResult {
+    match run_ltbo_cached(methods, config, templates, None) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`run_ltbo_with_templates`] with two extra capabilities the staged
+/// pipeline uses:
+///
+/// - **Typed worker errors.** A panic inside one group's detection or
+///   materialization (e.g. a [`GroupPlan::resolve`] separator-space
+///   panic on an inconsistent plan) is caught and surfaced as
+///   [`OutlineError::Worker`] with the group index and the panic
+///   payload, instead of unwinding through — or, on a pool thread,
+///   aborting — the whole build.
+/// - **Incremental detection.** With `store` set, each group's selected
+///   candidates are cached under a key covering the group's
+///   canonicalized symbol text plus the `LtboConfig` fingerprint
+///   ([`group_plan_key`]). Groups whose key hits replay the cached plan
+///   ([`replay_group_plan`]) and skip suffix-tree construction
+///   entirely; only dirty groups re-detect. Replay is byte-exact:
+///   content-stable partitioning ([`partition_stable`]) pins each
+///   sequence's group, and detection is deterministic under the
+///   order-isomorphic separator renumbering that a rebuild performs, so
+///   a cached plan equals the plan fresh detection would produce.
+///
+/// Under [`LtboMode::Global`] the single whole-program group goes
+/// through the same cache (useful when *nothing* changed); under
+/// [`LtboMode::Parallel`] dirty-group detection runs on the configured
+/// worker threads.
+///
+/// # Errors
+///
+/// [`OutlineError::Worker`] as above; [`OutlineError::Cache`] when a
+/// persisted group plan exists but is corrupt or unreadable.
+pub fn run_ltbo_cached(
+    methods: &mut [CompiledMethod],
+    config: &LtboConfig,
+    templates: &[Option<&SymbolTemplate>],
+    store: Option<&ArtifactStore>,
+) -> Result<LtboResult, OutlineError> {
     let mut stats = LtboStats::default();
 
     // --- §3.3.1: choose candidates; §3.3.2: map to symbols. ------------
@@ -153,38 +275,82 @@ pub fn run_ltbo_with_templates(
     }
 
     // --- §3.3.3: detect repeats and select the outline plan. ------------
-    let plans: Vec<GroupPlan> = match config.mode {
-        LtboMode::Global => vec![detect_group(&sequences, config.min_len)],
+    let (groups, threads) = match config.mode {
+        LtboMode::Global => (vec![sequences], 1),
         LtboMode::Parallel { groups, threads } => {
-            detect_parallel(partition(sequences, groups), config.min_len, threads)
+            (partition_stable(sequences, groups), threads.max(1))
         }
     };
+    stats.detection_groups = groups.len();
+
+    // Probe the plan cache; a hit means the group's canonicalized text
+    // (and the LTBO config) is unchanged since the plan was detected.
+    let mut keys: Vec<CacheKey> = Vec::new();
+    let mut cached: Vec<Option<Arc<GroupPlanEntry>>> = vec![None; groups.len()];
+    if let Some(store) = store {
+        keys = groups.iter().map(|g| group_plan_key(config, g)).collect();
+        for (slot, &key) in cached.iter_mut().zip(&keys) {
+            *slot = store.get_group_plan(key).map_err(OutlineError::Cache)?;
+        }
+    }
+
+    let min_len = config.min_len;
+    let groups_ref = &groups;
+    let cached_ref = &cached;
+    let (tagged_plans, _loads) = run_indexed(groups.len(), threads, |i| {
+        if let Some(entry) = &cached_ref[i] {
+            return (replay_group_plan(&groups_ref[i], entry.candidates.clone()), true);
+        }
+        detect_fault::check(i);
+        (detect_group(&groups_ref[i], min_len), false)
+    })
+    .map_err(|p| OutlineError::Worker { group: p.index, message: p.message })?;
+
+    if let Some(store) = store {
+        for (i, (plan, reused)) in tagged_plans.iter().enumerate() {
+            if !reused {
+                store.insert_group_plan(
+                    keys[i],
+                    GroupPlanEntry {
+                        text_len: group_text_len(&groups[i]),
+                        candidates: plan.candidates.clone(),
+                    },
+                );
+            }
+        }
+    }
+    let plans: Vec<GroupPlan> = tagged_plans.into_iter().map(|(plan, _)| plan).collect();
 
     // --- Materialize outlined functions and per-method edits. -----------
     let mut outlined: Vec<Vec<Insn>> = Vec::new();
     let mut edits: Vec<Vec<Edit>> = (0..methods.len()).map(|_| Vec::new()).collect();
-    for plan in &plans {
-        for cand in &plan.candidates {
-            let mut body: Vec<Insn> = cand
-                .symbols
-                .iter()
-                .map(|&s| {
-                    calibro_isa::decode(u32::try_from(s).expect("candidate symbol is a word"))
-                        .expect("candidate symbols decode")
-                })
-                .collect();
-            body.push(Insn::Br { rn: calibro_isa::Reg::LR });
-            let id = outlined.len() as u32;
-            stats.words_saved -= body.len() as i64;
-            outlined.push(body);
-            stats.outlined_functions += 1;
-            for &pos in &cand.positions {
-                let (tag, sym_off) = plan.resolve(pos);
-                let word = sym_to_word[tag][sym_off];
-                edits[tag].push(Edit { start: word, len: cand.len, outlined: id });
-                stats.occurrences_replaced += 1;
-                stats.words_saved += cand.len as i64 - 1;
+    for (group, plan) in plans.iter().enumerate() {
+        let materialized = catch_unwind(AssertUnwindSafe(|| {
+            for cand in &plan.candidates {
+                let mut body: Vec<Insn> = cand
+                    .symbols
+                    .iter()
+                    .map(|&s| {
+                        calibro_isa::decode(u32::try_from(s).expect("candidate symbol is a word"))
+                            .expect("candidate symbols decode")
+                    })
+                    .collect();
+                body.push(Insn::Br { rn: calibro_isa::Reg::LR });
+                let id = outlined.len() as u32;
+                stats.words_saved -= body.len() as i64;
+                outlined.push(body);
+                stats.outlined_functions += 1;
+                for &pos in &cand.positions {
+                    let (tag, sym_off) = plan.resolve(pos);
+                    let word = sym_to_word[tag][sym_off];
+                    edits[tag].push(Edit { start: word, len: cand.len, outlined: id });
+                    stats.occurrences_replaced += 1;
+                    stats.words_saved += cand.len as i64 - 1;
+                }
             }
+        }));
+        if let Err(payload) = materialized {
+            return Err(OutlineError::Worker { group, message: panic_message(payload) });
         }
     }
 
@@ -199,7 +365,7 @@ pub fn run_ltbo_with_templates(
         stats.stack_maps_updated += maps_updated;
     }
 
-    LtboResult { outlined, stats }
+    Ok(LtboResult { outlined, stats })
 }
 
 /// Builds the §3.3.2 symbolization structure for one method: which

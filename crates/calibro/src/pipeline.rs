@@ -55,7 +55,7 @@ use calibro_oat::{LinkInput, OatFile};
 
 use crate::driver::{BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt};
-use crate::ltbo::{build_template, run_ltbo_with_templates, LtboConfig, LtboStats};
+use crate::ltbo::{build_template, run_ltbo_cached, LtboConfig, LtboStats, OutlineError};
 
 /// A build context holding the content-addressed artifact store across
 /// builds. One-shot callers use [`build`](crate::build); incremental
@@ -140,7 +140,7 @@ impl BuildSession {
         };
         let graph_busy: Duration = frontend.graph_loads.iter().map(|w| w.busy).sum();
 
-        let codegen = self.codegen(dex, options, frontend);
+        let codegen = self.codegen(dex, options, frontend)?;
         stats.codegen_time = codegen.codegen_time;
         stats.compile_time =
             stats.key_time + stats.graph_time + stats.inline_time + stats.codegen_time;
@@ -151,7 +151,7 @@ impl BuildSession {
         stats.methods = codegen.outcomes.len();
         stats.methods_from_cache = codegen.outcomes.iter().filter(|o| o.cache_hit).count();
 
-        let outlined = self.outline(options, codegen);
+        let outlined = self.outline(options, codegen)?;
         stats.words_before_ltbo = outlined.words_before;
         stats.ltbo = outlined.ltbo;
         stats.ltbo_time = outlined.ltbo_time;
@@ -215,7 +215,8 @@ impl BuildSession {
         let threads = options.compile_threads.max(1);
         let start = Instant::now();
         let (mut graphs, graph_loads) =
-            run_indexed(inputs.len(), threads, |i| need_graph[i].then(|| build_hgraph(&inputs[i])));
+            run_indexed(inputs.len(), threads, |i| need_graph[i].then(|| build_hgraph(&inputs[i])))
+                .map_err(|p| BuildError::CompileWorker { method: p.index, message: p.message })?;
         let graph_time = start.elapsed();
 
         // Whole-program inlining reads callee graphs while rewriting
@@ -242,13 +243,17 @@ impl BuildSession {
     /// pipeline and code generation, builds the LTBO symbolization
     /// template (when LTBO is on), and populates the store; every hit is
     /// replayed from its entry. Results land in method-index order.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::CompileWorker`] when a compile worker
+    /// panics (the panic is contained to its method, not the process).
     pub fn codegen(
         &self,
         dex: &DexFile,
         options: &BuildOptions,
         frontend: FrontendArtifact,
-    ) -> CodegenArtifact {
+    ) -> Result<CodegenArtifact, BuildError> {
         let threads = options.compile_threads.max(1);
         let collect_metadata = options.ltbo.is_some() || options.force_metadata;
         let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
@@ -281,7 +286,8 @@ impl BuildSession {
                 .store
                 .insert(keys[i], CacheEntry { compiled: compiled.clone(), pass_stats, template });
             MethodOutcome { compiled, pass_stats, entry, cache_hit: false }
-        });
+        })
+        .map_err(|p| BuildError::CompileWorker { method: p.index, message: p.message })?;
         let codegen_time = start.elapsed();
 
         // Merged in method-index order — deterministic across schedules.
@@ -289,15 +295,26 @@ impl BuildSession {
         for o in &outcomes {
             passes += o.pass_stats;
         }
-        CodegenArtifact { outcomes, passes, codegen_time, per_worker }
+        Ok(CodegenArtifact { outcomes, passes, codegen_time, per_worker })
     }
 
     /// Stage 3 — **Outline**: runs LTBO over the compiled methods
     /// (mutating them in place), replaying each candidate's cached
-    /// symbolization template. A no-op pass-through when
-    /// [`BuildOptions::ltbo`] is `None`.
-    #[must_use]
-    pub fn outline(&self, options: &BuildOptions, codegen: CodegenArtifact) -> LtboArtifact {
+    /// symbolization template, and — through the session's store —
+    /// replaying each *group's* cached outline plan, so only groups
+    /// whose content changed re-run suffix-tree detection. A no-op
+    /// pass-through when [`BuildOptions::ltbo`] is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::OutlineWorker`] when one group's detection
+    /// or materialization panics, and [`BuildError::Cache`] when a
+    /// persisted group plan is corrupt.
+    pub fn outline(
+        &self,
+        options: &BuildOptions,
+        codegen: CodegenArtifact,
+    ) -> Result<LtboArtifact, BuildError> {
         let CodegenArtifact { outcomes, .. } = codegen;
         let mut methods = Vec::with_capacity(outcomes.len());
         let mut entries = Vec::with_capacity(outcomes.len());
@@ -319,12 +336,18 @@ impl BuildSession {
             };
             let templates: Vec<Option<&SymbolTemplate>> =
                 entries.iter().map(|e| e.template.as_ref()).collect();
-            let result = run_ltbo_with_templates(&mut methods, &config, &templates);
+            let result = run_ltbo_cached(&mut methods, &config, &templates, Some(&self.store))
+                .map_err(|e| match e {
+                    OutlineError::Worker { group, message } => {
+                        BuildError::OutlineWorker { group, message }
+                    }
+                    OutlineError::Cache(e) => BuildError::Cache(e),
+                })?;
             outlined = result.outlined;
             ltbo = result.stats;
             ltbo_time = start.elapsed();
         }
-        LtboArtifact { methods, outlined, ltbo, ltbo_time, words_before }
+        Ok(LtboArtifact { methods, outlined, ltbo, ltbo_time, words_before })
     }
 
     /// Stage 4 — **Link**: binds call labels to addresses and encodes
@@ -474,6 +497,27 @@ fn hash_compiled(m: &CompiledMethod, h: &mut StableHasher) {
     }
 }
 
+/// A contained worker panic from [`run_indexed`]: the lowest panicking
+/// index and its stringified payload. Callers wrap it in the
+/// appropriate typed [`BuildError`] variant.
+#[derive(Debug)]
+pub(crate) struct WorkerPanic {
+    pub(crate) index: usize,
+    pub(crate) message: String,
+}
+
+/// Stringifies a panic payload (`&str` and `String` payloads verbatim,
+/// anything else a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs `f(0..count)` across up to `threads` workers, returning results
 /// in index order plus one [`WorkerLoad`] per worker.
 ///
@@ -483,20 +527,44 @@ fn hash_compiled(m: &CompiledMethod, h: &mut StableHasher) {
 /// and therefore everything derived from it — is independent of the
 /// schedule. With `threads <= 1` (or nothing to do) the closure runs on
 /// the calling thread with no synchronization at all.
-pub(crate) fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> (Vec<T>, Vec<WorkerLoad>)
+///
+/// # Errors
+///
+/// A panic in `f` is caught per item and returned as [`WorkerPanic`]
+/// instead of unwinding (single-threaded) or aborting the process when
+/// it crosses a pool-thread boundary (parallel). Remaining work stops
+/// at the next index draw; when several items panic before the pool
+/// drains, the lowest index is reported.
+pub(crate) fn run_indexed<T, F>(
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Result<(Vec<T>, Vec<WorkerLoad>), WorkerPanic>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     if threads <= 1 || count <= 1 {
         let start = Instant::now();
-        let out: Vec<T> = (0..count).map(f).collect();
-        return (out, vec![WorkerLoad { items: count, busy: start.elapsed() }]);
+        let mut out: Vec<T> = Vec::with_capacity(count);
+        for i in 0..count {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    return Err(WorkerPanic { index: i, message: panic_message(payload) })
+                }
+            }
+        }
+        return Ok((out, vec![WorkerLoad { items: count, busy: start.elapsed() }]));
     }
     let workers = threads.min(count);
     let slots: Vec<parking_lot::Mutex<Option<T>>> =
         (0..count).map(|_| parking_lot::Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
+    let panics: parking_lot::Mutex<Vec<WorkerPanic>> = parking_lot::Mutex::new(Vec::new());
     let loads = crossbeam::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -504,12 +572,27 @@ where
                     let start = Instant::now();
                     let mut items = 0;
                     loop {
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= count {
                             break;
                         }
-                        *slots[i].lock() = Some(f(i));
-                        items += 1;
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => {
+                                *slots[i].lock() = Some(v);
+                                items += 1;
+                            }
+                            Err(payload) => {
+                                panics.lock().push(WorkerPanic {
+                                    index: i,
+                                    message: panic_message(payload),
+                                });
+                                poisoned.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
                     }
                     WorkerLoad { items, busy: start.elapsed() }
                 })
@@ -517,15 +600,20 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("compile worker panicked"))
+            .map(|h| h.join().expect("worker closures catch their own panics"))
             .collect::<Vec<WorkerLoad>>()
     })
-    .expect("compile worker pool panicked");
+    .expect("worker pool itself does not panic");
+    let mut panics = panics.into_inner();
+    if !panics.is_empty() {
+        panics.sort_by_key(|p| p.index);
+        return Err(panics.swap_remove(0));
+    }
     let out = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("every index slot is filled"))
         .collect();
-    (out, loads)
+    Ok((out, loads))
 }
 
 #[cfg(test)]
@@ -535,7 +623,7 @@ mod tests {
     #[test]
     fn run_indexed_preserves_index_order() {
         for threads in [1, 2, 8, 64] {
-            let (out, loads) = run_indexed(100, threads, |i| i * 3);
+            let (out, loads) = run_indexed(100, threads, |i| i * 3).unwrap();
             assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
             assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 100);
             assert!(loads.len() <= threads.max(1));
@@ -544,12 +632,28 @@ mod tests {
 
     #[test]
     fn run_indexed_handles_empty_and_oversubscribed() {
-        let (out, loads) = run_indexed(0, 8, |i| i);
+        let (out, loads) = run_indexed(0, 8, |i| i).unwrap();
         assert!(out.is_empty());
         assert_eq!(loads.iter().map(|w| w.items).sum::<usize>(), 0);
         // More threads than items: never spawns more workers than items.
-        let (out, loads) = run_indexed(3, 16, |i| i + 1);
+        let (out, loads) = run_indexed(3, 16, |i| i + 1).unwrap();
         assert_eq!(out, vec![1, 2, 3]);
         assert!(loads.len() <= 3);
+    }
+
+    #[test]
+    fn run_indexed_contains_worker_panics() {
+        // The panic must not cross the pool boundary (which would abort
+        // the process) — it comes back as a typed WorkerPanic, for both
+        // the sequential and the parallel path.
+        for threads in [1, 4] {
+            let err = run_indexed(8, threads, |i| {
+                assert!(i != 5, "worker fault at {i}");
+                i
+            })
+            .expect_err("armed fault must surface");
+            assert_eq!(err.index, 5);
+            assert!(err.message.contains("worker fault at 5"), "message: {}", err.message);
+        }
     }
 }

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The profile round-trips through the simpleperf-style text format.
     let text = profile.to_text();
     let profile = Profile::from_text(&text)?;
-    let hot = profile.hot_set(0.8);
+    let hot = profile.hot_set(0.8)?;
     println!("hot set (80% of cycles): {} methods", hot.len());
 
     // --- Second builds: with and without hot filtering. ----------------

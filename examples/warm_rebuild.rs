@@ -1,7 +1,10 @@
 //! Warm-rebuild smoke: build an app through a [`BuildSession`], mutate
 //! one method (an app update), rebuild, and demand that the cache
 //! replays everything but the delta and reproduces a cold build bit for
-//! bit. CI runs this as the incremental-recompilation gate.
+//! bit. Runs two arms — the global single-tree LTBO, and the sharded
+//! [`LtboMode::Parallel`](calibro::LtboMode) detection whose per-group
+//! plans replay from the cache — so CI gates both the method lane and
+//! the group-plan lane of the incremental pipeline.
 //!
 //! ```text
 //! cargo run --release --example warm_rebuild
@@ -11,52 +14,65 @@ use calibro::{build, BuildOptions, BuildSession};
 use calibro_workloads::{generate, mutate_methods, AppSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let options = BuildOptions::cto_ltbo();
+    check_arm("global", BuildOptions::cto_ltbo())?;
+    check_arm("sharded", BuildOptions::cto_ltbo_parallel(64, 4))?;
+    Ok(())
+}
+
+fn check_arm(arm: &str, options: BuildOptions) -> Result<(), Box<dyn std::error::Error>> {
     let session = BuildSession::new();
 
     let app = generate(&AppSpec::small("warm-smoke", 97));
     let cold = session.build(&app.dex, &options)?;
     println!(
-        "cold build: {} methods, {} bytes of .text",
+        "[{arm}] cold build: {} methods, {} bytes of .text, {} detection group(s)",
         cold.stats.methods,
-        cold.oat.text_size_bytes()
+        cold.oat.text_size_bytes(),
+        cold.stats.ltbo.detection_groups
     );
 
     // The app update: one mutated method (the fraction rounds up to 1).
     let mut edited = app.dex.clone();
     let mutated = mutate_methods(&mut edited, 5, 0.0001);
-    println!("mutated {} method(s): {:?}", mutated.len(), mutated);
+    println!("[{arm}] mutated {} method(s): {:?}", mutated.len(), mutated);
 
     let warm = session.build(&edited, &options)?;
     let fresh = build(&edited, &options)?;
 
     let hit_rate = warm.stats.cache.hit_rate();
+    let group_hit_rate = warm.stats.cache.group_hit_rate();
     println!(
-        "warm rebuild: {}/{} methods from cache, hit rate {:.1}%",
+        "[{arm}] warm rebuild: {}/{} methods from cache, hit rate {:.1}%, group hit rate {:.1}%",
         warm.stats.methods_from_cache,
         warm.stats.methods,
-        hit_rate * 100.0
+        hit_rate * 100.0,
+        group_hit_rate * 100.0
     );
     println!(
-        "digests: warm {:#018x}, cold {:#018x}",
+        "[{arm}] digests: warm {:#018x}, cold {:#018x}",
         warm.oat.text_digest(),
         fresh.oat.text_digest()
     );
 
     if hit_rate <= 0.9 {
-        return Err(format!("hit rate {hit_rate:.3} not above 0.9").into());
+        return Err(format!("[{arm}] hit rate {hit_rate:.3} not above 0.9").into());
+    }
+    // A one-method delta dirties at most two of the sharded arm's 64
+    // content-stable groups; everything else must replay its cached plan.
+    if arm == "sharded" && group_hit_rate <= 0.8 {
+        return Err(format!("[{arm}] group hit rate {group_hit_rate:.3} not above 0.8").into());
     }
     if warm.stats.methods_from_cache != warm.stats.methods - mutated.len() {
         return Err(format!(
-            "expected {} cache replays, saw {}",
+            "[{arm}] expected {} cache replays, saw {}",
             warm.stats.methods - mutated.len(),
             warm.stats.methods_from_cache
         )
         .into());
     }
     if calibro_oat::to_elf_bytes(&warm.oat) != calibro_oat::to_elf_bytes(&fresh.oat) {
-        return Err("warm rebuild is not byte-identical to a cold build".into());
+        return Err(format!("[{arm}] warm rebuild is not byte-identical to a cold build").into());
     }
-    println!("warm rebuild OK: delta-only recompile, bit-identical output");
+    println!("[{arm}] warm rebuild OK: delta-only recompile, bit-identical output");
     Ok(())
 }

@@ -84,7 +84,7 @@ fn hot_filtering_reduces_runtime_overhead() {
         rt.call(call.method, &call.args, 4_000_000).unwrap();
     }
     let base_cycles = rt.total_cycles();
-    let hot = Profile::capture(&rt).hot_set(0.8);
+    let hot = Profile::capture(&rt).hot_set(0.8).unwrap();
 
     let run_cycles = |options: &BuildOptions| {
         let out = build(&app.dex, options).unwrap();
@@ -118,7 +118,7 @@ fn profiles_written_by_one_session_drive_the_next() {
     let text = Profile::capture(&rt).to_text();
     // ... next build session:
     let profile = Profile::from_text(&text).unwrap();
-    let hot = profile.hot_set(0.8);
+    let hot = profile.hot_set(0.8).unwrap();
     assert!(!hot.is_empty());
     let out = build(&app.dex, &BuildOptions::cto_ltbo().with_hot_filter(hot)).unwrap();
     assert!(out.stats.ltbo.hot_restricted_methods + out.stats.ltbo.excluded_methods > 0);

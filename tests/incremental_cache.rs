@@ -179,6 +179,26 @@ fn warm_rebuild_is_bit_identical_and_recompiles_only_the_delta() {
             // Observability parity: warm pass counters equal cold ones.
             assert_eq!(warm.stats.passes, fresh.stats.passes, "{name}/{threads}: pass drift");
             assert_eq!(warm.stats.ltbo, fresh.stats.ltbo, "{name}/{threads}: LTBO drift");
+            // Group-plan lane: every detection group is probed exactly
+            // once, and an N-method delta dirties at most 2N groups
+            // (the mutated method leaves one group and may land in
+            // another); baseline never touches the lane.
+            let g = &warm.stats.cache;
+            if options.ltbo.is_some() {
+                assert_eq!(
+                    (g.group_hits + g.group_misses) as usize,
+                    warm.stats.ltbo.detection_groups,
+                    "{name}/{threads}: group probes != groups"
+                );
+                assert!(
+                    g.group_misses as usize <= 2 * mutated.len(),
+                    "{name}/{threads}: {} group misses for a {}-method delta",
+                    g.group_misses,
+                    mutated.len()
+                );
+            } else {
+                assert_eq!(g.group_hits + g.group_misses, 0, "{name}/{threads}: baseline probed");
+            }
         }
     }
 }
@@ -195,6 +215,52 @@ fn identical_rebuild_hits_for_every_method() {
     assert_eq!(warm.stats.methods_from_cache, warm.stats.methods);
     assert_eq!(warm.stats.cache.misses, 0);
     assert!((warm.stats.cache.hit_rate() - 1.0).abs() < 1e-12);
+    // The unchanged program replays its detection plan too: the group
+    // key is content-stable, so an identical rebuild never re-detects.
+    assert_eq!(warm.stats.cache.group_misses, 0);
+    assert_eq!(warm.stats.cache.group_hits as usize, warm.stats.ltbo.detection_groups);
+    assert!((warm.stats.cache.group_hit_rate() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn sharded_detection_is_thread_and_warmth_stable() {
+    let spec = AppSpec::small("stable", 53);
+    let dex = generate(&spec).dex;
+    let mut edited = dex.clone();
+    let mutated = mutate_methods(&mut edited, 11, 0.01);
+    assert!(!mutated.is_empty());
+
+    // The reference ELF bytes for the edited program, fixed by the
+    // 1-thread arm; every other (threads, warmth) combination must
+    // reproduce them exactly.
+    let mut reference: Option<Vec<u8>> = None;
+    for threads in [1usize, 8] {
+        let options = BuildOptions::cto_ltbo_parallel(16, threads).with_compile_threads(threads);
+        let session = BuildSession::new();
+        let cold = session.build(&dex, &options).unwrap();
+        assert_eq!(cold.stats.ltbo.detection_groups, 16);
+
+        let warm = session.build(&edited, &options).unwrap();
+        let fresh = build(&edited, &options).unwrap();
+        let warm_bytes = calibro_oat::to_elf_bytes(&warm.oat);
+        assert_eq!(
+            warm_bytes,
+            calibro_oat::to_elf_bytes(&fresh.oat),
+            "t={threads}: warm bytes differ from cold"
+        );
+
+        // The warm build re-detects only the dirty groups and replays
+        // the rest from cached plans.
+        let g = &warm.stats.cache;
+        assert_eq!((g.group_hits + g.group_misses) as usize, 16);
+        assert!(g.group_misses as usize <= 2 * mutated.len());
+        assert!(g.group_hits > 0, "t={threads}: nothing replayed");
+
+        match &reference {
+            None => reference = Some(warm_bytes),
+            Some(r) => assert_eq!(r, &warm_bytes, "output depends on thread count"),
+        }
+    }
 }
 
 #[test]

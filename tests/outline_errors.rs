@@ -1,0 +1,62 @@
+//! Worker-panic propagation through the outline pool: a panic inside
+//! one detection group's worker must surface as a typed
+//! [`BuildError::OutlineWorker`] carrying the group index and the panic
+//! payload — never abort the process or poison later builds.
+//!
+//! Fault injection goes through [`calibro::detect_fault`], a
+//! process-global hook, so everything lives in one test function to
+//! keep arm/disarm ordered.
+
+use calibro::{build, detect_fault, BuildError, BuildOptions, LtboMode};
+use calibro_workloads::{generate, AppSpec};
+
+#[test]
+fn injected_detection_panic_surfaces_as_typed_error() {
+    let app = generate(&AppSpec::small("outline-fault", 41));
+
+    // The injected panic still runs the default hook (stack trace to
+    // stderr); silence it for the duration of the expected faults.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Global mode: one detection group, index 0.
+    detect_fault::arm(0);
+    let err = build(&app.dex, &BuildOptions::cto_ltbo()).expect_err("armed fault must fail");
+    match &err {
+        BuildError::OutlineWorker { group, message } => {
+            assert_eq!(*group, 0);
+            assert!(
+                message.contains("injected detection fault in group 0"),
+                "payload lost: {message}"
+            );
+        }
+        other => panic!("expected OutlineWorker, got: {other}"),
+    }
+    assert!(err.to_string().contains("outline worker for group 0 panicked"));
+
+    // Parallel mode: the fault hits one of several groups while the
+    // others complete; the pool must still return the typed error, with
+    // the faulted group's index, under a multi-threaded pool.
+    let options = BuildOptions::cto_ltbo_parallel(8, 4);
+    let faulted = 3usize;
+    detect_fault::arm(faulted);
+    let err = build(&app.dex, &options).expect_err("armed fault must fail in parallel mode");
+    match &err {
+        BuildError::OutlineWorker { group, message } => {
+            assert_eq!(*group, faulted);
+            assert!(message.contains(&format!("injected detection fault in group {faulted}")));
+        }
+        other => panic!("expected OutlineWorker, got: {other}"),
+    }
+
+    detect_fault::disarm();
+    std::panic::set_hook(hook);
+
+    // Disarmed, the same builds succeed: the fault never left the
+    // process in a broken state.
+    let global = build(&app.dex, &BuildOptions::cto_ltbo()).expect("clean global build");
+    let parallel = build(&app.dex, &options).expect("clean parallel build");
+    assert!(matches!(BuildOptions::cto_ltbo().ltbo, Some(LtboMode::Global)));
+    assert!(global.stats.ltbo.outlined_functions > 0);
+    assert_eq!(parallel.stats.ltbo.detection_groups, 8);
+}
