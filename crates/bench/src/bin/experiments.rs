@@ -15,6 +15,10 @@ use bench::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map_or("all", String::as_str);
+    if which == "serve" {
+        run_serve(&args[1..]);
+        return;
+    }
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE);
 
     eprintln!("generating the six-app suite (scale {scale}) ...");
@@ -65,6 +69,89 @@ fn main() {
     if run_all || which == "incremental" {
         print_incremental(&apps);
     }
+}
+
+/// `experiments serve [--socket PATH | --addr HOST:PORT] [--clients N]
+/// [--requests N] [--workers N] [--queue-depth N] [--no-probe]
+/// [--one-slow]` — the calibrod load generator (see `bench::serve`).
+fn run_serve(args: &[String]) {
+    let mut config = bench::ServeLoadConfig::default();
+    let mut one_slow = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("experiments serve: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--socket" => {
+                config.endpoint =
+                    Some(bench::Endpoint::Unix(std::path::PathBuf::from(value("--socket"))));
+            }
+            "--addr" => config.endpoint = Some(bench::Endpoint::Tcp(value("--addr").clone())),
+            "--clients" => config.clients = parse_flag(value("--clients"), "--clients"),
+            "--requests" => config.requests = parse_flag(value("--requests"), "--requests"),
+            "--workers" => config.workers = parse_flag(value("--workers"), "--workers"),
+            "--queue-depth" => {
+                config.queue_depth = parse_flag(value("--queue-depth"), "--queue-depth");
+            }
+            "--no-probe" => config.probe_overload = false,
+            "--one-slow" => one_slow = true,
+            other => {
+                eprintln!("experiments serve: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if one_slow {
+        let endpoint = config.endpoint.unwrap_or_else(|| {
+            eprintln!("experiments serve --one-slow requires --socket or --addr");
+            std::process::exit(2);
+        });
+        bench::serve_one_slow(&endpoint);
+        println!("serve: in-flight slow request completed");
+        return;
+    }
+
+    header("calibrod load generation");
+    let report = bench::serve_load(&config);
+    let json_path = "BENCH_serve.json";
+    match std::fs::write(json_path, report.to_json()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    println!(
+        "clients {:>3}   completed {:>5}   errors {:>3}   throughput {:>8.1} req/s",
+        report.clients, report.completed, report.errors, report.throughput_rps
+    );
+    println!(
+        "latency  p50 {:>8}us   p95 {:>8}us   p99 {:>8}us",
+        report.p50_us, report.p95_us, report.p99_us
+    );
+    println!(
+        "shared cache: cold {:>8}us   warm {:>8}us   speedup {:>6.1}x   identical {}",
+        report.cold_us, report.warm_us, report.warm_speedup, report.identical
+    );
+    println!(
+        "warm half: {:>4} requests, {:>5.1}% methods from cache",
+        report.warm_requests,
+        report.warm_hit_rate * 100.0
+    );
+    if report.probe_sent > 0 {
+        println!(
+            "overload probe: {} sent, {} rejected Overloaded",
+            report.probe_sent, report.probe_rejected
+        );
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("experiments serve: invalid value {raw:?} for {flag}");
+        std::process::exit(2);
+    })
 }
 
 fn print_incremental(apps: &[calibro_workloads::App]) {

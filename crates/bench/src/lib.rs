@@ -8,5 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod serve;
 
 pub use experiments::*;
+pub use serve::{serve_load, serve_one_slow, Endpoint, ServeLoadConfig, ServeReport};

@@ -65,6 +65,13 @@ pub struct CacheStats {
     pub group_disk_hits: u64,
     /// Group plans persisted to the disk layer.
     pub group_disk_stores: u64,
+    /// Method-lane lock acquisitions that found the lock held by
+    /// another thread (a contended shared-store access). Zero in
+    /// single-build use; under a multi-tenant daemon this measures how
+    /// hard concurrent requests fight over the store.
+    pub lock_contention: u64,
+    /// Group-plan-lane lock acquisitions that found the lock held.
+    pub group_lock_contention: u64,
 }
 
 impl CacheStats {
@@ -84,6 +91,8 @@ impl CacheStats {
             group_evictions: self.group_evictions - earlier.group_evictions,
             group_disk_hits: self.group_disk_hits - earlier.group_disk_hits,
             group_disk_stores: self.group_disk_stores - earlier.group_disk_stores,
+            lock_contention: self.lock_contention - earlier.lock_contention,
+            group_lock_contention: self.group_lock_contention - earlier.group_lock_contention,
         }
     }
 
@@ -151,6 +160,8 @@ pub struct ArtifactStore {
     group_evictions: AtomicU64,
     group_disk_hits: AtomicU64,
     group_disk_stores: AtomicU64,
+    lock_contention: AtomicU64,
+    group_lock_contention: AtomicU64,
 }
 
 impl Default for ArtifactStore {
@@ -195,13 +206,36 @@ impl ArtifactStore {
             group_evictions: AtomicU64::new(0),
             group_disk_hits: AtomicU64::new(0),
             group_disk_stores: AtomicU64::new(0),
+            lock_contention: AtomicU64::new(0),
+            group_lock_contention: AtomicU64::new(0),
         }
+    }
+
+    /// Acquires the method-lane lock, counting the acquisition as
+    /// contended when another thread holds it. The uncontended path is a
+    /// single `try_lock`; the counter never changes what is returned.
+    fn lock_inner(&self) -> parking_lot::MutexGuard<'_, StoreInner> {
+        if let Some(guard) = self.inner.try_lock() {
+            return guard;
+        }
+        self.lock_contention.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
+    }
+
+    /// Acquires the group-plan-lane lock, counting contention like
+    /// [`lock_inner`](Self::lock_inner).
+    fn lock_groups(&self) -> parking_lot::MutexGuard<'_, GroupInner> {
+        if let Some(guard) = self.groups.try_lock() {
+            return guard;
+        }
+        self.group_lock_contention.fetch_add(1, Ordering::Relaxed);
+        self.groups.lock()
     }
 
     /// Number of in-memory entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.lock_inner().map.len()
     }
 
     /// `true` when the store holds nothing in memory.
@@ -220,7 +254,7 @@ impl ArtifactStore {
     /// miss, so poisoned caches are diagnosed instead of silently
     /// recompiled around.
     pub fn get(&self, key: CacheKey) -> Result<Option<Arc<CacheEntry>>, CacheError> {
-        if let Some(entry) = self.inner.lock().map.get(&key) {
+        if let Some(entry) = self.lock_inner().map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Arc::clone(entry)));
         }
@@ -250,7 +284,7 @@ impl ArtifactStore {
                 }
             }
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_inner();
         if let Some(existing) = inner.map.get(&key) {
             return Arc::clone(existing);
         }
@@ -278,7 +312,7 @@ impl ArtifactStore {
     /// Returns [`CacheError`] when a disk plan exists but is corrupt or
     /// unreadable — surfaced, not masked as a miss, like [`get`](Self::get).
     pub fn get_group_plan(&self, key: CacheKey) -> Result<Option<Arc<GroupPlanEntry>>, CacheError> {
-        if let Some(entry) = self.groups.lock().map.get(&key) {
+        if let Some(entry) = self.lock_groups().map.get(&key) {
             self.group_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Arc::clone(entry)));
         }
@@ -313,7 +347,7 @@ impl ArtifactStore {
                 }
             }
         }
-        let mut groups = self.groups.lock();
+        let mut groups = self.lock_groups();
         if let Some(existing) = groups.map.get(&key) {
             return Arc::clone(existing);
         }
@@ -349,6 +383,8 @@ impl ArtifactStore {
             group_evictions: self.group_evictions.load(Ordering::Relaxed),
             group_disk_hits: self.group_disk_hits.load(Ordering::Relaxed),
             group_disk_stores: self.group_disk_stores.load(Ordering::Relaxed),
+            lock_contention: self.lock_contention.load(Ordering::Relaxed),
+            group_lock_contention: self.group_lock_contention.load(Ordering::Relaxed),
         }
     }
 }

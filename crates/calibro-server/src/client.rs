@@ -1,0 +1,238 @@
+//! The synchronous client: connect, frame a request, read the framed
+//! reply. One `Client` holds one connection; clone-free and
+//! thread-per-client by design (the daemon multiplexes via its own
+//! worker pool, not via client-side pipelining).
+
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use calibro::{options_fingerprint, BuildOptions};
+use calibro_dex::DexFile;
+
+use crate::error::ClientError;
+use crate::proto::{
+    self, decode_error, BuildReply, BuildRequest, FrameEvent, ServerStats, REQ_BUILD, REQ_PING,
+    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
+};
+use crate::server::ltbo_fingerprint;
+
+enum ClientStream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a running `calibrod`.
+pub struct Client {
+    stream: ClientStream,
+    max_frame: u64,
+    next_request_id: u64,
+}
+
+impl Client {
+    /// Connects over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connect fails.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(Client {
+            stream: ClientStream::Unix(stream),
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            next_request_id: 1,
+        })
+    }
+
+    /// Connects over TCP (the `--listen` transport).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connect fails.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ClientError> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        Ok(Client {
+            stream: ClientStream::Tcp(stream),
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            next_request_id: 1,
+        })
+    }
+
+    /// Compiles `dex` with `options` on the daemon. `deadline` caps the
+    /// daemon-side queue+compile time; `None` defers to the daemon's
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carries the daemon's typed rejection
+    /// (overloaded, deadline, malformed, build failure, draining);
+    /// [`ClientError::Io`]/[`ClientError::Wire`] are transport-level.
+    pub fn build(
+        &mut self,
+        dex: &DexFile,
+        options: &BuildOptions,
+        deadline: Option<Duration>,
+    ) -> Result<BuildReply, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let request = BuildRequest {
+            request_id,
+            deadline,
+            options_fp: options_fingerprint(options),
+            ltbo_fp: ltbo_fingerprint(options),
+            options: options.clone(),
+            dex: dex.clone(),
+        };
+        proto::write_frame(&mut self.stream, REQ_BUILD, &request.encode())?;
+        match self.read_response()? {
+            (RESP_BUILT, body) => Ok(BuildReply::decode(&body)?),
+            (RESP_ERROR, body) => {
+                let (_, error) = decode_error(&body)?;
+                Err(ClientError::Server(error))
+            }
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    /// Pipelines several build requests on this one connection: writes
+    /// every frame before reading any reply, then collects one typed
+    /// outcome per request, **in request order** (the daemon may reply
+    /// out of order — admission rejections are written immediately by
+    /// the connection thread while builds complete on workers — so
+    /// replies are matched by request id).
+    ///
+    /// This is how a load generator saturates the daemon's admission
+    /// queue from a single connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s. Per-request daemon rejections
+    /// are *not* errors of the exchange: they come back as the `Err`
+    /// arm of the per-request [`Result`].
+    #[allow(clippy::type_complexity)]
+    pub fn build_pipelined<'a>(
+        &mut self,
+        requests: &mut dyn Iterator<Item = (&'a DexFile, &'a BuildOptions)>,
+    ) -> Result<Vec<Result<BuildReply, crate::error::ServeError>>, ClientError> {
+        let mut ids = Vec::new();
+        for (dex, options) in requests {
+            let request_id = self.next_request_id;
+            self.next_request_id += 1;
+            let request = BuildRequest {
+                request_id,
+                deadline: None,
+                options_fp: options_fingerprint(options),
+                ltbo_fp: ltbo_fingerprint(options),
+                options: options.clone(),
+                dex: dex.clone(),
+            };
+            proto::write_frame(&mut self.stream, REQ_BUILD, &request.encode())?;
+            ids.push(request_id);
+        }
+        let mut by_id = std::collections::HashMap::new();
+        while by_id.len() < ids.len() {
+            match self.read_response()? {
+                (RESP_BUILT, body) => {
+                    let reply = BuildReply::decode(&body)?;
+                    by_id.insert(reply.request_id, Ok(reply));
+                }
+                (RESP_ERROR, body) => {
+                    let (request_id, error) = decode_error(&body)?;
+                    by_id.insert(request_id, Err(error));
+                }
+                (kind, _) => return Err(ClientError::UnexpectedResponse { kind }),
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| by_id.remove(&id).expect("one reply per pipelined request id"))
+            .collect())
+    }
+
+    /// Fetches the daemon's stats snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ClientError> {
+        proto::write_frame(&mut self.stream, REQ_STATS, &[])?;
+        match self.read_response()? {
+            (RESP_STATS, body) => Ok(ServerStats::decode(&body)?),
+            (RESP_ERROR, body) => {
+                let (_, error) = decode_error(&body)?;
+                Err(ClientError::Server(error))
+            }
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    /// Round-trips a ping (connectivity / readiness check).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        proto::write_frame(&mut self.stream, REQ_PING, b"ping")?;
+        match self.read_response()? {
+            (RESP_PONG, _) => Ok(()),
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    /// Asks the daemon to drain and shut down; returns once the daemon
+    /// acknowledged the request (the drain itself continues after).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        proto::write_frame(&mut self.stream, REQ_SHUTDOWN, &[])?;
+        match self.read_response()? {
+            (RESP_SHUTDOWN_ACK, _) => Ok(()),
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<(u8, Vec<u8>), ClientError> {
+        match proto::read_frame(&mut self.stream, self.max_frame)? {
+            FrameEvent::Frame { kind, body } => Ok((kind, body)),
+            FrameEvent::Eof | FrameEvent::MidFrameDisconnect => Err(ClientError::Io(
+                io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection"),
+            )),
+            FrameEvent::TooLarge { claimed } => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("daemon response frame of {claimed} bytes exceeds client limit"),
+            ))),
+        }
+    }
+}

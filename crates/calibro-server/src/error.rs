@@ -1,0 +1,164 @@
+//! The typed service error every failure path of the daemon funnels
+//! into — what goes over the wire in an error response, and what the
+//! client surfaces.
+
+use crate::wire::WireError;
+
+/// A request-level failure. The numeric discriminants are the wire
+/// encoding and therefore part of the protocol: never reorder them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full — the daemon applies backpressure
+    /// instead of buffering unboundedly. Retry later (or against
+    /// another shard).
+    Overloaded {
+        /// Configured queue capacity at rejection time.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a result could be returned.
+    /// If compilation had already started, its artifacts are still
+    /// cached, so an immediate retry is warm.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u32,
+    },
+    /// The request frame decoded to garbage (bad tag, truncated field,
+    /// trailing bytes). The connection survives: frame boundaries are
+    /// intact, so the next frame parses independently.
+    Malformed {
+        /// Human-readable decode failure.
+        detail: String,
+    },
+    /// The length prefix exceeded the configured frame ceiling. The
+    /// connection is closed (the stream cannot be resynchronized), but
+    /// the daemon keeps serving every other connection.
+    FrameTooLarge {
+        /// The claimed frame length.
+        claimed: u64,
+        /// The configured ceiling.
+        limit: u64,
+    },
+    /// The compilation itself failed (verification, linking, a worker
+    /// panic...). Carries the build error rendered as text.
+    Build {
+        /// Human-readable build failure.
+        detail: String,
+    },
+    /// The daemon is draining for shutdown and no longer admits work.
+    Draining,
+    /// The fingerprint the client sent does not match the one the
+    /// daemon computed from the decoded request — codec or schema
+    /// drift between client and server builds.
+    FingerprintMismatch,
+}
+
+impl ServeError {
+    /// The wire discriminant.
+    #[must_use]
+    pub fn code(&self) -> u8 {
+        match self {
+            ServeError::Overloaded { .. } => 1,
+            ServeError::DeadlineExceeded { .. } => 2,
+            ServeError::Malformed { .. } => 3,
+            ServeError::FrameTooLarge { .. } => 4,
+            ServeError::Build { .. } => 5,
+            ServeError::Draining => 6,
+            ServeError::FingerprintMismatch => 7,
+        }
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> ServeError {
+        ServeError::Malformed { detail: e.to_string() }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms}ms exceeded")
+            }
+            ServeError::Malformed { detail } => write!(f, "malformed request: {detail}"),
+            ServeError::FrameTooLarge { claimed, limit } => {
+                write!(f, "frame length {claimed} exceeds limit {limit}")
+            }
+            ServeError::Build { detail } => write!(f, "build failed: {detail}"),
+            ServeError::Draining => write!(f, "daemon is draining for shutdown"),
+            ServeError::FingerprintMismatch => {
+                write!(f, "request fingerprint does not match decoded payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A client-side failure: either transport trouble or a typed error the
+/// daemon returned.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, unexpected EOF).
+    Io(std::io::Error),
+    /// The daemon's response did not decode.
+    Wire(WireError),
+    /// The daemon returned a typed error response.
+    Server(ServeError),
+    /// The daemon replied with a response kind the client did not
+    /// expect for this request.
+    UnexpectedResponse {
+        /// The frame kind received.
+        kind: u8,
+    },
+}
+
+impl ClientError {
+    /// The typed server error, when that is what this is.
+    #[must_use]
+    pub fn as_server(&self) -> Option<&ServeError> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "response decode error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse { kind } => {
+                write!(f, "unexpected response kind {kind:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            ClientError::UnexpectedResponse { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A lock-free log-scale latency histogram: power-of-two microsecond
+//! buckets, wide enough to span 1µs..~18 minutes, recorded with one
+//! relaxed atomic increment per sample. Quantiles are computed from a
+//! snapshot of the bucket counts, reporting the *upper bound* of the
+//! bucket the quantile lands in (a conservative estimate — never
+//! under-reports a latency).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets. Bucket `i` holds samples with
+/// `us < 2^(i+1)` (bucket 0: 0-1µs, bucket 29: ~9-18 minutes); the last
+/// bucket also absorbs everything larger.
+pub const NUM_BUCKETS: usize = 30;
+
+/// The shared histogram. All methods take `&self`.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// A histogram with every bucket at zero.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(NUM_BUCKETS).saturating_sub(1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// The upper bound (µs) of bucket `idx`.
+#[must_use]
+pub fn bucket_upper_us(idx: usize) -> u64 {
+    1u64 << (idx + 1)
+}
+
+/// The `p`-quantile (`0.0..=1.0`) over snapshot `counts`, as the upper
+/// bound in microseconds of the bucket it falls into. Returns 0 for an
+/// empty histogram.
+#[must_use]
+pub fn quantile_us(counts: &[u64], p: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (idx, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_upper_us(idx);
+        }
+    }
+    bucket_upper_us(counts.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_log_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(1)); // bucket 0 (<2µs)
+        h.record(Duration::from_micros(3)); // bucket 1 (<4µs)
+        h.record(Duration::from_micros(1000)); // bucket 9 (<1024µs)
+        h.record(Duration::from_secs(36_000)); // clamped into the last bucket
+        let counts = h.snapshot();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[9], 1);
+        assert_eq!(counts[NUM_BUCKETS - 1], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10)); // bucket 3, upper 16
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(5000)); // bucket 12, upper 8192
+        }
+        let c = h.snapshot();
+        assert_eq!(quantile_us(&c, 0.50), 16);
+        assert_eq!(quantile_us(&c, 0.90), 16);
+        assert_eq!(quantile_us(&c, 0.99), 8192);
+        assert_eq!(quantile_us(&[], 0.5), 0);
+        assert_eq!(quantile_us(&[0; NUM_BUCKETS], 0.5), 0);
+    }
+}

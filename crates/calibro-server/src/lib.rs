@@ -1,0 +1,65 @@
+//! # calibro-server
+//!
+//! `calibrod`: a multi-tenant compile-service daemon around the
+//! Calibro pipeline, plus its client library.
+//!
+//! Many Android build jobs compile overlapping inputs — incremental
+//! rebuilds of the same app, CI shards of one repository, a fleet of
+//! developer machines behind one cache host. Running each `build()` in
+//! its own process wastes the warm [`calibro_cache::ArtifactStore`]:
+//! every process re-compiles methods a sibling just finished. The
+//! daemon inverts that: one long-lived process owns one shared store
+//! (method and group-plan lanes), and every request from every client
+//! replays whatever any earlier request already paid for.
+//!
+//! The moving parts:
+//!
+//! * [`proto`] — a length-prefixed framed protocol (`[u32 len][u8
+//!   kind][body]`) over a Unix domain socket, with a TCP fallback.
+//!   Requests carry the full [`calibro::BuildOptions`] plus the
+//!   client-computed option/LTBO fingerprints; replies carry the
+//!   compiled OAT as ELF bytes plus build statistics.
+//! * [`server`] — the daemon: bounded admission queue (typed
+//!   [`ServeError::Overloaded`] on overflow), worker pool over
+//!   [`calibro::BuildSession::with_store`], per-request deadlines,
+//!   graceful drain on shutdown.
+//! * [`client`] — the synchronous client used by tests, the loadgen
+//!   and external tools.
+//! * [`histogram`] — the lock-free log-scale latency histogram behind
+//!   the `stats` request's p50/p95/p99.
+//!
+//! # Examples
+//!
+//! ```
+//! use calibro_server::{Client, Daemon, Listener, ServerConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("calibrod-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let socket = dir.join("calibrod.sock");
+//! let daemon = Daemon::start(Listener::unix(&socket)?, ServerConfig::default())?;
+//!
+//! let mut client = Client::connect_unix(&socket).unwrap();
+//! client.ping().unwrap();
+//! let stats = client.server_stats().unwrap();
+//! assert_eq!(stats.requests_completed, 0);
+//!
+//! daemon.shutdown();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod histogram;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use error::{ClientError, ServeError};
+pub use histogram::{quantile_us, LatencyHistogram};
+pub use proto::{BuildReply, BuildRequest, ServerStats, DEFAULT_MAX_FRAME};
+pub use server::{ltbo_fingerprint, Daemon, Listener, ServerConfig};
+pub use wire::WireError;

@@ -1,0 +1,625 @@
+//! The framed request/response protocol `calibrod` speaks.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +--------------+-----------+------------------+
+//! | len: u32 LE  | kind: u8  | body (len-1 B)   |
+//! +--------------+-----------+------------------+
+//! ```
+//!
+//! `len` counts the kind byte plus the body and is validated against
+//! the configured ceiling *before* anything is allocated, so an
+//! adversarial length prefix costs the daemon four bytes of reading,
+//! not gigabytes of memory. Request kinds occupy `0x01..=0x7f`,
+//! response kinds `0x81..=0xff`; unknown kinds inside an intact frame
+//! get a typed error response and the connection keeps serving.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use calibro::{BuildOptions, CacheKey, CacheStats};
+use calibro_dex::DexFile;
+
+use crate::error::ServeError;
+use crate::wire::{self, Reader, WireError, Writer};
+
+/// Request kind: compile a program.
+pub const REQ_BUILD: u8 = 0x01;
+/// Request kind: report daemon statistics.
+pub const REQ_STATS: u8 = 0x02;
+/// Request kind: drain gracefully and exit.
+pub const REQ_SHUTDOWN: u8 = 0x03;
+/// Request kind: liveness probe.
+pub const REQ_PING: u8 = 0x04;
+/// Response kind: a successful build.
+pub const RESP_BUILT: u8 = 0x81;
+/// Response kind: a typed error.
+pub const RESP_ERROR: u8 = 0x82;
+/// Response kind: daemon statistics.
+pub const RESP_STATS: u8 = 0x83;
+/// Response kind: shutdown acknowledged (sent before the daemon exits).
+pub const RESP_SHUTDOWN_ACK: u8 = 0x84;
+/// Response kind: liveness reply.
+pub const RESP_PONG: u8 = 0x85;
+
+/// Default ceiling on one frame (kind + body): 64 MiB.
+pub const DEFAULT_MAX_FRAME: u64 = 64 << 20;
+
+/// What [`read_frame`] produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame: its kind byte and body.
+    Frame {
+        /// The kind byte.
+        kind: u8,
+        /// The body (everything after the kind byte).
+        body: Vec<u8>,
+    },
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// The peer vanished mid-frame (after the length prefix or inside
+    /// the payload) — distinguished from a clean EOF so the daemon can
+    /// count it as a protocol violation rather than a normal hangup.
+    MidFrameDisconnect,
+    /// The length prefix exceeded `max_frame`. The stream cannot be
+    /// resynchronized; the caller must close it.
+    TooLarge {
+        /// The claimed length.
+        claimed: u64,
+    },
+}
+
+/// Reads one frame. IO errors other than EOF propagate as `Err`.
+///
+/// # Errors
+///
+/// Returns the underlying IO error for anything except a clean or
+/// mid-frame EOF (those are in-band [`FrameEvent`] variants).
+pub fn read_frame(stream: &mut impl Read, max_frame: u64) -> std::io::Result<FrameEvent> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(stream, &mut len_buf)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof => return Ok(FrameEvent::Eof),
+        ReadOutcome::PartialEof => return Ok(FrameEvent::MidFrameDisconnect),
+    }
+    let len = u64::from(u32::from_le_bytes(len_buf));
+    if len == 0 || len > max_frame {
+        return Ok(FrameEvent::TooLarge { claimed: len });
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(stream, &mut payload)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::CleanEof | ReadOutcome::PartialEof => {
+            return Ok(FrameEvent::MidFrameDisconnect)
+        }
+    }
+    let kind = payload[0];
+    payload.remove(0);
+    Ok(FrameEvent::Frame { kind, body: payload })
+}
+
+enum ReadOutcome {
+    Full,
+    CleanEof,
+    PartialEof,
+}
+
+fn read_exact_or_eof(stream: &mut impl Read, buf: &mut [u8]) -> std::io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::PartialEof
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Writes one frame (length prefix, kind, body) and flushes.
+///
+/// # Errors
+///
+/// Propagates the underlying IO error.
+pub fn write_frame(stream: &mut impl Write, kind: u8, body: &[u8]) -> std::io::Result<()> {
+    let len = (body.len() + 1) as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&[kind])?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn write_key(w: &mut Writer, key: CacheKey) {
+    w.u64(key.hi);
+    w.u64(key.lo);
+}
+
+fn read_key(r: &mut Reader<'_>) -> Result<CacheKey, WireError> {
+    Ok(CacheKey { hi: r.u64("key.hi")?, lo: r.u64("key.lo")? })
+}
+
+fn write_opt_key(w: &mut Writer, key: Option<CacheKey>) {
+    match key {
+        None => w.u8(0),
+        Some(k) => {
+            w.u8(1);
+            write_key(w, k);
+        }
+    }
+}
+
+fn read_opt_key(r: &mut Reader<'_>) -> Result<Option<CacheKey>, WireError> {
+    match r.u8("Option<CacheKey> tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(read_key(r)?)),
+        tag => Err(WireError::InvalidTag { what: "Option<CacheKey>", tag }),
+    }
+}
+
+/// A compile request: the program, the full build configuration, an
+/// optional deadline, and the client-computed fingerprints the daemon
+/// cross-checks against its own.
+pub struct BuildRequest {
+    /// Client-chosen id echoed in the response.
+    pub request_id: u64,
+    /// Per-request deadline; `None` uses the daemon's default.
+    pub deadline: Option<Duration>,
+    /// Client-side [`calibro::options_fingerprint`] of `options`.
+    pub options_fp: CacheKey,
+    /// Client-side LTBO-config fingerprint (`None` when LTBO is off).
+    pub ltbo_fp: Option<CacheKey>,
+    /// The build configuration.
+    pub options: BuildOptions,
+    /// The program to compile.
+    pub dex: DexFile,
+}
+
+impl BuildRequest {
+    /// Encodes the request body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.request_id);
+        match self.deadline {
+            None => w.u8(0),
+            Some(d) => {
+                w.u8(1);
+                w.u32(d.as_millis().min(u128::from(u32::MAX)) as u32);
+            }
+        }
+        write_key(&mut w, self.options_fp);
+        write_opt_key(&mut w, self.ltbo_fp);
+        wire::write_options(&mut w, &self.options);
+        wire::write_dex(&mut w, &self.dex);
+        w.into_bytes()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<BuildRequest, WireError> {
+        let mut r = Reader::new(body);
+        let request_id = r.u64("request_id")?;
+        let deadline = match r.u8("deadline tag")? {
+            0 => None,
+            1 => Some(Duration::from_millis(u64::from(r.u32("deadline_ms")?))),
+            tag => return Err(WireError::InvalidTag { what: "deadline", tag }),
+        };
+        let options_fp = read_key(&mut r)?;
+        let ltbo_fp = read_opt_key(&mut r)?;
+        let options = wire::read_options(&mut r)?;
+        let dex = wire::read_dex(&mut r)?;
+        r.finish()?;
+        Ok(BuildRequest { request_id, deadline, options_fp, ltbo_fp, options, dex })
+    }
+}
+
+/// A successful build response: the fingerprints (echoed), the linked
+/// OAT as ELF bytes, and the build's statistics.
+pub struct BuildReply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// The daemon-side options fingerprint (equals the request's).
+    pub options_fp: CacheKey,
+    /// The daemon-side LTBO fingerprint.
+    pub ltbo_fp: Option<CacheKey>,
+    /// The linked OAT file, serialized as ELF64.
+    pub elf: Vec<u8>,
+    /// Methods in the program.
+    pub methods: u64,
+    /// Methods replayed from the shared warm cache.
+    pub methods_from_cache: u64,
+    /// Cache activity attributed to this build (approximate under
+    /// concurrency — the store is shared).
+    pub cache_hits: u64,
+    /// Cache misses attributed to this build.
+    pub cache_misses: u64,
+    /// Wall time the daemon spent building, in microseconds.
+    pub build_us: u64,
+    /// The full [`calibro::BuildStats`] JSON payload.
+    pub stats_json: String,
+}
+
+// Manual impl: the ELF payload is megabytes — render its length, not
+// its bytes, so assertion failures stay readable.
+impl core::fmt::Debug for BuildReply {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BuildReply")
+            .field("request_id", &self.request_id)
+            .field("options_fp", &self.options_fp)
+            .field("ltbo_fp", &self.ltbo_fp)
+            .field("elf_len", &self.elf.len())
+            .field("methods", &self.methods)
+            .field("methods_from_cache", &self.methods_from_cache)
+            .field("cache_hits", &self.cache_hits)
+            .field("cache_misses", &self.cache_misses)
+            .field("build_us", &self.build_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BuildReply {
+    /// Encodes the reply body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.request_id);
+        write_key(&mut w, self.options_fp);
+        write_opt_key(&mut w, self.ltbo_fp);
+        w.bytes(&self.elf);
+        w.u64(self.methods);
+        w.u64(self.methods_from_cache);
+        w.u64(self.cache_hits);
+        w.u64(self.cache_misses);
+        w.u64(self.build_us);
+        w.str(&self.stats_json);
+        w.into_bytes()
+    }
+
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<BuildReply, WireError> {
+        let mut r = Reader::new(body);
+        let reply = BuildReply {
+            request_id: r.u64("request_id")?,
+            options_fp: read_key(&mut r)?,
+            ltbo_fp: read_opt_key(&mut r)?,
+            elf: r.bytes("elf")?,
+            methods: r.u64("methods")?,
+            methods_from_cache: r.u64("methods_from_cache")?,
+            cache_hits: r.u64("cache_hits")?,
+            cache_misses: r.u64("cache_misses")?,
+            build_us: r.u64("build_us")?,
+            stats_json: r.str("stats_json")?,
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Encodes an error response body.
+#[must_use]
+pub fn encode_error(request_id: u64, error: &ServeError) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(request_id);
+    w.u8(error.code());
+    match error {
+        ServeError::Overloaded { capacity } => w.usize(*capacity),
+        ServeError::DeadlineExceeded { deadline_ms } => w.u32(*deadline_ms),
+        ServeError::Malformed { detail } | ServeError::Build { detail } => w.str(detail),
+        ServeError::FrameTooLarge { claimed, limit } => {
+            w.u64(*claimed);
+            w.u64(*limit);
+        }
+        ServeError::Draining | ServeError::FingerprintMismatch => {}
+    }
+    w.into_bytes()
+}
+
+/// Decodes an error response body into `(request_id, error)`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any malformed field.
+pub fn decode_error(body: &[u8]) -> Result<(u64, ServeError), WireError> {
+    let mut r = Reader::new(body);
+    let request_id = r.u64("request_id")?;
+    let code = r.u8("error code")?;
+    let error = match code {
+        1 => ServeError::Overloaded { capacity: r.usize("capacity")? },
+        2 => ServeError::DeadlineExceeded { deadline_ms: r.u32("deadline_ms")? },
+        3 => ServeError::Malformed { detail: r.str("detail")? },
+        4 => ServeError::FrameTooLarge { claimed: r.u64("claimed")?, limit: r.u64("limit")? },
+        5 => ServeError::Build { detail: r.str("detail")? },
+        6 => ServeError::Draining,
+        7 => ServeError::FingerprintMismatch,
+        tag => return Err(WireError::InvalidTag { what: "ServeError code", tag }),
+    };
+    r.finish()?;
+    Ok((request_id, error))
+}
+
+/// A point-in-time view of the daemon, returned by the `stats` request.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Microseconds since the daemon started.
+    pub uptime_us: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Requests being compiled right now.
+    pub in_flight: u64,
+    /// Connections accepted since start.
+    pub accepted_connections: u64,
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// Build requests admitted to the queue.
+    pub requests_admitted: u64,
+    /// Build requests completed successfully.
+    pub requests_completed: u64,
+    /// Build requests rejected with [`ServeError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Build requests that exceeded their deadline.
+    pub deadline_timeouts: u64,
+    /// Frames that decoded to garbage (typed error returned, connection
+    /// kept).
+    pub malformed_frames: u64,
+    /// Frames whose length prefix exceeded the ceiling (typed error
+    /// returned, connection closed).
+    pub oversized_frames: u64,
+    /// Connections that vanished mid-frame.
+    pub mid_frame_disconnects: u64,
+    /// Builds that failed with a typed build error.
+    pub build_errors: u64,
+    /// Request-latency histogram bucket counts (see
+    /// [`crate::histogram`]).
+    pub latency_buckets: Vec<u64>,
+    /// Cumulative shared-store counters (both lanes + contention).
+    pub cache: CacheStats,
+}
+
+impl ServerStats {
+    /// The p-quantile of request latency, µs (upper bucket bound).
+    #[must_use]
+    pub fn latency_quantile_us(&self, p: f64) -> u64 {
+        crate::histogram::quantile_us(&self.latency_buckets, p)
+    }
+
+    /// Encodes the stats body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.uptime_us);
+        w.u64(self.workers);
+        w.u64(self.queue_capacity);
+        w.u64(self.queue_depth);
+        w.u64(self.in_flight);
+        w.u64(self.accepted_connections);
+        w.u64(self.open_connections);
+        w.u64(self.requests_admitted);
+        w.u64(self.requests_completed);
+        w.u64(self.rejected_overloaded);
+        w.u64(self.deadline_timeouts);
+        w.u64(self.malformed_frames);
+        w.u64(self.oversized_frames);
+        w.u64(self.mid_frame_disconnects);
+        w.u64(self.build_errors);
+        w.u32(self.latency_buckets.len() as u32);
+        for &b in &self.latency_buckets {
+            w.u64(b);
+        }
+        // Exhaustive destructuring: adding a CacheStats field fails
+        // compilation here instead of silently not being transported.
+        let CacheStats {
+            hits,
+            misses,
+            stores,
+            evictions,
+            disk_hits,
+            disk_stores,
+            group_hits,
+            group_misses,
+            group_stores,
+            group_evictions,
+            group_disk_hits,
+            group_disk_stores,
+            lock_contention,
+            group_lock_contention,
+        } = self.cache;
+        for v in [
+            hits,
+            misses,
+            stores,
+            evictions,
+            disk_hits,
+            disk_stores,
+            group_hits,
+            group_misses,
+            group_stores,
+            group_evictions,
+            group_disk_hits,
+            group_disk_stores,
+            lock_contention,
+            group_lock_contention,
+        ] {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a stats body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<ServerStats, WireError> {
+        let mut r = Reader::new(body);
+        let uptime_us = r.u64("uptime_us")?;
+        let workers = r.u64("workers")?;
+        let queue_capacity = r.u64("queue_capacity")?;
+        let queue_depth = r.u64("queue_depth")?;
+        let in_flight = r.u64("in_flight")?;
+        let accepted_connections = r.u64("accepted_connections")?;
+        let open_connections = r.u64("open_connections")?;
+        let requests_admitted = r.u64("requests_admitted")?;
+        let requests_completed = r.u64("requests_completed")?;
+        let rejected_overloaded = r.u64("rejected_overloaded")?;
+        let deadline_timeouts = r.u64("deadline_timeouts")?;
+        let malformed_frames = r.u64("malformed_frames")?;
+        let oversized_frames = r.u64("oversized_frames")?;
+        let mid_frame_disconnects = r.u64("mid_frame_disconnects")?;
+        let build_errors = r.u64("build_errors")?;
+        let n = r.u32("bucket count")? as usize;
+        if n > 4096 {
+            return Err(WireError::OversizedCollection { what: "latency buckets", len: n as u64 });
+        }
+        let latency_buckets =
+            (0..n).map(|_| r.u64("bucket")).collect::<Result<Vec<u64>, WireError>>()?;
+        let cache = CacheStats {
+            hits: r.u64("hits")?,
+            misses: r.u64("misses")?,
+            stores: r.u64("stores")?,
+            evictions: r.u64("evictions")?,
+            disk_hits: r.u64("disk_hits")?,
+            disk_stores: r.u64("disk_stores")?,
+            group_hits: r.u64("group_hits")?,
+            group_misses: r.u64("group_misses")?,
+            group_stores: r.u64("group_stores")?,
+            group_evictions: r.u64("group_evictions")?,
+            group_disk_hits: r.u64("group_disk_hits")?,
+            group_disk_stores: r.u64("group_disk_stores")?,
+            lock_contention: r.u64("lock_contention")?,
+            group_lock_contention: r.u64("group_lock_contention")?,
+        };
+        r.finish()?;
+        Ok(ServerStats {
+            uptime_us,
+            workers,
+            queue_capacity,
+            queue_depth,
+            in_flight,
+            accepted_connections,
+            open_connections,
+            requests_admitted,
+            requests_completed,
+            rejected_overloaded,
+            deadline_timeouts,
+            malformed_frames,
+            oversized_frames,
+            mid_frame_disconnects,
+            build_errors,
+            latency_buckets,
+            cache,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, REQ_PING, b"abc").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::Frame { kind, body } => {
+                assert_eq!(kind, REQ_PING);
+                assert_eq!(body, b"abc");
+            }
+            _ => panic!("expected a frame"),
+        }
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::Eof => {}
+            _ => panic!("expected clean EOF"),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_and_midframe_eof_are_in_band() {
+        // Length prefix claims 4 GiB-ish without sending it.
+        let huge = (u32::MAX).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::TooLarge { claimed } => assert_eq!(claimed, u64::from(u32::MAX)),
+            _ => panic!("expected TooLarge"),
+        }
+        // A frame that promises 10 bytes and delivers 3.
+        let mut partial = 10u32.to_le_bytes().to_vec();
+        partial.extend_from_slice(&[REQ_PING, 1, 2]);
+        let mut cursor = std::io::Cursor::new(partial);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::MidFrameDisconnect => {}
+            _ => panic!("expected MidFrameDisconnect"),
+        }
+        // EOF inside the length prefix itself is also mid-frame.
+        let mut cursor = std::io::Cursor::new(vec![5u8, 0]);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap() {
+            FrameEvent::MidFrameDisconnect => {}
+            _ => panic!("expected MidFrameDisconnect"),
+        }
+    }
+
+    #[test]
+    fn error_roundtrip_covers_every_variant() {
+        let variants = [
+            ServeError::Overloaded { capacity: 32 },
+            ServeError::DeadlineExceeded { deadline_ms: 250 },
+            ServeError::Malformed { detail: "bad tag".into() },
+            ServeError::FrameTooLarge { claimed: 1 << 40, limit: 64 << 20 },
+            ServeError::Build { detail: "verify failed".into() },
+            ServeError::Draining,
+            ServeError::FingerprintMismatch,
+        ];
+        for (i, e) in variants.into_iter().enumerate() {
+            let body = encode_error(i as u64, &e);
+            let (id, back) = decode_error(&body).expect("error decodes");
+            assert_eq!(id, i as u64);
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let stats = ServerStats {
+            uptime_us: 123,
+            workers: 8,
+            queue_capacity: 64,
+            queue_depth: 3,
+            in_flight: 8,
+            accepted_connections: 40,
+            open_connections: 12,
+            requests_admitted: 1000,
+            requests_completed: 980,
+            rejected_overloaded: 17,
+            deadline_timeouts: 3,
+            malformed_frames: 2,
+            oversized_frames: 1,
+            mid_frame_disconnects: 4,
+            build_errors: 5,
+            latency_buckets: vec![0, 5, 10, 0, 2],
+            cache: CacheStats { hits: 9, misses: 4, lock_contention: 7, ..CacheStats::default() },
+        };
+        let back = ServerStats::decode(&stats.encode()).expect("stats decode");
+        assert_eq!(back, stats);
+        assert!(back.latency_quantile_us(0.5) > 0);
+    }
+}

@@ -1,0 +1,661 @@
+//! The daemon: a long-lived compile service holding one shared
+//! [`ArtifactStore`] across every request, so client B's warm build
+//! replays client A's artifacts.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──► connection threads (1 per client)
+//!                        │  decode frame, admission-check
+//!                        ▼
+//!                 bounded admission queue  ──full──► Overloaded reply
+//!                        │
+//!                        ▼
+//!                 worker pool (N threads)
+//!                  BuildSession::with_store(shared store)
+//!                        │
+//!                        ▼
+//!                 framed reply on the request's connection
+//! ```
+//!
+//! Backpressure is explicit: the queue has a configured depth and a
+//! full queue rejects with a typed [`ServeError::Overloaded`] instead
+//! of buffering unboundedly. Deadlines are enforced at dequeue (an
+//! expired request is never compiled) and re-checked after the build
+//! (a late result is reported as a typed timeout, but its artifacts
+//! stay in the shared cache, so the retry is warm). Shutdown drains:
+//! stop accepting, finish queued and in-flight work, then close.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use calibro::{
+    options_fingerprint, BuildOptions, BuildSession, CacheConfig, CacheKey, LtboConfig,
+    StableHasher,
+};
+use calibro_cache::ArtifactStore;
+use calibro_dex::DexFile;
+
+use crate::error::ServeError;
+use crate::histogram::LatencyHistogram;
+use crate::proto::{
+    self, encode_error, BuildReply, BuildRequest, FrameEvent, ServerStats, REQ_BUILD, REQ_PING,
+    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
+};
+
+/// Configuration of one daemon.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads compiling requests.
+    pub workers: usize,
+    /// Admission-queue depth; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Default per-request deadline applied when a request carries
+    /// none. `None` means no deadline.
+    pub default_deadline: Option<Duration>,
+    /// Ceiling on one protocol frame (kind byte + body).
+    pub max_frame: u64,
+    /// Configuration of the shared artifact store (set
+    /// [`CacheConfig::disk_dir`] for persistence across restarts).
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            default_deadline: None,
+            max_frame: proto::DEFAULT_MAX_FRAME,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// The transport the daemon listens on.
+pub enum Listener {
+    /// A Unix domain socket (the default transport).
+    #[cfg(unix)]
+    Unix {
+        /// The bound listener.
+        listener: UnixListener,
+        /// The socket path, unlinked on shutdown.
+        path: PathBuf,
+    },
+    /// A TCP socket (`--listen` fallback for hosts without UDS).
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds a Unix domain socket at `path`, replacing a stale socket
+    /// file from a previous run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    #[cfg(unix)]
+    pub fn unix(path: impl AsRef<Path>) -> io::Result<Listener> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            let _ = std::fs::remove_file(&path);
+        }
+        Ok(Listener::Unix { listener: UnixListener::bind(&path)?, path })
+    }
+
+    /// Binds a TCP listener (use port 0 to let the OS pick).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn tcp(addr: &str) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// The TCP address actually bound, when this is a TCP listener.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Listener::Unix { .. } => None,
+        }
+    }
+}
+
+/// One bidirectional client connection, over either transport.
+pub(crate) enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One admitted compile job.
+struct Job {
+    request_id: u64,
+    dex: DexFile,
+    options: BuildOptions,
+    /// Effective deadline budget (request's, else the daemon default).
+    budget: Option<Duration>,
+    /// Deadline the client asked for, for the timeout reply.
+    deadline_ms: u32,
+    enqueued: Instant,
+    writer: Arc<Mutex<Stream>>,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    config: ServerConfig,
+    store: Arc<ArtifactStore>,
+    queue: Mutex<std::collections::VecDeque<Job>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    shutdown_requested: AtomicBool,
+    started: Instant,
+    in_flight: AtomicU64,
+    accepted_connections: AtomicU64,
+    open_connections: AtomicU64,
+    requests_admitted: AtomicU64,
+    requests_completed: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    malformed_frames: AtomicU64,
+    oversized_frames: AtomicU64,
+    mid_frame_disconnects: AtomicU64,
+    build_errors: AtomicU64,
+    histogram: LatencyHistogram,
+    /// Write-half clones of every open connection, for unblocking
+    /// readers at shutdown.
+    conns: Mutex<HashMap<u64, Stream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            uptime_us: self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            workers: self.config.workers.max(1) as u64,
+            queue_capacity: self.config.queue_depth as u64,
+            queue_depth: self.queue.lock().expect("queue lock").len() as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            accepted_connections: self.accepted_connections.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            requests_admitted: self.requests_admitted.load(Ordering::Relaxed),
+            requests_completed: self.requests_completed.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            deadline_timeouts: self.deadline_timeouts.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
+            mid_frame_disconnects: self.mid_frame_disconnects.load(Ordering::Relaxed),
+            build_errors: self.build_errors.load(Ordering::Relaxed),
+            latency_buckets: self.histogram.snapshot(),
+            cache: self.store.stats(),
+        }
+    }
+
+    fn reply(&self, writer: &Arc<Mutex<Stream>>, kind: u8, body: &[u8]) {
+        // A vanished client is not a daemon error: the write fails,
+        // the reader side will observe the hangup, and the daemon
+        // keeps serving everyone else.
+        if let Ok(mut stream) = writer.lock() {
+            let _ = proto::write_frame(&mut *stream, kind, body);
+        }
+    }
+
+    fn reply_error(&self, writer: &Arc<Mutex<Stream>>, request_id: u64, error: &ServeError) {
+        self.reply(writer, RESP_ERROR, &encode_error(request_id, error));
+    }
+}
+
+/// The LTBO-config fingerprint derived from `options` (`None` when LTBO
+/// is off) — the second fingerprint a build request carries.
+#[must_use]
+pub fn ltbo_fingerprint(options: &BuildOptions) -> Option<CacheKey> {
+    options.ltbo.map(|mode| {
+        let config = LtboConfig {
+            mode,
+            min_len: options.min_seq_len,
+            hot_methods: options.hot_methods.clone(),
+        };
+        let mut h = StableHasher::new();
+        calibro::fingerprint_ltbo_config(&config, &mut h);
+        h.finish()
+    })
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`shutdown`](Daemon::shutdown) leaves the background threads
+/// running for the life of the process.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    socket_path: Option<PathBuf>,
+}
+
+impl Daemon {
+    /// Starts the daemon: spawns the worker pool and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn start(listener: Listener, config: ServerConfig) -> io::Result<Daemon> {
+        let store = Arc::new(ArtifactStore::new(config.cache.clone()));
+        Daemon::start_with_store(listener, config, store)
+    }
+
+    /// Starts the daemon over an externally owned store (tests and
+    /// embedders share the store with direct [`BuildSession`]s).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn start_with_store(
+        listener: Listener,
+        config: ServerConfig,
+        store: Arc<ArtifactStore>,
+    ) -> io::Result<Daemon> {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            store,
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            started: Instant::now(),
+            in_flight: AtomicU64::new(0),
+            accepted_connections: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            requests_admitted: AtomicU64::new(0),
+            requests_completed: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            deadline_timeouts: AtomicU64::new(0),
+            malformed_frames: AtomicU64::new(0),
+            oversized_frames: AtomicU64::new(0),
+            mid_frame_disconnects: AtomicU64::new(0),
+            build_errors: AtomicU64::new(0),
+            histogram: LatencyHistogram::new(),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("calibrod-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let socket_path = match &listener {
+            #[cfg(unix)]
+            Listener::Unix { path, .. } => Some(path.clone()),
+            Listener::Tcp(_) => None,
+        };
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("calibrod-accept".to_owned())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        Ok(Daemon { shared, accept_handle: Some(accept_handle), worker_handles, socket_path })
+    }
+
+    /// The shared artifact store.
+    #[must_use]
+    pub fn store(&self) -> Arc<ArtifactStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// A point-in-time stats snapshot (same data the `stats` request
+    /// returns).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// `true` once a client sent the `shutdown` request; the embedding
+    /// process should then call [`shutdown`](Daemon::shutdown).
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Drains gracefully: stops accepting, lets the workers finish
+    /// every queued and in-flight request (responses are delivered),
+    /// then unblocks the connection readers and tears everything down.
+    /// Returns the final stats snapshot.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Workers are done: every admitted request has been answered.
+        // Now unblock the readers and the accept loop.
+        if let Ok(mut conns) = self.shared.conns.lock() {
+            for (_, stream) in conns.drain() {
+                stream.shutdown_both();
+            }
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.stats()
+    }
+}
+
+fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
+    let set_nonblocking = |on: bool| match &listener {
+        #[cfg(unix)]
+        Listener::Unix { listener, .. } => listener.set_nonblocking(on),
+        Listener::Tcp(l) => l.set_nonblocking(on),
+    };
+    if set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shared.draining.load(Ordering::SeqCst) {
+        let accepted: io::Result<Stream> = match &listener {
+            #[cfg(unix)]
+            Listener::Unix { listener, .. } => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match accepted {
+            Ok(stream) => {
+                shared.accepted_connections.fetch_add(1, Ordering::Relaxed);
+                shared.open_connections.fetch_add(1, Ordering::Relaxed);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(registry_clone) = stream.try_clone() {
+                    if let Ok(mut conns) = shared.conns.lock() {
+                        conns.insert(conn_id, registry_clone);
+                    }
+                }
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new().name(format!("calibrod-conn-{conn_id}")).spawn(
+                    move || {
+                        connection_loop(stream, conn_id, &shared);
+                        if let Ok(mut conns) = shared.conns.lock() {
+                            conns.remove(&conn_id);
+                        }
+                        shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn connection_loop(stream: Stream, _conn_id: u64, shared: &Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        match proto::read_frame(&mut reader, shared.config.max_frame) {
+            Ok(FrameEvent::Frame { kind, body }) => {
+                if !handle_frame(kind, &body, &writer, shared) {
+                    break;
+                }
+            }
+            Ok(FrameEvent::Eof) => break,
+            Ok(FrameEvent::MidFrameDisconnect) => {
+                shared.mid_frame_disconnects.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Ok(FrameEvent::TooLarge { claimed }) => {
+                shared.oversized_frames.fetch_add(1, Ordering::Relaxed);
+                shared.reply_error(
+                    &writer,
+                    0,
+                    &ServeError::FrameTooLarge { claimed, limit: shared.config.max_frame },
+                );
+                // The stream cannot be resynchronized after a bogus
+                // length prefix: close this connection (others live on).
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Handles one intact frame. Returns `false` when the connection
+/// should close.
+fn handle_frame(kind: u8, body: &[u8], writer: &Arc<Mutex<Stream>>, shared: &Arc<Shared>) -> bool {
+    match kind {
+        REQ_BUILD => handle_build(body, writer, shared),
+        REQ_STATS => {
+            let stats = shared.stats();
+            shared.reply(writer, RESP_STATS, &stats.encode());
+            true
+        }
+        REQ_PING => {
+            shared.reply(writer, RESP_PONG, body);
+            true
+        }
+        REQ_SHUTDOWN => {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            shared.reply(writer, RESP_SHUTDOWN_ACK, &[]);
+            true
+        }
+        other => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(
+                writer,
+                0,
+                &ServeError::Malformed { detail: format!("unknown request kind {other:#04x}") },
+            );
+            true
+        }
+    }
+}
+
+fn handle_build(body: &[u8], writer: &Arc<Mutex<Stream>>, shared: &Arc<Shared>) -> bool {
+    // Best-effort request id for error replies: the id is the first
+    // field, so it usually survives even when the rest is garbage.
+    let fallback_id = body
+        .get(..8)
+        .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("slice length checked")));
+    let request = match BuildRequest::decode(body) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(writer, fallback_id, &ServeError::from(e));
+            return true; // frame boundary intact: keep serving
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.reply_error(writer, request.request_id, &ServeError::Draining);
+        return true;
+    }
+    // Cross-check the client's fingerprints against our own view of
+    // the decoded payload: a mismatch means codec or schema drift and
+    // must fail loudly, not poison the shared cache.
+    if options_fingerprint(&request.options) != request.options_fp
+        || ltbo_fingerprint(&request.options) != request.ltbo_fp
+    {
+        shared.reply_error(writer, request.request_id, &ServeError::FingerprintMismatch);
+        return true;
+    }
+    let budget = request.deadline.or(shared.config.default_deadline);
+    let deadline_ms = request
+        .deadline
+        .or(shared.config.default_deadline)
+        .map_or(0, |d| d.as_millis().min(u128::from(u32::MAX)) as u32);
+    let job = Job {
+        request_id: request.request_id,
+        dex: request.dex,
+        options: request.options,
+        budget,
+        deadline_ms,
+        enqueued: Instant::now(),
+        writer: Arc::clone(writer),
+    };
+    let mut queue = shared.queue.lock().expect("queue lock");
+    if queue.len() >= shared.config.queue_depth.max(1) {
+        drop(queue);
+        shared.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        shared.reply_error(
+            writer,
+            request.request_id,
+            &ServeError::Overloaded { capacity: shared.config.queue_depth },
+        );
+        return true;
+    }
+    queue.push_back(job);
+    drop(queue);
+    shared.requests_admitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    true
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue wait");
+            }
+        };
+        let Some(job) = job else { return };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        run_job(&job, shared);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn expired(job: &Job) -> bool {
+    job.budget.is_some_and(|budget| job.enqueued.elapsed() >= budget)
+}
+
+fn run_job(job: &Job, shared: &Arc<Shared>) {
+    // Deadline check 1 — at dequeue: an already-expired request is
+    // never compiled (it only would have blocked fresher work).
+    if expired(job) {
+        shared.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+        shared.reply_error(
+            &job.writer,
+            job.request_id,
+            &ServeError::DeadlineExceeded { deadline_ms: job.deadline_ms },
+        );
+        return;
+    }
+    let session = BuildSession::with_store(Arc::clone(&shared.store));
+    let build_start = Instant::now();
+    let result = session.build(&job.dex, &job.options);
+    let build_us = build_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    match result {
+        Ok(output) => {
+            // Deadline check 2 — after the build: the client asked for
+            // a bound, so a late result is reported as a typed timeout.
+            // The compiled artifacts are already in the shared store,
+            // so an immediate retry replays them warm.
+            if expired(job) {
+                shared.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+                shared.reply_error(
+                    &job.writer,
+                    job.request_id,
+                    &ServeError::DeadlineExceeded { deadline_ms: job.deadline_ms },
+                );
+                return;
+            }
+            let reply = BuildReply {
+                request_id: job.request_id,
+                options_fp: options_fingerprint(&job.options),
+                ltbo_fp: ltbo_fingerprint(&job.options),
+                elf: calibro_oat::to_elf_bytes(&output.oat),
+                methods: output.stats.methods as u64,
+                methods_from_cache: output.stats.methods_from_cache as u64,
+                cache_hits: output.stats.cache.hits,
+                cache_misses: output.stats.cache.misses,
+                build_us,
+                stats_json: output.stats.to_json(),
+            };
+            // Count *before* writing: a client that has the reply in
+            // hand must observe this request in a stats snapshot.
+            shared.requests_completed.fetch_add(1, Ordering::Relaxed);
+            shared.histogram.record(job.enqueued.elapsed());
+            shared.reply(&job.writer, RESP_BUILT, &reply.encode());
+        }
+        Err(e) => {
+            shared.build_errors.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(
+                &job.writer,
+                job.request_id,
+                &ServeError::Build { detail: e.to_string() },
+            );
+        }
+    }
+}

@@ -1,0 +1,840 @@
+//! The binary wire codec: little-endian primitives over a growable
+//! byte buffer, plus encoders/decoders for the domain payloads a
+//! compile request carries ([`DexFile`], [`BuildOptions`]).
+//!
+//! Decoding is strictly bounds-checked: every read that would run past
+//! the payload returns [`WireError::Truncated`] (never panics, never
+//! reads garbage), and every enum tag is validated. The codec is
+//! self-contained — no serde — so the daemon's input surface is fully
+//! auditable in this file.
+
+use std::collections::HashSet;
+
+use calibro::BuildOptions;
+use calibro::LtboMode;
+use calibro_dex::{
+    BinOp, ClassId, Cmp, DexFile, DexInsn, FieldId, InvokeKind, Method, MethodId, StaticId, VReg,
+};
+use calibro_hgraph::PipelineConfig;
+
+/// Hard ceiling on decoded collection lengths (methods, instructions,
+/// strings), independent of the frame-size bound: a malformed length
+/// field inside an otherwise small frame must not drive a huge
+/// allocation before the bounds check catches it.
+const MAX_COLLECTION_LEN: usize = 1 << 24;
+
+/// A decode failure. Every variant carries enough context to log, and
+/// none of them abort the connection by themselves — the protocol layer
+/// maps them to a typed error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// An enum tag had no defined meaning.
+    InvalidTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length field exceeded the collection ceiling.
+    OversizedCollection {
+        /// What was being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// The payload had trailing bytes after the last field.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "payload truncated while decoding {what}"),
+            WireError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag:#04x} while decoding {what}")
+            }
+            WireError::OversizedCollection { what, len } => {
+                write!(f, "collection length {len} exceeds the decode ceiling for {what}")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encode-side primitives: append-only little-endian writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i32`, little-endian two's complement.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i16`, little-endian two's complement.
+    pub fn i16(&mut self, v: i16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Decode-side primitives: a bounds-checked cursor over a payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless the payload was
+    /// consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { extra: self.remaining() })
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self, what: &'static str) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `i16`.
+    pub fn i16(&mut self, what: &'static str) -> Result<i16, WireError> {
+        Ok(i16::from_le_bytes(self.take(2, what)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a `u64` length field, validated against both the ceiling
+    /// and the bytes actually remaining (an element costs ≥ 1 byte, so
+    /// a length beyond `remaining` is always malformed).
+    pub fn len(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let v = self.u64(what)?;
+        if v > MAX_COLLECTION_LEN as u64 || v > self.remaining() as u64 {
+            return Err(WireError::OversizedCollection { what, len: v });
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads a `usize` (encoded as `u64`, no remaining-bytes bound —
+    /// for scalar counts such as register numbers, not collections).
+    pub fn usize(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| WireError::OversizedCollection { what, len: v })
+    }
+
+    /// Reads a bool, rejecting anything but 0 or 1.
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::InvalidTag { what, tag }),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let n = self.u32(what)? as usize;
+        if n > MAX_COLLECTION_LEN || n > self.remaining() {
+            return Err(WireError::OversizedCollection { what, len: n as u64 });
+        }
+        let raw = self.take(n, what)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let n = self.len(what)?;
+        Ok(self.take(n, what)?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain encoders/decoders.
+// ---------------------------------------------------------------------------
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::And => 4,
+        BinOp::Or => 5,
+        BinOp::Xor => 6,
+        BinOp::Shl => 7,
+        BinOp::Shr => 8,
+    }
+}
+
+fn binop_from(tag: u8) -> Result<BinOp, WireError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::And,
+        5 => BinOp::Or,
+        6 => BinOp::Xor,
+        7 => BinOp::Shl,
+        8 => BinOp::Shr,
+        tag => return Err(WireError::InvalidTag { what: "BinOp", tag }),
+    })
+}
+
+fn cmp_tag(c: Cmp) -> u8 {
+    match c {
+        Cmp::Eq => 0,
+        Cmp::Ne => 1,
+        Cmp::Lt => 2,
+        Cmp::Ge => 3,
+        Cmp::Gt => 4,
+        Cmp::Le => 5,
+    }
+}
+
+fn cmp_from(tag: u8) -> Result<Cmp, WireError> {
+    Ok(match tag {
+        0 => Cmp::Eq,
+        1 => Cmp::Ne,
+        2 => Cmp::Lt,
+        3 => Cmp::Ge,
+        4 => Cmp::Gt,
+        5 => Cmp::Le,
+        tag => return Err(WireError::InvalidTag { what: "Cmp", tag }),
+    })
+}
+
+fn write_opt_vreg(w: &mut Writer, v: Option<VReg>) {
+    match v {
+        None => w.u8(0),
+        Some(r) => {
+            w.u8(1);
+            w.u16(r.0);
+        }
+    }
+}
+
+fn read_opt_vreg(r: &mut Reader<'_>) -> Result<Option<VReg>, WireError> {
+    match r.u8("Option<VReg> tag")? {
+        0 => Ok(None),
+        1 => Ok(Some(VReg(r.u16("VReg")?))),
+        tag => Err(WireError::InvalidTag { what: "Option<VReg>", tag }),
+    }
+}
+
+fn write_args(w: &mut Writer, args: &[VReg]) {
+    w.u32(args.len() as u32);
+    for a in args {
+        w.u16(a.0);
+    }
+}
+
+fn read_args(r: &mut Reader<'_>) -> Result<Vec<VReg>, WireError> {
+    let n = r.u32("arg count")? as usize;
+    if n > MAX_COLLECTION_LEN || n > r.remaining() {
+        return Err(WireError::OversizedCollection { what: "invoke args", len: n as u64 });
+    }
+    (0..n).map(|_| Ok(VReg(r.u16("arg VReg")?))).collect()
+}
+
+/// Appends one bytecode instruction.
+pub fn write_insn(w: &mut Writer, insn: &DexInsn) {
+    match insn {
+        DexInsn::Nop => w.u8(0),
+        DexInsn::Const { dst, value } => {
+            w.u8(1);
+            w.u16(dst.0);
+            w.i32(*value);
+        }
+        DexInsn::Move { dst, src } => {
+            w.u8(2);
+            w.u16(dst.0);
+            w.u16(src.0);
+        }
+        DexInsn::Bin { op, dst, a, b } => {
+            w.u8(3);
+            w.u8(binop_tag(*op));
+            w.u16(dst.0);
+            w.u16(a.0);
+            w.u16(b.0);
+        }
+        DexInsn::BinLit { op, dst, a, lit } => {
+            w.u8(4);
+            w.u8(binop_tag(*op));
+            w.u16(dst.0);
+            w.u16(a.0);
+            w.i16(*lit);
+        }
+        DexInsn::IGet { dst, obj, field } => {
+            w.u8(5);
+            w.u16(dst.0);
+            w.u16(obj.0);
+            w.u32(field.0);
+        }
+        DexInsn::IPut { src, obj, field } => {
+            w.u8(6);
+            w.u16(src.0);
+            w.u16(obj.0);
+            w.u32(field.0);
+        }
+        DexInsn::SGet { dst, slot } => {
+            w.u8(7);
+            w.u16(dst.0);
+            w.u32(slot.0);
+        }
+        DexInsn::SPut { src, slot } => {
+            w.u8(8);
+            w.u16(src.0);
+            w.u32(slot.0);
+        }
+        DexInsn::NewInstance { dst, class } => {
+            w.u8(9);
+            w.u16(dst.0);
+            w.u32(class.0);
+        }
+        DexInsn::Invoke { kind, method, args, dst } => {
+            w.u8(10);
+            w.u8(match kind {
+                InvokeKind::Virtual => 0,
+                InvokeKind::Static => 1,
+            });
+            w.u32(method.0);
+            write_args(w, args);
+            write_opt_vreg(w, *dst);
+        }
+        DexInsn::InvokeNative { method, args, dst } => {
+            w.u8(11);
+            w.u32(method.0);
+            write_args(w, args);
+            write_opt_vreg(w, *dst);
+        }
+        DexInsn::If { cmp, a, b, target } => {
+            w.u8(12);
+            w.u8(cmp_tag(*cmp));
+            w.u16(a.0);
+            w.u16(b.0);
+            w.usize(*target);
+        }
+        DexInsn::IfZ { cmp, a, target } => {
+            w.u8(13);
+            w.u8(cmp_tag(*cmp));
+            w.u16(a.0);
+            w.usize(*target);
+        }
+        DexInsn::Goto { target } => {
+            w.u8(14);
+            w.usize(*target);
+        }
+        DexInsn::Switch { src, first_key, targets } => {
+            w.u8(15);
+            w.u16(src.0);
+            w.i32(*first_key);
+            w.u32(targets.len() as u32);
+            for t in targets {
+                w.usize(*t);
+            }
+        }
+        DexInsn::Return { src } => {
+            w.u8(16);
+            w.u16(src.0);
+        }
+        DexInsn::ReturnVoid => w.u8(17),
+        DexInsn::Throw { src } => {
+            w.u8(18);
+            w.u16(src.0);
+        }
+    }
+}
+
+/// Reads one bytecode instruction.
+pub fn read_insn(r: &mut Reader<'_>) -> Result<DexInsn, WireError> {
+    Ok(match r.u8("DexInsn tag")? {
+        0 => DexInsn::Nop,
+        1 => DexInsn::Const { dst: VReg(r.u16("dst")?), value: r.i32("value")? },
+        2 => DexInsn::Move { dst: VReg(r.u16("dst")?), src: VReg(r.u16("src")?) },
+        3 => DexInsn::Bin {
+            op: binop_from(r.u8("BinOp")?)?,
+            dst: VReg(r.u16("dst")?),
+            a: VReg(r.u16("a")?),
+            b: VReg(r.u16("b")?),
+        },
+        4 => DexInsn::BinLit {
+            op: binop_from(r.u8("BinOp")?)?,
+            dst: VReg(r.u16("dst")?),
+            a: VReg(r.u16("a")?),
+            lit: r.i16("lit")?,
+        },
+        5 => DexInsn::IGet {
+            dst: VReg(r.u16("dst")?),
+            obj: VReg(r.u16("obj")?),
+            field: FieldId(r.u32("field")?),
+        },
+        6 => DexInsn::IPut {
+            src: VReg(r.u16("src")?),
+            obj: VReg(r.u16("obj")?),
+            field: FieldId(r.u32("field")?),
+        },
+        7 => DexInsn::SGet { dst: VReg(r.u16("dst")?), slot: StaticId(r.u32("slot")?) },
+        8 => DexInsn::SPut { src: VReg(r.u16("src")?), slot: StaticId(r.u32("slot")?) },
+        9 => DexInsn::NewInstance { dst: VReg(r.u16("dst")?), class: ClassId(r.u32("class")?) },
+        10 => {
+            let kind = match r.u8("InvokeKind")? {
+                0 => InvokeKind::Virtual,
+                1 => InvokeKind::Static,
+                tag => return Err(WireError::InvalidTag { what: "InvokeKind", tag }),
+            };
+            DexInsn::Invoke {
+                kind,
+                method: MethodId(r.u32("method")?),
+                args: read_args(r)?,
+                dst: read_opt_vreg(r)?,
+            }
+        }
+        11 => DexInsn::InvokeNative {
+            method: MethodId(r.u32("method")?),
+            args: read_args(r)?,
+            dst: read_opt_vreg(r)?,
+        },
+        12 => DexInsn::If {
+            cmp: cmp_from(r.u8("Cmp")?)?,
+            a: VReg(r.u16("a")?),
+            b: VReg(r.u16("b")?),
+            target: r.usize("target")?,
+        },
+        13 => DexInsn::IfZ {
+            cmp: cmp_from(r.u8("Cmp")?)?,
+            a: VReg(r.u16("a")?),
+            target: r.usize("target")?,
+        },
+        14 => DexInsn::Goto { target: r.usize("target")? },
+        15 => {
+            let src = VReg(r.u16("src")?);
+            let first_key = r.i32("first_key")?;
+            let n = r.u32("switch targets")? as usize;
+            if n > MAX_COLLECTION_LEN || n > r.remaining() {
+                return Err(WireError::OversizedCollection {
+                    what: "switch targets",
+                    len: n as u64,
+                });
+            }
+            let targets =
+                (0..n).map(|_| r.usize("target")).collect::<Result<Vec<usize>, WireError>>()?;
+            DexInsn::Switch { src, first_key, targets }
+        }
+        16 => DexInsn::Return { src: VReg(r.u16("src")?) },
+        17 => DexInsn::ReturnVoid,
+        18 => DexInsn::Throw { src: VReg(r.u16("src")?) },
+        tag => return Err(WireError::InvalidTag { what: "DexInsn", tag }),
+    })
+}
+
+/// Appends a whole [`DexFile`] (classes, methods, static-slot count).
+pub fn write_dex(w: &mut Writer, dex: &DexFile) {
+    w.u32(dex.num_statics());
+    w.u32(dex.classes().len() as u32);
+    for class in dex.classes() {
+        w.str(&class.name);
+        w.u32(class.num_fields);
+    }
+    w.u32(dex.methods().len() as u32);
+    for m in dex.methods() {
+        w.u32(m.class.0);
+        w.str(&m.name);
+        w.u16(m.num_regs);
+        w.u16(m.num_args);
+        w.bool(m.is_native);
+        w.u32(m.insns.len() as u32);
+        for insn in &m.insns {
+            write_insn(w, insn);
+        }
+    }
+}
+
+/// Reads a [`DexFile`], rebuilding it through the same `add_class` /
+/// `add_method` path local callers use — ids come out as table
+/// positions, exactly as the encoder saw them.
+pub fn read_dex(r: &mut Reader<'_>) -> Result<DexFile, WireError> {
+    let mut dex = DexFile::new();
+    let statics = r.u32("num_statics")?;
+    dex.reserve_statics(statics);
+    let classes = r.u32("class count")? as usize;
+    if classes > MAX_COLLECTION_LEN || classes > r.remaining() {
+        return Err(WireError::OversizedCollection { what: "classes", len: classes as u64 });
+    }
+    for _ in 0..classes {
+        let name = r.str("class name")?;
+        let num_fields = r.u32("num_fields")?;
+        dex.add_class(name, num_fields);
+    }
+    let methods = r.u32("method count")? as usize;
+    if methods > MAX_COLLECTION_LEN || methods > r.remaining() {
+        return Err(WireError::OversizedCollection { what: "methods", len: methods as u64 });
+    }
+    for _ in 0..methods {
+        let class = ClassId(r.u32("method class")?);
+        if class.index() >= dex.classes().len() {
+            return Err(WireError::InvalidTag { what: "method class id", tag: 0 });
+        }
+        let name = r.str("method name")?;
+        let num_regs = r.u16("num_regs")?;
+        let num_args = r.u16("num_args")?;
+        let is_native = r.bool("is_native")?;
+        let n = r.u32("insn count")? as usize;
+        if n > MAX_COLLECTION_LEN || n > r.remaining() {
+            return Err(WireError::OversizedCollection { what: "insns", len: n as u64 });
+        }
+        let insns = (0..n).map(|_| read_insn(r)).collect::<Result<Vec<DexInsn>, WireError>>()?;
+        dex.add_method(Method {
+            id: MethodId(0), // overwritten by add_method with the table position
+            class,
+            name,
+            num_regs,
+            num_args,
+            insns,
+            is_native,
+        });
+    }
+    Ok(dex)
+}
+
+/// Appends the full [`BuildOptions`] — exhaustive destructuring, so a
+/// new field fails compilation here rather than silently not being
+/// transported (the same trick the fingerprint module uses).
+pub fn write_options(w: &mut Writer, options: &BuildOptions) {
+    let BuildOptions {
+        cto,
+        ltbo,
+        min_seq_len,
+        hot_methods,
+        base_address,
+        force_metadata,
+        inlining,
+        compile_threads,
+        passes,
+    } = options;
+    w.bool(*cto);
+    match ltbo {
+        None => w.u8(0),
+        Some(LtboMode::Global) => w.u8(1),
+        Some(LtboMode::Parallel { groups, threads }) => {
+            w.u8(2);
+            w.usize(*groups);
+            w.usize(*threads);
+        }
+    }
+    w.usize(*min_seq_len);
+    match hot_methods {
+        None => w.u8(0),
+        Some(set) => {
+            w.u8(1);
+            let mut sorted: Vec<u32> = set.iter().copied().collect();
+            sorted.sort_unstable();
+            w.u32(sorted.len() as u32);
+            for id in sorted {
+                w.u32(id);
+            }
+        }
+    }
+    w.u64(*base_address);
+    w.bool(*force_metadata);
+    w.bool(*inlining);
+    w.usize(*compile_threads);
+    let PipelineConfig {
+        copy_prop,
+        constant_folding,
+        simplify,
+        cse,
+        dce,
+        return_merge,
+        remove_unreachable,
+    } = passes;
+    w.bool(*copy_prop);
+    w.bool(*constant_folding);
+    w.bool(*simplify);
+    w.bool(*cse);
+    w.bool(*dce);
+    w.bool(*return_merge);
+    w.bool(*remove_unreachable);
+}
+
+/// Reads a full [`BuildOptions`].
+pub fn read_options(r: &mut Reader<'_>) -> Result<BuildOptions, WireError> {
+    let cto = r.bool("cto")?;
+    let ltbo = match r.u8("ltbo mode")? {
+        0 => None,
+        1 => Some(LtboMode::Global),
+        2 => Some(LtboMode::Parallel {
+            groups: r.usize("ltbo groups")?,
+            threads: r.usize("ltbo threads")?,
+        }),
+        tag => return Err(WireError::InvalidTag { what: "LtboMode", tag }),
+    };
+    let min_seq_len = r.usize("min_seq_len")?;
+    let hot_methods = match r.u8("hot_methods tag")? {
+        0 => None,
+        1 => {
+            let n = r.u32("hot set size")? as usize;
+            if n > MAX_COLLECTION_LEN || n > r.remaining() {
+                return Err(WireError::OversizedCollection { what: "hot set", len: n as u64 });
+            }
+            let mut set = HashSet::with_capacity(n);
+            for _ in 0..n {
+                set.insert(r.u32("hot method id")?);
+            }
+            Some(set)
+        }
+        tag => return Err(WireError::InvalidTag { what: "hot_methods", tag }),
+    };
+    let base_address = r.u64("base_address")?;
+    let force_metadata = r.bool("force_metadata")?;
+    let inlining = r.bool("inlining")?;
+    let compile_threads = r.usize("compile_threads")?;
+    let passes = PipelineConfig {
+        copy_prop: r.bool("copy_prop")?,
+        constant_folding: r.bool("constant_folding")?,
+        simplify: r.bool("simplify")?,
+        cse: r.bool("cse")?,
+        dce: r.bool("dce")?,
+        return_merge: r.bool("return_merge")?,
+        remove_unreachable: r.bool("remove_unreachable")?,
+    };
+    Ok(BuildOptions {
+        cto,
+        ltbo,
+        min_seq_len,
+        hot_methods,
+        base_address,
+        force_metadata,
+        inlining,
+        compile_threads,
+        passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_dex::MethodBuilder;
+
+    fn sample_dex() -> DexFile {
+        let mut dex = DexFile::new();
+        let class = dex.add_class("Main", 3);
+        let other = dex.add_class("Util", 0);
+        dex.reserve_statics(2);
+        let mut b = MethodBuilder::new("f", 6, 2);
+        b.push(DexInsn::Const { dst: VReg(0), value: -7 });
+        b.push(DexInsn::Bin { op: BinOp::Xor, dst: VReg(1), a: VReg(0), b: VReg(4) });
+        b.push(DexInsn::BinLit { op: BinOp::Shl, dst: VReg(2), a: VReg(1), lit: 3 });
+        b.push(DexInsn::IGet { dst: VReg(3), obj: VReg(4), field: FieldId(1) });
+        b.push(DexInsn::Switch { src: VReg(2), first_key: -1, targets: vec![6, 7] });
+        b.push(DexInsn::Goto { target: 7 });
+        b.push(DexInsn::Throw { src: VReg(3) });
+        b.push(DexInsn::Return { src: VReg(1) });
+        dex.add_method(b.build(class));
+        let mut c = MethodBuilder::new("g", 4, 1);
+        c.push(DexInsn::Invoke {
+            kind: InvokeKind::Static,
+            method: MethodId(0),
+            args: vec![VReg(3), VReg(3)],
+            dst: Some(VReg(0)),
+        });
+        c.push(DexInsn::InvokeNative { method: MethodId(2), args: vec![], dst: None });
+        c.push(DexInsn::ReturnVoid);
+        dex.add_method(c.build(other));
+        dex.add_method(Method {
+            id: MethodId(0),
+            class,
+            name: "nat".into(),
+            num_regs: 1,
+            num_args: 1,
+            insns: vec![],
+            is_native: true,
+        });
+        dex
+    }
+
+    #[test]
+    fn dex_roundtrip_is_lossless() {
+        let dex = sample_dex();
+        let mut w = Writer::new();
+        write_dex(&mut w, &dex);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_dex(&mut r).expect("roundtrip decodes");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(back.num_statics(), dex.num_statics());
+        assert_eq!(back.classes().len(), dex.classes().len());
+        assert_eq!(back.methods().len(), dex.methods().len());
+        for (a, b) in dex.methods().iter().zip(back.methods()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.num_regs, b.num_regs);
+            assert_eq!(a.num_args, b.num_args);
+            assert_eq!(a.is_native, b.is_native);
+            assert_eq!(a.insns, b.insns);
+        }
+    }
+
+    #[test]
+    fn options_roundtrip_preserves_fingerprint() {
+        use calibro::options_fingerprint;
+        let variants = [
+            BuildOptions::baseline(),
+            BuildOptions::cto(),
+            BuildOptions::cto_ltbo().with_compile_threads(8),
+            BuildOptions::cto_ltbo_parallel(16, 4).with_hot_filter([4, 1, 9].into_iter().collect()),
+            BuildOptions {
+                inlining: true,
+                force_metadata: true,
+                min_seq_len: 5,
+                passes: PipelineConfig { cse: false, dce: false, ..PipelineConfig::all() },
+                ..BuildOptions::default()
+            },
+        ];
+        for options in variants {
+            let mut w = Writer::new();
+            write_options(&mut w, &options);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = read_options(&mut r).expect("options decode");
+            r.finish().expect("no trailing bytes");
+            assert_eq!(options_fingerprint(&back), options_fingerprint(&options));
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_payloads_yield_typed_errors() {
+        let mut w = Writer::new();
+        write_dex(&mut w, &sample_dex());
+        let bytes = w.into_bytes();
+        // Every strict prefix decodes to a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            if read_dex(&mut r).is_ok() {
+                // A prefix may decode if the cut lands after the last
+                // field — then finish() must catch nothing missing.
+                r.finish().expect("decoded prefix must be exact");
+            }
+        }
+        // An insane length field is rejected before allocating.
+        let mut w = Writer::new();
+        w.u32(7); // statics
+        w.u32(u32::MAX); // class count far beyond remaining bytes
+        let bytes = w.into_bytes();
+        let err = read_dex(&mut Reader::new(&bytes)).expect_err("oversized must fail");
+        assert!(matches!(err, WireError::OversizedCollection { .. }));
+    }
+}

@@ -1,0 +1,325 @@
+//! End-to-end tests against an in-process daemon on a real Unix
+//! socket: shared-cache correctness, admission control, deadlines,
+//! and protocol robustness against misbehaving clients.
+
+#![cfg(unix)]
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use calibro::BuildOptions;
+use calibro_server::proto::{
+    read_frame, write_frame, FrameEvent, REQ_BUILD, REQ_PING, RESP_ERROR, RESP_PONG,
+};
+use calibro_server::{Client, Daemon, Listener, ServeError, ServerConfig};
+use calibro_workloads::{generate, AppSpec};
+
+static NEXT_SOCKET: AtomicU64 = AtomicU64::new(0);
+
+fn temp_socket() -> PathBuf {
+    let n = NEXT_SOCKET.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("calibrod-test-{}-{n}.sock", std::process::id()))
+}
+
+fn start(config: ServerConfig) -> (Daemon, PathBuf) {
+    let socket = temp_socket();
+    let daemon =
+        Daemon::start(Listener::unix(&socket).expect("bind"), config).expect("start daemon");
+    (daemon, socket)
+}
+
+/// Two concurrent clients compiling the same program must both get the
+/// byte-identical OAT that a direct in-process `build()` produces —
+/// the shared store must never mix artifacts across requests.
+fn shared_cache_matches_direct_build(workers: usize) {
+    let app = generate(&AppSpec::small("served", 11));
+    let options = BuildOptions::cto_ltbo();
+    let direct = calibro::build(&app.dex, &options).expect("direct build");
+    let expected = calibro_oat::to_elf_bytes(&direct.oat);
+
+    let (daemon, socket) =
+        start(ServerConfig { workers, queue_depth: 16, ..ServerConfig::default() });
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let socket = socket.clone();
+                let dex = &app.dex;
+                let options = &options;
+                scope.spawn(move || {
+                    let mut client = Client::connect_unix(&socket).expect("connect");
+                    client.build(dex, options, None).expect("served build")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for reply in &replies {
+        assert_eq!(
+            reply.elf, expected,
+            "served OAT must be byte-identical to the direct in-process build"
+        );
+        assert_eq!(reply.methods as usize, direct.stats.methods);
+        // The transported bytes must load back into a valid OAT.
+        calibro_oat::from_elf_bytes(&reply.elf).expect("reply ELF loads");
+    }
+
+    // The two concurrent duplicates may both run cold (keep-first
+    // insert resolves them to identical bytes either way), but a
+    // *subsequent* identical request is deterministically fully warm.
+    let mut third = Client::connect_unix(&socket).expect("connect");
+    let warm = third.build(&app.dex, &options, None).expect("warm build");
+    assert_eq!(warm.elf, expected);
+    assert_eq!(
+        warm.methods_from_cache, warm.methods,
+        "the request after two completed duplicates must be fully warm (got {warm:?})"
+    );
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.requests_completed, 3);
+    assert_eq!(stats.build_errors, 0);
+    assert!(!socket.exists(), "socket file should be removed at shutdown");
+}
+
+#[test]
+fn shared_cache_matches_direct_build_one_worker() {
+    shared_cache_matches_direct_build(1);
+}
+
+#[test]
+fn shared_cache_matches_direct_build_eight_workers() {
+    shared_cache_matches_direct_build(8);
+}
+
+/// A repeat request from a second client is served warm: every method
+/// comes from the shared cache and the reply is still byte-identical.
+#[test]
+fn second_client_is_served_fully_warm() {
+    let app = generate(&AppSpec::small("warmth", 23));
+    let options = BuildOptions::cto_ltbo();
+    let (daemon, socket) = start(ServerConfig::default());
+
+    let mut first = Client::connect_unix(&socket).expect("connect");
+    let cold = first.build(&app.dex, &options, None).expect("cold build");
+
+    let mut second = Client::connect_unix(&socket).expect("connect");
+    let warm = second.build(&app.dex, &options, None).expect("warm build");
+
+    assert_eq!(warm.elf, cold.elf);
+    assert_eq!(
+        warm.methods_from_cache, warm.methods,
+        "every method of the repeat request should replay from the shared store"
+    );
+    assert!(warm.cache_hits > 0);
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.requests_completed, 2);
+    assert!(stats.cache.hits > 0);
+}
+
+/// With one worker pinned on a slow build and a queue of depth 1, the
+/// overflow requests get the typed `Overloaded` rejection — and the
+/// daemon stays healthy for later requests.
+#[test]
+fn saturated_queue_rejects_with_overloaded() {
+    let slow = generate(&AppSpec { methods: 600, ..AppSpec::small("slow", 7) });
+    let tiny = generate(&AppSpec { methods: 4, ..AppSpec::small("tiny", 9) });
+    let options = BuildOptions::cto_ltbo();
+    let (daemon, socket) =
+        start(ServerConfig { workers: 1, queue_depth: 1, ..ServerConfig::default() });
+
+    // One pipelining connection: the slow request occupies the worker,
+    // the first tiny one fills the queue, the rest must be rejected.
+    // Errors are written by the connection thread, builds by the
+    // worker, so replies are matched by request id, not order.
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    let pipelined = 4usize;
+    let results = client
+        .build_pipelined(
+            &mut std::iter::once((&slow.dex, &options))
+                .chain(std::iter::repeat_n((&tiny.dex, &options), pipelined)),
+        )
+        .expect("pipelined exchange");
+
+    assert_eq!(results.len(), pipelined + 1);
+    let rejected =
+        results.iter().filter(|r| matches!(r, Err(ServeError::Overloaded { capacity: 1 }))).count();
+    let built = results.iter().filter(|r| r.is_ok()).count();
+    assert!(
+        rejected >= 1,
+        "at least one overflow request must be rejected with Overloaded, got {results:?}"
+    );
+    assert_eq!(rejected + built, pipelined + 1, "every request gets exactly one typed outcome");
+
+    // The daemon still serves new work after saturation.
+    let mut after = Client::connect_unix(&socket).expect("connect");
+    after.build(&tiny.dex, &options, None).expect("post-saturation build");
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.rejected_overloaded, rejected as u64);
+    assert_eq!(stats.build_errors, 0);
+}
+
+/// A zero deadline deterministically times out (expired at dequeue)
+/// with the typed error; the artifacts of a *completed-late* build
+/// stay cached, so the retry without a deadline is warm.
+#[test]
+fn zero_deadline_times_out_with_typed_error() {
+    let app = generate(&AppSpec::small("deadline", 31));
+    let options = BuildOptions::cto_ltbo();
+    let (daemon, socket) = start(ServerConfig::default());
+
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    let err = client
+        .build(&app.dex, &options, Some(Duration::ZERO))
+        .expect_err("zero deadline must time out");
+    assert_eq!(
+        err.as_server(),
+        Some(&ServeError::DeadlineExceeded { deadline_ms: 0 }),
+        "expected the typed deadline error, got {err}"
+    );
+
+    // The same connection keeps working.
+    let ok = client.build(&app.dex, &options, None).expect("retry without deadline");
+    assert!(ok.methods > 0);
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.deadline_timeouts, 1);
+    assert_eq!(stats.requests_completed, 1);
+}
+
+/// The client-side fingerprint must match what the daemon recomputes
+/// from the decoded payload; `stats` reflects malformed/oversized
+/// traffic without the daemon breaking stride.
+#[test]
+fn misbehaving_clients_get_typed_errors_and_leave_daemon_serving() {
+    let app = generate(&AppSpec::small("robust", 41));
+    let options = BuildOptions::cto_ltbo();
+    let (daemon, socket) = start(ServerConfig { max_frame: 1 << 20, ..ServerConfig::default() });
+
+    // 1. An intact frame whose body is garbage: typed Malformed reply,
+    //    and the *same connection* keeps serving (ping works after).
+    {
+        let mut raw = UnixStream::connect(&socket).expect("connect raw");
+        write_frame(&mut raw, REQ_BUILD, b"\x99garbage-that-is-not-a-request").expect("send");
+        match read_frame(&mut raw, 1 << 20).expect("read reply") {
+            FrameEvent::Frame { kind, body } => {
+                assert_eq!(kind, RESP_ERROR);
+                let (_, err) = calibro_server::proto::decode_error(&body).expect("decode");
+                assert!(
+                    matches!(err, ServeError::Malformed { .. }),
+                    "expected Malformed, got {err}"
+                );
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        write_frame(&mut raw, REQ_PING, b"still-there").expect("ping after malformed");
+        match read_frame(&mut raw, 1 << 20).expect("read pong") {
+            FrameEvent::Frame { kind, body } => {
+                assert_eq!(kind, RESP_PONG);
+                assert_eq!(body, b"still-there");
+            }
+            other => panic!("expected pong, got {other:?}"),
+        }
+    }
+
+    // 2. An oversized length prefix: typed FrameTooLarge reply, then
+    //    the daemon closes that connection (it cannot resync).
+    {
+        let mut raw = UnixStream::connect(&socket).expect("connect raw");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("send bogus prefix");
+        match read_frame(&mut raw, 1 << 20).expect("read reply") {
+            FrameEvent::Frame { kind, body } => {
+                assert_eq!(kind, RESP_ERROR);
+                let (_, err) = calibro_server::proto::decode_error(&body).expect("decode");
+                assert!(
+                    matches!(
+                        err,
+                        ServeError::FrameTooLarge { claimed, limit: 1048576 }
+                            if claimed == u64::from(u32::MAX)
+                    ),
+                    "expected FrameTooLarge, got {err}"
+                );
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+        match read_frame(&mut raw, 1 << 20).expect("read after oversized") {
+            FrameEvent::Eof | FrameEvent::MidFrameDisconnect => {}
+            other => panic!("daemon should close the connection, got {other:?}"),
+        }
+    }
+
+    // 3. A mid-frame disconnect: prefix promises 100 bytes, client
+    //    sends 3 and hangs up. Nothing to reply to — the daemon just
+    //    counts it and moves on.
+    {
+        let mut raw = UnixStream::connect(&socket).expect("connect raw");
+        raw.write_all(&100u32.to_le_bytes()).expect("send prefix");
+        raw.write_all(&[1, 2, 3]).expect("send partial body");
+        drop(raw);
+    }
+
+    // 4. A fingerprint that does not match the payload: typed
+    //    FingerprintMismatch (codec drift must fail loudly).
+    {
+        let mut raw = UnixStream::connect(&socket).expect("connect raw");
+        let mut request = calibro_server::BuildRequest {
+            request_id: 77,
+            deadline: None,
+            options_fp: calibro::options_fingerprint(&options),
+            ltbo_fp: calibro_server::ltbo_fingerprint(&options),
+            options: options.clone(),
+            dex: app.dex.clone(),
+        };
+        request.options_fp = calibro::CacheKey { hi: 0xABAB, lo: 0xCDCD };
+        write_frame(&mut raw, REQ_BUILD, &request.encode()).expect("send");
+        match read_frame(&mut raw, 1 << 20).expect("read reply") {
+            FrameEvent::Frame { kind, body } => {
+                assert_eq!(kind, RESP_ERROR);
+                let (id, err) = calibro_server::proto::decode_error(&body).expect("decode");
+                assert_eq!(id, 77);
+                assert_eq!(err, ServeError::FingerprintMismatch);
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    // Throughout all of that, a well-behaved client still gets served.
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    let reply = client.build(&app.dex, &options, None).expect("healthy build");
+    assert!(reply.methods > 0);
+
+    // The mid-frame disconnect is asynchronous; poll stats until the
+    // daemon has noticed the hangup.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let stats = client.server_stats().expect("stats");
+        if stats.mid_frame_disconnects >= 1 || Instant::now() > deadline {
+            break stats;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(stats.malformed_frames >= 1, "malformed frame must be counted");
+    assert_eq!(stats.oversized_frames, 1);
+    assert_eq!(stats.mid_frame_disconnects, 1);
+    assert_eq!(stats.requests_completed, 1);
+    assert!(calibro_server::quantile_us(&stats.latency_buckets, 0.5) > 0);
+
+    daemon.shutdown();
+}
+
+/// A client-initiated `shutdown` request flips the daemon's
+/// shutdown-requested flag (the embedding process performs the drain).
+#[test]
+fn client_shutdown_request_is_acknowledged() {
+    let (daemon, socket) = start(ServerConfig::default());
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    assert!(!daemon.shutdown_requested());
+    client.shutdown_server().expect("shutdown ack");
+    assert!(daemon.shutdown_requested());
+    daemon.shutdown();
+}

@@ -205,7 +205,8 @@ impl BuildStats {
                 r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
                 r#""disk_hits":{},"disk_stores":{},"#,
                 r#""group_hits":{},"group_misses":{},"group_stores":{},"#,
-                r#""group_evictions":{},"group_disk_hits":{},"group_disk_stores":{}}},"#,
+                r#""group_evictions":{},"group_disk_hits":{},"group_disk_stores":{},"#,
+                r#""lock_contention":{},"group_lock_contention":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
                 r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
@@ -242,6 +243,8 @@ impl BuildStats {
             c.group_evictions,
             c.group_disk_hits,
             c.group_disk_stores,
+            c.lock_contention,
+            c.group_lock_contention,
             p.folded,
             p.copies_propagated,
             p.cse_hits,
@@ -344,6 +347,24 @@ impl std::error::Error for BuildError {
 /// the final link fails.
 pub fn build(dex: &DexFile, options: &BuildOptions) -> Result<BuildOutput, BuildError> {
     BuildSession::new().build(dex, options)
+}
+
+/// Compiles a dex file against an *externally owned* artifact store —
+/// the entry point multi-tenant services use so many requests share one
+/// warm cache. Equivalent to `BuildSession::with_store(store).build(..)`;
+/// the store outlives the call and keeps every artifact this build
+/// created, so a later identical request (from any thread or client)
+/// replays instead of recompiling.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] under the same conditions as [`build`].
+pub fn build_with_store(
+    dex: &DexFile,
+    options: &BuildOptions,
+    store: &std::sync::Arc<calibro_cache::ArtifactStore>,
+) -> Result<BuildOutput, BuildError> {
+    BuildSession::with_store(std::sync::Arc::clone(store)).build(dex, options)
 }
 
 #[cfg(test)]

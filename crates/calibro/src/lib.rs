@@ -56,7 +56,9 @@ pub use calibro_cache::{
     SymbolTemplate,
 };
 pub use calibro_hgraph::{PassStats, PipelineConfig};
-pub use driver::{build, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
+pub use driver::{
+    build, build_with_store, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad,
+};
 pub use fingerprint::{
     fingerprint_ltbo_config, fingerprint_ltbo_mode, fingerprint_options, fingerprint_pipeline,
     group_plan_key, method_cache_key, options_fingerprint, program_salt,

@@ -31,6 +31,17 @@ impl<T: ?Sized> Mutex<T> {
         MutexGuard(self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
+    /// Attempts to acquire the lock without blocking, returning `None`
+    /// when it is held by another thread (matching `parking_lot`'s
+    /// `try_lock` signature).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard(guard)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference without locking (requires `&mut`).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
