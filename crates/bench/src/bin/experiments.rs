@@ -216,6 +216,27 @@ fn print_incremental(apps: &[calibro_workloads::App]) {
             i += 1;
         }
     }
+    // Warm hot-path anatomy (sharded arm): where the residual warm
+    // wall time goes. Keys is the fingerprint+probe phase, detect the
+    // LTBO probe/replay core; both must stay small next to the CPU
+    // cost the cache *elides* — the cold build's compile CPU. (Dividing
+    // by the warm build's own compile CPU would grade the probe against
+    // the near-zero cost of compiling just the delta and report >100%
+    // on a healthy cache.)
+    println!();
+    println!("{:>10} {:>10} {:>10} {:>14} {:>10}", "app", "keys", "detect", "cold cpu", "keys/cpu");
+    for r in rows.iter().filter(|r| r.variant == "cto_ltbo_pl") {
+        let s = &r.warm_stats;
+        let cpu = r.cold_compile_cpu.as_secs_f64();
+        println!(
+            "{:>10} {:>8.2}ms {:>8.2}ms {:>12.2}ms {:>9.1}%",
+            r.app,
+            s.key_time.as_secs_f64() * 1000.0,
+            s.detect_time.as_secs_f64() * 1000.0,
+            cpu * 1000.0,
+            if cpu > 0.0 { s.key_time.as_secs_f64() / cpu * 100.0 } else { 0.0 }
+        );
+    }
 }
 
 fn print_ablation(apps: &[calibro_workloads::App]) {

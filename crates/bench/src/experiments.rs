@@ -519,6 +519,12 @@ pub struct WarmRebuildRow {
     pub mutated: usize,
     /// Wall time of a cold (empty-cache) build of the mutated program.
     pub cold: Duration,
+    /// CPU time the cold build spent compiling method bodies — the work
+    /// the warm cache elides, and the denominator the keys phase must
+    /// stay small against ("keys under 30% of compile CPU" compares the
+    /// probe cost with what compilation *would* cost, not with the
+    /// near-zero CPU a fully-warm rebuild happens to spend).
+    pub cold_compile_cpu: Duration,
     /// Wall time of the warm rebuild through the populated cache.
     pub warm: Duration,
     /// Method-artifact cache hit rate observed during the warm rebuild.
@@ -543,10 +549,21 @@ impl WarmRebuildRow {
     }
 }
 
+/// Repetitions of the cold/warm race per app × variant; the reported
+/// wall times are the per-phase minima. Single-shot wall clocks on a
+/// shared (often single-vCPU) runner carry multi-millisecond scheduler
+/// noise — comparable to the entire warm rebuild — and the minimum over
+/// a few identical runs estimates the uncontended cost. Every
+/// repetition primes a fresh session and replays the same deterministic
+/// mutation, so each warm measurement sees the identical
+/// hits-plus-delta workload.
+pub const WARM_REPS: usize = 5;
+
 /// Runs the incremental-rebuild scenario: build each app cold through a
 /// [`BuildSession`], mutate [`WARM_MUTATION_FRACTION`] of its methods,
 /// then race a fresh cold build of the edited program against the warm
-/// cache-replayed rebuild.
+/// cache-replayed rebuild, taking the minimum wall time over
+/// [`WARM_REPS`] identically-primed repetitions.
 ///
 /// Three variants per app: `baseline` isolates the per-method compile
 /// phase the cache elides, `cto_ltbo` adds whole-program suffix-tree
@@ -564,34 +581,59 @@ pub fn warm_rebuild(apps: &[App]) -> Vec<WarmRebuildRow> {
     let mut rows = Vec::new();
     for app in apps {
         for (variant, options) in &variants {
-            let session = BuildSession::new();
-            session.build(&app.dex, options).expect("priming build");
+            let mut row: Option<WarmRebuildRow> = None;
+            for _ in 0..WARM_REPS {
+                let session = BuildSession::new();
+                session.build(&app.dex, options).expect("priming build");
 
-            let mut edited = app.dex.clone();
-            let mutated = mutate_methods(&mut edited, 13, WARM_MUTATION_FRACTION);
+                let mut edited = app.dex.clone();
+                let mutated = mutate_methods(&mut edited, 13, WARM_MUTATION_FRACTION);
 
-            let t = Instant::now();
-            let cold_out = build(&edited, options).expect("cold build");
-            let cold = t.elapsed();
+                let t = Instant::now();
+                let cold_out = build(&edited, options).expect("cold build");
+                let cold = t.elapsed();
 
-            let t = Instant::now();
-            let warm_out = session.build(&edited, options).expect("warm build");
-            let warm = t.elapsed();
+                let t = Instant::now();
+                let warm_out = session.build(&edited, options).expect("warm build");
+                let warm = t.elapsed();
 
-            rows.push(WarmRebuildRow {
-                app: app.name.clone(),
-                variant,
-                methods: warm_out.stats.methods,
-                mutated: mutated.len(),
-                cold,
-                warm,
-                hit_rate: warm_out.stats.cache.hit_rate(),
-                group_hit_rate: warm_out.stats.cache.group_hit_rate(),
-                text_bytes: calibro_oat::text_size_on_disk(&warm_out.oat),
-                digests_match: cold_out.oat.words == warm_out.oat.words
-                    && cold_out.oat.text_digest() == warm_out.oat.text_digest(),
-                warm_stats: warm_out.stats,
-            });
+                let digests_match = cold_out.oat.words == warm_out.oat.words
+                    && cold_out.oat.text_digest() == warm_out.oat.text_digest();
+                match &mut row {
+                    Some(row) => {
+                        // Phase minima; the non-timing fields are
+                        // identical across repetitions (same program,
+                        // same deterministic mutation) except
+                        // digests_match, which must hold on every run.
+                        if cold < row.cold {
+                            row.cold = cold;
+                            row.cold_compile_cpu = cold_out.stats.compile_cpu_time;
+                        }
+                        row.digests_match &= digests_match;
+                        if warm < row.warm {
+                            row.warm = warm;
+                            row.warm_stats = warm_out.stats;
+                        }
+                    }
+                    None => {
+                        row = Some(WarmRebuildRow {
+                            app: app.name.clone(),
+                            variant,
+                            methods: warm_out.stats.methods,
+                            mutated: mutated.len(),
+                            cold,
+                            cold_compile_cpu: cold_out.stats.compile_cpu_time,
+                            warm,
+                            hit_rate: warm_out.stats.cache.hit_rate(),
+                            group_hit_rate: warm_out.stats.cache.group_hit_rate(),
+                            text_bytes: calibro_oat::text_size_on_disk(&warm_out.oat),
+                            digests_match,
+                            warm_stats: warm_out.stats,
+                        });
+                    }
+                }
+            }
+            rows.push(row.expect("WARM_REPS >= 1"));
         }
     }
     rows
@@ -609,11 +651,12 @@ pub fn warm_rebuild_json(rows: &[WarmRebuildRow]) -> String {
         while i < rows.len() && rows[i].app == *app {
             let r = &rows[i];
             variants.push(format!(
-                r#""{}":{{"methods":{},"mutated":{},"cold_us":{},"warm_us":{},"speedup":{:.3},"hit_rate":{:.6},"group_hit_rate":{:.6},"text_bytes":{},"digests_match":{},"warm":{}}}"#,
+                r#""{}":{{"methods":{},"mutated":{},"cold_us":{},"cold_compile_cpu_us":{},"warm_us":{},"speedup":{:.3},"hit_rate":{:.6},"group_hit_rate":{:.6},"text_bytes":{},"digests_match":{},"warm":{}}}"#,
                 r.variant,
                 r.methods,
                 r.mutated,
                 r.cold.as_micros(),
+                r.cold_compile_cpu.as_micros(),
                 r.warm.as_micros(),
                 r.speedup(),
                 r.hit_rate,

@@ -303,7 +303,7 @@ impl Writer {
 }
 
 fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
-    let CacheEntry { compiled, pass_stats, template } = entry;
+    let CacheEntry { compiled, pass_stats, template, ref_env } = entry;
     let CompiledMethod { method, insns, pool, relocs, metadata, stack_maps } = compiled;
     let mut w = Writer(Vec::new());
     w.u32(method.0);
@@ -398,7 +398,8 @@ fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
     }
     match template {
         None => w.u8(0),
-        Some(SymbolTemplate { slots }) => {
+        Some(t) => {
+            let slots = t.slots();
             w.u8(1);
             w.len(slots.len());
             for slot in slots {
@@ -417,6 +418,7 @@ fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
             }
         }
     }
+    w.u64(*ref_env);
     Ok(w.0)
 }
 
@@ -584,10 +586,15 @@ fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
                     t => return Err(format!("unknown template slot tag {t}")),
                 });
             }
-            Some(SymbolTemplate { slots })
+            // The canonical hashes are recomputed from the slots rather
+            // than trusted from disk: a template can then never carry
+            // hashes that disagree with its replay output, no matter
+            // what the file says.
+            Some(SymbolTemplate::new(slots))
         }
         t => return Err(format!("unknown template presence tag {t}")),
     };
+    let ref_env = r.u64()?;
     if r.pos != payload.len() {
         return Err(format!("{} trailing bytes", payload.len() - r.pos));
     }
@@ -609,6 +616,7 @@ fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
         },
         pass_stats,
         template,
+        ref_env,
     })
 }
 
@@ -672,13 +680,12 @@ mod tests {
                 stack_maps: vec![StackMapEntry { native_offset: 8, dex_pc: 1 }],
             },
             pass_stats: PassStats { folded: 2, insns_in: 9, insns_out: 4, ..PassStats::default() },
-            template: Some(SymbolTemplate {
-                slots: vec![
-                    TemplateSlot::Leader,
-                    TemplateSlot::Fresh { word: 0 },
-                    TemplateSlot::Lit { encoded: 0xd503_201f, word: 2 },
-                ],
-            }),
+            template: Some(SymbolTemplate::new(vec![
+                TemplateSlot::Leader,
+                TemplateSlot::Fresh { word: 0 },
+                TemplateSlot::Lit { encoded: 0xd503_201f, word: 2 },
+            ])),
+            ref_env: 0x5eed_f00d,
         }
     }
 
@@ -695,6 +702,7 @@ mod tests {
         assert_eq!(back.compiled.metadata, entry.compiled.metadata);
         assert_eq!(back.compiled.stack_maps, entry.compiled.stack_maps);
         assert_eq!(back.pass_stats, entry.pass_stats);
+        assert_eq!(back.ref_env, entry.ref_env);
         assert_eq!(back.template, entry.template);
         let _ = std::fs::remove_dir_all(&dir);
     }

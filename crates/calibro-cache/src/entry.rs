@@ -1,9 +1,50 @@
 //! The cached per-method artifact: the compiled code, its pass
 //! counters, and the precomputed LTBO symbolization template.
 
+use std::cell::RefCell;
+
 use calibro_codegen::CompiledMethod;
 use calibro_hgraph::PassStats;
-use calibro_suffix::OutlineCandidate;
+use calibro_suffix::{stable_sequence_hash, OutlineCandidate, UNIQUE_SEPARATOR_BASE};
+
+use crate::hash::{CacheKey, StableHasher};
+
+thread_local! {
+    /// Reusable serialization buffer for [`sequence_content_key`] — the
+    /// same scratch discipline as the per-method key path.
+    static SCRATCH: RefCell<StableHasher> = RefCell::new(StableHasher::with_capacity(4096));
+}
+
+/// The canonical content key of one symbolized sequence — the per-member
+/// Merkle leaf of a group-plan key.
+///
+/// Separator symbols (any symbol `>= UNIQUE_SEPARATOR_BASE`) are
+/// canonicalized to a fixed tag rather than hashed by value: their
+/// numbering is an artifact of symbolization order, while detection
+/// results depend only on the fact that each separator is unique within
+/// its group. Literal symbols (always `< 2^32`) are hashed exactly. The
+/// sequence length is framed in so a sequence never collides with its
+/// own prefix.
+///
+/// This is the single authoritative implementation; the hashes a
+/// [`SymbolTemplate`] caches and the keys the outline stage composes
+/// group addresses from both come from here.
+#[must_use]
+pub fn sequence_content_key(symbols: &[u64]) -> CacheKey {
+    SCRATCH.with(|cell| {
+        let mut h = cell.borrow_mut();
+        h.write_tag(0x53); // 'S'
+        h.write_usize(symbols.len());
+        for &sym in symbols {
+            if sym >= UNIQUE_SEPARATOR_BASE {
+                h.write_tag(1);
+            } else {
+                h.write_u64(sym);
+            }
+        }
+        h.finish_reset()
+    })
+}
 
 /// One slot of a method's LTBO symbolization (§3.3.2), with the
 /// config-independent structure precomputed: literal slots carry the
@@ -36,13 +77,95 @@ pub enum TemplateSlot {
 /// (`hot = false`) case; hot-restricted methods fall back to direct
 /// symbolization, which is rare by construction (§3.4.2 restricts a
 /// small profiled subset).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Alongside the slots, the template caches the two canonical hashes of
+/// its replay output — the [`sequence_content_key`] Merkle leaf and the
+/// [`stable_sequence_hash`] partition hash. Both canonicalize separator
+/// values, so they are invariant under the separator band a replay
+/// draws from; caching them here takes both hash passes off the warm
+/// critical path (a cache-hit method replays its template and reads the
+/// hashes instead of re-hashing its whole sequence every build). The
+/// fields are private and computed only by [`SymbolTemplate::new`], so
+/// a template's hashes can never disagree with its slots.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SymbolTemplate {
     /// The slots, in emission order.
-    pub slots: Vec<TemplateSlot>,
+    pub(crate) slots: Vec<TemplateSlot>,
+    /// [`sequence_content_key`] of the replayed sequence.
+    content_key: CacheKey,
+    /// [`stable_sequence_hash`] of the replayed sequence.
+    group_hash: u64,
 }
 
 impl SymbolTemplate {
+    /// Builds a template from its slots, computing the canonical
+    /// content key and partition hash of the replay output once.
+    #[must_use]
+    pub fn new(slots: Vec<TemplateSlot>) -> Self {
+        let mut t = SymbolTemplate { slots, content_key: CacheKey { hi: 0, lo: 0 }, group_hash: 0 };
+        // Any band at or above the separator base yields the same
+        // canonical hashes; use the base itself.
+        let mut unique = UNIQUE_SEPARATOR_BASE;
+        let (symbols, _) = t.replay(&mut unique);
+        t.content_key = sequence_content_key(&symbols);
+        t.group_hash = stable_sequence_hash(&symbols);
+        t
+    }
+
+    /// The slots, in emission order.
+    #[must_use]
+    pub fn slots(&self) -> &[TemplateSlot] {
+        &self.slots
+    }
+
+    /// Cached [`sequence_content_key`] of the replayed sequence.
+    #[must_use]
+    pub fn content_key(&self) -> CacheKey {
+        self.content_key
+    }
+
+    /// Cached [`stable_sequence_hash`] of the replayed sequence.
+    #[must_use]
+    pub fn group_hash(&self) -> u64 {
+        self.group_hash
+    }
+
+    /// The code-word index symbol offset `sym` maps back to
+    /// (`usize::MAX` for leader separators, which have no backing
+    /// word) — exactly the value [`replay`](Self::replay)'s map records
+    /// at that offset, read straight from the slots. One symbol is
+    /// emitted per slot, so symbol offsets and slot indices coincide;
+    /// callers holding the template never need to materialize the map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is out of range of the replayed sequence.
+    #[must_use]
+    pub fn word_at(&self, sym: usize) -> usize {
+        match self.slots[sym] {
+            TemplateSlot::Leader => usize::MAX,
+            TemplateSlot::Fresh { word } | TemplateSlot::Lit { word, .. } => word as usize,
+        }
+    }
+
+    /// [`replay`](Self::replay) without materializing the word map —
+    /// the warm prepass uses this and answers map lookups through
+    /// [`word_at`](Self::word_at), halving the memory the per-hit
+    /// replay writes.
+    pub fn replay_symbols(&self, unique: &mut u64) -> Vec<u64> {
+        let mut symbols = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            match *slot {
+                TemplateSlot::Lit { encoded, .. } => symbols.push(u64::from(encoded)),
+                TemplateSlot::Leader | TemplateSlot::Fresh { .. } => {
+                    *unique += 1;
+                    symbols.push(*unique);
+                }
+            }
+        }
+        symbols
+    }
+
     /// Replays the template: appends the symbol sequence and the
     /// symbol-index → word-index map, drawing fresh separator numbers
     /// from `unique` exactly as direct symbolization would.
@@ -86,6 +209,16 @@ pub struct CacheEntry {
     /// Precomputed LTBO symbolization (`None` when the build collected
     /// no metadata or the method is excluded from outlining).
     pub template: Option<SymbolTemplate>,
+    /// Fingerprint of the *reference environment* the method's
+    /// contextual verification ran against: the program-level facts
+    /// (`verify_references` reads — method count, per-callee nativeness,
+    /// class count, field/static bounds) that are not covered by the
+    /// per-method cache key. A warm hit whose build presents the same
+    /// fingerprint skips re-verifying references: both inputs to that
+    /// deterministic check are unchanged, so its result is too. `0` is
+    /// an ordinary value, not a sentinel — a mismatch merely re-runs the
+    /// check.
+    pub ref_env: u64,
 }
 
 /// One cached LTBO group plan: the outline candidates detected over a
@@ -117,18 +250,67 @@ mod tests {
 
     #[test]
     fn replay_assigns_sequential_separators() {
-        let t = SymbolTemplate {
-            slots: vec![
-                TemplateSlot::Lit { encoded: 7, word: 0 },
-                TemplateSlot::Leader,
-                TemplateSlot::Fresh { word: 1 },
-                TemplateSlot::Lit { encoded: 9, word: 2 },
-            ],
-        };
+        let t = SymbolTemplate::new(vec![
+            TemplateSlot::Lit { encoded: 7, word: 0 },
+            TemplateSlot::Leader,
+            TemplateSlot::Fresh { word: 1 },
+            TemplateSlot::Lit { encoded: 9, word: 2 },
+        ]);
         let mut unique = 100;
         let (symbols, map) = t.replay(&mut unique);
         assert_eq!(symbols, vec![7, 101, 102, 9]);
         assert_eq!(map, vec![0, usize::MAX, 1, 2]);
         assert_eq!(unique, 102);
+    }
+
+    #[test]
+    fn symbols_only_replay_matches_full_replay() {
+        let t = SymbolTemplate::new(vec![
+            TemplateSlot::Lit { encoded: 7, word: 0 },
+            TemplateSlot::Leader,
+            TemplateSlot::Fresh { word: 1 },
+            TemplateSlot::Lit { encoded: 9, word: 2 },
+        ]);
+        let mut a = 500;
+        let mut b = 500;
+        let (symbols, map) = t.replay(&mut a);
+        assert_eq!(t.replay_symbols(&mut b), symbols);
+        assert_eq!(a, b);
+        for (sym, &word) in map.iter().enumerate() {
+            assert_eq!(t.word_at(sym), word);
+        }
+    }
+
+    #[test]
+    fn cached_hashes_match_any_replay_band() {
+        // The cached hashes must equal a direct hash of the replay
+        // output no matter which separator band the replay draws from —
+        // this is the invariant that lets the warm path trust them.
+        let t = SymbolTemplate::new(vec![
+            TemplateSlot::Lit { encoded: 7, word: 0 },
+            TemplateSlot::Leader,
+            TemplateSlot::Fresh { word: 1 },
+            TemplateSlot::Lit { encoded: 9, word: 2 },
+            TemplateSlot::Fresh { word: 3 },
+        ]);
+        for band in [0u64, 1 << 24, 1835 << 24] {
+            let mut unique = UNIQUE_SEPARATOR_BASE + band;
+            let (symbols, _) = t.replay(&mut unique);
+            assert_eq!(t.content_key(), sequence_content_key(&symbols), "band {band}");
+            assert_eq!(t.group_hash(), stable_sequence_hash(&symbols), "band {band}");
+        }
+    }
+
+    #[test]
+    fn content_key_distinguishes_literals_but_not_separator_values() {
+        let lit = |encoded| TemplateSlot::Lit { encoded, word: 0 };
+        let a = SymbolTemplate::new(vec![lit(7), TemplateSlot::Leader, lit(9)]);
+        let b = SymbolTemplate::new(vec![lit(7), TemplateSlot::Fresh { word: 2 }, lit(9)]);
+        // Leader and Fresh both replay to a fresh separator, and
+        // separators are canonicalized — same content key.
+        assert_eq!(a.content_key(), b.content_key());
+        assert_eq!(a.group_hash(), b.group_hash());
+        let c = SymbolTemplate::new(vec![lit(8), TemplateSlot::Leader, lit(9)]);
+        assert_ne!(a.content_key(), c.content_key());
     }
 }

@@ -35,7 +35,7 @@ mod method_hash;
 mod store;
 
 pub use disk::{validate_entry, validate_group_entry, FORMAT_VERSION};
-pub use entry::{CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
+pub use entry::{sequence_content_key, CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
 pub use error::CacheError;
 pub use hash::{CacheKey, StableHasher};
 pub use method_hash::{hash_method, hash_program};
@@ -44,4 +44,4 @@ pub use store::{ArtifactStore, CacheConfig, CacheStats};
 /// Schema salt folded into every cache key: the crate version plus a
 /// manually bumped counter for behavioural changes that do not move the
 /// version (e.g. a codegen fix). Keys from other schemas never match.
-pub const SCHEMA_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+s2");
+pub const SCHEMA_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+s3");

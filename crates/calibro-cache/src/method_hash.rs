@@ -1,6 +1,24 @@
 //! Canonical hashing of DEX methods — the "method bytecode" component
 //! of the cache key.
 //!
+//! These functions only *serialize*: each write lands bytes in the
+//! [`StableHasher`]'s buffer, and the caller's final
+//! `finish`/`finish_reset` mixes the whole method word-at-a-time (see
+//! [`crate::hash`]). Passing a reused per-worker hasher in makes the
+//! per-method cost one buffer fill plus one mixing pass, with no
+//! allocation after the first method.
+//!
+//! The method *header* uses the framed `write_*` helpers (it is a
+//! handful of writes per method); each *instruction* is packed into one
+//! or two raw 64-bit words via [`StableHasher::write_word`] — the hot
+//! loop of every warm rebuild's keys phase. The packing is injective
+//! without per-field framing because the low byte of an instruction's
+//! first word is its variant tag, and that tag (plus, for `Invoke` /
+//! `Switch`, a count lane in the same word) fully determines the layout
+//! and number of words that follow. Lanes within a word are fixed:
+//! tag in bits 0..8, small operands (`BinOp`/`Cmp`/`InvokeKind`) in
+//! bits 8..16, and `VReg`s (u16) in 16-bit lanes from bit 16 up.
+//!
 //! Every function here destructures its input exhaustively (no `..`
 //! patterns, no wildcard match arms over fields): adding a field to
 //! [`Method`] or a variant to [`DexInsn`] fails compilation right here,
@@ -49,17 +67,29 @@ pub fn hash_program(dex: &DexFile, h: &mut StableHasher) {
     h.write_u32(dex.num_statics());
 }
 
-fn hash_vreg(v: VReg, h: &mut StableHasher) {
-    h.write_u16(v.0);
+fn vreg_bits(v: VReg) -> u64 {
+    u64::from(v.0)
 }
 
-fn hash_opt_vreg(v: Option<VReg>, h: &mut StableHasher) {
+/// `Option<VReg>` in a 17-bit lane: a presence bit above the register
+/// number, so `None` cannot alias `Some(VReg(0))`.
+fn opt_vreg_bits(v: Option<VReg>) -> u64 {
     match v {
-        None => h.write_tag(0),
-        Some(r) => {
-            h.write_tag(1);
-            hash_vreg(r, h);
+        None => 0,
+        Some(r) => (1 << 16) | u64::from(r.0),
+    }
+}
+
+/// Invoke arguments, four 16-bit register lanes per word. Unused lanes
+/// of the final word are zero — unambiguous because the argument count
+/// is a lane of the instruction's first word.
+fn write_packed_args(args: &[VReg], h: &mut StableHasher) {
+    for chunk in args.chunks(4) {
+        let mut w = 0u64;
+        for (i, &a) in chunk.iter().enumerate() {
+            w |= u64::from(a.0) << (16 * i);
         }
+        h.write_word(w);
     }
 }
 
@@ -88,116 +118,99 @@ fn cmp_tag(cmp: Cmp) -> u8 {
     }
 }
 
+/// Packs one instruction into one or two raw words (plus overflow words
+/// for invoke arguments and switch targets). See the module doc for the
+/// lane layout and the injectivity argument.
 fn hash_insn(insn: &DexInsn, h: &mut StableHasher) {
     match insn {
-        DexInsn::Nop => h.write_tag(0),
+        DexInsn::Nop => h.write_word(0),
         DexInsn::Const { dst, value } => {
-            h.write_tag(1);
-            hash_vreg(*dst, h);
-            h.write_i64(i64::from(*value));
+            h.write_word(1 | vreg_bits(*dst) << 16);
+            h.write_word(i64::from(*value) as u64);
         }
         DexInsn::Move { dst, src } => {
-            h.write_tag(2);
-            hash_vreg(*dst, h);
-            hash_vreg(*src, h);
+            h.write_word(2 | vreg_bits(*dst) << 16 | vreg_bits(*src) << 32);
         }
         DexInsn::Bin { op, dst, a, b } => {
-            h.write_tag(3);
-            h.write_u8(binop_tag(*op));
-            hash_vreg(*dst, h);
-            hash_vreg(*a, h);
-            hash_vreg(*b, h);
+            h.write_word(
+                3 | u64::from(binop_tag(*op)) << 8
+                    | vreg_bits(*dst) << 16
+                    | vreg_bits(*a) << 32
+                    | vreg_bits(*b) << 48,
+            );
         }
         DexInsn::BinLit { op, dst, a, lit } => {
-            h.write_tag(4);
-            h.write_u8(binop_tag(*op));
-            hash_vreg(*dst, h);
-            hash_vreg(*a, h);
-            h.write_i64(i64::from(*lit));
+            h.write_word(
+                4 | u64::from(binop_tag(*op)) << 8 | vreg_bits(*dst) << 16 | vreg_bits(*a) << 32,
+            );
+            h.write_word(i64::from(*lit) as u64);
         }
         DexInsn::IGet { dst, obj, field } => {
-            h.write_tag(5);
-            hash_vreg(*dst, h);
-            hash_vreg(*obj, h);
-            h.write_u32(field.0);
+            h.write_word(5 | vreg_bits(*dst) << 16 | vreg_bits(*obj) << 32);
+            h.write_word(u64::from(field.0));
         }
         DexInsn::IPut { src, obj, field } => {
-            h.write_tag(6);
-            hash_vreg(*src, h);
-            hash_vreg(*obj, h);
-            h.write_u32(field.0);
+            h.write_word(6 | vreg_bits(*src) << 16 | vreg_bits(*obj) << 32);
+            h.write_word(u64::from(field.0));
         }
         DexInsn::SGet { dst, slot } => {
-            h.write_tag(7);
-            hash_vreg(*dst, h);
-            h.write_u32(slot.0);
+            h.write_word(7 | vreg_bits(*dst) << 16 | u64::from(slot.0) << 32);
         }
         DexInsn::SPut { src, slot } => {
-            h.write_tag(8);
-            hash_vreg(*src, h);
-            h.write_u32(slot.0);
+            h.write_word(8 | vreg_bits(*src) << 16 | u64::from(slot.0) << 32);
         }
         DexInsn::NewInstance { dst, class } => {
-            h.write_tag(9);
-            hash_vreg(*dst, h);
-            h.write_u32(class.0);
+            h.write_word(9 | vreg_bits(*dst) << 16 | u64::from(class.0) << 32);
         }
         DexInsn::Invoke { kind, method, args, dst } => {
-            h.write_tag(10);
-            h.write_u8(match kind {
-                InvokeKind::Virtual => 0,
+            assert!(args.len() < (1 << 16), "invoke argument count overflows its packed lane");
+            let kind_bits = match kind {
+                InvokeKind::Virtual => 0u64,
                 InvokeKind::Static => 1,
-            });
-            h.write_u32(method.0);
-            h.write_usize(args.len());
-            for &a in args {
-                hash_vreg(a, h);
-            }
-            hash_opt_vreg(*dst, h);
+            };
+            h.write_word(
+                10 | kind_bits << 8 | (args.len() as u64) << 16 | opt_vreg_bits(*dst) << 32,
+            );
+            h.write_word(u64::from(method.0));
+            write_packed_args(args, h);
         }
         DexInsn::InvokeNative { method, args, dst } => {
-            h.write_tag(11);
-            h.write_u32(method.0);
-            h.write_usize(args.len());
-            for &a in args {
-                hash_vreg(a, h);
-            }
-            hash_opt_vreg(*dst, h);
+            assert!(args.len() < (1 << 16), "invoke argument count overflows its packed lane");
+            h.write_word(11 | (args.len() as u64) << 16 | opt_vreg_bits(*dst) << 32);
+            h.write_word(u64::from(method.0));
+            write_packed_args(args, h);
         }
         DexInsn::If { cmp, a, b, target } => {
-            h.write_tag(12);
-            h.write_u8(cmp_tag(*cmp));
-            hash_vreg(*a, h);
-            hash_vreg(*b, h);
-            h.write_usize(*target);
+            h.write_word(
+                12 | u64::from(cmp_tag(*cmp)) << 8 | vreg_bits(*a) << 16 | vreg_bits(*b) << 32,
+            );
+            h.write_word(*target as u64);
         }
         DexInsn::IfZ { cmp, a, target } => {
-            h.write_tag(13);
-            h.write_u8(cmp_tag(*cmp));
-            hash_vreg(*a, h);
-            h.write_usize(*target);
+            h.write_word(13 | u64::from(cmp_tag(*cmp)) << 8 | vreg_bits(*a) << 16);
+            h.write_word(*target as u64);
         }
         DexInsn::Goto { target } => {
-            h.write_tag(14);
-            h.write_usize(*target);
+            h.write_word(14);
+            h.write_word(*target as u64);
         }
         DexInsn::Switch { src, first_key, targets } => {
-            h.write_tag(15);
-            hash_vreg(*src, h);
-            h.write_i64(i64::from(*first_key));
-            h.write_usize(targets.len());
+            assert!(
+                u64::try_from(targets.len()).is_ok_and(|n| n < (1 << 32)),
+                "switch target count overflows its packed lane"
+            );
+            h.write_word(15 | vreg_bits(*src) << 16 | (targets.len() as u64) << 32);
+            h.write_word(i64::from(*first_key) as u64);
             for &t in targets {
-                h.write_usize(t);
+                h.write_word(t as u64);
             }
         }
         DexInsn::Return { src } => {
-            h.write_tag(16);
-            hash_vreg(*src, h);
+            h.write_word(16 | vreg_bits(*src) << 16);
         }
-        DexInsn::ReturnVoid => h.write_tag(17),
+        DexInsn::ReturnVoid => h.write_word(17),
         DexInsn::Throw { src } => {
-            h.write_tag(18);
-            hash_vreg(*src, h);
+            h.write_word(18 | vreg_bits(*src) << 16);
         }
     }
 }
@@ -247,6 +260,38 @@ mod tests {
         ] {
             assert_ne!(key(&tweak), k, "field `{label}` not covered by the hash");
         }
+    }
+
+    #[test]
+    fn packed_invoke_args_do_not_alias_zero_padding() {
+        // [VReg(1)] packs into a word whose upper lanes are zero — the
+        // same word [VReg(1), VReg(0), VReg(0), VReg(0)] would produce.
+        // The argument-count lane in the first word must keep them
+        // distinct.
+        let invoke = |args: Vec<VReg>| {
+            method(vec![DexInsn::Invoke {
+                kind: InvokeKind::Static,
+                method: MethodId(9),
+                args,
+                dst: None,
+            }])
+        };
+        let one = invoke(vec![VReg(1)]);
+        let padded = invoke(vec![VReg(1), VReg(0), VReg(0), VReg(0)]);
+        assert_ne!(key(&one), key(&padded));
+    }
+
+    #[test]
+    fn invoke_dst_presence_is_not_aliased_by_register_zero() {
+        let invoke = |dst: Option<VReg>| {
+            method(vec![DexInsn::Invoke {
+                kind: InvokeKind::Virtual,
+                method: MethodId(9),
+                args: vec![VReg(2)],
+                dst,
+            }])
+        };
+        assert_ne!(key(&invoke(None)), key(&invoke(Some(VReg(0)))));
     }
 
     #[test]

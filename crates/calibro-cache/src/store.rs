@@ -53,6 +53,11 @@ pub struct CacheStats {
     pub disk_hits: u64,
     /// Entries persisted to the disk layer.
     pub disk_stores: u64,
+    /// Disk hits promoted into the in-memory map. Distinct from
+    /// [`stores`](Self::stores): a promotion re-materializes an entry
+    /// this (or an earlier) process already paid to compile and
+    /// persist, so it must not read as new compilation output.
+    pub promotions: u64,
     /// Group-plan lookups that found a plan (LTBO detection skipped).
     pub group_hits: u64,
     /// Group-plan lookups that found nothing (group re-detected).
@@ -65,6 +70,9 @@ pub struct CacheStats {
     pub group_disk_hits: u64,
     /// Group plans persisted to the disk layer.
     pub group_disk_stores: u64,
+    /// Group-plan disk hits promoted into the in-memory map (see
+    /// [`promotions`](Self::promotions)).
+    pub group_promotions: u64,
     /// Method-lane lock acquisitions that found the lock held by
     /// another thread (a contended shared-store access). Zero in
     /// single-build use; under a multi-tenant daemon this measures how
@@ -85,12 +93,14 @@ impl CacheStats {
             evictions: self.evictions - earlier.evictions,
             disk_hits: self.disk_hits - earlier.disk_hits,
             disk_stores: self.disk_stores - earlier.disk_stores,
+            promotions: self.promotions - earlier.promotions,
             group_hits: self.group_hits - earlier.group_hits,
             group_misses: self.group_misses - earlier.group_misses,
             group_stores: self.group_stores - earlier.group_stores,
             group_evictions: self.group_evictions - earlier.group_evictions,
             group_disk_hits: self.group_disk_hits - earlier.group_disk_hits,
             group_disk_stores: self.group_disk_stores - earlier.group_disk_stores,
+            group_promotions: self.group_promotions - earlier.group_promotions,
             lock_contention: self.lock_contention - earlier.lock_contention,
             group_lock_contention: self.group_lock_contention - earlier.group_lock_contention,
         }
@@ -154,12 +164,14 @@ pub struct ArtifactStore {
     evictions: AtomicU64,
     disk_hits: AtomicU64,
     disk_stores: AtomicU64,
+    promotions: AtomicU64,
     group_hits: AtomicU64,
     group_misses: AtomicU64,
     group_stores: AtomicU64,
     group_evictions: AtomicU64,
     group_disk_hits: AtomicU64,
     group_disk_stores: AtomicU64,
+    group_promotions: AtomicU64,
     lock_contention: AtomicU64,
     group_lock_contention: AtomicU64,
 }
@@ -200,12 +212,14 @@ impl ArtifactStore {
             evictions: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk_stores: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
             group_hits: AtomicU64::new(0),
             group_misses: AtomicU64::new(0),
             group_stores: AtomicU64::new(0),
             group_evictions: AtomicU64::new(0),
             group_disk_hits: AtomicU64::new(0),
             group_disk_stores: AtomicU64::new(0),
+            group_promotions: AtomicU64::new(0),
             lock_contention: AtomicU64::new(0),
             group_lock_contention: AtomicU64::new(0),
         }
@@ -262,7 +276,15 @@ impl ArtifactStore {
             if let Some(entry) = disk::load(dir, key)? {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(self.insert_inner(key, entry, false)));
+                // Promote into memory. NOT a store: the entry was
+                // compiled and persisted by an earlier build, so it is
+                // counted under `promotions` (and a concurrent race is
+                // keep-first, like `insert`).
+                let (arc, promoted) = self.insert_memory(key, entry);
+                if promoted {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some(arc));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -271,27 +293,36 @@ impl ArtifactStore {
 
     /// Inserts an entry computed for `key`, returning the shared handle
     /// (an existing entry for the same key is kept — content addressing
-    /// makes both byte-equivalent). Persists to disk when configured.
+    /// makes both byte-equivalent). Persists to disk when configured —
+    /// only for genuinely new keys, so two workers inserting the same
+    /// key concurrently produce exactly one disk write and one
+    /// `disk_stores` increment.
     pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
-        self.insert_inner(key, entry, true)
-    }
-
-    fn insert_inner(&self, key: CacheKey, entry: CacheEntry, persist: bool) -> Arc<CacheEntry> {
-        if persist {
+        let (arc, inserted) = self.insert_memory(key, entry);
+        if inserted {
+            self.stores.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &self.config.disk_dir {
-                if disk::store(dir, key, &entry).is_ok() {
+                if disk::store(dir, key, &arc).is_ok() {
                     self.disk_stores.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        arc
+    }
+
+    /// Inserts `entry` under `key` if absent, returning the canonical
+    /// handle and whether this call inserted it. Applies the FIFO
+    /// capacity bound (counting evictions); `stores`/`promotions`
+    /// attribution is the caller's job. The map is checked *first*, so
+    /// a losing racer neither writes disk nor touches the counters.
+    fn insert_memory(&self, key: CacheKey, entry: CacheEntry) -> (Arc<CacheEntry>, bool) {
         let mut inner = self.lock_inner();
         if let Some(existing) = inner.map.get(&key) {
-            return Arc::clone(existing);
+            return (Arc::clone(existing), false);
         }
         let arc = Arc::new(entry);
         inner.map.insert(key, Arc::clone(&arc));
         inner.order.push_back(key);
-        self.stores.fetch_add(1, Ordering::Relaxed);
         while inner.map.len() > self.config.max_entries.max(1) {
             if let Some(oldest) = inner.order.pop_front() {
                 if inner.map.remove(&oldest).is_some() {
@@ -301,7 +332,7 @@ impl ArtifactStore {
                 break;
             }
         }
-        arc
+        (arc, true)
     }
 
     /// Looks a group plan up: memory first, then the disk layer
@@ -320,7 +351,11 @@ impl ArtifactStore {
             if let Some(entry) = disk::load_group(dir, key)? {
                 self.group_disk_hits.fetch_add(1, Ordering::Relaxed);
                 self.group_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(self.insert_group_inner(key, entry, false)));
+                let (arc, promoted) = self.insert_group_memory(key, entry);
+                if promoted {
+                    self.group_promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some(arc));
             }
         }
         self.group_misses.fetch_add(1, Ordering::Relaxed);
@@ -329,32 +364,33 @@ impl ArtifactStore {
 
     /// Inserts a group plan computed for `key`, returning the shared
     /// handle (keep-first on duplicates, like [`insert`](Self::insert)).
-    /// Persists to disk when configured.
+    /// Persists to disk when configured — only for genuinely new keys.
     pub fn insert_group_plan(&self, key: CacheKey, entry: GroupPlanEntry) -> Arc<GroupPlanEntry> {
-        self.insert_group_inner(key, entry, true)
-    }
-
-    fn insert_group_inner(
-        &self,
-        key: CacheKey,
-        entry: GroupPlanEntry,
-        persist: bool,
-    ) -> Arc<GroupPlanEntry> {
-        if persist {
+        let (arc, inserted) = self.insert_group_memory(key, entry);
+        if inserted {
+            self.group_stores.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &self.config.disk_dir {
-                if disk::store_group(dir, key, &entry).is_ok() {
+                if disk::store_group(dir, key, &arc).is_ok() {
                     self.group_disk_stores.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        arc
+    }
+
+    /// Group-plan twin of [`insert_memory`](Self::insert_memory).
+    fn insert_group_memory(
+        &self,
+        key: CacheKey,
+        entry: GroupPlanEntry,
+    ) -> (Arc<GroupPlanEntry>, bool) {
         let mut groups = self.lock_groups();
         if let Some(existing) = groups.map.get(&key) {
-            return Arc::clone(existing);
+            return (Arc::clone(existing), false);
         }
         let arc = Arc::new(entry);
         groups.map.insert(key, Arc::clone(&arc));
         groups.order.push_back(key);
-        self.group_stores.fetch_add(1, Ordering::Relaxed);
         while groups.map.len() > self.config.max_entries.max(1) {
             if let Some(oldest) = groups.order.pop_front() {
                 if groups.map.remove(&oldest).is_some() {
@@ -364,7 +400,7 @@ impl ArtifactStore {
                 break;
             }
         }
-        arc
+        (arc, true)
     }
 
     /// A snapshot of the cumulative counters.
@@ -377,12 +413,14 @@ impl ArtifactStore {
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_stores: self.disk_stores.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
             group_hits: self.group_hits.load(Ordering::Relaxed),
             group_misses: self.group_misses.load(Ordering::Relaxed),
             group_stores: self.group_stores.load(Ordering::Relaxed),
             group_evictions: self.group_evictions.load(Ordering::Relaxed),
             group_disk_hits: self.group_disk_hits.load(Ordering::Relaxed),
             group_disk_stores: self.group_disk_stores.load(Ordering::Relaxed),
+            group_promotions: self.group_promotions.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             group_lock_contention: self.group_lock_contention.load(Ordering::Relaxed),
         }
@@ -408,6 +446,7 @@ mod tests {
             },
             pass_stats: PassStats::default(),
             template: None,
+            ref_env: 0,
         }
     }
 
@@ -489,6 +528,74 @@ mod tests {
         let back = second.get_group_plan(key(4)).unwrap().expect("plan reloaded from disk");
         assert_eq!(back.text_len, 10);
         assert_eq!(second.stats().group_disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_identical_inserts_write_disk_once_per_key() {
+        let dir = std::env::temp_dir().join(format!("calibro-dup-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        const KEYS: u64 = 16;
+        // Two threads race to insert the same 16 keys. Only the winner
+        // of each key may persist it: one disk write, one disk_stores
+        // increment, one stores increment per unique key.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for k in 0..KEYS {
+                        store.insert(key(k), entry(u32::try_from(k).unwrap()));
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.stores, KEYS, "one store per unique key");
+        assert_eq!(stats.disk_stores, KEYS, "one disk write per unique key");
+        let files = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|ext| ext == "calc"))
+            .count();
+        assert_eq!(files, KEYS as usize);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_promotion_counts_as_promotion_not_store() {
+        let dir = std::env::temp_dir().join(format!("calibro-promo-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+        let first = ArtifactStore::new(config.clone());
+        first.insert(key(7), entry(7));
+        assert_eq!((first.stats().stores, first.stats().disk_stores), (1, 1));
+        drop(first);
+
+        // A fresh store over the same directory: the lookup is a disk
+        // hit promoted into memory — it must not read as a (disk) store.
+        let second = ArtifactStore::new(config);
+        assert!(second.get(key(7)).unwrap().is_some());
+        let s = second.stats();
+        assert_eq!(s.disk_hits, 1);
+        assert_eq!(s.promotions, 1);
+        assert_eq!((s.stores, s.disk_stores), (0, 0), "promotion misread as store");
+        // A second lookup hits memory; nothing else moves.
+        assert!(second.get(key(7)).unwrap().is_some());
+        let s = second.stats();
+        assert_eq!((s.hits, s.promotions, s.stores), (2, 1, 0));
+
+        // Same contract on the group lane.
+        second.insert_group_plan(key(9), group(8));
+        drop(second);
+        let third = ArtifactStore::new(CacheConfig {
+            disk_dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        });
+        assert!(third.get_group_plan(key(9)).unwrap().is_some());
+        let s = third.stats();
+        assert_eq!((s.group_disk_hits, s.group_promotions, s.group_stores), (1, 1, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -22,7 +22,7 @@
 //! );
 //! compiled.method = calibro_dex::MethodId(0); // table position
 
-//! let oat = link(&LinkInput { methods: vec![compiled], outlined: vec![] }, 0x4000_0000)?;
+//! let oat = link(LinkInput { methods: vec![compiled], outlined: vec![] }, 0x4000_0000)?;
 //! let elf = to_elf_bytes(&oat);
 //! let back = from_elf_bytes(&elf)?;
 //! assert_eq!(back.words, oat.words);

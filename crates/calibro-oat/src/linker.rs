@@ -72,14 +72,20 @@ impl From<EncodeError> for LinkError {
 /// of each CTO thunk referenced by any relocation (the §3.1 pattern
 /// cache, materialized).
 ///
+/// Consumes the input: per-method metadata and stack maps move into the
+/// output records, and call patching rewrites the already-encoded words
+/// in the text segment, so linking never copies a method's instruction
+/// stream — it is on the warm-rebuild critical path for every build.
+///
 /// # Errors
 ///
 /// Returns a [`LinkError`] for unresolved relocations, malformed inputs,
 /// or out-of-range branches.
-pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
+pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
+    let LinkInput { methods, outlined } = input;
     // --- Collect referenced thunks (sorted for determinism). -----------
     let mut used_thunks: BTreeMap<ThunkKind, u64> = BTreeMap::new();
-    for m in &input.methods {
+    for m in &methods {
         for r in &m.relocs {
             if let CallTarget::Thunk(kind) = r.target {
                 used_thunks.insert(kind, 0);
@@ -89,16 +95,16 @@ pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> 
 
     // --- Assign offsets. ------------------------------------------------
     let mut offset = 0u64;
-    let mut method_offsets = Vec::with_capacity(input.methods.len());
-    for (index, m) in input.methods.iter().enumerate() {
+    let mut method_offsets = Vec::with_capacity(methods.len());
+    for (index, m) in methods.iter().enumerate() {
         if m.method.index() != index {
             return Err(LinkError::MisorderedMethod { index });
         }
         method_offsets.push(offset);
         offset += m.size_bytes();
     }
-    let mut outlined_offsets = Vec::with_capacity(input.outlined.len());
-    for o in &input.outlined {
+    let mut outlined_offsets = Vec::with_capacity(outlined.len());
+    for o in &outlined {
         outlined_offsets.push(offset);
         offset += o.len() as u64 * 4;
     }
@@ -126,23 +132,26 @@ pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> 
         }
     };
 
-    // --- Patch calls and encode. ----------------------------------------
+    // --- Encode and patch calls. ----------------------------------------
     let mut words = Vec::with_capacity((offset / 4) as usize);
-    let mut records = Vec::with_capacity(input.methods.len());
-    for (index, m) in input.methods.iter().enumerate() {
+    let mut records = Vec::with_capacity(methods.len());
+    for (index, m) in methods.into_iter().enumerate() {
         let code_start = method_offsets[index];
-        let mut insns = m.insns.clone();
+        let start_word = words.len();
+        for insn in &m.insns {
+            words.push(insn.encode()?);
+        }
+        // Call sites carry a placeholder `bl` (always encodable), so the
+        // pass above emits a valid word there and the patch below
+        // overwrites it with the resolved offset.
         for r in &m.relocs {
-            if !matches!(insns.get(r.at), Some(Insn::Bl { .. })) {
+            if !matches!(m.insns.get(r.at), Some(Insn::Bl { .. })) {
                 return Err(LinkError::NotACallSite { method: index, at: r.at });
             }
             let target = resolve(index, r)?;
             let insn_addr = code_start + r.at as u64 * 4;
             let rel = target as i64 - insn_addr as i64;
-            insns[r.at] = Insn::Bl { offset: rel };
-        }
-        for insn in &insns {
-            words.push(insn.encode()?);
+            words[start_word + r.at] = Insn::Bl { offset: rel }.encode()?;
         }
         words.extend_from_slice(&m.pool);
         records.push(OatMethodRecord {
@@ -150,13 +159,13 @@ pub fn link(input: &LinkInput, base_address: u64) -> Result<OatFile, LinkError> 
             offset: code_start,
             insn_words: m.insns.len(),
             code_words: m.size_words(),
-            metadata: m.metadata.clone(),
-            stack_maps: m.stack_maps.clone(),
+            metadata: m.metadata,
+            stack_maps: m.stack_maps,
         });
     }
 
-    let mut outlined_records = Vec::with_capacity(input.outlined.len());
-    for (o, &off) in input.outlined.iter().zip(&outlined_offsets) {
+    let mut outlined_records = Vec::with_capacity(outlined.len());
+    for (o, &off) in outlined.iter().zip(&outlined_offsets) {
         for insn in o {
             words.push(insn.encode()?);
         }
@@ -228,7 +237,7 @@ mod tests {
         assert!(caller.relocs.is_empty());
         let callee = with_id(simple_method("callee", None, &opts), 1);
         let input = LinkInput { methods: vec![caller, callee], outlined: vec![] };
-        let oat = link(&input, 0x4000_0000).unwrap();
+        let oat = link(input, 0x4000_0000).unwrap();
         assert_eq!(oat.methods.len(), 2);
         assert!(oat.thunks.is_empty());
         // Methods are laid out back to back.
@@ -242,7 +251,7 @@ mod tests {
         let m1 = with_id(simple_method("b", Some(MethodId(2)), &opts), 1);
         let m2 = with_id(simple_method("leaf", None, &opts), 2);
         let input = LinkInput { methods: vec![m0, m1, m2], outlined: vec![] };
-        let oat = link(&input, 0x4000_0000).unwrap();
+        let oat = link(input, 0x4000_0000).unwrap();
         // JavaEntry + StackCheck thunks expected.
         assert_eq!(oat.thunks.len(), 2);
         for t in &oat.thunks {
@@ -266,7 +275,7 @@ mod tests {
         });
         let outlined = vec![vec![Insn::Nop, Insn::Br { rn: Reg::LR }]];
         let input = LinkInput { methods: vec![m], outlined };
-        let oat = link(&input, 0x1000).unwrap();
+        let oat = link(input, 0x1000).unwrap();
         assert_eq!(oat.outlined.len(), 1);
         let record = &oat.outlined[0];
         assert_eq!(record.size_words, 2);
@@ -293,7 +302,7 @@ mod tests {
             target: CallTarget::Outlined(7),
         });
         let input = LinkInput { methods: vec![m], outlined: vec![] };
-        assert!(matches!(link(&input, 0x1000), Err(LinkError::UnresolvedTarget { .. })));
+        assert!(matches!(link(input, 0x1000), Err(LinkError::UnresolvedTarget { .. })));
     }
 
     #[test]
@@ -301,7 +310,7 @@ mod tests {
         let opts = CodegenOptions { cto: false, collect_metadata: true };
         let m = with_id(simple_method("a", None, &opts), 5);
         let input = LinkInput { methods: vec![m], outlined: vec![] };
-        assert!(matches!(link(&input, 0x1000), Err(LinkError::MisorderedMethod { index: 0 })));
+        assert!(matches!(link(input, 0x1000), Err(LinkError::MisorderedMethod { index: 0 })));
     }
 
     #[test]
@@ -310,7 +319,7 @@ mod tests {
         let m0 = with_id(simple_method("a", Some(MethodId(1)), &opts), 0);
         let m1 = with_id(simple_method("b", None, &opts), 1);
         let input = LinkInput { methods: vec![m0, m1], outlined: vec![] };
-        let oat = link(&input, 0x4000_0000).unwrap();
+        let oat = link(input, 0x4000_0000).unwrap();
         for record in &oat.methods {
             let start = (record.offset / 4) as usize;
             for w in 0..record.code_words {

@@ -9,8 +9,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of power-of-two buckets. Bucket `i` holds samples with
-/// `us < 2^(i+1)` (bucket 0: 0-1µs, bucket 29: ~9-18 minutes); the last
-/// bucket also absorbs everything larger.
+/// `2^i <= us < 2^(i+1)`, except bucket 0, which also holds `us == 0`
+/// (so it covers `us < 2`: zero-duration and 1µs samples alike), and
+/// the last bucket, which also absorbs everything at or beyond
+/// `2^NUM_BUCKETS` µs (~18 minutes). [`bucket_upper_us`] reports each
+/// bucket's *exclusive* upper bound `2^(i+1)` — bucket 0 reports 2µs.
 pub const NUM_BUCKETS: usize = 30;
 
 /// The shared histogram. All methods take `&self`.
@@ -40,7 +43,9 @@ impl LatencyHistogram {
     }
 }
 
-/// The upper bound (µs) of bucket `idx`.
+/// The exclusive upper bound (µs) of bucket `idx`: every sample in the
+/// bucket satisfies `us < bucket_upper_us(idx)` (the last bucket also
+/// holds clamped larger samples).
 #[must_use]
 pub fn bucket_upper_us(idx: usize) -> u64 {
     1u64 << (idx + 1)
@@ -101,5 +106,33 @@ mod tests {
         assert_eq!(quantile_us(&c, 0.99), 8192);
         assert_eq!(quantile_us(&[], 0.5), 0);
         assert_eq!(quantile_us(&[0; NUM_BUCKETS], 0.5), 0);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        let counts = h.snapshot();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        // The reported quantile is bucket 0's exclusive upper bound:
+        // 2µs, per the bucket-boundary contract, never an underestimate.
+        assert_eq!(quantile_us(&counts, 0.5), bucket_upper_us(0));
+        assert_eq!(bucket_upper_us(0), 2);
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_first_and_last_occupied_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO); // bucket 0
+        h.record(Duration::from_micros(100)); // bucket 6, upper 128
+        let c = h.snapshot();
+        // p = 0.0 clamps to rank 1 (the minimum sample), p = 1.0 to the
+        // maximum; both stay inside occupied buckets.
+        assert_eq!(quantile_us(&c, 0.0), bucket_upper_us(0));
+        assert_eq!(quantile_us(&c, 1.0), 128);
+        // Out-of-range p is clamped, not a panic or a wild rank.
+        assert_eq!(quantile_us(&c, -3.0), bucket_upper_us(0));
+        assert_eq!(quantile_us(&c, 7.0), 128);
     }
 }

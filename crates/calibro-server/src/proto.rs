@@ -434,12 +434,14 @@ impl ServerStats {
             evictions,
             disk_hits,
             disk_stores,
+            promotions,
             group_hits,
             group_misses,
             group_stores,
             group_evictions,
             group_disk_hits,
             group_disk_stores,
+            group_promotions,
             lock_contention,
             group_lock_contention,
         } = self.cache;
@@ -450,12 +452,14 @@ impl ServerStats {
             evictions,
             disk_hits,
             disk_stores,
+            promotions,
             group_hits,
             group_misses,
             group_stores,
             group_evictions,
             group_disk_hits,
             group_disk_stores,
+            group_promotions,
             lock_contention,
             group_lock_contention,
         ] {
@@ -499,12 +503,14 @@ impl ServerStats {
             evictions: r.u64("evictions")?,
             disk_hits: r.u64("disk_hits")?,
             disk_stores: r.u64("disk_stores")?,
+            promotions: r.u64("promotions")?,
             group_hits: r.u64("group_hits")?,
             group_misses: r.u64("group_misses")?,
             group_stores: r.u64("group_stores")?,
             group_evictions: r.u64("group_evictions")?,
             group_disk_hits: r.u64("group_disk_hits")?,
             group_disk_stores: r.u64("group_disk_stores")?,
+            group_promotions: r.u64("group_promotions")?,
             lock_contention: r.u64("lock_contention")?,
             group_lock_contention: r.u64("group_lock_contention")?,
         };

@@ -94,26 +94,28 @@ pub fn partition(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequ
 
 /// Content hash of one symbol sequence, stable across builds.
 ///
-/// FNV-1a over the little-endian bytes of each symbol, with every
-/// separator (any symbol at or above [`UNIQUE_SEPARATOR_BASE`])
-/// canonicalized to `u64::MAX` first. Two sequences with the same
-/// literal content and the same separator placement hash identically
-/// even when the global separator counter assigned them different
-/// absolute values — the property the content-stable partitioner needs
-/// so that editing one method never reshuffles the others' groups.
+/// One FxHash-style mix per symbol (the symbol is already a 64-bit
+/// word — no reason to feed it through a byte-at-a-time loop), with
+/// every separator (any symbol at or above [`UNIQUE_SEPARATOR_BASE`])
+/// canonicalized to `u64::MAX` first, and the length folded in at the
+/// end. Two sequences with the same literal content and the same
+/// separator placement hash identically even when the global separator
+/// counter assigned them different absolute values — the property the
+/// content-stable partitioner needs so that editing one method never
+/// reshuffles the others' groups.
 #[must_use]
 pub fn stable_sequence_hash(symbols: &[Symbol]) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
+    const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &sym in symbols {
         let canonical = if sym >= UNIQUE_SEPARATOR_BASE { u64::MAX } else { sym };
-        for byte in canonical.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
+        hash = (hash.rotate_left(5) ^ canonical).wrapping_mul(K);
     }
-    hash
+    hash = (hash.rotate_left(5) ^ symbols.len() as u64).wrapping_mul(K);
+    // Avalanche: group selection is `hash % k`, which reads low bits.
+    hash ^= hash >> 32;
+    hash = hash.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    hash ^ (hash >> 32)
 }
 
 /// Partitions `sequences` into `k` groups by content: each sequence goes
@@ -128,10 +130,30 @@ pub fn stable_sequence_hash(symbols: &[Symbol]) -> u64 {
 /// caching sound. `k == 0` is clamped to one group.
 #[must_use]
 pub fn partition_stable(sequences: Vec<TaggedSequence>, k: usize) -> Vec<Vec<TaggedSequence>> {
+    let hashes: Vec<u64> = sequences.iter().map(|s| stable_sequence_hash(&s.symbols)).collect();
+    partition_stable_by(sequences, k, |i, _| hashes[i])
+}
+
+/// [`partition_stable`] with caller-supplied content hashes: `hash_of`
+/// receives each sequence's input index and the sequence, and must
+/// return its [`stable_sequence_hash`] (or an equally content-stable
+/// value). The warm build path computes those hashes for cache-hit
+/// methods concurrently with codegen and passes them in here, so the
+/// post-codegen partition step is O(sequences) bookkeeping rather than
+/// O(total symbol text) hashing.
+#[must_use]
+pub fn partition_stable_by<F>(
+    sequences: Vec<TaggedSequence>,
+    k: usize,
+    hash_of: F,
+) -> Vec<Vec<TaggedSequence>>
+where
+    F: Fn(usize, &TaggedSequence) -> u64,
+{
     let k = k.max(1);
     let mut groups: Vec<Vec<TaggedSequence>> = (0..k).map(|_| Vec::new()).collect();
-    for seq in sequences {
-        let group = (stable_sequence_hash(&seq.symbols) % k as u64) as usize;
+    for (i, seq) in sequences.into_iter().enumerate() {
+        let group = (hash_of(i, &seq) % k as u64) as usize;
         groups[group].push(seq);
     }
     groups

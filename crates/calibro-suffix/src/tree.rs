@@ -6,8 +6,32 @@
 //! that the 2^32 possible AArch64 machine words and the *unique separator
 //! numbers* the paper assigns to terminator instructions (§3.3.2) can
 //! coexist without collision.
+//!
+//! # Arena layout
+//!
+//! Nodes live in one flat arena of compact fixed-size records; children
+//! are an intrusive doubly-linked sibling list (`u32` indices into the
+//! arena) threaded through the child nodes themselves, and edge lookup
+//! (`(node, first symbol) → child`) goes through one shared hash map
+//! with a deterministic FxHash-style hasher. Compared with the previous
+//! one-`BTreeMap`-per-node layout this allocates nothing per node
+//! beyond the arena and the shared map, which is what makes per-group
+//! re-detection cheap on the warm path.
+//!
+//! # Determinism
+//!
+//! Every traversal enumerates children in **insertion order**. For
+//! Ukkonen's algorithm the sequence of structural operations — and
+//! therefore each node's child insertion order — depends only on
+//! equality comparisons between text symbols, so it is identical for
+//! any two texts related by an injective symbol renaming. Downstream
+//! greedy candidate tie-breaking inherits that invariance: separator
+//! renumbering between builds can never change a detection result
+//! (a stronger guarantee than symbol-ordered enumeration, which only
+//! tolerates order-preserving renamings).
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// A symbol in the sequence: an instruction mapping or a separator.
 pub type Symbol = u64;
@@ -17,6 +41,55 @@ pub const TERMINAL: Symbol = u64::MAX;
 
 const INF: usize = usize::MAX;
 
+/// Null arena index (no node / end of a sibling list).
+const NIL: u32 = u32::MAX;
+
+/// A deterministic FxHash-style hasher for the edge map: unlike the
+/// default `RandomState` it is seed-free (bit-stable across processes)
+/// and one multiply per word instead of SipHash rounds — edge lookups
+/// are the innermost operation of construction.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"));
+            self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(FX_K);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            let w = u64::from_le_bytes(tail);
+            self.0 = (self.0.rotate_left(5) ^ w).wrapping_mul(FX_K);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0.rotate_left(5) ^ u64::from(v)).wrapping_mul(FX_K);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FX_K);
+    }
+
+    fn finish(&self) -> u64 {
+        // One avalanche so the map's low-bit bucket selection does not
+        // see the multiplier's weak low bits directly.
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^ (x >> 32)
+    }
+}
+
+type EdgeMap = HashMap<(u32, Symbol), u32, BuildHasherDefault<FxHasher>>;
+
+/// One arena record: 40 bytes, no owned heap data.
 #[derive(Debug)]
 struct Node {
     /// Start index of the edge label leading into this node.
@@ -24,18 +97,57 @@ struct Node {
     /// One past the end of the edge label; `INF` for growing leaf edges.
     end: usize,
     /// Suffix link (root for nodes without an explicit link).
-    link: usize,
-    /// Children keyed by first edge symbol. A `BTreeMap` rather than a
-    /// hash map: every traversal then enumerates children in symbol
-    /// order, which makes repeat enumeration — and therefore greedy
-    /// candidate tie-breaking downstream — deterministic across runs.
-    children: BTreeMap<Symbol, usize>,
+    link: u32,
+    /// First child in insertion order (`NIL` for leaves).
+    first_child: u32,
+    /// Last child in insertion order (`NIL` for leaves).
+    last_child: u32,
+    /// Previous sibling in the parent's child list.
+    prev_sib: u32,
+    /// Next sibling in the parent's child list.
+    next_sib: u32,
 }
 
 impl Node {
     fn new(start: usize, end: usize) -> Node {
-        Node { start, end, link: 0, children: BTreeMap::new() }
+        Node {
+            start,
+            end,
+            link: 0,
+            first_child: NIL,
+            last_child: NIL,
+            prev_sib: NIL,
+            next_sib: NIL,
+        }
     }
+
+    fn is_leaf(&self) -> bool {
+        self.first_child == NIL
+    }
+}
+
+/// Iterates a node's children in insertion order by walking the
+/// intrusive sibling list.
+struct ChildIter<'a> {
+    nodes: &'a [Node],
+    cur: u32,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.cur == NIL {
+            return None;
+        }
+        let id = self.cur as usize;
+        self.cur = self.nodes[id].next_sib;
+        Some(id)
+    }
+}
+
+fn children(nodes: &[Node], id: usize) -> ChildIter<'_> {
+    ChildIter { nodes, cur: nodes[id].first_child }
 }
 
 /// An identifier of a node inside a [`SuffixTree`].
@@ -62,6 +174,7 @@ pub struct NodeId(usize);
 #[derive(Debug)]
 pub struct SuffixTree {
     nodes: Vec<Node>,
+    edges: EdgeMap,
     text: Vec<Symbol>,
 }
 
@@ -72,13 +185,19 @@ impl SuffixTree {
     ///
     /// # Panics
     ///
-    /// Panics if `text` contains the reserved [`TERMINAL`] symbol.
+    /// Panics if `text` contains the reserved [`TERMINAL`] symbol, or
+    /// if `text` is longer than `u32::MAX - 2` symbols (the arena uses
+    /// 32-bit node indices).
     #[must_use]
     pub fn build(mut text: Vec<Symbol>) -> SuffixTree {
         assert!(!text.contains(&TERMINAL), "input must not contain the reserved terminal symbol");
+        assert!(text.len() < (NIL as usize - 2) / 2, "text too long for 32-bit arena indices");
         text.push(TERMINAL);
+        let mut nodes = Vec::with_capacity(2 * text.len());
+        nodes.push(Node::new(0, 0));
         let mut builder = Builder {
-            nodes: vec![Node::new(0, 0)],
+            nodes,
+            edges: EdgeMap::with_capacity_and_hasher(2 * text.len(), BuildHasherDefault::default()),
             text: &text,
             active_node: 0,
             active_edge: 0,
@@ -89,7 +208,7 @@ impl SuffixTree {
         for pos in 0..text.len() {
             builder.extend(pos);
         }
-        SuffixTree { nodes: builder.nodes, text }
+        SuffixTree { nodes: builder.nodes, edges: builder.edges, text }
     }
 
     /// The sequence the tree was built from, including the terminal.
@@ -125,15 +244,15 @@ impl SuffixTree {
     /// Walks the tree along `pattern`; returns the node at or immediately
     /// below the locus, or `None` if the pattern does not occur.
     fn locate(&self, pattern: &[Symbol]) -> Option<usize> {
-        let mut node = 0;
+        let mut node = 0u32;
         let mut matched = 0;
         while matched < pattern.len() {
-            let &child = self.nodes[node].children.get(&pattern[matched])?;
-            let start = self.nodes[child].start;
-            let len = self.edge_len(child);
+            let &child = self.edges.get(&(node, pattern[matched]))?;
+            let start = self.nodes[child as usize].start;
+            let len = self.edge_len(child as usize);
             for k in 0..len {
                 if matched == pattern.len() {
-                    return Some(child);
+                    return Some(child as usize);
                 }
                 if self.text[start + k] != pattern[matched] {
                     return None;
@@ -142,7 +261,7 @@ impl SuffixTree {
             }
             node = child;
         }
-        Some(node)
+        Some(node as usize)
     }
 
     /// Counts how many times `pattern` occurs in the sequence (including
@@ -169,10 +288,10 @@ impl SuffixTree {
         let mut count = 0;
         let mut stack = vec![node];
         while let Some(id) = stack.pop() {
-            if self.nodes[id].children.is_empty() {
+            if self.nodes[id].is_leaf() {
                 count += 1;
             } else {
-                stack.extend(self.nodes[id].children.values().copied());
+                stack.extend(children(&self.nodes, id));
             }
         }
         count
@@ -187,10 +306,10 @@ impl SuffixTree {
         let base = depth - self.edge_len(node);
         let mut stack = vec![(node, self.edge_len(node))];
         while let Some((id, below)) = stack.pop() {
-            if self.nodes[id].children.is_empty() {
+            if self.nodes[id].is_leaf() {
                 out.push(self.text.len() - (base + below));
             } else {
-                for &c in self.nodes[id].children.values() {
+                for c in children(&self.nodes, id) {
                     stack.push((c, below + self.edge_len(c)));
                 }
             }
@@ -207,7 +326,7 @@ impl SuffixTree {
         }
         let mut stack = vec![(0usize, 0usize)];
         while let Some((id, depth)) = stack.pop() {
-            for &c in self.nodes[id].children.values() {
+            for c in children(&self.nodes, id) {
                 let d = depth + self.edge_len(c);
                 if c == target {
                     return d;
@@ -225,7 +344,7 @@ impl SuffixTree {
     /// Path lengths are clipped to exclude the terminal symbol, which can
     /// only appear on leaf edges.
     pub fn visit_internal<F: FnMut(InternalNode)>(&self, mut visit: F) {
-        if self.nodes[0].children.is_empty() {
+        if self.nodes[0].is_leaf() {
             return;
         }
         // Post-order accumulation of leaf counts.
@@ -236,24 +355,24 @@ impl SuffixTree {
         let mut stack = vec![0usize];
         while let Some(id) = stack.pop() {
             order.push(id);
-            for &c in self.nodes[id].children.values() {
+            for c in children(&self.nodes, id) {
                 depths[c] = depths[id] + self.edge_len(c);
                 stack.push(c);
             }
         }
         for &id in order.iter().rev() {
-            if self.nodes[id].children.is_empty() {
+            if self.nodes[id].is_leaf() {
                 leaf_counts[id] = 1;
             } else {
                 let mut sum = 0;
-                for &c in self.nodes[id].children.values() {
+                for c in children(&self.nodes, id) {
                     sum += leaf_counts[c];
                 }
                 leaf_counts[id] = sum;
             }
         }
         for &id in &order {
-            if id == 0 || self.nodes[id].children.is_empty() {
+            if id == 0 || self.nodes[id].is_leaf() {
                 continue;
             }
             visit(InternalNode { id: NodeId(id), len: depths[id], count: leaf_counts[id] });
@@ -277,11 +396,11 @@ impl SuffixTree {
         let mut out = Vec::new();
         let mut stack = vec![(0usize, Vec::new())];
         while let Some((id, prefix)) = stack.pop() {
-            if self.nodes[id].children.is_empty() && id != 0 {
+            if self.nodes[id].is_leaf() && id != 0 {
                 out.push(prefix);
                 continue;
             }
-            for &c in self.nodes[id].children.values() {
+            for c in children(&self.nodes, id) {
                 let node = &self.nodes[c];
                 let end = node.end.min(self.text.len());
                 let mut next = prefix.clone();
@@ -306,28 +425,68 @@ pub struct InternalNode {
 
 struct Builder<'t> {
     nodes: Vec<Node>,
+    edges: EdgeMap,
     text: &'t [Symbol],
-    active_node: usize,
+    active_node: u32,
     active_edge: usize,
     active_len: usize,
     remainder: usize,
-    need_link: usize,
+    need_link: u32,
 }
 
 impl Builder<'_> {
-    fn add_link(&mut self, node: usize) {
+    fn add_link(&mut self, node: u32) {
         if self.need_link != 0 {
-            self.nodes[self.need_link].link = node;
+            self.nodes[self.need_link as usize].link = node;
         }
         self.need_link = node;
     }
 
-    fn edge_len(&self, id: usize, pos: usize) -> usize {
-        let node = &self.nodes[id];
+    fn edge_len(&self, id: u32, pos: usize) -> usize {
+        let node = &self.nodes[id as usize];
         node.end.min(pos + 1) - node.start
     }
 
-    fn walk_down(&mut self, next: usize, pos: usize) -> bool {
+    /// Appends `child` to `parent`'s child list under `sym`.
+    fn add_child(&mut self, parent: u32, sym: Symbol, child: u32) {
+        self.edges.insert((parent, sym), child);
+        let last = self.nodes[parent as usize].last_child;
+        self.nodes[child as usize].prev_sib = last;
+        self.nodes[child as usize].next_sib = NIL;
+        if last == NIL {
+            self.nodes[parent as usize].first_child = child;
+        } else {
+            self.nodes[last as usize].next_sib = child;
+        }
+        self.nodes[parent as usize].last_child = child;
+    }
+
+    /// Replaces `old` with `new` at `old`'s exact position in `parent`'s
+    /// child list (so enumeration order is unchanged by edge splits),
+    /// and re-points the edge-map entry for `sym`.
+    fn replace_child(&mut self, parent: u32, sym: Symbol, old: u32, new: u32) {
+        self.edges.insert((parent, sym), new);
+        let (prev, next) = {
+            let o = &self.nodes[old as usize];
+            (o.prev_sib, o.next_sib)
+        };
+        self.nodes[new as usize].prev_sib = prev;
+        self.nodes[new as usize].next_sib = next;
+        if prev == NIL {
+            self.nodes[parent as usize].first_child = new;
+        } else {
+            self.nodes[prev as usize].next_sib = new;
+        }
+        if next == NIL {
+            self.nodes[parent as usize].last_child = new;
+        } else {
+            self.nodes[next as usize].prev_sib = new;
+        }
+        self.nodes[old as usize].prev_sib = NIL;
+        self.nodes[old as usize].next_sib = NIL;
+    }
+
+    fn walk_down(&mut self, next: u32, pos: usize) -> bool {
         let len = self.edge_len(next, pos);
         if self.active_len >= len {
             self.active_edge += len;
@@ -348,11 +507,11 @@ impl Builder<'_> {
                 self.active_edge = pos;
             }
             let edge_sym = self.text[self.active_edge];
-            match self.nodes[self.active_node].children.get(&edge_sym).copied() {
+            match self.edges.get(&(self.active_node, edge_sym)).copied() {
                 None => {
-                    let leaf = self.nodes.len();
+                    let leaf = self.nodes.len() as u32;
                     self.nodes.push(Node::new(pos, INF));
-                    self.nodes[self.active_node].children.insert(edge_sym, leaf);
+                    self.add_child(self.active_node, edge_sym, leaf);
                     let an = self.active_node;
                     self.add_link(an);
                 }
@@ -360,23 +519,23 @@ impl Builder<'_> {
                     if self.walk_down(next, pos) {
                         continue;
                     }
-                    if self.text[self.nodes[next].start + self.active_len] == c {
+                    if self.text[self.nodes[next as usize].start + self.active_len] == c {
                         self.active_len += 1;
                         let an = self.active_node;
                         self.add_link(an);
                         break;
                     }
                     // Split the edge.
-                    let split = self.nodes.len();
-                    let next_start = self.nodes[next].start;
+                    let split = self.nodes.len() as u32;
+                    let next_start = self.nodes[next as usize].start;
                     self.nodes.push(Node::new(next_start, next_start + self.active_len));
-                    self.nodes[self.active_node].children.insert(edge_sym, split);
-                    let leaf = self.nodes.len();
+                    self.replace_child(self.active_node, edge_sym, next, split);
+                    let leaf = self.nodes.len() as u32;
                     self.nodes.push(Node::new(pos, INF));
-                    self.nodes[split].children.insert(c, leaf);
-                    self.nodes[next].start += self.active_len;
-                    let next_sym = self.text[self.nodes[next].start];
-                    self.nodes[split].children.insert(next_sym, next);
+                    self.add_child(split, c, leaf);
+                    self.nodes[next as usize].start += self.active_len;
+                    let next_sym = self.text[self.nodes[next as usize].start];
+                    self.add_child(split, next_sym, next);
                     self.add_link(split);
                 }
             }
@@ -385,7 +544,7 @@ impl Builder<'_> {
                 self.active_len -= 1;
                 self.active_edge = pos - self.remainder + 1;
             } else if self.active_node != 0 {
-                self.active_node = self.nodes[self.active_node].link;
+                self.active_node = self.nodes[self.active_node as usize].link;
             }
         }
     }
@@ -495,5 +654,26 @@ mod tests {
                 }
             }
         });
+    }
+
+    #[test]
+    fn traversal_order_is_invariant_under_injective_renaming() {
+        // Insertion-order child lists depend only on symbol *equality*,
+        // so any injective renaming — including a non-monotone one —
+        // must yield the identical traversal order. The warm-path
+        // overlap layer leans on this: separator renumbering between a
+        // fresh detection and a cached replay can never reorder greedy
+        // candidate selection.
+        let text: Vec<Symbol> = (0..400).map(|i: u64| (i * i + 3) % 23).collect();
+        // Non-monotone injective map: 23 - x keeps distinctness but
+        // reverses the symbol order BTreeMap children relied on.
+        let renamed: Vec<Symbol> = text.iter().map(|&s| 23 - s).collect();
+        let a = SuffixTree::build(text);
+        let b = SuffixTree::build(renamed);
+        let mut visits_a = Vec::new();
+        a.visit_internal(|n| visits_a.push((n.len, n.count, a.positions_of(n.id, n.len))));
+        let mut visits_b = Vec::new();
+        b.visit_internal(|n| visits_b.push((n.len, n.count, b.positions_of(n.id, n.len))));
+        assert_eq!(visits_a, visits_b);
     }
 }

@@ -158,6 +158,11 @@ pub struct BuildStats {
     pub passes: PassStats,
     /// Time in LTBO (suffix trees + outlining + patching).
     pub ltbo_time: Duration,
+    /// Time in LTBO's detection core alone: group-plan cache probes
+    /// plus suffix-tree detection / plan replay. A subset of
+    /// [`ltbo_time`](Self::ltbo_time); on a warm build this is the
+    /// plan-replay cost the cache is supposed to make negligible.
+    pub detect_time: Duration,
     /// Time linking and encoding.
     pub link_time: Duration,
     /// LTBO statistics (zeroed when LTBO is off).
@@ -200,12 +205,13 @@ impl BuildStats {
                 r#""methods":{},"methods_from_cache":{},"words_before_ltbo":{},"#,
                 r#""compile_threads":{},"#,
                 r#""times_us":{{"verify":{},"keys":{},"graphs":{},"inline":{},"codegen":{},"#,
-                r#""compile":{},"ltbo":{},"link":{},"total":{}}},"#,
+                r#""compile":{},"ltbo":{},"detect":{},"link":{},"total":{}}},"#,
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
                 r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
-                r#""disk_hits":{},"disk_stores":{},"#,
+                r#""disk_hits":{},"disk_stores":{},"promotions":{},"#,
                 r#""group_hits":{},"group_misses":{},"group_stores":{},"#,
                 r#""group_evictions":{},"group_disk_hits":{},"group_disk_stores":{},"#,
+                r#""group_promotions":{},"#,
                 r#""lock_contention":{},"group_lock_contention":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
@@ -227,6 +233,7 @@ impl BuildStats {
             us(self.codegen_time),
             us(self.compile_time),
             us(self.ltbo_time),
+            us(self.detect_time),
             us(self.link_time),
             us(self.total_time()),
             us(self.compile_cpu_time),
@@ -237,12 +244,14 @@ impl BuildStats {
             c.evictions,
             c.disk_hits,
             c.disk_stores,
+            c.promotions,
             c.group_hits,
             c.group_misses,
             c.group_stores,
             c.group_evictions,
             c.group_disk_hits,
             c.group_disk_stores,
+            c.group_promotions,
             c.lock_contention,
             c.group_lock_contention,
             p.folded,

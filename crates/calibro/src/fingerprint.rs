@@ -14,13 +14,25 @@
 //! buys an unconditional safety argument: equal keys ⇒ equal full
 //! configuration ⇒ equal compile inputs.
 
+use std::cell::RefCell;
+
 use calibro_cache::{hash_method, hash_program, CacheKey, StableHasher, SCHEMA_VERSION};
 use calibro_dex::{DexFile, Method};
 use calibro_hgraph::PipelineConfig;
-use calibro_suffix::{TaggedSequence, UNIQUE_SEPARATOR_BASE};
+use calibro_suffix::TaggedSequence;
 
 use crate::driver::BuildOptions;
 use crate::ltbo::{LtboConfig, LtboMode};
+
+thread_local! {
+    /// The reusable per-worker serialization buffer: every method (and
+    /// symbol-sequence) key on one worker thread reuses one allocation
+    /// via [`StableHasher::finish_reset`]. Only bounded-size inputs go
+    /// through it — whole-program hashing allocates its own buffer so a
+    /// one-off multi-megabyte program hash does not pin that capacity
+    /// in the thread-local for the rest of the process.
+    static SCRATCH: RefCell<StableHasher> = RefCell::new(StableHasher::with_capacity(4096));
+}
 
 /// Feeds the full [`BuildOptions`] into `h`.
 pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
@@ -129,36 +141,88 @@ pub fn options_fingerprint(options: &BuildOptions) -> CacheKey {
     h.finish()
 }
 
-/// The content address of one detection group's cached
-/// [`GroupPlanEntry`](calibro_cache::GroupPlanEntry): schema salt, the
-/// full [`LtboConfig`], and the group's concatenated symbol text.
+/// The canonical content key of one method's symbolized sequence — the
+/// per-member leaf of a [`group_plan_key_from`] composition.
 ///
-/// Separator symbols (any symbol `>= UNIQUE_SEPARATOR_BASE`) are
-/// canonicalized to a fixed tag rather than hashed by value: their
-/// numbering depends on a global counter that drifts across builds as
-/// unrelated methods change, while detection results depend only on the
-/// fact that each separator is unique within its group. Literal symbols
-/// (always `< 2^32`) are hashed exactly. Sequence boundaries are framed
-/// by length so distinct splits of the same flattened text get distinct
-/// keys.
+/// Re-exported from [`calibro_cache::sequence_content_key`], the single
+/// authoritative implementation: the same function computes the hashes
+/// a [`SymbolTemplate`](calibro_cache::SymbolTemplate) caches at build
+/// time, so a template's cached leaf can never diverge from a key
+/// computed here over its replay output.
+pub use calibro_cache::sequence_content_key;
+
+/// The content address of one detection group's cached
+/// [`GroupPlanEntry`](calibro_cache::GroupPlanEntry), composed
+/// Merkle-style from its members' [`sequence_content_key`]s: schema
+/// salt, the full [`LtboConfig`], the member count, then each member
+/// key in group order.
+///
+/// The composition makes the warm probe O(members) instead of
+/// O(total symbol text): per-sequence keys are computed once per method
+/// — concurrently with codegen for cache hits — and a group's key is
+/// then a handful of mixes. Distinct splits of the same flattened text
+/// get distinct keys because every member key frames its own length.
 #[must_use]
-pub fn group_plan_key(config: &LtboConfig, group: &[TaggedSequence]) -> CacheKey {
+pub fn group_plan_key_from(config: &LtboConfig, members: &[CacheKey]) -> CacheKey {
     let mut h = StableHasher::new();
     h.write_str(SCHEMA_VERSION);
     h.write_tag(0x47); // 'G'
     fingerprint_ltbo_config(config, &mut h);
-    h.write_usize(group.len());
-    for seq in group {
-        h.write_usize(seq.symbols.len());
-        for &sym in &seq.symbols {
-            if sym >= UNIQUE_SEPARATOR_BASE {
-                h.write_tag(1);
-            } else {
-                h.write_u64(sym);
-            }
-        }
+    h.write_usize(members.len());
+    for k in members {
+        h.write_u64(k.hi);
+        h.write_u64(k.lo);
     }
     h.finish()
+}
+
+/// [`group_plan_key_from`] over freshly computed member keys — for
+/// callers holding raw sequences rather than precomputed leaf keys.
+#[must_use]
+pub fn group_plan_key(config: &LtboConfig, group: &[TaggedSequence]) -> CacheKey {
+    let members: Vec<CacheKey> =
+        group.iter().map(|seq| sequence_content_key(&seq.symbols)).collect();
+    group_plan_key_from(config, &members)
+}
+
+/// Fingerprint of the *reference environment*: exactly the
+/// program-level facts [`calibro_dex::verify_references`] reads —
+/// method count, per-callee nativeness, class count, the field bound,
+/// and the static-slot bound. Everything else that check consumes is
+/// the method body itself, which the per-method cache key already
+/// covers, so `hit && entry.ref_env == reference_env(dex)` proves both
+/// inputs of that deterministic check are unchanged and the warm path
+/// may skip re-running it.
+///
+/// One pass over per-method flags and class headers — never over
+/// bytecode — so it costs microseconds where the skipped re-verify
+/// walks every instruction of every method.
+#[must_use]
+pub fn reference_env(dex: &DexFile) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_tag(0x52); // 'R'
+    let methods = dex.methods();
+    h.write_usize(methods.len());
+    // Per-callee nativeness, packed 64 methods to a word (the length
+    // above makes the packing self-describing).
+    let mut word = 0u64;
+    for (i, m) in methods.iter().enumerate() {
+        if m.is_native {
+            word |= 1 << (i % 64);
+        }
+        if i % 64 == 63 {
+            h.write_word(word);
+            word = 0;
+        }
+    }
+    if !methods.len().is_multiple_of(64) {
+        h.write_word(word);
+    }
+    h.write_usize(dex.classes().len());
+    h.write_u32(dex.classes().iter().map(|c| c.num_fields).max().unwrap_or(0));
+    h.write_u32(dex.num_statics());
+    let k = h.finish();
+    k.hi ^ k.lo
 }
 
 /// The whole-program salt, folded into every key when whole-program
@@ -172,25 +236,32 @@ pub fn program_salt(dex: &DexFile) -> CacheKey {
 }
 
 /// The content address of one method's compilation artifact.
+///
+/// Serializes the method into the calling worker's thread-local scratch
+/// buffer and mixes it in one word-at-a-time pass — the per-method hot
+/// path of every warm rebuild, so it never allocates after a worker's
+/// first method.
 #[must_use]
 pub fn method_cache_key(
     method: &Method,
     options_fp: CacheKey,
     program_salt: Option<CacheKey>,
 ) -> CacheKey {
-    let mut h = StableHasher::new();
-    h.write_u64(options_fp.hi);
-    h.write_u64(options_fp.lo);
-    match program_salt {
-        None => h.write_tag(0),
-        Some(salt) => {
-            h.write_tag(1);
-            h.write_u64(salt.hi);
-            h.write_u64(salt.lo);
+    SCRATCH.with(|cell| {
+        let mut h = cell.borrow_mut();
+        h.write_u64(options_fp.hi);
+        h.write_u64(options_fp.lo);
+        match program_salt {
+            None => h.write_tag(0),
+            Some(salt) => {
+                h.write_tag(1);
+                h.write_u64(salt.hi);
+                h.write_u64(salt.lo);
+            }
         }
-    }
-    hash_method(method, &mut h);
-    h.finish()
+        hash_method(method, &mut h);
+        h.finish_reset()
+    })
 }
 
 #[cfg(test)]

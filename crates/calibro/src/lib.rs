@@ -61,7 +61,7 @@ pub use driver::{
 };
 pub use fingerprint::{
     fingerprint_ltbo_config, fingerprint_ltbo_mode, fingerprint_options, fingerprint_pipeline,
-    group_plan_key, method_cache_key, options_fingerprint, program_salt,
+    group_plan_key, method_cache_key, options_fingerprint, program_salt, reference_env,
 };
 pub use ltbo::detect_fault;
 pub use ltbo::{

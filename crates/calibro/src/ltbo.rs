@@ -20,18 +20,19 @@
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use calibro_cache::{
-    ArtifactStore, CacheError, CacheKey, GroupPlanEntry, SymbolTemplate, TemplateSlot,
+    ArtifactStore, CacheEntry, CacheError, CacheKey, GroupPlanEntry, SymbolTemplate, TemplateSlot,
 };
 use calibro_codegen::{CallTarget, CompiledMethod, PcRel, Reloc};
 use calibro_isa::Insn;
 use calibro_suffix::{
-    detect_group, group_text_len, partition_stable, replay_group_plan, GroupPlan, TaggedSequence,
-    UNIQUE_SEPARATOR_BASE,
+    detect_group, group_text_len, partition_stable_by, replay_group_plan, GroupPlan,
+    TaggedSequence, UNIQUE_SEPARATOR_BASE,
 };
 
-use crate::fingerprint::group_plan_key;
+use crate::fingerprint::group_plan_key_from;
 use crate::pipeline::{panic_message, run_indexed};
 
 /// How the suffix-tree stage runs.
@@ -167,9 +168,184 @@ pub struct LtboResult {
     pub outlined: Vec<Vec<Insn>>,
     /// Run statistics.
     pub stats: LtboStats,
+    /// Wall time of the detection phase alone (cache probe + suffix-tree
+    /// detection / plan replay), excluding symbolization and patching.
+    pub detect_time: Duration,
 }
 
 const UNIQUE_BASE: u64 = UNIQUE_SEPARATOR_BASE;
+
+/// Width of each method's private separator band: method `idx` numbers
+/// its separators from `UNIQUE_BASE + (idx + 1) * SEP_STRIDE`. Giving
+/// every method a band derived from its own index (rather than a global
+/// running counter) makes symbolization order-independent across
+/// methods — a cache-hit method can be symbolized concurrently with
+/// codegen of the methods before it and still get the exact symbols a
+/// sequential pass would assign. Detection is invariant under any
+/// injective renaming of separators (they are canonicalized in hashes
+/// and never appear inside candidates), so the numbering scheme itself
+/// is free to change — which is also why this differs from the global
+/// counter older schemas used.
+const SEP_STRIDE: u64 = 1 << 24;
+
+/// First separator value of method `idx`'s private band.
+fn sep_base(idx: usize) -> u64 {
+    // Group joint separators live at 0xfffe << 48; method bands must
+    // stay strictly below them.
+    const GROUP_SEP_BASE: u64 = 0xfffe_0000_0000_0000;
+    let base = UNIQUE_BASE + (idx as u64 + 1) * SEP_STRIDE;
+    assert!(base + SEP_STRIDE < GROUP_SEP_BASE, "method index {idx} exhausts separator space");
+    base
+}
+
+/// One method's symbol-offset → code-word-index map. Freshly extracted
+/// methods own a materialized vector; cache-hit methods answer lookups
+/// straight from their entry's template slots (one symbol per slot, so
+/// offsets coincide), which spares the warm prepass from writing a
+/// second O(text) vector per hit whose contents the template already
+/// holds.
+#[derive(Debug)]
+pub(crate) enum SymbolMap {
+    /// Materialized map, as [`SymbolTemplate::replay`] builds it.
+    Owned(Vec<usize>),
+    /// Backed by the cache entry's template; the entry is kept alive
+    /// here and always carries `Some` template (enforced at
+    /// construction in [`prepare_hit_symbols`]).
+    Template(Arc<CacheEntry>),
+}
+
+impl SymbolMap {
+    /// The code-word index behind symbol offset `sym`.
+    fn word_at(&self, sym: usize) -> usize {
+        match self {
+            SymbolMap::Owned(map) => map[sym],
+            SymbolMap::Template(entry) => {
+                entry.template.as_ref().expect("constructed from a templated entry").word_at(sym)
+            }
+        }
+    }
+}
+
+/// One method's §3.3.1/§3.3.2 outcome, computed either inline by
+/// [`run_ltbo_cached`] or ahead of time — concurrently with codegen —
+/// by [`prepare_hit_symbols`].
+#[derive(Debug)]
+pub(crate) enum MethodSymbols {
+    /// Not a candidate (indirect jump, native stub, or hot with no slow
+    /// paths).
+    Excluded,
+    /// A candidate sequence plus everything the detection stage needs
+    /// from it, precomputed so the post-codegen path is O(1) per method.
+    Candidate {
+        /// Hot method restricted to its slow paths.
+        hot: bool,
+        /// The symbol sequence (separators in the method's own band).
+        symbols: Vec<u64>,
+        /// Symbol offset → code word index.
+        map: SymbolMap,
+        /// Canonical content key — the Merkle leaf of the group key.
+        content_key: CacheKey,
+        /// Content-stable partition hash.
+        group_hash: u64,
+    },
+}
+
+/// Classifies and symbolizes one method (§3.3.1 + §3.3.2), assigning
+/// separators from the method's private band, and precomputes the
+/// sequence's content key and partition hash.
+pub(crate) fn symbolize_method(
+    idx: usize,
+    m: &CompiledMethod,
+    template: Option<&SymbolTemplate>,
+    config: &LtboConfig,
+) -> MethodSymbols {
+    if m.metadata.has_indirect_jump || m.metadata.is_native_stub {
+        return MethodSymbols::Excluded;
+    }
+    let hot = config.hot_methods.as_ref().is_some_and(|set| set.contains(&m.method.0));
+    if hot && m.metadata.slow_paths.is_empty() {
+        return MethodSymbols::Excluded;
+    }
+    let mut unique = sep_base(idx);
+    let fresh;
+    let template = match template {
+        Some(template) if !hot => template,
+        _ => {
+            fresh = build_template(m, hot);
+            &fresh
+        }
+    };
+    let (symbols, map) = template.replay(&mut unique);
+    assert!(
+        unique <= sep_base(idx) + SEP_STRIDE,
+        "method {idx} used more than {SEP_STRIDE} separators"
+    );
+    // Both hashes canonicalize separators, so the values the template
+    // cached at build time equal a direct hash of `symbols` regardless
+    // of this method's band — no per-build re-hashing of the sequence.
+    MethodSymbols::Candidate {
+        hot,
+        symbols,
+        map: SymbolMap::Owned(map),
+        content_key: template.content_key(),
+        group_hash: template.group_hash(),
+    }
+}
+
+/// [`symbolize_method`] for a cache-hit method, replaying the entry's
+/// cached template without materializing the word map — the
+/// [`SymbolMap::Template`] variant answers map lookups from the slots.
+/// Hot-restricted and template-less entries fall back to the general
+/// path (hot methods need a freshly filtered template anyway).
+fn symbolize_hit(idx: usize, entry: &Arc<CacheEntry>, config: &LtboConfig) -> MethodSymbols {
+    let m = &entry.compiled;
+    if m.metadata.has_indirect_jump || m.metadata.is_native_stub {
+        return MethodSymbols::Excluded;
+    }
+    let hot = config.hot_methods.as_ref().is_some_and(|set| set.contains(&m.method.0));
+    let template = match &entry.template {
+        Some(template) if !hot => template,
+        _ => return symbolize_method(idx, m, entry.template.as_ref(), config),
+    };
+    let mut unique = sep_base(idx);
+    let symbols = template.replay_symbols(&mut unique);
+    assert!(
+        unique <= sep_base(idx) + SEP_STRIDE,
+        "method {idx} used more than {SEP_STRIDE} separators"
+    );
+    MethodSymbols::Candidate {
+        hot,
+        symbols,
+        map: SymbolMap::Template(Arc::clone(entry)),
+        content_key: template.content_key(),
+        group_hash: template.group_hash(),
+    }
+}
+
+/// The warm-path prepass: symbolizes every cache-*hit* method from its
+/// store entry (compiled code + cached template), leaving `None` slots
+/// for misses, whose code does not exist yet. [`BuildSession::build`]
+/// runs this on the calling thread **concurrently with codegen** of the
+/// dirty methods, so by the time the outline stage starts, the heavy
+/// O(text) work for every clean method — template replay, content keys,
+/// partition hashes — is already done; only the dirty methods (and the
+/// O(members) group-key finalization) remain on the critical path.
+///
+/// Per-method separator bands make this sound: the symbols assigned
+/// here are identical to what a sequential post-codegen pass would
+/// assign, because no method's numbering depends on any other method.
+///
+/// [`BuildSession::build`]: crate::BuildSession::build
+pub(crate) fn prepare_hit_symbols(
+    cached: &[Option<Arc<CacheEntry>>],
+    config: &LtboConfig,
+) -> Vec<Option<MethodSymbols>> {
+    cached
+        .iter()
+        .enumerate()
+        .map(|(idx, slot)| slot.as_ref().map(|entry| symbolize_hit(idx, entry, config)))
+        .collect()
+}
 
 /// One planned rewrite within a method.
 struct Edit {
@@ -246,49 +422,81 @@ pub fn run_ltbo_cached(
     templates: &[Option<&SymbolTemplate>],
     store: Option<&ArtifactStore>,
 ) -> Result<LtboResult, OutlineError> {
+    run_ltbo_prepared(methods, config, templates, store, Vec::new())
+}
+
+/// [`run_ltbo_cached`] with an optional warm prepass: `prepared` is
+/// indexed by method position, and a `Some` slot carries the result of
+/// [`prepare_hit_symbols`] — symbolization already done concurrently
+/// with codegen. `None` slots (and everything past the end of a short
+/// vector) are symbolized here. This is the third leg of taking the
+/// warm path off the detection barrier: clean groups replay their
+/// cached plans using work that overlapped codegen, and only dirty
+/// methods' symbolization plus the O(members) Merkle group keys run
+/// after codegen completes.
+pub(crate) fn run_ltbo_prepared(
+    methods: &mut [CompiledMethod],
+    config: &LtboConfig,
+    templates: &[Option<&SymbolTemplate>],
+    store: Option<&ArtifactStore>,
+    mut prepared: Vec<Option<MethodSymbols>>,
+) -> Result<LtboResult, OutlineError> {
     let mut stats = LtboStats::default();
 
     // --- §3.3.1: choose candidates; §3.3.2: map to symbols. ------------
-    let mut unique = UNIQUE_BASE;
+    // Each method's separators come from its own index-derived band (see
+    // SEP_STRIDE), so a slot symbolized by the concurrent prepass equals
+    // what this loop would compute.
+    prepared.resize_with(methods.len(), || None);
     let mut sequences = Vec::new();
-    let mut sym_to_word: Vec<Vec<usize>> = vec![Vec::new(); methods.len()];
+    let mut sym_maps: Vec<SymbolMap> =
+        (0..methods.len()).map(|_| SymbolMap::Owned(Vec::new())).collect();
+    let mut content_keys: Vec<CacheKey> = vec![CacheKey { hi: 0, lo: 0 }; methods.len()];
+    let mut group_hashes: Vec<u64> = vec![0; methods.len()];
     for (idx, m) in methods.iter().enumerate() {
-        if m.metadata.has_indirect_jump || m.metadata.is_native_stub {
-            stats.excluded_methods += 1;
-            continue;
-        }
-        let hot = config.hot_methods.as_ref().is_some_and(|set| set.contains(&m.method.0));
-        if hot {
-            if m.metadata.slow_paths.is_empty() {
-                stats.excluded_methods += 1;
-                continue;
-            }
-            stats.hot_restricted_methods += 1;
-        }
-        stats.candidate_methods += 1;
-        let (symbols, map) = match templates.get(idx).copied().flatten() {
-            Some(template) if !hot => template.replay(&mut unique),
-            _ => build_template(m, hot).replay(&mut unique),
+        let symbols = match prepared[idx].take() {
+            Some(s) => s,
+            None => symbolize_method(idx, m, templates.get(idx).copied().flatten(), config),
         };
-        sequences.push(TaggedSequence { tag: idx, symbols });
-        sym_to_word[idx] = map;
+        match symbols {
+            MethodSymbols::Excluded => stats.excluded_methods += 1,
+            MethodSymbols::Candidate { hot, symbols, map, content_key, group_hash } => {
+                if hot {
+                    stats.hot_restricted_methods += 1;
+                }
+                stats.candidate_methods += 1;
+                sequences.push(TaggedSequence { tag: idx, symbols });
+                sym_maps[idx] = map;
+                content_keys[idx] = content_key;
+                group_hashes[idx] = group_hash;
+            }
+        }
     }
 
     // --- §3.3.3: detect repeats and select the outline plan. ------------
+    let detect_start = Instant::now();
     let (groups, threads) = match config.mode {
         LtboMode::Global => (vec![sequences], 1),
         LtboMode::Parallel { groups, threads } => {
-            (partition_stable(sequences, groups), threads.max(1))
+            (partition_stable_by(sequences, groups, |_, s| group_hashes[s.tag]), threads.max(1))
         }
     };
     stats.detection_groups = groups.len();
 
     // Probe the plan cache; a hit means the group's canonicalized text
     // (and the LTBO config) is unchanged since the plan was detected.
+    // The key is composed Merkle-style from the members' precomputed
+    // content keys — O(members) here, not O(text).
     let mut keys: Vec<CacheKey> = Vec::new();
     let mut cached: Vec<Option<Arc<GroupPlanEntry>>> = vec![None; groups.len()];
     if let Some(store) = store {
-        keys = groups.iter().map(|g| group_plan_key(config, g)).collect();
+        keys = groups
+            .iter()
+            .map(|g| {
+                let members: Vec<CacheKey> = g.iter().map(|s| content_keys[s.tag]).collect();
+                group_plan_key_from(config, &members)
+            })
+            .collect();
         for (slot, &key) in cached.iter_mut().zip(&keys) {
             *slot = store.get_group_plan(key).map_err(OutlineError::Cache)?;
         }
@@ -305,6 +513,7 @@ pub fn run_ltbo_cached(
         (detect_group(&groups_ref[i], min_len), false)
     })
     .map_err(|p| OutlineError::Worker { group: p.index, message: p.message })?;
+    let detect_time = detect_start.elapsed();
 
     if let Some(store) = store {
         for (i, (plan, reused)) in tagged_plans.iter().enumerate() {
@@ -342,7 +551,7 @@ pub fn run_ltbo_cached(
                 stats.outlined_functions += 1;
                 for &pos in &cand.positions {
                     let (tag, sym_off) = plan.resolve(pos);
-                    let word = sym_to_word[tag][sym_off];
+                    let word = sym_maps[tag].word_at(sym_off);
                     edits[tag].push(Edit { start: word, len: cand.len, outlined: id });
                     stats.occurrences_replaced += 1;
                     stats.words_saved += cand.len as i64 - 1;
@@ -365,7 +574,7 @@ pub fn run_ltbo_cached(
         stats.stack_maps_updated += maps_updated;
     }
 
-    Ok(LtboResult { outlined, stats })
+    Ok(LtboResult { outlined, stats, detect_time })
 }
 
 /// Builds the §3.3.2 symbolization structure for one method: which
@@ -423,7 +632,7 @@ pub(crate) fn build_template(m: &CompiledMethod, hot_slow_paths_only: bool) -> S
             slots.push(TemplateSlot::Lit { encoded, word });
         }
     }
-    SymbolTemplate { slots }
+    SymbolTemplate::new(slots)
 }
 
 /// Returns `true` if executing the instruction changes `sp` — such

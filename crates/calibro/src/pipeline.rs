@@ -54,8 +54,11 @@ use calibro_isa::Insn;
 use calibro_oat::{LinkInput, OatFile};
 
 use crate::driver::{BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
-use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt};
-use crate::ltbo::{build_template, run_ltbo_cached, LtboConfig, LtboStats, OutlineError};
+use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt, reference_env};
+use crate::ltbo::{
+    build_template, prepare_hit_symbols, run_ltbo_prepared, LtboConfig, LtboStats, MethodSymbols,
+    OutlineError,
+};
 
 /// A build context holding the content-addressed artifact store across
 /// builds. One-shot callers use [`build`](crate::build); incremental
@@ -140,7 +143,41 @@ impl BuildSession {
         };
         let graph_busy: Duration = frontend.graph_loads.iter().map(|w| w.busy).sum();
 
-        let codegen = self.codegen(dex, options, frontend)?;
+        // Overlap (warm path): while codegen replays hits and compiles
+        // the dirty methods, symbolize the hit methods' LTBO sequences
+        // on this thread from their store entries. Each method's
+        // separators come from its own index-derived band, so the
+        // result is identical to what the outline stage would compute
+        // after codegen — just earlier. Dirty methods stay `None` and
+        // are symbolized post-codegen as usual.
+        let ltbo_config = options.ltbo.map(|mode| LtboConfig {
+            mode,
+            min_len: options.min_seq_len,
+            hot_methods: options.hot_methods.clone(),
+        });
+        let (codegen, prepared) = match &ltbo_config {
+            Some(config) if frontend.cache_hits() > 0 => {
+                let snapshot = frontend.cached.clone();
+                if available_threads() > 1 {
+                    std::thread::scope(|s| {
+                        let handle = s.spawn(|| self.codegen(dex, options, frontend));
+                        let prepared = prepare_hit_symbols(&snapshot, config);
+                        let codegen =
+                            handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+                        (codegen, prepared)
+                    })
+                } else {
+                    // One core: the overlap cannot shorten the wall and the
+                    // extra thread only adds context switches. Same result,
+                    // computed back to back.
+                    let prepared = prepare_hit_symbols(&snapshot, config);
+                    let codegen = self.codegen(dex, options, frontend);
+                    (codegen, prepared)
+                }
+            }
+            _ => (self.codegen(dex, options, frontend), Vec::new()),
+        };
+        let codegen = codegen?;
         stats.codegen_time = codegen.codegen_time;
         stats.compile_time =
             stats.key_time + stats.graph_time + stats.inline_time + stats.codegen_time;
@@ -151,10 +188,11 @@ impl BuildSession {
         stats.methods = codegen.outcomes.len();
         stats.methods_from_cache = codegen.outcomes.iter().filter(|o| o.cache_hit).count();
 
-        let outlined = self.outline(options, codegen)?;
+        let outlined = self.outline_with(&ltbo_config, codegen, prepared)?;
         stats.words_before_ltbo = outlined.words_before;
         stats.ltbo = outlined.ltbo;
         stats.ltbo_time = outlined.ltbo_time;
+        stats.detect_time = outlined.detect_time;
 
         let link_start = Instant::now();
         let oat = self.link(options, outlined)?;
@@ -183,9 +221,16 @@ impl BuildSession {
     ) -> Result<FrontendArtifact, BuildError> {
         let key_start = Instant::now();
         let inputs = dex.methods();
+        let threads = options.compile_threads.max(1);
         let fp = options_fingerprint(options);
         let salt = options.inlining.then(|| program_salt(dex));
-        let keys: Vec<CacheKey> = inputs.iter().map(|m| method_cache_key(m, fp, salt)).collect();
+        // Key hashing fans out like codegen: each worker serializes
+        // methods into its own reused thread-local buffer and mixes
+        // word-at-a-time (see calibro_cache::hash). Probing stays
+        // sequential — it is one lock acquisition per method.
+        let (keys, _key_loads) =
+            run_indexed(inputs.len(), threads, |i| method_cache_key(&inputs[i], fp, salt))
+                .map_err(|p| BuildError::CompileWorker { method: p.index, message: p.message })?;
         let mut cached = Vec::with_capacity(keys.len());
         for &key in &keys {
             cached.push(self.store.get(key).map_err(BuildError::Cache)?);
@@ -194,14 +239,23 @@ impl BuildSession {
 
         // A cache hit proves the method's intrinsic checks (register
         // bounds, branch targets, definite assignment) passed when the
-        // entry was created — the key covers every byte they read — so
-        // only the contextual reference checks re-run for hits.
+        // entry was created — the key covers every byte they read. The
+        // contextual reference checks additionally read the program
+        // environment, so a hit skips them only when the entry's
+        // recorded environment fingerprint matches this build's: then
+        // both inputs of the (deterministic) check are unchanged and so
+        // is its verdict.
+        let ref_env = reference_env(dex);
         let verify_start = Instant::now();
         for (m, hit) in inputs.iter().zip(&cached) {
-            if hit.is_none() {
-                calibro_dex::verify_intrinsic(m).map_err(BuildError::Verify)?;
+            match hit {
+                Some(entry) if entry.ref_env == ref_env => {}
+                Some(_) => calibro_dex::verify_references(dex, m).map_err(BuildError::Verify)?,
+                None => {
+                    calibro_dex::verify_intrinsic(m).map_err(BuildError::Verify)?;
+                    calibro_dex::verify_references(dex, m).map_err(BuildError::Verify)?;
+                }
             }
-            calibro_dex::verify_references(dex, m).map_err(BuildError::Verify)?;
         }
         let verify_time = verify_start.elapsed();
 
@@ -212,7 +266,6 @@ impl BuildSession {
             .zip(&cached)
             .map(|(m, hit)| !m.is_native && (inlining || hit.is_none()))
             .collect();
-        let threads = options.compile_threads.max(1);
         let start = Instant::now();
         let (mut graphs, graph_loads) =
             run_indexed(inputs.len(), threads, |i| need_graph[i].then(|| build_hgraph(&inputs[i])))
@@ -231,6 +284,7 @@ impl BuildSession {
             keys,
             cached,
             graphs,
+            ref_env,
             verify_time,
             key_time,
             graph_time,
@@ -259,7 +313,7 @@ impl BuildSession {
         let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
         let want_template = options.ltbo.is_some();
         let inputs = dex.methods();
-        let FrontendArtifact { keys, cached, graphs, .. } = frontend;
+        let FrontendArtifact { keys, cached, graphs, ref_env, .. } = frontend;
         let start = Instant::now();
         // Workers take ownership of their graph through a per-slot mutex
         // (locked exactly once, by the worker that drew the index).
@@ -282,9 +336,10 @@ impl BuildSession {
                 }
             };
             let template = want_template.then(|| build_template(&compiled, false));
-            let entry = self
-                .store
-                .insert(keys[i], CacheEntry { compiled: compiled.clone(), pass_stats, template });
+            let entry = self.store.insert(
+                keys[i],
+                CacheEntry { compiled: compiled.clone(), pass_stats, template, ref_env },
+            );
             MethodOutcome { compiled, pass_stats, entry, cache_hit: false }
         })
         .map_err(|p| BuildError::CompileWorker { method: p.index, message: p.message })?;
@@ -315,6 +370,25 @@ impl BuildSession {
         options: &BuildOptions,
         codegen: CodegenArtifact,
     ) -> Result<LtboArtifact, BuildError> {
+        let config = options.ltbo.map(|mode| LtboConfig {
+            mode,
+            min_len: options.min_seq_len,
+            hot_methods: options.hot_methods.clone(),
+        });
+        self.outline_with(&config, codegen, Vec::new())
+    }
+
+    /// [`outline`](Self::outline) taking a pre-built [`LtboConfig`] and
+    /// pre-symbolized hit methods (from the warm-path overlap in
+    /// [`build`](Self::build)). `prepared` slots that are `None` — and
+    /// everything past a short vector's end — are symbolized inside the
+    /// outline stage as on a cold build.
+    fn outline_with(
+        &self,
+        config: &Option<LtboConfig>,
+        codegen: CodegenArtifact,
+        prepared: Vec<Option<MethodSymbols>>,
+    ) -> Result<LtboArtifact, BuildError> {
         let CodegenArtifact { outcomes, .. } = codegen;
         let mut methods = Vec::with_capacity(outcomes.len());
         let mut entries = Vec::with_capacity(outcomes.len());
@@ -327,27 +401,25 @@ impl BuildSession {
         let mut outlined = Vec::new();
         let mut ltbo = LtboStats::default();
         let mut ltbo_time = Duration::default();
-        if let Some(mode) = options.ltbo {
+        let mut detect_time = Duration::default();
+        if let Some(config) = config {
             let start = Instant::now();
-            let config = LtboConfig {
-                mode,
-                min_len: options.min_seq_len,
-                hot_methods: options.hot_methods.clone(),
-            };
             let templates: Vec<Option<&SymbolTemplate>> =
                 entries.iter().map(|e| e.template.as_ref()).collect();
-            let result = run_ltbo_cached(&mut methods, &config, &templates, Some(&self.store))
-                .map_err(|e| match e {
-                    OutlineError::Worker { group, message } => {
-                        BuildError::OutlineWorker { group, message }
-                    }
-                    OutlineError::Cache(e) => BuildError::Cache(e),
-                })?;
+            let result =
+                run_ltbo_prepared(&mut methods, config, &templates, Some(&self.store), prepared)
+                    .map_err(|e| match e {
+                        OutlineError::Worker { group, message } => {
+                            BuildError::OutlineWorker { group, message }
+                        }
+                        OutlineError::Cache(e) => BuildError::Cache(e),
+                    })?;
             outlined = result.outlined;
             ltbo = result.stats;
+            detect_time = result.detect_time;
             ltbo_time = start.elapsed();
         }
-        Ok(LtboArtifact { methods, outlined, ltbo, ltbo_time, words_before })
+        Ok(LtboArtifact { methods, outlined, ltbo, ltbo_time, detect_time, words_before })
     }
 
     /// Stage 4 — **Link**: binds call labels to addresses and encodes
@@ -359,7 +431,7 @@ impl BuildSession {
     /// (e.g. an unencodable branch or a dangling call target).
     pub fn link(&self, options: &BuildOptions, ltbo: LtboArtifact) -> Result<OatFile, BuildError> {
         let LtboArtifact { methods, outlined, .. } = ltbo;
-        calibro_oat::link(&LinkInput { methods, outlined }, options.base_address)
+        calibro_oat::link(LinkInput { methods, outlined }, options.base_address)
             .map_err(BuildError::Link)
     }
 }
@@ -373,6 +445,9 @@ pub struct FrontendArtifact {
     pub cached: Vec<Option<Arc<CacheEntry>>>,
     /// HGraph per method; `None` for native methods and warm hits.
     pub graphs: Vec<Option<HGraph>>,
+    /// This build's [`reference_env`] fingerprint — recorded in every
+    /// entry codegen stores, compared against entries on probe.
+    pub ref_env: u64,
     /// Time verifying the input dex.
     pub verify_time: Duration,
     /// Time fingerprinting, hashing methods, and probing the store.
@@ -459,6 +534,10 @@ pub struct LtboArtifact {
     pub ltbo: LtboStats,
     /// Wall time of the stage.
     pub ltbo_time: Duration,
+    /// Wall time of the detection core within the stage: cache-key
+    /// probes plus suffix-tree detection / plan replay (excludes
+    /// symbolization and edit application).
+    pub detect_time: Duration,
     /// Total instruction words before outlining.
     pub words_before: usize,
 }
@@ -526,7 +605,10 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// each result into its index's dedicated slot, so the output order —
 /// and therefore everything derived from it — is independent of the
 /// schedule. With `threads <= 1` (or nothing to do) the closure runs on
-/// the calling thread with no synchronization at all.
+/// the calling thread with no synchronization at all. The requested
+/// fan-out is clamped to [`available_threads`] — the slot-per-index
+/// output makes results identical at any worker count, so spawning more
+/// CPU-bound workers than cores buys nothing but scheduler churn.
 ///
 /// # Errors
 ///
@@ -535,6 +617,15 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// it crosses a pool-thread boundary (parallel). Remaining work stops
 /// at the next index draw; when several items panic before the pool
 /// drains, the lowest index is reported.
+/// Number of hardware threads the host actually exposes, cached after
+/// the first query (the syscall behind `available_parallelism` is not
+/// free on the warm path). Falls back to 1 when the OS cannot say.
+pub(crate) fn available_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 pub(crate) fn run_indexed<T, F>(
     count: usize,
     threads: usize,
@@ -546,6 +637,7 @@ where
 {
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
+    let threads = threads.min(available_threads());
     if threads <= 1 || count <= 1 {
         let start = Instant::now();
         let mut out: Vec<T> = Vec::with_capacity(count);

@@ -73,6 +73,26 @@ fn check_arm(arm: &str, options: BuildOptions) -> Result<(), Box<dyn std::error:
     if calibro_oat::to_elf_bytes(&warm.oat) != calibro_oat::to_elf_bytes(&fresh.oat) {
         return Err(format!("[{arm}] warm rebuild is not byte-identical to a cold build").into());
     }
+    // Hot-path budget (sharded arm, where the warm path is fully wired):
+    // fingerprinting + store probes must stay well under the CPU cost of
+    // compiling the whole program cold — otherwise keys are eating the
+    // speedup the cache buys. Budgeted against the *cold* compile CPU
+    // because the warm delta's CPU cost legitimately approaches zero.
+    if arm == "sharded" {
+        let keys_us = warm.stats.key_time.as_micros();
+        let compile_cpu_us = cold.stats.compile_cpu_time.as_micros();
+        println!(
+            "[{arm}] warm keys {keys_us}µs, detect {}µs, cold compile cpu {compile_cpu_us}µs",
+            warm.stats.detect_time.as_micros()
+        );
+        if keys_us * 2 >= compile_cpu_us {
+            return Err(format!(
+                "[{arm}] warm key phase {keys_us}µs is not under half the \
+                 cold compile CPU {compile_cpu_us}µs"
+            )
+            .into());
+        }
+    }
     println!("[{arm}] warm rebuild OK: delta-only recompile, bit-identical output");
     Ok(())
 }

@@ -15,9 +15,11 @@
 use std::collections::HashSet;
 
 use calibro::{
-    build, method_cache_key, options_fingerprint, program_salt, BuildError, BuildOptions,
-    BuildSession, CacheConfig, LtboMode, PipelineConfig,
+    build, method_cache_key, options_fingerprint, program_salt, reference_env, ArtifactStore,
+    BuildError, BuildOptions, BuildSession, CacheConfig, CacheEntry, LtboMode, PipelineConfig,
+    StableHasher,
 };
+use calibro_cache::hash_method;
 use calibro_workloads::{generate, mutate_methods, AppSpec};
 
 /// Every single-field variation of the default options. The exhaustive
@@ -223,6 +225,48 @@ fn identical_rebuild_hits_for_every_method() {
 }
 
 #[test]
+fn environment_change_re_verifies_cache_hits() {
+    // Warm hits skip `verify_references` only while the entry's
+    // recorded reference-environment fingerprint matches the build's.
+    // Flip one callee native: every unchanged caller still *hits* the
+    // cache (its own bytes and key are untouched), yet its `Invoke` now
+    // targets a native method — an error only the environment-mismatch
+    // re-verify path can surface.
+    let dex = generate(&AppSpec::small("refenv", 23)).dex;
+    let callee = dex
+        .methods()
+        .iter()
+        .find_map(|m| {
+            m.insns.iter().find_map(|i| match i {
+                calibro_dex::DexInsn::Invoke { method, .. } => Some(*method),
+                _ => None,
+            })
+        })
+        .expect("generated app contains a java call");
+
+    let options = BuildOptions::baseline();
+    let session = BuildSession::new();
+    session.build(&dex, &options).expect("cold build");
+
+    let mut edited = dex.clone();
+    let m = edited.method_mut(callee);
+    m.is_native = true;
+    m.insns.clear();
+    assert_ne!(reference_env(&dex), reference_env(&edited), "nativeness must move the env");
+
+    let err = session.build(&edited, &options).expect_err("stale reference must be caught");
+    assert!(
+        matches!(&err, BuildError::Verify(calibro_dex::VerifyError::WrongInvokeKind { .. })),
+        "expected WrongInvokeKind, got {err:?}"
+    );
+
+    // Same program, same environment: the skip path itself stays green
+    // and every method still hits.
+    let warm = session.build(&dex, &options).expect("unchanged rebuild");
+    assert_eq!(warm.stats.methods_from_cache, warm.stats.methods);
+}
+
+#[test]
 fn sharded_detection_is_thread_and_warmth_stable() {
     let spec = AppSpec::small("stable", 53);
     let dex = generate(&spec).dex;
@@ -282,6 +326,115 @@ fn disk_cache_carries_artifacts_across_sessions() {
     assert_eq!(warm.oat.words, cold.oat.words);
     assert_eq!(warm.stats.methods_from_cache, warm.stats.methods);
     assert_eq!(warm.stats.cache.disk_hits as usize, warm.stats.methods);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The pre-`+s3` key scheme, vendored for the invalidation test below:
+/// two independently seeded FNV-1a-64 lanes over the framed byte
+/// stream, plus the old length fold. The *framing* did not change in
+/// the `+s2` → `+s3` bump — only the mixing did — so the new
+/// serializer's buffer is exactly the byte stream the old hasher
+/// consumed, and mixing it here reproduces the keys an old-release
+/// store persisted under.
+mod legacy {
+    use calibro::CacheKey;
+
+    /// What `SCHEMA_VERSION` expanded to before the bump.
+    pub const SCHEMA: &str = concat!("0.1.0", "+s2");
+
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    const OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_LO: u64 = 0x2437_54a3_2439_f31d;
+
+    pub fn mix(framed: &[u8]) -> CacheKey {
+        let (mut hi, mut lo) = (OFFSET_HI, OFFSET_LO);
+        let byte = |hi: &mut u64, lo: &mut u64, b: u8| {
+            *hi = (*hi ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            *lo = (*lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        };
+        for &b in framed {
+            byte(&mut hi, &mut lo, b);
+        }
+        for b in (framed.len() as u64).to_le_bytes() {
+            byte(&mut hi, &mut lo, b);
+        }
+        CacheKey { hi, lo: lo ^ hi.rotate_left(32) }
+    }
+}
+
+#[test]
+fn schema_bump_turns_old_disk_entries_into_clean_typed_misses() {
+    let dir = std::env::temp_dir().join(format!("calibro-schema-bump-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dex = generate(&AppSpec::small("schema", 29)).dex;
+    let options = BuildOptions::cto_ltbo();
+    let fp = options_fingerprint(&options);
+    let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+
+    // Populate the directory the way the previous release would have:
+    // one entry per method, persisted under the legacy hasher's key for
+    // the old schema string.
+    let old_store = ArtifactStore::new(config.clone());
+    let mut legacy_keys = Vec::new();
+    for m in dex.methods() {
+        let mut h = StableHasher::new();
+        h.write_str(legacy::SCHEMA);
+        h.write_u64(fp.hi);
+        h.write_u64(fp.lo);
+        h.write_tag(0);
+        hash_method(m, &mut h);
+        let key = legacy::mix(h.serialized());
+        old_store.insert(
+            key,
+            CacheEntry {
+                compiled: calibro_codegen::CompiledMethod {
+                    method: m.id,
+                    insns: vec![calibro_isa::Insn::Nop],
+                    pool: vec![],
+                    relocs: vec![],
+                    metadata: calibro_codegen::MethodMetadata::default(),
+                    stack_maps: vec![],
+                },
+                pass_stats: calibro_hgraph::PassStats::default(),
+                template: None,
+                ref_env: 0,
+            },
+        );
+        legacy_keys.push(key);
+    }
+    assert_eq!(old_store.stats().disk_stores as usize, dex.methods().len());
+    drop(old_store);
+
+    // New-schema probes over the stale directory: every lookup is a
+    // clean typed miss — `Ok(None)`, never an error, never a stale hit.
+    let store = ArtifactStore::new(config.clone());
+    for m in dex.methods() {
+        let key = method_cache_key(m, fp, None);
+        assert!(!legacy_keys.contains(&key), "schema bump left method {} addressable", m.id);
+        let probe = store.get(key);
+        assert!(
+            matches!(probe, Ok(None)),
+            "old-generation entry must be a clean miss for method {}",
+            m.id
+        );
+    }
+    let s = store.stats();
+    assert_eq!(s.misses as usize, dex.methods().len());
+    assert_eq!((s.hits, s.disk_hits), (0, 0));
+    drop(store);
+
+    // A full build over the stale directory recompiles everything and
+    // matches a pristine build bit for bit; the old files are never
+    // clobbered (file names are keys, and the generations are disjoint).
+    let session = BuildSession::with_config(config);
+    let rebuilt = session.build(&dex, &options).unwrap();
+    assert_eq!(rebuilt.stats.methods_from_cache, 0);
+    let fresh = build(&dex, &options).unwrap();
+    assert_eq!(calibro_oat::to_elf_bytes(&rebuilt.oat), calibro_oat::to_elf_bytes(&fresh.oat));
+    for key in &legacy_keys {
+        assert!(dir.join(format!("{}.calc", key.to_hex())).exists(), "legacy file clobbered");
+    }
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
