@@ -19,6 +19,10 @@ fn main() {
         run_serve(&args[1..]);
         return;
     }
+    if which == "fleet" {
+        run_fleet(&args[1..]);
+        return;
+    }
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE);
 
     eprintln!("generating the six-app suite (scale {scale}) ...");
@@ -145,6 +149,73 @@ fn run_serve(args: &[String]) {
             report.probe_sent, report.probe_rejected
         );
     }
+}
+
+/// `experiments fleet [--shard ID=unix:PATH | --shard ID=tcp:ADDR]...
+/// [--workers N] [--methods N] [--routed N]` — the fleet topology arm
+/// (see `bench::fleet`). With no `--shard`s, runs a two-shard
+/// in-process fleet.
+fn run_fleet(args: &[String]) {
+    let mut config = bench::FleetLoadConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("experiments fleet: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--shard" => {
+                let raw = value("--shard");
+                let Some((id, endpoint)) = raw.split_once('=') else {
+                    eprintln!("experiments fleet: --shard {raw:?} must be ID=unix:PATH|tcp:ADDR");
+                    std::process::exit(2);
+                };
+                let id: u32 = parse_flag(id, "--shard");
+                match calibro_server::ShardEndpoint::parse(endpoint) {
+                    Ok(endpoint) => config.shards.push(calibro_server::ShardSpec { id, endpoint }),
+                    Err(e) => {
+                        eprintln!("experiments fleet: --shard {raw:?}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--workers" => config.workers = parse_flag(value("--workers"), "--workers"),
+            "--methods" => config.methods = parse_flag(value("--methods"), "--methods"),
+            "--routed" => config.routed_programs = parse_flag(value("--routed"), "--routed"),
+            other => {
+                eprintln!("experiments fleet: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header("calibrod fleet: peer-served vs true-cold");
+    let report = bench::fleet_load(&config);
+    let json_path = "BENCH_fleet.json";
+    match std::fs::write(json_path, report.to_json()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    println!(
+        "shards {:>2}   errors {:>3}   warm-A {:>8}us   true-cold-B {:>8}us   peer-served-B {:>8}us",
+        report.shards, report.errors, report.warm_a_us, report.true_cold_us, report.peer_us
+    );
+    println!(
+        "peer speedup {:>6.1}x   identical {}   peer hit rate {:>5.1}% \
+         ({} hits / {} misses / {} errors)",
+        report.peer_speedup,
+        report.identical,
+        report.peer_hit_rate * 100.0,
+        report.peer_hits,
+        report.peer_misses,
+        report.peer_errors
+    );
+    println!(
+        "shard A served {:>4} peer gets   routed programs {:>3} ({} warm on repeat)",
+        report.peer_gets_served, report.routed_programs, report.routed_warm
+    );
 }
 
 fn parse_flag<T: std::str::FromStr>(raw: &str, flag: &str) -> T {

@@ -8,7 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fleet;
 pub mod serve;
 
 pub use experiments::*;
+pub use fleet::{fleet_load, FleetLoadConfig, FleetReport};
 pub use serve::{serve_load, serve_one_slow, Endpoint, ServeLoadConfig, ServeReport};

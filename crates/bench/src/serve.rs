@@ -172,8 +172,12 @@ pub fn server_stats_json(stats: &calibro_server::ServerStats) -> String {
             r#""in_flight":{},"accepted_connections":{},"requests_admitted":{},"#,
             r#""requests_completed":{},"rejected_overloaded":{},"deadline_timeouts":{},"#,
             r#""malformed_frames":{},"oversized_frames":{},"mid_frame_disconnects":{},"#,
-            r#""build_errors":{},"p50_us":{},"p95_us":{},"p99_us":{},"#,
+            r#""build_errors":{},"shard_id":{},"peer_gets_served":{},"#,
+            r#""p50_us":{},"p95_us":{},"p99_us":{},"#,
             r#""cache_hits":{},"cache_misses":{},"group_hits":{},"group_misses":{},"#,
+            r#""peer_hits":{},"peer_misses":{},"peer_errors":{},"#,
+            r#""group_peer_hits":{},"group_peer_misses":{},"group_peer_errors":{},"#,
+            r#""evictions":{},"evict_cost_us":{},"group_evictions":{},"group_evict_cost_us":{},"#,
             r#""lock_contention":{},"group_lock_contention":{}}}"#
         ),
         stats.uptime_us,
@@ -190,6 +194,8 @@ pub fn server_stats_json(stats: &calibro_server::ServerStats) -> String {
         stats.oversized_frames,
         stats.mid_frame_disconnects,
         stats.build_errors,
+        stats.shard_id,
+        stats.peer_gets_served,
         stats.latency_quantile_us(0.50),
         stats.latency_quantile_us(0.95),
         stats.latency_quantile_us(0.99),
@@ -197,6 +203,16 @@ pub fn server_stats_json(stats: &calibro_server::ServerStats) -> String {
         stats.cache.misses,
         stats.cache.group_hits,
         stats.cache.group_misses,
+        stats.cache.peer_hits,
+        stats.cache.peer_misses,
+        stats.cache.peer_errors,
+        stats.cache.group_peer_hits,
+        stats.cache.group_peer_misses,
+        stats.cache.group_peer_errors,
+        stats.cache.evictions,
+        stats.cache.evict_cost_us,
+        stats.cache.group_evictions,
+        stats.cache.group_evict_cost_us,
         stats.cache.lock_contention,
         stats.cache.group_lock_contention,
     )

@@ -157,6 +157,64 @@ pub fn load_group(dir: &Path, key: CacheKey) -> Result<Option<GroupPlanEntry>, C
     Ok(Some(entry))
 }
 
+/// `true` when a persisted method artifact for `key` exists under `dir`
+/// (no validation — used by the drain flush to skip rewrites).
+pub(crate) fn has_entry(dir: &Path, key: CacheKey) -> bool {
+    entry_path(dir, key).exists()
+}
+
+/// Group-plan twin of [`has_entry`].
+pub(crate) fn has_group(dir: &Path, key: CacheKey) -> bool {
+    group_path(dir, key).exists()
+}
+
+/// Serializes `entry` into the checksummed interchange frame — the
+/// exact bytes [`store`] persists. The frame doubles as the peer-wire
+/// payload so a fetched artifact passes through the same magic /
+/// version / key / checksum gauntlet as a disk read.
+///
+/// # Errors
+///
+/// Returns a description when the entry contains an instruction that
+/// does not encode.
+pub fn entry_to_bytes(key: CacheKey, entry: &CacheEntry) -> Result<Vec<u8>, String> {
+    Ok(frame(MAGIC, key, &serialize_entry(entry)?))
+}
+
+/// Decodes and fully validates an interchange frame produced by
+/// [`entry_to_bytes`] (or read raw from a `.calc` file).
+///
+/// # Errors
+///
+/// Returns a description of the first failed check: header shape,
+/// magic, format version, key match, payload length, checksum, decode,
+/// or structural validation.
+pub fn entry_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<CacheEntry, String> {
+    let payload = checked_payload(bytes, MAGIC, key)?;
+    let entry = deserialize_entry(payload)?;
+    validate_entry(&entry)?;
+    Ok(entry)
+}
+
+/// Group-plan twin of [`entry_to_bytes`].
+#[must_use]
+pub fn group_to_bytes(key: CacheKey, entry: &GroupPlanEntry) -> Vec<u8> {
+    frame(GROUP_MAGIC, key, &serialize_group(entry))
+}
+
+/// Group-plan twin of [`entry_from_bytes`].
+///
+/// # Errors
+///
+/// Returns a description of the first failed check, as in
+/// [`entry_from_bytes`].
+pub fn group_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<GroupPlanEntry, String> {
+    let payload = checked_payload(bytes, GROUP_MAGIC, key)?;
+    let entry = deserialize_group(payload)?;
+    validate_group_entry(&entry)?;
+    Ok(entry)
+}
+
 fn read_if_present(path: &Path) -> Result<Option<Vec<u8>>, CacheError> {
     match std::fs::read(path) {
         Ok(b) => Ok(Some(b)),

@@ -221,6 +221,29 @@ pub struct CacheEntry {
     pub ref_env: u64,
 }
 
+impl CacheEntry {
+    /// Approximate resident size in bytes, for the store's per-lane
+    /// byte budgets. An estimate over the owned vectors — close enough
+    /// for eviction pressure, not an allocator-exact measurement.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let m = &self.compiled;
+        let mut bytes = 128; // struct headers and fixed fields
+        bytes += m.insns.len() * 8;
+        bytes += m.pool.len() * 4;
+        bytes += m.relocs.len() * 24;
+        bytes += m.metadata.pc_rel.len() * 16;
+        bytes += m.metadata.terminators.len() * 8;
+        bytes += m.metadata.embedded_data.len() * 16;
+        bytes += m.metadata.slow_paths.len() * 16;
+        bytes += m.stack_maps.len() * 8;
+        if let Some(template) = &self.template {
+            bytes += template.slots().len() * 8 + 32;
+        }
+        bytes
+    }
+}
+
 /// One cached LTBO group plan: the outline candidates detected over a
 /// group's concatenated symbol text, keyed by that text's canonicalized
 /// content plus the `LtboConfig` fingerprint.
@@ -242,6 +265,19 @@ pub struct GroupPlanEntry {
     /// The selected outline candidates, in canonical (position-sorted)
     /// order.
     pub candidates: Vec<OutlineCandidate>,
+}
+
+impl GroupPlanEntry {
+    /// Approximate resident size in bytes (see
+    /// [`CacheEntry::approx_bytes`]).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = 64;
+        for c in &self.candidates {
+            bytes += 48 + c.positions.len() * 8 + c.symbols.len() * 8;
+        }
+        bytes
+    }
 }
 
 #[cfg(test)]

@@ -32,13 +32,19 @@ mod entry;
 mod error;
 mod hash;
 mod method_hash;
+mod peer;
+mod policy;
 mod store;
 
-pub use disk::{validate_entry, validate_group_entry, FORMAT_VERSION};
+pub use disk::{
+    entry_from_bytes, entry_to_bytes, group_from_bytes, group_to_bytes, validate_entry,
+    validate_group_entry, FORMAT_VERSION,
+};
 pub use entry::{sequence_content_key, CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
 pub use error::CacheError;
 pub use hash::{CacheKey, StableHasher};
 pub use method_hash::{hash_method, hash_program};
+pub use peer::{PeerError, PeerSource};
 pub use store::{ArtifactStore, CacheConfig, CacheStats};
 
 /// Schema salt folded into every cache key: the crate version plus a

@@ -1,0 +1,105 @@
+//! The peer tier of the store's read path.
+//!
+//! A fleet of daemons shares one logical cache: when a key misses both
+//! memory and disk, the store asks an injected [`PeerSource`] before
+//! reporting a miss, so a sibling shard's warm lane is consulted before
+//! anything is recompiled. The trait lives here (not in the server
+//! crate) because the dependency points the other way: `calibro-server`
+//! implements it over the framed wire protocol and injects it via
+//! [`ArtifactStore::set_peer_source`](crate::ArtifactStore::set_peer_source).
+//!
+//! Contract for implementations: returned entries must already be
+//! checksum-validated and structurally validated (the wire payload is
+//! the same framed format the disk layer writes, so
+//! [`entry_from_bytes`](crate::entry_from_bytes) /
+//! [`group_from_bytes`](crate::group_from_bytes) give that for free).
+//! The store trusts a returned entry exactly as far as it trusts a disk
+//! read — wrong bytes must surface as [`PeerError`], never as an entry.
+
+use crate::entry::{CacheEntry, GroupPlanEntry};
+use crate::hash::CacheKey;
+
+/// Why a peer fetch failed. Every failure mode in the fleet fault
+/// matrix maps to one variant; the store counts them under
+/// `peer_errors` and degrades to a local compile — a peer problem can
+/// slow a build down but never fail or corrupt it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are uniformly (peer endpoint, detail)
+pub enum PeerError {
+    /// The peer could not be reached at all.
+    Connect { peer: String, detail: String },
+    /// The peer hung up (clean EOF or I/O error) during the exchange.
+    Hangup { peer: String, detail: String },
+    /// The peer's reply frame was cut off mid-payload: the length
+    /// prefix promised more bytes than arrived.
+    Truncated { peer: String },
+    /// The peer spoke the protocol wrong: an oversized frame, an
+    /// unexpected message kind, or an undecodable reply body.
+    Garbage { peer: String, detail: String },
+    /// The artifact arrived but failed checksum or structural
+    /// validation — the one failure mode that must never be served.
+    Checksum { peer: String, detail: String },
+    /// The peer answered with a typed server-side error.
+    Remote { peer: String, detail: String },
+}
+
+impl core::fmt::Display for PeerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PeerError::Connect { peer, detail } => {
+                write!(f, "peer {peer}: connect failed: {detail}")
+            }
+            PeerError::Hangup { peer, detail } => {
+                write!(f, "peer {peer}: hung up mid-exchange: {detail}")
+            }
+            PeerError::Truncated { peer } => {
+                write!(f, "peer {peer}: reply frame truncated mid-payload")
+            }
+            PeerError::Garbage { peer, detail } => {
+                write!(f, "peer {peer}: protocol garbage: {detail}")
+            }
+            PeerError::Checksum { peer, detail } => {
+                write!(f, "peer {peer}: artifact failed validation: {detail}")
+            }
+            PeerError::Remote { peer, detail } => {
+                write!(f, "peer {peer}: remote error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PeerError {}
+
+/// A source of cache entries one network hop away. `fetch_*` returns
+/// the validated entry together with the recompute cost (µs) the
+/// origin shard recorded for it, so the receiving store can slot it
+/// into its cost-aware eviction policy at the right priority.
+pub trait PeerSource: Send + Sync {
+    /// Fetches a method artifact by content key from the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PeerError`] classifying the transport or validation
+    /// failure; `Ok(None)` means every reachable peer answered
+    /// not-found.
+    fn fetch_entry(&self, key: CacheKey) -> Result<Option<(CacheEntry, u64)>, PeerError>;
+
+    /// Fetches a group plan by content key from the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`fetch_entry`](Self::fetch_entry).
+    fn fetch_group(&self, key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError>;
+
+    /// Fetches many method artifacts at once, one result per input key
+    /// in order. The default loops [`fetch_entry`](Self::fetch_entry);
+    /// wire implementations override it to pipeline the whole batch on
+    /// one connection, so a cold build's thousand misses cost one
+    /// network round of streaming instead of a thousand round trips.
+    fn fetch_entries(
+        &self,
+        keys: &[CacheKey],
+    ) -> Vec<Result<Option<(CacheEntry, u64)>, PeerError>> {
+        keys.iter().map(|&key| self.fetch_entry(key)).collect()
+    }
+}

@@ -1,16 +1,24 @@
 //! The content-addressed artifact store: an in-memory map from
-//! [`CacheKey`] to [`CacheEntry`] with FIFO eviction, hit/miss/evict
-//! counters, and an optional on-disk persistence layer.
+//! [`CacheKey`] to [`CacheEntry`] with cost-aware 2Q eviction,
+//! hit/miss/evict counters, an optional on-disk persistence layer, and
+//! an optional peer tier so a fleet of stores behaves like one cache.
+//!
+//! The read path is tiered: memory first, then checksummed disk
+//! (promoting on a hit), then — when a [`PeerSource`] is injected — a
+//! sibling shard's warm lane. A peer failure of any kind degrades to a
+//! miss (counted under `peer_errors`), never to an error or a wrong
+//! entry: peer payloads pass the same validation gauntlet as disk
+//! reads before the store will hold them.
 //!
 //! The store is shared across compile workers: `get`/`insert` take
 //! `&self` and synchronize internally, so the driver's index-order slot
 //! mechanism can probe and populate it from any worker thread without
 //! affecting output order.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -18,22 +26,36 @@ use crate::disk;
 use crate::entry::{CacheEntry, GroupPlanEntry};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
+use crate::peer::PeerSource;
+use crate::policy::Lane2Q;
 
 /// Configuration of one [`ArtifactStore`].
 #[derive(Clone, Debug)]
 pub struct CacheConfig {
-    /// Maximum in-memory entries before FIFO eviction kicks in.
+    /// Maximum in-memory entries per lane before eviction kicks in.
     pub max_entries: usize,
     /// Directory for the persistent layer; `None` keeps the cache
     /// purely in-memory. Entries are written best-effort (an unwritable
     /// directory never fails a build) but *read* strictly: a corrupt
     /// entry surfaces as a [`CacheError`], never as wrong code.
     pub disk_dir: Option<PathBuf>,
+    /// In-memory byte budget of the method-artifact lane (approximate
+    /// entry sizes, see [`CacheEntry::approx_bytes`]); `usize::MAX`
+    /// leaves the lane bounded by `max_entries` alone.
+    pub method_budget_bytes: usize,
+    /// In-memory byte budget of the group-plan lane, enforced
+    /// independently of the method lane.
+    pub group_budget_bytes: usize,
 }
 
 impl Default for CacheConfig {
     fn default() -> CacheConfig {
-        CacheConfig { max_entries: 1 << 20, disk_dir: None }
+        CacheConfig {
+            max_entries: 1 << 20,
+            disk_dir: None,
+            method_budget_bytes: usize::MAX,
+            group_budget_bytes: usize::MAX,
+        }
     }
 }
 
@@ -41,13 +63,13 @@ impl Default for CacheConfig {
 /// difference of two snapshots (see [`CacheStats::since`]).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct CacheStats {
-    /// In-memory lookups that found an entry.
+    /// Lookups that found an entry (in memory, on disk, or on a peer).
     pub hits: u64,
-    /// Lookups that found nothing (in memory or on disk).
+    /// Lookups that found nothing on any tier.
     pub misses: u64,
     /// Entries inserted.
     pub stores: u64,
-    /// Entries evicted by the capacity bound.
+    /// Entries evicted by the capacity or byte budgets.
     pub evictions: u64,
     /// Lookups satisfied from the disk layer.
     pub disk_hits: u64,
@@ -58,13 +80,26 @@ pub struct CacheStats {
     /// this (or an earlier) process already paid to compile and
     /// persist, so it must not read as new compilation output.
     pub promotions: u64,
+    /// Lookups satisfied by a fleet peer's warm lane.
+    pub peer_hits: u64,
+    /// Peer consultations where every reachable peer answered
+    /// not-found.
+    pub peer_misses: u64,
+    /// Peer consultations that failed (connect, hangup, garbage,
+    /// truncation, checksum, remote error) — each degraded to a local
+    /// compile.
+    pub peer_errors: u64,
+    /// Cumulative recompute cost (µs) of evicted entries: what the
+    /// eviction policy gave up. A policy that keeps the right entries
+    /// grows this slowly relative to `evictions`.
+    pub evict_cost_us: u64,
     /// Group-plan lookups that found a plan (LTBO detection skipped).
     pub group_hits: u64,
     /// Group-plan lookups that found nothing (group re-detected).
     pub group_misses: u64,
     /// Group plans inserted.
     pub group_stores: u64,
-    /// Group plans evicted by the capacity bound.
+    /// Group plans evicted by the capacity or byte budgets.
     pub group_evictions: u64,
     /// Group-plan lookups satisfied from the disk layer.
     pub group_disk_hits: u64,
@@ -73,6 +108,14 @@ pub struct CacheStats {
     /// Group-plan disk hits promoted into the in-memory map (see
     /// [`promotions`](Self::promotions)).
     pub group_promotions: u64,
+    /// Group-plan lookups satisfied by a fleet peer.
+    pub group_peer_hits: u64,
+    /// Group-plan peer consultations that answered not-found.
+    pub group_peer_misses: u64,
+    /// Group-plan peer consultations that failed.
+    pub group_peer_errors: u64,
+    /// Cumulative detection cost (µs) of evicted group plans.
+    pub group_evict_cost_us: u64,
     /// Method-lane lock acquisitions that found the lock held by
     /// another thread (a contended shared-store access). Zero in
     /// single-build use; under a multi-tenant daemon this measures how
@@ -94,6 +137,10 @@ impl CacheStats {
             disk_hits: self.disk_hits - earlier.disk_hits,
             disk_stores: self.disk_stores - earlier.disk_stores,
             promotions: self.promotions - earlier.promotions,
+            peer_hits: self.peer_hits - earlier.peer_hits,
+            peer_misses: self.peer_misses - earlier.peer_misses,
+            peer_errors: self.peer_errors - earlier.peer_errors,
+            evict_cost_us: self.evict_cost_us - earlier.evict_cost_us,
             group_hits: self.group_hits - earlier.group_hits,
             group_misses: self.group_misses - earlier.group_misses,
             group_stores: self.group_stores - earlier.group_stores,
@@ -101,13 +148,17 @@ impl CacheStats {
             group_disk_hits: self.group_disk_hits - earlier.group_disk_hits,
             group_disk_stores: self.group_disk_stores - earlier.group_disk_stores,
             group_promotions: self.group_promotions - earlier.group_promotions,
+            group_peer_hits: self.group_peer_hits - earlier.group_peer_hits,
+            group_peer_misses: self.group_peer_misses - earlier.group_peer_misses,
+            group_peer_errors: self.group_peer_errors - earlier.group_peer_errors,
+            group_evict_cost_us: self.group_evict_cost_us - earlier.group_evict_cost_us,
             lock_contention: self.lock_contention - earlier.lock_contention,
             group_lock_contention: self.group_lock_contention - earlier.group_lock_contention,
         }
     }
 
-    /// Hit fraction in `[0, 1]` (counting disk hits as hits); `0` when
-    /// no lookups happened.
+    /// Hit fraction in `[0, 1]` (counting disk and peer hits as hits);
+    /// `0` when no lookups happened.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -133,16 +184,30 @@ impl CacheStats {
             self.group_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of method-lane peer consultations served by a sibling,
+    /// in `[0, 1]`; `0` when no peer was consulted.
+    #[must_use]
+    pub fn peer_hit_rate(&self) -> f64 {
+        let total = self.peer_hits + self.peer_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.peer_hits as f64 / total as f64
+        }
+    }
 }
 
 struct StoreInner {
     map: HashMap<CacheKey, Arc<CacheEntry>>,
-    order: VecDeque<CacheKey>,
+    policy: Lane2Q,
 }
 
 struct GroupInner {
     map: HashMap<CacheKey, Arc<GroupPlanEntry>>,
-    order: VecDeque<CacheKey>,
+    policy: Lane2Q,
 }
 
 /// The content-addressed store. Cheap to share: wrap in `Arc` or hold
@@ -153,11 +218,13 @@ struct GroupInner {
 /// per-group LTBO plans
 /// ([`get_group_plan`](ArtifactStore::get_group_plan)/
 /// [`insert_group_plan`](ArtifactStore::insert_group_plan)), each with
-/// its own counters so per-build stats stay attributable.
+/// its own counters, eviction policy and byte budget so per-build stats
+/// stay attributable and pressure in one lane never evicts the other.
 pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
     groups: Mutex<GroupInner>,
     config: CacheConfig,
+    peer: OnceLock<Arc<dyn PeerSource>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
@@ -165,6 +232,10 @@ pub struct ArtifactStore {
     disk_hits: AtomicU64,
     disk_stores: AtomicU64,
     promotions: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_misses: AtomicU64,
+    peer_errors: AtomicU64,
+    evict_cost_us: AtomicU64,
     group_hits: AtomicU64,
     group_misses: AtomicU64,
     group_stores: AtomicU64,
@@ -172,6 +243,10 @@ pub struct ArtifactStore {
     group_disk_hits: AtomicU64,
     group_disk_stores: AtomicU64,
     group_promotions: AtomicU64,
+    group_peer_hits: AtomicU64,
+    group_peer_misses: AtomicU64,
+    group_peer_errors: AtomicU64,
+    group_evict_cost_us: AtomicU64,
     lock_contention: AtomicU64,
     group_lock_contention: AtomicU64,
 }
@@ -202,10 +277,13 @@ impl ArtifactStore {
         if let Some(dir) = &config.disk_dir {
             disk::sweep_stale_tmp(dir);
         }
+        let method_policy = Lane2Q::new(config.max_entries, config.method_budget_bytes);
+        let group_policy = Lane2Q::new(config.max_entries, config.group_budget_bytes);
         ArtifactStore {
-            inner: Mutex::new(StoreInner { map: HashMap::new(), order: VecDeque::new() }),
-            groups: Mutex::new(GroupInner { map: HashMap::new(), order: VecDeque::new() }),
+            inner: Mutex::new(StoreInner { map: HashMap::new(), policy: method_policy }),
+            groups: Mutex::new(GroupInner { map: HashMap::new(), policy: group_policy }),
             config,
+            peer: OnceLock::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
@@ -213,6 +291,10 @@ impl ArtifactStore {
             disk_hits: AtomicU64::new(0),
             disk_stores: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
+            peer_misses: AtomicU64::new(0),
+            peer_errors: AtomicU64::new(0),
+            evict_cost_us: AtomicU64::new(0),
             group_hits: AtomicU64::new(0),
             group_misses: AtomicU64::new(0),
             group_stores: AtomicU64::new(0),
@@ -220,9 +302,20 @@ impl ArtifactStore {
             group_disk_hits: AtomicU64::new(0),
             group_disk_stores: AtomicU64::new(0),
             group_promotions: AtomicU64::new(0),
+            group_peer_hits: AtomicU64::new(0),
+            group_peer_misses: AtomicU64::new(0),
+            group_peer_errors: AtomicU64::new(0),
+            group_evict_cost_us: AtomicU64::new(0),
             lock_contention: AtomicU64::new(0),
             group_lock_contention: AtomicU64::new(0),
         }
+    }
+
+    /// Installs the peer tier. One-shot: the first source wins (a
+    /// daemon wires this once at startup, before serving), and lookups
+    /// read it lock-free afterwards.
+    pub fn set_peer_source(&self, source: Arc<dyn PeerSource>) {
+        let _ = self.peer.set(source);
     }
 
     /// Acquires the method-lane lock, counting the acquisition as
@@ -258,47 +351,176 @@ impl ArtifactStore {
         self.len() == 0
     }
 
-    /// Looks `key` up: memory first, then the disk layer (validating
-    /// and promoting into memory on a disk hit).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CacheError`] when a disk entry exists but is corrupt
-    /// or unreadable — the caller must surface this, not mask it as a
-    /// miss, so poisoned caches are diagnosed instead of silently
-    /// recompiled around.
-    pub fn get(&self, key: CacheKey) -> Result<Option<Arc<CacheEntry>>, CacheError> {
-        if let Some(entry) = self.lock_inner().map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(Arc::clone(entry)));
+    /// Memory-then-disk lookup shared by [`get`](Self::get) and
+    /// [`get_for_peer`](Self::get_for_peer). Returns the entry with its
+    /// recorded recompute cost; counts nothing when `count` is false
+    /// (the peer-serving path must not pollute this shard's own
+    /// hit/miss attribution) and never counts a miss (the callers own
+    /// that decision).
+    fn local_lookup(
+        &self,
+        key: CacheKey,
+        count: bool,
+    ) -> Result<Option<(Arc<CacheEntry>, u64)>, CacheError> {
+        {
+            let mut inner = self.lock_inner();
+            if let Some(entry) = inner.map.get(&key) {
+                let arc = Arc::clone(entry);
+                let cost = inner.policy.cost_of(key).unwrap_or(0);
+                inner.policy.on_hit(key);
+                if count {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, cost)));
+            }
         }
         if let Some(dir) = &self.config.disk_dir {
             if let Some(entry) = disk::load(dir, key)? {
-                self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                if count {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
                 // Promote into memory. NOT a store: the entry was
                 // compiled and persisted by an earlier build, so it is
                 // counted under `promotions` (and a concurrent race is
-                // keep-first, like `insert`).
-                let (arc, promoted) = self.insert_memory(key, entry);
-                if promoted {
+                // keep-first, like `insert`). Promotion cost is zero —
+                // re-materializing it is a disk read, not a recompile —
+                // so under pressure disk-backed entries go first.
+                let (arc, promoted) = self.insert_memory(key, entry, 0);
+                if count && promoted {
                     self.promotions.fetch_add(1, Ordering::Relaxed);
                 }
-                return Ok(Some(arc));
+                return Ok(Some((arc, 0)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks `key` up through every tier: memory first, then the disk
+    /// layer (validating and promoting into memory on a disk hit), then
+    /// the peer tier when a [`PeerSource`] is installed. A peer failure
+    /// counts under `peer_errors` and degrades to a miss — the caller
+    /// compiles locally; it never sees the peer problem as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a *local* disk entry exists but is
+    /// corrupt or unreadable — the caller must surface this, not mask
+    /// it as a miss, so poisoned caches are diagnosed instead of
+    /// silently recompiled around.
+    pub fn get(&self, key: CacheKey) -> Result<Option<Arc<CacheEntry>>, CacheError> {
+        if let Some((arc, _)) = self.local_lookup(key, true)? {
+            return Ok(Some(arc));
+        }
+        if let Some(peer) = self.peer.get() {
+            match peer.fetch_entry(key) {
+                Ok(Some((entry, cost_us))) => {
+                    self.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    // Adopted at the origin's recorded recompute cost:
+                    // locally it was never compiled, but evicting it
+                    // costs the fleet the same network fetch again.
+                    let (arc, _) = self.insert_memory(key, entry, cost_us);
+                    return Ok(Some(arc));
+                }
+                Ok(None) => {
+                    self.peer_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.peer_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(None)
     }
 
-    /// Inserts an entry computed for `key`, returning the shared handle
-    /// (an existing entry for the same key is kept — content addressing
-    /// makes both byte-equivalent). Persists to disk when configured —
-    /// only for genuinely new keys, so two workers inserting the same
-    /// key concurrently produce exactly one disk write and one
+    /// Batched [`get`](Self::get): probes every key locally, then
+    /// resolves all local misses through the peer tier in one
+    /// [`PeerSource::fetch_entries`] call — with a wire peer source
+    /// that is one pipelined exchange instead of a round trip per key.
+    /// Counter semantics are identical to calling `get` per key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] on a corrupt local disk entry, like
+    /// [`get`](Self::get).
+    pub fn get_many(&self, keys: &[CacheKey]) -> Result<Vec<Option<Arc<CacheEntry>>>, CacheError> {
+        let mut out: Vec<Option<Arc<CacheEntry>>> = Vec::with_capacity(keys.len());
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match self.local_lookup(key, true)? {
+                Some((arc, _)) => out.push(Some(arc)),
+                None => {
+                    out.push(None);
+                    missing.push(i);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        if let Some(peer) = self.peer.get() {
+            let miss_keys: Vec<CacheKey> = missing.iter().map(|&i| keys[i]).collect();
+            for (&slot, result) in missing.iter().zip(peer.fetch_entries(&miss_keys)) {
+                match result {
+                    Ok(Some((entry, cost_us))) => {
+                        self.peer_hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        let (arc, _) = self.insert_memory(keys[slot], entry, cost_us);
+                        out[slot] = Some(arc);
+                    }
+                    Ok(None) => {
+                        self.peer_misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        self.peer_errors.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        } else {
+            self.misses.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+
+    /// The lookup a daemon runs to answer a sibling's `PeerGet`: memory
+    /// and local disk only — never the peer tier, so a fleet-wide miss
+    /// terminates instead of ricocheting between shards — and without
+    /// touching the hit/miss counters, so serving the fleet does not
+    /// distort this shard's own cache attribution. The eviction policy
+    /// *does* see the access: fleet-hot entries deserve residence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] on a corrupt local disk entry, like
+    /// [`get`](Self::get).
+    pub fn get_for_peer(
+        &self,
+        key: CacheKey,
+    ) -> Result<Option<(Arc<CacheEntry>, u64)>, CacheError> {
+        self.local_lookup(key, false)
+    }
+
+    /// Inserts an entry computed for `key` with the CPU cost (µs) it
+    /// took to produce, returning the shared handle (an existing entry
+    /// for the same key is kept — content addressing makes both
+    /// byte-equivalent). Persists to disk when configured — only for
+    /// genuinely new keys, so two workers inserting the same key
+    /// concurrently produce exactly one disk write and one
     /// `disk_stores` increment.
-    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
-        let (arc, inserted) = self.insert_memory(key, entry);
+    ///
+    /// The cost feeds the 2Q eviction policy: under budget pressure the
+    /// lane sacrifices cheap-to-recompute entries first.
+    pub fn insert_with_cost(
+        &self,
+        key: CacheKey,
+        entry: CacheEntry,
+        cost_us: u64,
+    ) -> Arc<CacheEntry> {
+        let (arc, inserted) = self.insert_memory(key, entry, cost_us);
         if inserted {
             self.stores.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &self.config.disk_dir {
@@ -310,63 +532,131 @@ impl ArtifactStore {
         arc
     }
 
+    /// [`insert_with_cost`](Self::insert_with_cost) with an unrecorded
+    /// (zero) recompute cost.
+    pub fn insert(&self, key: CacheKey, entry: CacheEntry) -> Arc<CacheEntry> {
+        self.insert_with_cost(key, entry, 0)
+    }
+
     /// Inserts `entry` under `key` if absent, returning the canonical
-    /// handle and whether this call inserted it. Applies the FIFO
-    /// capacity bound (counting evictions); `stores`/`promotions`
-    /// attribution is the caller's job. The map is checked *first*, so
-    /// a losing racer neither writes disk nor touches the counters.
-    fn insert_memory(&self, key: CacheKey, entry: CacheEntry) -> (Arc<CacheEntry>, bool) {
+    /// handle and whether this call inserted it. Applies the eviction
+    /// policy (counting evictions and their forfeited cost);
+    /// `stores`/`promotions` attribution is the caller's job. The map
+    /// is checked *first*, so a losing racer neither writes disk nor
+    /// touches the counters.
+    fn insert_memory(
+        &self,
+        key: CacheKey,
+        entry: CacheEntry,
+        cost_us: u64,
+    ) -> (Arc<CacheEntry>, bool) {
         let mut inner = self.lock_inner();
         if let Some(existing) = inner.map.get(&key) {
             return (Arc::clone(existing), false);
         }
+        let bytes = entry.approx_bytes();
         let arc = Arc::new(entry);
         inner.map.insert(key, Arc::clone(&arc));
-        inner.order.push_back(key);
-        while inner.map.len() > self.config.max_entries.max(1) {
-            if let Some(oldest) = inner.order.pop_front() {
-                if inner.map.remove(&oldest).is_some() {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            } else {
-                break;
+        for victim in inner.policy.on_insert(key, bytes, cost_us) {
+            if inner.map.remove(&victim.key).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evict_cost_us.fetch_add(victim.cost_us, Ordering::Relaxed);
             }
         }
         (arc, true)
     }
 
-    /// Looks a group plan up: memory first, then the disk layer
-    /// (validating and promoting into memory on a disk hit).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CacheError`] when a disk plan exists but is corrupt or
-    /// unreadable — surfaced, not masked as a miss, like [`get`](Self::get).
-    pub fn get_group_plan(&self, key: CacheKey) -> Result<Option<Arc<GroupPlanEntry>>, CacheError> {
-        if let Some(entry) = self.lock_groups().map.get(&key) {
-            self.group_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(Arc::clone(entry)));
+    /// Memory-then-disk group-plan lookup; see
+    /// [`local_lookup`](Self::local_lookup).
+    fn local_group_lookup(
+        &self,
+        key: CacheKey,
+        count: bool,
+    ) -> Result<Option<(Arc<GroupPlanEntry>, u64)>, CacheError> {
+        {
+            let mut groups = self.lock_groups();
+            if let Some(entry) = groups.map.get(&key) {
+                let arc = Arc::clone(entry);
+                let cost = groups.policy.cost_of(key).unwrap_or(0);
+                groups.policy.on_hit(key);
+                if count {
+                    self.group_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, cost)));
+            }
         }
         if let Some(dir) = &self.config.disk_dir {
             if let Some(entry) = disk::load_group(dir, key)? {
-                self.group_disk_hits.fetch_add(1, Ordering::Relaxed);
-                self.group_hits.fetch_add(1, Ordering::Relaxed);
-                let (arc, promoted) = self.insert_group_memory(key, entry);
-                if promoted {
+                if count {
+                    self.group_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.group_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let (arc, promoted) = self.insert_group_memory(key, entry, 0);
+                if count && promoted {
                     self.group_promotions.fetch_add(1, Ordering::Relaxed);
                 }
-                return Ok(Some(arc));
+                return Ok(Some((arc, 0)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks a group plan up through every tier: memory, then the disk
+    /// layer, then the peer tier — the group-plan twin of
+    /// [`get`](Self::get), with the same degrade-to-miss contract on
+    /// peer failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a local disk plan exists but is
+    /// corrupt or unreadable — surfaced, not masked as a miss.
+    pub fn get_group_plan(&self, key: CacheKey) -> Result<Option<Arc<GroupPlanEntry>>, CacheError> {
+        if let Some((arc, _)) = self.local_group_lookup(key, true)? {
+            return Ok(Some(arc));
+        }
+        if let Some(peer) = self.peer.get() {
+            match peer.fetch_group(key) {
+                Ok(Some((entry, cost_us))) => {
+                    self.group_peer_hits.fetch_add(1, Ordering::Relaxed);
+                    self.group_hits.fetch_add(1, Ordering::Relaxed);
+                    let (arc, _) = self.insert_group_memory(key, entry, cost_us);
+                    return Ok(Some(arc));
+                }
+                Ok(None) => {
+                    self.group_peer_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.group_peer_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         self.group_misses.fetch_add(1, Ordering::Relaxed);
         Ok(None)
     }
 
-    /// Inserts a group plan computed for `key`, returning the shared
-    /// handle (keep-first on duplicates, like [`insert`](Self::insert)).
-    /// Persists to disk when configured — only for genuinely new keys.
-    pub fn insert_group_plan(&self, key: CacheKey, entry: GroupPlanEntry) -> Arc<GroupPlanEntry> {
-        let (arc, inserted) = self.insert_group_memory(key, entry);
+    /// Group-plan twin of [`get_for_peer`](Self::get_for_peer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] on a corrupt local disk plan.
+    pub fn get_group_for_peer(
+        &self,
+        key: CacheKey,
+    ) -> Result<Option<(Arc<GroupPlanEntry>, u64)>, CacheError> {
+        self.local_group_lookup(key, false)
+    }
+
+    /// Inserts a group plan computed for `key` with the detection cost
+    /// (µs) it took to produce, returning the shared handle (keep-first
+    /// on duplicates, like [`insert`](Self::insert)). Persists to disk
+    /// when configured — only for genuinely new keys.
+    pub fn insert_group_plan_with_cost(
+        &self,
+        key: CacheKey,
+        entry: GroupPlanEntry,
+        cost_us: u64,
+    ) -> Arc<GroupPlanEntry> {
+        let (arc, inserted) = self.insert_group_memory(key, entry, cost_us);
         if inserted {
             self.group_stores.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &self.config.disk_dir {
@@ -378,29 +668,69 @@ impl ArtifactStore {
         arc
     }
 
+    /// [`insert_group_plan_with_cost`](Self::insert_group_plan_with_cost)
+    /// with an unrecorded (zero) detection cost.
+    pub fn insert_group_plan(&self, key: CacheKey, entry: GroupPlanEntry) -> Arc<GroupPlanEntry> {
+        self.insert_group_plan_with_cost(key, entry, 0)
+    }
+
     /// Group-plan twin of [`insert_memory`](Self::insert_memory).
     fn insert_group_memory(
         &self,
         key: CacheKey,
         entry: GroupPlanEntry,
+        cost_us: u64,
     ) -> (Arc<GroupPlanEntry>, bool) {
         let mut groups = self.lock_groups();
         if let Some(existing) = groups.map.get(&key) {
             return (Arc::clone(existing), false);
         }
+        let bytes = entry.approx_bytes();
         let arc = Arc::new(entry);
         groups.map.insert(key, Arc::clone(&arc));
-        groups.order.push_back(key);
-        while groups.map.len() > self.config.max_entries.max(1) {
-            if let Some(oldest) = groups.order.pop_front() {
-                if groups.map.remove(&oldest).is_some() {
-                    self.group_evictions.fetch_add(1, Ordering::Relaxed);
-                }
-            } else {
-                break;
+        for victim in groups.policy.on_insert(key, bytes, cost_us) {
+            if groups.map.remove(&victim.key).is_some() {
+                self.group_evictions.fetch_add(1, Ordering::Relaxed);
+                self.group_evict_cost_us.fetch_add(victim.cost_us, Ordering::Relaxed);
             }
         }
         (arc, true)
+    }
+
+    /// Persists every in-memory entry (both lanes) that the disk layer
+    /// does not already hold, returning how many files were written. A
+    /// draining daemon calls this so peer-fetched and promoted entries
+    /// — which skip the insert-time disk write — survive the restart as
+    /// local disk hits instead of going back over the network.
+    ///
+    /// Best-effort like all disk writes: an unwritable directory
+    /// flushes nothing and fails nothing. No-op without a `disk_dir`.
+    pub fn flush_to_disk(&self) -> usize {
+        let Some(dir) = self.config.disk_dir.clone() else { return 0 };
+        let mut written = 0;
+        let entries: Vec<(CacheKey, Arc<CacheEntry>)> =
+            self.lock_inner().map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+        for (key, entry) in entries {
+            if disk::has_entry(&dir, key) {
+                continue;
+            }
+            if disk::store(&dir, key, &entry).is_ok() {
+                self.disk_stores.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        }
+        let plans: Vec<(CacheKey, Arc<GroupPlanEntry>)> =
+            self.lock_groups().map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+        for (key, plan) in plans {
+            if disk::has_group(&dir, key) {
+                continue;
+            }
+            if disk::store_group(&dir, key, &plan).is_ok() {
+                self.group_disk_stores.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        }
+        written
     }
 
     /// A snapshot of the cumulative counters.
@@ -414,6 +744,10 @@ impl ArtifactStore {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             disk_stores: self.disk_stores.load(Ordering::Relaxed),
             promotions: self.promotions.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            peer_misses: self.peer_misses.load(Ordering::Relaxed),
+            peer_errors: self.peer_errors.load(Ordering::Relaxed),
+            evict_cost_us: self.evict_cost_us.load(Ordering::Relaxed),
             group_hits: self.group_hits.load(Ordering::Relaxed),
             group_misses: self.group_misses.load(Ordering::Relaxed),
             group_stores: self.group_stores.load(Ordering::Relaxed),
@@ -421,6 +755,10 @@ impl ArtifactStore {
             group_disk_hits: self.group_disk_hits.load(Ordering::Relaxed),
             group_disk_stores: self.group_disk_stores.load(Ordering::Relaxed),
             group_promotions: self.group_promotions.load(Ordering::Relaxed),
+            group_peer_hits: self.group_peer_hits.load(Ordering::Relaxed),
+            group_peer_misses: self.group_peer_misses.load(Ordering::Relaxed),
+            group_peer_errors: self.group_peer_errors.load(Ordering::Relaxed),
+            group_evict_cost_us: self.group_evict_cost_us.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             group_lock_contention: self.group_lock_contention.load(Ordering::Relaxed),
         }
@@ -430,6 +768,7 @@ impl ArtifactStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::peer::PeerError;
     use calibro_codegen::{CompiledMethod, MethodMetadata};
     use calibro_dex::MethodId;
     use calibro_hgraph::PassStats;
@@ -468,15 +807,80 @@ mod tests {
 
     #[test]
     fn fifo_eviction_respects_capacity() {
-        let store = ArtifactStore::new(CacheConfig { max_entries: 2, disk_dir: None });
+        let store = ArtifactStore::new(CacheConfig { max_entries: 2, ..CacheConfig::default() });
         for i in 0..4 {
             store.insert(key(i), entry(i as u32));
         }
         assert_eq!(store.len(), 2);
         assert_eq!(store.stats().evictions, 2);
-        // Oldest entries gone, newest retained.
+        // Oldest entries gone, newest retained: with equal (zero)
+        // costs the 2Q policy degenerates to exactly the seed's FIFO.
         assert!(store.get(key(0)).unwrap().is_none());
         assert!(store.get(key(3)).unwrap().is_some());
+    }
+
+    #[test]
+    fn costly_entry_outlives_cheap_same_size_neighbors() {
+        let store = ArtifactStore::new(CacheConfig { max_entries: 2, ..CacheConfig::default() });
+        store.insert_with_cost(key(0), entry(0), 50_000);
+        store.insert_with_cost(key(1), entry(1), 10);
+        store.insert_with_cost(key(2), entry(2), 10);
+        store.insert_with_cost(key(3), entry(3), 10);
+        // Same entry shape (same size) throughout: the cheap entries
+        // are sacrificed, the expensive one keeps its seat.
+        assert!(store.get(key(0)).unwrap().is_some(), "high-cost entry evicted");
+        let s = store.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.evict_cost_us, 20, "forfeited cost must sum the cheap victims");
+    }
+
+    #[test]
+    fn per_lane_byte_budgets_are_independent() {
+        // Method lane budget fits one entry; group lane is unbounded.
+        let one_entry = entry(0).approx_bytes();
+        let store = ArtifactStore::new(CacheConfig {
+            method_budget_bytes: one_entry + one_entry / 2,
+            ..CacheConfig::default()
+        });
+        store.insert(key(0), entry(0));
+        store.insert(key(1), entry(1));
+        assert_eq!(store.len(), 1, "method byte budget must evict");
+        assert_eq!(store.stats().evictions, 1);
+        // Group lane under the same store: unconstrained by the method
+        // lane's pressure.
+        for n in 0..8 {
+            store.insert_group_plan(key(n), group(8));
+        }
+        let s = store.stats();
+        assert_eq!(s.group_evictions, 0, "group lane evicted under method-lane budget");
+        assert_eq!(s.group_stores, 8);
+    }
+
+    #[test]
+    fn evictions_reconcile_with_inserted_minus_resident() {
+        let store = ArtifactStore::new(CacheConfig { max_entries: 16, ..CacheConfig::default() });
+        const KEYS: u64 = 64;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(|| {
+                    for k in 0..KEYS {
+                        store.insert_with_cost(key(k), entry(k as u32), k);
+                    }
+                });
+                let _ = t;
+            }
+        });
+        // Under pressure a racing thread may legitimately re-insert an
+        // evicted key, so `stores` can exceed the unique-key count —
+        // but every store is matched by residence or an eviction.
+        let stats = store.stats();
+        assert!(stats.stores >= KEYS);
+        assert_eq!(
+            stats.stores - stats.evictions,
+            store.len() as u64,
+            "inserted minus evicted must equal resident"
+        );
+        assert!(store.len() <= 16);
     }
 
     #[test]
@@ -555,6 +959,11 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.stores, KEYS, "one store per unique key");
         assert_eq!(stats.disk_stores, KEYS, "one disk write per unique key");
+        assert_eq!(
+            stats.stores - stats.evictions,
+            store.len() as u64,
+            "stores must reconcile with resident entries"
+        );
         let files = std::fs::read_dir(&dir)
             .unwrap()
             .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|ext| ext == "calc"))
@@ -615,6 +1024,123 @@ mod tests {
         assert!(!stale.exists(), "stale tmp survived store open");
         // The tmp is never served: the key simply misses.
         assert!(store.get(key(2)).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A peer that always serves `entry(id)` at a fixed cost.
+    struct StaticPeer {
+        id: u32,
+        cost_us: u64,
+    }
+
+    impl PeerSource for StaticPeer {
+        fn fetch_entry(&self, _key: CacheKey) -> Result<Option<(CacheEntry, u64)>, PeerError> {
+            Ok(Some((entry(self.id), self.cost_us)))
+        }
+        fn fetch_group(&self, _key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError> {
+            Ok(Some((group(self.id as usize), self.cost_us)))
+        }
+    }
+
+    /// A peer whose transport always fails.
+    struct BrokenPeer;
+
+    impl PeerSource for BrokenPeer {
+        fn fetch_entry(&self, _key: CacheKey) -> Result<Option<(CacheEntry, u64)>, PeerError> {
+            Err(PeerError::Hangup { peer: "test".into(), detail: "scripted".into() })
+        }
+        fn fetch_group(&self, _key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError> {
+            Err(PeerError::Hangup { peer: "test".into(), detail: "scripted".into() })
+        }
+    }
+
+    /// A peer that always answers not-found.
+    struct EmptyPeer;
+
+    impl PeerSource for EmptyPeer {
+        fn fetch_entry(&self, _key: CacheKey) -> Result<Option<(CacheEntry, u64)>, PeerError> {
+            Ok(None)
+        }
+        fn fetch_group(&self, _key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn peer_hit_fills_memory_and_counts_once() {
+        let store = ArtifactStore::default();
+        store.set_peer_source(Arc::new(StaticPeer { id: 3, cost_us: 777 }));
+        let got = store.get(key(3)).unwrap().expect("peer tier serves the miss");
+        assert_eq!(got.compiled.method, MethodId(3));
+        let s = store.stats();
+        assert_eq!((s.peer_hits, s.peer_misses, s.hits, s.misses), (1, 0, 1, 0));
+        assert_eq!(s.stores, 0, "peer fill is not new compilation output");
+        // Second lookup is a plain memory hit: the peer is not asked
+        // again.
+        assert!(store.get(key(3)).unwrap().is_some());
+        let s = store.stats();
+        assert_eq!((s.peer_hits, s.hits), (1, 2));
+        assert!((s.peer_hit_rate() - 1.0).abs() < 1e-9);
+        // Group lane twin.
+        assert!(store.get_group_plan(key(5)).unwrap().is_some());
+        let s = store.stats();
+        assert_eq!((s.group_peer_hits, s.group_hits, s.group_stores), (1, 1, 0));
+    }
+
+    #[test]
+    fn peer_miss_and_error_degrade_to_local_miss() {
+        let empty = ArtifactStore::default();
+        empty.set_peer_source(Arc::new(EmptyPeer));
+        assert!(empty.get(key(1)).unwrap().is_none());
+        assert!(empty.get_group_plan(key(1)).unwrap().is_none());
+        let s = empty.stats();
+        assert_eq!((s.peer_misses, s.misses), (1, 1));
+        assert_eq!((s.group_peer_misses, s.group_misses), (1, 1));
+
+        let broken = ArtifactStore::default();
+        broken.set_peer_source(Arc::new(BrokenPeer));
+        // A failing peer must look like a miss, not an error.
+        assert!(broken.get(key(1)).unwrap().is_none());
+        assert!(broken.get_group_plan(key(1)).unwrap().is_none());
+        let s = broken.stats();
+        assert_eq!((s.peer_errors, s.peer_misses, s.misses), (1, 0, 1));
+        assert_eq!((s.group_peer_errors, s.group_misses), (1, 1));
+    }
+
+    #[test]
+    fn peer_serving_lookup_counts_nothing() {
+        let store = ArtifactStore::default();
+        store.insert(key(1), entry(1));
+        let before = store.stats();
+        let (served, _cost) =
+            store.get_for_peer(key(1)).unwrap().expect("resident entry served to peer");
+        assert_eq!(served.compiled.method, MethodId(1));
+        assert!(store.get_for_peer(key(2)).unwrap().is_none());
+        let after = store.stats();
+        assert_eq!(before, after, "peer serving must not distort local hit/miss attribution");
+    }
+
+    #[test]
+    fn flush_to_disk_persists_peer_fetched_entries() {
+        let dir = std::env::temp_dir().join(format!("calibro-flush-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+        let store = ArtifactStore::new(config.clone());
+        store.set_peer_source(Arc::new(StaticPeer { id: 6, cost_us: 500 }));
+        // Peer-filled entries skip the insert-time disk write...
+        assert!(store.get(key(6)).unwrap().is_some());
+        assert!(store.get_group_plan(key(7)).unwrap().is_some());
+        assert_eq!(store.stats().disk_stores, 0);
+        // ...and a locally inserted entry is already on disk, so the
+        // drain flush writes exactly the two peer fills.
+        store.insert(key(8), entry(8));
+        assert_eq!(store.flush_to_disk(), 2);
+        assert_eq!(store.flush_to_disk(), 0, "second flush finds everything persisted");
+        drop(store);
+        // A restarted shard serves the flushed entry from local disk.
+        let revived = ArtifactStore::new(config);
+        assert!(revived.get(key(6)).unwrap().is_some());
+        assert_eq!(revived.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,7 +4,13 @@
 //! calibrod --socket /run/calibrod.sock [--workers N] [--queue-depth N]
 //!          [--deadline-ms N] [--cache-dir DIR] [--max-frame BYTES]
 //! calibrod --listen 127.0.0.1:7461 ...
+//! calibrod --socket /run/calibrod-a.sock --shard-id 0 \
+//!          --peer 1=unix:/run/calibrod-b.sock --peer 2=tcp:10.0.0.3:7461
 //! ```
+//!
+//! With `--shard-id`/`--peer` the daemon joins a fleet: a cache miss is
+//! served from a sibling's warm lane over `PeerGet` before falling back
+//! to a local compile.
 //!
 //! Runs until SIGTERM/SIGINT or a client `shutdown` request, then
 //! drains gracefully: stops accepting, finishes in-flight requests
@@ -13,7 +19,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use calibro_server::{Daemon, Listener, ServerConfig};
+use calibro_server::{Daemon, Listener, ServerConfig, ShardEndpoint, ShardSpec};
 
 #[cfg(unix)]
 mod sig {
@@ -63,7 +69,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: calibrod (--socket PATH | --listen ADDR) [--workers N] \
          [--queue-depth N] [--deadline-ms N] [--cache-dir DIR] \
-         [--max-frame BYTES] [--max-entries N]"
+         [--max-frame BYTES] [--max-entries N] [--method-budget-bytes N] \
+         [--group-budget-bytes N] [--shard-id N] \
+         [--peer ID=unix:PATH | --peer ID=tcp:ADDR]..."
     );
     std::process::exit(2);
 }
@@ -105,6 +113,18 @@ fn parse_args() -> Args {
             "--max-entries" => {
                 args.config.cache.max_entries = parse_num(&value("--max-entries"), "--max-entries");
             }
+            "--method-budget-bytes" => {
+                args.config.cache.method_budget_bytes =
+                    parse_num(&value("--method-budget-bytes"), "--method-budget-bytes");
+            }
+            "--group-budget-bytes" => {
+                args.config.cache.group_budget_bytes =
+                    parse_num(&value("--group-budget-bytes"), "--group-budget-bytes");
+            }
+            "--shard-id" => {
+                args.config.shard_id = parse_num(&value("--shard-id"), "--shard-id");
+            }
+            "--peer" => args.config.peers.push(parse_peer(&value("--peer"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("calibrod: unknown flag {other}");
@@ -124,6 +144,22 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
         eprintln!("calibrod: invalid value {raw:?} for {flag}");
         usage();
     })
+}
+
+/// `ID=unix:PATH` or `ID=tcp:ADDR` — one sibling shard.
+fn parse_peer(raw: &str) -> ShardSpec {
+    let Some((id, endpoint)) = raw.split_once('=') else {
+        eprintln!("calibrod: --peer {raw:?} must be ID=unix:PATH or ID=tcp:ADDR");
+        usage();
+    };
+    let id: u32 = parse_num(id, "--peer");
+    match ShardEndpoint::parse(endpoint) {
+        Ok(endpoint) => ShardSpec { id, endpoint },
+        Err(e) => {
+            eprintln!("calibrod: --peer {raw:?}: {e}");
+            usage();
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -168,11 +204,21 @@ fn main() -> ExitCode {
 
     let endpoint =
         args.socket.clone().or_else(|| tcp_addr.map(|a| a.to_string())).unwrap_or_default();
-    println!(
-        "calibrod listening on {endpoint} ({} workers, queue depth {})",
-        args.config.workers.max(1),
-        args.config.queue_depth
-    );
+    if args.config.peers.is_empty() {
+        println!(
+            "calibrod listening on {endpoint} ({} workers, queue depth {})",
+            args.config.workers.max(1),
+            args.config.queue_depth
+        );
+    } else {
+        println!(
+            "calibrod shard {} listening on {endpoint} ({} workers, queue depth {}, {} peers)",
+            args.config.shard_id,
+            args.config.workers.max(1),
+            args.config.queue_depth,
+            args.config.peers.iter().filter(|p| p.id != args.config.shard_id).count()
+        );
+    }
 
     while !sig::termed() && !daemon.shutdown_requested() {
         std::thread::sleep(Duration::from_millis(25));
@@ -182,12 +228,14 @@ fn main() -> ExitCode {
     let stats = daemon.shutdown();
     println!(
         "calibrod: drained. {} completed, {} rejected overloaded, {} timeouts, \
-         cache {} hits / {} misses",
+         cache {} hits / {} misses, {} peer hits, {} peer gets served",
         stats.requests_completed,
         stats.rejected_overloaded,
         stats.deadline_timeouts,
         stats.cache.hits,
-        stats.cache.misses
+        stats.cache.misses,
+        stats.cache.peer_hits + stats.cache.group_peer_hits,
+        stats.peer_gets_served
     );
     ExitCode::SUCCESS
 }

@@ -52,6 +52,7 @@
 
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod histogram;
 pub mod proto;
 pub mod server;
@@ -59,6 +60,10 @@ pub mod wire;
 
 pub use client::Client;
 pub use error::{ClientError, ServeError};
+pub use fleet::{
+    rendezvous_order, route, routing_key, shard_score, FleetPeerSource, FleetRouter, ShardEndpoint,
+    ShardSpec,
+};
 pub use histogram::{quantile_us, LatencyHistogram};
 pub use proto::{BuildReply, BuildRequest, ServerStats, DEFAULT_MAX_FRAME};
 pub use server::{ltbo_fingerprint, Daemon, Listener, ServerConfig};

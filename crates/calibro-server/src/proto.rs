@@ -32,6 +32,9 @@ pub const REQ_STATS: u8 = 0x02;
 pub const REQ_SHUTDOWN: u8 = 0x03;
 /// Request kind: liveness probe.
 pub const REQ_PING: u8 = 0x04;
+/// Request kind: fetch a cache artifact for a sibling shard (fleet
+/// peer-to-peer; see [`PeerGet`]).
+pub const REQ_PEER_GET: u8 = 0x05;
 /// Response kind: a successful build.
 pub const RESP_BUILT: u8 = 0x81;
 /// Response kind: a typed error.
@@ -42,6 +45,9 @@ pub const RESP_STATS: u8 = 0x83;
 pub const RESP_SHUTDOWN_ACK: u8 = 0x84;
 /// Response kind: liveness reply.
 pub const RESP_PONG: u8 = 0x85;
+/// Response kind: a peer-fetch answer (found or not; see
+/// [`PeerArtifact`]).
+pub const RESP_PEER_ARTIFACT: u8 = 0x86;
 
 /// Default ceiling on one frame (kind + body): 64 MiB.
 pub const DEFAULT_MAX_FRAME: u64 = 64 << 20;
@@ -125,17 +131,23 @@ fn read_exact_or_eof(stream: &mut impl Read, buf: &mut [u8]) -> std::io::Result<
     Ok(ReadOutcome::Full)
 }
 
-/// Writes one frame (length prefix, kind, body) and flushes.
+/// Writes one frame (length prefix, kind, body). Does not flush: a
+/// buffered sink (the daemon's reply writer) decides when its frames
+/// hit the wire; unbuffered sinks need no flush at all.
 ///
 /// # Errors
 ///
 /// Propagates the underlying IO error.
 pub fn write_frame(stream: &mut impl Write, kind: u8, body: &[u8]) -> std::io::Result<()> {
+    // One assembled buffer, one write: separate prefix/kind/body writes
+    // would cost three syscalls (and three skb charges) per frame,
+    // which dominates pipelined small-frame exchanges like peer gets.
     let len = (body.len() + 1) as u32;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(&[kind])?;
-    stream.write_all(body)?;
-    stream.flush()
+    let mut frame = Vec::with_capacity(body.len() + 5);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)
 }
 
 fn write_key(w: &mut Writer, key: CacheKey) {
@@ -353,6 +365,132 @@ pub fn decode_error(body: &[u8]) -> Result<(u64, ServeError), WireError> {
     Ok((request_id, error))
 }
 
+/// Which store lane a peer fetch targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PeerLane {
+    /// Per-method compile artifacts (`.calc` frames).
+    Method,
+    /// LTBO group plans (`.calg` frames).
+    Group,
+}
+
+impl PeerLane {
+    fn code(self) -> u8 {
+        match self {
+            PeerLane::Method => 0,
+            PeerLane::Group => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<PeerLane, WireError> {
+        match code {
+            0 => Ok(PeerLane::Method),
+            1 => Ok(PeerLane::Group),
+            tag => Err(WireError::InvalidTag { what: "PeerLane", tag }),
+        }
+    }
+}
+
+/// A fleet-internal fetch: "do you hold this key?" One shard sends this
+/// to a sibling when a lookup misses its own memory and disk tiers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PeerGet {
+    /// Requester-chosen id echoed in the response.
+    pub request_id: u64,
+    /// Which lane to probe.
+    pub lane: PeerLane,
+    /// The 128-bit content key.
+    pub key: CacheKey,
+}
+
+impl PeerGet {
+    /// Encodes the request body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.request_id);
+        w.u8(self.lane.code());
+        write_key(&mut w, self.key);
+        w.into_bytes()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<PeerGet, WireError> {
+        let mut r = Reader::new(body);
+        let request_id = r.u64("request_id")?;
+        let lane = PeerLane::from_code(r.u8("lane")?)?;
+        let key = read_key(&mut r)?;
+        r.finish()?;
+        Ok(PeerGet { request_id, lane, key })
+    }
+}
+
+/// The answer to a [`PeerGet`]: the artifact as a checksummed
+/// interchange frame (the exact bytes the disk layer persists, magic +
+/// version + key + checksum included) plus the recompute cost the
+/// serving shard recorded, or not-found. Reusing the disk frame as the
+/// wire payload means the requester validates remote bytes with the
+/// same gauntlet it applies to its own disk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PeerArtifact {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Echo of the requested lane.
+    pub lane: PeerLane,
+    /// Echo of the requested key.
+    pub key: CacheKey,
+    /// The framed artifact bytes and the origin's recompute cost (µs);
+    /// `None` when the serving shard does not hold the key.
+    pub artifact: Option<(Vec<u8>, u64)>,
+}
+
+impl PeerArtifact {
+    /// Encodes the reply body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.request_id);
+        w.u8(self.lane.code());
+        write_key(&mut w, self.key);
+        match &self.artifact {
+            None => w.u8(0),
+            Some((frame, cost_us)) => {
+                w.u8(1);
+                w.u64(*cost_us);
+                w.bytes(frame);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<PeerArtifact, WireError> {
+        let mut r = Reader::new(body);
+        let request_id = r.u64("request_id")?;
+        let lane = PeerLane::from_code(r.u8("lane")?)?;
+        let key = read_key(&mut r)?;
+        let artifact = match r.u8("artifact tag")? {
+            0 => None,
+            1 => {
+                let cost_us = r.u64("cost_us")?;
+                let frame = r.bytes("artifact frame")?;
+                Some((frame, cost_us))
+            }
+            tag => return Err(WireError::InvalidTag { what: "PeerArtifact", tag }),
+        };
+        r.finish()?;
+        Ok(PeerArtifact { request_id, lane, key, artifact })
+    }
+}
+
 /// A point-in-time view of the daemon, returned by the `stats` request.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -388,6 +526,11 @@ pub struct ServerStats {
     pub mid_frame_disconnects: u64,
     /// Builds that failed with a typed build error.
     pub build_errors: u64,
+    /// This daemon's shard id within the fleet (0 when standalone).
+    pub shard_id: u64,
+    /// `PeerGet` requests this daemon answered for sibling shards
+    /// (found or not).
+    pub peer_gets_served: u64,
     /// Request-latency histogram bucket counts (see
     /// [`crate::histogram`]).
     pub latency_buckets: Vec<u64>,
@@ -421,6 +564,8 @@ impl ServerStats {
         w.u64(self.oversized_frames);
         w.u64(self.mid_frame_disconnects);
         w.u64(self.build_errors);
+        w.u64(self.shard_id);
+        w.u64(self.peer_gets_served);
         w.u32(self.latency_buckets.len() as u32);
         for &b in &self.latency_buckets {
             w.u64(b);
@@ -435,6 +580,10 @@ impl ServerStats {
             disk_hits,
             disk_stores,
             promotions,
+            peer_hits,
+            peer_misses,
+            peer_errors,
+            evict_cost_us,
             group_hits,
             group_misses,
             group_stores,
@@ -442,6 +591,10 @@ impl ServerStats {
             group_disk_hits,
             group_disk_stores,
             group_promotions,
+            group_peer_hits,
+            group_peer_misses,
+            group_peer_errors,
+            group_evict_cost_us,
             lock_contention,
             group_lock_contention,
         } = self.cache;
@@ -453,6 +606,10 @@ impl ServerStats {
             disk_hits,
             disk_stores,
             promotions,
+            peer_hits,
+            peer_misses,
+            peer_errors,
+            evict_cost_us,
             group_hits,
             group_misses,
             group_stores,
@@ -460,6 +617,10 @@ impl ServerStats {
             group_disk_hits,
             group_disk_stores,
             group_promotions,
+            group_peer_hits,
+            group_peer_misses,
+            group_peer_errors,
+            group_evict_cost_us,
             lock_contention,
             group_lock_contention,
         ] {
@@ -490,6 +651,8 @@ impl ServerStats {
         let oversized_frames = r.u64("oversized_frames")?;
         let mid_frame_disconnects = r.u64("mid_frame_disconnects")?;
         let build_errors = r.u64("build_errors")?;
+        let shard_id = r.u64("shard_id")?;
+        let peer_gets_served = r.u64("peer_gets_served")?;
         let n = r.u32("bucket count")? as usize;
         if n > 4096 {
             return Err(WireError::OversizedCollection { what: "latency buckets", len: n as u64 });
@@ -504,6 +667,10 @@ impl ServerStats {
             disk_hits: r.u64("disk_hits")?,
             disk_stores: r.u64("disk_stores")?,
             promotions: r.u64("promotions")?,
+            peer_hits: r.u64("peer_hits")?,
+            peer_misses: r.u64("peer_misses")?,
+            peer_errors: r.u64("peer_errors")?,
+            evict_cost_us: r.u64("evict_cost_us")?,
             group_hits: r.u64("group_hits")?,
             group_misses: r.u64("group_misses")?,
             group_stores: r.u64("group_stores")?,
@@ -511,6 +678,10 @@ impl ServerStats {
             group_disk_hits: r.u64("group_disk_hits")?,
             group_disk_stores: r.u64("group_disk_stores")?,
             group_promotions: r.u64("group_promotions")?,
+            group_peer_hits: r.u64("group_peer_hits")?,
+            group_peer_misses: r.u64("group_peer_misses")?,
+            group_peer_errors: r.u64("group_peer_errors")?,
+            group_evict_cost_us: r.u64("group_evict_cost_us")?,
             lock_contention: r.u64("lock_contention")?,
             group_lock_contention: r.u64("group_lock_contention")?,
         };
@@ -531,6 +702,8 @@ impl ServerStats {
             oversized_frames,
             mid_frame_disconnects,
             build_errors,
+            shard_id,
+            peer_gets_served,
             latency_buckets,
             cache,
         })
@@ -621,11 +794,44 @@ mod tests {
             oversized_frames: 1,
             mid_frame_disconnects: 4,
             build_errors: 5,
+            shard_id: 3,
+            peer_gets_served: 42,
             latency_buckets: vec![0, 5, 10, 0, 2],
-            cache: CacheStats { hits: 9, misses: 4, lock_contention: 7, ..CacheStats::default() },
+            cache: CacheStats {
+                hits: 9,
+                misses: 4,
+                peer_hits: 6,
+                peer_errors: 2,
+                evict_cost_us: 12345,
+                group_peer_misses: 3,
+                lock_contention: 7,
+                ..CacheStats::default()
+            },
         };
         let back = ServerStats::decode(&stats.encode()).expect("stats decode");
         assert_eq!(back, stats);
         assert!(back.latency_quantile_us(0.5) > 0);
+    }
+
+    #[test]
+    fn peer_messages_roundtrip() {
+        let key = CacheKey { hi: 0xdead_beef, lo: 0x1234_5678 };
+        for lane in [PeerLane::Method, PeerLane::Group] {
+            let get = PeerGet { request_id: 77, lane, key };
+            assert_eq!(PeerGet::decode(&get.encode()).expect("get decodes"), get);
+        }
+        let found = PeerArtifact {
+            request_id: 77,
+            lane: PeerLane::Method,
+            key,
+            artifact: Some((vec![1, 2, 3, 4], 9000)),
+        };
+        assert_eq!(PeerArtifact::decode(&found.encode()).expect("found decodes"), found);
+        let missing = PeerArtifact { request_id: 78, lane: PeerLane::Group, key, artifact: None };
+        assert_eq!(PeerArtifact::decode(&missing.encode()).expect("missing decodes"), missing);
+        // A wrong lane tag is a typed wire error, not a panic.
+        let mut body = found.encode();
+        body[8] = 9;
+        assert!(PeerArtifact::decode(&body).is_err());
     }
 }

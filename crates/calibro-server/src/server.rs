@@ -28,6 +28,7 @@
 
 use std::collections::HashMap;
 use std::io;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -44,10 +45,12 @@ use calibro_cache::ArtifactStore;
 use calibro_dex::DexFile;
 
 use crate::error::ServeError;
+use crate::fleet::{FleetPeerSource, ShardSpec};
 use crate::histogram::LatencyHistogram;
 use crate::proto::{
-    self, encode_error, BuildReply, BuildRequest, FrameEvent, ServerStats, REQ_BUILD, REQ_PING,
-    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
+    self, encode_error, BuildReply, BuildRequest, FrameEvent, PeerArtifact, PeerGet, PeerLane,
+    ServerStats, REQ_BUILD, REQ_PEER_GET, REQ_PING, REQ_SHUTDOWN, REQ_STATS, RESP_BUILT,
+    RESP_ERROR, RESP_PEER_ARTIFACT, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
 };
 
 /// Configuration of one daemon.
@@ -66,6 +69,13 @@ pub struct ServerConfig {
     /// Configuration of the shared artifact store (set
     /// [`CacheConfig::disk_dir`] for persistence across restarts).
     pub cache: CacheConfig,
+    /// This daemon's shard id within a fleet (0 for a solo daemon).
+    pub shard_id: u32,
+    /// Sibling shards to consult on cache misses before recompiling.
+    /// Empty for a solo daemon. An entry matching [`shard_id`]
+    /// (`ServerConfig::shard_id`) is ignored, so every fleet member can
+    /// receive the same roster.
+    pub peers: Vec<ShardSpec>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,8 @@ impl Default for ServerConfig {
             default_deadline: None,
             max_frame: proto::DEFAULT_MAX_FRAME,
             cache: CacheConfig::default(),
+            shard_id: 0,
+            peers: Vec::new(),
         }
     }
 }
@@ -197,8 +209,18 @@ struct Job {
     /// Deadline the client asked for, for the timeout reply.
     deadline_ms: u32,
     enqueued: Instant,
-    writer: Arc<Mutex<Stream>>,
+    writer: ReplyWriter,
 }
+
+/// A connection's reply channel, shared between its connection thread
+/// and the workers finishing its builds. Buffered so a pipelined
+/// peer-get batch coalesces hundreds of small reply frames into a few
+/// socket writes: per-frame writes are each charged a full skb
+/// truesize against the sender's buffer, and a batch of them can
+/// deadlock against a client that is still writing its requests.
+/// Everything except an in-batch peer-get reply flushes immediately;
+/// the connection loop flushes whenever the request stream goes idle.
+type ReplyWriter = Arc<Mutex<io::BufWriter<Stream>>>;
 
 /// State shared by the accept loop, connection threads and workers.
 struct Shared {
@@ -220,6 +242,7 @@ struct Shared {
     oversized_frames: AtomicU64,
     mid_frame_disconnects: AtomicU64,
     build_errors: AtomicU64,
+    peer_gets_served: AtomicU64,
     histogram: LatencyHistogram,
     /// Write-half clones of every open connection, for unblocking
     /// readers at shutdown.
@@ -245,21 +268,35 @@ impl Shared {
             oversized_frames: self.oversized_frames.load(Ordering::Relaxed),
             mid_frame_disconnects: self.mid_frame_disconnects.load(Ordering::Relaxed),
             build_errors: self.build_errors.load(Ordering::Relaxed),
+            shard_id: u64::from(self.config.shard_id),
+            peer_gets_served: self.peer_gets_served.load(Ordering::Relaxed),
             latency_buckets: self.histogram.snapshot(),
             cache: self.store.stats(),
         }
     }
 
-    fn reply(&self, writer: &Arc<Mutex<Stream>>, kind: u8, body: &[u8]) {
+    fn reply(&self, writer: &ReplyWriter, kind: u8, body: &[u8]) {
         // A vanished client is not a daemon error: the write fails,
         // the reader side will observe the hangup, and the daemon
         // keeps serving everyone else.
         if let Ok(mut stream) = writer.lock() {
             let _ = proto::write_frame(&mut *stream, kind, body);
+            let _ = stream.flush();
         }
     }
 
-    fn reply_error(&self, writer: &Arc<Mutex<Stream>>, request_id: u64, error: &ServeError) {
+    /// Writes a reply without flushing — for peer-get replies inside a
+    /// pipelined batch, which the connection loop flushes once the
+    /// request stream goes idle. The client only starts reading after
+    /// writing its whole batch, so eagerly flushing mid-batch would pay
+    /// one skb charge per tiny frame for nothing.
+    fn reply_buffered(&self, writer: &ReplyWriter, kind: u8, body: &[u8]) {
+        if let Ok(mut stream) = writer.lock() {
+            let _ = proto::write_frame(&mut *stream, kind, body);
+        }
+    }
+
+    fn reply_error(&self, writer: &ReplyWriter, request_id: u64, error: &ServeError) {
         self.reply(writer, RESP_ERROR, &encode_error(request_id, error));
     }
 }
@@ -313,6 +350,12 @@ impl Daemon {
         store: Arc<ArtifactStore>,
     ) -> io::Result<Daemon> {
         let workers = config.workers.max(1);
+        if !config.peers.is_empty() {
+            let source = FleetPeerSource::new(config.peers.clone(), config.shard_id);
+            if source.peer_count() > 0 {
+                store.set_peer_source(Arc::new(source));
+            }
+        }
         let shared = Arc::new(Shared {
             config,
             store,
@@ -332,6 +375,7 @@ impl Daemon {
             oversized_frames: AtomicU64::new(0),
             mid_frame_disconnects: AtomicU64::new(0),
             build_errors: AtomicU64::new(0),
+            peer_gets_served: AtomicU64::new(0),
             histogram: LatencyHistogram::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -403,6 +447,11 @@ impl Daemon {
         if let Some(path) = &self.socket_path {
             let _ = std::fs::remove_file(path);
         }
+        // Flush the hot lanes to disk so a restarted shard — or a
+        // sibling reading through `PeerGet` after this one restarts —
+        // still finds the artifacts this shard paid for, including
+        // peer-fetched entries that were never written locally.
+        self.shared.store.flush_to_disk();
         self.shared.stats()
     }
 }
@@ -452,16 +501,29 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
 }
 
 fn connection_loop(stream: Stream, _conn_id: u64, shared: &Arc<Shared>) {
-    let writer = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
+    let writer: ReplyWriter = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(io::BufWriter::with_capacity(64 * 1024, clone))),
         Err(_) => return,
     };
-    let mut reader = stream;
+    // Buffered: a pipelined peer-get batch arrives as hundreds of
+    // 30-byte frames, and unbuffered reads would pay two syscalls per
+    // frame. Replies go out on the separate writer clone, so buffering
+    // the read side cannot delay them.
+    let mut reader = io::BufReader::with_capacity(64 * 1024, stream);
     loop {
         match proto::read_frame(&mut reader, shared.config.max_frame) {
             Ok(FrameEvent::Frame { kind, body }) => {
                 if !handle_frame(kind, &body, &writer, shared) {
                     break;
+                }
+                // The pipelined batch is drained: push out any replies
+                // still sitting in the buffer before blocking on the
+                // next read, or the client would wait forever on
+                // replies the daemon already wrote.
+                if reader.buffer().is_empty() {
+                    if let Ok(mut w) = writer.lock() {
+                        let _ = w.flush();
+                    }
                 }
             }
             Ok(FrameEvent::Eof) => break,
@@ -487,9 +549,10 @@ fn connection_loop(stream: Stream, _conn_id: u64, shared: &Arc<Shared>) {
 
 /// Handles one intact frame. Returns `false` when the connection
 /// should close.
-fn handle_frame(kind: u8, body: &[u8], writer: &Arc<Mutex<Stream>>, shared: &Arc<Shared>) -> bool {
+fn handle_frame(kind: u8, body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
     match kind {
         REQ_BUILD => handle_build(body, writer, shared),
+        REQ_PEER_GET => handle_peer_get(body, writer, shared),
         REQ_STATS => {
             let stats = shared.stats();
             shared.reply(writer, RESP_STATS, &stats.encode());
@@ -516,7 +579,67 @@ fn handle_frame(kind: u8, body: &[u8], writer: &Arc<Mutex<Stream>>, shared: &Arc
     }
 }
 
-fn handle_build(body: &[u8], writer: &Arc<Mutex<Stream>>, shared: &Arc<Shared>) -> bool {
+/// Serves one sibling's `PeerGet`: memory and disk tiers only (never
+/// this shard's own peers — the fan-out terminates after one hop), as
+/// the checksummed disk-frame bytes the requester re-validates.
+fn handle_peer_get(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
+    let fallback_id = body
+        .get(..8)
+        .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("slice length checked")));
+    let request = match PeerGet::decode(body) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(writer, fallback_id, &ServeError::from(e));
+            return true;
+        }
+    };
+    let framed: Result<Option<(Vec<u8>, u64)>, String> = match request.lane {
+        PeerLane::Method => match shared.store.get_for_peer(request.key) {
+            Ok(Some((entry, cost_us))) => calibro_cache::entry_to_bytes(request.key, &entry)
+                .map(|bytes| Some((bytes, cost_us))),
+            Ok(None) => Ok(None),
+            Err(e) => Err(e.to_string()),
+        },
+        PeerLane::Group => match shared.store.get_group_for_peer(request.key) {
+            Ok(Some((plan, cost_us))) => {
+                Ok(Some((calibro_cache::group_to_bytes(request.key, &plan), cost_us)))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e.to_string()),
+        },
+    };
+    match framed {
+        Ok(artifact) => {
+            if artifact.is_some() {
+                shared.peer_gets_served.fetch_add(1, Ordering::Relaxed);
+            }
+            let reply = PeerArtifact {
+                request_id: request.request_id,
+                lane: request.lane,
+                key: request.key,
+                artifact,
+            };
+            shared.reply_buffered(writer, RESP_PEER_ARTIFACT, &reply.encode());
+        }
+        Err(detail) => {
+            // A corrupt local entry: the requester treats this as a
+            // peer error and compiles locally. Buffered like the
+            // success reply — it is one slot of the pipelined batch.
+            shared.reply_buffered(
+                writer,
+                RESP_ERROR,
+                &encode_error(
+                    request.request_id,
+                    &ServeError::Build { detail: format!("peer artifact unavailable: {detail}") },
+                ),
+            );
+        }
+    }
+    true
+}
+
+fn handle_build(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
     // Best-effort request id for error replies: the id is the first
     // field, so it usually survives even when the rest is garbage.
     let fallback_id = body

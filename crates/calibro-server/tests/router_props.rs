@@ -1,0 +1,180 @@
+//! Property tests for the fleet's rendezvous router: deterministic
+//! across processes, uniform across shards, and minimally disruptive
+//! when the shard set changes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use calibro::CacheKey;
+use calibro_server::{rendezvous_order, route, shard_score};
+use proptest::prelude::*;
+
+/// A spread of 128-bit keys with no structure the mixer could exploit
+/// by accident: both words derived from the index through different
+/// multipliers.
+fn keys(n: u64) -> impl Iterator<Item = CacheKey> {
+    (0..n).map(|i| CacheKey {
+        hi: i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 17),
+        lo: i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(13) ^ !i,
+    })
+}
+
+/// Golden owners for a fixed shard set. These values must never change:
+/// routing is a pure function of (key, shard id), and any drift in the
+/// score function silently remaps every deployed fleet's cache — this
+/// test turns that into a loud failure.
+#[test]
+fn golden_routing_table_is_frozen() {
+    let shards = [0u32, 1, 2, 3, 4];
+    let owners: Vec<u32> =
+        keys(16).map(|k| route(k, &shards).expect("non-empty shard set")).collect();
+    assert_eq!(owners, [4, 4, 1, 3, 4, 1, 1, 0, 0, 0, 4, 1, 0, 3, 4, 2]);
+    // And a couple of raw scores, pinning the mixer itself.
+    assert_eq!(shard_score(CacheKey { hi: 0, lo: 0 }, 0), 0);
+    assert_eq!(
+        shard_score(CacheKey { hi: 1, lo: 2 }, 3),
+        shard_score(CacheKey { hi: 1, lo: 2 }, 3)
+    );
+}
+
+#[test]
+fn assignment_is_uniform_within_twenty_percent() {
+    const KEYS: u64 = 10_000;
+    for n_shards in [2u32, 3, 5, 8, 16] {
+        let shards: Vec<u32> = (0..n_shards).collect();
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for k in keys(KEYS) {
+            *counts.entry(route(k, &shards).expect("non-empty")).or_default() += 1;
+        }
+        let expected = KEYS as f64 / f64::from(n_shards);
+        for shard in &shards {
+            let got = *counts.get(shard).unwrap_or(&0) as f64;
+            let deviation = (got - expected).abs() / expected;
+            assert!(
+                deviation <= 0.20,
+                "shard {shard}/{n_shards} got {got} keys, expected ~{expected:.0} \
+                 ({:.1}% off)",
+                deviation * 100.0
+            );
+        }
+    }
+}
+
+/// Dedups a random draw into a sorted shard set (the shim has no set
+/// strategy). Always non-empty: a fallback id covers all-duplicates
+/// draws.
+fn shard_set(raw: &[u32]) -> Vec<u32> {
+    let mut ids: BTreeSet<u32> = raw.iter().copied().collect();
+    if ids.is_empty() {
+        ids.insert(0);
+    }
+    ids.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing is a pure function: recomputing the owner for the same
+    /// (key, shard set) — in any shard order — always agrees. This is
+    /// the property that lets every fleet member route independently.
+    #[test]
+    fn routing_ignores_shard_order_and_repeats(
+        raw in prop::collection::vec(0u32..10_000, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let shards = shard_set(&raw);
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        let k = CacheKey { hi: seed, lo: seed.rotate_left(31) ^ 0x5bd1_e995 };
+        let owner = route(k, &shards).expect("non-empty");
+        prop_assert_eq!(route(k, &reversed), Some(owner));
+        prop_assert_eq!(route(k, &shards), Some(owner));
+        prop_assert!(shards.contains(&owner));
+    }
+
+    /// Removing one shard remaps exactly the keys it owned: every other
+    /// key keeps its owner (rendezvous makes this exact, not just
+    /// probable — the other shards' scores are untouched).
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(
+        raw in prop::collection::vec(0u32..10_000, 2..10),
+        victim_pick in any::<u64>(),
+    ) {
+        let mut shards = shard_set(&raw);
+        if shards.len() < 2 {
+            shards.push(shards[0] + 1);
+        }
+        let victim = shards[(victim_pick % shards.len() as u64) as usize];
+        let survivors: Vec<u32> = shards.iter().copied().filter(|&s| s != victim).collect();
+        let mut moved = 0u64;
+        const KEYS: u64 = 2_000;
+        for k in keys(KEYS) {
+            let before = route(k, &shards).expect("non-empty");
+            let after = route(k, &survivors).expect("non-empty");
+            if before == victim {
+                moved += 1;
+                prop_assert!(survivors.contains(&after));
+            } else {
+                prop_assert_eq!(before, after, "a surviving shard's key moved");
+            }
+        }
+        // The victim owned ~1/N of the keys; generous bound to stay
+        // deterministic across shard-set draws.
+        let expected = KEYS as f64 / shards.len() as f64;
+        prop_assert!(
+            (moved as f64) < expected * 1.6 + 32.0,
+            "removal moved {moved} keys, expected ~{expected:.0}"
+        );
+    }
+
+    /// Adding one shard steals keys only *for* the new shard: a key
+    /// either keeps its owner or moves to the newcomer.
+    #[test]
+    fn adding_a_shard_only_gains_keys_for_the_newcomer(
+        raw in prop::collection::vec(0u32..10_000, 1..10),
+        newcomer in 10_000u32..20_000,
+    ) {
+        let shards = shard_set(&raw);
+        let mut grown = shards.clone();
+        grown.push(newcomer);
+        let mut moved = 0u64;
+        const KEYS: u64 = 2_000;
+        for k in keys(KEYS) {
+            let before = route(k, &shards).expect("non-empty");
+            let after = route(k, &grown).expect("non-empty");
+            if before != after {
+                moved += 1;
+                prop_assert_eq!(after, newcomer, "a remapped key must go to the new shard");
+            }
+        }
+        let expected = KEYS as f64 / grown.len() as f64;
+        prop_assert!(
+            (moved as f64) < expected * 1.6 + 32.0,
+            "adding a shard moved {moved} keys, expected ~{expected:.0}"
+        );
+    }
+
+    /// The probe order is always a permutation of the shard set headed
+    /// by the owner, and removing the head yields the tail's order —
+    /// the failover chain is consistent with routing.
+    #[test]
+    fn rendezvous_order_is_the_failover_chain(
+        raw in prop::collection::vec(0u32..10_000, 2..8),
+        seed in any::<u64>(),
+    ) {
+        let mut shards = shard_set(&raw);
+        if shards.len() < 2 {
+            shards.push(shards[0] + 1);
+        }
+        let k = CacheKey { hi: seed ^ 0xa076_1d64_78bd_642f, lo: seed.wrapping_mul(3) };
+        let order = rendezvous_order(k, &shards);
+        prop_assert_eq!(
+            order.iter().copied().collect::<BTreeSet<u32>>(),
+            shards.iter().copied().collect::<BTreeSet<u32>>(),
+            "order must be a permutation of the shard set"
+        );
+        prop_assert_eq!(Some(order[0]), route(k, &shards));
+        let without_head: Vec<u32> =
+            shards.iter().copied().filter(|&s| s != order[0]).collect();
+        prop_assert_eq!(rendezvous_order(k, &without_head), order[1..].to_vec());
+    }
+}

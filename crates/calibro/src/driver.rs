@@ -209,9 +209,12 @@ impl BuildStats {
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
                 r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
                 r#""disk_hits":{},"disk_stores":{},"promotions":{},"#,
+                r#""peer_hits":{},"peer_misses":{},"peer_errors":{},"evict_cost_us":{},"#,
                 r#""group_hits":{},"group_misses":{},"group_stores":{},"#,
                 r#""group_evictions":{},"group_disk_hits":{},"group_disk_stores":{},"#,
                 r#""group_promotions":{},"#,
+                r#""group_peer_hits":{},"group_peer_misses":{},"group_peer_errors":{},"#,
+                r#""group_evict_cost_us":{},"#,
                 r#""lock_contention":{},"group_lock_contention":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
@@ -245,6 +248,10 @@ impl BuildStats {
             c.disk_hits,
             c.disk_stores,
             c.promotions,
+            c.peer_hits,
+            c.peer_misses,
+            c.peer_errors,
+            c.evict_cost_us,
             c.group_hits,
             c.group_misses,
             c.group_stores,
@@ -252,6 +259,10 @@ impl BuildStats {
             c.group_disk_hits,
             c.group_disk_stores,
             c.group_promotions,
+            c.group_peer_hits,
+            c.group_peer_misses,
+            c.group_peer_errors,
+            c.group_evict_cost_us,
             c.lock_contention,
             c.group_lock_contention,
             p.folded,

@@ -507,28 +507,34 @@ pub(crate) fn run_ltbo_prepared(
     let cached_ref = &cached;
     let (tagged_plans, _loads) = run_indexed(groups.len(), threads, |i| {
         if let Some(entry) = &cached_ref[i] {
-            return (replay_group_plan(&groups_ref[i], entry.candidates.clone()), true);
+            return (replay_group_plan(&groups_ref[i], entry.candidates.clone()), true, 0);
         }
         detect_fault::check(i);
-        (detect_group(&groups_ref[i], min_len), false)
+        let group_start = Instant::now();
+        let plan = detect_group(&groups_ref[i], min_len);
+        let cost_us = u64::try_from(group_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        (plan, false, cost_us)
     })
     .map_err(|p| OutlineError::Worker { group: p.index, message: p.message })?;
     let detect_time = detect_start.elapsed();
 
     if let Some(store) = store {
-        for (i, (plan, reused)) in tagged_plans.iter().enumerate() {
+        for (i, (plan, reused, cost_us)) in tagged_plans.iter().enumerate() {
             if !reused {
-                store.insert_group_plan(
+                // Detection CPU rides into the plan lane as recompute
+                // cost, so eviction pressure drops cheap plans first.
+                store.insert_group_plan_with_cost(
                     keys[i],
                     GroupPlanEntry {
                         text_len: group_text_len(&groups[i]),
                         candidates: plan.candidates.clone(),
                     },
+                    *cost_us,
                 );
             }
         }
     }
-    let plans: Vec<GroupPlan> = tagged_plans.into_iter().map(|(plan, _)| plan).collect();
+    let plans: Vec<GroupPlan> = tagged_plans.into_iter().map(|(plan, _, _)| plan).collect();
 
     // --- Materialize outlined functions and per-method edits. -----------
     let mut outlined: Vec<Vec<Insn>> = Vec::new();

@@ -231,10 +231,10 @@ impl BuildSession {
         let (keys, _key_loads) =
             run_indexed(inputs.len(), threads, |i| method_cache_key(&inputs[i], fp, salt))
                 .map_err(|p| BuildError::CompileWorker { method: p.index, message: p.message })?;
-        let mut cached = Vec::with_capacity(keys.len());
-        for &key in &keys {
-            cached.push(self.store.get(key).map_err(BuildError::Cache)?);
-        }
+        // One batched probe: local tiers per key, then every local miss
+        // resolved through the peer tier in a single pipelined exchange
+        // (a fleet sibling's warm lane) instead of a round trip per key.
+        let cached = self.store.get_many(&keys).map_err(BuildError::Cache)?;
         let key_time = key_start.elapsed();
 
         // A cache hit proves the method's intrinsic checks (register
@@ -328,6 +328,7 @@ impl BuildSession {
                     cache_hit: true,
                 };
             }
+            let compile_start = Instant::now();
             let (compiled, pass_stats) = match cells[i].lock().take() {
                 None => (compile_native_stub(inputs[i].id, &codegen_opts), PassStats::default()),
                 Some(mut graph) => {
@@ -336,9 +337,15 @@ impl BuildSession {
                 }
             };
             let template = want_template.then(|| build_template(&compiled, false));
-            let entry = self.store.insert(
+            // The measured compile CPU rides into the store as the
+            // entry's recompute cost: under memory pressure the
+            // cost-aware eviction policy keeps the methods that were
+            // expensive to produce.
+            let cost_us = u64::try_from(compile_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let entry = self.store.insert_with_cost(
                 keys[i],
                 CacheEntry { compiled: compiled.clone(), pass_stats, template, ref_env },
+                cost_us,
             );
             MethodOutcome { compiled, pass_stats, entry, cache_hit: false }
         })
