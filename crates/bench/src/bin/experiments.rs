@@ -8,8 +8,9 @@
 //! ```
 
 use bench::{
-    build_variant, fig3, fig4, suite, table1, table2, table4, table5, table6, table7, warm_rebuild,
-    Variant, DEFAULT_SCALE, PL_GROUPS, PL_THREADS, WARM_MUTATION_FRACTION,
+    build_variant, fig3, fig4, frontier, frontier_json, suite, table1, table2, table4, table5,
+    table6, table7, warm_rebuild, Variant, DEFAULT_SCALE, FRONTIER_ARMS, PL_GROUPS, PL_THREADS,
+    WARM_MUTATION_FRACTION,
 };
 
 fn main() {
@@ -73,6 +74,52 @@ fn main() {
     if run_all || which == "incremental" {
         print_incremental(&apps);
     }
+    if run_all || which == "frontier" {
+        print_frontier(&apps);
+    }
+}
+
+/// `experiments frontier` — the size/perf frontier of the size-pass
+/// compositions (`none` / `merge` / `outline` / `both`), written to
+/// `BENCH_size_frontier.json` and printed as a per-app size table.
+fn print_frontier(apps: &[calibro_workloads::App]) {
+    header("Size/perf frontier: size-pass compositions");
+    let rows = frontier(apps);
+    let json_path = "BENCH_size_frontier.json";
+    match std::fs::write(json_path, frontier_json(&rows)) {
+        Ok(()) => eprintln!("  wrote {json_path}"),
+        Err(e) => eprintln!("  could not write {json_path}: {e}"),
+    }
+    println!("| App | Arm | .text bytes | vs none | Merged | Outlined | Cycles |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &rows {
+        let none_bytes = r.arms[0].text_bytes;
+        for a in &r.arms {
+            let delta = 100.0 * (none_bytes as f64 - a.text_bytes as f64) / none_bytes as f64;
+            println!(
+                "| {} | {} | {} | {:+.2}% | {} | {} | {} |",
+                r.app,
+                a.arm,
+                a.text_bytes,
+                -delta,
+                a.merged_methods,
+                a.outlined_functions,
+                a.cycles
+            );
+        }
+    }
+    let mut wins = 0;
+    for r in &rows {
+        let by_arm = |name: &str| r.arms.iter().find(|a| a.arm == name).unwrap().text_bytes;
+        if by_arm("both") < by_arm("outline") {
+            wins += 1;
+        }
+    }
+    for (i, &(arm, _)) in FRONTIER_ARMS.iter().enumerate() {
+        let total: u64 = rows.iter().map(|r| r.arms[i].text_bytes).sum();
+        println!("aggregate {arm}: {total} bytes");
+    }
+    println!("both < outline on {wins}/{} apps", rows.len());
 }
 
 /// `experiments serve [--socket PATH | --addr HOST:PORT] [--clients N]

@@ -673,6 +673,125 @@ pub fn warm_rebuild_json(rows: &[WarmRebuildRow]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Size/perf frontier of the size-pass compositions.
+// ---------------------------------------------------------------------
+
+/// A labelled frontier arm: name plus its `BuildOptions` constructor.
+pub type FrontierArmSpec = (&'static str, fn() -> BuildOptions);
+
+/// The four size-pass compositions over a common CTO base: `none`
+/// isolates the passes themselves (CTO is a codegen-time transform, not
+/// a [`calibro::SizePass`]), `merge` and `outline` run one pass each,
+/// `both` runs merge-then-outline with benefit-model arbitration.
+pub const FRONTIER_ARMS: [FrontierArmSpec; 4] = [
+    ("none", BuildOptions::cto),
+    ("merge", BuildOptions::cto_merge),
+    ("outline", BuildOptions::cto_ltbo),
+    ("both", BuildOptions::cto_merge_ltbo),
+];
+
+/// One arm's measurements on one app.
+#[derive(Clone, Debug)]
+pub struct FrontierArm {
+    /// Arm name (`none` / `merge` / `outline` / `both`).
+    pub arm: &'static str,
+    /// `.text` bytes on disk after the arm's passes.
+    pub text_bytes: u64,
+    /// Methods rewritten into parameter thunks.
+    pub merged_methods: usize,
+    /// Merge groups materialized.
+    pub merge_groups: usize,
+    /// Candidates where arbitration preferred outlining.
+    pub outline_preferred: usize,
+    /// Outlined functions created.
+    pub outlined_functions: usize,
+    /// Total simulator cycles over one pass of the usage trace — the
+    /// perf axis of the frontier (thunk indirection costs cycles).
+    pub cycles: u64,
+}
+
+/// One app's row: every arm, in [`FRONTIER_ARMS`] order.
+#[derive(Clone, Debug)]
+pub struct FrontierRow {
+    /// App name.
+    pub app: String,
+    /// Java + native method count.
+    pub methods: usize,
+    /// Per-arm measurements.
+    pub arms: Vec<FrontierArm>,
+}
+
+/// Builds every [`FRONTIER_ARMS`] composition for every app and
+/// measures the size/perf frontier.
+#[must_use]
+pub fn frontier(apps: &[App]) -> Vec<FrontierRow> {
+    apps.iter()
+        .map(|app| {
+            let arms = FRONTIER_ARMS
+                .iter()
+                .map(|&(arm, options)| {
+                    let out = build(&app.dex, &options()).expect("frontier build");
+                    let mut rt = Runtime::new(&out.oat, &app.env);
+                    run_trace(&mut rt, app, 1);
+                    FrontierArm {
+                        arm,
+                        text_bytes: calibro_oat::text_size_on_disk(&out.oat),
+                        merged_methods: out.stats.merge.merged_methods,
+                        merge_groups: out.stats.merge.merge_groups,
+                        outline_preferred: out.stats.merge.outline_preferred,
+                        outlined_functions: out.stats.ltbo.outlined_functions,
+                        cycles: rt.total_cycles(),
+                    }
+                })
+                .collect();
+            FrontierRow { app: app.name.clone(), methods: app.dex.methods().len(), arms }
+        })
+        .collect()
+}
+
+/// Serializes the frontier as one JSON document:
+/// `{"apps": {"<app>": {"methods": N, "<arm>": {...}}},
+///   "aggregate_text_bytes": {"<arm>": N}}`.
+#[must_use]
+pub fn frontier_json(rows: &[FrontierRow]) -> String {
+    let apps: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let arms: Vec<String> = r
+                .arms
+                .iter()
+                .map(|a| {
+                    format!(
+                        r#""{}":{{"text_bytes":{},"merged_methods":{},"merge_groups":{},"outline_preferred":{},"outlined_functions":{},"cycles":{}}}"#,
+                        a.arm,
+                        a.text_bytes,
+                        a.merged_methods,
+                        a.merge_groups,
+                        a.outline_preferred,
+                        a.outlined_functions,
+                        a.cycles
+                    )
+                })
+                .collect();
+            format!(r#""{}":{{"methods":{},{}}}"#, r.app, r.methods, arms.join(","))
+        })
+        .collect();
+    let aggregate: Vec<String> = FRONTIER_ARMS
+        .iter()
+        .enumerate()
+        .map(|(i, &(arm, _))| {
+            let total: u64 = rows.iter().map(|r| r.arms[i].text_bytes).sum();
+            format!(r#""{arm}":{total}"#)
+        })
+        .collect();
+    format!(
+        r#"{{"apps":{{{}}},"aggregate_text_bytes":{{{}}}}}"#,
+        apps.join(","),
+        aggregate.join(",")
+    )
+}
+
+// ---------------------------------------------------------------------
 // Table 2: the outlining + patching example.
 // ---------------------------------------------------------------------
 

@@ -16,16 +16,22 @@ use calibro_codegen::{
 use calibro_hgraph::PassStats;
 use calibro_isa::Insn;
 
-use crate::entry::{CacheEntry, GroupPlanEntry, SymbolTemplate, TemplateSlot};
+use crate::entry::{
+    CacheEntry, GroupPlanEntry, MergePlanEntry, MergePlanGroup, SymbolTemplate, TemplateSlot,
+};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
 
 /// Bumped whenever the on-disk layout changes; old entries are rejected
 /// as corrupt (and overwritten on the next store).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2: call-target tag 5 (`Merged`) and the `.calm` merge-plan
+/// lane.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"CALC";
 const GROUP_MAGIC: [u8; 4] = *b"CALG";
+const MERGE_MAGIC: [u8; 4] = *b"CALM";
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.calc", key.to_hex()))
@@ -33,6 +39,10 @@ fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
 
 fn group_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.calg", key.to_hex()))
+}
+
+fn merge_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.calm", key.to_hex()))
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -75,7 +85,7 @@ fn write_atomic(dir: &Path, path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(),
 
 /// Removes stale temp files (`*.tmp<pid>`) left behind by crashed or
 /// killed writers, returning how many were removed. Entries proper
-/// (`*.calc` / `*.calg`) are never touched. Called when a store opens a
+/// (`*.calc` / `*.calg` / `*.calm`) are never touched. Called when a store opens a
 /// disk directory; racing an in-flight writer is harmless because a
 /// clobbered rename is best-effort anyway and the writer's entry is
 /// rewritten on its next store.
@@ -168,6 +178,42 @@ pub(crate) fn has_group(dir: &Path, key: CacheKey) -> bool {
     group_path(dir, key).exists()
 }
 
+/// Persists a merge plan under `dir` as `<key>.calm`, best-effort
+/// atomic like [`store`].
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] on filesystem failures.
+pub fn store_merge(dir: &Path, key: CacheKey, entry: &MergePlanEntry) -> Result<(), CacheError> {
+    let path = merge_path(dir, key);
+    let payload = serialize_merge(entry);
+    let bytes = frame(MERGE_MAGIC, key, &payload);
+    let tmp = dir.join(format!("{}.calm.tmp{}", key.to_hex(), std::process::id()));
+    write_atomic(dir, &path, &tmp, &bytes)
+}
+
+/// Loads and validates the merge plan for `key`, `Ok(None)` when absent.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] when the file exists but cannot be read or
+/// fails any validation step.
+pub fn load_merge(dir: &Path, key: CacheKey) -> Result<Option<MergePlanEntry>, CacheError> {
+    let path = merge_path(dir, key);
+    let Some(bytes) = read_if_present(&path)? else { return Ok(None) };
+    let corrupt =
+        |detail: &str| CacheError::Corrupt { path: path.clone(), detail: detail.to_owned() };
+    let payload = checked_payload(&bytes, MERGE_MAGIC, key).map_err(|d| corrupt(&d))?;
+    let entry = deserialize_merge(payload).map_err(|d| corrupt(&d))?;
+    validate_merge_entry(&entry).map_err(|d| corrupt(&d))?;
+    Ok(Some(entry))
+}
+
+/// Merge-plan twin of [`has_entry`].
+pub(crate) fn has_merge(dir: &Path, key: CacheKey) -> bool {
+    merge_path(dir, key).exists()
+}
+
 /// Serializes `entry` into the checksummed interchange frame — the
 /// exact bytes [`store`] persists. The frame doubles as the peer-wire
 /// payload so a fetched artifact passes through the same magic /
@@ -212,6 +258,25 @@ pub fn group_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<GroupPlanEntry, S
     let payload = checked_payload(bytes, GROUP_MAGIC, key)?;
     let entry = deserialize_group(payload)?;
     validate_group_entry(&entry)?;
+    Ok(entry)
+}
+
+/// Merge-plan twin of [`entry_to_bytes`].
+#[must_use]
+pub fn merge_to_bytes(key: CacheKey, entry: &MergePlanEntry) -> Vec<u8> {
+    frame(MERGE_MAGIC, key, &serialize_merge(entry))
+}
+
+/// Merge-plan twin of [`entry_from_bytes`].
+///
+/// # Errors
+///
+/// Returns a description of the first failed check, as in
+/// [`entry_from_bytes`].
+pub fn merge_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<MergePlanEntry, String> {
+    let payload = checked_payload(bytes, MERGE_MAGIC, key)?;
+    let entry = deserialize_merge(payload)?;
+    validate_merge_entry(&entry)?;
     Ok(entry)
 }
 
@@ -339,6 +404,48 @@ pub fn validate_group_entry(entry: &GroupPlanEntry) -> Result<(), String> {
     Ok(())
 }
 
+/// Structural validation of a loaded merge plan: member indices must
+/// fall inside the recorded candidate count, each group must name at
+/// least two sorted distinct members including its representative, and
+/// diff positions must be sorted and distinct — so a poisoned plan is
+/// rejected with a typed error instead of corrupting the merge replay
+/// downstream.
+pub fn validate_merge_entry(entry: &MergePlanEntry) -> Result<(), String> {
+    let mut seen = vec![false; entry.member_count as usize];
+    for (i, g) in entry.groups.iter().enumerate() {
+        if g.members.len() < 2 {
+            return Err(format!("merge group {i} has fewer than two members"));
+        }
+        if !g.members.contains(&g.rep) {
+            return Err(format!("merge group {i}: representative {} not a member", g.rep));
+        }
+        let mut prev: Option<u32> = None;
+        for &m in &g.members {
+            if m >= entry.member_count {
+                return Err(format!(
+                    "merge group {i}: member {m} beyond candidate count {}",
+                    entry.member_count
+                ));
+            }
+            if prev.is_some_and(|p| p >= m) {
+                return Err(format!("merge group {i}: unsorted or duplicate member {m}"));
+            }
+            if std::mem::replace(&mut seen[m as usize], true) {
+                return Err(format!("merge group {i}: member {m} appears in two groups"));
+            }
+            prev = Some(m);
+        }
+        let mut prev: Option<u32> = None;
+        for &d in &g.diff_positions {
+            if prev.is_some_and(|p| p >= d) {
+                return Err(format!("merge group {i}: unsorted or duplicate diff position {d}"));
+            }
+            prev = Some(d);
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Codec.
 // ---------------------------------------------------------------------
@@ -390,6 +497,10 @@ fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
             CallTarget::Thunk(ThunkKind::StackCheck) => w.u8(3),
             CallTarget::Outlined(i) => {
                 w.u8(4);
+                w.u32(*i);
+            }
+            CallTarget::Merged(i) => {
+                w.u8(5);
                 w.u32(*i);
             }
         }
@@ -570,6 +681,7 @@ fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
             }
             3 => CallTarget::Thunk(ThunkKind::StackCheck),
             4 => CallTarget::Outlined(r.u32()?),
+            5 => CallTarget::Merged(r.u32()?),
             t => return Err(format!("unknown call-target tag {t}")),
         };
         relocs.push(Reloc { at, target });
@@ -701,6 +813,51 @@ fn deserialize_group(payload: &[u8]) -> Result<GroupPlanEntry, String> {
         return Err(format!("{} trailing bytes", payload.len() - r.pos));
     }
     Ok(GroupPlanEntry { text_len, candidates })
+}
+
+fn serialize_merge(entry: &MergePlanEntry) -> Vec<u8> {
+    let MergePlanEntry { member_count, groups } = entry;
+    let mut w = Writer(Vec::new());
+    w.u32(*member_count);
+    w.len(groups.len());
+    for g in groups {
+        let MergePlanGroup { rep, members, diff_positions } = g;
+        w.u32(*rep);
+        w.len(members.len());
+        for &m in members {
+            w.u32(m);
+        }
+        w.len(diff_positions.len());
+        for &d in diff_positions {
+            w.u32(d);
+        }
+    }
+    w.0
+}
+
+fn deserialize_merge(payload: &[u8]) -> Result<MergePlanEntry, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let member_count = r.u32()?;
+    let n_groups = r.bounded_len(14)?;
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let rep = r.u32()?;
+        let n_members = r.bounded_len(4)?;
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            members.push(r.u32()?);
+        }
+        let n_diffs = r.bounded_len(4)?;
+        let mut diff_positions = Vec::with_capacity(n_diffs);
+        for _ in 0..n_diffs {
+            diff_positions.push(r.u32()?);
+        }
+        groups.push(MergePlanGroup { rep, members, diff_positions });
+    }
+    if r.pos != payload.len() {
+        return Err(format!("{} trailing bytes", payload.len() - r.pos));
+    }
+    Ok(MergePlanEntry { member_count, groups })
 }
 
 #[cfg(test)]
@@ -859,6 +1016,66 @@ mod tests {
         let mut g = sample_group();
         g.candidates[0].positions = vec![4];
         assert!(validate_group_entry(&g).is_err(), "single occurrence accepted");
+    }
+
+    fn sample_merge() -> MergePlanEntry {
+        MergePlanEntry {
+            member_count: 5,
+            groups: vec![
+                MergePlanGroup { rep: 0, members: vec![0, 2], diff_positions: vec![1, 4] },
+                MergePlanGroup { rep: 3, members: vec![3, 4], diff_positions: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn merge_plan_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("calibro-mrg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 0x77, lo: 0x33 };
+        let entry = sample_merge();
+        store_merge(&dir, key, &entry).expect("store succeeds");
+        let back = load_merge(&dir, key).expect("load succeeds").expect("entry present");
+        assert_eq!(back, entry);
+        // Same-key probes on the other lanes stay independent.
+        assert!(load(&dir, key).unwrap().is_none());
+        assert!(load_group(&dir, key).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_merge_plan_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("calibro-mrg-cor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 9, lo: 10 };
+        store_merge(&dir, key, &sample_merge()).expect("store succeeds");
+        let path = merge_path(&dir, key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_merge(&dir, key), Err(CacheError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_validation_rejects_malformed_plans() {
+        let mut m = sample_merge();
+        m.groups[0].members = vec![0];
+        assert!(validate_merge_entry(&m).is_err(), "single-member group accepted");
+        let mut m = sample_merge();
+        m.groups[0].rep = 1;
+        assert!(validate_merge_entry(&m).is_err(), "non-member representative accepted");
+        let mut m = sample_merge();
+        m.groups[0].members = vec![0, 9];
+        assert!(validate_merge_entry(&m).is_err(), "out-of-range member accepted");
+        let mut m = sample_merge();
+        m.groups[1].members = vec![2, 3];
+        m.groups[1].rep = 3;
+        assert!(validate_merge_entry(&m).is_err(), "member shared across groups accepted");
+        let mut m = sample_merge();
+        m.groups[0].diff_positions = vec![4, 1];
+        assert!(validate_merge_entry(&m).is_err(), "unsorted diff positions accepted");
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::disk;
-use crate::entry::{CacheEntry, GroupPlanEntry};
+use crate::entry::{CacheEntry, GroupPlanEntry, MergePlanEntry};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
 use crate::peer::PeerSource;
@@ -46,6 +46,9 @@ pub struct CacheConfig {
     /// In-memory byte budget of the group-plan lane, enforced
     /// independently of the method lane.
     pub group_budget_bytes: usize,
+    /// In-memory byte budget of the merge-plan lane, enforced
+    /// independently of the other lanes.
+    pub merge_budget_bytes: usize,
 }
 
 impl Default for CacheConfig {
@@ -55,6 +58,7 @@ impl Default for CacheConfig {
             disk_dir: None,
             method_budget_bytes: usize::MAX,
             group_budget_bytes: usize::MAX,
+            merge_budget_bytes: usize::MAX,
         }
     }
 }
@@ -116,6 +120,23 @@ pub struct CacheStats {
     pub group_peer_errors: u64,
     /// Cumulative detection cost (µs) of evicted group plans.
     pub group_evict_cost_us: u64,
+    /// Merge-plan lookups that found a plan (merge analysis skipped).
+    pub merge_hits: u64,
+    /// Merge-plan lookups that found nothing (bucket re-analyzed).
+    pub merge_misses: u64,
+    /// Merge plans inserted.
+    pub merge_stores: u64,
+    /// Merge plans evicted by the capacity or byte budgets.
+    pub merge_evictions: u64,
+    /// Merge-plan lookups satisfied from the disk layer.
+    pub merge_disk_hits: u64,
+    /// Merge plans persisted to the disk layer.
+    pub merge_disk_stores: u64,
+    /// Merge-plan disk hits promoted into the in-memory map (see
+    /// [`promotions`](Self::promotions)).
+    pub merge_promotions: u64,
+    /// Cumulative analysis cost (µs) of evicted merge plans.
+    pub merge_evict_cost_us: u64,
     /// Method-lane lock acquisitions that found the lock held by
     /// another thread (a contended shared-store access). Zero in
     /// single-build use; under a multi-tenant daemon this measures how
@@ -123,6 +144,8 @@ pub struct CacheStats {
     pub lock_contention: u64,
     /// Group-plan-lane lock acquisitions that found the lock held.
     pub group_lock_contention: u64,
+    /// Merge-plan-lane lock acquisitions that found the lock held.
+    pub merge_lock_contention: u64,
 }
 
 impl CacheStats {
@@ -152,8 +175,17 @@ impl CacheStats {
             group_peer_misses: self.group_peer_misses - earlier.group_peer_misses,
             group_peer_errors: self.group_peer_errors - earlier.group_peer_errors,
             group_evict_cost_us: self.group_evict_cost_us - earlier.group_evict_cost_us,
+            merge_hits: self.merge_hits - earlier.merge_hits,
+            merge_misses: self.merge_misses - earlier.merge_misses,
+            merge_stores: self.merge_stores - earlier.merge_stores,
+            merge_evictions: self.merge_evictions - earlier.merge_evictions,
+            merge_disk_hits: self.merge_disk_hits - earlier.merge_disk_hits,
+            merge_disk_stores: self.merge_disk_stores - earlier.merge_disk_stores,
+            merge_promotions: self.merge_promotions - earlier.merge_promotions,
+            merge_evict_cost_us: self.merge_evict_cost_us - earlier.merge_evict_cost_us,
             lock_contention: self.lock_contention - earlier.lock_contention,
             group_lock_contention: self.group_lock_contention - earlier.group_lock_contention,
+            merge_lock_contention: self.merge_lock_contention - earlier.merge_lock_contention,
         }
     }
 
@@ -185,6 +217,20 @@ impl CacheStats {
         }
     }
 
+    /// Merge-plan hit fraction in `[0, 1]`; `0` when no merge lookups
+    /// happened.
+    #[must_use]
+    pub fn merge_hit_rate(&self) -> f64 {
+        let total = self.merge_hits + self.merge_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.merge_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of method-lane peer consultations served by a sibling,
     /// in `[0, 1]`; `0` when no peer was consulted.
     #[must_use]
@@ -210,6 +256,11 @@ struct GroupInner {
     policy: Lane2Q,
 }
 
+struct MergeInner {
+    map: HashMap<CacheKey, Arc<MergePlanEntry>>,
+    policy: Lane2Q,
+}
+
 /// The content-addressed store. Cheap to share: wrap in `Arc` or hold
 /// per [`BuildSession`](https://docs.rs); all methods take `&self`.
 ///
@@ -223,6 +274,7 @@ struct GroupInner {
 pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
     groups: Mutex<GroupInner>,
+    merges: Mutex<MergeInner>,
     config: CacheConfig,
     peer: OnceLock<Arc<dyn PeerSource>>,
     hits: AtomicU64,
@@ -247,8 +299,17 @@ pub struct ArtifactStore {
     group_peer_misses: AtomicU64,
     group_peer_errors: AtomicU64,
     group_evict_cost_us: AtomicU64,
+    merge_hits: AtomicU64,
+    merge_misses: AtomicU64,
+    merge_stores: AtomicU64,
+    merge_evictions: AtomicU64,
+    merge_disk_hits: AtomicU64,
+    merge_disk_stores: AtomicU64,
+    merge_promotions: AtomicU64,
+    merge_evict_cost_us: AtomicU64,
     lock_contention: AtomicU64,
     group_lock_contention: AtomicU64,
+    merge_lock_contention: AtomicU64,
 }
 
 impl Default for ArtifactStore {
@@ -279,9 +340,11 @@ impl ArtifactStore {
         }
         let method_policy = Lane2Q::new(config.max_entries, config.method_budget_bytes);
         let group_policy = Lane2Q::new(config.max_entries, config.group_budget_bytes);
+        let merge_policy = Lane2Q::new(config.max_entries, config.merge_budget_bytes);
         ArtifactStore {
             inner: Mutex::new(StoreInner { map: HashMap::new(), policy: method_policy }),
             groups: Mutex::new(GroupInner { map: HashMap::new(), policy: group_policy }),
+            merges: Mutex::new(MergeInner { map: HashMap::new(), policy: merge_policy }),
             config,
             peer: OnceLock::new(),
             hits: AtomicU64::new(0),
@@ -306,8 +369,17 @@ impl ArtifactStore {
             group_peer_misses: AtomicU64::new(0),
             group_peer_errors: AtomicU64::new(0),
             group_evict_cost_us: AtomicU64::new(0),
+            merge_hits: AtomicU64::new(0),
+            merge_misses: AtomicU64::new(0),
+            merge_stores: AtomicU64::new(0),
+            merge_evictions: AtomicU64::new(0),
+            merge_disk_hits: AtomicU64::new(0),
+            merge_disk_stores: AtomicU64::new(0),
+            merge_promotions: AtomicU64::new(0),
+            merge_evict_cost_us: AtomicU64::new(0),
             lock_contention: AtomicU64::new(0),
             group_lock_contention: AtomicU64::new(0),
+            merge_lock_contention: AtomicU64::new(0),
         }
     }
 
@@ -337,6 +409,16 @@ impl ArtifactStore {
         }
         self.group_lock_contention.fetch_add(1, Ordering::Relaxed);
         self.groups.lock()
+    }
+
+    /// Acquires the merge-plan-lane lock, counting contention like
+    /// [`lock_inner`](Self::lock_inner).
+    fn lock_merges(&self) -> parking_lot::MutexGuard<'_, MergeInner> {
+        if let Some(guard) = self.merges.try_lock() {
+            return guard;
+        }
+        self.merge_lock_contention.fetch_add(1, Ordering::Relaxed);
+        self.merges.lock()
     }
 
     /// Number of in-memory entries.
@@ -697,7 +779,110 @@ impl ArtifactStore {
         (arc, true)
     }
 
-    /// Persists every in-memory entry (both lanes) that the disk layer
+    /// Memory-then-disk merge-plan lookup; see
+    /// [`local_lookup`](Self::local_lookup).
+    fn local_merge_lookup(
+        &self,
+        key: CacheKey,
+        count: bool,
+    ) -> Result<Option<(Arc<MergePlanEntry>, u64)>, CacheError> {
+        {
+            let mut merges = self.lock_merges();
+            if let Some(entry) = merges.map.get(&key) {
+                let arc = Arc::clone(entry);
+                let cost = merges.policy.cost_of(key).unwrap_or(0);
+                merges.policy.on_hit(key);
+                if count {
+                    self.merge_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, cost)));
+            }
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            if let Some(entry) = disk::load_merge(dir, key)? {
+                if count {
+                    self.merge_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.merge_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let (arc, promoted) = self.insert_merge_memory(key, entry, 0);
+                if count && promoted {
+                    self.merge_promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, 0)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks a merge plan up through the local tiers: memory, then the
+    /// disk layer. The merge lane has no peer tier — plans are cheap to
+    /// recompute relative to a network exchange, and the fleet protocol
+    /// stays unchanged (a documented limitation, not an oversight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a local disk plan exists but is
+    /// corrupt or unreadable — surfaced, not masked as a miss.
+    pub fn get_merge_plan(&self, key: CacheKey) -> Result<Option<Arc<MergePlanEntry>>, CacheError> {
+        if let Some((arc, _)) = self.local_merge_lookup(key, true)? {
+            return Ok(Some(arc));
+        }
+        self.merge_misses.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    }
+
+    /// Inserts a merge plan computed for `key` with the analysis cost
+    /// (µs) it took to produce, returning the shared handle (keep-first
+    /// on duplicates, like [`insert`](Self::insert)). Persists to disk
+    /// when configured — only for genuinely new keys.
+    pub fn insert_merge_plan_with_cost(
+        &self,
+        key: CacheKey,
+        entry: MergePlanEntry,
+        cost_us: u64,
+    ) -> Arc<MergePlanEntry> {
+        let (arc, inserted) = self.insert_merge_memory(key, entry, cost_us);
+        if inserted {
+            self.merge_stores.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &self.config.disk_dir {
+                if disk::store_merge(dir, key, &arc).is_ok() {
+                    self.merge_disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        arc
+    }
+
+    /// [`insert_merge_plan_with_cost`](Self::insert_merge_plan_with_cost)
+    /// with an unrecorded (zero) analysis cost.
+    pub fn insert_merge_plan(&self, key: CacheKey, entry: MergePlanEntry) -> Arc<MergePlanEntry> {
+        self.insert_merge_plan_with_cost(key, entry, 0)
+    }
+
+    /// Merge-plan twin of [`insert_memory`](Self::insert_memory).
+    fn insert_merge_memory(
+        &self,
+        key: CacheKey,
+        entry: MergePlanEntry,
+        cost_us: u64,
+    ) -> (Arc<MergePlanEntry>, bool) {
+        let mut merges = self.lock_merges();
+        if let Some(existing) = merges.map.get(&key) {
+            return (Arc::clone(existing), false);
+        }
+        let bytes = entry.approx_bytes();
+        let arc = Arc::new(entry);
+        merges.map.insert(key, Arc::clone(&arc));
+        for victim in merges.policy.on_insert(key, bytes, cost_us) {
+            if merges.map.remove(&victim.key).is_some() {
+                self.merge_evictions.fetch_add(1, Ordering::Relaxed);
+                self.merge_evict_cost_us.fetch_add(victim.cost_us, Ordering::Relaxed);
+            }
+        }
+        (arc, true)
+    }
+
+    /// Persists every in-memory entry (all lanes) that the disk layer
     /// does not already hold, returning how many files were written. A
     /// draining daemon calls this so peer-fetched and promoted entries
     /// — which skip the insert-time disk write — survive the restart as
@@ -730,6 +915,17 @@ impl ArtifactStore {
                 written += 1;
             }
         }
+        let merge_plans: Vec<(CacheKey, Arc<MergePlanEntry>)> =
+            self.lock_merges().map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+        for (key, plan) in merge_plans {
+            if disk::has_merge(&dir, key) {
+                continue;
+            }
+            if disk::store_merge(&dir, key, &plan).is_ok() {
+                self.merge_disk_stores.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        }
         written
     }
 
@@ -759,8 +955,17 @@ impl ArtifactStore {
             group_peer_misses: self.group_peer_misses.load(Ordering::Relaxed),
             group_peer_errors: self.group_peer_errors.load(Ordering::Relaxed),
             group_evict_cost_us: self.group_evict_cost_us.load(Ordering::Relaxed),
+            merge_hits: self.merge_hits.load(Ordering::Relaxed),
+            merge_misses: self.merge_misses.load(Ordering::Relaxed),
+            merge_stores: self.merge_stores.load(Ordering::Relaxed),
+            merge_evictions: self.merge_evictions.load(Ordering::Relaxed),
+            merge_disk_hits: self.merge_disk_hits.load(Ordering::Relaxed),
+            merge_disk_stores: self.merge_disk_stores.load(Ordering::Relaxed),
+            merge_promotions: self.merge_promotions.load(Ordering::Relaxed),
+            merge_evict_cost_us: self.merge_evict_cost_us.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             group_lock_contention: self.group_lock_contention.load(Ordering::Relaxed),
+            merge_lock_contention: self.merge_lock_contention.load(Ordering::Relaxed),
         }
     }
 }
@@ -917,6 +1122,53 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.stores), (0, 0, 0));
         assert!(store.get(key(1)).unwrap().is_none());
         assert!((s.group_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    fn merge_plan(member_count: u32) -> MergePlanEntry {
+        MergePlanEntry {
+            member_count,
+            groups: vec![crate::entry::MergePlanGroup {
+                rep: 0,
+                members: vec![0, 1],
+                diff_positions: vec![3],
+            }],
+        }
+    }
+
+    #[test]
+    fn merge_plan_lane_has_independent_counters() {
+        let store = ArtifactStore::default();
+        assert!(store.get_merge_plan(key(1)).unwrap().is_none());
+        store.insert_merge_plan(key(1), merge_plan(4));
+        let hit = store.get_merge_plan(key(1)).unwrap().expect("inserted plan found");
+        assert_eq!(hit.member_count, 4);
+        let s = store.stats();
+        assert_eq!((s.merge_hits, s.merge_misses, s.merge_stores), (1, 1, 1));
+        // Neither sibling lane moves, even for an equal key.
+        assert_eq!((s.hits, s.misses, s.stores), (0, 0, 0));
+        assert_eq!((s.group_hits, s.group_misses, s.group_stores), (0, 0, 0));
+        assert!(store.get(key(1)).unwrap().is_none());
+        assert!(store.get_group_plan(key(1)).unwrap().is_none());
+        assert!((s.merge_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_plans_persist_across_store_instances() {
+        let dir = std::env::temp_dir().join(format!("calibro-mrg-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+        let first = ArtifactStore::new(config.clone());
+        first.insert_merge_plan(key(4), merge_plan(7));
+        assert_eq!(first.stats().merge_disk_stores, 1);
+        drop(first);
+        // A disk hit on a fresh store is a promotion, never a store.
+        let second = ArtifactStore::new(config);
+        let back = second.get_merge_plan(key(4)).unwrap().expect("plan reloaded from disk");
+        assert_eq!(back.member_count, 7);
+        assert_eq!(back.groups, merge_plan(7).groups);
+        let s = second.stats();
+        assert_eq!((s.merge_disk_hits, s.merge_promotions, s.merge_stores), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

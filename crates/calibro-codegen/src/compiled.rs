@@ -40,6 +40,11 @@ pub enum CallTarget {
     Thunk(ThunkKind),
     /// A link-time outlined function, by index (created by LTBO, §3.3.3).
     Outlined(u32),
+    /// A merged-function island, by index (created by the function-merge
+    /// size pass; cf. the global function merger of PAPERS.md). A thunk
+    /// materializes the member's distinguishing constants into parameter
+    /// registers and tail-branches here.
+    Merged(u32),
 }
 
 /// One intra-method PC-relative record: instruction at `at` targets the

@@ -313,6 +313,17 @@ pub fn check_variant_warm(
             ),
         });
     }
+    // Same contract for the merge lane: an unchanged program must replay
+    // every merge plan (the bucket keys are content-stable).
+    if variant.options.merge.is_some() && warm.stats.cache.merge_misses != 0 {
+        return Err(Divergence::WarmMismatch {
+            label: variant.label.clone(),
+            detail: format!(
+                "{} merge buckets missed the plan cache on an unchanged program",
+                warm.stats.cache.merge_misses
+            ),
+        });
+    }
     check_oat(program, baseline, &variant.label, &warm.oat)
 }
 

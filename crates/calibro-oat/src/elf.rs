@@ -11,10 +11,11 @@ use std::fmt;
 use calibro_codegen::{MethodMetadata, PcRel, StackMapEntry, ThunkKind};
 use calibro_dex::MethodId;
 
-use crate::file::{OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+use crate::file::{MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
 
 const EM_AARCH64: u16 = 0xb7;
-const MAGIC: &[u8; 8] = b"CALOAT1\0";
+// Version 2: merged-island records follow the outlined records.
+const MAGIC: &[u8; 8] = b"CALOAT2\0";
 const TEXT_FILE_OFFSET: u64 = 0x1000;
 
 /// A failure while loading an ELF-serialized OAT file.
@@ -191,6 +192,11 @@ fn oatdata_bytes(oat: &OatFile) -> Vec<u8> {
         w.u64(o.offset);
         w.usize32(o.size_words);
     }
+    w.usize32(oat.merged.len());
+    for m in &oat.merged {
+        w.u64(m.offset);
+        w.usize32(m.size_words);
+    }
     w.0
 }
 
@@ -240,7 +246,12 @@ fn parse_oatdata(buf: &[u8], words: Vec<u32>) -> Result<OatFile, LoadError> {
     for _ in 0..n_out {
         outlined.push(OutlinedRecord { offset: r.u64()?, size_words: r.u32()? as usize });
     }
-    Ok(OatFile { base_address, words, methods, thunks, outlined })
+    let n_merged = r.len32("merged count")?;
+    let mut merged = Vec::with_capacity(n_merged);
+    for _ in 0..n_merged {
+        merged.push(MergedRecord { offset: r.u64()?, size_words: r.u32()? as usize });
+    }
+    Ok(OatFile { base_address, words, methods, thunks, outlined, merged })
 }
 
 /// Serializes an [`OatFile`] into a loadable ELF64 image.
@@ -413,6 +424,7 @@ mod tests {
                 size_words: 1,
             }],
             outlined: vec![OutlinedRecord { offset: 12, size_words: 0 }],
+            merged: vec![MergedRecord { offset: 12, size_words: 0 }],
         }
     }
 
@@ -433,6 +445,8 @@ mod tests {
         assert_eq!(a.stack_maps, b.stack_maps);
         assert_eq!(back.thunks[0].kind, ThunkKind::RuntimeEntry(0x108));
         assert_eq!(back.outlined[0].offset, 12);
+        assert_eq!(back.merged.len(), 1);
+        assert_eq!(back.merged[0].offset, 12);
     }
 
     #[test]

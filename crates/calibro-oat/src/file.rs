@@ -58,6 +58,16 @@ pub struct OutlinedRecord {
     pub size_words: usize,
 }
 
+/// A linked merged-function island (the shared body a set of
+/// near-identical methods was folded into by the merge size pass).
+#[derive(Clone, Debug)]
+pub struct MergedRecord {
+    /// Byte offset within the text segment.
+    pub offset: u64,
+    /// Size in words (body + the `ret` return).
+    pub size_words: usize,
+}
+
 /// A linked OAT file.
 #[derive(Clone, Debug)]
 pub struct OatFile {
@@ -71,6 +81,8 @@ pub struct OatFile {
     pub thunks: Vec<ThunkRecord>,
     /// LTBO outlined functions.
     pub outlined: Vec<OutlinedRecord>,
+    /// Merged-function islands.
+    pub merged: Vec<MergedRecord>,
 }
 
 impl OatFile {
@@ -127,11 +139,12 @@ impl OatFile {
         h
     }
 
-    /// Total words attributable to outlined functions and thunks
-    /// (diagnostics for the experiment harness).
+    /// Total words attributable to outlined functions, merged islands
+    /// and thunks (diagnostics for the experiment harness).
     #[must_use]
     pub fn outlined_words(&self) -> usize {
         self.outlined.iter().map(|o| o.size_words).sum::<usize>()
+            + self.merged.iter().map(|m| m.size_words).sum::<usize>()
             + self.thunks.iter().map(|t| t.size_words).sum::<usize>()
     }
 }
@@ -164,6 +177,7 @@ mod tests {
             ],
             thunks: vec![],
             outlined: vec![],
+            merged: vec![],
         }
     }
 

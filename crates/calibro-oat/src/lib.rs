@@ -22,7 +22,10 @@
 //! );
 //! compiled.method = calibro_dex::MethodId(0); // table position
 
-//! let oat = link(LinkInput { methods: vec![compiled], outlined: vec![] }, 0x4000_0000)?;
+//! let oat = link(
+//!     LinkInput { methods: vec![compiled], ..LinkInput::default() },
+//!     0x4000_0000,
+//! )?;
 //! let elf = to_elf_bytes(&oat);
 //! let back = from_elf_bytes(&elf)?;
 //! assert_eq!(back.words, oat.words);
@@ -38,8 +41,10 @@ mod stackmap;
 mod structure;
 
 pub use elf::{from_elf_bytes, text_size_on_disk, to_elf_bytes, LoadError};
-pub use file::{OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord, DEFAULT_BASE_ADDRESS};
-pub use linker::{link, LinkError, LinkInput};
+pub use file::{
+    MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord, DEFAULT_BASE_ADDRESS,
+};
+pub use linker::{link, LinkError, LinkInput, MergedBody};
 pub use stackmap::{
     dex_pc_for_return_offset, insn_at, validate_method_stack_maps, validate_stack_maps,
     StackMapError,

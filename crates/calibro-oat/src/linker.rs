@@ -5,10 +5,23 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use calibro_codegen::{thunk_code, CallTarget, CompiledMethod, ThunkKind};
+use calibro_codegen::{thunk_code, CallTarget, CompiledMethod, Reloc, ThunkKind};
 use calibro_isa::{EncodeError, Insn};
 
-use crate::file::{OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+use crate::file::{MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+
+/// A merged-function island: the shared body a set of near-identical
+/// methods tail-branch into, addressed by `CallTarget::Merged(i)`.
+/// Unlike outlined sequences, an island is a whole function body and may
+/// itself carry call relocations (e.g. CTO thunk calls), which the
+/// linker patches like any method's.
+#[derive(Clone, Debug)]
+pub struct MergedBody {
+    /// The island's instructions, ending in a return.
+    pub insns: Vec<Insn>,
+    /// Call-site relocations within the island.
+    pub relocs: Vec<Reloc>,
+}
 
 /// Input to the linker.
 #[derive(Debug, Default)]
@@ -17,6 +30,8 @@ pub struct LinkInput {
     pub methods: Vec<CompiledMethod>,
     /// LTBO outlined functions, addressed by `CallTarget::Outlined(i)`.
     pub outlined: Vec<Vec<Insn>>,
+    /// Merged-function islands, addressed by `CallTarget::Merged(i)`.
+    pub merged: Vec<MergedBody>,
 }
 
 /// A linking failure.
@@ -27,7 +42,9 @@ pub enum LinkError {
     MisorderedMethod { index: usize },
     /// A relocation references a missing method or outlined function.
     UnresolvedTarget { method: usize, at: usize },
-    /// A relocation site is not a `bl` instruction.
+    /// A relocation site is not a `bl` (or, for merge thunk tails and
+    /// islands, a `b`) instruction. For island relocations, `method` is
+    /// `methods.len() + island index`.
     NotACallSite { method: usize, at: usize },
     /// A thunk was referenced during encoding without ever being
     /// assigned an offset (an internal layout inconsistency — reachable
@@ -68,9 +85,10 @@ impl From<EncodeError> for LinkError {
 
 /// Links the input into a final [`OatFile`] at `base_address`.
 ///
-/// Layout: methods in id order, then outlined functions, then one copy
-/// of each CTO thunk referenced by any relocation (the §3.1 pattern
-/// cache, materialized).
+/// Layout: methods in id order, then outlined functions, then merged
+/// islands, then one copy of each CTO thunk referenced by any
+/// relocation (the §3.1 pattern cache, materialized). An empty `merged`
+/// list leaves the layout byte-identical to a pre-merge link.
 ///
 /// Consumes the input: per-method metadata and stack maps move into the
 /// output records, and call patching rewrites the already-encoded words
@@ -82,11 +100,11 @@ impl From<EncodeError> for LinkError {
 /// Returns a [`LinkError`] for unresolved relocations, malformed inputs,
 /// or out-of-range branches.
 pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
-    let LinkInput { methods, outlined } = input;
+    let LinkInput { methods, outlined, merged } = input;
     // --- Collect referenced thunks (sorted for determinism). -----------
     let mut used_thunks: BTreeMap<ThunkKind, u64> = BTreeMap::new();
-    for m in &methods {
-        for r in &m.relocs {
+    for relocs in methods.iter().map(|m| &m.relocs).chain(merged.iter().map(|b| &b.relocs)) {
+        for r in relocs {
             if let CallTarget::Thunk(kind) = r.target {
                 used_thunks.insert(kind, 0);
             }
@@ -107,6 +125,11 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
     for o in &outlined {
         outlined_offsets.push(offset);
         offset += o.len() as u64 * 4;
+    }
+    let mut merged_offsets = Vec::with_capacity(merged.len());
+    for b in &merged {
+        merged_offsets.push(offset);
+        offset += b.insns.len() as u64 * 4;
     }
     let thunk_codes: Vec<(ThunkKind, Vec<Insn>)> =
         used_thunks.keys().map(|&k| (k, thunk_code(k))).collect();
@@ -129,10 +152,15 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
                 .get(i as usize)
                 .copied()
                 .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
+            CallTarget::Merged(i) => merged_offsets
+                .get(i as usize)
+                .copied()
+                .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
         }
     };
 
     // --- Encode and patch calls. ----------------------------------------
+    let method_count = methods.len();
     let mut words = Vec::with_capacity((offset / 4) as usize);
     let mut records = Vec::with_capacity(methods.len());
     for (index, m) in methods.into_iter().enumerate() {
@@ -141,17 +169,21 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
         for insn in &m.insns {
             words.push(insn.encode()?);
         }
-        // Call sites carry a placeholder `bl` (always encodable), so the
-        // pass above emits a valid word there and the patch below
-        // overwrites it with the resolved offset.
+        // Call sites carry a placeholder `bl` (or, for merge thunk
+        // tails, `b` — always encodable), so the pass above emits a
+        // valid word there and the patch below overwrites it with the
+        // resolved offset, preserving the site's mnemonic.
         for r in &m.relocs {
-            if !matches!(m.insns.get(r.at), Some(Insn::Bl { .. })) {
-                return Err(LinkError::NotACallSite { method: index, at: r.at });
-            }
+            let is_link = match m.insns.get(r.at) {
+                Some(Insn::Bl { .. }) => true,
+                Some(Insn::B { .. }) => false,
+                _ => return Err(LinkError::NotACallSite { method: index, at: r.at }),
+            };
             let target = resolve(index, r)?;
             let insn_addr = code_start + r.at as u64 * 4;
             let rel = target as i64 - insn_addr as i64;
-            words[start_word + r.at] = Insn::Bl { offset: rel }.encode()?;
+            let patched = if is_link { Insn::Bl { offset: rel } } else { Insn::B { offset: rel } };
+            words[start_word + r.at] = patched.encode()?;
         }
         words.extend_from_slice(&m.pool);
         records.push(OatMethodRecord {
@@ -172,6 +204,31 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
         outlined_records.push(OutlinedRecord { offset: off, size_words: o.len() });
     }
 
+    let mut merged_records = Vec::with_capacity(merged.len());
+    for (island, (b, &off)) in merged.iter().zip(&merged_offsets).enumerate() {
+        let start_word = words.len();
+        for insn in &b.insns {
+            words.push(insn.encode()?);
+        }
+        // Islands carry whole function bodies, so they are patched
+        // exactly like methods; errors report the site as
+        // `methods.len() + island`.
+        let site = method_count + island;
+        for r in &b.relocs {
+            let is_link = match b.insns.get(r.at) {
+                Some(Insn::Bl { .. }) => true,
+                Some(Insn::B { .. }) => false,
+                _ => return Err(LinkError::NotACallSite { method: site, at: r.at }),
+            };
+            let target = resolve(site, r)?;
+            let insn_addr = off + r.at as u64 * 4;
+            let rel = target as i64 - insn_addr as i64;
+            let patched = if is_link { Insn::Bl { offset: rel } } else { Insn::B { offset: rel } };
+            words[start_word + r.at] = patched.encode()?;
+        }
+        merged_records.push(MergedRecord { offset: off, size_words: b.insns.len() });
+    }
+
     let mut thunk_records = Vec::with_capacity(thunk_codes.len());
     for (kind, code) in &thunk_codes {
         let off = *used_thunks.get(kind).ok_or(LinkError::MissingThunk { kind: *kind })?;
@@ -187,6 +244,7 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
         methods: records,
         thunks: thunk_records,
         outlined: outlined_records,
+        merged: merged_records,
     })
 }
 
@@ -236,7 +294,7 @@ mod tests {
         let caller = with_id(simple_method("caller", Some(MethodId(1)), &opts), 0);
         assert!(caller.relocs.is_empty());
         let callee = with_id(simple_method("callee", None, &opts), 1);
-        let input = LinkInput { methods: vec![caller, callee], outlined: vec![] };
+        let input = LinkInput { methods: vec![caller, callee], outlined: vec![], merged: vec![] };
         let oat = link(input, 0x4000_0000).unwrap();
         assert_eq!(oat.methods.len(), 2);
         assert!(oat.thunks.is_empty());
@@ -250,7 +308,7 @@ mod tests {
         let m0 = with_id(simple_method("a", Some(MethodId(2)), &opts), 0);
         let m1 = with_id(simple_method("b", Some(MethodId(2)), &opts), 1);
         let m2 = with_id(simple_method("leaf", None, &opts), 2);
-        let input = LinkInput { methods: vec![m0, m1, m2], outlined: vec![] };
+        let input = LinkInput { methods: vec![m0, m1, m2], outlined: vec![], merged: vec![] };
         let oat = link(input, 0x4000_0000).unwrap();
         // JavaEntry + StackCheck thunks expected.
         assert_eq!(oat.thunks.len(), 2);
@@ -274,7 +332,7 @@ mod tests {
             target: CallTarget::Outlined(0),
         });
         let outlined = vec![vec![Insn::Nop, Insn::Br { rn: Reg::LR }]];
-        let input = LinkInput { methods: vec![m], outlined };
+        let input = LinkInput { methods: vec![m], outlined, merged: vec![] };
         let oat = link(input, 0x1000).unwrap();
         assert_eq!(oat.outlined.len(), 1);
         let record = &oat.outlined[0];
@@ -293,6 +351,44 @@ mod tests {
     }
 
     #[test]
+    fn merged_islands_are_linked_and_their_relocs_patched() {
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let mut m = with_id(simple_method("a", None, &opts), 0);
+        // A merge thunk tail: `b` into island 0.
+        m.insns.push(Insn::B { offset: 0 });
+        m.relocs
+            .push(calibro_codegen::Reloc { at: m.insns.len() - 1, target: CallTarget::Merged(0) });
+        // The island itself calls a CTO thunk, so the linker must both
+        // emit the thunk and patch the island-internal `bl`.
+        let island = MergedBody {
+            insns: vec![Insn::Bl { offset: 0 }, Insn::Nop, Insn::Ret { rn: Reg::LR }],
+            relocs: vec![calibro_codegen::Reloc {
+                at: 0,
+                target: CallTarget::Thunk(calibro_codegen::ThunkKind::StackCheck),
+            }],
+        };
+        let input = LinkInput { methods: vec![m], outlined: vec![], merged: vec![island] };
+        let oat = link(input, 0x1000).unwrap();
+        assert_eq!(oat.merged.len(), 1);
+        assert_eq!(oat.merged[0].size_words, 3);
+        assert_eq!(oat.thunks.len(), 1);
+        // The method's tail `b` reaches the island.
+        let tail = oat.methods[0].insn_words - 1;
+        let Ok(Insn::B { offset }) = decode(oat.words[tail]) else {
+            panic!("tail word did not decode as b")
+        };
+        let addr = oat.base_address + tail as u64 * 4;
+        assert_eq!(addr.wrapping_add(offset as u64), oat.base_address + oat.merged[0].offset);
+        // The island's `bl` reaches the thunk.
+        let island_word = (oat.merged[0].offset / 4) as usize;
+        let Ok(Insn::Bl { offset }) = decode(oat.words[island_word]) else {
+            panic!("island word 0 did not decode as bl")
+        };
+        let addr = oat.base_address + oat.merged[0].offset;
+        assert_eq!(addr.wrapping_add(offset as u64), oat.base_address + oat.thunks[0].offset);
+    }
+
+    #[test]
     fn unresolved_targets_error() {
         let opts = CodegenOptions { cto: false, collect_metadata: true };
         let mut m = with_id(simple_method("a", None, &opts), 0);
@@ -301,7 +397,7 @@ mod tests {
             at: m.insns.len() - 1,
             target: CallTarget::Outlined(7),
         });
-        let input = LinkInput { methods: vec![m], outlined: vec![] };
+        let input = LinkInput { methods: vec![m], outlined: vec![], merged: vec![] };
         assert!(matches!(link(input, 0x1000), Err(LinkError::UnresolvedTarget { .. })));
     }
 
@@ -309,7 +405,7 @@ mod tests {
     fn misordered_methods_error() {
         let opts = CodegenOptions { cto: false, collect_metadata: true };
         let m = with_id(simple_method("a", None, &opts), 5);
-        let input = LinkInput { methods: vec![m], outlined: vec![] };
+        let input = LinkInput { methods: vec![m], outlined: vec![], merged: vec![] };
         assert!(matches!(link(input, 0x1000), Err(LinkError::MisorderedMethod { index: 0 })));
     }
 
@@ -318,7 +414,7 @@ mod tests {
         let opts = CodegenOptions { cto: true, collect_metadata: true };
         let m0 = with_id(simple_method("a", Some(MethodId(1)), &opts), 0);
         let m1 = with_id(simple_method("b", None, &opts), 1);
-        let input = LinkInput { methods: vec![m0, m1], outlined: vec![] };
+        let input = LinkInput { methods: vec![m0, m1], outlined: vec![], merged: vec![] };
         let oat = link(input, 0x4000_0000).unwrap();
         for record in &oat.methods {
             let start = (record.offset / 4) as usize;

@@ -63,6 +63,25 @@ pub enum StructureError {
         /// Index into [`OatFile::outlined`].
         index: usize,
     },
+    /// A merged island does not end in a `ret`, so control could fall
+    /// through into a neighbour.
+    MergedNoReturn {
+        /// Index into [`OatFile::merged`].
+        index: usize,
+    },
+    /// A branch from outside enters a merged island anywhere but its
+    /// head, or enters it with a linking branch. The merge thunk calling
+    /// convention is a plain `b` to the island's first word (the thunk's
+    /// `bl`-installed return address must survive into the island's
+    /// `ret`), so any other entry is a miscompile.
+    MergedBadEntry {
+        /// Symbol the offending branch belongs to.
+        symbol: String,
+        /// Word index of the branch within the text segment.
+        word: usize,
+        /// The absolute target address.
+        target: u64,
+    },
 }
 
 impl core::fmt::Display for StructureError {
@@ -85,6 +104,16 @@ impl core::fmt::Display for StructureError {
             }
             StructureError::OutlinedNoReturn { index } => {
                 write!(f, "outlined function {index} does not end in `br`")
+            }
+            StructureError::MergedNoReturn { index } => {
+                write!(f, "merged island {index} does not end in `ret`")
+            }
+            StructureError::MergedBadEntry { symbol, word, target } => {
+                write!(
+                    f,
+                    "branch at word {word} in {symbol} enters a merged island at {target:#x}, \
+                     which is not a plain `b` to the island head"
+                )
             }
         }
     }
@@ -112,7 +141,12 @@ struct Symbol {
 ///    `cbnz`, `tbz`, `tbnz`) and literal load stays inside the text
 ///    segment (`adr`/`adrp` are exempt: they may materialize runtime
 ///    addresses);
-/// 5. every outlined function ends in an indirect branch (`br`).
+/// 5. every outlined function ends in an indirect branch (`br`) and
+///    every merged island ends in a `ret`;
+/// 6. merge thunk calling convention: any branch entering a merged
+///    island from outside it is a plain `b` to the island's head, so
+///    the `bl`-installed return address survives into the island's
+///    `ret`.
 ///
 /// # Errors
 ///
@@ -146,6 +180,20 @@ pub fn validate_structure(oat: &OatFile) -> Result<(), StructureError> {
             start_word: (o.offset / 4) as usize,
             size_words: o.size_words,
             insn_words: o.size_words,
+        });
+    }
+    for (i, m) in oat.merged.iter().enumerate() {
+        if m.offset % 4 != 0 {
+            return Err(StructureError::Misaligned {
+                symbol: format!("merged[{i}]"),
+                offset: m.offset,
+            });
+        }
+        symbols.push(Symbol {
+            name: format!("merged[{i}]"),
+            start_word: (m.offset / 4) as usize,
+            size_words: m.size_words,
+            insn_words: m.size_words,
         });
     }
     for (i, t) in oat.thunks.iter().enumerate() {
@@ -218,11 +266,62 @@ pub fn validate_structure(oat: &OatFile) -> Result<(), StructureError> {
         }
     }
 
-    // 5. Outlined functions must end in an indirect return.
+    // 5. Outlined functions must end in an indirect return; merged
+    // islands in a `ret`.
     for (i, o) in oat.outlined.iter().enumerate() {
         let last = (o.offset / 4) as usize + o.size_words - 1;
         if !matches!(decode(oat.words[last]), Ok(Insn::Br { .. })) {
             return Err(StructureError::OutlinedNoReturn { index: i });
+        }
+    }
+    for (i, m) in oat.merged.iter().enumerate() {
+        if m.size_words == 0 {
+            return Err(StructureError::MergedNoReturn { index: i });
+        }
+        let last = (m.offset / 4) as usize + m.size_words - 1;
+        if !matches!(decode(oat.words[last]), Ok(Insn::Ret { .. })) {
+            return Err(StructureError::MergedNoReturn { index: i });
+        }
+    }
+
+    // 6. Merge thunk calling convention: an island is entered from
+    // outside only by a plain `b` to its head.
+    let islands: Vec<(u64, u64)> =
+        oat.merged.iter().map(|m| (m.offset, m.offset + m.size_words as u64 * 4)).collect();
+    if !islands.is_empty() {
+        for s in &symbols {
+            for w in s.start_word..s.start_word + s.insn_words {
+                let Ok(insn) = decode(oat.words[w]) else { continue };
+                let pc = text_base + w as u64 * 4;
+                let (target, is_plain_b) = match insn {
+                    Insn::B { offset } => (pc.wrapping_add_signed(offset), true),
+                    Insn::Bl { offset }
+                    | Insn::BCond { offset, .. }
+                    | Insn::Cbz { offset, .. }
+                    | Insn::Cbnz { offset, .. }
+                    | Insn::Tbz { offset, .. }
+                    | Insn::Tbnz { offset, .. } => (pc.wrapping_add_signed(offset), false),
+                    _ => continue,
+                };
+                let rel = target - text_base;
+                let site = pc - text_base;
+                for &(start, end) in &islands {
+                    if rel < start || rel >= end {
+                        continue;
+                    }
+                    // Branches within the island itself are body-internal.
+                    if site >= start && site < end {
+                        continue;
+                    }
+                    if !is_plain_b || rel != start {
+                        return Err(StructureError::MergedBadEntry {
+                            symbol: s.name.clone(),
+                            word: w,
+                            target,
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -232,7 +331,7 @@ pub fn validate_structure(oat: &OatFile) -> Result<(), StructureError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::file::{OatMethodRecord, OutlinedRecord};
+    use crate::file::{MergedRecord, OatMethodRecord, OutlinedRecord};
     use calibro_codegen::MethodMetadata;
     use calibro_dex::MethodId;
     use calibro_isa::{Insn, Reg};
@@ -258,6 +357,7 @@ mod tests {
             methods: vec![record(0, 0, 2), record(1, 8, 2)],
             thunks: vec![],
             outlined: vec![],
+            merged: vec![],
         }
     }
 
@@ -323,5 +423,47 @@ mod tests {
         validate_structure(&oat).expect("br-terminated outlined body validates");
         oat.words[5] = NOP;
         assert_eq!(validate_structure(&oat), Err(StructureError::OutlinedNoReturn { index: 0 }));
+    }
+
+    /// A two-method file where m1 is a merge thunk (`b` into the island
+    /// at words 4..6).
+    fn merged_file() -> OatFile {
+        let mut oat = two_method_file();
+        // m1 becomes the thunk: nop; b +8 (word 3 → word 5... island head
+        // is word 4, so from word 3 offset is +4).
+        oat.words[3] = Insn::B { offset: 4 }.encode().unwrap();
+        oat.words.extend([NOP, RET]);
+        oat.merged.push(MergedRecord { offset: 16, size_words: 2 });
+        oat
+    }
+
+    #[test]
+    fn merged_island_conventions_hold() {
+        validate_structure(&merged_file()).expect("head-entered ret-terminated island validates");
+    }
+
+    #[test]
+    fn merged_island_must_end_in_ret() {
+        let mut oat = merged_file();
+        oat.words[5] = NOP;
+        assert_eq!(validate_structure(&oat), Err(StructureError::MergedNoReturn { index: 0 }));
+    }
+
+    #[test]
+    fn merged_island_entry_must_be_plain_b_to_head() {
+        // `bl` into the island head: clobbers the thunk's return address.
+        let mut oat = merged_file();
+        oat.words[3] = Insn::Bl { offset: 4 }.encode().unwrap();
+        assert!(matches!(
+            validate_structure(&oat),
+            Err(StructureError::MergedBadEntry { word: 3, .. })
+        ));
+        // `b` into the island's interior: skips part of the body.
+        let mut oat = merged_file();
+        oat.words[3] = Insn::B { offset: 8 }.encode().unwrap();
+        assert!(matches!(
+            validate_structure(&oat),
+            Err(StructureError::MergedBadEntry { word: 3, .. })
+        ));
     }
 }

@@ -46,7 +46,7 @@ fn sample_oat() -> OatFile {
             compile_method(&graph, &opts)
         })
         .collect();
-    let oat = link(LinkInput { methods, outlined: vec![] }, 0x4000_0000).expect("link");
+    let oat = link(LinkInput { methods, ..LinkInput::default() }, 0x4000_0000).expect("link");
     assert!(
         oat.methods.iter().any(|r| !r.stack_maps.is_empty()),
         "sample must exercise stack maps"

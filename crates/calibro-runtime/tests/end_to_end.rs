@@ -29,7 +29,7 @@ fn boot(dex: &DexFile, cto: bool, env: &RuntimeEnv) -> Runtime {
             methods.push(compile_method(&graph, &opts));
         }
     }
-    let oat = link(LinkInput { methods, outlined: vec![] }, 0x4000_0000).expect("link");
+    let oat = link(LinkInput { methods, ..LinkInput::default() }, 0x4000_0000).expect("link");
     calibro_oat::validate_stack_maps(&oat).expect("stack maps");
     Runtime::new(&oat, env)
 }

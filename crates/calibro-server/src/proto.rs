@@ -595,8 +595,17 @@ impl ServerStats {
             group_peer_misses,
             group_peer_errors,
             group_evict_cost_us,
+            merge_hits,
+            merge_misses,
+            merge_stores,
+            merge_evictions,
+            merge_disk_hits,
+            merge_disk_stores,
+            merge_promotions,
+            merge_evict_cost_us,
             lock_contention,
             group_lock_contention,
+            merge_lock_contention,
         } = self.cache;
         for v in [
             hits,
@@ -621,8 +630,17 @@ impl ServerStats {
             group_peer_misses,
             group_peer_errors,
             group_evict_cost_us,
+            merge_hits,
+            merge_misses,
+            merge_stores,
+            merge_evictions,
+            merge_disk_hits,
+            merge_disk_stores,
+            merge_promotions,
+            merge_evict_cost_us,
             lock_contention,
             group_lock_contention,
+            merge_lock_contention,
         ] {
             w.u64(v);
         }
@@ -682,8 +700,17 @@ impl ServerStats {
             group_peer_misses: r.u64("group_peer_misses")?,
             group_peer_errors: r.u64("group_peer_errors")?,
             group_evict_cost_us: r.u64("group_evict_cost_us")?,
+            merge_hits: r.u64("merge_hits")?,
+            merge_misses: r.u64("merge_misses")?,
+            merge_stores: r.u64("merge_stores")?,
+            merge_evictions: r.u64("merge_evictions")?,
+            merge_disk_hits: r.u64("merge_disk_hits")?,
+            merge_disk_stores: r.u64("merge_disk_stores")?,
+            merge_promotions: r.u64("merge_promotions")?,
+            merge_evict_cost_us: r.u64("merge_evict_cost_us")?,
             lock_contention: r.u64("lock_contention")?,
             group_lock_contention: r.u64("group_lock_contention")?,
+            merge_lock_contention: r.u64("merge_lock_contention")?,
         };
         r.finish()?;
         Ok(ServerStats {

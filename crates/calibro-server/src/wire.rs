@@ -12,6 +12,7 @@ use std::collections::HashSet;
 
 use calibro::BuildOptions;
 use calibro::LtboMode;
+use calibro::MergeConfig;
 use calibro_dex::{
     BinOp, ClassId, Cmp, DexFile, DexInsn, FieldId, InvokeKind, Method, MethodId, StaticId, VReg,
 };
@@ -616,6 +617,7 @@ pub fn write_options(w: &mut Writer, options: &BuildOptions) {
     let BuildOptions {
         cto,
         ltbo,
+        merge,
         min_seq_len,
         hot_methods,
         base_address,
@@ -632,6 +634,16 @@ pub fn write_options(w: &mut Writer, options: &BuildOptions) {
             w.u8(2);
             w.usize(*groups);
             w.usize(*threads);
+        }
+    }
+    match merge {
+        None => w.u8(0),
+        Some(config) => {
+            w.u8(1);
+            let MergeConfig { min_body_words, max_params, arbitrate } = config;
+            w.usize(*min_body_words);
+            w.usize(*max_params);
+            w.bool(*arbitrate);
         }
     }
     w.usize(*min_seq_len);
@@ -681,6 +693,15 @@ pub fn read_options(r: &mut Reader<'_>) -> Result<BuildOptions, WireError> {
         }),
         tag => return Err(WireError::InvalidTag { what: "LtboMode", tag }),
     };
+    let merge = match r.u8("merge tag")? {
+        0 => None,
+        1 => Some(MergeConfig {
+            min_body_words: r.usize("min_body_words")?,
+            max_params: r.usize("max_params")?,
+            arbitrate: r.bool("arbitrate")?,
+        }),
+        tag => return Err(WireError::InvalidTag { what: "MergeConfig", tag }),
+    };
     let min_seq_len = r.usize("min_seq_len")?;
     let hot_methods = match r.u8("hot_methods tag")? {
         0 => None,
@@ -713,6 +734,7 @@ pub fn read_options(r: &mut Reader<'_>) -> Result<BuildOptions, WireError> {
     Ok(BuildOptions {
         cto,
         ltbo,
+        merge,
         min_seq_len,
         hot_methods,
         base_address,
@@ -796,6 +818,12 @@ mod tests {
             BuildOptions::cto(),
             BuildOptions::cto_ltbo().with_compile_threads(8),
             BuildOptions::cto_ltbo_parallel(16, 4).with_hot_filter([4, 1, 9].into_iter().collect()),
+            BuildOptions::cto_merge(),
+            BuildOptions::cto_merge_ltbo().with_merge(MergeConfig {
+                min_body_words: 6,
+                max_params: 1,
+                arbitrate: false,
+            }),
             BuildOptions {
                 inlining: true,
                 force_metadata: true,

@@ -78,6 +78,7 @@ impl ProgramGen for MotifAppGen {
             trace_len: 40,
             hot_skew: rng.gen_range(0.8..1.8),
             filler_per_segment: (2, rng.gen_range(6..20)),
+            clone_families: rng.gen_range(0..4),
         };
         generate(&spec)
     }

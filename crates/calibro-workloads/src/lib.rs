@@ -63,6 +63,11 @@ pub struct AppSpec {
     /// Unique filler instructions emitted per segment (min, max) —
     /// dilutes redundancy towards the paper's measured levels.
     pub filler_per_segment: (usize, usize),
+    /// Number of clone families: groups of 3-5 near-identical
+    /// straight-line methods differing only in one or two immediate
+    /// constants — the function-merge backend's material (real apps get
+    /// these from monomorphized generics and copy-pasted utilities).
+    pub clone_families: usize,
 }
 
 impl AppSpec {
@@ -82,6 +87,7 @@ impl AppSpec {
             trace_len: 60,
             hot_skew: 1.2,
             filler_per_segment: (12, 24),
+            clone_families: 2,
         }
     }
 }
@@ -140,6 +146,7 @@ pub fn paper_suite(methods_per_unit: f64) -> Vec<AppSpec> {
                 trace_len: (methods / 2).max(160),
                 hot_skew: 1.5,
                 filler_per_segment: (12, 24),
+                clone_families: (methods / 60).max(2),
             }
         })
         .collect()
@@ -346,6 +353,48 @@ pub fn generate(spec: &AppSpec) -> App {
         dex.add_method(b.build(class));
     }
 
+    // Clone families: straight-line near-duplicates that differ only in
+    // one or two immediate constants. Constants are drawn from
+    // 4097..65535 avoiding multiples of 4096 so they are never
+    // imm12-encodable (they stay a plain `movz`, the shape the merge
+    // backend parameterizes) and never need a literal pool.
+    for f in 0..spec.clone_families {
+        let family = rng.gen_range(3..=5);
+        let len = rng.gen_range(8..=16);
+        let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Xor];
+        let template: Vec<(BinOp, u16)> =
+            (0..len).map(|_| (ops[rng.gen_range(0..ops.len())], rng.gen_range(4..6))).collect();
+        let diffs = rng.gen_range(1..=2usize).min(len);
+        let mut diff_at: Vec<usize> = Vec::new();
+        while diff_at.len() < diffs {
+            let at = rng.gen_range(0..len);
+            if !diff_at.contains(&at) {
+                diff_at.push(at);
+            }
+        }
+        for c in 0..family {
+            // num_regs = 6 homes both args in v4/v5 directly.
+            let mut b = MethodBuilder::new(format!("clone{f}_{c}"), 6, 2);
+            b.push(DexInsn::Const { dst: VReg(0), value: f as i32 + 1 });
+            for (i, &(op, src)) in template.iter().enumerate() {
+                if diff_at.contains(&i) {
+                    let k = loop {
+                        let k = rng.gen_range(4097..=65535);
+                        if k % 4096 != 0 {
+                            break k;
+                        }
+                    };
+                    b.push(DexInsn::Const { dst: VReg(1), value: k });
+                    b.push(DexInsn::Bin { op, dst: VReg(0), a: VReg(0), b: VReg(1) });
+                } else {
+                    b.push(DexInsn::Bin { op, dst: VReg(0), a: VReg(0), b: VReg(src) });
+                }
+            }
+            b.push(DexInsn::Return { src: VReg(0) });
+            dex.add_method(b.build(classes[f % classes.len()]));
+        }
+    }
+
     // Runtime environment.
     let mut natives = HashMap::new();
     for (i, id) in native_ids.iter().enumerate() {
@@ -367,17 +416,19 @@ pub fn generate(spec: &AppSpec) -> App {
     // first exercises the app broadly (every Java method is entered at
     // least once), then spends the bulk of its time in a skewed hot set
     // (later methods call more code, so the tail is weighted).
-    let total_methods = first_java as usize + spec.methods;
-    let mut trace = Vec::with_capacity(spec.methods + spec.trace_len);
-    for k in 0..spec.methods {
+    let total_methods = dex.methods().len();
+    let java_count = total_methods - first_java as usize;
+    let mut trace = Vec::with_capacity(java_count + spec.trace_len);
+    for k in 0..java_count {
         trace.push(TraceCall {
             method: MethodId((first_java as usize + k) as u32),
             args: [rng.gen_range(-20..20), rng.gen_range(1..20)],
         });
     }
     for _ in 0..spec.trace_len {
-        // Prefer methods near the end of the table (deep call trees).
-        let back = skewed_index(&mut rng, spec.methods, spec.hot_skew);
+        // Prefer methods near the end of the table (deep call trees,
+        // and — when present — the merge backend's clone families).
+        let back = skewed_index(&mut rng, java_count, spec.hot_skew);
         let method = MethodId((total_methods - 1 - back) as u32);
         trace.push(TraceCall { method, args: [rng.gen_range(-20..20), rng.gen_range(1..20)] });
     }

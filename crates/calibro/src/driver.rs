@@ -13,6 +13,7 @@ use calibro_hgraph::{PassStats, PipelineConfig};
 use calibro_oat::{LinkError, OatFile, DEFAULT_BASE_ADDRESS};
 
 use crate::ltbo::{LtboMode, LtboStats};
+use crate::merge::{MergeConfig, MergeStats};
 use crate::pipeline::BuildSession;
 
 /// Full build configuration — one row of the paper's Table 4 matrix.
@@ -22,6 +23,12 @@ pub struct BuildOptions {
     pub cto: bool,
     /// Link-time binary outlining (§3.2-§3.3); `None` disables LTBO.
     pub ltbo: Option<LtboMode>,
+    /// Function merging between codegen and LTBO; `None` disables the
+    /// merge pass. Together with [`ltbo`](Self::ltbo) this field
+    /// composes the size-pass pipeline
+    /// ([`size_passes`](crate::size_passes)): `none` / `merge` /
+    /// `outline` / `both`.
+    pub merge: Option<MergeConfig>,
     /// Minimum outlined sequence length (instructions).
     pub min_seq_len: usize,
     /// Hot methods to filter (§3.4.2), usually from
@@ -55,6 +62,7 @@ impl Default for BuildOptions {
         BuildOptions {
             cto: false,
             ltbo: None,
+            merge: None,
             min_seq_len: 2,
             hot_methods: None,
             base_address: DEFAULT_BASE_ADDRESS,
@@ -95,6 +103,31 @@ impl BuildOptions {
         }
     }
 
+    /// The `CTO+Merge` configuration: function merging as the only size
+    /// backend. Arbitration is off — with no LTBO pass downstream,
+    /// a group the benefit model handed to outlining would simply be
+    /// dropped.
+    #[must_use]
+    pub fn cto_merge() -> BuildOptions {
+        BuildOptions {
+            cto: true,
+            merge: Some(MergeConfig { arbitrate: false, ..MergeConfig::default() }),
+            ..BuildOptions::default()
+        }
+    }
+
+    /// The `CTO+Merge+LTBO` configuration: both size backends, with the
+    /// benefit model arbitrating merge-vs-outline per group.
+    #[must_use]
+    pub fn cto_merge_ltbo() -> BuildOptions {
+        BuildOptions {
+            cto: true,
+            merge: Some(MergeConfig::default()),
+            ltbo: Some(LtboMode::Global),
+            ..BuildOptions::default()
+        }
+    }
+
     /// Adds hot-function filtering (`HfOpti`, §3.4.2).
     #[must_use]
     pub fn with_hot_filter(mut self, hot: HashSet<u32>) -> BuildOptions {
@@ -114,6 +147,13 @@ impl BuildOptions {
     #[must_use]
     pub fn with_passes(mut self, passes: PipelineConfig) -> BuildOptions {
         self.passes = passes;
+        self
+    }
+
+    /// Enables function merging under `config`.
+    #[must_use]
+    pub fn with_merge(mut self, config: MergeConfig) -> BuildOptions {
+        self.merge = Some(config);
         self
     }
 }
@@ -156,6 +196,9 @@ pub struct BuildStats {
     /// Optimization-pass counters aggregated over all methods (merged in
     /// method-index order, so identical for every thread count).
     pub passes: PassStats,
+    /// Time in the function-merge pass (bucketing + grouping +
+    /// thunk/island materialization, or plan replay when warm).
+    pub merge_time: Duration,
     /// Time in LTBO (suffix trees + outlining + patching).
     pub ltbo_time: Duration,
     /// Time in LTBO's detection core alone: group-plan cache probes
@@ -167,6 +210,8 @@ pub struct BuildStats {
     pub link_time: Duration,
     /// LTBO statistics (zeroed when LTBO is off).
     pub ltbo: LtboStats,
+    /// Function-merge statistics (zeroed when the merge pass is off).
+    pub merge: MergeStats,
     /// Methods compiled.
     pub methods: usize,
     /// Methods replayed from the artifact cache instead of compiled
@@ -183,7 +228,7 @@ impl BuildStats {
     /// Total wall-clock build time.
     #[must_use]
     pub fn total_time(&self) -> Duration {
-        self.compile_time + self.ltbo_time + self.link_time
+        self.compile_time + self.merge_time + self.ltbo_time + self.link_time
     }
 
     /// Serializes the stats as a self-contained JSON object (hand
@@ -198,6 +243,7 @@ impl BuildStats {
             .collect();
         let p = &self.passes;
         let l = &self.ltbo;
+        let m = &self.merge;
         let c = &self.cache;
         format!(
             concat!(
@@ -205,7 +251,7 @@ impl BuildStats {
                 r#""methods":{},"methods_from_cache":{},"words_before_ltbo":{},"#,
                 r#""compile_threads":{},"#,
                 r#""times_us":{{"verify":{},"keys":{},"graphs":{},"inline":{},"codegen":{},"#,
-                r#""compile":{},"ltbo":{},"detect":{},"link":{},"total":{}}},"#,
+                r#""compile":{},"merge":{},"ltbo":{},"detect":{},"link":{},"total":{}}},"#,
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
                 r#""cache":{{"hits":{},"misses":{},"stores":{},"evictions":{},"#,
                 r#""disk_hits":{},"disk_stores":{},"promotions":{},"#,
@@ -215,14 +261,21 @@ impl BuildStats {
                 r#""group_promotions":{},"#,
                 r#""group_peer_hits":{},"group_peer_misses":{},"group_peer_errors":{},"#,
                 r#""group_evict_cost_us":{},"#,
-                r#""lock_contention":{},"group_lock_contention":{}}},"#,
+                r#""merge_hits":{},"merge_misses":{},"merge_stores":{},"#,
+                r#""merge_evictions":{},"merge_disk_hits":{},"merge_disk_stores":{},"#,
+                r#""merge_promotions":{},"merge_evict_cost_us":{},"#,
+                r#""lock_contention":{},"group_lock_contention":{},"#,
+                r#""merge_lock_contention":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
                 r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
                 r#""ltbo":{{"candidate_methods":{},"excluded_methods":{},"#,
                 r#""hot_restricted_methods":{},"outlined_functions":{},"#,
                 r#""occurrences_replaced":{},"words_saved":{},"pc_rel_patched":{},"#,
-                r#""stack_maps_updated":{},"detection_groups":{}}}"#,
+                r#""stack_maps_updated":{},"detection_groups":{}}},"#,
+                r#""merge":{{"candidate_methods":{},"excluded_methods":{},"#,
+                r#""merge_groups":{},"merged_methods":{},"words_saved":{},"#,
+                r#""outline_preferred":{}}}"#,
                 "}}",
             ),
             self.methods,
@@ -235,6 +288,7 @@ impl BuildStats {
             us(self.inline_time),
             us(self.codegen_time),
             us(self.compile_time),
+            us(self.merge_time),
             us(self.ltbo_time),
             us(self.detect_time),
             us(self.link_time),
@@ -263,8 +317,17 @@ impl BuildStats {
             c.group_peer_misses,
             c.group_peer_errors,
             c.group_evict_cost_us,
+            c.merge_hits,
+            c.merge_misses,
+            c.merge_stores,
+            c.merge_evictions,
+            c.merge_disk_hits,
+            c.merge_disk_stores,
+            c.merge_promotions,
+            c.merge_evict_cost_us,
             c.lock_contention,
             c.group_lock_contention,
+            c.merge_lock_contention,
             p.folded,
             p.copies_propagated,
             p.cse_hits,
@@ -284,6 +347,12 @@ impl BuildStats {
             l.pc_rel_patched,
             l.stack_maps_updated,
             l.detection_groups,
+            m.candidate_methods,
+            m.excluded_methods,
+            m.merge_groups,
+            m.merged_methods,
+            m.words_saved,
+            m.outline_preferred,
         )
     }
 }
@@ -412,5 +481,9 @@ mod tests {
         );
         assert!(json.contains(r#""passes":{"folded":0"#));
         assert!(json.contains(r#""ltbo":{"candidate_methods":0"#));
+        assert!(json.contains(r#""merge":{"candidate_methods":0"#));
+        assert!(json.contains(r#""merge_hits":0"#));
+        assert!(json.contains(r#""merge_lock_contention":0"#));
+        assert!(json.contains(r#""compile":0,"merge":0,"ltbo":0"#));
     }
 }

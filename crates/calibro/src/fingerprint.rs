@@ -23,6 +23,7 @@ use calibro_suffix::TaggedSequence;
 
 use crate::driver::BuildOptions;
 use crate::ltbo::{LtboConfig, LtboMode};
+use crate::merge::MergeConfig;
 
 thread_local! {
     /// The reusable per-worker serialization buffer: every method (and
@@ -39,6 +40,7 @@ pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
     let BuildOptions {
         cto,
         ltbo,
+        merge,
         min_seq_len,
         hot_methods,
         base_address,
@@ -54,6 +56,13 @@ pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
         Some(mode) => {
             h.write_tag(1);
             fingerprint_ltbo_mode(mode, h);
+        }
+    }
+    match merge {
+        None => h.write_tag(0),
+        Some(config) => {
+            h.write_tag(1);
+            fingerprint_merge_config(config, h);
         }
     }
     h.write_usize(*min_seq_len);
@@ -131,6 +140,16 @@ pub fn fingerprint_ltbo_config(config: &LtboConfig, h: &mut StableHasher) {
     }
 }
 
+/// Feeds a [`MergeConfig`] into `h` — the merge pass's contribution to
+/// [`fingerprint_options`] and the prefix of every merge-plan key.
+pub fn fingerprint_merge_config(config: &MergeConfig, h: &mut StableHasher) {
+    let MergeConfig { min_body_words, max_params, arbitrate } = config;
+    h.write_tag(0x4D); // 'M'
+    h.write_usize(*min_body_words);
+    h.write_usize(*max_params);
+    h.write_bool(*arbitrate);
+}
+
 /// The configuration fingerprint shared by every method key of a build:
 /// schema salt plus the full [`BuildOptions`].
 #[must_use]
@@ -168,6 +187,29 @@ pub fn group_plan_key_from(config: &LtboConfig, members: &[CacheKey]) -> CacheKe
     h.write_str(SCHEMA_VERSION);
     h.write_tag(0x47); // 'G'
     fingerprint_ltbo_config(config, &mut h);
+    h.write_usize(members.len());
+    for k in members {
+        h.write_u64(k.hi);
+        h.write_u64(k.lo);
+    }
+    h.finish()
+}
+
+/// The content address of one shape bucket's cached
+/// [`MergePlanEntry`](calibro_cache::MergePlanEntry), composed exactly
+/// like [`group_plan_key_from`]: schema salt, the full [`MergeConfig`],
+/// the member count, then each member's
+/// [`merge_content_key`](crate::merge_content_key) in bucket order.
+///
+/// Any change to a member body, the bucket's membership or order, or a
+/// merge knob moves the key — so a replayed plan can only ever be
+/// probed against the bucket it was computed from.
+#[must_use]
+pub fn merge_plan_key_from(config: &MergeConfig, members: &[CacheKey]) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_str(SCHEMA_VERSION);
+    h.write_tag(0x58); // 'X'
+    fingerprint_merge_config(config, &mut h);
     h.write_usize(members.len());
     for k in members {
         h.write_u64(k.hi);

@@ -1,0 +1,749 @@
+//! The function-merge size pass — the second size backend next to LTBO.
+//!
+//! Android apps carry families of near-identical compiled methods
+//! (generated accessors, clone-and-tweak handlers) whose bodies differ
+//! only in a couple of immediate constants. Outlining cannot collapse
+//! them completely: the differing constants break every repeat at the
+//! `mov`-immediate sites. Function merging can: the pass
+//!
+//! 1. buckets candidate bodies by a *structural hash* that ignores
+//!    `movz`/`movn` immediates (§ the shape of the code, not its
+//!    constants);
+//! 2. forms groups of bodies that are word-identical except at up to
+//!    [`MergeConfig::max_params`] mov-immediate positions;
+//! 3. lets the paper's Figure 2 benefit model arbitrate merge-vs-outline
+//!    per group (a group whose repeats outlining would compress better
+//!    is left for LTBO); and
+//! 4. folds each surviving group into one shared *island* — the
+//!    representative body with each differing position rewritten to read
+//!    a parameter register — and replaces every member with a *thunk*
+//!    that materializes its distinguishing constants into `x16`/`x17`
+//!    (the AArch64 intra-procedure-call scratch registers) and
+//!    tail-branches to the island with a plain `b`.
+//!
+//! Correctness is inherited: an island is the representative body
+//! executed with the same machine state the original member entry had —
+//! the thunk only writes `x16`/`x17`, which no candidate body touches —
+//! so whatever made the member correct makes the island correct,
+//! including its `ret`, which consumes the caller's untouched return
+//! address.
+//!
+//! Like LTBO's group plans, merge decisions are cached: one
+//! [`MergePlanEntry`] per shape bucket, keyed by the full
+//! [`MergeConfig`] fingerprint plus every member body's content hash
+//! ([`merge_plan_key_from`]), so a warm build replays the same merges
+//! without re-running the pairwise grouping scan.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use calibro_cache::{ArtifactStore, CacheKey, MergePlanEntry, MergePlanGroup, StableHasher};
+use calibro_codegen::{CallTarget, CompiledMethod, MethodMetadata, Reloc, ThunkKind};
+use calibro_isa::{Insn, Reg};
+use calibro_oat::MergedBody;
+use calibro_suffix::benefit;
+
+use crate::driver::BuildError;
+use crate::fingerprint::merge_plan_key_from;
+
+/// Parameter registers a thunk may materialize constants into, in
+/// parameter order. `x16`/`x17` are the AArch64 intra-procedure-call
+/// scratch registers — a branch sequence (which a thunk is) may clobber
+/// them, and candidate bodies that touch them are excluded.
+pub(crate) const PARAM_REGS: [Reg; 2] = [Reg::X16, Reg::X17];
+
+/// Function-merge configuration — the knobs of the second size backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeConfig {
+    /// Minimum body length (instruction words) for a method to be a
+    /// merge candidate. Tiny bodies cannot amortize a thunk.
+    pub min_body_words: usize,
+    /// Maximum differing mov-immediate positions per group. Each costs
+    /// one parameter register; at most [`PARAM_REGS`] (two) are
+    /// available, and larger values are clamped.
+    pub max_params: usize,
+    /// Let the Figure 2 benefit model arbitrate merge-vs-outline per
+    /// group: merge only when the merge saving beats the estimated
+    /// outlining saving over the same bodies. Merge-only builds (no
+    /// LTBO pass downstream to pick up dropped groups) should disable
+    /// this — [`BuildOptions::cto_merge`](crate::BuildOptions::cto_merge)
+    /// does.
+    pub arbitrate: bool,
+}
+
+impl Default for MergeConfig {
+    fn default() -> MergeConfig {
+        MergeConfig { min_body_words: 4, max_params: 2, arbitrate: true }
+    }
+}
+
+/// Statistics reported by the merge pass.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Methods eligible for merging.
+    pub candidate_methods: usize,
+    /// Methods excluded (indirect jumps, literal pools, short bodies,
+    /// PC-dependent addressing, parameter-register use, hot filtering).
+    pub excluded_methods: usize,
+    /// Merge groups applied (one island each).
+    pub merge_groups: usize,
+    /// Methods replaced by thunks (members of applied groups).
+    pub merged_methods: usize,
+    /// Net instruction words saved: original member bodies minus
+    /// (thunks + islands).
+    pub words_saved: i64,
+    /// Groups dropped because the benefit model preferred outlining.
+    /// Counted only when a bucket's plan is freshly arbitrated — a
+    /// replayed plan stores surviving groups alone, so warm builds
+    /// report zero here (the cache counters say a replay happened).
+    pub outline_preferred: usize,
+}
+
+/// The merge pass's output: islands for the linker plus statistics and
+/// the indices of every method that became a thunk.
+pub(crate) struct MergeOutcome {
+    /// Island bodies, in `CallTarget::Merged` index order (offset by the
+    /// `base_island` the pass ran with).
+    pub islands: Vec<MergedBody>,
+    /// Run statistics.
+    pub stats: MergeStats,
+    /// Method indices replaced by thunks — the caller must mark these
+    /// excluded from any downstream outlining prepass.
+    pub thunked: Vec<usize>,
+}
+
+/// The content hash of one merge candidate's body: encoded instruction
+/// words plus call relocations — exactly the inputs group formation
+/// compares. The Merkle leaf of [`merge_plan_key_from`]: any change to
+/// any member's body or call structure moves its bucket's plan key.
+#[must_use]
+pub fn merge_content_key(m: &CompiledMethod) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_tag(0x6D); // 'm'
+    h.write_usize(m.insns.len());
+    for insn in &m.insns {
+        h.write_u32(insn.encode().unwrap_or(u32::MAX));
+    }
+    h.write_usize(m.pool.len());
+    for &w in &m.pool {
+        h.write_u32(w);
+    }
+    hash_relocs(&m.relocs, &mut h);
+    h.finish()
+}
+
+fn hash_relocs(relocs: &[Reloc], h: &mut StableHasher) {
+    h.write_usize(relocs.len());
+    for r in relocs {
+        h.write_usize(r.at);
+        match r.target {
+            CallTarget::Method(id) => {
+                h.write_tag(0);
+                h.write_u32(id.0);
+            }
+            CallTarget::Thunk(kind) => {
+                h.write_tag(1);
+                match kind {
+                    ThunkKind::JavaEntry => h.write_tag(0),
+                    ThunkKind::RuntimeEntry(off) => {
+                        h.write_tag(1);
+                        h.write_u32(off.into());
+                    }
+                    ThunkKind::StackCheck => h.write_tag(2),
+                }
+            }
+            CallTarget::Outlined(i) => {
+                h.write_tag(2);
+                h.write_u32(i);
+            }
+            CallTarget::Merged(i) => {
+                h.write_tag(3);
+                h.write_u32(i);
+            }
+        }
+    }
+}
+
+/// The structural hash bodies are bucketed by: every instruction's
+/// encoded word except `movz`/`movn`, which contribute only their
+/// variant, width and destination — the immediate (the merge's
+/// parameter) is dropped, so clones differing in constants collide.
+fn shape_hash(m: &CompiledMethod) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_tag(0x53); // 'S'
+    h.write_usize(m.insns.len());
+    for insn in &m.insns {
+        match *insn {
+            Insn::Movz { wide, rd, .. } => {
+                h.write_tag(1);
+                h.write_bool(wide);
+                h.write_u32(u32::from(rd.index()));
+            }
+            Insn::Movn { wide, rd, .. } => {
+                h.write_tag(2);
+                h.write_bool(wide);
+                h.write_u32(u32::from(rd.index()));
+            }
+            _ => {
+                h.write_tag(0);
+                h.write_u32(insn.encode().unwrap_or(u32::MAX));
+            }
+        }
+    }
+    hash_relocs(&m.relocs, &mut h);
+    let k = h.finish();
+    k.hi ^ k.lo
+}
+
+/// Returns `true` if the instruction reads or writes a parameter
+/// register. `dest_reg`/`source_regs` cover most variants; pair
+/// loads/stores enumerate their fields explicitly because `dest_reg`
+/// reports a single destination.
+fn touches_param_reg(insn: &Insn) -> bool {
+    let p = |r: Reg| PARAM_REGS.contains(&r);
+    if insn.dest_reg().is_some_and(p) {
+        return true;
+    }
+    if insn.source_regs().into_iter().any(p) {
+        return true;
+    }
+    match *insn {
+        Insn::Ldp { rt, rt2, rn, .. } | Insn::Stp { rt, rt2, rn, .. } => p(rt) || p(rt2) || p(rn),
+        _ => false,
+    }
+}
+
+/// §3.3.1-style candidate choice for merging. A body qualifies only
+/// when relocating it wholesale into an island cannot change its
+/// behavior: no indirect jumps or native stubs, no literal pool or
+/// embedded data, no PC-dependent address computation (`adr`/`adrp`/
+/// `ldr` literal), no parameter-register use, and a trailing `ret` so
+/// the island returns where the original method returned. Hot methods
+/// are excluded — a thunk indirection on a hot entry is the exact cost
+/// HfOpti exists to avoid.
+fn eligible(m: &CompiledMethod, config: &MergeConfig, hot: Option<&HashSet<u32>>) -> bool {
+    if m.metadata.has_indirect_jump || m.metadata.is_native_stub {
+        return false;
+    }
+    if !m.pool.is_empty() || !m.metadata.embedded_data.is_empty() {
+        return false;
+    }
+    if m.insns.len() < config.min_body_words.max(1) {
+        return false;
+    }
+    if hot.is_some_and(|set| set.contains(&m.method.0)) {
+        return false;
+    }
+    if !matches!(m.insns.last(), Some(Insn::Ret { .. })) {
+        return false;
+    }
+    m.insns.iter().all(|insn| {
+        !matches!(insn, Insn::Adr { .. } | Insn::Adrp { .. } | Insn::LdrLit { .. })
+            && !touches_param_reg(insn)
+    })
+}
+
+/// Returns `true` when two differing instructions at one position may
+/// become a merge parameter: both fully-defining mov-immediates of the
+/// same variant, width and destination (only the constant differs).
+/// `movk` is never a parameter — it read-modify-writes its destination.
+fn diff_compatible(a: &Insn, b: &Insn) -> bool {
+    match (*a, *b) {
+        (Insn::Movz { wide: wa, rd: ra, .. }, Insn::Movz { wide: wb, rd: rb, .. })
+        | (Insn::Movn { wide: wa, rd: ra, .. }, Insn::Movn { wide: wb, rd: rb, .. }) => {
+            wa == wb && ra == rb
+        }
+        _ => false,
+    }
+}
+
+/// The merge saving of a group: `k` bodies of `w` words collapse to one
+/// `w`-word island plus `k` thunks of `p + 1` words (`p` parameter movs
+/// and the tail branch).
+fn merge_saving(w: usize, k: usize, p: usize) -> i64 {
+    (k as i64 - 1) * w as i64 - k as i64 * (p as i64 + 1)
+}
+
+/// Estimates what LTBO could save on the same `count` bodies instead:
+/// the body splits into maximal runs at every merge parameter, call
+/// site, terminator and the trailing `ret` (all separator-forced in
+/// §3.3.2), and each profitable run contributes the Figure 2 saving.
+fn outline_estimate(body: &CompiledMethod, diffs: &[u32], count: usize) -> i64 {
+    let w = body.insns.len();
+    let mut cut = vec![false; w];
+    if w > 0 {
+        cut[w - 1] = true;
+    }
+    for &d in diffs {
+        cut[d as usize] = true;
+    }
+    for r in &body.relocs {
+        if r.at < w {
+            cut[r.at] = true;
+        }
+    }
+    for &t in &body.metadata.terminators {
+        if t < w {
+            cut[t] = true;
+        }
+    }
+    let mut total = 0i64;
+    let mut run = 0usize;
+    for &is_cut in &cut {
+        if is_cut {
+            if benefit::is_profitable(run, count) {
+                total += benefit::saving(run, count);
+            }
+            run = 0;
+        } else {
+            run += 1;
+        }
+    }
+    if benefit::is_profitable(run, count) {
+        total += benefit::saving(run, count);
+    }
+    total
+}
+
+/// Computes one shape bucket's merge plan from scratch: greedy group
+/// formation in member order, then benefit arbitration. Returns the
+/// surviving groups (bucket-local indices) plus the count of groups the
+/// benefit model handed to outlining instead.
+fn plan_bucket(bodies: &[&CompiledMethod], config: &MergeConfig) -> (Vec<MergePlanGroup>, usize) {
+    let max_params = config.max_params.min(PARAM_REGS.len());
+    let mut assigned = vec![false; bodies.len()];
+    let mut groups = Vec::new();
+    let mut outline_preferred = 0;
+    for rep in 0..bodies.len() {
+        if assigned[rep] {
+            continue;
+        }
+        let rep_body = bodies[rep];
+        let mut members = vec![rep as u32];
+        let mut diffs: Vec<u32> = Vec::new();
+        for cand in rep + 1..bodies.len() {
+            if assigned[cand] {
+                continue;
+            }
+            let cand_body = bodies[cand];
+            if cand_body.insns.len() != rep_body.insns.len() || cand_body.relocs != rep_body.relocs
+            {
+                continue;
+            }
+            let mut cand_diffs: Vec<u32> = Vec::new();
+            let mut compatible = true;
+            for (i, (a, b)) in rep_body.insns.iter().zip(&cand_body.insns).enumerate() {
+                if a == b {
+                    continue;
+                }
+                if diff_compatible(a, b) {
+                    cand_diffs.push(i as u32);
+                } else {
+                    compatible = false;
+                    break;
+                }
+            }
+            if !compatible {
+                continue;
+            }
+            let union = merge_sorted(&diffs, &cand_diffs);
+            if union.len() > max_params {
+                continue;
+            }
+            diffs = union;
+            members.push(cand as u32);
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        let saving = merge_saving(rep_body.insns.len(), members.len(), diffs.len());
+        if saving <= 0 {
+            continue;
+        }
+        if config.arbitrate && outline_estimate(rep_body, &diffs, members.len()) >= saving {
+            outline_preferred += 1;
+            continue;
+        }
+        for &m in &members {
+            assigned[m as usize] = true;
+        }
+        groups.push(MergePlanGroup { rep: rep as u32, members, diff_positions: diffs });
+    }
+    (groups, outline_preferred)
+}
+
+/// Union of two sorted, duplicate-free position lists.
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                out.push(x);
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Verifies a cached plan against the bucket's *current* bodies before
+/// replaying it: every structural fact group formation would have
+/// established is re-checked in O(members × words), so a replayed merge
+/// is provably identical to a freshly computed one even under a content
+/// hash collision. A `false` falls back to recomputation.
+fn plan_is_applicable(bodies: &[&CompiledMethod], entry: &MergePlanEntry) -> bool {
+    if entry.member_count as usize != bodies.len() {
+        return false;
+    }
+    let mut seen = vec![false; bodies.len()];
+    for group in &entry.groups {
+        if group.members.len() < 2 || !group.members.contains(&group.rep) {
+            return false;
+        }
+        let Some(&rep_body) = bodies.get(group.rep as usize) else { return false };
+        if group.diff_positions.iter().any(|&d| d as usize >= rep_body.insns.len()) {
+            return false;
+        }
+        for &m in &group.members {
+            let Some(&body) = bodies.get(m as usize) else { return false };
+            if seen[m as usize] {
+                return false;
+            }
+            seen[m as usize] = true;
+            if body.insns.len() != rep_body.insns.len() || body.relocs != rep_body.relocs {
+                return false;
+            }
+            for (i, (a, b)) in rep_body.insns.iter().zip(&body.insns).enumerate() {
+                let is_diff = group.diff_positions.contains(&(i as u32));
+                if is_diff {
+                    // Parameter positions must be mov-immediates even
+                    // when this member happens to equal the rep there
+                    // (`diff_compatible(a, a)` covers the equal case).
+                    if !diff_compatible(a, b) {
+                        return false;
+                    }
+                } else if a != b {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Builds one group's island: the representative body with each
+/// parameter position rewritten to copy its value from the parameter
+/// register (`orr rd, zr, xN` — a register `mov` of the original width).
+fn make_island(rep: &CompiledMethod, diffs: &[u32]) -> MergedBody {
+    let mut insns = rep.insns.clone();
+    for (j, &d) in diffs.iter().enumerate() {
+        let (wide, rd) = match insns[d as usize] {
+            Insn::Movz { wide, rd, .. } | Insn::Movn { wide, rd, .. } => (wide, rd),
+            ref other => unreachable!("merge parameter at non-mov instruction {other:?}"),
+        };
+        insns[d as usize] = Insn::OrrReg { wide, rd, rn: Reg::ZR, rm: PARAM_REGS[j], shift: 0 };
+    }
+    MergedBody { insns, relocs: rep.relocs.clone() }
+}
+
+/// Builds one member's thunk: its distinguishing mov-immediates
+/// retargeted to the parameter registers, then a plain `b` to the
+/// island (patched by the linker through the `Merged` relocation).
+fn make_thunk(member: &CompiledMethod, diffs: &[u32], island: u32) -> (Vec<Insn>, Vec<Reloc>) {
+    let mut insns = Vec::with_capacity(diffs.len() + 1);
+    for (j, &d) in diffs.iter().enumerate() {
+        let insn = match member.insns[d as usize] {
+            Insn::Movz { wide, imm16, hw, .. } => Insn::Movz { wide, rd: PARAM_REGS[j], imm16, hw },
+            Insn::Movn { wide, imm16, hw, .. } => Insn::Movn { wide, rd: PARAM_REGS[j], imm16, hw },
+            ref other => unreachable!("merge parameter at non-mov instruction {other:?}"),
+        };
+        insns.push(insn);
+    }
+    let at = insns.len();
+    insns.push(Insn::B { offset: 0 });
+    (insns, vec![Reloc { at, target: CallTarget::Merged(island) }])
+}
+
+/// Runs the function-merge pass over the compiled methods, mutating
+/// merged members into thunks in place and returning the islands for
+/// the linker. Island ids start at `base_island` (the number of islands
+/// an earlier pass already emitted).
+///
+/// Deterministic by construction: candidates are scanned in method
+/// order, buckets form in first-seen order, group formation is greedy
+/// in member order, and the whole pass runs on the calling thread — its
+/// cost is a single linear scan plus pairwise comparison inside (rare)
+/// same-shape buckets, far below a compile fan-out's.
+///
+/// # Errors
+///
+/// [`BuildError::Cache`] when a persisted merge plan exists but is
+/// corrupt or unreadable.
+pub(crate) fn run_merge(
+    methods: &mut [CompiledMethod],
+    config: &MergeConfig,
+    hot: Option<&HashSet<u32>>,
+    store: Option<&ArtifactStore>,
+    base_island: u32,
+) -> Result<MergeOutcome, BuildError> {
+    let mut stats = MergeStats::default();
+
+    // --- Choose candidates and bucket by shape, in method order. --------
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    let mut by_shape: HashMap<u64, usize> = HashMap::new();
+    for (idx, m) in methods.iter().enumerate() {
+        if !eligible(m, config, hot) {
+            stats.excluded_methods += 1;
+            continue;
+        }
+        stats.candidate_methods += 1;
+        let slot = *by_shape.entry(shape_hash(m)).or_insert_with(|| {
+            buckets.push(Vec::new());
+            buckets.len() - 1
+        });
+        buckets[slot].push(idx);
+    }
+
+    // --- Plan each bucket: replay a cached plan or compute afresh. ------
+    let mut planned: Vec<(Vec<usize>, Vec<MergePlanGroup>)> = Vec::new();
+    for bucket in buckets {
+        if bucket.len() < 2 {
+            continue;
+        }
+        let bodies: Vec<&CompiledMethod> = bucket.iter().map(|&i| &methods[i]).collect();
+        let groups = match store {
+            Some(store) => {
+                let members: Vec<CacheKey> = bodies.iter().map(|m| merge_content_key(m)).collect();
+                let key = merge_plan_key_from(config, &members);
+                match store.get_merge_plan(key).map_err(BuildError::Cache)? {
+                    Some(entry) if plan_is_applicable(&bodies, &entry) => entry.groups.clone(),
+                    hit => {
+                        let plan_start = Instant::now();
+                        let (groups, preferred) = plan_bucket(&bodies, config);
+                        stats.outline_preferred += preferred;
+                        // An inapplicable hit means the key is already
+                        // taken (keep-first store) — don't re-insert.
+                        if hit.is_none() {
+                            let cost_us =
+                                u64::try_from(plan_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            store.insert_merge_plan_with_cost(
+                                key,
+                                MergePlanEntry {
+                                    member_count: bucket.len() as u32,
+                                    groups: groups.clone(),
+                                },
+                                cost_us,
+                            );
+                        }
+                        groups
+                    }
+                }
+            }
+            None => {
+                let (groups, preferred) = plan_bucket(&bodies, config);
+                stats.outline_preferred += preferred;
+                groups
+            }
+        };
+        if !groups.is_empty() {
+            planned.push((bucket, groups));
+        }
+    }
+
+    // --- Materialize islands and thunks. --------------------------------
+    let mut islands = Vec::new();
+    let mut thunked = Vec::new();
+    for (bucket, groups) in planned {
+        for group in groups {
+            let island_id = base_island + islands.len() as u32;
+            let diffs = &group.diff_positions;
+            let rep_global = bucket[group.rep as usize];
+            let body_words = methods[rep_global].insns.len();
+            islands.push(make_island(&methods[rep_global], diffs));
+            for &m in &group.members {
+                let global = bucket[m as usize];
+                let (insns, relocs) = make_thunk(&methods[global], diffs, island_id);
+                let method = &mut methods[global];
+                method.insns = insns;
+                method.relocs = relocs;
+                // Conservatively mark the thunk unoutlinable: outlining
+                // its movs behind a `bl` would clobber the return
+                // address the island's `ret` consumes.
+                method.metadata =
+                    MethodMetadata { has_indirect_jump: true, ..MethodMetadata::default() };
+                method.stack_maps = Vec::new();
+                thunked.push(global);
+                stats.merged_methods += 1;
+            }
+            stats.merge_groups += 1;
+            stats.words_saved += merge_saving(body_words, group.members.len(), diffs.len());
+        }
+    }
+    thunked.sort_unstable();
+    Ok(MergeOutcome { islands, stats, thunked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_dex::MethodId;
+
+    fn mov_z(rd: Reg, imm16: u16) -> Insn {
+        Insn::Movz { wide: true, rd, imm16, hw: 0 }
+    }
+
+    fn add(rd: Reg, rn: Reg, rm: Reg) -> Insn {
+        Insn::AddReg { wide: true, set_flags: false, rd, rn, rm, shift: 0 }
+    }
+
+    /// A straight-line candidate body: load a constant, combine, return.
+    fn clone_body(id: u32, imm: u16) -> CompiledMethod {
+        CompiledMethod {
+            method: MethodId(id),
+            insns: vec![
+                mov_z(Reg::X1, imm),
+                add(Reg::X0, Reg::X0, Reg::X1),
+                add(Reg::X0, Reg::X0, Reg::X0),
+                add(Reg::X2, Reg::X0, Reg::X1),
+                add(Reg::X0, Reg::X2, Reg::X0),
+                Insn::Ret { rn: Reg::LR },
+            ],
+            pool: vec![],
+            relocs: vec![],
+            metadata: MethodMetadata::default(),
+            stack_maps: vec![],
+        }
+    }
+
+    #[test]
+    fn clones_differing_in_one_constant_merge() {
+        let mut methods = vec![clone_body(0, 10), clone_body(1, 11), clone_body(2, 12)];
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let outcome = run_merge(&mut methods, &config, None, None, 0).unwrap();
+        assert_eq!(outcome.islands.len(), 1);
+        assert_eq!(outcome.stats.merge_groups, 1);
+        assert_eq!(outcome.stats.merged_methods, 3);
+        assert_eq!(outcome.thunked, vec![0, 1, 2]);
+        // k=3 bodies of w=6 words, p=1 parameter: 2*6 - 3*2 = 6 saved.
+        assert_eq!(outcome.stats.words_saved, 6);
+        // Every member became a two-word thunk: mov x16, #imm; b island.
+        for (i, m) in methods.iter().enumerate() {
+            assert_eq!(m.insns.len(), 2, "member {i}");
+            assert!(matches!(m.insns[0], Insn::Movz { rd: Reg::X16, .. }));
+            assert!(matches!(m.insns[1], Insn::B { .. }));
+            assert_eq!(m.relocs, vec![Reloc { at: 1, target: CallTarget::Merged(0) }]);
+            assert!(m.metadata.has_indirect_jump);
+        }
+        // The island reads the parameter register where the constant was.
+        assert!(matches!(
+            outcome.islands[0].insns[0],
+            Insn::OrrReg { rd: Reg::X1, rm: Reg::X16, .. }
+        ));
+    }
+
+    #[test]
+    fn structurally_different_bodies_do_not_merge() {
+        let mut other = clone_body(1, 10);
+        other.insns[3] = add(Reg::X3, Reg::X0, Reg::X1); // different dest
+        let mut methods = vec![clone_body(0, 10), other];
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let outcome = run_merge(&mut methods, &config, None, None, 0).unwrap();
+        assert!(outcome.islands.is_empty());
+        assert_eq!(outcome.stats.merged_methods, 0);
+    }
+
+    #[test]
+    fn param_register_use_excludes_a_body() {
+        let mut tainted = clone_body(0, 10);
+        tainted.insns[1] = add(Reg::X0, Reg::X0, Reg::X16);
+        let mut methods = vec![tainted, clone_body(1, 11), clone_body(2, 12)];
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let outcome = run_merge(&mut methods, &config, None, None, 0).unwrap();
+        assert_eq!(outcome.stats.excluded_methods, 1);
+        // The two clean clones still merge.
+        assert_eq!(outcome.stats.merged_methods, 2);
+        assert!(matches!(methods[0].insns[1], Insn::AddReg { .. }), "tainted body untouched");
+    }
+
+    #[test]
+    fn hot_methods_are_excluded() {
+        let mut methods = vec![clone_body(0, 10), clone_body(1, 11)];
+        let hot: HashSet<u32> = [0].into_iter().collect();
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let outcome = run_merge(&mut methods, &config, Some(&hot), None, 0).unwrap();
+        assert_eq!(outcome.stats.excluded_methods, 1);
+        assert_eq!(outcome.stats.merged_methods, 0, "one survivor cannot form a group");
+    }
+
+    #[test]
+    fn plans_replay_from_the_store_identically() {
+        let store = ArtifactStore::new(calibro_cache::CacheConfig::default());
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let mut cold = vec![clone_body(0, 10), clone_body(1, 11), clone_body(2, 12)];
+        let cold_out = run_merge(&mut cold, &config, None, Some(&store), 0).unwrap();
+        assert_eq!(store.stats().merge_misses, 1);
+        assert_eq!(store.stats().merge_stores, 1);
+        let mut warm = vec![clone_body(0, 10), clone_body(1, 11), clone_body(2, 12)];
+        let warm_out = run_merge(&mut warm, &config, None, Some(&store), 0).unwrap();
+        assert_eq!(store.stats().merge_hits, 1);
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.insns, w.insns);
+            assert_eq!(c.relocs, w.relocs);
+        }
+        for (c, w) in cold_out.islands.iter().zip(&warm_out.islands) {
+            assert_eq!(c.insns, w.insns);
+            assert_eq!(c.relocs, w.relocs);
+        }
+        assert_eq!(cold_out.stats.merge_groups, warm_out.stats.merge_groups);
+        assert_eq!(cold_out.stats.words_saved, warm_out.stats.words_saved);
+    }
+
+    #[test]
+    fn max_params_bounds_group_formation() {
+        // Three constants differ — more than the two parameter registers.
+        let triple = |id: u32, a: u16, b: u16, c: u16| CompiledMethod {
+            method: MethodId(id),
+            insns: vec![
+                mov_z(Reg::X1, a),
+                mov_z(Reg::X2, b),
+                mov_z(Reg::X3, c),
+                add(Reg::X0, Reg::X1, Reg::X2),
+                add(Reg::X0, Reg::X0, Reg::X3),
+                Insn::Ret { rn: Reg::LR },
+            ],
+            pool: vec![],
+            relocs: vec![],
+            metadata: MethodMetadata::default(),
+            stack_maps: vec![],
+        };
+        let mut methods = vec![triple(0, 1, 2, 3), triple(1, 4, 5, 6)];
+        let config = MergeConfig { arbitrate: false, ..MergeConfig::default() };
+        let outcome = run_merge(&mut methods, &config, None, None, 0).unwrap();
+        assert_eq!(outcome.stats.merged_methods, 0);
+        // With only one constant differing, the same shape merges.
+        let mut methods = vec![triple(0, 1, 2, 3), triple(1, 1, 2, 6)];
+        let outcome = run_merge(&mut methods, &config, None, None, 0).unwrap();
+        assert_eq!(outcome.stats.merged_methods, 2);
+        assert_eq!(outcome.islands[0].insns.len(), 6);
+    }
+}

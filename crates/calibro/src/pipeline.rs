@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! Frontend  --FrontendArtifact-->  Codegen  --CodegenArtifact-->
-//!     Outline  --LtboArtifact-->  Link  -->  OatFile
+//!     Size passes  --SizeArtifact-->  Link  -->  OatFile
 //! ```
 //!
 //! * **Frontend** verifies the dex, computes per-method cache keys,
@@ -11,8 +11,11 @@
 //!   that missed (plus whole-program inlining when enabled);
 //! * **Codegen** runs the pass pipeline and code generation for every
 //!   miss — populating the store — and replays every hit;
-//! * **Outline** runs LTBO over the compiled methods, replaying cached
-//!   symbolization templates;
+//! * **Size passes** run the composable
+//!   [`SizePass`](crate::sizepass::SizePass) pipeline (the function
+//!   merger, then LTBO — see [`sizepass`](crate::sizepass)) over the
+//!   compiled methods, replaying cached symbolization templates and
+//!   per-pass plan lanes;
 //! * **Link** binds labels and encodes the final text segment.
 //!
 //! A [`BuildSession`] owns the store and threads it through the stages,
@@ -42,23 +45,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use calibro_cache::{
-    ArtifactStore, CacheConfig, CacheEntry, CacheKey, StableHasher, SymbolTemplate,
-};
+use calibro_cache::{ArtifactStore, CacheConfig, CacheEntry, CacheKey, StableHasher};
 use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
 use calibro_dex::DexFile;
 use calibro_hgraph::{
     build_hgraph, run_inlining, run_pipeline_with, HGraph, InlineConfig, PassStats,
 };
-use calibro_isa::Insn;
 use calibro_oat::{LinkInput, OatFile};
 
 use crate::driver::{BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt, reference_env};
-use crate::ltbo::{
-    build_template, prepare_hit_symbols, run_ltbo_prepared, LtboConfig, LtboStats, MethodSymbols,
-    OutlineError,
-};
+use crate::ltbo::{build_template, prepare_hit_symbols, LtboConfig, MethodSymbols};
+use crate::sizepass::{hash_compiled, size_passes, PassContext, SizeArtifact};
 
 /// A build context holding the content-addressed artifact store across
 /// builds. One-shot callers use [`build`](crate::build); incremental
@@ -188,14 +186,16 @@ impl BuildSession {
         stats.methods = codegen.outcomes.len();
         stats.methods_from_cache = codegen.outcomes.iter().filter(|o| o.cache_hit).count();
 
-        let outlined = self.outline_with(&ltbo_config, codegen, prepared)?;
-        stats.words_before_ltbo = outlined.words_before;
-        stats.ltbo = outlined.ltbo;
-        stats.ltbo_time = outlined.ltbo_time;
-        stats.detect_time = outlined.detect_time;
+        let size = self.size_stage(options, codegen, prepared)?;
+        stats.words_before_ltbo = size.words_before;
+        stats.merge = size.merge;
+        stats.merge_time = size.merge_time;
+        stats.ltbo = size.ltbo;
+        stats.ltbo_time = size.ltbo_time;
+        stats.detect_time = size.detect_time;
 
         let link_start = Instant::now();
-        let oat = self.link(options, outlined)?;
+        let oat = self.link(options, size)?;
         stats.link_time = link_start.elapsed();
         stats.cache = self.store.stats().since(&base);
         Ok(BuildOutput { oat, stats })
@@ -309,7 +309,12 @@ impl BuildSession {
         frontend: FrontendArtifact,
     ) -> Result<CodegenArtifact, BuildError> {
         let threads = options.compile_threads.max(1);
-        let collect_metadata = options.ltbo.is_some() || options.force_metadata;
+        // Both size passes consume method metadata: LTBO for separator
+        // placement, merge for eligibility (indirect jumps, embedded
+        // data, terminators). A merge-only build without metadata would
+        // admit bodies whose hazards were simply never recorded.
+        let collect_metadata =
+            options.ltbo.is_some() || options.merge.is_some() || options.force_metadata;
         let codegen_opts = CodegenOptions { cto: options.cto, collect_metadata };
         let want_template = options.ltbo.is_some();
         let inputs = dex.methods();
@@ -360,42 +365,39 @@ impl BuildSession {
         Ok(CodegenArtifact { outcomes, passes, codegen_time, per_worker })
     }
 
-    /// Stage 3 — **Outline**: runs LTBO over the compiled methods
-    /// (mutating them in place), replaying each candidate's cached
-    /// symbolization template, and — through the session's store —
-    /// replaying each *group's* cached outline plan, so only groups
-    /// whose content changed re-run suffix-tree detection. A no-op
-    /// pass-through when [`BuildOptions::ltbo`] is `None`.
+    /// Stage 3 — **Size passes**: runs the composable
+    /// [`SizePass`](crate::sizepass::SizePass) pipeline the options ask
+    /// for (merge, then LTBO) over the compiled methods, mutating them
+    /// in place. Each pass replays its cache lane through the session's
+    /// store — symbolization templates and group plans for outlining,
+    /// bucket plans for merging — so only content that changed is
+    /// re-analyzed. A no-op pass-through when both
+    /// [`BuildOptions::merge`] and [`BuildOptions::ltbo`] are `None`.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::OutlineWorker`] when one group's detection
     /// or materialization panics, and [`BuildError::Cache`] when a
-    /// persisted group plan is corrupt.
+    /// persisted plan is corrupt.
     pub fn outline(
         &self,
         options: &BuildOptions,
         codegen: CodegenArtifact,
-    ) -> Result<LtboArtifact, BuildError> {
-        let config = options.ltbo.map(|mode| LtboConfig {
-            mode,
-            min_len: options.min_seq_len,
-            hot_methods: options.hot_methods.clone(),
-        });
-        self.outline_with(&config, codegen, Vec::new())
+    ) -> Result<SizeArtifact, BuildError> {
+        self.size_stage(options, codegen, Vec::new())
     }
 
-    /// [`outline`](Self::outline) taking a pre-built [`LtboConfig`] and
-    /// pre-symbolized hit methods (from the warm-path overlap in
-    /// [`build`](Self::build)). `prepared` slots that are `None` — and
-    /// everything past a short vector's end — are symbolized inside the
-    /// outline stage as on a cold build.
-    fn outline_with(
+    /// [`outline`](Self::outline) taking pre-symbolized hit methods
+    /// (from the warm-path overlap in [`build`](Self::build)).
+    /// `prepared` slots that are `None` — and everything past a short
+    /// vector's end — are symbolized inside the outline pass as on a
+    /// cold build.
+    fn size_stage(
         &self,
-        config: &Option<LtboConfig>,
+        options: &BuildOptions,
         codegen: CodegenArtifact,
         prepared: Vec<Option<MethodSymbols>>,
-    ) -> Result<LtboArtifact, BuildError> {
+    ) -> Result<SizeArtifact, BuildError> {
         let CodegenArtifact { outcomes, .. } = codegen;
         let mut methods = Vec::with_capacity(outcomes.len());
         let mut entries = Vec::with_capacity(outcomes.len());
@@ -403,30 +405,17 @@ impl BuildSession {
             methods.push(o.compiled);
             entries.push(o.entry);
         }
-        let words_before = methods.iter().map(CompiledMethod::size_words).sum();
-
-        let mut outlined = Vec::new();
-        let mut ltbo = LtboStats::default();
-        let mut ltbo_time = Duration::default();
-        let mut detect_time = Duration::default();
-        if let Some(config) = config {
-            let start = Instant::now();
-            let templates: Vec<Option<&SymbolTemplate>> =
-                entries.iter().map(|e| e.template.as_ref()).collect();
-            let result =
-                run_ltbo_prepared(&mut methods, config, &templates, Some(&self.store), prepared)
-                    .map_err(|e| match e {
-                        OutlineError::Worker { group, message } => {
-                            BuildError::OutlineWorker { group, message }
-                        }
-                        OutlineError::Cache(e) => BuildError::Cache(e),
-                    })?;
-            outlined = result.outlined;
-            ltbo = result.stats;
-            detect_time = result.detect_time;
-            ltbo_time = start.elapsed();
+        let mut artifact = SizeArtifact::new(methods);
+        let mut ctx = PassContext {
+            store: Some(&self.store),
+            entries,
+            prepared,
+            hot_methods: options.hot_methods.as_ref(),
+        };
+        for pass in size_passes(options) {
+            pass.run(&mut artifact, &mut ctx)?;
         }
-        Ok(LtboArtifact { methods, outlined, ltbo, ltbo_time, detect_time, words_before })
+        Ok(artifact)
     }
 
     /// Stage 4 — **Link**: binds call labels to addresses and encodes
@@ -436,9 +425,13 @@ impl BuildSession {
     ///
     /// Returns [`BuildError::Link`] when the linker rejects the input
     /// (e.g. an unencodable branch or a dangling call target).
-    pub fn link(&self, options: &BuildOptions, ltbo: LtboArtifact) -> Result<OatFile, BuildError> {
-        let LtboArtifact { methods, outlined, .. } = ltbo;
-        calibro_oat::link(LinkInput { methods, outlined }, options.base_address)
+    pub fn link(
+        &self,
+        options: &BuildOptions,
+        artifact: SizeArtifact,
+    ) -> Result<OatFile, BuildError> {
+        let SizeArtifact { methods, outlined, merged, .. } = artifact;
+        calibro_oat::link(LinkInput { methods, outlined, merged }, options.base_address)
             .map_err(BuildError::Link)
     }
 }
@@ -527,59 +520,6 @@ impl CodegenArtifact {
             hash_compiled(&o.compiled, &mut h);
         }
         h.finish()
-    }
-}
-
-/// The outline stage's output: post-LTBO methods and the outlined
-/// function bodies, ready to link.
-pub struct LtboArtifact {
-    /// The (possibly rewritten) methods, in method-index order.
-    pub methods: Vec<CompiledMethod>,
-    /// Outlined function bodies, in `CallTarget::Outlined` index order.
-    pub outlined: Vec<Vec<Insn>>,
-    /// LTBO statistics (zeroed when LTBO is off).
-    pub ltbo: LtboStats,
-    /// Wall time of the stage.
-    pub ltbo_time: Duration,
-    /// Wall time of the detection core within the stage: cache-key
-    /// probes plus suffix-tree detection / plan replay (excludes
-    /// symbolization and edit application).
-    pub detect_time: Duration,
-    /// Total instruction words before outlining.
-    pub words_before: usize,
-}
-
-impl LtboArtifact {
-    /// A digest of the post-LTBO methods and outlined bodies.
-    #[must_use]
-    pub fn digest(&self) -> CacheKey {
-        let mut h = StableHasher::new();
-        h.write_usize(self.methods.len());
-        for m in &self.methods {
-            hash_compiled(m, &mut h);
-        }
-        h.write_usize(self.outlined.len());
-        for body in &self.outlined {
-            h.write_usize(body.len());
-            for insn in body {
-                h.write_u32(insn.encode().unwrap_or(u32::MAX));
-            }
-        }
-        h.finish()
-    }
-}
-
-fn hash_compiled(m: &CompiledMethod, h: &mut StableHasher) {
-    h.write_u32(m.method.0);
-    h.write_usize(m.insns.len());
-    for insn in &m.insns {
-        // Unbound `bl` placeholders encode as 0 offsets; anything truly
-        // unencodable is caught by the linker, not the digest.
-        h.write_u32(insn.encode().unwrap_or(u32::MAX));
-    }
-    h.write_usize(m.pool.len());
-    for &w in &m.pool {
-        h.write_u32(w);
     }
 }
 

@@ -16,8 +16,8 @@ use std::collections::HashSet;
 
 use calibro::{
     build, method_cache_key, options_fingerprint, program_salt, reference_env, ArtifactStore,
-    BuildError, BuildOptions, BuildSession, CacheConfig, CacheEntry, LtboMode, PipelineConfig,
-    StableHasher,
+    BuildError, BuildOptions, BuildSession, CacheConfig, CacheEntry, LtboMode, MergeConfig,
+    PipelineConfig, StableHasher,
 };
 use calibro_cache::hash_method;
 use calibro_workloads::{generate, mutate_methods, AppSpec};
@@ -30,6 +30,7 @@ fn single_field_variants() -> Vec<(&'static str, BuildOptions)> {
     let BuildOptions {
         cto: _,
         ltbo: _,
+        merge: _,
         min_seq_len: _,
         hot_methods: _,
         base_address: _,
@@ -56,6 +57,19 @@ fn single_field_variants() -> Vec<(&'static str, BuildOptions)> {
         (
             "ltbo_parallel",
             BuildOptions { ltbo: Some(LtboMode::Parallel { groups: 4, threads: 2 }), ..base() },
+        ),
+        ("merge", BuildOptions { merge: Some(MergeConfig::default()), ..base() }),
+        (
+            "merge_min_body_words",
+            base().with_merge(MergeConfig { min_body_words: 8, ..MergeConfig::default() }),
+        ),
+        (
+            "merge_max_params",
+            base().with_merge(MergeConfig { max_params: 1, ..MergeConfig::default() }),
+        ),
+        (
+            "merge_arbitrate",
+            base().with_merge(MergeConfig { arbitrate: false, ..MergeConfig::default() }),
         ),
         ("min_seq_len", BuildOptions { min_seq_len: 3, ..base() }),
         ("hot_methods", BuildOptions { hot_methods: Some(hot), ..base() }),
@@ -141,6 +155,8 @@ fn warm_configs() -> Vec<(&'static str, BuildOptions)> {
         ("cto_ltbo", BuildOptions::cto_ltbo()),
         ("cto_ltbo_pl", BuildOptions::cto_ltbo_parallel(8, 4)),
         ("cto_ltbo_hf", BuildOptions::cto_ltbo().with_hot_filter(hot)),
+        ("cto_merge", BuildOptions::cto_merge()),
+        ("cto_merge_ltbo", BuildOptions::cto_merge_ltbo()),
     ]
 }
 
@@ -200,6 +216,18 @@ fn warm_rebuild_is_bit_identical_and_recompiles_only_the_delta() {
                 );
             } else {
                 assert_eq!(g.group_hits + g.group_misses, 0, "{name}/{threads}: baseline probed");
+            }
+            // Merge lane: only merge arms may probe it, and materialized
+            // merges must replay identically (words_saved is derived
+            // from the groups actually applied, plan or no plan).
+            if options.merge.is_some() {
+                assert_eq!(
+                    warm.stats.merge.merged_methods, fresh.stats.merge.merged_methods,
+                    "{name}/{threads}: merge replay drift"
+                );
+                assert_eq!(warm.stats.merge.words_saved, fresh.stats.merge.words_saved);
+            } else {
+                assert_eq!(g.merge_hits + g.merge_misses, 0, "{name}/{threads}: merge probed");
             }
         }
     }

@@ -1,0 +1,88 @@
+//! Determinism contract for the function-merge backend (the second
+//! size pass): merged output must be byte-identical
+//!
+//! 1. across 1 and 8 compile threads (merge runs sequentially after the
+//!    parallel compile phase, but its input order must not depend on
+//!    the compile schedule), and
+//! 2. cold vs warm — a warm rebuild replays the cached merge plan
+//!    (`merge_hits` > 0, zero recomputation) and still serializes to
+//!    the same ELF bytes.
+//!
+//! The workload uses `clone_families` so the merge pass demonstrably
+//! fires: a run that merged nothing would pass byte-equality vacuously.
+
+use calibro::{build, BuildOptions, BuildSession};
+use calibro_workloads::{generate, AppSpec};
+
+fn clone_heavy_spec(name: &str, seed: u64) -> AppSpec {
+    AppSpec { clone_families: 6, ..AppSpec::small(name, seed) }
+}
+
+fn merge_arms() -> Vec<(&'static str, BuildOptions)> {
+    vec![
+        ("cto_merge", BuildOptions::cto_merge()),
+        ("cto_merge_ltbo", BuildOptions::cto_merge_ltbo()),
+    ]
+}
+
+#[test]
+fn merge_fires_on_clone_families_and_is_thread_count_invariant() {
+    let app = generate(&clone_heavy_spec("merge-det", 101));
+    for (name, options) in merge_arms() {
+        let one = build(&app.dex, &options.clone().with_compile_threads(1))
+            .unwrap_or_else(|e| panic!("{name}/t1: {e}"));
+        let eight = build(&app.dex, &options.with_compile_threads(8))
+            .unwrap_or_else(|e| panic!("{name}/t8: {e}"));
+        assert!(
+            one.stats.merge.merged_methods >= 2,
+            "{name}: clone families must actually merge, stats: {:?}",
+            one.stats.merge
+        );
+        assert!(one.stats.merge.words_saved > 0, "{name}: merging must save words");
+        assert_eq!(
+            calibro_oat::to_elf_bytes(&one.oat),
+            calibro_oat::to_elf_bytes(&eight.oat),
+            "{name}: merged output differs between 1 and 8 compile threads"
+        );
+        assert_eq!(one.stats.merge, eight.stats.merge, "{name}: merge stats drift");
+    }
+}
+
+#[test]
+fn warm_merge_replays_the_plan_byte_identically() {
+    let app = generate(&clone_heavy_spec("merge-warm", 202));
+    for (name, options) in merge_arms() {
+        let session = BuildSession::new();
+        let cold = session.build(&app.dex, &options).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(cold.stats.cache.merge_misses > 0, "{name}: cold build must populate the lane");
+        assert!(cold.stats.cache.merge_stores > 0, "{name}: cold build must store plans");
+        assert!(cold.stats.merge.merged_methods >= 2, "{name}: nothing merged");
+
+        let warm = session.build(&app.dex, &options).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(warm.stats.cache.merge_misses, 0, "{name}: identical rebuild re-detected");
+        assert!(warm.stats.cache.merge_hits > 0, "{name}: plan not replayed");
+        assert_eq!(
+            calibro_oat::to_elf_bytes(&cold.oat),
+            calibro_oat::to_elf_bytes(&warm.oat),
+            "{name}: plan replay changed the output bytes"
+        );
+        assert_eq!(warm.stats.merge.merged_methods, cold.stats.merge.merged_methods);
+        assert_eq!(warm.stats.merge.words_saved, cold.stats.merge.words_saved);
+    }
+}
+
+#[test]
+fn merge_is_byte_neutral_for_non_merge_arms() {
+    // The pass refactor must not perturb the existing arms: a build
+    // with merge off goes through the same SizePass pipeline and must
+    // match a direct build exactly (this also guards pass ordering —
+    // outline-only output is independent of the merge code existing).
+    let app = generate(&clone_heavy_spec("merge-off", 303));
+    for options in [BuildOptions::baseline(), BuildOptions::cto(), BuildOptions::cto_ltbo()] {
+        let a = build(&app.dex, &options).unwrap();
+        let b = build(&app.dex, &options).unwrap();
+        assert_eq!(calibro_oat::to_elf_bytes(&a.oat), calibro_oat::to_elf_bytes(&b.oat));
+        assert_eq!(a.stats.merge.merged_methods, 0);
+        assert_eq!(a.stats.cache.merge_hits + a.stats.cache.merge_misses, 0);
+    }
+}
