@@ -24,6 +24,10 @@ fn main() {
         run_fleet(&args[1..]);
         return;
     }
+    if which == "drift" {
+        run_drift(&args[1..]);
+        return;
+    }
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE);
 
     eprintln!("generating the six-app suite (scale {scale}) ...");
@@ -262,6 +266,67 @@ fn run_fleet(args: &[String]) {
     println!(
         "shard A served {:>4} peer gets   routed programs {:>3} ({} warm on repeat)",
         report.peer_gets_served, report.routed_programs, report.routed_warm
+    );
+}
+
+/// `experiments drift [--socket PATH | --addr HOST:PORT] [--workers N]`
+/// — the profile-feedback re-optimization arm (see `bench::drift`):
+/// phase shift, drift-triggered refresh, no-serving-gap and
+/// byte-determinism checks, written to `BENCH_drift.json`.
+fn run_drift(args: &[String]) {
+    let mut config = bench::DriftConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("experiments drift: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--socket" => {
+                config.endpoint =
+                    Some(bench::Endpoint::Unix(std::path::PathBuf::from(value("--socket"))));
+            }
+            "--addr" => config.endpoint = Some(bench::Endpoint::Tcp(value("--addr").clone())),
+            "--workers" => config.workers = parse_flag(value("--workers"), "--workers"),
+            other => {
+                eprintln!("experiments drift: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header("calibrod profile feedback: drift-triggered re-optimization");
+    let report = bench::drift_feedback(&config);
+    let json_path = "BENCH_drift.json";
+    match std::fs::write(json_path, report.to_json()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    println!(
+        "generations {} -> {}   uploads to refresh {:>2}   drift {:.1}% -> {:.1}%",
+        report.gen1,
+        report.gen2,
+        report.uploads_to_refresh,
+        report.drift_ppm_at_refresh as f64 / 10_000.0,
+        report.drift_ppm_after as f64 / 10_000.0
+    );
+    println!(
+        "during refresh: {:>3} fetches answered, {} serving-gap errors",
+        report.fetches_during_refresh, report.serving_gap_errors
+    );
+    println!(
+        "byte-stable: gen1 {}   gen2 {}   elf {} -> {} bytes (hot set {})",
+        report.gen1_byte_stable,
+        report.gen2_byte_stable,
+        report.elf_len_gen1,
+        report.elf_len_gen2,
+        report.hot_set_size
+    );
+    println!(
+        "phase-B cycles: stale {:>10}   fresh {:>10}   recovered {}",
+        report.phase_b_cycles_stale, report.phase_b_cycles_fresh, report.perf_recovered
     );
 }
 

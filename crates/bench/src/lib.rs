@@ -7,10 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod drift;
 pub mod experiments;
 pub mod fleet;
 pub mod serve;
 
+pub use drift::{drift_feedback, DriftConfig, DriftReport};
 pub use experiments::*;
 pub use fleet::{fleet_load, FleetLoadConfig, FleetReport};
 pub use serve::{serve_load, serve_one_slow, Endpoint, ServeLoadConfig, ServeReport};

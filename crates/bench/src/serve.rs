@@ -23,7 +23,7 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    fn connect(&self) -> Client {
+    pub(crate) fn connect(&self) -> Client {
         match self {
             #[cfg(unix)]
             Endpoint::Unix(path) => Client::connect_unix(path).expect("connect unix"),

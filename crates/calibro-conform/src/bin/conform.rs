@@ -26,6 +26,15 @@
 //!     both shards and (b) that the peer-served artifact passes the
 //!     differential oracle against the interpreter baseline. Exit 0 on
 //!     zero divergences.
+//!
+//! conform --drift [--seeds N]
+//!     Profile-feedback smoke: for every program, register it as a
+//!     calibrod tenant, upload a skewed profile until a re-optimization
+//!     flips the serving generation, and demand (a) byte identity
+//!     within each generation across repeated fetches and (b) that
+//!     both the pre-flip and the post-flip (hot-set-restricted)
+//!     artifacts pass the differential oracle against the interpreter
+//!     baseline. Exit 0 on zero divergences.
 //! ```
 
 use std::process::ExitCode;
@@ -66,6 +75,7 @@ fn main() -> ExitCode {
             "--shrink" => mode = Mode::ShrinkOne,
             "--mutate" => mode = Mode::Mutate,
             "--fleet" => mode = Mode::Fleet,
+            "--drift" => mode = Mode::Drift,
             "--help" | "-h" => {
                 usage();
             }
@@ -80,6 +90,7 @@ fn main() -> ExitCode {
         Mode::ShrinkOne => shrink_one(&positional),
         Mode::Mutate => mutate(seeds.min(8), seed_base),
         Mode::Fleet => fleet(if seeds == 50 { 10 } else { seeds }),
+        Mode::Drift => drift(if seeds == 50 { 6 } else { seeds }),
     }
 }
 
@@ -88,6 +99,7 @@ enum Mode {
     ShrinkOne,
     Mutate,
     Fleet,
+    Drift,
 }
 
 fn usage() -> ! {
@@ -95,7 +107,8 @@ fn usage() -> ! {
         "usage: conform [--seeds N] [--generator NAME] [--no-shrink] [--warm]\n\
          \x20      conform --shrink GENERATOR SEED VARIANT-LABEL\n\
          \x20      conform --mutate [--seeds N] [--seed S]\n\
-         \x20      conform --fleet [--seeds N]"
+         \x20      conform --fleet [--seeds N]\n\
+         \x20      conform --drift [--seeds N]"
     );
     std::process::exit(2);
 }
@@ -375,5 +388,182 @@ fn fleet(seeds: usize) -> ExitCode {
 #[cfg(not(unix))]
 fn fleet(_seeds: usize) -> ExitCode {
     eprintln!("conform --fleet requires unix sockets on this platform");
+    ExitCode::SUCCESS
+}
+
+/// Drift-smoke mode: every program becomes a calibrod tenant whose
+/// profile shifts until a background re-optimization flips the serving
+/// generation. Byte identity is demanded within each generation, and
+/// both generations' artifacts must pass the differential oracle —
+/// the hot-set-restricted rebuild must be a pure size/speed trade, not
+/// a semantic change.
+#[cfg(unix)]
+#[allow(clippy::too_many_lines)]
+fn drift(seeds: usize) -> ExitCode {
+    use std::time::{Duration, Instant};
+
+    use calibro_server::{Daemon, Listener, ServerConfig};
+
+    let socket = std::env::temp_dir().join(format!("calibrod-drift-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let daemon = Daemon::start(
+        Listener::unix(&socket).expect("bind conform drift socket"),
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("start conform drift daemon");
+    let mut client = calibro_server::Client::connect_unix(&socket).expect("connect");
+
+    let variant = find_variant("ltbo-global/all/t1").expect("known matrix row");
+    let generators = all_generators();
+    let mut programs = 0usize;
+    let mut flips = 0usize;
+    let outcome = 'sweep: {
+        for seed in 0..seeds as u64 {
+            for g in &generators {
+                let program = Program::from_app(g.name(), seed, g.generate(seed));
+                programs += 1;
+                let tenant = format!("{}-{seed}", g.name());
+                let baseline = match run_baseline(&program) {
+                    Ok(b) => b,
+                    Err(d) => break 'sweep Some((program, "baseline".to_owned(), d)),
+                };
+                let label = format!("drift/{}", variant.label);
+                // Generation 1: unrestricted tenant build.
+                let gen1 =
+                    match client.build_for_tenant(&tenant, &program.dex, &variant.options, None) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let d = calibro_conform::Divergence::BuildFailed {
+                                label: label.clone(),
+                                error: format!("tenant build failed: {e}"),
+                            };
+                            break 'sweep Some((program, label, d));
+                        }
+                    };
+                if let Err(d) = check_elf(&program, &baseline, &label, &gen1.elf) {
+                    break 'sweep Some((program, label, d));
+                }
+                // A skewed profile: every third method carries all the
+                // weight. Against the unrestricted serving generation
+                // (empty hot set) the drift is the full hot fraction,
+                // so the first upload schedules the refresh.
+                let mut profile_text = String::new();
+                for (i, _) in program.dex.methods().iter().enumerate().step_by(3) {
+                    profile_text.push_str(&format!("{i} 1000000\n"));
+                }
+                match client.upload_profile(&tenant, &profile_text) {
+                    Ok(reply) if reply.refresh_scheduled => {}
+                    Ok(reply) => {
+                        let d = calibro_conform::Divergence::BuildFailed {
+                            label: label.clone(),
+                            error: format!("skewed upload did not schedule a refresh: {reply:?}"),
+                        };
+                        break 'sweep Some((program, label, d));
+                    }
+                    Err(e) => {
+                        let d = calibro_conform::Divergence::BuildFailed {
+                            label: label.clone(),
+                            error: format!("profile upload failed: {e}"),
+                        };
+                        break 'sweep Some((program, label, d));
+                    }
+                }
+                // Fetch continuously until the flip: every reply must
+                // be byte-identical within its generation.
+                let deadline = Instant::now() + Duration::from_secs(120);
+                let gen2 = loop {
+                    if Instant::now() > deadline {
+                        let d = calibro_conform::Divergence::BuildFailed {
+                            label: label.clone(),
+                            error: "refresh never flipped the serving generation".to_owned(),
+                        };
+                        break 'sweep Some((program, label, d));
+                    }
+                    match client.build_for_tenant(&tenant, &program.dex, &variant.options, None) {
+                        Ok(r) if r.generation == gen1.generation => {
+                            if r.elf != gen1.elf {
+                                let d = calibro_conform::Divergence::WarmMismatch {
+                                    label: label.clone(),
+                                    detail: "generation 1 bytes changed between fetches".to_owned(),
+                                };
+                                break 'sweep Some((program, label, d));
+                            }
+                        }
+                        Ok(r) => break r,
+                        Err(e) => {
+                            let d = calibro_conform::Divergence::BuildFailed {
+                                label: label.clone(),
+                                error: format!("serving gap during refresh: {e}"),
+                            };
+                            break 'sweep Some((program, label, d));
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                };
+                flips += 1;
+                // The post-flip artifact: byte-stable and oracle-clean.
+                let refetch =
+                    match client.build_for_tenant(&tenant, &program.dex, &variant.options, None) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            let d = calibro_conform::Divergence::BuildFailed {
+                                label: label.clone(),
+                                error: format!("post-flip fetch failed: {e}"),
+                            };
+                            break 'sweep Some((program, label, d));
+                        }
+                    };
+                if refetch.generation != gen2.generation || refetch.elf != gen2.elf {
+                    let d = calibro_conform::Divergence::WarmMismatch {
+                        label: label.clone(),
+                        detail: format!(
+                            "generation {} bytes changed between fetches",
+                            gen2.generation
+                        ),
+                    };
+                    break 'sweep Some((program, label, d));
+                }
+                if let Err(d) = check_elf(&program, &baseline, &label, &gen2.elf) {
+                    break 'sweep Some((program, label, d));
+                }
+            }
+        }
+        None
+    };
+
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&socket);
+    if let Some((program, label, d)) = outcome {
+        // Daemon-side divergences are not shrinkable through the local
+        // build path, so report without shrinking.
+        return report(&program, &label, &d, false);
+    }
+    println!(
+        "conform --drift: {programs} tenants, {flips} generation flips, byte-stable within \
+         every generation, zero divergences"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Loads `elf` and runs the full differential oracle against the
+/// interpreter baseline.
+#[cfg(unix)]
+fn check_elf(
+    program: &Program,
+    baseline: &calibro_conform::BaselineRun,
+    label: &str,
+    elf: &[u8],
+) -> Result<(), calibro_conform::Divergence> {
+    let oat =
+        calibro_oat::from_elf_bytes(elf).map_err(|e| calibro_conform::Divergence::Structure {
+            label: label.to_owned(),
+            error: format!("served ELF failed to load: {e:?}"),
+        })?;
+    calibro_conform::check_oat(program, baseline, label, &oat)
+}
+
+#[cfg(not(unix))]
+fn drift(_seeds: usize) -> ExitCode {
+    eprintln!("conform --drift requires unix sockets on this platform");
     ExitCode::SUCCESS
 }

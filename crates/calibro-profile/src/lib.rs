@@ -6,10 +6,19 @@
 //! total execution time"), and a plain-text profile format so profiles
 //! can be written by a profiling run and read back by the next build —
 //! exactly the feedback loop of Figure 6.
+//!
+//! On top of the one-shot [`Profile`], [`DecayedProfile`] models the
+//! continuous variant of that loop: a server-side accumulator that
+//! absorbs a stream of uploads, exponentially decays stale attribution,
+//! and reports how far the currently *serving* hot set has drifted from
+//! the hot set a fresh selection would pick. All arithmetic is integer
+//! (u128 fixed point) and decay advances on upload count, not wall
+//! clock, so two replicas fed the same uploads in the same order agree
+//! bit-for-bit — the property the daemon's generation flip relies on.
 
 #![warn(missing_docs)]
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as _;
 
 use calibro_dex::MethodId;
@@ -18,17 +27,56 @@ use calibro_runtime::Runtime;
 /// A per-method execution-time profile.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
-    /// `(method, cycles)` pairs; unsorted on collection.
+    /// `(method, cycles)` pairs; unsorted on collection, and possibly
+    /// containing duplicate method ids (merged by every consumer).
     pub samples: Vec<(MethodId, u64)>,
 }
 
-/// An invalid request against a [`Profile`].
+/// An invalid request against a [`Profile`], or a malformed profile
+/// text. Parse variants carry the 1-based line number and the offending
+/// line so a daemon rejecting an upload can say exactly which line of
+/// which client's profile was bad.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ProfileError {
     /// The hot-set fraction was NaN or outside `0.0..=1.0`.
     InvalidFraction {
         /// The rejected value, kept for the error message.
         fraction: f64,
+    },
+    /// A decay rate was not a proper fraction (`num < den`, `den > 0`).
+    InvalidDecay {
+        /// Rejected numerator.
+        num: u64,
+        /// Rejected denominator.
+        den: u64,
+    },
+    /// A line had a method id but no cycle count.
+    MissingCycles {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// The offending line, trimmed.
+        text: String,
+    },
+    /// The first field of a line did not parse as a u32 method id.
+    BadMethodId {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// The offending line, trimmed.
+        text: String,
+    },
+    /// The second field of a line did not parse as a u64 cycle count.
+    BadCycles {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// The offending line, trimmed.
+        text: String,
+    },
+    /// A line carried more than the two `method cycles` fields.
+    TrailingFields {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// The offending line, trimmed.
+        text: String,
     },
 }
 
@@ -38,11 +86,91 @@ impl std::fmt::Display for ProfileError {
             ProfileError::InvalidFraction { fraction } => {
                 write!(f, "hot-set fraction must be within 0.0..=1.0, got {fraction}")
             }
+            ProfileError::InvalidDecay { num, den } => {
+                write!(f, "decay rate must satisfy 0 < num < den, got {num}/{den}")
+            }
+            ProfileError::MissingCycles { line, text } => {
+                write!(f, "line {line}: missing cycle count in {text:?}")
+            }
+            ProfileError::BadMethodId { line, text } => {
+                write!(f, "line {line}: bad method id in {text:?}")
+            }
+            ProfileError::BadCycles { line, text } => {
+                write!(f, "line {line}: bad cycle count in {text:?}")
+            }
+            ProfileError::TrailingFields { line, text } => {
+                write!(f, "line {line}: trailing fields in {text:?}")
+            }
         }
     }
 }
 
 impl std::error::Error for ProfileError {}
+
+/// Exact dyadic decomposition of a finite `fraction` in `[0.0, 1.0]`:
+/// returns `(m, s)` with `fraction == m / 2^s` exactly. Every finite
+/// f64 is such a dyadic rational, so hot-set thresholds can be computed
+/// in pure integer arithmetic with no rounding at any magnitude.
+fn dyadic(fraction: f64) -> (u64, u32) {
+    let bits = fraction.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    if exp == 0 {
+        // Subnormal (or zero): value = mantissa * 2^-1074.
+        (mantissa, 1074)
+    } else {
+        // Normal: value = (2^52 + mantissa) * 2^(exp - 1075).
+        // fraction <= 1.0 means exp <= 1023, so the shift is >= 52.
+        (mantissa | (1 << 52), (1075 - exp) as u32)
+    }
+}
+
+/// `ceil(total * m / 2^s)` without overflow: shift-then-remainder
+/// rather than add-then-shift, and a saturating product (a saturated
+/// threshold only ever makes the hot set *larger*, which is the safe
+/// direction for a restriction filter).
+fn threshold_for(total: u128, fraction: f64) -> u128 {
+    let (m, s) = dyadic(fraction);
+    let prod = total.saturating_mul(u128::from(m));
+    if s >= 128 {
+        u128::from(prod != 0)
+    } else {
+        (prod >> s) + u128::from(prod & ((1u128 << s) - 1) != 0)
+    }
+}
+
+/// Shared hot-set selection over already-merged `(method, weight)`
+/// rows: smallest prefix by descending weight (ties to the lower id)
+/// whose cumulative weight reaches `ceil(total * fraction)`, computed
+/// exactly in u128 — `(total as f64 * fraction).ceil()` loses integer
+/// resolution above 2^53 and under-selects the tail.
+fn hot_set_from_weights(
+    merged: &BTreeMap<u32, u128>,
+    fraction: f64,
+) -> Result<HashSet<u32>, ProfileError> {
+    // NaN fails `contains` too, but test it explicitly so the intent
+    // survives a refactor to open-ended comparisons.
+    if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
+        return Err(ProfileError::InvalidFraction { fraction });
+    }
+    if merged.is_empty() {
+        return Ok(HashSet::new());
+    }
+    let total: u128 = merged.values().fold(0u128, |acc, &w| acc.saturating_add(w));
+    let threshold = threshold_for(total, fraction);
+    let mut sorted: Vec<(u32, u128)> = merged.iter().map(|(&m, &w)| (m, w)).collect();
+    sorted.sort_by_key(|&(m, w)| (std::cmp::Reverse(w), m));
+    let mut hot = HashSet::new();
+    let mut acc = 0u128;
+    for (method, weight) in sorted {
+        if acc >= threshold {
+            break;
+        }
+        acc = acc.saturating_add(weight);
+        hot.insert(method);
+    }
+    Ok(hot)
+}
 
 impl Profile {
     /// Captures a profile from a runtime's attribution counters.
@@ -59,15 +187,33 @@ impl Profile {
         Profile { samples }
     }
 
-    /// Total cycles across all methods.
+    /// Samples folded per method id (duplicates saturating-summed).
+    fn merged(&self) -> BTreeMap<u32, u128> {
+        let mut merged: BTreeMap<u32, u128> = BTreeMap::new();
+        for &(m, c) in &self.samples {
+            let w = merged.entry(m.0).or_insert(0);
+            *w = w.saturating_add(u128::from(c));
+        }
+        merged
+    }
+
+    /// Total cycles across all methods, counting each method once even
+    /// if its samples are duplicated; saturates at `u64::MAX`.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.samples.iter().map(|&(_, c)| c).sum()
+        let total: u128 = self.merged().values().fold(0u128, |acc, &w| acc.saturating_add(w));
+        u64::try_from(total).unwrap_or(u64::MAX)
     }
 
     /// Selects the hot set: the smallest prefix of methods (by
     /// descending cycle count) whose cumulative share reaches
     /// `fraction` of total cycles — the paper uses 0.8.
+    ///
+    /// Duplicate samples for one method are merged before selection, so
+    /// the result is invariant under sample order and duplication. The
+    /// threshold is `ceil(total * fraction)` computed exactly in u128
+    /// from the dyadic value of `fraction`, correct even when totals
+    /// exceed 2^53 (where the old f64 path silently dropped low bits).
     ///
     /// An empty profile yields an empty hot set for any valid fraction:
     /// with no samples there is nothing to restrict outlining to.
@@ -78,65 +224,179 @@ impl Profile {
     /// or outside `0.0..=1.0` — profiles are often read from disk, so a
     /// malformed fraction from a config file must not abort the build.
     pub fn hot_set(&self, fraction: f64) -> Result<HashSet<u32>, ProfileError> {
-        // NaN fails `contains` too, but test it explicitly so the intent
-        // survives a refactor to open-ended comparisons.
-        if fraction.is_nan() || !(0.0..=1.0).contains(&fraction) {
-            return Err(ProfileError::InvalidFraction { fraction });
-        }
-        if self.samples.is_empty() {
-            return Ok(HashSet::new());
-        }
-        let total = self.total_cycles();
-        let mut sorted = self.samples.clone();
-        sorted.sort_by_key(|&(m, c)| (std::cmp::Reverse(c), m));
-        let mut hot = HashSet::new();
-        let mut acc = 0u64;
-        let threshold = (total as f64 * fraction).ceil() as u64;
-        for (method, cycles) in sorted {
-            if acc >= threshold {
-                break;
-            }
-            acc += cycles;
-            hot.insert(method.0);
-        }
-        Ok(hot)
+        hot_set_from_weights(&self.merged(), fraction)
     }
 
-    /// Serializes to the on-disk text format (`method_id cycles` lines).
+    /// Serializes to the on-disk text format (`method_id cycles` lines,
+    /// one line per method, duplicates merged, sorted by id).
     #[must_use]
     pub fn to_text(&self) -> String {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by_key(|&(m, _)| m);
         let mut out = String::from("# calibro profile v1\n");
-        for (method, cycles) in sorted {
-            let _ = writeln!(out, "{} {}", method.0, cycles);
+        for (method, weight) in self.merged() {
+            let cycles = u64::try_from(weight).unwrap_or(u64::MAX);
+            let _ = writeln!(out, "{method} {cycles}");
         }
         out
     }
 
-    /// Parses the on-disk text format.
+    /// Parses the on-disk text format. Duplicate method-id lines are
+    /// merged by saturating sum — a device-side profiler that flushes
+    /// incrementally may legitimately emit the same method twice, and
+    /// double-counting it would skew the hot-set threshold.
     ///
     /// # Errors
     ///
-    /// Returns a static message describing the first malformed line.
-    pub fn from_text(text: &str) -> Result<Profile, &'static str> {
-        let mut samples = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
+    /// Returns a [`ProfileError`] parse variant carrying the 1-based
+    /// line number and the offending line text.
+    pub fn from_text(text: &str) -> Result<Profile, ProfileError> {
+        let mut merged: BTreeMap<u32, u64> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let method: u32 =
-                parts.next().ok_or("missing method id")?.parse().map_err(|_| "bad method id")?;
-            let cycles: u64 =
-                parts.next().ok_or("missing cycle count")?.parse().map_err(|_| "bad cycles")?;
+            let err_text = || trimmed.to_string();
+            let mut parts = trimmed.split_whitespace();
+            let method: u32 = parts
+                .next()
+                .expect("non-empty trimmed line has a first field")
+                .parse()
+                .map_err(|_| ProfileError::BadMethodId { line, text: err_text() })?;
+            let cycles: u64 = parts
+                .next()
+                .ok_or_else(|| ProfileError::MissingCycles { line, text: err_text() })?
+                .parse()
+                .map_err(|_| ProfileError::BadCycles { line, text: err_text() })?;
             if parts.next().is_some() {
-                return Err("trailing fields");
+                return Err(ProfileError::TrailingFields { line, text: err_text() });
             }
-            samples.push((MethodId(method), cycles));
+            let w = merged.entry(method).or_insert(0);
+            *w = w.saturating_add(cycles);
         }
+        let samples = merged.into_iter().map(|(m, c)| (MethodId(m), c)).collect();
         Ok(Profile { samples })
+    }
+}
+
+/// An exponentially-decayed accumulation of profile uploads: the
+/// server-side state behind calibrod's `profile` request.
+///
+/// Weights are plain u128 integers in units of cycles (the decay's
+/// floor division sheds at most one cycle of weight per method per
+/// upload, negligible against real cycle counts). Decay advances once
+/// per [`record`](DecayedProfile::record) call — on upload *count*, not
+/// wall clock — so the state after N uploads is a pure function of the
+/// upload contents and their order, independent of timing. Within one
+/// upload, sample order and duplication don't matter: samples are
+/// merged per method before accumulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecayedProfile {
+    /// Per-method decayed weight; zero-weight rows are dropped.
+    weights: BTreeMap<u32, u128>,
+    /// Number of uploads absorbed so far.
+    uploads: u64,
+    /// Decay numerator: surviving fraction per upload is `num/den`.
+    decay_num: u64,
+    /// Decay denominator.
+    decay_den: u64,
+}
+
+impl DecayedProfile {
+    /// Default decay: each upload retains 7/8 of prior weight, so an
+    /// upload's influence halves roughly every five uploads.
+    pub const DEFAULT_DECAY: (u64, u64) = (7, 8);
+
+    /// Creates an empty accumulator with surviving fraction `num/den`
+    /// per upload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidDecay`] unless `0 < num < den`:
+    /// `num >= den` would never forget, `num == 0` would never
+    /// remember.
+    pub fn new(num: u64, den: u64) -> Result<DecayedProfile, ProfileError> {
+        if num == 0 || den == 0 || num >= den {
+            return Err(ProfileError::InvalidDecay { num, den });
+        }
+        Ok(DecayedProfile { weights: BTreeMap::new(), uploads: 0, decay_num: num, decay_den: den })
+    }
+
+    /// Number of uploads absorbed so far.
+    #[must_use]
+    pub fn uploads(&self) -> u64 {
+        self.uploads
+    }
+
+    /// Number of methods currently carrying non-zero weight.
+    #[must_use]
+    pub fn tracked_methods(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Absorbs one upload: decays all existing weight by `num/den`
+    /// (floor division — integer, deterministic), then adds the
+    /// upload's per-method cycles (duplicates within the upload merged
+    /// first). Rows that decay to zero are dropped so a method that
+    /// stops appearing eventually costs nothing.
+    pub fn record(&mut self, profile: &Profile) {
+        let num = u128::from(self.decay_num);
+        let den = u128::from(self.decay_den);
+        self.weights.retain(|_, w| {
+            // Divide before multiplying only when the product would
+            // overflow; otherwise keep the extra precision.
+            *w = match w.checked_mul(num) {
+                Some(p) => p / den,
+                None => (*w / den).saturating_mul(num),
+            };
+            *w > 0
+        });
+        for (method, cycles) in profile.merged() {
+            let w = self.weights.entry(method).or_insert(0);
+            *w = w.saturating_add(cycles);
+        }
+        self.uploads = self.uploads.saturating_add(1);
+    }
+
+    /// Hot set over the decayed weights: same exact-threshold selection
+    /// as [`Profile::hot_set`], applied to the accumulator state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidFraction`] for a NaN or
+    /// out-of-range fraction.
+    pub fn hot_set(&self, fraction: f64) -> Result<HashSet<u32>, ProfileError> {
+        hot_set_from_weights(&self.weights, fraction)
+    }
+
+    /// Drift of a *serving* hot set from the one a fresh selection
+    /// would pick now: the symmetric-difference weight between the two
+    /// sets over total weight, in `[0.0, 1.0]`.
+    ///
+    /// A serving method with no remaining weight contributes nothing
+    /// (it has fully decayed out of the accumulator, and nothing is
+    /// known about it any more); a freshly-hot method the serving set
+    /// lacks contributes its full current weight. With no weight at all
+    /// the drift is defined as `0.0` — an empty accumulator is no
+    /// evidence for re-optimizing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::InvalidFraction`] for a NaN or
+    /// out-of-range fraction.
+    pub fn drift(&self, serving: &HashSet<u32>, fraction: f64) -> Result<f64, ProfileError> {
+        let fresh = self.hot_set(fraction)?;
+        let total: u128 = self.weights.values().fold(0u128, |acc, &w| acc.saturating_add(w));
+        if total == 0 {
+            return Ok(0.0);
+        }
+        let mut diff = 0u128;
+        for (&method, &weight) in &self.weights {
+            if serving.contains(&method) != fresh.contains(&method) {
+                diff = diff.saturating_add(weight);
+            }
+        }
+        Ok(diff as f64 / total as f64)
     }
 }
 
@@ -153,7 +413,7 @@ mod tests {
         // 1000 total: m0=600, m1=250, m2=100, m3=50.
         let p = profile(&[(0, 600), (1, 250), (2, 100), (3, 50)]);
         let hot = p.hot_set(0.8).unwrap();
-        // 600 < 800, 600+250=850 >= 800 -> {0, 1}.
+        // 600 < threshold, 600+250=850 >= threshold -> {0, 1}.
         assert_eq!(hot, HashSet::from([0, 1]));
     }
 
@@ -171,8 +431,12 @@ mod tests {
         let p = profile(&[(0, 100)]);
         for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let err = p.hot_set(bad).unwrap_err();
-            let ProfileError::InvalidFraction { fraction } = err;
-            assert!(fraction.is_nan() == bad.is_nan() && (bad.is_nan() || fraction == bad));
+            match err {
+                ProfileError::InvalidFraction { fraction } => {
+                    assert!(fraction.is_nan() == bad.is_nan() && (bad.is_nan() || fraction == bad));
+                }
+                other => panic!("expected InvalidFraction, got {other:?}"),
+            }
         }
     }
 
@@ -207,9 +471,219 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_garbage() {
-        assert!(Profile::from_text("not numbers").is_err());
-        assert!(Profile::from_text("1 2 3").is_err());
+    fn parser_rejects_garbage_with_line_numbers() {
+        match Profile::from_text("not numbers").unwrap_err() {
+            ProfileError::BadMethodId { line, text } => {
+                assert_eq!(line, 1);
+                assert_eq!(text, "not numbers");
+            }
+            other => panic!("expected BadMethodId, got {other:?}"),
+        }
+        // Comments and blank lines still count toward line numbers.
+        match Profile::from_text("# header\n1 2\n\n1 2 3").unwrap_err() {
+            ProfileError::TrailingFields { line, text } => {
+                assert_eq!(line, 4);
+                assert_eq!(text, "1 2 3");
+            }
+            other => panic!("expected TrailingFields, got {other:?}"),
+        }
+        match Profile::from_text("1 2\n7").unwrap_err() {
+            ProfileError::MissingCycles { line, text } => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "7");
+            }
+            other => panic!("expected MissingCycles, got {other:?}"),
+        }
+        match Profile::from_text("1 nope").unwrap_err() {
+            ProfileError::BadCycles { line, text } => {
+                assert_eq!(line, 1);
+                assert_eq!(text, "1 nope");
+            }
+            other => panic!("expected BadCycles, got {other:?}"),
+        }
         assert!(Profile::from_text("# comment\n\n1 2").is_ok());
+    }
+
+    #[test]
+    fn parser_merges_duplicate_method_lines() {
+        // The old parser kept both lines, double-counting method 1 in
+        // total_cycles and skewing the hot-set threshold.
+        let dup = Profile::from_text("1 100\n2 50\n1 100").unwrap();
+        let merged = Profile::from_text("1 200\n2 50").unwrap();
+        assert_eq!(dup, merged);
+        assert_eq!(dup.total_cycles(), 250);
+        for fraction in [0.0, 0.25, 0.5, 0.8, 1.0] {
+            assert_eq!(
+                dup.hot_set(fraction).unwrap(),
+                merged.hot_set(fraction).unwrap(),
+                "hot set diverged at fraction {fraction}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_cycle_merge_saturates() {
+        let p = Profile::from_text(&format!("1 {}\n1 {}", u64::MAX, u64::MAX)).unwrap();
+        assert_eq!(p.samples, vec![(MethodId(1), u64::MAX)]);
+    }
+
+    #[test]
+    fn hot_set_threshold_is_exact_above_2_53() {
+        // total = 2^63 + 1. As an f64 that rounds down to exactly 2^63,
+        // so the old `(total as f64 * 1.0).ceil()` threshold lost the
+        // +1 and dropped the 1-cycle tail method from a full-fraction
+        // hot set. The u128 threshold keeps it.
+        let p = profile(&[(0, 1u64 << 63), (1, 1)]);
+        assert_eq!(p.hot_set(1.0).unwrap(), HashSet::from([0, 1]));
+
+        // Near-u64::MAX counts: totals beyond u64 range must neither
+        // overflow nor saturate the selection.
+        let p = profile(&[(0, u64::MAX), (1, u64::MAX), (2, 10)]);
+        // threshold(0.5) = ceil((2^65 - 2 + 10) / 2) > u64::MAX, so one
+        // method is not enough; exactly two are.
+        assert_eq!(p.hot_set(0.5).unwrap(), HashSet::from([0, 1]));
+        assert_eq!(p.hot_set(1.0).unwrap(), HashSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn threshold_is_exact_ceiling_of_the_dyadic_product() {
+        // 0.5 and 1.0 are exact dyadics: thresholds land on the nose.
+        assert_eq!(threshold_for(1000, 0.5), 500);
+        assert_eq!(threshold_for(1001, 0.5), 501);
+        assert_eq!(threshold_for(u128::from(u64::MAX) + 7, 1.0), u128::from(u64::MAX) + 7);
+        // 0.8 as an f64 is slightly ABOVE 4/5, so the exact ceiling of
+        // 1000 * fraction is 801, not 800 — integer arithmetic keeps
+        // the bit the old f64 product rounded away.
+        assert_eq!(threshold_for(1000, 0.8), 801);
+        // Subnormal fractions: any positive share of a positive total
+        // still demands at least one cycle.
+        assert_eq!(threshold_for(1, f64::MIN_POSITIVE), 1);
+        assert_eq!(threshold_for(u128::from(u64::MAX), f64::MIN_POSITIVE), 1);
+        assert_eq!(threshold_for(12345, 0.0), 0);
+    }
+
+    #[test]
+    fn decayed_profile_rejects_bad_decay() {
+        assert!(DecayedProfile::new(0, 8).is_err());
+        assert!(DecayedProfile::new(8, 8).is_err());
+        assert!(DecayedProfile::new(9, 8).is_err());
+        assert!(DecayedProfile::new(1, 0).is_err());
+        assert!(DecayedProfile::new(7, 8).is_ok());
+    }
+
+    #[test]
+    fn decayed_profile_forgets_stale_methods() {
+        let mut d = DecayedProfile::new(1, 2).unwrap();
+        d.record(&profile(&[(0, 1000)]));
+        // Method 0 never appears again; method 1 dominates every later
+        // upload. After enough halvings method 0 leaves the hot set and
+        // eventually the map entirely.
+        for _ in 0..11 {
+            d.record(&profile(&[(1, 1000)]));
+        }
+        let hot = d.hot_set(0.8).unwrap();
+        assert!(hot.contains(&1));
+        assert!(!hot.contains(&0), "stale method still hot: {hot:?}");
+        assert_eq!(d.uploads(), 12);
+        for _ in 0..10 {
+            d.record(&profile(&[(1, 1000)]));
+        }
+        assert_eq!(d.tracked_methods(), 1, "fully-decayed row not dropped");
+    }
+
+    #[test]
+    fn drift_moves_from_zero_to_high_on_hot_set_shift() {
+        let mut d = DecayedProfile::new(1, 2).unwrap();
+        d.record(&profile(&[(0, 900), (1, 100)]));
+        let serving = d.hot_set(0.8).unwrap();
+        assert!((d.drift(&serving, 0.8).unwrap()).abs() < 1e-9);
+        // The workload shifts: method 2 takes over.
+        for _ in 0..8 {
+            d.record(&profile(&[(2, 1000)]));
+        }
+        let drift = d.drift(&serving, 0.8).unwrap();
+        assert!(drift > 0.5, "drift {drift} too low after a full shift");
+        let refreshed = d.hot_set(0.8).unwrap();
+        assert!((d.drift(&refreshed, 0.8).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_zero_on_empty_accumulator() {
+        let d = DecayedProfile::new(7, 8).unwrap();
+        assert_eq!(d.drift(&HashSet::from([1, 2]), 0.8).unwrap(), 0.0);
+        assert!(d.drift(&HashSet::new(), f64::NAN).is_err());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn profile(pairs: &[(u32, u64)]) -> Profile {
+        Profile { samples: pairs.iter().map(|&(m, c)| (MethodId(m), c)).collect() }
+    }
+
+    proptest! {
+        /// Companion to fingerprint.rs's `hot_set_order_does_not_matter`:
+        /// the selection itself is invariant under sample permutation
+        /// and under merging duplicate samples, for any magnitude.
+        #[test]
+        fn hot_set_invariant_under_permutation_and_merge(
+            // Bounded so merged per-method sums stay within u64 (the
+            // merged-profile comparison below re-materializes them as
+            // u64 samples) while still exceeding 2^53 in aggregate.
+            pairs in vec((0u32..64, 1u64..=u64::MAX / 32), 1..24),
+            rot in 0usize..24,
+            fraction_mille in 0u64..=1000,
+        ) {
+            let fraction = fraction_mille as f64 / 1000.0;
+            let base = profile(&pairs);
+            let mut rotated = pairs.clone();
+            rotated.rotate_left(rot % pairs.len());
+            let mut reversed = pairs.clone();
+            reversed.reverse();
+            let merged = profile(&pairs).merged();
+            let merged_profile = Profile {
+                samples: merged
+                    .iter()
+                    .map(|(&m, &w)| (MethodId(m), u64::try_from(w).unwrap_or(u64::MAX)))
+                    .collect(),
+            };
+            let expect = base.hot_set(fraction).unwrap();
+            prop_assert_eq!(&profile(&rotated).hot_set(fraction).unwrap(), &expect);
+            prop_assert_eq!(&profile(&reversed).hot_set(fraction).unwrap(), &expect);
+            prop_assert_eq!(&merged_profile.hot_set(fraction).unwrap(), &expect);
+        }
+
+        /// The decayed accumulator is a pure function of upload
+        /// contents: per-upload sample order and duplication don't
+        /// change the state or the selected hot set.
+        #[test]
+        fn decayed_profile_deterministic_across_interleavings(
+            uploads in vec(vec((0u32..32, 1u64..1_000_000), 1..8), 1..12),
+            rot in 0usize..8,
+        ) {
+            let mut a = DecayedProfile::new(7, 8).unwrap();
+            let mut b = DecayedProfile::new(7, 8).unwrap();
+            for pairs in &uploads {
+                a.record(&profile(pairs));
+                // Same content, permuted samples plus a split duplicate
+                // of the first pair: must be indistinguishable.
+                let mut alt = pairs.clone();
+                alt.rotate_left(rot % pairs.len());
+                let (m, c) = alt[0];
+                if c > 1 {
+                    alt[0] = (m, c - 1);
+                    alt.push((m, 1));
+                }
+                b.record(&profile(&alt));
+            }
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.hot_set(0.8).unwrap(), b.hot_set(0.8).unwrap());
+            let serving = a.hot_set(0.8).unwrap();
+            prop_assert_eq!(a.drift(&serving, 0.8).unwrap(), b.drift(&serving, 0.8).unwrap());
+        }
     }
 }

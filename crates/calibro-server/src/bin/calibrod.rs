@@ -71,7 +71,8 @@ fn usage() -> ! {
          [--queue-depth N] [--deadline-ms N] [--cache-dir DIR] \
          [--max-frame BYTES] [--max-entries N] [--method-budget-bytes N] \
          [--group-budget-bytes N] [--shard-id N] \
-         [--peer ID=unix:PATH | --peer ID=tcp:ADDR]..."
+         [--peer ID=unix:PATH | --peer ID=tcp:ADDR]... \
+         [--hot-fraction F] [--drift-threshold F]"
     );
     std::process::exit(2);
 }
@@ -125,6 +126,14 @@ fn parse_args() -> Args {
                 args.config.shard_id = parse_num(&value("--shard-id"), "--shard-id");
             }
             "--peer" => args.config.peers.push(parse_peer(&value("--peer"))),
+            "--hot-fraction" => {
+                args.config.hot_fraction =
+                    parse_fraction(&value("--hot-fraction"), "--hot-fraction");
+            }
+            "--drift-threshold" => {
+                args.config.drift_threshold =
+                    parse_fraction(&value("--drift-threshold"), "--drift-threshold");
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("calibrod: unknown flag {other}");
@@ -144,6 +153,16 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
         eprintln!("calibrod: invalid value {raw:?} for {flag}");
         usage();
     })
+}
+
+/// A fraction in `[0, 1]` (hot-set coverage, drift threshold).
+fn parse_fraction(raw: &str, flag: &str) -> f64 {
+    let f: f64 = parse_num(raw, flag);
+    if !(0.0..=1.0).contains(&f) {
+        eprintln!("calibrod: {flag} must be within [0, 1], got {raw}");
+        usage();
+    }
+    f
 }
 
 /// `ID=unix:PATH` or `ID=tcp:ADDR` — one sibling shard.

@@ -12,8 +12,10 @@ use calibro_dex::DexFile;
 
 use crate::error::ClientError;
 use crate::proto::{
-    self, decode_error, BuildReply, BuildRequest, FrameEvent, ServerStats, REQ_BUILD, REQ_PING,
-    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
+    self, decode_error, BuildReply, BuildRequest, FrameEvent, GenerationStats,
+    GenerationStatsRequest, ProfileReply, ProfileRequest, ServerStats, REQ_BUILD,
+    REQ_GENERATION_STATS, REQ_PING, REQ_PROFILE, REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR,
+    RESP_GENERATION_STATS, RESP_PONG, RESP_PROFILE, RESP_SHUTDOWN_ACK, RESP_STATS,
 };
 use crate::server::ltbo_fingerprint;
 
@@ -105,17 +107,107 @@ impl Client {
     ) -> Result<BuildReply, ClientError> {
         let request_id = self.next_request_id;
         self.next_request_id += 1;
-        let request = BuildRequest {
+        self.build_request(BuildRequest {
             request_id,
             deadline,
             options_fp: options_fingerprint(options),
             ltbo_fp: ltbo_fingerprint(options),
             options: options.clone(),
             dex: dex.clone(),
-        };
+            tenant: None,
+        })
+    }
+
+    /// Compiles (or fetches) under a tenant name: the daemon registers
+    /// the program on the first build and afterwards answers from the
+    /// sealed serving generation — including while a profile-triggered
+    /// re-optimization is compiling in the background. The reply's
+    /// `generation` tags which sealed artifact answered.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`build`](Client::build).
+    pub fn build_for_tenant(
+        &mut self,
+        tenant: &str,
+        dex: &DexFile,
+        options: &BuildOptions,
+        deadline: Option<Duration>,
+    ) -> Result<BuildReply, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        self.build_request(BuildRequest {
+            request_id,
+            deadline,
+            options_fp: options_fingerprint(options),
+            ltbo_fp: ltbo_fingerprint(options),
+            options: options.clone(),
+            dex: dex.clone(),
+            tenant: Some(tenant.to_owned()),
+        })
+    }
+
+    fn build_request(&mut self, request: BuildRequest) -> Result<BuildReply, ClientError> {
         proto::write_frame(&mut self.stream, REQ_BUILD, &request.encode())?;
         match self.read_response()? {
             (RESP_BUILT, body) => Ok(BuildReply::decode(&body)?),
+            (RESP_ERROR, body) => {
+                let (_, error) = decode_error(&body)?;
+                Err(ClientError::Server(error))
+            }
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    /// Uploads one profile (calibro-profile text format) for `tenant`.
+    /// The reply reports the decayed accumulator's state, the measured
+    /// drift against the serving hot set, and whether this upload
+    /// scheduled a background re-optimization.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ServeError::Malformed`]
+    /// (`crate::ServeError::Malformed`) when the profile text does not
+    /// parse (the detail names the offending line); transport-level
+    /// errors otherwise.
+    pub fn upload_profile(
+        &mut self,
+        tenant: &str,
+        profile_text: &str,
+    ) -> Result<ProfileReply, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let request = ProfileRequest {
+            request_id,
+            tenant: tenant.to_owned(),
+            profile_text: profile_text.to_owned(),
+        };
+        proto::write_frame(&mut self.stream, REQ_PROFILE, &request.encode())?;
+        match self.read_response()? {
+            (RESP_PROFILE, body) => Ok(ProfileReply::decode(&body)?),
+            (RESP_ERROR, body) => {
+                let (_, error) = decode_error(&body)?;
+                Err(ClientError::Server(error))
+            }
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
+    }
+
+    /// Fetches the generation snapshot for `tenant` (serving
+    /// generation id, drift, refresh state, sealed-artifact digest).
+    /// An unknown tenant is not an error: the reply has `registered:
+    /// false`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s.
+    pub fn generation_stats(&mut self, tenant: &str) -> Result<GenerationStats, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let request = GenerationStatsRequest { request_id, tenant: tenant.to_owned() };
+        proto::write_frame(&mut self.stream, REQ_GENERATION_STATS, &request.encode())?;
+        match self.read_response()? {
+            (RESP_GENERATION_STATS, body) => Ok(GenerationStats::decode(&body)?),
             (RESP_ERROR, body) => {
                 let (_, error) = decode_error(&body)?;
                 Err(ClientError::Server(error))
@@ -155,6 +247,7 @@ impl Client {
                 ltbo_fp: ltbo_fingerprint(options),
                 options: options.clone(),
                 dex: dex.clone(),
+                tenant: None,
             };
             proto::write_frame(&mut self.stream, REQ_BUILD, &request.encode())?;
             ids.push(request_id);

@@ -22,7 +22,12 @@
 //! * [`server`] — the daemon: bounded admission queue (typed
 //!   [`ServeError::Overloaded`] on overflow), worker pool over
 //!   [`calibro::BuildSession::with_store`], per-request deadlines,
-//!   graceful drain on shutdown.
+//!   graceful drain on shutdown. Tenant-named builds are sealed as
+//!   generation-tagged artifacts; `profile` uploads feed a per-tenant
+//!   exponentially-decayed hot set, and a background worker re-runs the
+//!   build (shelving cold methods to size-first outlining) when hot-set
+//!   drift crosses the threshold, flipping the serving generation
+//!   atomically so there is never a serving gap.
 //! * [`client`] — the synchronous client used by tests, the loadgen
 //!   and external tools.
 //! * [`histogram`] — the lock-free log-scale latency histogram behind
@@ -65,6 +70,9 @@ pub use fleet::{
     ShardSpec,
 };
 pub use histogram::{quantile_us, LatencyHistogram};
-pub use proto::{BuildReply, BuildRequest, ServerStats, DEFAULT_MAX_FRAME};
+pub use proto::{
+    BuildReply, BuildRequest, GenerationStats, GenerationStatsRequest, ProfileReply,
+    ProfileRequest, ServerStats, DEFAULT_MAX_FRAME,
+};
 pub use server::{ltbo_fingerprint, Daemon, Listener, ServerConfig};
 pub use wire::WireError;

@@ -35,6 +35,12 @@ pub const REQ_PING: u8 = 0x04;
 /// Request kind: fetch a cache artifact for a sibling shard (fleet
 /// peer-to-peer; see [`PeerGet`]).
 pub const REQ_PEER_GET: u8 = 0x05;
+/// Request kind: upload a per-tenant execution profile (see
+/// [`ProfileRequest`]).
+pub const REQ_PROFILE: u8 = 0x06;
+/// Request kind: report one tenant's generation table (see
+/// [`GenerationStatsRequest`]).
+pub const REQ_GENERATION_STATS: u8 = 0x07;
 /// Response kind: a successful build.
 pub const RESP_BUILT: u8 = 0x81;
 /// Response kind: a typed error.
@@ -48,6 +54,11 @@ pub const RESP_PONG: u8 = 0x85;
 /// Response kind: a peer-fetch answer (found or not; see
 /// [`PeerArtifact`]).
 pub const RESP_PEER_ARTIFACT: u8 = 0x86;
+/// Response kind: a profile upload was absorbed (see [`ProfileReply`]).
+pub const RESP_PROFILE: u8 = 0x87;
+/// Response kind: one tenant's generation table (see
+/// [`GenerationStats`]).
+pub const RESP_GENERATION_STATS: u8 = 0x88;
 
 /// Default ceiling on one frame (kind + body): 64 MiB.
 pub const DEFAULT_MAX_FRAME: u64 = 64 << 20;
@@ -193,6 +204,13 @@ pub struct BuildRequest {
     pub options: BuildOptions,
     /// The program to compile.
     pub dex: DexFile,
+    /// Tenant this program belongs to. `None` is a plain one-shot
+    /// build; `Some` routes the request through the daemon's
+    /// generation table: the first build registers the program and
+    /// seals generation 1, later identical requests are answered from
+    /// the currently serving sealed generation (which a background
+    /// profile-driven refresh may advance).
+    pub tenant: Option<String>,
 }
 
 impl BuildRequest {
@@ -210,6 +228,13 @@ impl BuildRequest {
         }
         write_key(&mut w, self.options_fp);
         write_opt_key(&mut w, self.ltbo_fp);
+        match &self.tenant {
+            None => w.u8(0),
+            Some(tenant) => {
+                w.u8(1);
+                w.str(tenant);
+            }
+        }
         wire::write_options(&mut w, &self.options);
         wire::write_dex(&mut w, &self.dex);
         w.into_bytes()
@@ -230,10 +255,15 @@ impl BuildRequest {
         };
         let options_fp = read_key(&mut r)?;
         let ltbo_fp = read_opt_key(&mut r)?;
+        let tenant = match r.u8("tenant tag")? {
+            0 => None,
+            1 => Some(r.str("tenant")?),
+            tag => return Err(WireError::InvalidTag { what: "tenant", tag }),
+        };
         let options = wire::read_options(&mut r)?;
         let dex = wire::read_dex(&mut r)?;
         r.finish()?;
-        Ok(BuildRequest { request_id, deadline, options_fp, ltbo_fp, options, dex })
+        Ok(BuildRequest { request_id, deadline, options_fp, ltbo_fp, options, dex, tenant })
     }
 }
 
@@ -259,6 +289,11 @@ pub struct BuildReply {
     pub cache_misses: u64,
     /// Wall time the daemon spent building, in microseconds.
     pub build_us: u64,
+    /// Profile-feedback generation the artifact belongs to: 0 for a
+    /// plain (non-tenant) build, `>= 1` for a tenant build answered
+    /// from — or sealing — the generation table. The same generation
+    /// id always carries the same bytes.
+    pub generation: u64,
     /// The full [`calibro::BuildStats`] JSON payload.
     pub stats_json: String,
 }
@@ -277,6 +312,7 @@ impl core::fmt::Debug for BuildReply {
             .field("cache_hits", &self.cache_hits)
             .field("cache_misses", &self.cache_misses)
             .field("build_us", &self.build_us)
+            .field("generation", &self.generation)
             .finish_non_exhaustive()
     }
 }
@@ -295,6 +331,7 @@ impl BuildReply {
         w.u64(self.cache_hits);
         w.u64(self.cache_misses);
         w.u64(self.build_us);
+        w.u64(self.generation);
         w.str(&self.stats_json);
         w.into_bytes()
     }
@@ -316,6 +353,7 @@ impl BuildReply {
             cache_hits: r.u64("cache_hits")?,
             cache_misses: r.u64("cache_misses")?,
             build_us: r.u64("build_us")?,
+            generation: r.u64("generation")?,
             stats_json: r.str("stats_json")?,
         };
         r.finish()?;
@@ -491,6 +529,252 @@ impl PeerArtifact {
     }
 }
 
+/// A profile upload: per-method cycle attributions for one tenant, in
+/// the calibro-profile text format (the daemon parses and merges them
+/// into the tenant's decayed accumulator; a malformed profile is
+/// rejected with a line-numbered [`ServeError::Malformed`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProfileRequest {
+    /// Client-chosen id echoed in the response.
+    pub request_id: u64,
+    /// The tenant the profile attributes to.
+    pub tenant: String,
+    /// The profile, in `calibro_profile::Profile::to_text` format.
+    pub profile_text: String,
+}
+
+impl ProfileRequest {
+    /// Encodes the request body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let ProfileRequest { request_id, tenant, profile_text } = self;
+        let mut w = Writer::new();
+        w.u64(*request_id);
+        w.str(tenant);
+        w.str(profile_text);
+        w.into_bytes()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<ProfileRequest, WireError> {
+        let mut r = Reader::new(body);
+        let request = ProfileRequest {
+            request_id: r.u64("request_id")?,
+            tenant: r.str("tenant")?,
+            profile_text: r.str("profile_text")?,
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// The daemon's answer to a profile upload: the accumulator state after
+/// absorbing it, the measured drift, and whether a re-optimization was
+/// scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ProfileReply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Uploads absorbed for this tenant so far (including this one).
+    pub uploads: u64,
+    /// Methods currently carrying non-zero decayed weight.
+    pub tracked_methods: u64,
+    /// Drift of the serving hot set from a fresh selection, in parts
+    /// per million of total decayed weight.
+    pub drift_ppm: u64,
+    /// Whether this upload pushed drift over the threshold and queued a
+    /// background re-optimization.
+    pub refresh_scheduled: bool,
+    /// The generation currently being served (0 = none sealed yet).
+    pub serving_generation: u64,
+}
+
+impl ProfileReply {
+    /// Encodes the reply body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let ProfileReply {
+            request_id,
+            uploads,
+            tracked_methods,
+            drift_ppm,
+            refresh_scheduled,
+            serving_generation,
+        } = self;
+        let mut w = Writer::new();
+        w.u64(*request_id);
+        w.u64(*uploads);
+        w.u64(*tracked_methods);
+        w.u64(*drift_ppm);
+        w.bool(*refresh_scheduled);
+        w.u64(*serving_generation);
+        w.into_bytes()
+    }
+
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<ProfileReply, WireError> {
+        let mut r = Reader::new(body);
+        let reply = ProfileReply {
+            request_id: r.u64("request_id")?,
+            uploads: r.u64("uploads")?,
+            tracked_methods: r.u64("tracked_methods")?,
+            drift_ppm: r.u64("drift_ppm")?,
+            refresh_scheduled: r.bool("refresh_scheduled")?,
+            serving_generation: r.u64("serving_generation")?,
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Asks for one tenant's generation-table snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GenerationStatsRequest {
+    /// Client-chosen id echoed in the response.
+    pub request_id: u64,
+    /// The tenant to report on.
+    pub tenant: String,
+}
+
+impl GenerationStatsRequest {
+    /// Encodes the request body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let GenerationStatsRequest { request_id, tenant } = self;
+        let mut w = Writer::new();
+        w.u64(*request_id);
+        w.str(tenant);
+        w.into_bytes()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<GenerationStatsRequest, WireError> {
+        let mut r = Reader::new(body);
+        let request =
+            GenerationStatsRequest { request_id: r.u64("request_id")?, tenant: r.str("tenant")? };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// One tenant's generation-table snapshot. An unknown tenant answers
+/// with `registered == false` and every other field zeroed — asking is
+/// never an error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GenerationStats {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Echo of the tenant name.
+    pub tenant: String,
+    /// Whether the tenant has a registered program (a tenant that has
+    /// only uploaded profiles is *not* registered yet).
+    pub registered: bool,
+    /// The generation currently being served (0 = none sealed yet).
+    pub serving_generation: u64,
+    /// Generations sealed for this tenant over its lifetime.
+    pub generations_sealed: u64,
+    /// Background re-optimizations triggered by drift.
+    pub refreshes_triggered: u64,
+    /// Whether a re-optimization is rebuilding right now (the old
+    /// generation keeps serving until it seals).
+    pub refresh_in_flight: bool,
+    /// Profile uploads absorbed.
+    pub uploads: u64,
+    /// Methods with non-zero decayed weight.
+    pub tracked_methods: u64,
+    /// Drift of the serving hot set from a fresh selection, ppm.
+    pub drift_ppm: u64,
+    /// Whether the serving generation restricts outlining by a hot set.
+    pub hot_restricted: bool,
+    /// Size of the serving generation's hot set (0 when unrestricted).
+    pub hot_set_size: u64,
+    /// Byte length of the serving generation's artifact.
+    pub elf_len: u64,
+    /// FNV-1a digest of the serving artifact, for byte-determinism
+    /// checks without re-fetching megabytes.
+    pub elf_fnv: u64,
+}
+
+impl GenerationStats {
+    /// Encodes the reply body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        // Exhaustive destructuring: adding a field fails compilation
+        // here instead of silently not being transported.
+        let GenerationStats {
+            request_id,
+            tenant,
+            registered,
+            serving_generation,
+            generations_sealed,
+            refreshes_triggered,
+            refresh_in_flight,
+            uploads,
+            tracked_methods,
+            drift_ppm,
+            hot_restricted,
+            hot_set_size,
+            elf_len,
+            elf_fnv,
+        } = self;
+        let mut w = Writer::new();
+        w.u64(*request_id);
+        w.str(tenant);
+        w.bool(*registered);
+        w.u64(*serving_generation);
+        w.u64(*generations_sealed);
+        w.u64(*refreshes_triggered);
+        w.bool(*refresh_in_flight);
+        w.u64(*uploads);
+        w.u64(*tracked_methods);
+        w.u64(*drift_ppm);
+        w.bool(*hot_restricted);
+        w.u64(*hot_set_size);
+        w.u64(*elf_len);
+        w.u64(*elf_fnv);
+        w.into_bytes()
+    }
+
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<GenerationStats, WireError> {
+        let mut r = Reader::new(body);
+        let stats = GenerationStats {
+            request_id: r.u64("request_id")?,
+            tenant: r.str("tenant")?,
+            registered: r.bool("registered")?,
+            serving_generation: r.u64("serving_generation")?,
+            generations_sealed: r.u64("generations_sealed")?,
+            refreshes_triggered: r.u64("refreshes_triggered")?,
+            refresh_in_flight: r.bool("refresh_in_flight")?,
+            uploads: r.u64("uploads")?,
+            tracked_methods: r.u64("tracked_methods")?,
+            drift_ppm: r.u64("drift_ppm")?,
+            hot_restricted: r.bool("hot_restricted")?,
+            hot_set_size: r.u64("hot_set_size")?,
+            elf_len: r.u64("elf_len")?,
+            elf_fnv: r.u64("elf_fnv")?,
+        };
+        r.finish()?;
+        Ok(stats)
+    }
+}
+
 /// A point-in-time view of the daemon, returned by the `stats` request.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -531,6 +815,14 @@ pub struct ServerStats {
     /// `PeerGet` requests this daemon answered for sibling shards
     /// (found or not).
     pub peer_gets_served: u64,
+    /// Tenants in the generation table (registered or profile-only).
+    pub tenants: u64,
+    /// Profile uploads absorbed across all tenants.
+    pub profile_uploads: u64,
+    /// Generations sealed across all tenants (initial seals + flips).
+    pub generations_sealed: u64,
+    /// Drift-triggered background re-optimizations scheduled.
+    pub refreshes_triggered: u64,
     /// Request-latency histogram bucket counts (see
     /// [`crate::histogram`]).
     pub latency_buckets: Vec<u64>,
@@ -566,6 +858,10 @@ impl ServerStats {
         w.u64(self.build_errors);
         w.u64(self.shard_id);
         w.u64(self.peer_gets_served);
+        w.u64(self.tenants);
+        w.u64(self.profile_uploads);
+        w.u64(self.generations_sealed);
+        w.u64(self.refreshes_triggered);
         w.u32(self.latency_buckets.len() as u32);
         for &b in &self.latency_buckets {
             w.u64(b);
@@ -671,6 +967,10 @@ impl ServerStats {
         let build_errors = r.u64("build_errors")?;
         let shard_id = r.u64("shard_id")?;
         let peer_gets_served = r.u64("peer_gets_served")?;
+        let tenants = r.u64("tenants")?;
+        let profile_uploads = r.u64("profile_uploads")?;
+        let generations_sealed = r.u64("generations_sealed")?;
+        let refreshes_triggered = r.u64("refreshes_triggered")?;
         let n = r.u32("bucket count")? as usize;
         if n > 4096 {
             return Err(WireError::OversizedCollection { what: "latency buckets", len: n as u64 });
@@ -731,6 +1031,10 @@ impl ServerStats {
             build_errors,
             shard_id,
             peer_gets_served,
+            tenants,
+            profile_uploads,
+            generations_sealed,
+            refreshes_triggered,
             latency_buckets,
             cache,
         })
@@ -823,6 +1127,10 @@ mod tests {
             build_errors: 5,
             shard_id: 3,
             peer_gets_served: 42,
+            tenants: 2,
+            profile_uploads: 31,
+            generations_sealed: 4,
+            refreshes_triggered: 2,
             latency_buckets: vec![0, 5, 10, 0, 2],
             cache: CacheStats {
                 hits: 9,
@@ -860,5 +1168,75 @@ mod tests {
         let mut body = found.encode();
         body[8] = 9;
         assert!(PeerArtifact::decode(&body).is_err());
+    }
+
+    #[test]
+    fn profile_messages_roundtrip() {
+        let request = ProfileRequest {
+            request_id: 11,
+            tenant: "app.example".into(),
+            profile_text: "# calibro profile v1\n1 100\n2 50\n".into(),
+        };
+        assert_eq!(ProfileRequest::decode(&request.encode()).expect("request decodes"), request);
+
+        let reply = ProfileReply {
+            request_id: 11,
+            uploads: 9,
+            tracked_methods: 37,
+            drift_ppm: 312_500,
+            refresh_scheduled: true,
+            serving_generation: 2,
+        };
+        assert_eq!(ProfileReply::decode(&reply.encode()).expect("reply decodes"), reply);
+
+        // Trailing bytes are rejected, same as every other codec.
+        let mut body = reply.encode();
+        body.push(0);
+        assert!(ProfileReply::decode(&body).is_err());
+    }
+
+    #[test]
+    fn generation_stats_roundtrip() {
+        let request = GenerationStatsRequest { request_id: 5, tenant: "app.example".into() };
+        assert_eq!(
+            GenerationStatsRequest::decode(&request.encode()).expect("request decodes"),
+            request
+        );
+
+        let stats = GenerationStats {
+            request_id: 5,
+            tenant: "app.example".into(),
+            registered: true,
+            serving_generation: 3,
+            generations_sealed: 3,
+            refreshes_triggered: 2,
+            refresh_in_flight: true,
+            uploads: 40,
+            tracked_methods: 120,
+            drift_ppm: 250_000,
+            hot_restricted: true,
+            hot_set_size: 17,
+            elf_len: 1 << 20,
+            elf_fnv: 0xdead_beef_cafe_f00d,
+        };
+        assert_eq!(GenerationStats::decode(&stats.encode()).expect("stats decode"), stats);
+
+        let unknown = GenerationStats {
+            request_id: 6,
+            tenant: "never.seen".into(),
+            registered: false,
+            serving_generation: 0,
+            generations_sealed: 0,
+            refreshes_triggered: 0,
+            refresh_in_flight: false,
+            uploads: 0,
+            tracked_methods: 0,
+            drift_ppm: 0,
+            hot_restricted: false,
+            hot_set_size: 0,
+            elf_len: 0,
+            elf_fnv: 0,
+        };
+        assert_eq!(GenerationStats::decode(&unknown.encode()).expect("unknown decodes"), unknown);
     }
 }

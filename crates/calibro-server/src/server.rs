@@ -26,7 +26,7 @@
 //! stay in the shared cache, so the retry is warm). Shutdown drains:
 //! stop accepting, finish queued and in-flight work, then close.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,19 +38,22 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use calibro::{
-    options_fingerprint, BuildOptions, BuildSession, CacheConfig, CacheKey, LtboConfig,
-    StableHasher,
+    options_fingerprint, program_salt, BuildOptions, BuildSession, CacheConfig, CacheKey,
+    LtboConfig, StableHasher,
 };
 use calibro_cache::ArtifactStore;
 use calibro_dex::DexFile;
+use calibro_profile::{DecayedProfile, Profile};
 
 use crate::error::ServeError;
 use crate::fleet::{FleetPeerSource, ShardSpec};
 use crate::histogram::LatencyHistogram;
 use crate::proto::{
-    self, encode_error, BuildReply, BuildRequest, FrameEvent, PeerArtifact, PeerGet, PeerLane,
-    ServerStats, REQ_BUILD, REQ_PEER_GET, REQ_PING, REQ_SHUTDOWN, REQ_STATS, RESP_BUILT,
-    RESP_ERROR, RESP_PEER_ARTIFACT, RESP_PONG, RESP_SHUTDOWN_ACK, RESP_STATS,
+    self, encode_error, BuildReply, BuildRequest, FrameEvent, GenerationStats,
+    GenerationStatsRequest, PeerArtifact, PeerGet, PeerLane, ProfileReply, ProfileRequest,
+    ServerStats, REQ_BUILD, REQ_GENERATION_STATS, REQ_PEER_GET, REQ_PING, REQ_PROFILE,
+    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_GENERATION_STATS, RESP_PEER_ARTIFACT,
+    RESP_PONG, RESP_PROFILE, RESP_SHUTDOWN_ACK, RESP_STATS,
 };
 
 /// Configuration of one daemon.
@@ -76,6 +79,13 @@ pub struct ServerConfig {
     /// (`ServerConfig::shard_id`) is ignored, so every fleet member can
     /// receive the same roster.
     pub peers: Vec<ShardSpec>,
+    /// Fraction of decayed cycle weight the per-tenant hot set must
+    /// cover (the paper's PlOpti hot-set fraction, default 0.8).
+    pub hot_fraction: f64,
+    /// Drift (symmetric-difference weight between the serving hot set
+    /// and the freshly recomputed one, in `[0, 1]`) at or above which a
+    /// profile upload schedules a background re-optimization.
+    pub drift_threshold: f64,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +98,8 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             shard_id: 0,
             peers: Vec::new(),
+            hot_fraction: 0.8,
+            drift_threshold: 0.25,
         }
     }
 }
@@ -210,6 +222,126 @@ struct Job {
     deadline_ms: u32,
     enqueued: Instant,
     writer: ReplyWriter,
+    /// When the request named a tenant: the tenant and its program
+    /// identity, so the finished build is sealed as a generation.
+    tenant: Option<TenantJob>,
+}
+
+/// The tenant attribution of an admitted build.
+struct TenantJob {
+    name: String,
+    identity: CacheKey,
+}
+
+/// One sealed, immutable artifact generation for a tenant. Every
+/// request answered between two flips sees exactly these bytes, which
+/// is the byte-determinism-within-a-generation guarantee: the flip
+/// replaces the whole `Arc` under the tenant lock, so no reader ever
+/// observes a half-updated artifact.
+struct SealedGeneration {
+    id: u64,
+    options_fp: CacheKey,
+    ltbo_fp: Option<CacheKey>,
+    /// The hot set this generation was compiled under (`None` means
+    /// unrestricted outlining), the baseline drift is measured against.
+    hot_set: Option<HashSet<u32>>,
+    elf: Vec<u8>,
+    elf_fnv: u64,
+    methods: u64,
+    methods_from_cache: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    build_us: u64,
+    stats_json: String,
+}
+
+impl SealedGeneration {
+    fn to_reply(&self, request_id: u64) -> BuildReply {
+        BuildReply {
+            request_id,
+            options_fp: self.options_fp,
+            ltbo_fp: self.ltbo_fp,
+            elf: self.elf.clone(),
+            methods: self.methods,
+            methods_from_cache: self.methods_from_cache,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            build_us: self.build_us,
+            generation: self.id,
+            stats_json: self.stats_json.clone(),
+        }
+    }
+}
+
+/// The program a tenant registered via its first build: what the
+/// re-optimization worker recompiles when drift crosses the threshold.
+struct TenantProgram {
+    identity: CacheKey,
+    dex: DexFile,
+    options: BuildOptions,
+}
+
+/// Per-tenant state: the decayed profile accumulator, the registered
+/// program, and the serving generation.
+struct TenantState {
+    profile: DecayedProfile,
+    program: Option<TenantProgram>,
+    serving: Option<Arc<SealedGeneration>>,
+    /// Monotonic across program changes, starting at 1.
+    next_generation: u64,
+    refresh_in_flight: bool,
+    refreshes_triggered: u64,
+    generations_sealed: u64,
+}
+
+impl TenantState {
+    fn new() -> TenantState {
+        let (num, den) = DecayedProfile::DEFAULT_DECAY;
+        TenantState {
+            profile: DecayedProfile::new(num, den).expect("default decay is valid"),
+            program: None,
+            serving: None,
+            next_generation: 1,
+            refresh_in_flight: false,
+            refreshes_triggered: 0,
+            generations_sealed: 0,
+        }
+    }
+}
+
+/// The program identity a tenant's builds are grouped under: the dex
+/// salt plus the fingerprint of the options *with the hot set
+/// stripped*. Hot-set changes are generation-level (the daemon rewrites
+/// them on refresh), not program-level, so a client re-fetching with a
+/// newer local hot filter still lands on the same tenant program.
+fn tenant_identity(dex: &DexFile, options: &BuildOptions) -> CacheKey {
+    let mut base = options.clone();
+    base.hot_methods = None;
+    let base_fp = options_fingerprint(&base);
+    let salt = program_salt(dex);
+    let mut h = StableHasher::new();
+    h.write_tag(b'T');
+    h.write_u64(salt.hi);
+    h.write_u64(salt.lo);
+    h.write_u64(base_fp.hi);
+    h.write_u64(base_fp.lo);
+    h.finish()
+}
+
+/// FNV-1a over the sealed ELF, reported in `generation-stats` so
+/// external harnesses can assert byte determinism without re-fetching.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Converts a drift fraction to parts-per-million for the wire.
+fn to_ppm(drift: f64) -> u64 {
+    (drift.clamp(0.0, 1.0) * 1_000_000.0).round() as u64
 }
 
 /// A connection's reply channel, shared between its connection thread
@@ -243,6 +375,16 @@ struct Shared {
     mid_frame_disconnects: AtomicU64,
     build_errors: AtomicU64,
     peer_gets_served: AtomicU64,
+    profile_uploads: AtomicU64,
+    generations_sealed: AtomicU64,
+    refreshes_triggered: AtomicU64,
+    /// Per-tenant profile accumulators and serving generations. Never
+    /// held across a build: the refresh worker snapshots under this
+    /// lock, compiles unlocked, then re-locks for the atomic flip.
+    tenants: Mutex<HashMap<String, TenantState>>,
+    /// Tenants awaiting re-optimization, drained by the refresh worker.
+    refresh_queue: Mutex<std::collections::VecDeque<String>>,
+    refresh_cv: Condvar,
     histogram: LatencyHistogram,
     /// Write-half clones of every open connection, for unblocking
     /// readers at shutdown.
@@ -270,6 +412,10 @@ impl Shared {
             build_errors: self.build_errors.load(Ordering::Relaxed),
             shard_id: u64::from(self.config.shard_id),
             peer_gets_served: self.peer_gets_served.load(Ordering::Relaxed),
+            tenants: self.tenants.lock().expect("tenants lock").len() as u64,
+            profile_uploads: self.profile_uploads.load(Ordering::Relaxed),
+            generations_sealed: self.generations_sealed.load(Ordering::Relaxed),
+            refreshes_triggered: self.refreshes_triggered.load(Ordering::Relaxed),
             latency_buckets: self.histogram.snapshot(),
             cache: self.store.stats(),
         }
@@ -324,6 +470,7 @@ pub struct Daemon {
     shared: Arc<Shared>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     worker_handles: Vec<std::thread::JoinHandle<()>>,
+    refresh_handle: Option<std::thread::JoinHandle<()>>,
     socket_path: Option<PathBuf>,
 }
 
@@ -376,6 +523,12 @@ impl Daemon {
             mid_frame_disconnects: AtomicU64::new(0),
             build_errors: AtomicU64::new(0),
             peer_gets_served: AtomicU64::new(0),
+            profile_uploads: AtomicU64::new(0),
+            generations_sealed: AtomicU64::new(0),
+            refreshes_triggered: AtomicU64::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            refresh_queue: Mutex::new(std::collections::VecDeque::new()),
+            refresh_cv: Condvar::new(),
             histogram: LatencyHistogram::new(),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
@@ -396,12 +549,24 @@ impl Daemon {
             Listener::Unix { path, .. } => Some(path.clone()),
             Listener::Tcp(_) => None,
         };
+        let refresh_shared = Arc::clone(&shared);
+        let refresh_handle = std::thread::Builder::new()
+            .name("calibrod-refresh".to_owned())
+            .spawn(move || refresh_loop(&refresh_shared))
+            .expect("spawn refresh thread");
+
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
             .name("calibrod-accept".to_owned())
             .spawn(move || accept_loop(listener, &accept_shared))?;
 
-        Ok(Daemon { shared, accept_handle: Some(accept_handle), worker_handles, socket_path })
+        Ok(Daemon {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            refresh_handle: Some(refresh_handle),
+            socket_path,
+        })
     }
 
     /// The shared artifact store.
@@ -431,7 +596,15 @@ impl Daemon {
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.queue_cv.notify_all();
+        self.shared.refresh_cv.notify_all();
         for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // The refresh worker drains like the build workers: a refresh
+        // already scheduled completes (and flips) before the daemon
+        // exits, so a restart never resurrects a stale hot set that a
+        // client was told had been superseded.
+        if let Some(handle) = self.refresh_handle.take() {
             let _ = handle.join();
         }
         // Workers are done: every admitted request has been answered.
@@ -553,6 +726,8 @@ fn handle_frame(kind: u8, body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared
     match kind {
         REQ_BUILD => handle_build(body, writer, shared),
         REQ_PEER_GET => handle_peer_get(body, writer, shared),
+        REQ_PROFILE => handle_profile(body, writer, shared),
+        REQ_GENERATION_STATS => handle_generation_stats(body, writer, shared),
         REQ_STATS => {
             let stats = shared.stats();
             shared.reply(writer, RESP_STATS, &stats.encode());
@@ -666,6 +841,29 @@ fn handle_build(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool
         shared.reply_error(writer, request.request_id, &ServeError::FingerprintMismatch);
         return true;
     }
+    // A tenant request is answered from the sealed serving generation
+    // when one exists for this program: this path never waits on the
+    // build queue, which is what "no serving gap" means — the old
+    // artifact keeps serving while a refresh compiles in background.
+    let mut tenant_job = None;
+    if let Some(name) = &request.tenant {
+        let identity = tenant_identity(&request.dex, &request.options);
+        let serving = {
+            let tenants = shared.tenants.lock().expect("tenants lock");
+            tenants.get(name).and_then(|state| {
+                let program = state.program.as_ref()?;
+                (program.identity == identity).then(|| state.serving.clone()).flatten()
+            })
+        };
+        if let Some(sealed) = serving {
+            shared.requests_completed.fetch_add(1, Ordering::Relaxed);
+            shared.histogram.record(Duration::ZERO);
+            let reply = sealed.to_reply(request.request_id);
+            shared.reply(writer, RESP_BUILT, &reply.encode());
+            return true;
+        }
+        tenant_job = Some(TenantJob { name: name.clone(), identity });
+    }
     let budget = request.deadline.or(shared.config.default_deadline);
     let deadline_ms = request
         .deadline
@@ -679,6 +877,7 @@ fn handle_build(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool
         deadline_ms,
         enqueued: Instant::now(),
         writer: Arc::clone(writer),
+        tenant: tenant_job,
     };
     let mut queue = shared.queue.lock().expect("queue lock");
     if queue.len() >= shared.config.queue_depth.max(1) {
@@ -754,6 +953,25 @@ fn run_job(job: &Job, shared: &Arc<Shared>) {
                 );
                 return;
             }
+            if let Some(tenant) = &job.tenant {
+                // Seal the build as this tenant's next generation and
+                // answer from the sealed bytes: if a concurrent build of
+                // the same program won the race, the reply carries the
+                // winner's generation so every client sees one artifact.
+                let sealed = seal_generation(
+                    shared,
+                    &tenant.name,
+                    tenant.identity,
+                    &job.dex,
+                    &job.options,
+                    output,
+                    build_us,
+                );
+                shared.requests_completed.fetch_add(1, Ordering::Relaxed);
+                shared.histogram.record(job.enqueued.elapsed());
+                shared.reply(&job.writer, RESP_BUILT, &sealed.to_reply(job.request_id).encode());
+                return;
+            }
             let reply = BuildReply {
                 request_id: job.request_id,
                 options_fp: options_fingerprint(&job.options),
@@ -764,6 +982,7 @@ fn run_job(job: &Job, shared: &Arc<Shared>) {
                 cache_hits: output.stats.cache.hits,
                 cache_misses: output.stats.cache.misses,
                 build_us,
+                generation: 0,
                 stats_json: output.stats.to_json(),
             };
             // Count *before* writing: a client that has the reply in
@@ -779,6 +998,281 @@ fn run_job(job: &Job, shared: &Arc<Shared>) {
                 job.request_id,
                 &ServeError::Build { detail: e.to_string() },
             );
+        }
+    }
+}
+
+/// Seals a client build as the tenant's next generation (registering
+/// the program) and flips serving to it. When a concurrent build of
+/// the same program and options already sealed, the existing
+/// generation is returned untouched so every racing client is answered
+/// with one set of bytes.
+fn seal_generation(
+    shared: &Shared,
+    name: &str,
+    identity: CacheKey,
+    dex: &DexFile,
+    options: &BuildOptions,
+    mut output: calibro::BuildOutput,
+    build_us: u64,
+) -> Arc<SealedGeneration> {
+    let options_fp = options_fingerprint(options);
+    let mut tenants = shared.tenants.lock().expect("tenants lock");
+    let state = tenants.entry(name.to_owned()).or_insert_with(TenantState::new);
+    if let (Some(program), Some(serving)) = (&state.program, &state.serving) {
+        if program.identity == identity && serving.options_fp == options_fp {
+            return Arc::clone(serving);
+        }
+    }
+    if state.program.as_ref().is_some_and(|p| p.identity != identity) {
+        // A different program under the same tenant name: the decayed
+        // profile attributes cycles to the old method-id space, so it
+        // must start over. Generation ids stay monotonic across the
+        // change so observers never see them run backwards.
+        let (num, den) = DecayedProfile::DEFAULT_DECAY;
+        state.profile = DecayedProfile::new(num, den).expect("default decay is valid");
+    }
+    state.program = Some(TenantProgram { identity, dex: dex.clone(), options: options.clone() });
+    flip_generation(shared, state, options, &mut output, build_us)
+}
+
+/// The atomic flip: mints the next generation id, stamps it into the
+/// build stats, seals the artifact, and replaces the serving pointer in
+/// one assignment under the tenant lock.
+fn flip_generation(
+    shared: &Shared,
+    state: &mut TenantState,
+    options: &BuildOptions,
+    output: &mut calibro::BuildOutput,
+    build_us: u64,
+) -> Arc<SealedGeneration> {
+    let id = state.next_generation;
+    state.next_generation += 1;
+    output.stats.generation = id;
+    let elf = calibro_oat::to_elf_bytes(&output.oat);
+    let sealed = Arc::new(SealedGeneration {
+        id,
+        options_fp: options_fingerprint(options),
+        ltbo_fp: ltbo_fingerprint(options),
+        hot_set: options.hot_methods.clone(),
+        elf_fnv: fnv1a64(&elf),
+        elf,
+        methods: output.stats.methods as u64,
+        methods_from_cache: output.stats.methods_from_cache as u64,
+        cache_hits: output.stats.cache.hits,
+        cache_misses: output.stats.cache.misses,
+        build_us,
+        stats_json: output.stats.to_json(),
+    });
+    state.serving = Some(Arc::clone(&sealed));
+    state.generations_sealed += 1;
+    shared.generations_sealed.fetch_add(1, Ordering::Relaxed);
+    sealed
+}
+
+/// One profile upload: parse, fold into the tenant's decayed
+/// accumulator, measure drift against the serving hot set, and
+/// schedule a background re-optimization when it crosses the threshold.
+fn handle_profile(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
+    let fallback_id = body
+        .get(..8)
+        .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("slice length checked")));
+    let request = match ProfileRequest::decode(body) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(writer, fallback_id, &ServeError::from(e));
+            return true;
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.reply_error(writer, request.request_id, &ServeError::Draining);
+        return true;
+    }
+    let profile = match Profile::from_text(&request.profile_text) {
+        Ok(profile) => profile,
+        Err(e) => {
+            // The typed parse error carries the 1-based line number and
+            // the offending text; forward it verbatim so the client can
+            // pinpoint the bad line.
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(
+                writer,
+                request.request_id,
+                &ServeError::Malformed { detail: format!("profile: {e}") },
+            );
+            return true;
+        }
+    };
+    let fraction = shared.config.hot_fraction;
+    let (reply, schedule) = {
+        let mut tenants = shared.tenants.lock().expect("tenants lock");
+        let state = tenants.entry(request.tenant.clone()).or_insert_with(TenantState::new);
+        state.profile.record(&profile);
+        let serving_set =
+            state.serving.as_ref().and_then(|s| s.hot_set.clone()).unwrap_or_default();
+        let drift = state.profile.drift(&serving_set, fraction).unwrap_or(0.0);
+        let mut scheduled = false;
+        if drift >= shared.config.drift_threshold
+            && state.program.is_some()
+            && state.serving.is_some()
+            && !state.refresh_in_flight
+        {
+            state.refresh_in_flight = true;
+            state.refreshes_triggered += 1;
+            scheduled = true;
+        }
+        (
+            ProfileReply {
+                request_id: request.request_id,
+                uploads: state.profile.uploads(),
+                tracked_methods: state.profile.tracked_methods() as u64,
+                drift_ppm: to_ppm(drift),
+                refresh_scheduled: scheduled,
+                serving_generation: state.serving.as_ref().map_or(0, |s| s.id),
+            },
+            scheduled,
+        )
+    };
+    shared.profile_uploads.fetch_add(1, Ordering::Relaxed);
+    if schedule {
+        shared.refreshes_triggered.fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared.refresh_queue.lock().expect("refresh queue lock");
+        queue.push_back(request.tenant.clone());
+        drop(queue);
+        shared.refresh_cv.notify_one();
+    }
+    shared.reply(writer, RESP_PROFILE, &reply.encode());
+    true
+}
+
+/// A point-in-time snapshot of one tenant's generation state; an
+/// unregistered tenant gets an all-zeros reply with `registered:
+/// false` rather than an error, so pollers need no special casing.
+fn handle_generation_stats(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
+    let fallback_id = body
+        .get(..8)
+        .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("slice length checked")));
+    let request = match GenerationStatsRequest::decode(body) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(writer, fallback_id, &ServeError::from(e));
+            return true;
+        }
+    };
+    let tenants = shared.tenants.lock().expect("tenants lock");
+    let reply = match tenants.get(&request.tenant) {
+        Some(state) => {
+            let serving_set =
+                state.serving.as_ref().and_then(|s| s.hot_set.clone()).unwrap_or_default();
+            let drift =
+                state.profile.drift(&serving_set, shared.config.hot_fraction).unwrap_or(0.0);
+            GenerationStats {
+                request_id: request.request_id,
+                tenant: request.tenant.clone(),
+                registered: state.program.is_some(),
+                serving_generation: state.serving.as_ref().map_or(0, |s| s.id),
+                generations_sealed: state.generations_sealed,
+                refreshes_triggered: state.refreshes_triggered,
+                refresh_in_flight: state.refresh_in_flight,
+                uploads: state.profile.uploads(),
+                tracked_methods: state.profile.tracked_methods() as u64,
+                drift_ppm: to_ppm(drift),
+                hot_restricted: state.serving.as_ref().is_some_and(|s| s.hot_set.is_some()),
+                hot_set_size: state
+                    .serving
+                    .as_ref()
+                    .and_then(|s| s.hot_set.as_ref())
+                    .map_or(0, |h| h.len() as u64),
+                elf_len: state.serving.as_ref().map_or(0, |s| s.elf.len() as u64),
+                elf_fnv: state.serving.as_ref().map_or(0, |s| s.elf_fnv),
+            }
+        }
+        None => GenerationStats {
+            request_id: request.request_id,
+            tenant: request.tenant.clone(),
+            registered: false,
+            serving_generation: 0,
+            generations_sealed: 0,
+            refreshes_triggered: 0,
+            refresh_in_flight: false,
+            uploads: 0,
+            tracked_methods: 0,
+            drift_ppm: 0,
+            hot_restricted: false,
+            hot_set_size: 0,
+            elf_len: 0,
+            elf_fnv: 0,
+        },
+    };
+    drop(tenants);
+    shared.reply(writer, RESP_GENERATION_STATS, &reply.encode());
+    true
+}
+
+/// The background re-optimization worker. Pops tenants whose drift
+/// crossed the threshold, recompiles with the decayed hot set
+/// (shelving everything cold to unrestricted size-first outlining),
+/// and flips serving under the tenant lock. Drains like the build
+/// workers: pop-before-draining-check, so a refresh scheduled before
+/// shutdown still completes and flips.
+fn refresh_loop(shared: &Arc<Shared>) {
+    loop {
+        let name = {
+            let mut queue = shared.refresh_queue.lock().expect("refresh queue lock");
+            loop {
+                if let Some(name) = queue.pop_front() {
+                    break Some(name);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.refresh_cv.wait(queue).expect("refresh wait");
+            }
+        };
+        let Some(name) = name else { return };
+        refresh_tenant(&name, shared);
+    }
+}
+
+fn refresh_tenant(name: &str, shared: &Arc<Shared>) {
+    // Snapshot the program and the fresh hot set under the lock,
+    // compile unlocked: the serving generation keeps answering fetches
+    // for the whole duration of the rebuild.
+    let snapshot = {
+        let mut tenants = shared.tenants.lock().expect("tenants lock");
+        let Some(state) = tenants.get_mut(name) else { return };
+        match (&state.program, state.profile.hot_set(shared.config.hot_fraction)) {
+            (Some(program), Ok(hot)) => {
+                Some((program.identity, program.dex.clone(), program.options.clone(), hot))
+            }
+            _ => {
+                state.refresh_in_flight = false;
+                None
+            }
+        }
+    };
+    let Some((identity, dex, base_options, hot)) = snapshot else { return };
+    let options = base_options.with_hot_filter(hot);
+    let session = BuildSession::with_store(Arc::clone(&shared.store));
+    let build_start = Instant::now();
+    let result = session.build(&dex, &options);
+    let build_us = build_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let mut tenants = shared.tenants.lock().expect("tenants lock");
+    let Some(state) = tenants.get_mut(name) else { return };
+    state.refresh_in_flight = false;
+    match result {
+        Ok(mut output) => {
+            // Flip only if the registered program is still the one this
+            // refresh compiled: a re-registration that raced the rebuild
+            // must not be clobbered by an artifact for the old program.
+            if state.program.as_ref().is_some_and(|p| p.identity == identity) {
+                flip_generation(shared, state, &options, &mut output, build_us);
+            }
+        }
+        Err(_) => {
+            shared.build_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

@@ -274,6 +274,7 @@ fn misbehaving_clients_get_typed_errors_and_leave_daemon_serving() {
             ltbo_fp: calibro_server::ltbo_fingerprint(&options),
             options: options.clone(),
             dex: app.dex.clone(),
+            tenant: None,
         };
         request.options_fp = calibro::CacheKey { hi: 0xABAB, lo: 0xCDCD };
         write_frame(&mut raw, REQ_BUILD, &request.encode()).expect("send");
@@ -322,4 +323,94 @@ fn client_shutdown_request_is_acknowledged() {
     client.shutdown_server().expect("shutdown ack");
     assert!(daemon.shutdown_requested());
     daemon.shutdown();
+}
+
+/// The full profile-feedback loop against a live daemon: a tenant
+/// build seals generation 1, profile uploads shift the decayed hot set
+/// until drift crosses the threshold, the background worker recompiles
+/// and flips to generation 2 — and every fetch issued while the
+/// refresh was compiling is answered (from generation 1 or 2, each
+/// byte-identical to that generation's first sighting).
+#[test]
+fn profile_feedback_refreshes_serving_generation() {
+    let app = generate(&AppSpec::small("drifting", 23));
+    let options = BuildOptions::cto_ltbo();
+    let (daemon, socket) = start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    // Generation 1: first tenant build registers the program.
+    let gen1 = client.build_for_tenant("app-a", &app.dex, &options, None).expect("first build");
+    assert_eq!(gen1.generation, 1);
+    let refetch = client.build_for_tenant("app-a", &app.dex, &options, None).expect("refetch");
+    assert_eq!(refetch.generation, 1);
+    assert_eq!(refetch.elf, gen1.elf, "a generation's bytes are immutable");
+
+    let gs = client.generation_stats("app-a").expect("generation stats");
+    assert!(gs.registered);
+    assert_eq!(gs.serving_generation, 1);
+    assert!(!gs.hot_restricted, "generation 1 carried no hot set");
+    assert_eq!(gs.elf_len as usize, gen1.elf.len());
+
+    // A garbage profile is rejected with the offending line number and
+    // does not disturb the tenant.
+    match client.upload_profile("app-a", "0 100\nnot numbers\n") {
+        Err(calibro_server::ClientError::Server(ServeError::Malformed { detail })) => {
+            assert!(detail.contains("line 2"), "want the 1-based line in {detail:?}");
+        }
+        other => panic!("garbage profile must be a Malformed rejection, got {other:?}"),
+    }
+
+    // Concentrate the cycle weight on a few methods: drift against the
+    // unrestricted serving generation is ~the hot fraction, which is
+    // over the default threshold, so this upload schedules a refresh.
+    let profile_text = "0 4000000\n1 3000000\n2 2000000\n3 500000\n4 1\n";
+    let reply = client.upload_profile("app-a", profile_text).expect("upload");
+    assert_eq!(reply.serving_generation, 1);
+    assert!(reply.uploads >= 1);
+    assert!(
+        reply.refresh_scheduled,
+        "high drift against an unrestricted generation must schedule a refresh (got {reply:?})"
+    );
+
+    // While the refresh compiles, every fetch must be answered from a
+    // sealed generation, byte-identical within each generation.
+    let mut seen_gen2 = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let fetched =
+            client.build_for_tenant("app-a", &app.dex, &options, None).expect("no serving gap");
+        match fetched.generation {
+            1 => assert_eq!(fetched.elf, gen1.elf, "generation 1 must stay byte-stable"),
+            2 => {
+                if seen_gen2.is_empty() {
+                    seen_gen2 = fetched.elf.clone();
+                }
+                assert_eq!(fetched.elf, seen_gen2, "generation 2 must be byte-stable");
+                break;
+            }
+            g => panic!("unexpected generation {g}"),
+        }
+        assert!(Instant::now() < deadline, "refresh never flipped to generation 2");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let gs = client.generation_stats("app-a").expect("generation stats");
+    assert_eq!(gs.serving_generation, 2);
+    assert!(gs.hot_restricted, "the refreshed generation is hot-set-restricted");
+    assert!(gs.hot_set_size > 0);
+    assert_eq!(gs.generations_sealed, 2);
+    assert_eq!(gs.refreshes_triggered, 1);
+
+    // Re-uploading the same distribution: the serving hot set now
+    // matches the decayed one, so drift is ~zero and nothing refreshes.
+    let reply = client.upload_profile("app-a", profile_text).expect("steady upload");
+    assert!(!reply.refresh_scheduled, "steady-state upload must not refresh (got {reply:?})");
+    assert_eq!(reply.serving_generation, 2);
+    assert!(reply.drift_ppm < 250_000, "steady-state drift should be low: {reply:?}");
+
+    let stats = daemon.shutdown();
+    assert_eq!(stats.tenants, 1);
+    assert!(stats.profile_uploads >= 2);
+    assert_eq!(stats.generations_sealed, 2);
+    assert_eq!(stats.refreshes_triggered, 1);
 }

@@ -222,6 +222,12 @@ pub struct BuildStats {
     pub cache: CacheStats,
     /// Total instruction words before LTBO.
     pub words_before_ltbo: usize,
+    /// Profile-feedback generation this build belongs to: 0 for a
+    /// plain one-shot build, `>= 1` when calibrod built it for a
+    /// tenant's generation table (each drift-triggered refresh bumps
+    /// it). Byte determinism is promised *within* a generation — same
+    /// generation, same bytes.
+    pub generation: u64,
 }
 
 impl BuildStats {
@@ -249,7 +255,7 @@ impl BuildStats {
             concat!(
                 "{{",
                 r#""methods":{},"methods_from_cache":{},"words_before_ltbo":{},"#,
-                r#""compile_threads":{},"#,
+                r#""compile_threads":{},"generation":{},"#,
                 r#""times_us":{{"verify":{},"keys":{},"graphs":{},"inline":{},"codegen":{},"#,
                 r#""compile":{},"merge":{},"ltbo":{},"detect":{},"link":{},"total":{}}},"#,
                 r#""compile_cpu_us":{},"per_worker":[{}],"#,
@@ -282,6 +288,7 @@ impl BuildStats {
             self.methods_from_cache,
             self.words_before_ltbo,
             self.compile_threads,
+            self.generation,
             us(self.verify_time),
             us(self.key_time),
             us(self.graph_time),
@@ -465,6 +472,7 @@ mod tests {
         let stats = BuildStats {
             methods: 12,
             compile_threads: 4,
+            generation: 3,
             per_worker: vec![
                 WorkerLoad { items: 7, busy: Duration::from_micros(250) },
                 WorkerLoad { items: 5, busy: Duration::from_micros(310) },
@@ -476,6 +484,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains(r#""methods":12"#));
         assert!(json.contains(r#""compile_threads":4"#));
+        assert!(json.contains(r#""generation":3"#));
         assert!(
             json.contains(r#""per_worker":[{"items":7,"busy_us":250},{"items":5,"busy_us":310}]"#)
         );
