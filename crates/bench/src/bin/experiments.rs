@@ -28,6 +28,10 @@ fn main() {
         run_drift(&args[1..]);
         return;
     }
+    if which == "dict" {
+        run_dict(&args[1..]);
+        return;
+    }
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SCALE);
 
     eprintln!("generating the six-app suite (scale {scale}) ...");
@@ -200,6 +204,78 @@ fn run_serve(args: &[String]) {
             report.probe_sent, report.probe_rejected
         );
     }
+}
+
+/// `experiments dict [--socket PATH | --addr HOST:PORT] [--apps N]
+/// [--sdk-methods N] [--unique-methods N] [--workers N]` — the shared
+/// outline dictionary arm (see `bench::dict`): a family of apps
+/// embedding one SDK core through a single daemon, dictionary off then
+/// on, reporting the aggregate `.text` ledger. An external daemon must
+/// run `--dict`.
+fn run_dict(args: &[String]) {
+    let mut config = bench::DictLoadConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("experiments dict: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--socket" => {
+                config.endpoint =
+                    Some(bench::Endpoint::Unix(std::path::PathBuf::from(value("--socket"))));
+            }
+            "--addr" => config.endpoint = Some(bench::Endpoint::Tcp(value("--addr").clone())),
+            "--apps" => config.apps = parse_flag(value("--apps"), "--apps"),
+            "--sdk-methods" => {
+                config.sdk_methods = parse_flag(value("--sdk-methods"), "--sdk-methods");
+            }
+            "--unique-methods" => {
+                config.unique_methods = parse_flag(value("--unique-methods"), "--unique-methods");
+            }
+            "--workers" => config.workers = parse_flag(value("--workers"), "--workers"),
+            other => {
+                eprintln!("experiments dict: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    header("shared outline dictionary: aggregate .text across an app family");
+    let report = bench::dict_load(&config);
+    let json_path = "BENCH_dict.json";
+    match std::fs::write(json_path, report.to_json()) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+    println!("| App | private .text | shared .text | delta | hits | publishes | linked |");
+    println!("|---|---|---|---|---|---|---|");
+    for a in &report.apps {
+        println!(
+            "| {} | {} | {} | {:+} | {} | {} | {} |",
+            a.name,
+            a.private_text,
+            a.shared_text,
+            a.shared_text as i64 - a.private_text as i64,
+            a.hits,
+            a.publishes,
+            a.linked
+        );
+    }
+    println!(
+        "island: epoch {}, {} entries, {} bytes (emitted once per daemon)",
+        report.epoch, report.island_entries, report.island_bytes
+    );
+    println!(
+        "dictionary: {} hits, {} publishes, {} private-preferred",
+        report.hits, report.publishes, report.private_preferred
+    );
+    println!(
+        "aggregate .text: private {} vs shared {} ({:.2}% smaller)",
+        report.aggregate_private, report.aggregate_shared, report.reduction_pct
+    );
 }
 
 /// `experiments fleet [--shard ID=unix:PATH | --shard ID=tcp:ADDR]...

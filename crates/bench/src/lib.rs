@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dict;
 pub mod drift;
 pub mod experiments;
 pub mod fleet;
 pub mod serve;
 
+pub use dict::{dict_load, family_app, DictAppRow, DictLoadConfig, DictReport};
 pub use drift::{drift_feedback, DriftConfig, DriftReport};
 pub use experiments::*;
 pub use fleet::{fleet_load, FleetLoadConfig, FleetReport};

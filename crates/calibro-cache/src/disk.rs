@@ -17,7 +17,8 @@ use calibro_hgraph::PassStats;
 use calibro_isa::Insn;
 
 use crate::entry::{
-    CacheEntry, GroupPlanEntry, MergePlanEntry, MergePlanGroup, SymbolTemplate, TemplateSlot,
+    CacheEntry, DictEntry, GroupPlanEntry, MergePlanEntry, MergePlanGroup, SymbolTemplate,
+    TemplateSlot,
 };
 use crate::error::CacheError;
 use crate::hash::CacheKey;
@@ -26,12 +27,14 @@ use crate::hash::CacheKey;
 /// as corrupt (and overwritten on the next store).
 ///
 /// Version 2: call-target tag 5 (`Merged`) and the `.calm` merge-plan
-/// lane.
-pub const FORMAT_VERSION: u32 = 2;
+/// lane. Version 3: call-target tag 6 (`Dict`) and the `.cald`
+/// shared-dictionary lane.
+pub const FORMAT_VERSION: u32 = 3;
 
 const MAGIC: [u8; 4] = *b"CALC";
 const GROUP_MAGIC: [u8; 4] = *b"CALG";
 const MERGE_MAGIC: [u8; 4] = *b"CALM";
+const DICT_MAGIC: [u8; 4] = *b"CALD";
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.calc", key.to_hex()))
@@ -43,6 +46,10 @@ fn group_path(dir: &Path, key: CacheKey) -> PathBuf {
 
 fn merge_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.calm", key.to_hex()))
+}
+
+fn dict_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.cald", key.to_hex()))
 }
 
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -85,7 +92,7 @@ fn write_atomic(dir: &Path, path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(),
 
 /// Removes stale temp files (`*.tmp<pid>`) left behind by crashed or
 /// killed writers, returning how many were removed. Entries proper
-/// (`*.calc` / `*.calg` / `*.calm`) are never touched. Called when a store opens a
+/// (`*.calc` / `*.calg` / `*.calm` / `*.cald`) are never touched. Called when a store opens a
 /// disk directory; racing an in-flight writer is harmless because a
 /// clobbered rename is best-effort anyway and the writer's entry is
 /// rewritten on its next store.
@@ -214,6 +221,46 @@ pub(crate) fn has_merge(dir: &Path, key: CacheKey) -> bool {
     merge_path(dir, key).exists()
 }
 
+/// Persists a shared-dictionary body under `dir` as `<key>.cald`,
+/// best-effort atomic like [`store`].
+///
+/// # Errors
+///
+/// Returns [`CacheError::Io`] on filesystem failures and
+/// [`CacheError::Corrupt`] when the body contains an instruction that
+/// does not encode.
+pub fn store_dict(dir: &Path, key: CacheKey, entry: &DictEntry) -> Result<(), CacheError> {
+    let path = dict_path(dir, key);
+    let payload = serialize_dict(entry)
+        .map_err(|detail| CacheError::Corrupt { path: path.clone(), detail })?;
+    let bytes = frame(DICT_MAGIC, key, &payload);
+    let tmp = dir.join(format!("{}.cald.tmp{}", key.to_hex(), std::process::id()));
+    write_atomic(dir, &path, &tmp, &bytes)
+}
+
+/// Loads and validates the dictionary body for `key`, `Ok(None)` when
+/// absent.
+///
+/// # Errors
+///
+/// Returns [`CacheError`] when the file exists but cannot be read or
+/// fails any validation step.
+pub fn load_dict(dir: &Path, key: CacheKey) -> Result<Option<DictEntry>, CacheError> {
+    let path = dict_path(dir, key);
+    let Some(bytes) = read_if_present(&path)? else { return Ok(None) };
+    let corrupt =
+        |detail: &str| CacheError::Corrupt { path: path.clone(), detail: detail.to_owned() };
+    let payload = checked_payload(&bytes, DICT_MAGIC, key).map_err(|d| corrupt(&d))?;
+    let entry = deserialize_dict(payload).map_err(|d| corrupt(&d))?;
+    validate_dict_entry(&entry).map_err(|d| corrupt(&d))?;
+    Ok(Some(entry))
+}
+
+/// Dictionary twin of [`has_entry`].
+pub(crate) fn has_dict(dir: &Path, key: CacheKey) -> bool {
+    dict_path(dir, key).exists()
+}
+
 /// Serializes `entry` into the checksummed interchange frame — the
 /// exact bytes [`store`] persists. The frame doubles as the peer-wire
 /// payload so a fetched artifact passes through the same magic /
@@ -277,6 +324,33 @@ pub fn merge_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<MergePlanEntry, S
     let payload = checked_payload(bytes, MERGE_MAGIC, key)?;
     let entry = deserialize_merge(payload)?;
     validate_merge_entry(&entry)?;
+    Ok(entry)
+}
+
+/// Dictionary twin of [`entry_to_bytes`].
+///
+/// # Errors
+///
+/// Returns a description when the body contains an instruction that
+/// does not encode.
+pub fn dict_to_bytes(key: CacheKey, entry: &DictEntry) -> Result<Vec<u8>, String> {
+    Ok(frame(DICT_MAGIC, key, &serialize_dict(entry)?))
+}
+
+/// Dictionary twin of [`entry_from_bytes`] — the gauntlet every
+/// peer-fetched dictionary body passes: magic, format version, key
+/// match, checksum, decode, then structural validation. A corrupt body
+/// surfaces here as an error the store counts under `dict_peer_errors`,
+/// never as a servable entry.
+///
+/// # Errors
+///
+/// Returns a description of the first failed check, as in
+/// [`entry_from_bytes`].
+pub fn dict_from_bytes(key: CacheKey, bytes: &[u8]) -> Result<DictEntry, String> {
+    let payload = checked_payload(bytes, DICT_MAGIC, key)?;
+    let entry = deserialize_dict(payload)?;
+    validate_dict_entry(&entry)?;
     Ok(entry)
 }
 
@@ -446,6 +520,28 @@ pub fn validate_merge_entry(entry: &MergePlanEntry) -> Result<(), String> {
     Ok(())
 }
 
+/// Structural validation of a loaded dictionary body: the body must be
+/// non-empty (an empty shared function cannot save anything and its
+/// island slot would alias the next entry's), and the recorded calling
+/// convention must name valid, distinct registers — so a poisoned or
+/// maliciously crafted peer reply is rejected with a typed error before
+/// it can enter any epoch layout.
+pub fn validate_dict_entry(entry: &DictEntry) -> Result<(), String> {
+    if entry.insns.is_empty() {
+        return Err("empty dictionary body".to_owned());
+    }
+    let mut seen = [false; 32];
+    for &r in &entry.regs {
+        if r >= 32 {
+            return Err(format!("calling-convention register {r} out of range"));
+        }
+        if std::mem::replace(&mut seen[r as usize], true) {
+            return Err(format!("calling-convention register {r} listed twice"));
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Codec.
 // ---------------------------------------------------------------------
@@ -501,6 +597,10 @@ fn serialize_entry(entry: &CacheEntry) -> Result<Vec<u8>, String> {
             }
             CallTarget::Merged(i) => {
                 w.u8(5);
+                w.u32(*i);
+            }
+            CallTarget::Dict(i) => {
+                w.u8(6);
                 w.u32(*i);
             }
         }
@@ -682,6 +782,7 @@ fn deserialize_entry(payload: &[u8]) -> Result<CacheEntry, String> {
             3 => CallTarget::Thunk(ThunkKind::StackCheck),
             4 => CallTarget::Outlined(r.u32()?),
             5 => CallTarget::Merged(r.u32()?),
+            6 => CallTarget::Dict(r.u32()?),
             t => return Err(format!("unknown call-target tag {t}")),
         };
         relocs.push(Reloc { at, target });
@@ -833,6 +934,42 @@ fn serialize_merge(entry: &MergePlanEntry) -> Vec<u8> {
         }
     }
     w.0
+}
+
+fn serialize_dict(entry: &DictEntry) -> Result<Vec<u8>, String> {
+    let DictEntry { insns, regs } = entry;
+    let mut w = Writer(Vec::new());
+    w.len(insns.len());
+    for insn in insns {
+        let word = insn.encode().map_err(|e| format!("unencodable instruction: {e}"))?;
+        w.u32(word);
+    }
+    w.len(regs.len());
+    for &r in regs {
+        w.u8(r);
+    }
+    Ok(w.0)
+}
+
+fn deserialize_dict(payload: &[u8]) -> Result<DictEntry, String> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let n_insns = r.bounded_len(4)?;
+    let mut insns: Vec<Insn> = Vec::with_capacity(n_insns);
+    for _ in 0..n_insns {
+        let word = r.u32()?;
+        let insn =
+            calibro_isa::decode(word).map_err(|e| format!("undecodable word {word:#010x}: {e}"))?;
+        insns.push(insn);
+    }
+    let n_regs = r.bounded_len(1)?;
+    let mut regs = Vec::with_capacity(n_regs);
+    for _ in 0..n_regs {
+        regs.push(r.u8()?);
+    }
+    if r.pos != payload.len() {
+        return Err(format!("{} trailing bytes", payload.len() - r.pos));
+    }
+    Ok(DictEntry { insns, regs })
 }
 
 fn deserialize_merge(payload: &[u8]) -> Result<MergePlanEntry, String> {
@@ -1076,6 +1213,81 @@ mod tests {
         let mut m = sample_merge();
         m.groups[0].diff_positions = vec![4, 1];
         assert!(validate_merge_entry(&m).is_err(), "unsorted diff positions accepted");
+    }
+
+    fn sample_dict() -> DictEntry {
+        DictEntry {
+            insns: vec![
+                Insn::AddImm {
+                    wide: true,
+                    set_flags: false,
+                    rd: Reg::X0,
+                    rn: Reg::X1,
+                    imm12: 3,
+                    shift12: false,
+                },
+                Insn::OrrReg { wide: true, rd: Reg::X2, rn: Reg::ZR, rm: Reg::X0, shift: 0 },
+            ],
+            regs: vec![0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn dict_body_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("calibro-dct-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 0x55, lo: 0x66 };
+        let entry = sample_dict();
+        store_dict(&dir, key, &entry).expect("store succeeds");
+        let back = load_dict(&dir, key).expect("load succeeds").expect("entry present");
+        assert_eq!(back, entry);
+        // Same-key probes on the other lanes stay independent.
+        assert!(load(&dir, key).unwrap().is_none());
+        assert!(load_group(&dir, key).unwrap().is_none());
+        assert!(load_merge(&dir, key).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_dict_body_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("calibro-dct-cor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey { hi: 13, lo: 14 };
+        store_dict(&dir, key, &sample_dict()).expect("store succeeds");
+        let path = dict_path(&dir, key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_dict(&dir, key), Err(CacheError::Corrupt { .. })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dict_interchange_frame_rejects_wrong_key_and_tamper() {
+        let key = CacheKey { hi: 1, lo: 2 };
+        let entry = sample_dict();
+        let bytes = dict_to_bytes(key, &entry).unwrap();
+        assert_eq!(dict_from_bytes(key, &bytes).unwrap(), entry);
+        // A frame served under the wrong key must not validate.
+        assert!(dict_from_bytes(CacheKey { hi: 1, lo: 3 }, &bytes).is_err());
+        let mut tampered = bytes.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xFF;
+        assert!(dict_from_bytes(key, &tampered).is_err());
+    }
+
+    #[test]
+    fn dict_validation_rejects_malformed_bodies() {
+        let mut d = sample_dict();
+        d.insns.clear();
+        assert!(validate_dict_entry(&d).is_err(), "empty body accepted");
+        let mut d = sample_dict();
+        d.regs = vec![0, 40];
+        assert!(validate_dict_entry(&d).is_err(), "out-of-range register accepted");
+        let mut d = sample_dict();
+        d.regs = vec![5, 5];
+        assert!(validate_dict_entry(&d).is_err(), "duplicate register accepted");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::cell::RefCell;
 
 use calibro_codegen::CompiledMethod;
 use calibro_hgraph::PassStats;
+use calibro_isa::Insn;
 use calibro_suffix::{stable_sequence_hash, OutlineCandidate, UNIQUE_SEPARATOR_BASE};
 
 use crate::hash::{CacheKey, StableHasher};
@@ -323,6 +324,32 @@ impl MergePlanEntry {
             bytes += 48 + g.members.len() * 4 + g.diff_positions.len() * 4;
         }
         bytes
+    }
+}
+
+/// One shared-dictionary body: the concrete instruction sequence of an
+/// outlined function published by some tenant, keyed in the dict lane by
+/// the 128-bit hash of its *canonicalized* (register-renamed) form. The
+/// value keeps the concrete body — reuse requires an exact instruction
+/// match, so a canonical-key hit with a register-renamed body falls back
+/// to private outlining — plus the calling-convention metadata: which
+/// concrete registers the body touches, in first-use order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DictEntry {
+    /// The outlined body exactly as it appears at every call site (the
+    /// trailing `br x30` is appended at island emission, not stored).
+    pub insns: Vec<Insn>,
+    /// Concrete renameable registers the body uses, in first-use order —
+    /// the calling convention a marshalling caller would have to honour.
+    pub regs: Vec<u8>,
+}
+
+impl DictEntry {
+    /// Approximate resident size in bytes (see
+    /// [`CacheEntry::approx_bytes`]).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        64 + self.insns.len() * 8 + self.regs.len()
     }
 }
 

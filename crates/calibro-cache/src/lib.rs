@@ -37,11 +37,12 @@ mod policy;
 mod store;
 
 pub use disk::{
-    entry_from_bytes, entry_to_bytes, group_from_bytes, group_to_bytes, merge_from_bytes,
-    merge_to_bytes, validate_entry, validate_group_entry, validate_merge_entry, FORMAT_VERSION,
+    dict_from_bytes, dict_to_bytes, entry_from_bytes, entry_to_bytes, group_from_bytes,
+    group_to_bytes, merge_from_bytes, merge_to_bytes, validate_dict_entry, validate_entry,
+    validate_group_entry, validate_merge_entry, FORMAT_VERSION,
 };
 pub use entry::{
-    sequence_content_key, CacheEntry, GroupPlanEntry, MergePlanEntry, MergePlanGroup,
+    sequence_content_key, CacheEntry, DictEntry, GroupPlanEntry, MergePlanEntry, MergePlanGroup,
     SymbolTemplate, TemplateSlot,
 };
 pub use error::CacheError;
@@ -53,4 +54,4 @@ pub use store::{ArtifactStore, CacheConfig, CacheStats};
 /// Schema salt folded into every cache key: the crate version plus a
 /// manually bumped counter for behavioural changes that do not move the
 /// version (e.g. a codegen fix). Keys from other schemas never match.
-pub const SCHEMA_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+s4");
+pub const SCHEMA_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+s5");

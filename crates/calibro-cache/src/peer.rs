@@ -16,7 +16,7 @@
 //! The store trusts a returned entry exactly as far as it trusts a disk
 //! read — wrong bytes must surface as [`PeerError`], never as an entry.
 
-use crate::entry::{CacheEntry, GroupPlanEntry};
+use crate::entry::{CacheEntry, DictEntry, GroupPlanEntry};
 use crate::hash::CacheKey;
 
 /// Why a peer fetch failed. Every failure mode in the fleet fault
@@ -90,6 +90,19 @@ pub trait PeerSource: Send + Sync {
     ///
     /// Same contract as [`fetch_entry`](Self::fetch_entry).
     fn fetch_group(&self, key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError>;
+
+    /// Fetches a shared-dictionary body by canonical key from the
+    /// fleet. Defaults to not-found so sources predating the dictionary
+    /// lane (and test doubles that only exercise the method lanes)
+    /// compose unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`fetch_entry`](Self::fetch_entry).
+    fn fetch_dict(&self, key: CacheKey) -> Result<Option<(DictEntry, u64)>, PeerError> {
+        let _ = key;
+        Ok(None)
+    }
 
     /// Fetches many method artifacts at once, one result per input key
     /// in order. The default loops [`fetch_entry`](Self::fetch_entry);

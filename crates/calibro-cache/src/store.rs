@@ -23,7 +23,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use crate::disk;
-use crate::entry::{CacheEntry, GroupPlanEntry, MergePlanEntry};
+use crate::entry::{CacheEntry, DictEntry, GroupPlanEntry, MergePlanEntry};
 use crate::error::CacheError;
 use crate::hash::CacheKey;
 use crate::peer::PeerSource;
@@ -49,6 +49,9 @@ pub struct CacheConfig {
     /// In-memory byte budget of the merge-plan lane, enforced
     /// independently of the other lanes.
     pub merge_budget_bytes: usize,
+    /// In-memory byte budget of the shared-dictionary lane, enforced
+    /// independently of the other lanes.
+    pub dict_budget_bytes: usize,
 }
 
 impl Default for CacheConfig {
@@ -59,6 +62,7 @@ impl Default for CacheConfig {
             method_budget_bytes: usize::MAX,
             group_budget_bytes: usize::MAX,
             merge_budget_bytes: usize::MAX,
+            dict_budget_bytes: usize::MAX,
         }
     }
 }
@@ -137,6 +141,30 @@ pub struct CacheStats {
     pub merge_promotions: u64,
     /// Cumulative analysis cost (µs) of evicted merge plans.
     pub merge_evict_cost_us: u64,
+    /// Dictionary lookups that found a shared body (candidate costed
+    /// with call overhead only).
+    pub dict_hits: u64,
+    /// Dictionary lookups that found nothing on any tier.
+    pub dict_misses: u64,
+    /// Dictionary bodies published (inserted).
+    pub dict_stores: u64,
+    /// Dictionary bodies evicted by the capacity or byte budgets.
+    pub dict_evictions: u64,
+    /// Dictionary lookups satisfied from the disk layer.
+    pub dict_disk_hits: u64,
+    /// Dictionary bodies persisted to the disk layer.
+    pub dict_disk_stores: u64,
+    /// Dictionary disk hits promoted into the in-memory map (see
+    /// [`promotions`](Self::promotions)).
+    pub dict_promotions: u64,
+    /// Dictionary lookups satisfied by a fleet peer.
+    pub dict_peer_hits: u64,
+    /// Dictionary peer consultations that answered not-found.
+    pub dict_peer_misses: u64,
+    /// Dictionary peer consultations that failed.
+    pub dict_peer_errors: u64,
+    /// Cumulative publish cost (µs) of evicted dictionary bodies.
+    pub dict_evict_cost_us: u64,
     /// Method-lane lock acquisitions that found the lock held by
     /// another thread (a contended shared-store access). Zero in
     /// single-build use; under a multi-tenant daemon this measures how
@@ -146,6 +174,8 @@ pub struct CacheStats {
     pub group_lock_contention: u64,
     /// Merge-plan-lane lock acquisitions that found the lock held.
     pub merge_lock_contention: u64,
+    /// Dictionary-lane lock acquisitions that found the lock held.
+    pub dict_lock_contention: u64,
 }
 
 impl CacheStats {
@@ -183,9 +213,21 @@ impl CacheStats {
             merge_disk_stores: self.merge_disk_stores - earlier.merge_disk_stores,
             merge_promotions: self.merge_promotions - earlier.merge_promotions,
             merge_evict_cost_us: self.merge_evict_cost_us - earlier.merge_evict_cost_us,
+            dict_hits: self.dict_hits - earlier.dict_hits,
+            dict_misses: self.dict_misses - earlier.dict_misses,
+            dict_stores: self.dict_stores - earlier.dict_stores,
+            dict_evictions: self.dict_evictions - earlier.dict_evictions,
+            dict_disk_hits: self.dict_disk_hits - earlier.dict_disk_hits,
+            dict_disk_stores: self.dict_disk_stores - earlier.dict_disk_stores,
+            dict_promotions: self.dict_promotions - earlier.dict_promotions,
+            dict_peer_hits: self.dict_peer_hits - earlier.dict_peer_hits,
+            dict_peer_misses: self.dict_peer_misses - earlier.dict_peer_misses,
+            dict_peer_errors: self.dict_peer_errors - earlier.dict_peer_errors,
+            dict_evict_cost_us: self.dict_evict_cost_us - earlier.dict_evict_cost_us,
             lock_contention: self.lock_contention - earlier.lock_contention,
             group_lock_contention: self.group_lock_contention - earlier.group_lock_contention,
             merge_lock_contention: self.merge_lock_contention - earlier.merge_lock_contention,
+            dict_lock_contention: self.dict_lock_contention - earlier.dict_lock_contention,
         }
     }
 
@@ -231,6 +273,20 @@ impl CacheStats {
         }
     }
 
+    /// Dictionary hit fraction in `[0, 1]`; `0` when no dictionary
+    /// lookups happened.
+    #[must_use]
+    pub fn dict_hit_rate(&self) -> f64 {
+        let total = self.dict_hits + self.dict_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.dict_hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of method-lane peer consultations served by a sibling,
     /// in `[0, 1]`; `0` when no peer was consulted.
     #[must_use]
@@ -261,6 +317,11 @@ struct MergeInner {
     policy: Lane2Q,
 }
 
+struct DictInner {
+    map: HashMap<CacheKey, Arc<DictEntry>>,
+    policy: Lane2Q,
+}
+
 /// The content-addressed store. Cheap to share: wrap in `Arc` or hold
 /// per [`BuildSession`](https://docs.rs); all methods take `&self`.
 ///
@@ -275,6 +336,7 @@ pub struct ArtifactStore {
     inner: Mutex<StoreInner>,
     groups: Mutex<GroupInner>,
     merges: Mutex<MergeInner>,
+    dicts: Mutex<DictInner>,
     config: CacheConfig,
     peer: OnceLock<Arc<dyn PeerSource>>,
     hits: AtomicU64,
@@ -307,9 +369,21 @@ pub struct ArtifactStore {
     merge_disk_stores: AtomicU64,
     merge_promotions: AtomicU64,
     merge_evict_cost_us: AtomicU64,
+    dict_hits: AtomicU64,
+    dict_misses: AtomicU64,
+    dict_stores: AtomicU64,
+    dict_evictions: AtomicU64,
+    dict_disk_hits: AtomicU64,
+    dict_disk_stores: AtomicU64,
+    dict_promotions: AtomicU64,
+    dict_peer_hits: AtomicU64,
+    dict_peer_misses: AtomicU64,
+    dict_peer_errors: AtomicU64,
+    dict_evict_cost_us: AtomicU64,
     lock_contention: AtomicU64,
     group_lock_contention: AtomicU64,
     merge_lock_contention: AtomicU64,
+    dict_lock_contention: AtomicU64,
 }
 
 impl Default for ArtifactStore {
@@ -341,10 +415,12 @@ impl ArtifactStore {
         let method_policy = Lane2Q::new(config.max_entries, config.method_budget_bytes);
         let group_policy = Lane2Q::new(config.max_entries, config.group_budget_bytes);
         let merge_policy = Lane2Q::new(config.max_entries, config.merge_budget_bytes);
+        let dict_policy = Lane2Q::new(config.max_entries, config.dict_budget_bytes);
         ArtifactStore {
             inner: Mutex::new(StoreInner { map: HashMap::new(), policy: method_policy }),
             groups: Mutex::new(GroupInner { map: HashMap::new(), policy: group_policy }),
             merges: Mutex::new(MergeInner { map: HashMap::new(), policy: merge_policy }),
+            dicts: Mutex::new(DictInner { map: HashMap::new(), policy: dict_policy }),
             config,
             peer: OnceLock::new(),
             hits: AtomicU64::new(0),
@@ -377,9 +453,21 @@ impl ArtifactStore {
             merge_disk_stores: AtomicU64::new(0),
             merge_promotions: AtomicU64::new(0),
             merge_evict_cost_us: AtomicU64::new(0),
+            dict_hits: AtomicU64::new(0),
+            dict_misses: AtomicU64::new(0),
+            dict_stores: AtomicU64::new(0),
+            dict_evictions: AtomicU64::new(0),
+            dict_disk_hits: AtomicU64::new(0),
+            dict_disk_stores: AtomicU64::new(0),
+            dict_promotions: AtomicU64::new(0),
+            dict_peer_hits: AtomicU64::new(0),
+            dict_peer_misses: AtomicU64::new(0),
+            dict_peer_errors: AtomicU64::new(0),
+            dict_evict_cost_us: AtomicU64::new(0),
             lock_contention: AtomicU64::new(0),
             group_lock_contention: AtomicU64::new(0),
             merge_lock_contention: AtomicU64::new(0),
+            dict_lock_contention: AtomicU64::new(0),
         }
     }
 
@@ -419,6 +507,16 @@ impl ArtifactStore {
         }
         self.merge_lock_contention.fetch_add(1, Ordering::Relaxed);
         self.merges.lock()
+    }
+
+    /// Acquires the dictionary-lane lock, counting contention like
+    /// [`lock_inner`](Self::lock_inner).
+    fn lock_dicts(&self) -> parking_lot::MutexGuard<'_, DictInner> {
+        if let Some(guard) = self.dicts.try_lock() {
+            return guard;
+        }
+        self.dict_lock_contention.fetch_add(1, Ordering::Relaxed);
+        self.dicts.lock()
     }
 
     /// Number of in-memory entries.
@@ -882,6 +980,141 @@ impl ArtifactStore {
         (arc, true)
     }
 
+    /// Memory-then-disk dictionary lookup; see
+    /// [`local_lookup`](Self::local_lookup).
+    fn local_dict_lookup(
+        &self,
+        key: CacheKey,
+        count: bool,
+    ) -> Result<Option<(Arc<DictEntry>, u64)>, CacheError> {
+        {
+            let mut dicts = self.lock_dicts();
+            if let Some(entry) = dicts.map.get(&key) {
+                let arc = Arc::clone(entry);
+                let cost = dicts.policy.cost_of(key).unwrap_or(0);
+                dicts.policy.on_hit(key);
+                if count {
+                    self.dict_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, cost)));
+            }
+        }
+        if let Some(dir) = &self.config.disk_dir {
+            if let Some(entry) = disk::load_dict(dir, key)? {
+                if count {
+                    self.dict_disk_hits.fetch_add(1, Ordering::Relaxed);
+                    self.dict_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                let (arc, promoted) = self.insert_dict_memory(key, entry, 0);
+                if count && promoted {
+                    self.dict_promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Some((arc, 0)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Looks a shared-dictionary body up through every tier: memory,
+    /// then the disk layer, then the peer tier — the dictionary twin of
+    /// [`get`](Self::get), with the same degrade-to-miss contract on
+    /// peer failures. A body a sibling shard published is as good as a
+    /// local one: the canonical key pins the exact instruction
+    /// sequence, and peer payloads pass the same validation as disk
+    /// reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] when a local disk body exists but is
+    /// corrupt or unreadable — surfaced, not masked as a miss.
+    pub fn get_dict(&self, key: CacheKey) -> Result<Option<Arc<DictEntry>>, CacheError> {
+        if let Some((arc, _)) = self.local_dict_lookup(key, true)? {
+            return Ok(Some(arc));
+        }
+        if let Some(peer) = self.peer.get() {
+            match peer.fetch_dict(key) {
+                Ok(Some((entry, cost_us))) => {
+                    self.dict_peer_hits.fetch_add(1, Ordering::Relaxed);
+                    self.dict_hits.fetch_add(1, Ordering::Relaxed);
+                    let (arc, _) = self.insert_dict_memory(key, entry, cost_us);
+                    return Ok(Some(arc));
+                }
+                Ok(None) => {
+                    self.dict_peer_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.dict_peer_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.dict_misses.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    }
+
+    /// Dictionary twin of [`get_for_peer`](Self::get_for_peer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError`] on a corrupt local disk body.
+    pub fn get_dict_for_peer(
+        &self,
+        key: CacheKey,
+    ) -> Result<Option<(Arc<DictEntry>, u64)>, CacheError> {
+        self.local_dict_lookup(key, false)
+    }
+
+    /// Publishes a dictionary body under its canonical `key` with the
+    /// cost (µs) the publishing build paid to produce it, returning the
+    /// shared handle (keep-first on duplicates, like
+    /// [`insert`](Self::insert)). Persists to disk when configured —
+    /// only for genuinely new keys.
+    pub fn insert_dict_with_cost(
+        &self,
+        key: CacheKey,
+        entry: DictEntry,
+        cost_us: u64,
+    ) -> Arc<DictEntry> {
+        let (arc, inserted) = self.insert_dict_memory(key, entry, cost_us);
+        if inserted {
+            self.dict_stores.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &self.config.disk_dir {
+                if disk::store_dict(dir, key, &arc).is_ok() {
+                    self.dict_disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        arc
+    }
+
+    /// [`insert_dict_with_cost`](Self::insert_dict_with_cost) with an
+    /// unrecorded (zero) publish cost.
+    pub fn insert_dict(&self, key: CacheKey, entry: DictEntry) -> Arc<DictEntry> {
+        self.insert_dict_with_cost(key, entry, 0)
+    }
+
+    /// Dictionary twin of [`insert_memory`](Self::insert_memory).
+    fn insert_dict_memory(
+        &self,
+        key: CacheKey,
+        entry: DictEntry,
+        cost_us: u64,
+    ) -> (Arc<DictEntry>, bool) {
+        let mut dicts = self.lock_dicts();
+        if let Some(existing) = dicts.map.get(&key) {
+            return (Arc::clone(existing), false);
+        }
+        let bytes = entry.approx_bytes();
+        let arc = Arc::new(entry);
+        dicts.map.insert(key, Arc::clone(&arc));
+        for victim in dicts.policy.on_insert(key, bytes, cost_us) {
+            if dicts.map.remove(&victim.key).is_some() {
+                self.dict_evictions.fetch_add(1, Ordering::Relaxed);
+                self.dict_evict_cost_us.fetch_add(victim.cost_us, Ordering::Relaxed);
+            }
+        }
+        (arc, true)
+    }
+
     /// Persists every in-memory entry (all lanes) that the disk layer
     /// does not already hold, returning how many files were written. A
     /// draining daemon calls this so peer-fetched and promoted entries
@@ -926,6 +1159,17 @@ impl ArtifactStore {
                 written += 1;
             }
         }
+        let dict_bodies: Vec<(CacheKey, Arc<DictEntry>)> =
+            self.lock_dicts().map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+        for (key, body) in dict_bodies {
+            if disk::has_dict(&dir, key) {
+                continue;
+            }
+            if disk::store_dict(&dir, key, &body).is_ok() {
+                self.dict_disk_stores.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        }
         written
     }
 
@@ -963,9 +1207,21 @@ impl ArtifactStore {
             merge_disk_stores: self.merge_disk_stores.load(Ordering::Relaxed),
             merge_promotions: self.merge_promotions.load(Ordering::Relaxed),
             merge_evict_cost_us: self.merge_evict_cost_us.load(Ordering::Relaxed),
+            dict_hits: self.dict_hits.load(Ordering::Relaxed),
+            dict_misses: self.dict_misses.load(Ordering::Relaxed),
+            dict_stores: self.dict_stores.load(Ordering::Relaxed),
+            dict_evictions: self.dict_evictions.load(Ordering::Relaxed),
+            dict_disk_hits: self.dict_disk_hits.load(Ordering::Relaxed),
+            dict_disk_stores: self.dict_disk_stores.load(Ordering::Relaxed),
+            dict_promotions: self.dict_promotions.load(Ordering::Relaxed),
+            dict_peer_hits: self.dict_peer_hits.load(Ordering::Relaxed),
+            dict_peer_misses: self.dict_peer_misses.load(Ordering::Relaxed),
+            dict_peer_errors: self.dict_peer_errors.load(Ordering::Relaxed),
+            dict_evict_cost_us: self.dict_evict_cost_us.load(Ordering::Relaxed),
             lock_contention: self.lock_contention.load(Ordering::Relaxed),
             group_lock_contention: self.group_lock_contention.load(Ordering::Relaxed),
             merge_lock_contention: self.merge_lock_contention.load(Ordering::Relaxed),
+            dict_lock_contention: self.dict_lock_contention.load(Ordering::Relaxed),
         }
     }
 }
@@ -1152,6 +1408,63 @@ mod tests {
         assert!((s.merge_hit_rate() - 0.5).abs() < 1e-9);
     }
 
+    fn dict_body(imm: u16) -> DictEntry {
+        DictEntry {
+            insns: vec![
+                calibro_isa::Insn::Movz {
+                    wide: false,
+                    rd: calibro_isa::Reg::new(0),
+                    imm16: imm,
+                    hw: 0,
+                },
+                calibro_isa::Insn::AddReg {
+                    wide: false,
+                    set_flags: false,
+                    rd: calibro_isa::Reg::new(0),
+                    rn: calibro_isa::Reg::new(0),
+                    rm: calibro_isa::Reg::new(1),
+                    shift: 0,
+                },
+            ],
+            regs: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn dict_lane_has_independent_counters() {
+        let store = ArtifactStore::default();
+        assert!(store.get_dict(key(1)).unwrap().is_none());
+        store.insert_dict(key(1), dict_body(9));
+        let hit = store.get_dict(key(1)).unwrap().expect("published body found");
+        assert_eq!(hit.regs, vec![0, 1]);
+        let s = store.stats();
+        assert_eq!((s.dict_hits, s.dict_misses, s.dict_stores), (1, 1, 1));
+        // No sibling lane moves, even for an equal key.
+        assert_eq!((s.hits, s.misses, s.stores), (0, 0, 0));
+        assert_eq!((s.group_hits, s.group_misses, s.group_stores), (0, 0, 0));
+        assert_eq!((s.merge_hits, s.merge_misses, s.merge_stores), (0, 0, 0));
+        assert!(store.get(key(1)).unwrap().is_none());
+        assert!((s.dict_hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dict_bodies_persist_across_store_instances() {
+        let dir = std::env::temp_dir().join(format!("calibro-dict-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+        let first = ArtifactStore::new(config.clone());
+        first.insert_dict(key(4), dict_body(77));
+        assert_eq!(first.stats().dict_disk_stores, 1);
+        drop(first);
+        // A disk hit on a fresh store is a promotion, never a store.
+        let second = ArtifactStore::new(config);
+        let back = second.get_dict(key(4)).unwrap().expect("body reloaded from disk");
+        assert_eq!(*back, dict_body(77));
+        let s = second.stats();
+        assert_eq!((s.dict_disk_hits, s.dict_promotions, s.dict_stores), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn merge_plans_persist_across_store_instances() {
         let dir = std::env::temp_dir().join(format!("calibro-mrg-store-{}", std::process::id()));
@@ -1292,6 +1605,9 @@ mod tests {
         fn fetch_group(&self, _key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError> {
             Ok(Some((group(self.id as usize), self.cost_us)))
         }
+        fn fetch_dict(&self, _key: CacheKey) -> Result<Option<(DictEntry, u64)>, PeerError> {
+            Ok(Some((dict_body(self.id as u16), self.cost_us)))
+        }
     }
 
     /// A peer whose transport always fails.
@@ -1302,6 +1618,9 @@ mod tests {
             Err(PeerError::Hangup { peer: "test".into(), detail: "scripted".into() })
         }
         fn fetch_group(&self, _key: CacheKey) -> Result<Option<(GroupPlanEntry, u64)>, PeerError> {
+            Err(PeerError::Hangup { peer: "test".into(), detail: "scripted".into() })
+        }
+        fn fetch_dict(&self, _key: CacheKey) -> Result<Option<(DictEntry, u64)>, PeerError> {
             Err(PeerError::Hangup { peer: "test".into(), detail: "scripted".into() })
         }
     }
@@ -1337,6 +1656,10 @@ mod tests {
         assert!(store.get_group_plan(key(5)).unwrap().is_some());
         let s = store.stats();
         assert_eq!((s.group_peer_hits, s.group_hits, s.group_stores), (1, 1, 0));
+        // Dictionary lane twin.
+        assert!(store.get_dict(key(6)).unwrap().is_some());
+        let s = store.stats();
+        assert_eq!((s.dict_peer_hits, s.dict_hits, s.dict_stores), (1, 1, 0));
     }
 
     #[test]
@@ -1345,18 +1668,22 @@ mod tests {
         empty.set_peer_source(Arc::new(EmptyPeer));
         assert!(empty.get(key(1)).unwrap().is_none());
         assert!(empty.get_group_plan(key(1)).unwrap().is_none());
+        assert!(empty.get_dict(key(1)).unwrap().is_none());
         let s = empty.stats();
         assert_eq!((s.peer_misses, s.misses), (1, 1));
         assert_eq!((s.group_peer_misses, s.group_misses), (1, 1));
+        assert_eq!((s.dict_peer_misses, s.dict_misses), (1, 1));
 
         let broken = ArtifactStore::default();
         broken.set_peer_source(Arc::new(BrokenPeer));
         // A failing peer must look like a miss, not an error.
         assert!(broken.get(key(1)).unwrap().is_none());
         assert!(broken.get_group_plan(key(1)).unwrap().is_none());
+        assert!(broken.get_dict(key(1)).unwrap().is_none());
         let s = broken.stats();
         assert_eq!((s.peer_errors, s.peer_misses, s.misses), (1, 0, 1));
         assert_eq!((s.group_peer_errors, s.group_misses), (1, 1));
+        assert_eq!((s.dict_peer_errors, s.dict_peer_misses, s.dict_misses), (1, 0, 1));
     }
 
     #[test]
@@ -1368,6 +1695,7 @@ mod tests {
             store.get_for_peer(key(1)).unwrap().expect("resident entry served to peer");
         assert_eq!(served.compiled.method, MethodId(1));
         assert!(store.get_for_peer(key(2)).unwrap().is_none());
+        assert!(store.get_dict_for_peer(key(2)).unwrap().is_none());
         let after = store.stats();
         assert_eq!(before, after, "peer serving must not distort local hit/miss attribution");
     }
@@ -1382,17 +1710,106 @@ mod tests {
         // Peer-filled entries skip the insert-time disk write...
         assert!(store.get(key(6)).unwrap().is_some());
         assert!(store.get_group_plan(key(7)).unwrap().is_some());
+        assert!(store.get_dict(key(9)).unwrap().is_some());
         assert_eq!(store.stats().disk_stores, 0);
+        assert_eq!(store.stats().dict_disk_stores, 0);
         // ...and a locally inserted entry is already on disk, so the
-        // drain flush writes exactly the two peer fills.
+        // drain flush writes exactly the three peer fills.
         store.insert(key(8), entry(8));
-        assert_eq!(store.flush_to_disk(), 2);
+        assert_eq!(store.flush_to_disk(), 3);
         assert_eq!(store.flush_to_disk(), 0, "second flush finds everything persisted");
         drop(store);
         // A restarted shard serves the flushed entry from local disk.
         let revived = ArtifactStore::new(config);
         assert!(revived.get(key(6)).unwrap().is_some());
         assert_eq!(revived.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Per-lane (hits, misses, stores, disk_hits, disk_stores,
+    /// promotions) extracted uniformly so one assertion covers every
+    /// lane.
+    fn lane_counters(s: &CacheStats) -> [(&'static str, [u64; 6]); 4] {
+        [
+            ("method", [s.hits, s.misses, s.stores, s.disk_hits, s.disk_stores, s.promotions]),
+            (
+                "group",
+                [
+                    s.group_hits,
+                    s.group_misses,
+                    s.group_stores,
+                    s.group_disk_hits,
+                    s.group_disk_stores,
+                    s.group_promotions,
+                ],
+            ),
+            (
+                "merge",
+                [
+                    s.merge_hits,
+                    s.merge_misses,
+                    s.merge_stores,
+                    s.merge_disk_hits,
+                    s.merge_disk_stores,
+                    s.merge_promotions,
+                ],
+            ),
+            (
+                "dict",
+                [
+                    s.dict_hits,
+                    s.dict_misses,
+                    s.dict_stores,
+                    s.dict_disk_hits,
+                    s.dict_disk_stores,
+                    s.dict_promotions,
+                ],
+            ),
+        ]
+    }
+
+    /// The PR 6 bug class, fenced across *every* lane at once: a disk
+    /// hit promoted into memory must count under the lane's
+    /// `promotions`, never its `stores`/`disk_stores`. Exercising all
+    /// four lanes through one shared extractor means the next lane
+    /// added to [`lane_counters`] is held to the same contract for
+    /// free.
+    #[test]
+    fn every_lane_counts_promotions_separately_from_stores() {
+        let dir = std::env::temp_dir().join(format!("calibro-lanes-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig { disk_dir: Some(dir.clone()), ..CacheConfig::default() };
+
+        // Populate each lane once; every insert is a store + disk
+        // store, symmetrically.
+        let first = ArtifactStore::new(config.clone());
+        first.insert(key(1), entry(1));
+        first.insert_group_plan(key(1), group(8));
+        first.insert_merge_plan(key(1), merge_plan(4));
+        first.insert_dict(key(1), dict_body(5));
+        for (lane, [hits, misses, stores, disk_hits, disk_stores, promotions]) in
+            lane_counters(&first.stats())
+        {
+            assert_eq!((hits, misses), (0, 0), "{lane}: insert must not read as lookup");
+            assert_eq!((stores, disk_stores), (1, 1), "{lane}: one store, one disk store");
+            assert_eq!((disk_hits, promotions), (0, 0), "{lane}: nothing promoted yet");
+        }
+        drop(first);
+
+        // A fresh store over the same directory: each lookup is a disk
+        // hit promoted into memory — a promotion, never a store.
+        let second = ArtifactStore::new(config);
+        assert!(second.get(key(1)).unwrap().is_some());
+        assert!(second.get_group_plan(key(1)).unwrap().is_some());
+        assert!(second.get_merge_plan(key(1)).unwrap().is_some());
+        assert!(second.get_dict(key(1)).unwrap().is_some());
+        for (lane, [hits, misses, stores, disk_hits, disk_stores, promotions]) in
+            lane_counters(&second.stats())
+        {
+            assert_eq!((hits, misses), (1, 0), "{lane}: disk hit is a hit");
+            assert_eq!((disk_hits, promotions), (1, 1), "{lane}: disk hit promotes once");
+            assert_eq!((stores, disk_stores), (0, 0), "{lane}: promotion misread as store");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

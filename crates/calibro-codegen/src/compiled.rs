@@ -45,6 +45,12 @@ pub enum CallTarget {
     /// materializes the member's distinguishing constants into parameter
     /// registers and tail-branches here.
     Merged(u32),
+    /// A shared-dictionary body in the daemon-wide dictionary island, by
+    /// word offset within that island. Unlike [`Outlined`](Self::Outlined)
+    /// the body lives outside this OAT, emitted once per daemon and
+    /// linked by every tenant (cf. ShareJIT's cross-process sharing,
+    /// PAPERS.md).
+    Dict(u32),
 }
 
 /// One intra-method PC-relative record: instruction at `at` targets the

@@ -1,0 +1,306 @@
+//! Canonicalization of outlined-function bodies.
+//!
+//! Two tenants rarely hand the dictionary byte-identical bodies: the
+//! register allocator numbers temporaries in whatever order the
+//! method's dataflow dictated, so the "same" outlined computation
+//! arrives as `add x2, x2, x5` from one app and `add x1, x1, x3` from
+//! another. The dictionary key must identify these — that is the whole
+//! cross-tenant bet — without ever identifying two bodies that compute
+//! different things.
+//!
+//! The canonical form renames every *renameable* register to the order
+//! of its first appearance in the operand stream. Registers with a
+//! pinned architectural or runtime meaning are never renamed — `x16`/
+//! `x17` (IPC scratch), `x19` (the ART thread register), `x29` (frame
+//! pointer), `x30` (link register) and encoding 31 (`zr`/`sp`) — so a
+//! body reading the thread register can only match another body reading
+//! the thread register. Everything else about the instruction (opcode,
+//! width, immediates, shift amounts, branch shape, pair mode) passes
+//! through untouched: any semantic difference survives into the
+//! canonical encoding and therefore into the key.
+//!
+//! Separator normalization happens one layer up: dictionary bodies are
+//! *decoded instruction sequences*, so the synthetic separator symbols
+//! of the suffix-tree stream (normalized by
+//! [`sequence_content_key`](calibro_cache::sequence_content_key)) never
+//! reach this module.
+//!
+//! The key is the 128-bit [`StableHasher`] digest of the canonical
+//! sequence's machine encoding, salted with the cache
+//! [`SCHEMA_VERSION`](calibro_cache::SCHEMA_VERSION) so dictionary
+//! artifacts never cross a schema change. A pure function of the body's
+//! content, it is trivially invariant under build-thread count and
+//! candidate discovery order.
+
+use calibro_cache::{CacheKey, StableHasher};
+use calibro_isa::{Insn, Reg};
+
+/// Hash-domain tag for dictionary keys, distinct from every other
+/// key-construction tag in the pipeline.
+const DICT_KEY_TAG: u8 = 0x45;
+
+/// Registers that are never renamed: `x16`/`x17` (intra-procedure-call
+/// scratch), `x19` (ART thread register), `x29` (frame pointer), `x30`
+/// (link register) and encoding 31 (`zr`/`sp`).
+const FIXED: [bool; 32] = {
+    let mut fixed = [false; 32];
+    fixed[16] = true;
+    fixed[17] = true;
+    fixed[19] = true;
+    fixed[29] = true;
+    fixed[30] = true;
+    fixed[31] = true;
+    fixed
+};
+
+/// The renameable encodings in canonical assignment order: the n-th
+/// distinct renameable register a body mentions becomes `POOL[n]`.
+const POOL: [u8; 26] =
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 18, 20, 21, 22, 23, 24, 25, 26, 27, 28];
+
+/// First-appearance register renamer for one body.
+struct Mapper {
+    /// concrete encoding -> canonical encoding, once assigned.
+    map: [Option<u8>; 32],
+    /// Concrete renameable registers in first-use order (the calling
+    /// convention the published body records).
+    order: Vec<u8>,
+}
+
+impl Mapper {
+    fn new() -> Mapper {
+        Mapper { map: [None; 32], order: Vec::new() }
+    }
+
+    fn map(&mut self, r: Reg) -> Reg {
+        let idx = r.index() as usize;
+        if FIXED[idx] {
+            return r;
+        }
+        if let Some(canonical) = self.map[idx] {
+            return Reg::new(canonical);
+        }
+        let canonical = POOL[self.order.len()];
+        self.map[idx] = Some(canonical);
+        self.order.push(r.index());
+        Reg::new(canonical)
+    }
+}
+
+/// Rewrites one instruction into canonical register space. The match is
+/// exhaustive on purpose: a new [`Insn`] variant must decide its
+/// renaming here before it can flow into the dictionary.
+fn remap(insn: Insn, m: &mut Mapper) -> Insn {
+    match insn {
+        Insn::B { offset } => Insn::B { offset },
+        Insn::Bl { offset } => Insn::Bl { offset },
+        Insn::BCond { cond, offset } => Insn::BCond { cond, offset },
+        Insn::Cbz { wide, rt, offset } => Insn::Cbz { wide, rt: m.map(rt), offset },
+        Insn::Cbnz { wide, rt, offset } => Insn::Cbnz { wide, rt: m.map(rt), offset },
+        Insn::Tbz { rt, bit, offset } => Insn::Tbz { rt: m.map(rt), bit, offset },
+        Insn::Tbnz { rt, bit, offset } => Insn::Tbnz { rt: m.map(rt), bit, offset },
+        Insn::Adr { rd, offset } => Insn::Adr { rd: m.map(rd), offset },
+        Insn::Adrp { rd, offset } => Insn::Adrp { rd: m.map(rd), offset },
+        Insn::LdrLit { wide, rt, offset } => Insn::LdrLit { wide, rt: m.map(rt), offset },
+        Insn::Br { rn } => Insn::Br { rn: m.map(rn) },
+        Insn::Blr { rn } => Insn::Blr { rn: m.map(rn) },
+        Insn::Ret { rn } => Insn::Ret { rn: m.map(rn) },
+        Insn::Movz { wide, rd, imm16, hw } => Insn::Movz { wide, rd: m.map(rd), imm16, hw },
+        Insn::Movn { wide, rd, imm16, hw } => Insn::Movn { wide, rd: m.map(rd), imm16, hw },
+        Insn::Movk { wide, rd, imm16, hw } => Insn::Movk { wide, rd: m.map(rd), imm16, hw },
+        Insn::AddImm { wide, set_flags, rd, rn, imm12, shift12 } => {
+            Insn::AddImm { wide, set_flags, rd: m.map(rd), rn: m.map(rn), imm12, shift12 }
+        }
+        Insn::SubImm { wide, set_flags, rd, rn, imm12, shift12 } => {
+            Insn::SubImm { wide, set_flags, rd: m.map(rd), rn: m.map(rn), imm12, shift12 }
+        }
+        Insn::AddReg { wide, set_flags, rd, rn, rm, shift } => {
+            Insn::AddReg { wide, set_flags, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), shift }
+        }
+        Insn::SubReg { wide, set_flags, rd, rn, rm, shift } => {
+            Insn::SubReg { wide, set_flags, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), shift }
+        }
+        Insn::AndReg { wide, set_flags, rd, rn, rm, shift } => {
+            Insn::AndReg { wide, set_flags, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), shift }
+        }
+        Insn::OrrReg { wide, rd, rn, rm, shift } => {
+            Insn::OrrReg { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), shift }
+        }
+        Insn::EorReg { wide, rd, rn, rm, shift } => {
+            Insn::EorReg { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), shift }
+        }
+        Insn::Sdiv { wide, rd, rn, rm } => {
+            Insn::Sdiv { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm) }
+        }
+        Insn::Lslv { wide, rd, rn, rm } => {
+            Insn::Lslv { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm) }
+        }
+        Insn::Asrv { wide, rd, rn, rm } => {
+            Insn::Asrv { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm) }
+        }
+        Insn::Madd { wide, rd, rn, rm, ra } => {
+            Insn::Madd { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), ra: m.map(ra) }
+        }
+        Insn::Msub { wide, rd, rn, rm, ra } => {
+            Insn::Msub { wide, rd: m.map(rd), rn: m.map(rn), rm: m.map(rm), ra: m.map(ra) }
+        }
+        Insn::Ubfm { wide, rd, rn, immr, imms } => {
+            Insn::Ubfm { wide, rd: m.map(rd), rn: m.map(rn), immr, imms }
+        }
+        Insn::Sbfm { wide, rd, rn, immr, imms } => {
+            Insn::Sbfm { wide, rd: m.map(rd), rn: m.map(rn), immr, imms }
+        }
+        Insn::LdrImm { wide, rt, rn, offset } => {
+            Insn::LdrImm { wide, rt: m.map(rt), rn: m.map(rn), offset }
+        }
+        Insn::StrImm { wide, rt, rn, offset } => {
+            Insn::StrImm { wide, rt: m.map(rt), rn: m.map(rn), offset }
+        }
+        Insn::Stp { rt, rt2, rn, offset, mode } => {
+            Insn::Stp { rt: m.map(rt), rt2: m.map(rt2), rn: m.map(rn), offset, mode }
+        }
+        Insn::Ldp { rt, rt2, rn, offset, mode } => {
+            Insn::Ldp { rt: m.map(rt), rt2: m.map(rt2), rn: m.map(rn), offset, mode }
+        }
+        Insn::Nop => Insn::Nop,
+        Insn::Brk { imm } => Insn::Brk { imm },
+        Insn::Svc { imm } => Insn::Svc { imm },
+    }
+}
+
+/// Rewrites `insns` into canonical register space, returning the
+/// canonical sequence and the concrete renameable registers in
+/// first-use order (the body's calling-convention record: canonical
+/// register `POOL[i]` stands for concrete register `regs[i]`).
+#[must_use]
+pub fn canonicalize(insns: &[Insn]) -> (Vec<Insn>, Vec<u8>) {
+    let mut mapper = Mapper::new();
+    let canonical = insns.iter().map(|&i| remap(i, &mut mapper)).collect();
+    (canonical, mapper.order)
+}
+
+/// The 128-bit dictionary key of `insns`: the [`StableHasher`] digest
+/// of the canonical sequence's machine encoding, salted with the cache
+/// schema version. Register-renamed but structurally identical bodies
+/// share a key; any semantic difference changes the encoding and so the
+/// key. Also returns the concrete-register record of
+/// [`canonicalize`].
+#[must_use]
+pub fn canonical_key(insns: &[Insn]) -> (CacheKey, Vec<u8>) {
+    let (canonical, regs) = canonicalize(insns);
+    let mut h = StableHasher::with_capacity(canonical.len() * 8 + 64);
+    h.write_tag(DICT_KEY_TAG);
+    h.write_str(calibro_cache::SCHEMA_VERSION);
+    h.write_usize(canonical.len());
+    for insn in &canonical {
+        // The machine encoding is an isomorphic image of the subset the
+        // pipeline emits: distinct instructions have distinct words, so
+        // hashing words cannot merge semantic differences. The debug
+        // fallback covers values outside encodable range (offsets wider
+        // than the form's field), which real bodies never contain.
+        match insn.encode() {
+            Ok(word) => h.write_u32(word),
+            Err(_) => h.write_str(&format!("{insn:?}")),
+        }
+    }
+    (h.finish(), regs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calibro_isa::Cond;
+
+    fn add(rd: u8, rn: u8, rm: u8) -> Insn {
+        Insn::AddReg {
+            wide: true,
+            set_flags: false,
+            rd: Reg::new(rd),
+            rn: Reg::new(rn),
+            rm: Reg::new(rm),
+            shift: 0,
+        }
+    }
+
+    #[test]
+    fn renamed_bodies_share_a_key_and_record_their_registers() {
+        let a = [add(2, 2, 5), Insn::Movz { wide: false, rd: Reg::new(5), imm16: 7, hw: 0 }];
+        let b = [add(1, 1, 3), Insn::Movz { wide: false, rd: Reg::new(3), imm16: 7, hw: 0 }];
+        let (ka, regs_a) = canonical_key(&a);
+        let (kb, regs_b) = canonical_key(&b);
+        assert_eq!(ka, kb);
+        assert_eq!(regs_a, vec![2, 5]);
+        assert_eq!(regs_b, vec![1, 3]);
+    }
+
+    #[test]
+    fn fixed_registers_never_rename() {
+        // x19 (thread) load vs x0 load: structurally identical shapes,
+        // but the pinned register is semantic — keys must differ.
+        let thread = [Insn::LdrImm { wide: true, rt: Reg::X0, rn: Reg::X19, offset: 8 }];
+        let plain = [Insn::LdrImm { wide: true, rt: Reg::X1, rn: Reg::X0, offset: 8 }];
+        assert_ne!(canonical_key(&thread).0, canonical_key(&plain).0);
+        // And a fixed register leaves no calling-convention record.
+        let (canonical, regs) = canonicalize(&thread);
+        assert_eq!(regs, vec![0]);
+        assert_eq!(
+            canonical[0],
+            Insn::LdrImm { wide: true, rt: Reg::new(0), rn: Reg::X19, offset: 8 }
+        );
+    }
+
+    #[test]
+    fn semantic_differences_change_the_key() {
+        let base = [add(2, 2, 5)];
+        let diff_op = [Insn::SubReg {
+            wide: true,
+            set_flags: false,
+            rd: Reg::new(2),
+            rn: Reg::new(2),
+            rm: Reg::new(5),
+            shift: 0,
+        }];
+        let diff_width = [Insn::AddReg {
+            wide: false,
+            set_flags: false,
+            rd: Reg::new(2),
+            rn: Reg::new(2),
+            rm: Reg::new(5),
+            shift: 0,
+        }];
+        let diff_shift = [Insn::AddReg {
+            wide: true,
+            set_flags: false,
+            rd: Reg::new(2),
+            rn: Reg::new(2),
+            rm: Reg::new(5),
+            shift: 1,
+        }];
+        let diff_flags = [Insn::AddReg {
+            wide: true,
+            set_flags: true,
+            rd: Reg::new(2),
+            rn: Reg::new(2),
+            rm: Reg::new(5),
+            shift: 0,
+        }];
+        let key = canonical_key(&base).0;
+        for other in [&diff_op[..], &diff_width, &diff_shift, &diff_flags] {
+            assert_ne!(key, canonical_key(other).0);
+        }
+        // Branch shape: cond and offset are both semantic.
+        let beq = [Insn::BCond { cond: Cond::Eq, offset: 8 }];
+        let bne = [Insn::BCond { cond: Cond::Ne, offset: 8 }];
+        let beq_far = [Insn::BCond { cond: Cond::Eq, offset: 16 }];
+        assert_ne!(canonical_key(&beq).0, canonical_key(&bne).0);
+        assert_ne!(canonical_key(&beq).0, canonical_key(&beq_far).0);
+    }
+
+    #[test]
+    fn dataflow_shape_survives_renaming() {
+        // `add x2, x2, x5` (accumulate) vs `add x2, x5, x5` (double):
+        // both touch two registers, but the first-use pattern differs,
+        // so renaming cannot merge them.
+        assert_ne!(canonical_key(&[add(2, 2, 5)]).0, canonical_key(&[add(2, 5, 5)]).0);
+    }
+}

@@ -11,11 +11,12 @@ use std::fmt;
 use calibro_codegen::{MethodMetadata, PcRel, StackMapEntry, ThunkKind};
 use calibro_dex::MethodId;
 
-use crate::file::{MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+use crate::file::{DictLink, MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
 
 const EM_AARCH64: u16 = 0xb7;
 // Version 2: merged-island records follow the outlined records.
-const MAGIC: &[u8; 8] = b"CALOAT2\0";
+// Version 3: the shared-dictionary link record follows the merged records.
+const MAGIC: &[u8; 8] = b"CALOAT3\0";
 const TEXT_FILE_OFFSET: u64 = 0x1000;
 
 /// A failure while loading an ELF-serialized OAT file.
@@ -197,6 +198,15 @@ fn oatdata_bytes(oat: &OatFile) -> Vec<u8> {
         w.u64(m.offset);
         w.usize32(m.size_words);
     }
+    match &oat.dict {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            w.u64(d.base_address);
+            w.u64(d.epoch);
+            w.usize32(d.size_words);
+        }
+    }
     w.0
 }
 
@@ -251,7 +261,16 @@ fn parse_oatdata(buf: &[u8], words: Vec<u32>) -> Result<OatFile, LoadError> {
     for _ in 0..n_merged {
         merged.push(MergedRecord { offset: r.u64()?, size_words: r.u32()? as usize });
     }
-    Ok(OatFile { base_address, words, methods, thunks, outlined, merged })
+    let dict = match r.u8()? {
+        0 => None,
+        1 => Some(DictLink {
+            base_address: r.u64()?,
+            epoch: r.u64()?,
+            size_words: r.u32()? as usize,
+        }),
+        _ => return Err(LoadError::BadOatData("unknown dict link tag")),
+    };
+    Ok(OatFile { base_address, words, methods, thunks, outlined, merged, dict })
 }
 
 /// Serializes an [`OatFile`] into a loadable ELF64 image.
@@ -425,6 +444,11 @@ mod tests {
             }],
             outlined: vec![OutlinedRecord { offset: 12, size_words: 0 }],
             merged: vec![MergedRecord { offset: 12, size_words: 0 }],
+            dict: Some(DictLink {
+                base_address: crate::file::DICT_BASE_ADDRESS,
+                epoch: 3,
+                size_words: 9,
+            }),
         }
     }
 
@@ -447,6 +471,7 @@ mod tests {
         assert_eq!(back.outlined[0].offset, 12);
         assert_eq!(back.merged.len(), 1);
         assert_eq!(back.merged[0].offset, 12);
+        assert_eq!(back.dict, oat.dict);
     }
 
     #[test]

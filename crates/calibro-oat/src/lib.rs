@@ -42,9 +42,10 @@ mod structure;
 
 pub use elf::{from_elf_bytes, text_size_on_disk, to_elf_bytes, LoadError};
 pub use file::{
-    MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord, DEFAULT_BASE_ADDRESS,
+    DictImage, DictLink, MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord,
+    DEFAULT_BASE_ADDRESS, DICT_BASE_ADDRESS,
 };
-pub use linker::{link, LinkError, LinkInput, MergedBody};
+pub use linker::{link, link_with_dict, LinkError, LinkInput, MergedBody};
 pub use stackmap::{
     dex_pc_for_return_offset, insn_at, validate_method_stack_maps, validate_stack_maps,
     StackMapError,

@@ -8,7 +8,9 @@ use std::fmt;
 use calibro_codegen::{thunk_code, CallTarget, CompiledMethod, Reloc, ThunkKind};
 use calibro_isa::{EncodeError, Insn};
 
-use crate::file::{MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord};
+use crate::file::{
+    DictImage, DictLink, MergedRecord, OatFile, OatMethodRecord, OutlinedRecord, ThunkRecord,
+};
 
 /// A merged-function island: the shared body a set of near-identical
 /// methods tail-branch into, addressed by `CallTarget::Merged(i)`.
@@ -100,13 +102,41 @@ impl From<EncodeError> for LinkError {
 /// Returns a [`LinkError`] for unresolved relocations, malformed inputs,
 /// or out-of-range branches.
 pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
+    link_with_dict(input, base_address, None)
+}
+
+/// Links the input like [`link`], additionally resolving
+/// `CallTarget::Dict` relocations into the shared dictionary island.
+///
+/// A dictionary call is a cross-image `bl`: the body lives in `dict`
+/// (emitted once per daemon, not in this OAT), so the linker resolves
+/// the target to `dict.base_address + word_offset * 4` and encodes the
+/// pc-relative displacement from the call site. The resulting bytes
+/// depend only on the inputs — the island is an immutable sealed epoch,
+/// so relinking at any thread count, warm or cold, reproduces them.
+///
+/// # Errors
+///
+/// Returns [`LinkError::UnresolvedTarget`] if a `Dict` relocation
+/// appears without an island or targets a word beyond the island's end,
+/// plus everything [`link`] can return.
+pub fn link_with_dict(
+    input: LinkInput,
+    base_address: u64,
+    dict: Option<&DictImage>,
+) -> Result<OatFile, LinkError> {
     let LinkInput { methods, outlined, merged } = input;
+    let mut dict_used = false;
     // --- Collect referenced thunks (sorted for determinism). -----------
     let mut used_thunks: BTreeMap<ThunkKind, u64> = BTreeMap::new();
     for relocs in methods.iter().map(|m| &m.relocs).chain(merged.iter().map(|b| &b.relocs)) {
         for r in relocs {
-            if let CallTarget::Thunk(kind) = r.target {
-                used_thunks.insert(kind, 0);
+            match r.target {
+                CallTarget::Thunk(kind) => {
+                    used_thunks.insert(kind, 0);
+                }
+                CallTarget::Dict(_) => dict_used = true,
+                _ => {}
             }
         }
     }
@@ -156,6 +186,18 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
                 .get(i as usize)
                 .copied()
                 .ok_or(LinkError::UnresolvedTarget { method, at: r.at }),
+            // Dictionary bodies live outside this OAT. Resolve to a
+            // pseudo-offset relative to our own base, so the patch
+            // below (`target - site`, both base-relative) yields the
+            // cross-image displacement; `wrapping_sub` keeps the
+            // two's-complement value correct when the island loads
+            // below the tenant's text.
+            CallTarget::Dict(i) => match dict {
+                Some(d) if (i as usize) < d.words.len() => {
+                    Ok((d.base_address + u64::from(i) * 4).wrapping_sub(base_address))
+                }
+                _ => Err(LinkError::UnresolvedTarget { method, at: r.at }),
+            },
         }
     };
 
@@ -245,6 +287,11 @@ pub fn link(input: LinkInput, base_address: u64) -> Result<OatFile, LinkError> {
         thunks: thunk_records,
         outlined: outlined_records,
         merged: merged_records,
+        dict: dict.filter(|_| dict_used).map(|d| DictLink {
+            base_address: d.base_address,
+            epoch: d.epoch,
+            size_words: d.words.len(),
+        }),
     })
 }
 
@@ -348,6 +395,80 @@ mod tests {
             }
         }
         assert!(reached);
+    }
+
+    #[test]
+    fn dict_calls_resolve_into_the_shared_island() {
+        use crate::file::{DictImage, DICT_BASE_ADDRESS};
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let mut m = with_id(simple_method("a", None, &opts), 0);
+        m.insns.push(Insn::Bl { offset: 0 });
+        let site = m.insns.len() - 1;
+        // Target word 3 of the island (entries need not start at 0).
+        m.relocs.push(calibro_codegen::Reloc { at: site, target: CallTarget::Dict(3) });
+        let island = DictImage {
+            base_address: DICT_BASE_ADDRESS,
+            epoch: 2,
+            words: vec![Insn::Nop.encode().unwrap(); 5],
+        };
+        let input = LinkInput { methods: vec![m], outlined: vec![], merged: vec![] };
+        let oat = link_with_dict(input, 0x4000_0000, Some(&island)).unwrap();
+        // The OAT records which island (and epoch) it depends on.
+        let dict = oat.dict.expect("dict link recorded");
+        assert_eq!(dict.epoch, 2);
+        assert_eq!(dict.base_address, DICT_BASE_ADDRESS);
+        assert_eq!(dict.size_words, 5);
+        // The bl's absolute target is the island entry, outside this OAT.
+        let Ok(Insn::Bl { offset }) = decode(oat.words[site]) else {
+            panic!("dict call site did not decode as bl")
+        };
+        let addr = oat.base_address + site as u64 * 4;
+        assert_eq!(addr.wrapping_add_signed(offset), DICT_BASE_ADDRESS + 3 * 4);
+    }
+
+    #[test]
+    fn dict_link_is_omitted_when_no_reloc_uses_the_island() {
+        use crate::file::{DictImage, DICT_BASE_ADDRESS};
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let m = with_id(simple_method("a", None, &opts), 0);
+        let island = DictImage {
+            base_address: DICT_BASE_ADDRESS,
+            epoch: 7,
+            words: vec![Insn::Nop.encode().unwrap()],
+        };
+        let input = LinkInput { methods: vec![m], outlined: vec![], merged: vec![] };
+        let oat = link_with_dict(input, 0x4000_0000, Some(&island)).unwrap();
+        assert!(oat.dict.is_none(), "an unused island must not pin an epoch");
+    }
+
+    #[test]
+    fn dict_relocs_without_or_past_the_island_error() {
+        use crate::file::{DictImage, DICT_BASE_ADDRESS};
+        let opts = CodegenOptions { cto: false, collect_metadata: true };
+        let make = || {
+            let mut m = with_id(simple_method("a", None, &opts), 0);
+            m.insns.push(Insn::Bl { offset: 0 });
+            m.relocs.push(calibro_codegen::Reloc {
+                at: m.insns.len() - 1,
+                target: CallTarget::Dict(9),
+            });
+            LinkInput { methods: vec![m], outlined: vec![], merged: vec![] }
+        };
+        // No island at all.
+        assert!(matches!(
+            link_with_dict(make(), 0x4000_0000, None),
+            Err(LinkError::UnresolvedTarget { .. })
+        ));
+        // An island, but the target word is past its end.
+        let short = DictImage {
+            base_address: DICT_BASE_ADDRESS,
+            epoch: 1,
+            words: vec![Insn::Nop.encode().unwrap(); 4],
+        };
+        assert!(matches!(
+            link_with_dict(make(), 0x4000_0000, Some(&short)),
+            Err(LinkError::UnresolvedTarget { .. })
+        ));
     }
 
     #[test]

@@ -82,6 +82,19 @@ pub enum StructureError {
         /// The absolute target address.
         target: u64,
     },
+    /// A control transfer into the shared dictionary island is not a
+    /// `bl`. Dictionary bodies return through their `ret` to the
+    /// `bl`-installed link register, so any other transfer (a plain
+    /// `b`, a conditional, a literal load) into the island is a
+    /// miscompile.
+    DictBadEntry {
+        /// Symbol the offending transfer belongs to.
+        symbol: String,
+        /// Word index of the transfer within the text segment.
+        word: usize,
+        /// The absolute target address.
+        target: u64,
+    },
 }
 
 impl core::fmt::Display for StructureError {
@@ -115,6 +128,13 @@ impl core::fmt::Display for StructureError {
                      which is not a plain `b` to the island head"
                 )
             }
+            StructureError::DictBadEntry { symbol, word, target } => {
+                write!(
+                    f,
+                    "transfer at word {word} in {symbol} enters the dictionary island at \
+                     {target:#x} without a `bl`"
+                )
+            }
         }
     }
 }
@@ -140,7 +160,10 @@ struct Symbol {
 /// 4. every PC-relative control transfer (`b`, `bl`, `b.cond`, `cbz`,
 ///    `cbnz`, `tbz`, `tbnz`) and literal load stays inside the text
 ///    segment (`adr`/`adrp` are exempt: they may materialize runtime
-///    addresses);
+///    addresses) — except a `bl` into the shared dictionary island the
+///    file declares via [`OatFile::dict`](crate::file::OatFile), which
+///    is the cross-image dictionary call; any *other* transfer into the
+///    island is a [`StructureError::DictBadEntry`];
 /// 5. every outlined function ends in an indirect branch (`br`) and
 ///    every merged island ends in a `ret`;
 /// 6. merge thunk calling convention: any branch entering a merged
@@ -236,6 +259,8 @@ pub fn validate_structure(oat: &OatFile) -> Result<(), StructureError> {
     // 3 + 4. Decode instruction words and bound PC-relative targets.
     let text_base = oat.base_address;
     let text_end = oat.base_address + oat.text_size_bytes();
+    let dict_range =
+        oat.dict.as_ref().map(|d| (d.base_address, d.base_address + d.size_words as u64 * 4));
     for s in &symbols {
         for w in s.start_word..s.start_word + s.insn_words {
             let value = oat.words[w];
@@ -243,18 +268,31 @@ pub fn validate_structure(oat: &OatFile) -> Result<(), StructureError> {
                 return Err(StructureError::Undecodable { symbol: s.name.clone(), word: w, value });
             };
             let pc = text_base + w as u64 * 4;
-            let rel_target = match insn {
+            let (rel_target, is_bl) = match insn {
+                Insn::Bl { offset } => (Some(pc.wrapping_add_signed(offset)), true),
                 Insn::B { offset }
-                | Insn::Bl { offset }
                 | Insn::BCond { offset, .. }
                 | Insn::Cbz { offset, .. }
                 | Insn::Cbnz { offset, .. }
                 | Insn::Tbz { offset, .. }
                 | Insn::Tbnz { offset, .. }
-                | Insn::LdrLit { offset, .. } => Some(pc.wrapping_add_signed(offset)),
-                _ => None,
+                | Insn::LdrLit { offset, .. } => (Some(pc.wrapping_add_signed(offset)), false),
+                _ => (None, false),
             };
             if let Some(target) = rel_target {
+                if let Some((dict_start, dict_end)) = dict_range {
+                    if target >= dict_start && target < dict_end {
+                        // Cross-image dictionary call: legal only as `bl`.
+                        if is_bl {
+                            continue;
+                        }
+                        return Err(StructureError::DictBadEntry {
+                            symbol: s.name.clone(),
+                            word: w,
+                            target,
+                        });
+                    }
+                }
                 if target < text_base || target >= text_end {
                     return Err(StructureError::BranchOutOfText {
                         symbol: s.name.clone(),
@@ -358,6 +396,7 @@ mod tests {
             thunks: vec![],
             outlined: vec![],
             merged: vec![],
+            dict: None,
         }
     }
 
@@ -435,6 +474,46 @@ mod tests {
         oat.words.extend([NOP, RET]);
         oat.merged.push(MergedRecord { offset: 16, size_words: 2 });
         oat
+    }
+
+    #[test]
+    fn dict_calls_are_exempt_from_the_text_bound() {
+        use crate::file::{DictLink, DICT_BASE_ADDRESS};
+        let mut oat = two_method_file();
+        // Load where a real tenant loads, so the island is in bl range.
+        oat.base_address = 0x4000_0000;
+        // m1 word 0 (index 2) calls word 1 of the dictionary island.
+        let target = DICT_BASE_ADDRESS + 4;
+        let pc = oat.base_address + 2 * 4;
+        oat.words[2] = Insn::Bl { offset: target as i64 - pc as i64 }.encode().unwrap();
+        // Without a declared island the call is just a wild branch.
+        assert!(matches!(
+            validate_structure(&oat),
+            Err(StructureError::BranchOutOfText { word: 2, .. })
+        ));
+        oat.dict = Some(DictLink { base_address: DICT_BASE_ADDRESS, epoch: 1, size_words: 4 });
+        validate_structure(&oat).expect("declared dictionary call validates");
+        // A target past the declared island is out of text again.
+        oat.dict = Some(DictLink { base_address: DICT_BASE_ADDRESS, epoch: 1, size_words: 1 });
+        assert!(matches!(
+            validate_structure(&oat),
+            Err(StructureError::BranchOutOfText { word: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn non_bl_transfers_into_the_island_are_rejected() {
+        use crate::file::{DictLink, DICT_BASE_ADDRESS};
+        let mut oat = two_method_file();
+        oat.base_address = 0x4000_0000;
+        let target = DICT_BASE_ADDRESS;
+        let pc = oat.base_address + 2 * 4;
+        oat.words[2] = Insn::B { offset: target as i64 - pc as i64 }.encode().unwrap();
+        oat.dict = Some(DictLink { base_address: DICT_BASE_ADDRESS, epoch: 1, size_words: 4 });
+        assert!(matches!(
+            validate_structure(&oat),
+            Err(StructureError::DictBadEntry { word: 2, .. })
+        ));
     }
 
     #[test]

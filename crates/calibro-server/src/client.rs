@@ -12,10 +12,11 @@ use calibro_dex::DexFile;
 
 use crate::error::ClientError;
 use crate::proto::{
-    self, decode_error, BuildReply, BuildRequest, FrameEvent, GenerationStats,
-    GenerationStatsRequest, ProfileReply, ProfileRequest, ServerStats, REQ_BUILD,
-    REQ_GENERATION_STATS, REQ_PING, REQ_PROFILE, REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR,
-    RESP_GENERATION_STATS, RESP_PONG, RESP_PROFILE, RESP_SHUTDOWN_ACK, RESP_STATS,
+    self, decode_error, BuildReply, BuildRequest, DictStatsReply, DictStatsRequest, FrameEvent,
+    GenerationStats, GenerationStatsRequest, ProfileReply, ProfileRequest, ServerStats, REQ_BUILD,
+    REQ_DICT_STATS, REQ_GENERATION_STATS, REQ_PING, REQ_PROFILE, REQ_SHUTDOWN, REQ_STATS,
+    RESP_BUILT, RESP_DICT_STATS, RESP_ERROR, RESP_GENERATION_STATS, RESP_PONG, RESP_PROFILE,
+    RESP_SHUTDOWN_ACK, RESP_STATS,
 };
 use crate::server::ltbo_fingerprint;
 
@@ -270,6 +271,28 @@ impl Client {
             .into_iter()
             .map(|id| by_id.remove(&id).expect("one reply per pipelined request id"))
             .collect())
+    }
+
+    /// Fetches the daemon's shared-dictionary snapshot. A daemon
+    /// running without a dictionary answers `enabled: false` with
+    /// every counter zeroed — asking is never an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level [`ClientError`]s.
+    pub fn dict_stats(&mut self) -> Result<DictStatsReply, ClientError> {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let request = DictStatsRequest { request_id };
+        proto::write_frame(&mut self.stream, REQ_DICT_STATS, &request.encode())?;
+        match self.read_response()? {
+            (RESP_DICT_STATS, body) => Ok(DictStatsReply::decode(&body)?),
+            (RESP_ERROR, body) => {
+                let (_, error) = decode_error(&body)?;
+                Err(ClientError::Server(error))
+            }
+            (kind, _) => Err(ClientError::UnexpectedResponse { kind }),
+        }
     }
 
     /// Fetches the daemon's stats snapshot.

@@ -71,8 +71,8 @@ pub use fleet::{
 };
 pub use histogram::{quantile_us, LatencyHistogram};
 pub use proto::{
-    BuildReply, BuildRequest, GenerationStats, GenerationStatsRequest, ProfileReply,
-    ProfileRequest, ServerStats, DEFAULT_MAX_FRAME,
+    BuildReply, BuildRequest, DictStatsReply, DictStatsRequest, GenerationStats,
+    GenerationStatsRequest, ProfileReply, ProfileRequest, ServerStats, DEFAULT_MAX_FRAME,
 };
 pub use server::{ltbo_fingerprint, Daemon, Listener, ServerConfig};
 pub use wire::WireError;

@@ -41,6 +41,9 @@ pub const REQ_PROFILE: u8 = 0x06;
 /// Request kind: report one tenant's generation table (see
 /// [`GenerationStatsRequest`]).
 pub const REQ_GENERATION_STATS: u8 = 0x07;
+/// Request kind: report the shared-dictionary state (see
+/// [`DictStatsRequest`]).
+pub const REQ_DICT_STATS: u8 = 0x08;
 /// Response kind: a successful build.
 pub const RESP_BUILT: u8 = 0x81;
 /// Response kind: a typed error.
@@ -59,6 +62,8 @@ pub const RESP_PROFILE: u8 = 0x87;
 /// Response kind: one tenant's generation table (see
 /// [`GenerationStats`]).
 pub const RESP_GENERATION_STATS: u8 = 0x88;
+/// Response kind: the shared-dictionary state (see [`DictStatsReply`]).
+pub const RESP_DICT_STATS: u8 = 0x89;
 
 /// Default ceiling on one frame (kind + body): 64 MiB.
 pub const DEFAULT_MAX_FRAME: u64 = 64 << 20;
@@ -410,6 +415,8 @@ pub enum PeerLane {
     Method,
     /// LTBO group plans (`.calg` frames).
     Group,
+    /// Shared-dictionary bodies (`.cald` frames).
+    Dict,
 }
 
 impl PeerLane {
@@ -417,6 +424,7 @@ impl PeerLane {
         match self {
             PeerLane::Method => 0,
             PeerLane::Group => 1,
+            PeerLane::Dict => 2,
         }
     }
 
@@ -424,6 +432,7 @@ impl PeerLane {
         match code {
             0 => Ok(PeerLane::Method),
             1 => Ok(PeerLane::Group),
+            2 => Ok(PeerLane::Dict),
             tag => Err(WireError::InvalidTag { what: "PeerLane", tag }),
         }
     }
@@ -775,6 +784,125 @@ impl GenerationStats {
     }
 }
 
+/// Asks for the daemon's shared-dictionary snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DictStatsRequest {
+    /// Client-chosen id echoed in the response.
+    pub request_id: u64,
+}
+
+impl DictStatsRequest {
+    /// Encodes the request body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.request_id);
+        w.into_bytes()
+    }
+
+    /// Decodes a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<DictStatsRequest, WireError> {
+        let mut r = Reader::new(body);
+        let request = DictStatsRequest { request_id: r.u64("request_id")? };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+/// A point-in-time view of the daemon's shared outline dictionary. A
+/// daemon running without a dictionary answers with `enabled == false`
+/// and every other field zeroed — asking is never an error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DictStatsReply {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// Whether the daemon runs a shared dictionary at all.
+    pub enabled: bool,
+    /// The current sealed epoch (0 = nothing sealed yet).
+    pub epoch: u64,
+    /// Bodies published over the daemon's lifetime.
+    pub published: u64,
+    /// Bodies published since the last seal (they join the next epoch).
+    pub staged: u64,
+    /// Size of the current epoch's island, in words.
+    pub island_words: u64,
+    /// Entries in the current epoch's island.
+    pub island_entries: u64,
+    /// Epochs currently pinned by sealed generations (the epoch fence:
+    /// none of these can be retired).
+    pub pinned_epochs: u64,
+    /// Candidates routed to an existing island entry.
+    pub hits: u64,
+    /// Bodies this daemon published (first writer per canonical key).
+    pub publishes: u64,
+    /// Candidates whose canonical twin was in the island but with a
+    /// different register assignment, so private outlining won.
+    pub private_preferred: u64,
+}
+
+impl DictStatsReply {
+    /// Encodes the reply body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        // Exhaustive destructuring: adding a field fails compilation
+        // here instead of silently not being transported.
+        let DictStatsReply {
+            request_id,
+            enabled,
+            epoch,
+            published,
+            staged,
+            island_words,
+            island_entries,
+            pinned_epochs,
+            hits,
+            publishes,
+            private_preferred,
+        } = self;
+        let mut w = Writer::new();
+        w.u64(*request_id);
+        w.bool(*enabled);
+        w.u64(*epoch);
+        w.u64(*published);
+        w.u64(*staged);
+        w.u64(*island_words);
+        w.u64(*island_entries);
+        w.u64(*pinned_epochs);
+        w.u64(*hits);
+        w.u64(*publishes);
+        w.u64(*private_preferred);
+        w.into_bytes()
+    }
+
+    /// Decodes a reply body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any malformed field or trailing bytes.
+    pub fn decode(body: &[u8]) -> Result<DictStatsReply, WireError> {
+        let mut r = Reader::new(body);
+        let reply = DictStatsReply {
+            request_id: r.u64("request_id")?,
+            enabled: r.bool("enabled")?,
+            epoch: r.u64("epoch")?,
+            published: r.u64("published")?,
+            staged: r.u64("staged")?,
+            island_words: r.u64("island_words")?,
+            island_entries: r.u64("island_entries")?,
+            pinned_epochs: r.u64("pinned_epochs")?,
+            hits: r.u64("hits")?,
+            publishes: r.u64("publishes")?,
+            private_preferred: r.u64("private_preferred")?,
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
 /// A point-in-time view of the daemon, returned by the `stats` request.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -899,9 +1027,21 @@ impl ServerStats {
             merge_disk_stores,
             merge_promotions,
             merge_evict_cost_us,
+            dict_hits,
+            dict_misses,
+            dict_stores,
+            dict_evictions,
+            dict_disk_hits,
+            dict_disk_stores,
+            dict_promotions,
+            dict_peer_hits,
+            dict_peer_misses,
+            dict_peer_errors,
+            dict_evict_cost_us,
             lock_contention,
             group_lock_contention,
             merge_lock_contention,
+            dict_lock_contention,
         } = self.cache;
         for v in [
             hits,
@@ -934,9 +1074,21 @@ impl ServerStats {
             merge_disk_stores,
             merge_promotions,
             merge_evict_cost_us,
+            dict_hits,
+            dict_misses,
+            dict_stores,
+            dict_evictions,
+            dict_disk_hits,
+            dict_disk_stores,
+            dict_promotions,
+            dict_peer_hits,
+            dict_peer_misses,
+            dict_peer_errors,
+            dict_evict_cost_us,
             lock_contention,
             group_lock_contention,
             merge_lock_contention,
+            dict_lock_contention,
         ] {
             w.u64(v);
         }
@@ -1008,9 +1160,21 @@ impl ServerStats {
             merge_disk_stores: r.u64("merge_disk_stores")?,
             merge_promotions: r.u64("merge_promotions")?,
             merge_evict_cost_us: r.u64("merge_evict_cost_us")?,
+            dict_hits: r.u64("dict_hits")?,
+            dict_misses: r.u64("dict_misses")?,
+            dict_stores: r.u64("dict_stores")?,
+            dict_evictions: r.u64("dict_evictions")?,
+            dict_disk_hits: r.u64("dict_disk_hits")?,
+            dict_disk_stores: r.u64("dict_disk_stores")?,
+            dict_promotions: r.u64("dict_promotions")?,
+            dict_peer_hits: r.u64("dict_peer_hits")?,
+            dict_peer_misses: r.u64("dict_peer_misses")?,
+            dict_peer_errors: r.u64("dict_peer_errors")?,
+            dict_evict_cost_us: r.u64("dict_evict_cost_us")?,
             lock_contention: r.u64("lock_contention")?,
             group_lock_contention: r.u64("group_lock_contention")?,
             merge_lock_contention: r.u64("merge_lock_contention")?,
+            dict_lock_contention: r.u64("dict_lock_contention")?,
         };
         r.finish()?;
         Ok(ServerStats {
@@ -1140,6 +1304,11 @@ mod tests {
                 evict_cost_us: 12345,
                 group_peer_misses: 3,
                 lock_contention: 7,
+                dict_hits: 11,
+                dict_stores: 5,
+                dict_peer_hits: 2,
+                dict_promotions: 1,
+                dict_lock_contention: 3,
                 ..CacheStats::default()
             },
         };
@@ -1151,7 +1320,7 @@ mod tests {
     #[test]
     fn peer_messages_roundtrip() {
         let key = CacheKey { hi: 0xdead_beef, lo: 0x1234_5678 };
-        for lane in [PeerLane::Method, PeerLane::Group] {
+        for lane in [PeerLane::Method, PeerLane::Group, PeerLane::Dict] {
             let get = PeerGet { request_id: 77, lane, key };
             assert_eq!(PeerGet::decode(&get.encode()).expect("get decodes"), get);
         }
@@ -1193,6 +1362,36 @@ mod tests {
         let mut body = reply.encode();
         body.push(0);
         assert!(ProfileReply::decode(&body).is_err());
+    }
+
+    #[test]
+    fn dict_stats_roundtrip() {
+        let request = DictStatsRequest { request_id: 9 };
+        assert_eq!(DictStatsRequest::decode(&request.encode()).expect("request decodes"), request);
+
+        let reply = DictStatsReply {
+            request_id: 9,
+            enabled: true,
+            epoch: 4,
+            published: 23,
+            staged: 2,
+            island_words: 96,
+            island_entries: 21,
+            pinned_epochs: 3,
+            hits: 64,
+            publishes: 23,
+            private_preferred: 5,
+        };
+        assert_eq!(DictStatsReply::decode(&reply.encode()).expect("reply decodes"), reply);
+
+        // The disabled answer is all-zero but still well-formed.
+        let off = DictStatsReply { request_id: 10, ..DictStatsReply::default() };
+        assert_eq!(DictStatsReply::decode(&off.encode()).expect("off decodes"), off);
+
+        // Trailing bytes are rejected, same as every other codec.
+        let mut body = reply.encode();
+        body.push(0);
+        assert!(DictStatsReply::decode(&body).is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use calibro::{
     options_fingerprint, program_salt, BuildOptions, BuildSession, CacheConfig, CacheKey,
-    LtboConfig, StableHasher,
+    DictRegistry, LtboConfig, StableHasher,
 };
 use calibro_cache::ArtifactStore;
 use calibro_dex::DexFile;
@@ -49,11 +49,12 @@ use crate::error::ServeError;
 use crate::fleet::{FleetPeerSource, ShardSpec};
 use crate::histogram::LatencyHistogram;
 use crate::proto::{
-    self, encode_error, BuildReply, BuildRequest, FrameEvent, GenerationStats,
-    GenerationStatsRequest, PeerArtifact, PeerGet, PeerLane, ProfileReply, ProfileRequest,
-    ServerStats, REQ_BUILD, REQ_GENERATION_STATS, REQ_PEER_GET, REQ_PING, REQ_PROFILE,
-    REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_ERROR, RESP_GENERATION_STATS, RESP_PEER_ARTIFACT,
-    RESP_PONG, RESP_PROFILE, RESP_SHUTDOWN_ACK, RESP_STATS,
+    self, encode_error, BuildReply, BuildRequest, DictStatsReply, DictStatsRequest, FrameEvent,
+    GenerationStats, GenerationStatsRequest, PeerArtifact, PeerGet, PeerLane, ProfileReply,
+    ProfileRequest, ServerStats, REQ_BUILD, REQ_DICT_STATS, REQ_GENERATION_STATS, REQ_PEER_GET,
+    REQ_PING, REQ_PROFILE, REQ_SHUTDOWN, REQ_STATS, RESP_BUILT, RESP_DICT_STATS, RESP_ERROR,
+    RESP_GENERATION_STATS, RESP_PEER_ARTIFACT, RESP_PONG, RESP_PROFILE, RESP_SHUTDOWN_ACK,
+    RESP_STATS,
 };
 
 /// Configuration of one daemon.
@@ -86,6 +87,13 @@ pub struct ServerConfig {
     /// and the freshly recomputed one, in `[0, 1]`) at or above which a
     /// profile upload schedules a background re-optimization.
     pub drift_threshold: f64,
+    /// Run a shared outlined-code dictionary: builds whose options
+    /// enable `dict` route byte-identical outlined bodies to one
+    /// daemon-wide `.text` island instead of each carrying a private
+    /// copy. Off by default — a daemon without the dictionary answers
+    /// `dict-stats` with `enabled: false` and compiles dict-flagged
+    /// requests as plain private-outline builds.
+    pub dict: bool,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +108,7 @@ impl Default for ServerConfig {
             peers: Vec::new(),
             hot_fraction: 0.8,
             drift_threshold: 0.25,
+            dict: false,
         }
     }
 }
@@ -253,6 +262,27 @@ struct SealedGeneration {
     cache_misses: u64,
     build_us: u64,
     stats_json: String,
+    /// The dictionary-epoch fence: while this generation serves, the
+    /// island its ELF links into cannot be retired. `None` for
+    /// non-dict builds (and for the rare build whose epoch was already
+    /// retired before the flip — its ELF still runs, but the island
+    /// words are no longer fetchable from the registry). Held only for
+    /// its `Drop`.
+    #[allow(dead_code)]
+    dict_pin: Option<DictPin>,
+}
+
+/// One sealed generation's hold on a dictionary epoch; dropping the
+/// generation releases the fence.
+struct DictPin {
+    registry: Arc<DictRegistry>,
+    epoch: u64,
+}
+
+impl Drop for DictPin {
+    fn drop(&mut self) {
+        self.registry.unpin_epoch(self.epoch);
+    }
 }
 
 impl SealedGeneration {
@@ -358,6 +388,8 @@ type ReplyWriter = Arc<Mutex<io::BufWriter<Stream>>>;
 struct Shared {
     config: ServerConfig,
     store: Arc<ArtifactStore>,
+    /// The daemon-wide shared outline dictionary, when enabled.
+    dict: Option<Arc<DictRegistry>>,
     queue: Mutex<std::collections::VecDeque<Job>>,
     queue_cv: Condvar,
     draining: AtomicBool,
@@ -503,9 +535,11 @@ impl Daemon {
                 store.set_peer_source(Arc::new(source));
             }
         }
+        let dict = config.dict.then(|| Arc::new(DictRegistry::default()));
         let shared = Arc::new(Shared {
             config,
             store,
+            dict,
             queue: Mutex::new(std::collections::VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -573,6 +607,14 @@ impl Daemon {
     #[must_use]
     pub fn store(&self) -> Arc<ArtifactStore> {
         Arc::clone(&self.shared.store)
+    }
+
+    /// The shared outline dictionary, when the daemon runs one
+    /// ([`ServerConfig::dict`]). External harnesses use this to read
+    /// the island an ELF's dict link names.
+    #[must_use]
+    pub fn dict_registry(&self) -> Option<Arc<DictRegistry>> {
+        self.shared.dict.as_ref().map(Arc::clone)
     }
 
     /// A point-in-time stats snapshot (same data the `stats` request
@@ -728,6 +770,7 @@ fn handle_frame(kind: u8, body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared
         REQ_PEER_GET => handle_peer_get(body, writer, shared),
         REQ_PROFILE => handle_profile(body, writer, shared),
         REQ_GENERATION_STATS => handle_generation_stats(body, writer, shared),
+        REQ_DICT_STATS => handle_dict_stats(body, writer, shared),
         REQ_STATS => {
             let stats = shared.stats();
             shared.reply(writer, RESP_STATS, &stats.encode());
@@ -780,6 +823,12 @@ fn handle_peer_get(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> b
             Ok(Some((plan, cost_us))) => {
                 Ok(Some((calibro_cache::group_to_bytes(request.key, &plan), cost_us)))
             }
+            Ok(None) => Ok(None),
+            Err(e) => Err(e.to_string()),
+        },
+        PeerLane::Dict => match shared.store.get_dict_for_peer(request.key) {
+            Ok(Some((entry, cost_us))) => calibro_cache::dict_to_bytes(request.key, &entry)
+                .map(|bytes| Some((bytes, cost_us))),
             Ok(None) => Ok(None),
             Err(e) => Err(e.to_string()),
         },
@@ -922,6 +971,31 @@ fn expired(job: &Job) -> bool {
     job.budget.is_some_and(|budget| job.enqueued.elapsed() >= budget)
 }
 
+/// A build session over the shared store, dictionary-aware when the
+/// daemon runs one (the per-build `options.dict` flag still decides
+/// whether that build opens a routing session).
+fn build_session(shared: &Shared) -> BuildSession {
+    let session = BuildSession::with_store(Arc::clone(&shared.store));
+    match &shared.dict {
+        Some(registry) => session.with_dict_registry(Arc::clone(registry)),
+        None => session,
+    }
+}
+
+/// Seals the staged dictionary publishes after a dict-enabled build,
+/// so the bodies it paid for are servable to the very next request
+/// (sealing with nothing staged is a no-op).
+fn seal_dict(shared: &Shared, options: &BuildOptions) {
+    if let Some(registry) = &shared.dict {
+        if options.dict {
+            registry.seal_epoch();
+            // Epoch-fenced reclamation: only islands no sealed
+            // generation pins are dropped, and never the current one.
+            registry.retire_unpinned();
+        }
+    }
+}
+
 fn run_job(job: &Job, shared: &Arc<Shared>) {
     // Deadline check 1 — at dequeue: an already-expired request is
     // never compiled (it only would have blocked fresher work).
@@ -934,7 +1008,7 @@ fn run_job(job: &Job, shared: &Arc<Shared>) {
         );
         return;
     }
-    let session = BuildSession::with_store(Arc::clone(&shared.store));
+    let session = build_session(shared);
     let build_start = Instant::now();
     let result = session.build(&job.dex, &job.options);
     let build_us = build_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -967,11 +1041,15 @@ fn run_job(job: &Job, shared: &Arc<Shared>) {
                     output,
                     build_us,
                 );
+                // After the flip: the generation's epoch pin is in
+                // place, so retirement inside the seal cannot touch it.
+                seal_dict(shared, &job.options);
                 shared.requests_completed.fetch_add(1, Ordering::Relaxed);
                 shared.histogram.record(job.enqueued.elapsed());
                 shared.reply(&job.writer, RESP_BUILT, &sealed.to_reply(job.request_id).encode());
                 return;
             }
+            seal_dict(shared, &job.options);
             let reply = BuildReply {
                 request_id: job.request_id,
                 options_fp: options_fingerprint(&job.options),
@@ -1049,6 +1127,17 @@ fn flip_generation(
     let id = state.next_generation;
     state.next_generation += 1;
     output.stats.generation = id;
+    // Fence the dictionary epoch this generation linked against before
+    // anything can retire it. A failed pin (epoch already retired in
+    // the window between build and flip) degrades gracefully: the ELF
+    // still serves, only the island words are no longer fetchable.
+    let dict_pin = match &shared.dict {
+        Some(registry) if options.dict => {
+            let epoch = output.stats.dict_epoch;
+            registry.pin_epoch(epoch).then(|| DictPin { registry: Arc::clone(registry), epoch })
+        }
+        _ => None,
+    };
     let elf = calibro_oat::to_elf_bytes(&output.oat);
     let sealed = Arc::new(SealedGeneration {
         id,
@@ -1063,6 +1152,7 @@ fn flip_generation(
         cache_misses: output.stats.cache.misses,
         build_us,
         stats_json: output.stats.to_json(),
+        dict_pin,
     });
     state.serving = Some(Arc::clone(&sealed));
     state.generations_sealed += 1;
@@ -1211,6 +1301,47 @@ fn handle_generation_stats(body: &[u8], writer: &ReplyWriter, shared: &Arc<Share
     true
 }
 
+/// A point-in-time snapshot of the shared outline dictionary. A daemon
+/// running without one answers `enabled: false` with every counter
+/// zeroed — asking is never an error, so external gates need no
+/// special casing.
+fn handle_dict_stats(body: &[u8], writer: &ReplyWriter, shared: &Arc<Shared>) -> bool {
+    let fallback_id = body
+        .get(..8)
+        .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("slice length checked")));
+    let request = match DictStatsRequest::decode(body) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            shared.reply_error(writer, fallback_id, &ServeError::from(e));
+            return true;
+        }
+    };
+    let reply = match &shared.dict {
+        Some(registry) => {
+            let stats = registry.cumulative_stats();
+            let epoch = registry.current_epoch();
+            let layout = registry.layout(epoch);
+            DictStatsReply {
+                request_id: request.request_id,
+                enabled: true,
+                epoch,
+                published: registry.published_count() as u64,
+                staged: registry.staged_count() as u64,
+                island_words: layout.as_ref().map_or(0, |l| l.words().len() as u64),
+                island_entries: layout.as_ref().map_or(0, |l| l.len() as u64),
+                pinned_epochs: registry.pinned_epochs() as u64,
+                hits: stats.hits,
+                publishes: stats.publishes,
+                private_preferred: stats.private_preferred,
+            }
+        }
+        None => DictStatsReply { request_id: request.request_id, ..DictStatsReply::default() },
+    };
+    shared.reply(writer, RESP_DICT_STATS, &reply.encode());
+    true
+}
+
 /// The background re-optimization worker. Pops tenants whose drift
 /// crossed the threshold, recompiles with the decayed hot set
 /// (shelving everything cold to unrestricted size-first outlining),
@@ -1255,7 +1386,7 @@ fn refresh_tenant(name: &str, shared: &Arc<Shared>) {
     };
     let Some((identity, dex, base_options, hot)) = snapshot else { return };
     let options = base_options.with_hot_filter(hot);
-    let session = BuildSession::with_store(Arc::clone(&shared.store));
+    let session = build_session(shared);
     let build_start = Instant::now();
     let result = session.build(&dex, &options);
     let build_us = build_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -1270,6 +1401,8 @@ fn refresh_tenant(name: &str, shared: &Arc<Shared>) {
             if state.program.as_ref().is_some_and(|p| p.identity == identity) {
                 flip_generation(shared, state, &options, &mut output, build_us);
             }
+            drop(tenants);
+            seal_dict(shared, &options);
         }
         Err(_) => {
             shared.build_errors.fetch_add(1, Ordering::Relaxed);

@@ -618,6 +618,7 @@ pub fn write_options(w: &mut Writer, options: &BuildOptions) {
         cto,
         ltbo,
         merge,
+        dict,
         min_seq_len,
         hot_methods,
         base_address,
@@ -646,6 +647,7 @@ pub fn write_options(w: &mut Writer, options: &BuildOptions) {
             w.bool(*arbitrate);
         }
     }
+    w.bool(*dict);
     w.usize(*min_seq_len);
     match hot_methods {
         None => w.u8(0),
@@ -702,6 +704,7 @@ pub fn read_options(r: &mut Reader<'_>) -> Result<BuildOptions, WireError> {
         }),
         tag => return Err(WireError::InvalidTag { what: "MergeConfig", tag }),
     };
+    let dict = r.bool("dict")?;
     let min_seq_len = r.usize("min_seq_len")?;
     let hot_methods = match r.u8("hot_methods tag")? {
         0 => None,
@@ -735,6 +738,7 @@ pub fn read_options(r: &mut Reader<'_>) -> Result<BuildOptions, WireError> {
         cto,
         ltbo,
         merge,
+        dict,
         min_seq_len,
         hot_methods,
         base_address,
@@ -817,6 +821,7 @@ mod tests {
             BuildOptions::baseline(),
             BuildOptions::cto(),
             BuildOptions::cto_ltbo().with_compile_threads(8),
+            BuildOptions::cto_ltbo().with_dict(),
             BuildOptions::cto_ltbo_parallel(16, 4).with_hot_filter([4, 1, 9].into_iter().collect()),
             BuildOptions::cto_merge(),
             BuildOptions::cto_merge_ltbo().with_merge(MergeConfig {

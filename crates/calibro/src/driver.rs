@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use calibro_cache::{CacheError, CacheStats};
 use calibro_dex::DexFile;
+use calibro_dict::DictStats;
 use calibro_hgraph::{PassStats, PipelineConfig};
 use calibro_oat::{LinkError, OatFile, DEFAULT_BASE_ADDRESS};
 
@@ -29,6 +30,12 @@ pub struct BuildOptions {
     /// ([`size_passes`](crate::size_passes)): `none` / `merge` /
     /// `outline` / `both`.
     pub merge: Option<MergeConfig>,
+    /// Route LTBO candidates through the session's shared outline
+    /// dictionary (the cross-tenant `.text` island). Only effective when
+    /// [`ltbo`](Self::ltbo) is on and the session carries a
+    /// [`DictRegistry`](calibro_dict::DictRegistry); a one-shot
+    /// [`build`] has no registry, so the flag is inert there.
+    pub dict: bool,
     /// Minimum outlined sequence length (instructions).
     pub min_seq_len: usize,
     /// Hot methods to filter (§3.4.2), usually from
@@ -63,6 +70,7 @@ impl Default for BuildOptions {
             cto: false,
             ltbo: None,
             merge: None,
+            dict: false,
             min_seq_len: 2,
             hot_methods: None,
             base_address: DEFAULT_BASE_ADDRESS,
@@ -156,6 +164,14 @@ impl BuildOptions {
         self.merge = Some(config);
         self
     }
+
+    /// Routes outline candidates through the session's shared
+    /// dictionary (see [`dict`](Self::dict)).
+    #[must_use]
+    pub fn with_dict(mut self) -> BuildOptions {
+        self.dict = true;
+        self
+    }
 }
 
 /// Load record for one compile worker.
@@ -212,6 +228,14 @@ pub struct BuildStats {
     pub ltbo: LtboStats,
     /// Function-merge statistics (zeroed when the merge pass is off).
     pub merge: MergeStats,
+    /// Shared-dictionary arbitration outcomes (zeroed when the
+    /// dictionary is off or the session has no registry).
+    pub dict: DictStats,
+    /// Dictionary epoch this build linked against (0 = the empty
+    /// island, also the value when the dictionary is off).
+    pub dict_epoch: u64,
+    /// Words in the dictionary island the build linked against.
+    pub dict_island_words: usize,
     /// Methods compiled.
     pub methods: usize,
     /// Methods replayed from the artifact cache instead of compiled
@@ -270,8 +294,13 @@ impl BuildStats {
                 r#""merge_hits":{},"merge_misses":{},"merge_stores":{},"#,
                 r#""merge_evictions":{},"merge_disk_hits":{},"merge_disk_stores":{},"#,
                 r#""merge_promotions":{},"merge_evict_cost_us":{},"#,
+                r#""dict_hits":{},"dict_misses":{},"dict_stores":{},"#,
+                r#""dict_evictions":{},"dict_disk_hits":{},"dict_disk_stores":{},"#,
+                r#""dict_promotions":{},"#,
+                r#""dict_peer_hits":{},"dict_peer_misses":{},"dict_peer_errors":{},"#,
+                r#""dict_evict_cost_us":{},"#,
                 r#""lock_contention":{},"group_lock_contention":{},"#,
-                r#""merge_lock_contention":{}}},"#,
+                r#""merge_lock_contention":{},"dict_lock_contention":{}}},"#,
                 r#""passes":{{"folded":{},"copies_propagated":{},"cse_hits":{},"#,
                 r#""dead_removed":{},"simplified":{},"returns_merged":{},"#,
                 r#""blocks_removed":{},"iterations":{},"insns_in":{},"insns_out":{}}},"#,
@@ -281,7 +310,9 @@ impl BuildStats {
                 r#""stack_maps_updated":{},"detection_groups":{}}},"#,
                 r#""merge":{{"candidate_methods":{},"excluded_methods":{},"#,
                 r#""merge_groups":{},"merged_methods":{},"words_saved":{},"#,
-                r#""outline_preferred":{}}}"#,
+                r#""outline_preferred":{}}},"#,
+                r#""dict":{{"epoch":{},"island_words":{},"hits":{},"#,
+                r#""publishes":{},"private_preferred":{}}}"#,
                 "}}",
             ),
             self.methods,
@@ -332,9 +363,21 @@ impl BuildStats {
             c.merge_disk_stores,
             c.merge_promotions,
             c.merge_evict_cost_us,
+            c.dict_hits,
+            c.dict_misses,
+            c.dict_stores,
+            c.dict_evictions,
+            c.dict_disk_hits,
+            c.dict_disk_stores,
+            c.dict_promotions,
+            c.dict_peer_hits,
+            c.dict_peer_misses,
+            c.dict_peer_errors,
+            c.dict_evict_cost_us,
             c.lock_contention,
             c.group_lock_contention,
             c.merge_lock_contention,
+            c.dict_lock_contention,
             p.folded,
             p.copies_propagated,
             p.cse_hits,
@@ -360,6 +403,11 @@ impl BuildStats {
             m.merged_methods,
             m.words_saved,
             m.outline_preferred,
+            self.dict_epoch,
+            self.dict_island_words,
+            self.dict.hits,
+            self.dict.publishes,
+            self.dict.private_preferred,
         )
     }
 }
@@ -493,6 +541,9 @@ mod tests {
         assert!(json.contains(r#""merge":{"candidate_methods":0"#));
         assert!(json.contains(r#""merge_hits":0"#));
         assert!(json.contains(r#""merge_lock_contention":0"#));
+        assert!(json.contains(r#""dict_hits":0"#));
+        assert!(json.contains(r#""dict_lock_contention":0"#));
+        assert!(json.contains(r#""dict":{"epoch":0"#));
         assert!(json.contains(r#""compile":0,"merge":0,"ltbo":0"#));
     }
 }

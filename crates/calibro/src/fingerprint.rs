@@ -41,6 +41,7 @@ pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
         cto,
         ltbo,
         merge,
+        dict,
         min_seq_len,
         hot_methods,
         base_address,
@@ -65,6 +66,8 @@ pub fn fingerprint_options(options: &BuildOptions, h: &mut StableHasher) {
             fingerprint_merge_config(config, h);
         }
     }
+    h.write_tag(0x44); // 'D'
+    h.write_bool(*dict);
     h.write_usize(*min_seq_len);
     match hot_methods {
         None => h.write_tag(0),

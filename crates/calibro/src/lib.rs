@@ -57,6 +57,7 @@ pub use calibro_cache::{
     ArtifactStore, CacheConfig, CacheEntry, CacheError, CacheKey, CacheStats, StableHasher,
     SymbolTemplate,
 };
+pub use calibro_dict::{DictConfig, DictRegistry, DictSession, DictStats};
 pub use calibro_hgraph::{PassStats, PipelineConfig};
 pub use driver::{
     build, build_with_store, BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad,

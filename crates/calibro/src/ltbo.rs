@@ -26,6 +26,7 @@ use calibro_cache::{
     ArtifactStore, CacheEntry, CacheError, CacheKey, GroupPlanEntry, SymbolTemplate, TemplateSlot,
 };
 use calibro_codegen::{CallTarget, CompiledMethod, PcRel, Reloc};
+use calibro_dict::DictSession;
 use calibro_isa::Insn;
 use calibro_suffix::{
     detect_group, group_text_len, partition_stable_by, replay_group_plan, GroupPlan,
@@ -347,11 +348,20 @@ pub(crate) fn prepare_hit_symbols(
         .collect()
 }
 
+/// Where an outlined call site's `bl` lands.
+#[derive(Clone, Copy)]
+enum EditCall {
+    /// A private outlined function of this build.
+    Outlined(u32),
+    /// The shared dictionary island, at this word offset.
+    Dict(u32),
+}
+
 /// One planned rewrite within a method.
 struct Edit {
     start: usize,
     len: usize,
-    outlined: u32,
+    call: EditCall,
 }
 
 /// Runs LTBO over the compiled methods, mutating them in place and
@@ -422,7 +432,7 @@ pub fn run_ltbo_cached(
     templates: &[Option<&SymbolTemplate>],
     store: Option<&ArtifactStore>,
 ) -> Result<LtboResult, OutlineError> {
-    run_ltbo_prepared(methods, config, templates, store, Vec::new())
+    run_ltbo_prepared(methods, config, templates, store, Vec::new(), None)
 }
 
 /// [`run_ltbo_cached`] with an optional warm prepass: `prepared` is
@@ -434,12 +444,23 @@ pub fn run_ltbo_cached(
 /// cached plans using work that overlapped codegen, and only dirty
 /// methods' symbolization plus the O(members) Merkle group keys run
 /// after codegen completes.
+///
+/// With `dict` set (which requires `store` for the dictionary lane),
+/// every selected candidate is arbitrated through
+/// [`DictSession::route`] before materialization: a byte-identical body
+/// in the session's pinned island becomes `bl`s into the island
+/// (`CallTarget::Dict`, zero body cost this build); everything else is
+/// outlined privately, with misses published for future epochs.
+/// Arbitration runs sequentially in plan order, so the decision
+/// sequence — and therefore the emitted code — is identical at any
+/// detection thread count, warm or cold.
 pub(crate) fn run_ltbo_prepared(
     methods: &mut [CompiledMethod],
     config: &LtboConfig,
     templates: &[Option<&SymbolTemplate>],
     store: Option<&ArtifactStore>,
     mut prepared: Vec<Option<MethodSymbols>>,
+    mut dict: Option<&mut DictSession>,
 ) -> Result<LtboResult, OutlineError> {
     let mut stats = LtboStats::default();
 
@@ -540,9 +561,10 @@ pub(crate) fn run_ltbo_prepared(
     let mut outlined: Vec<Vec<Insn>> = Vec::new();
     let mut edits: Vec<Vec<Edit>> = (0..methods.len()).map(|_| Vec::new()).collect();
     for (group, plan) in plans.iter().enumerate() {
+        let dict = &mut dict;
         let materialized = catch_unwind(AssertUnwindSafe(|| {
             for cand in &plan.candidates {
-                let mut body: Vec<Insn> = cand
+                let body: Vec<Insn> = cand
                     .symbols
                     .iter()
                     .map(|&s| {
@@ -550,15 +572,28 @@ pub(crate) fn run_ltbo_prepared(
                             .expect("candidate symbols decode")
                     })
                     .collect();
-                body.push(Insn::Br { rn: calibro_isa::Reg::LR });
-                let id = outlined.len() as u32;
-                stats.words_saved -= body.len() as i64;
-                outlined.push(body);
-                stats.outlined_functions += 1;
+                // Dictionary arbitration: a byte-identical island body
+                // serves every occurrence at call overhead only.
+                let call = match (dict.as_deref_mut(), store) {
+                    (Some(session), Some(store)) => session.route(&body, store).map(EditCall::Dict),
+                    _ => None,
+                };
+                let call = match call {
+                    Some(call) => call,
+                    None => {
+                        let id = outlined.len() as u32;
+                        let mut body = body;
+                        body.push(Insn::Br { rn: calibro_isa::Reg::LR });
+                        stats.words_saved -= body.len() as i64;
+                        outlined.push(body);
+                        stats.outlined_functions += 1;
+                        EditCall::Outlined(id)
+                    }
+                };
                 for &pos in &cand.positions {
                     let (tag, sym_off) = plan.resolve(pos);
                     let word = sym_maps[tag].word_at(sym_off);
-                    edits[tag].push(Edit { start: word, len: cand.len, outlined: id });
+                    edits[tag].push(Edit { start: word, len: cand.len, call });
                     stats.occurrences_replaced += 1;
                     stats.words_saved += cand.len as i64 - 1;
                 }
@@ -672,8 +707,11 @@ fn apply_edits(m: &mut CompiledMethod, edits: &[Edit]) -> (usize, usize) {
         if next_edit < edits.len() && edits[next_edit].start == word {
             let edit = &edits[next_edit];
             map[word] = new_insns.len();
-            new_relocs
-                .push(Reloc { at: new_insns.len(), target: CallTarget::Outlined(edit.outlined) });
+            let target = match edit.call {
+                EditCall::Outlined(id) => CallTarget::Outlined(id),
+                EditCall::Dict(at) => CallTarget::Dict(at),
+            };
+            new_relocs.push(Reloc { at: new_insns.len(), target });
             new_insns.push(Insn::Bl { offset: 0 });
             // Interior words vanish.
             word += edit.len;
@@ -807,7 +845,7 @@ mod tests {
         // unconstructible from valid codegen. Before the guard this
         // underflowed `old_word - 1` and indexed `map[usize::MAX]`.
         let mut m = method_with_stack_map(0);
-        apply_edits(&mut m, &[Edit { start: 0, len: 2, outlined: 0 }]);
+        apply_edits(&mut m, &[Edit { start: 0, len: 2, call: EditCall::Outlined(0) }]);
     }
 
     #[test]
@@ -816,7 +854,7 @@ mod tests {
         // a single `bl` shifts it back by one word, to offset 8.
         let mut m = method_with_stack_map(12);
         let (_patched, maps_updated) =
-            apply_edits(&mut m, &[Edit { start: 0, len: 2, outlined: 0 }]);
+            apply_edits(&mut m, &[Edit { start: 0, len: 2, call: EditCall::Outlined(0) }]);
         assert_eq!(maps_updated, 1);
         assert_eq!(m.stack_maps[0].native_offset, 8);
         assert_eq!(m.insns.len(), 3);

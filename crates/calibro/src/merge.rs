@@ -132,7 +132,7 @@ pub fn merge_content_key(m: &CompiledMethod) -> CacheKey {
     h.finish()
 }
 
-fn hash_relocs(relocs: &[Reloc], h: &mut StableHasher) {
+pub(crate) fn hash_relocs(relocs: &[Reloc], h: &mut StableHasher) {
     h.write_usize(relocs.len());
     for r in relocs {
         h.write_usize(r.at);
@@ -158,6 +158,10 @@ fn hash_relocs(relocs: &[Reloc], h: &mut StableHasher) {
             }
             CallTarget::Merged(i) => {
                 h.write_tag(3);
+                h.write_u32(i);
+            }
+            CallTarget::Dict(i) => {
+                h.write_tag(4);
                 h.write_u32(i);
             }
         }

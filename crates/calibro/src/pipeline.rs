@@ -48,10 +48,11 @@ use std::time::{Duration, Instant};
 use calibro_cache::{ArtifactStore, CacheConfig, CacheEntry, CacheKey, StableHasher};
 use calibro_codegen::{compile_method, compile_native_stub, CodegenOptions, CompiledMethod};
 use calibro_dex::DexFile;
+use calibro_dict::DictRegistry;
 use calibro_hgraph::{
     build_hgraph, run_inlining, run_pipeline_with, HGraph, InlineConfig, PassStats,
 };
-use calibro_oat::{LinkInput, OatFile};
+use calibro_oat::{DictImage, LinkInput, OatFile, DICT_BASE_ADDRESS};
 
 use crate::driver::{BuildError, BuildOptions, BuildOutput, BuildStats, WorkerLoad};
 use crate::fingerprint::{method_cache_key, options_fingerprint, program_salt, reference_env};
@@ -81,6 +82,10 @@ use crate::sizepass::{hash_compiled, size_passes, PassContext, SizeArtifact};
 /// ```
 pub struct BuildSession {
     store: Arc<ArtifactStore>,
+    /// The shared outline dictionary, when this session belongs to a
+    /// daemon hosting one. [`BuildOptions::dict`] routes outline
+    /// candidates through it; without a registry the flag is inert.
+    dict: Option<Arc<DictRegistry>>,
 }
 
 impl Default for BuildSession {
@@ -107,19 +112,34 @@ impl BuildSession {
     /// [`CacheConfig::disk_dir`] for a persistent cache).
     #[must_use]
     pub fn with_config(config: CacheConfig) -> BuildSession {
-        BuildSession { store: Arc::new(ArtifactStore::new(config)) }
+        BuildSession { store: Arc::new(ArtifactStore::new(config)), dict: None }
     }
 
     /// A session over an existing (possibly shared) store.
     #[must_use]
     pub fn with_store(store: Arc<ArtifactStore>) -> BuildSession {
-        BuildSession { store }
+        BuildSession { store, dict: None }
+    }
+
+    /// Attaches a shared outline dictionary. Builds with
+    /// [`BuildOptions::dict`] set then arbitrate every outline candidate
+    /// against the registry's current epoch island.
+    #[must_use]
+    pub fn with_dict_registry(mut self, registry: Arc<DictRegistry>) -> BuildSession {
+        self.dict = Some(registry);
+        self
     }
 
     /// The session's artifact store (for counters or sharing).
     #[must_use]
     pub fn store(&self) -> &Arc<ArtifactStore> {
         &self.store
+    }
+
+    /// The attached dictionary registry, if any.
+    #[must_use]
+    pub fn dict_registry(&self) -> Option<&Arc<DictRegistry>> {
+        self.dict.as_ref()
     }
 
     /// Runs the full pipeline: frontend → codegen → outline → link.
@@ -193,6 +213,9 @@ impl BuildSession {
         stats.ltbo = size.ltbo;
         stats.ltbo_time = size.ltbo_time;
         stats.detect_time = size.detect_time;
+        stats.dict = size.dict;
+        stats.dict_epoch = size.dict_epoch;
+        stats.dict_island_words = size.dict_island.as_ref().map_or(0, |d| d.words.len());
 
         let link_start = Instant::now();
         let oat = self.link(options, size)?;
@@ -406,14 +429,32 @@ impl BuildSession {
             entries.push(o.entry);
         }
         let mut artifact = SizeArtifact::new(methods);
+        // The dictionary session pins one epoch's island for the whole
+        // stage; the session is opened lazily so dict-off builds (and
+        // sessions without a registry) pay nothing.
+        let mut dict_session = match &self.dict {
+            Some(registry) if options.dict && options.ltbo.is_some() => Some(registry.session()),
+            _ => None,
+        };
         let mut ctx = PassContext {
             store: Some(&self.store),
             entries,
             prepared,
             hot_methods: options.hot_methods.as_ref(),
+            dict: dict_session.as_mut(),
         };
         for pass in size_passes(options) {
             pass.run(&mut artifact, &mut ctx)?;
+        }
+        drop(ctx);
+        if let Some(session) = dict_session {
+            artifact.dict = session.stats();
+            artifact.dict_epoch = session.epoch();
+            artifact.dict_island = Some(DictImage {
+                base_address: DICT_BASE_ADDRESS,
+                epoch: session.epoch(),
+                words: session.layout().words().to_vec(),
+            });
         }
         Ok(artifact)
     }
@@ -430,9 +471,13 @@ impl BuildSession {
         options: &BuildOptions,
         artifact: SizeArtifact,
     ) -> Result<OatFile, BuildError> {
-        let SizeArtifact { methods, outlined, merged, .. } = artifact;
-        calibro_oat::link(LinkInput { methods, outlined, merged }, options.base_address)
-            .map_err(BuildError::Link)
+        let SizeArtifact { methods, outlined, merged, dict_island, .. } = artifact;
+        calibro_oat::link_with_dict(
+            LinkInput { methods, outlined, merged },
+            options.base_address,
+            dict_island.as_ref(),
+        )
+        .map_err(BuildError::Link)
     }
 }
 

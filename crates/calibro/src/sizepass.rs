@@ -29,8 +29,9 @@ use std::time::{Duration, Instant};
 
 use calibro_cache::{ArtifactStore, CacheEntry, CacheKey, StableHasher, SymbolTemplate};
 use calibro_codegen::CompiledMethod;
+use calibro_dict::{DictSession, DictStats};
 use calibro_isa::Insn;
-use calibro_oat::MergedBody;
+use calibro_oat::{DictImage, MergedBody};
 
 use crate::driver::{BuildError, BuildOptions};
 use crate::fingerprint::{fingerprint_ltbo_config, fingerprint_merge_config};
@@ -62,6 +63,17 @@ pub struct SizeArtifact {
     pub detect_time: Duration,
     /// Total instruction words before any size pass ran.
     pub words_before: usize,
+    /// Shared-dictionary arbitration outcomes (zeroed without a
+    /// dictionary session).
+    pub dict: DictStats,
+    /// Dictionary epoch the outline pass routed against (0 without a
+    /// session).
+    pub dict_epoch: u64,
+    /// The island image this artifact's `CallTarget::Dict` relocations
+    /// resolve into — handed to
+    /// [`link_with_dict`](calibro_oat::link_with_dict). `None` without
+    /// a dictionary session.
+    pub dict_island: Option<DictImage>,
 }
 
 /// The historical name of the artifact the size stage hands the linker,
@@ -84,6 +96,9 @@ impl SizeArtifact {
             ltbo_time: Duration::default(),
             detect_time: Duration::default(),
             words_before,
+            dict: DictStats::default(),
+            dict_epoch: 0,
+            dict_island: None,
         }
     }
 
@@ -111,6 +126,21 @@ impl SizeArtifact {
                 h.write_u32(insn.encode().unwrap_or(u32::MAX));
             }
         }
+        // The dictionary island is part of what the linker reads: the
+        // same methods against a different island resolve `Dict` calls
+        // to different displacements.
+        match &self.dict_island {
+            None => h.write_tag(0),
+            Some(d) => {
+                h.write_tag(1);
+                h.write_u64(d.base_address);
+                h.write_u64(d.epoch);
+                h.write_usize(d.words.len());
+                for &w in &d.words {
+                    h.write_u32(w);
+                }
+            }
+        }
         h.finish()
     }
 }
@@ -127,6 +157,10 @@ pub(crate) fn hash_compiled(m: &CompiledMethod, h: &mut StableHasher) {
     for &w in &m.pool {
         h.write_u32(w);
     }
+    // Relocations are part of the linked bytes: a dict-routed build and
+    // a private-outline build can carry identical instruction words
+    // (both `bl` placeholders) yet link to different targets.
+    crate::merge::hash_relocs(&m.relocs, h);
 }
 
 /// Session state the passes share: the artifact store behind each
@@ -140,6 +174,7 @@ pub struct PassContext<'a> {
     pub(crate) entries: Vec<Arc<CacheEntry>>,
     pub(crate) prepared: Vec<Option<MethodSymbols>>,
     pub(crate) hot_methods: Option<&'a HashSet<u32>>,
+    pub(crate) dict: Option<&'a mut DictSession>,
 }
 
 impl<'a> PassContext<'a> {
@@ -153,7 +188,15 @@ impl<'a> PassContext<'a> {
         entries: Vec<Arc<CacheEntry>>,
         hot_methods: Option<&'a HashSet<u32>>,
     ) -> PassContext<'a> {
-        PassContext { store, entries, prepared: Vec::new(), hot_methods }
+        PassContext { store, entries, prepared: Vec::new(), hot_methods, dict: None }
+    }
+
+    /// Attaches a dictionary session for the outline pass to route
+    /// candidates through (requires a store for the dictionary lane).
+    #[must_use]
+    pub fn with_dict(mut self, session: &'a mut DictSession) -> PassContext<'a> {
+        self.dict = Some(session);
+        self
     }
 }
 
@@ -247,14 +290,18 @@ impl SizePass for OutlinePass {
         let templates: Vec<Option<&SymbolTemplate>> =
             ctx.entries.iter().map(|e| e.template.as_ref()).collect();
         let prepared = std::mem::take(&mut ctx.prepared);
-        let result =
-            run_ltbo_prepared(&mut artifact.methods, &self.config, &templates, ctx.store, prepared)
-                .map_err(|e| match e {
-                    OutlineError::Worker { group, message } => {
-                        BuildError::OutlineWorker { group, message }
-                    }
-                    OutlineError::Cache(e) => BuildError::Cache(e),
-                })?;
+        let result = run_ltbo_prepared(
+            &mut artifact.methods,
+            &self.config,
+            &templates,
+            ctx.store,
+            prepared,
+            ctx.dict.as_deref_mut(),
+        )
+        .map_err(|e| match e {
+            OutlineError::Worker { group, message } => BuildError::OutlineWorker { group, message },
+            OutlineError::Cache(e) => BuildError::Cache(e),
+        })?;
         artifact.outlined = result.outlined;
         artifact.ltbo = result.stats;
         artifact.detect_time = result.detect_time;

@@ -31,6 +31,7 @@ fn single_field_variants() -> Vec<(&'static str, BuildOptions)> {
         cto: _,
         ltbo: _,
         merge: _,
+        dict: _,
         min_seq_len: _,
         hot_methods: _,
         base_address: _,
@@ -59,6 +60,7 @@ fn single_field_variants() -> Vec<(&'static str, BuildOptions)> {
             BuildOptions { ltbo: Some(LtboMode::Parallel { groups: 4, threads: 2 }), ..base() },
         ),
         ("merge", BuildOptions { merge: Some(MergeConfig::default()), ..base() }),
+        ("dict", BuildOptions { dict: true, ..base() }),
         (
             "merge_min_body_words",
             base().with_merge(MergeConfig { min_body_words: 8, ..MergeConfig::default() }),
